@@ -1,0 +1,413 @@
+//! The Kairos binary application format.
+//!
+//! The paper's prototype "specified a binary format for applications, that
+//! allows integration of the task graph, specification, and task
+//! implementations", registered as a Linux binary handler so the kernel can
+//! distinguish MPSoC applications from host executables. This module is that
+//! container format: a compact, versioned, length-checked encoding of an
+//! [`Application`].
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! magic       4 bytes  "KAIR"
+//! version     u16      currently 1
+//! name        u16 len + UTF-8 bytes
+//! task count  u32
+//!   per task: name (u16 len + bytes), role u8, impl count u16,
+//!     per impl: target u8, requires 4 x u64, exec_cycles u64, energy u64
+//! chan count  u32
+//!   per chan: src u32, dst u32, bandwidth u64, tokens u32
+//! constraint count u32
+//!   per constraint: tag u8 (0 = throughput, 1 = latency) + payload
+//! ```
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use kairos_platform::{ElementKind, ResourceVector};
+
+use crate::application::{Application, ApplicationBuilder};
+use crate::constraints::Constraint;
+use crate::implementation::Implementation;
+use crate::task::{TaskId, TaskRole};
+
+/// Magic bytes identifying a Kairos application image.
+pub const MAGIC: [u8; 4] = *b"KAIR";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Errors raised while decoding a Kairos application image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinfmtError {
+    /// The image does not start with [`MAGIC`].
+    BadMagic,
+    /// The image version is not supported.
+    UnsupportedVersion(u16),
+    /// The image ended prematurely.
+    Truncated,
+    /// A string field is not valid UTF-8.
+    InvalidString,
+    /// An enum discriminant is out of range.
+    InvalidTag(u8),
+    /// The decoded graph failed application validation.
+    InvalidApplication(String),
+}
+
+impl fmt::Display for BinfmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinfmtError::BadMagic => f.write_str("not a Kairos application image (bad magic)"),
+            BinfmtError::UnsupportedVersion(v) => write!(f, "unsupported image version {v}"),
+            BinfmtError::Truncated => f.write_str("image is truncated"),
+            BinfmtError::InvalidString => f.write_str("image contains invalid UTF-8"),
+            BinfmtError::InvalidTag(t) => write!(f, "invalid enum tag {t}"),
+            BinfmtError::InvalidApplication(e) => write!(f, "decoded graph is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BinfmtError {}
+
+fn role_tag(role: TaskRole) -> u8 {
+    match role {
+        TaskRole::Input => 0,
+        TaskRole::Internal => 1,
+        TaskRole::Output => 2,
+    }
+}
+
+fn role_from_tag(tag: u8) -> Result<TaskRole, BinfmtError> {
+    match tag {
+        0 => Ok(TaskRole::Input),
+        1 => Ok(TaskRole::Internal),
+        2 => Ok(TaskRole::Output),
+        t => Err(BinfmtError::InvalidTag(t)),
+    }
+}
+
+fn kind_tag(kind: ElementKind) -> u8 {
+    match kind {
+        ElementKind::Arm => 0,
+        ElementKind::Dsp => 1,
+        ElementKind::Fpga => 2,
+        ElementKind::Memory => 3,
+        ElementKind::TestUnit => 4,
+        ElementKind::Io => 5,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Result<ElementKind, BinfmtError> {
+    match tag {
+        0 => Ok(ElementKind::Arm),
+        1 => Ok(ElementKind::Dsp),
+        2 => Ok(ElementKind::Fpga),
+        3 => Ok(ElementKind::Memory),
+        4 => Ok(ElementKind::TestUnit),
+        5 => Ok(ElementKind::Io),
+        t => Err(BinfmtError::InvalidTag(t)),
+    }
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "string too long for image format");
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_vector(buf: &mut BytesMut, v: &ResourceVector) {
+    for &component in v.as_array() {
+        buf.put_u64_le(component);
+    }
+}
+
+/// Encodes an application into a Kairos binary image.
+///
+/// # Examples
+///
+/// ```
+/// use kairos_app::{binfmt, ApplicationBuilder, TaskRole, Implementation};
+/// use kairos_platform::{ElementKind, ResourceVector};
+///
+/// let mut b = ApplicationBuilder::new("demo");
+/// let imp = Implementation::new(ElementKind::Dsp, ResourceVector::splat(1), 10, 1);
+/// b.add_task("only", TaskRole::Internal, vec![imp]);
+/// let app = b.build()?;
+/// let image = binfmt::encode(&app);
+/// let back = binfmt::decode(&image)?;
+/// assert_eq!(app, back);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn encode(app: &Application) -> Bytes {
+    let mut buf = BytesMut::with_capacity(256);
+    buf.put_slice(&MAGIC);
+    buf.put_u16_le(VERSION);
+    put_string(&mut buf, app.name());
+
+    buf.put_u32_le(app.task_count() as u32);
+    for task in app.tasks() {
+        put_string(&mut buf, task.name());
+        buf.put_u8(role_tag(task.role()));
+        buf.put_u16_le(task.implementations().len() as u16);
+        for imp in task.implementations() {
+            buf.put_u8(kind_tag(imp.target()));
+            put_vector(&mut buf, &imp.requires());
+            buf.put_u64_le(imp.exec_cycles());
+            buf.put_u64_le(imp.energy());
+        }
+    }
+
+    buf.put_u32_le(app.channel_count() as u32);
+    for c in app.channels() {
+        buf.put_u32_le(c.src().0);
+        buf.put_u32_le(c.dst().0);
+        buf.put_u64_le(c.bandwidth());
+        buf.put_u32_le(c.tokens_per_firing());
+    }
+
+    buf.put_u32_le(app.constraints().len() as u32);
+    for constraint in app.constraints() {
+        match *constraint {
+            Constraint::Throughput { max_period_cycles } => {
+                buf.put_u8(0);
+                buf.put_u64_le(max_period_cycles);
+            }
+            Constraint::Latency { max_latency_cycles, pipeline_depth } => {
+                buf.put_u8(1);
+                buf.put_u64_le(max_latency_cycles);
+                buf.put_u32_le(pipeline_depth);
+            }
+        }
+    }
+
+    buf.freeze()
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn need(&self, n: usize) -> Result<(), BinfmtError> {
+        if self.buf.remaining() < n {
+            Err(BinfmtError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, BinfmtError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u16(&mut self) -> Result<u16, BinfmtError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    fn u32(&mut self) -> Result<u32, BinfmtError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, BinfmtError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    fn string(&mut self) -> Result<String, BinfmtError> {
+        let len = self.u16()? as usize;
+        self.need(len)?;
+        let bytes = &self.buf[..len];
+        let s = std::str::from_utf8(bytes).map_err(|_| BinfmtError::InvalidString)?.to_owned();
+        self.buf.advance(len);
+        Ok(s)
+    }
+
+    fn vector(&mut self) -> Result<ResourceVector, BinfmtError> {
+        let mut raw = [0u64; kairos_platform::RESOURCE_KIND_COUNT];
+        for slot in &mut raw {
+            *slot = self.u64()?;
+        }
+        Ok(ResourceVector::from(raw))
+    }
+}
+
+/// Decodes a Kairos binary image back into an [`Application`].
+///
+/// # Errors
+///
+/// Returns a [`BinfmtError`] for wrong magic, unsupported versions,
+/// truncation, invalid UTF-8, out-of-range tags, or when the decoded graph
+/// fails [`Application`] validation.
+pub fn decode(image: &[u8]) -> Result<Application, BinfmtError> {
+    let mut r = Reader { buf: image };
+    r.need(4)?;
+    if r.buf[..4] != MAGIC {
+        return Err(BinfmtError::BadMagic);
+    }
+    r.buf.advance(4);
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(BinfmtError::UnsupportedVersion(version));
+    }
+    let name = r.string()?;
+    let mut builder = ApplicationBuilder::new(name);
+
+    let task_count = r.u32()?;
+    for _ in 0..task_count {
+        let name = r.string()?;
+        let role = role_from_tag(r.u8()?)?;
+        let impl_count = r.u16()?;
+        let mut impls = Vec::with_capacity(impl_count as usize);
+        for _ in 0..impl_count {
+            let target = kind_from_tag(r.u8()?)?;
+            let requires = r.vector()?;
+            let exec_cycles = r.u64()?;
+            let energy = r.u64()?;
+            impls.push(Implementation::new(target, requires, exec_cycles, energy));
+        }
+        builder.add_task(name, role, impls);
+    }
+
+    let chan_count = r.u32()?;
+    for _ in 0..chan_count {
+        let src = TaskId(r.u32()?);
+        let dst = TaskId(r.u32()?);
+        let bandwidth = r.u64()?;
+        let tokens = r.u32()?;
+        builder.add_channel(src, dst, bandwidth, tokens);
+    }
+
+    let constraint_count = r.u32()?;
+    for _ in 0..constraint_count {
+        match r.u8()? {
+            0 => {
+                let max_period_cycles = r.u64()?;
+                builder.add_constraint(Constraint::Throughput { max_period_cycles });
+            }
+            1 => {
+                let max_latency_cycles = r.u64()?;
+                let pipeline_depth = r.u32()?;
+                builder
+                    .add_constraint(Constraint::Latency { max_latency_cycles, pipeline_depth });
+            }
+            t => return Err(BinfmtError::InvalidTag(t)),
+        }
+    }
+
+    builder
+        .build()
+        .map_err(|e| BinfmtError::InvalidApplication(e.to_string()))
+}
+
+/// `true` when `image` starts with the Kairos magic — the test the paper's
+/// kernel binary handler uses to claim an executable.
+pub fn is_kairos_image(image: &[u8]) -> bool {
+    image.len() >= 4 && image[..4] == MAGIC
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::application::ApplicationBuilder;
+
+    fn sample() -> Application {
+        let mut b = ApplicationBuilder::new("sample");
+        let i1 = Implementation::new(ElementKind::Dsp, ResourceVector::new(700, 32, 0, 0), 500, 9);
+        let i2 = Implementation::new(ElementKind::Arm, ResourceVector::new(300, 128, 0, 1), 900, 4);
+        let t0 = b.add_task("src", TaskRole::Input, vec![i1, i2]);
+        let t1 = b.add_task("dst", TaskRole::Output, vec![i1]);
+        b.add_channel(t0, t1, 150, 2);
+        b.add_constraint(Constraint::Throughput { max_period_cycles: 1000 });
+        b.add_constraint(Constraint::Latency { max_latency_cycles: 5000, pipeline_depth: 3 });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let app = sample();
+        let image = encode(&app);
+        assert!(is_kairos_image(&image));
+        let back = decode(&image).unwrap();
+        assert_eq!(app, back);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut image = encode(&sample()).to_vec();
+        image[0] = b'X';
+        assert_eq!(decode(&image), Err(BinfmtError::BadMagic));
+        assert!(!is_kairos_image(&image));
+        assert!(!is_kairos_image(b"KA"));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut image = encode(&sample()).to_vec();
+        image[4] = 99;
+        assert_eq!(decode(&image), Err(BinfmtError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        let image = encode(&sample());
+        for len in 0..image.len() {
+            let err = decode(&image[..len]).unwrap_err();
+            assert!(
+                matches!(err, BinfmtError::Truncated | BinfmtError::BadMagic),
+                "unexpected error at prefix {len}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut image = encode(&sample()).to_vec();
+        // name starts after magic(4) + version(2) + len(2)
+        image[8] = 0xFF;
+        image[9] = 0xFE;
+        assert_eq!(decode(&image), Err(BinfmtError::InvalidString));
+    }
+
+    #[test]
+    fn dangling_channel_fails_validation() {
+        // Hand-craft an image whose single channel references task 7.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u16_le(3);
+        buf.put_slice(b"bad");
+        buf.put_u32_le(1); // one task
+        buf.put_u16_le(1);
+        buf.put_slice(b"a");
+        buf.put_u8(1); // internal
+        buf.put_u16_le(1); // one impl
+        buf.put_u8(1); // dsp
+        for _ in 0..kairos_platform::RESOURCE_KIND_COUNT {
+            buf.put_u64_le(1);
+        }
+        buf.put_u64_le(1); // exec
+        buf.put_u64_le(1); // energy
+        buf.put_u32_le(1); // one channel
+        buf.put_u32_le(0); // src t0
+        buf.put_u32_le(7); // dst t7 (dangling)
+        buf.put_u64_le(5);
+        buf.put_u32_le(1);
+        buf.put_u32_le(0); // no constraints
+        let err = decode(&buf).unwrap_err();
+        assert!(matches!(err, BinfmtError::InvalidApplication(_)));
+    }
+
+    #[test]
+    fn invalid_tags_are_rejected() {
+        let mut image = encode(&sample()).to_vec();
+        // task role byte: magic(4) version(2) name(2+6) count(4) tname(2+3) -> role at 23
+        let name_len = "sample".len();
+        let role_pos = 4 + 2 + 2 + name_len + 4 + 2 + "src".len();
+        image[role_pos] = 9;
+        assert_eq!(decode(&image), Err(BinfmtError::InvalidTag(9)));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests of the application model and the binary format.
+
+use proptest::prelude::*;
+
+use kairos_app::{
+    binfmt, Application, ApplicationBuilder, Constraint, Implementation, TaskId, TaskRole,
+};
+use kairos_platform::{ElementKind, ResourceVector};
+
+fn element_kind() -> impl Strategy<Value = ElementKind> {
+    prop_oneof![
+        Just(ElementKind::Arm),
+        Just(ElementKind::Dsp),
+        Just(ElementKind::Fpga),
+        Just(ElementKind::Memory),
+        Just(ElementKind::TestUnit),
+        Just(ElementKind::Io),
+    ]
+}
+
+fn implementation() -> impl Strategy<Value = Implementation> {
+    (element_kind(), 0u64..2000, 0u64..2000, 0u64..2000, 0u64..2000, 1u64..5000, 0u64..500)
+        .prop_map(|(kind, a, b, c, d, cycles, energy)| {
+            Implementation::new(kind, ResourceVector::new(a, b, c, d), cycles, energy)
+        })
+}
+
+fn role() -> impl Strategy<Value = TaskRole> {
+    prop_oneof![Just(TaskRole::Input), Just(TaskRole::Internal), Just(TaskRole::Output)]
+}
+
+prop_compose! {
+    /// A structurally valid random application: 1..8 tasks with 1..3 impls
+    /// each, channels between distinct tasks, 0..2 constraints.
+    fn application()(
+        task_specs in proptest::collection::vec(
+            (role(), proptest::collection::vec(implementation(), 1..3)),
+            1..8,
+        ),
+        channel_seeds in proptest::collection::vec((0usize..64, 0usize..64, 1u64..900, 1u32..4), 0..12),
+        constraints in proptest::collection::vec(
+            prop_oneof![
+                (1u64..100_000).prop_map(|p| Constraint::Throughput { max_period_cycles: p }),
+                (1u64..100_000, 1u32..8).prop_map(|(l, d)| Constraint::Latency {
+                    max_latency_cycles: l,
+                    pipeline_depth: d,
+                }),
+            ],
+            0..3,
+        ),
+    ) -> Application {
+        let n = task_specs.len();
+        let mut b = ApplicationBuilder::new("prop-app");
+        for (i, (role, impls)) in task_specs.into_iter().enumerate() {
+            b.add_task(format!("t{i}"), role, impls);
+        }
+        for (src, dst, bw, tokens) in channel_seeds {
+            let s = TaskId((src % n) as u32);
+            let d = TaskId((dst % n) as u32);
+            if s != d {
+                b.add_channel(s, d, bw, tokens);
+            }
+        }
+        for c in constraints {
+            b.add_constraint(c);
+        }
+        b.build().expect("construction is valid by design")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The binary format round-trips every valid application exactly.
+    #[test]
+    fn binfmt_roundtrip(app in application()) {
+        let image = binfmt::encode(&app);
+        prop_assert!(binfmt::is_kairos_image(&image));
+        let back = binfmt::decode(&image).expect("decode must succeed");
+        prop_assert_eq!(app, back);
+    }
+
+    /// Decoding never panics on arbitrary bytes (it may error).
+    #[test]
+    fn binfmt_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = binfmt::decode(&bytes);
+    }
+
+    /// Truncating a valid image always fails cleanly.
+    #[test]
+    fn binfmt_truncation_fails_cleanly(app in application(), cut in 0.0f64..1.0) {
+        let image = binfmt::encode(&app);
+        let len = ((image.len() as f64) * cut) as usize;
+        if len < image.len() {
+            prop_assert!(binfmt::decode(&image[..len]).is_err());
+        }
+    }
+
+    /// Neighborhood rings partition the task set and respect distances.
+    #[test]
+    fn neighborhood_rings_partition_tasks(app in application()) {
+        let seeds: Vec<TaskId> = app.task_ids().take(1).collect();
+        let rings = app.neighborhood_rings(&seeds);
+        let mut seen: Vec<TaskId> = rings.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let mut all: Vec<TaskId> = app.task_ids().collect();
+        all.sort_unstable();
+        prop_assert_eq!(seen, all, "rings must partition the task set");
+        // Every non-seed ring member has a peer in the previous ring.
+        for i in 1..rings.len() {
+            let prev = &rings[i - 1];
+            for &t in &rings[i] {
+                let connected = app.peers(t).iter().any(|p| prev.contains(p));
+                // The trailing unreachable ring is exempt.
+                if i < rings.len() - 1 || connected {
+                    prop_assert!(
+                        connected || rings[i].iter().all(|x| app.peers(*x).iter().all(|p| !prev.contains(p))),
+                        "ring member without a predecessor peer"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Degrees equal the number of distinct peers and bound channel counts.
+    #[test]
+    fn degrees_match_adjacency(app in application()) {
+        for t in app.task_ids() {
+            prop_assert_eq!(app.degree(t), app.peers(t).len());
+            prop_assert!(app.incident_channels(t).len() >= app.peers(t).len() / 2);
+            for p in app.peers(t) {
+                prop_assert!(app.peers(p).contains(&t), "peer relation must be symmetric");
+            }
+        }
+    }
+
+    /// Total bandwidth equals the sum over channels.
+    #[test]
+    fn total_bandwidth_is_sum(app in application()) {
+        let sum: u64 = app.channels().map(|c| c.bandwidth()).sum();
+        prop_assert_eq!(app.total_bandwidth(), sum);
+    }
+
+    /// Latency constraints convert to periods monotonically in depth.
+    #[test]
+    fn latency_conversion_is_monotone(l in 1u64..1_000_000, d in 1u32..100) {
+        let shallow = Constraint::Latency { max_latency_cycles: l, pipeline_depth: d };
+        let deep = Constraint::Latency { max_latency_cycles: l, pipeline_depth: d + 1 };
+        prop_assert!(deep.as_max_period_cycles() <= shallow.as_max_period_cycles());
+    }
+}

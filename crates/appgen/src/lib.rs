@@ -1,0 +1,33 @@
+//! # kairos-appgen
+//!
+//! Synthetic workload generation for the Kairos resource manager — the
+//! counterpart of the paper's "in-house developed application generator,
+//! which is similar to TGFF" (§IV), plus the six Table-I datasets and a
+//! reconstruction of the 53-task beamforming case study of §IV-A.
+//!
+//! Everything is deterministic in its seed, so every experiment in this
+//! repository is exactly reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use kairos_appgen::{generate_dataset, DatasetSpec};
+//!
+//! let spec = DatasetSpec::all()[0]; // Communication Small
+//! let apps = generate_dataset(spec, 100, 0xC0FFEE);
+//! assert_eq!(apps.len(), 100);
+//! assert!(apps.iter().all(|a| a.task_count() <= 5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beamforming;
+mod config;
+mod datasets;
+mod generator;
+
+pub use beamforming::{beamforming_app, beamforming_app_with, BeamformingConfig};
+pub use config::GeneratorConfig;
+pub use datasets::{generate_dataset, DatasetSpec, Orientation, SizeClass};
+pub use generator::AppGenerator;

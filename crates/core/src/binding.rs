@@ -1,0 +1,306 @@
+//! Phase 1 — binding: implementation selection.
+//!
+//! Follows the approach of Hölzenspies et al. (cited as [9]): for each task
+//! an implementation is selected "that is able to execute the task with low
+//! cost and sufficient performance", with tasks processed in order of
+//! *regret* — the difference between the cheapest and second-cheapest
+//! assignment, after Martello & Toth's knapsack heuristics [10]. The phase
+//! only asserts that the required resources are available *somewhere* in the
+//! platform; *where* is the mapping phase's problem.
+//!
+//! Feasibility is tracked against a virtual copy of the platform's free
+//! resources: as tasks are bound, their demands are debited from a best-fit
+//! element of the pool, so an application whose aggregate demand exceeds the
+//! remaining platform capacity is rejected here — exactly the failure mode
+//! that dominates the computation-oriented datasets of Table I.
+
+use kairos_app::{Application, ImplId, Implementation, TaskId};
+use kairos_platform::{ElementKind, Platform, ResourceVector};
+
+use crate::error::BindingError;
+use crate::layout::Binding;
+
+/// A bound implementation candidate, with its feasibility cost.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    impl_id: ImplId,
+    energy: u64,
+}
+
+/// Virtual free-resource pool, one entry per element, debited as bindings
+/// are decided.
+#[derive(Debug)]
+struct Pool {
+    kinds: Vec<ElementKind>,
+    free: Vec<ResourceVector>,
+    alive: Vec<bool>,
+}
+
+impl Pool {
+    fn of(platform: &Platform) -> Pool {
+        Pool {
+            kinds: platform.elements().map(|e| e.kind()).collect(),
+            free: platform.element_ids().map(|e| platform.free(e)).collect(),
+            alive: platform.element_ids().map(|e| !platform.is_failed(e)).collect(),
+        }
+    }
+
+    /// `true` when some element of `kind` still covers `demand`.
+    fn feasible(&self, kind: ElementKind, demand: &ResourceVector) -> bool {
+        self.best_fit(kind, demand).is_some()
+    }
+
+    /// Index of the element of `kind` that fits `demand` with the least
+    /// leftover capacity (best fit), if any.
+    fn best_fit(&self, kind: ElementKind, demand: &ResourceVector) -> Option<usize> {
+        let mut best: Option<(usize, u64)> = None;
+        for i in 0..self.free.len() {
+            if !self.alive[i] || self.kinds[i] != kind || !self.free[i].fits(demand) {
+                continue;
+            }
+            let leftover = self.free[i].saturating_sub(demand).total();
+            match best {
+                Some((_, l)) if l <= leftover => {}
+                _ => best = Some((i, leftover)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Debits `demand` from the best-fit element of `kind`.
+    fn commit(&mut self, kind: ElementKind, demand: &ResourceVector) -> bool {
+        match self.best_fit(kind, demand) {
+            Some(i) => {
+                self.free[i] = self
+                    .free[i]
+                    .checked_sub(demand)
+                    .expect("best_fit guarantees the demand fits");
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+fn feasible_candidates(
+    task_impls: &[Implementation],
+    pool: &Pool,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for (i, imp) in task_impls.iter().enumerate() {
+        if pool.feasible(imp.target(), &imp.requires()) {
+            out.push(Candidate { impl_id: ImplId(i as u16), energy: imp.energy() });
+        }
+    }
+    out.sort_by_key(|c| c.energy);
+    out
+}
+
+/// Runs the binding phase of an allocation attempt.
+///
+/// Selects one implementation per task, cheapest (by energy) first, in
+/// descending-regret task order, debiting a virtual best-fit resource pool
+/// so that the *set* of selections stays platform-feasible.
+///
+/// # Errors
+///
+/// [`BindingError::NoFeasibleImplementation`] when some task has no
+/// implementation whose demand still fits the pool.
+///
+/// # Examples
+///
+/// ```
+/// use kairos_core::bind;
+/// use kairos_app::{ApplicationBuilder, TaskRole, Implementation};
+/// use kairos_platform::{topology, ElementKind, ResourceVector};
+///
+/// let platform = topology::crisp();
+/// let mut b = ApplicationBuilder::new("one");
+/// let dsp = Implementation::new(ElementKind::Dsp, ResourceVector::new(900, 32, 0, 0), 100, 3);
+/// b.add_task("worker", TaskRole::Internal, vec![dsp]);
+/// let app = b.build()?;
+/// let binding = bind(&app, &platform)?;
+/// assert_eq!(binding.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn bind(app: &Application, platform: &Platform) -> Result<Binding, BindingError> {
+    let mut pool = Pool::of(platform);
+
+    // Regret pass: candidates per task against the *initial* pool.
+    let mut order: Vec<(TaskId, u64)> = Vec::with_capacity(app.task_count());
+    for task in app.tasks() {
+        let cands = feasible_candidates(task.implementations(), &pool);
+        let regret = match cands.as_slice() {
+            [] => return Err(BindingError::NoFeasibleImplementation { task: task.id() }),
+            [_] => u64::MAX,
+            [first, second, ..] => second.energy - first.energy,
+        };
+        order.push((task.id(), regret));
+    }
+    // Highest regret first: tasks whose second choice is much worse must
+    // pick early, while the pool still has room.
+    order.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    let mut choices: Vec<Option<ImplId>> = vec![None; app.task_count()];
+    for (task_id, _) in order {
+        let task = app.task(task_id);
+        // Re-evaluate against the *current* pool: earlier bindings may have
+        // consumed what this task hoped for.
+        let cands = feasible_candidates(task.implementations(), &pool);
+        let mut bound = false;
+        for cand in cands {
+            let imp = &task.implementations()[cand.impl_id.index()];
+            if pool.commit(imp.target(), &imp.requires()) {
+                choices[task_id.index()] = Some(cand.impl_id);
+                bound = true;
+                break;
+            }
+        }
+        if !bound {
+            return Err(BindingError::NoFeasibleImplementation { task: task_id });
+        }
+    }
+
+    Ok(Binding::new(
+        choices
+            .into_iter()
+            .map(|c| c.expect("all tasks bound or error returned"))
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_app::{ApplicationBuilder, TaskRole};
+    use kairos_platform::{topology, AppId, Occupant};
+
+    fn dsp_impl(cpu: u64, energy: u64) -> Implementation {
+        Implementation::new(ElementKind::Dsp, ResourceVector::new(cpu, 16, 0, 0), 100, energy)
+    }
+
+    fn arm_impl(cpu: u64, energy: u64) -> Implementation {
+        Implementation::new(ElementKind::Arm, ResourceVector::new(cpu, 64, 0, 0), 100, energy)
+    }
+
+    #[test]
+    fn picks_cheapest_feasible_implementation() {
+        let platform = topology::crisp();
+        let mut b = ApplicationBuilder::new("x");
+        // Cheaper on ARM than DSP.
+        b.add_task("t", TaskRole::Internal, vec![dsp_impl(500, 9), arm_impl(500, 2)]);
+        let app = b.build().unwrap();
+        let binding = bind(&app, &platform).unwrap();
+        assert_eq!(binding.choice(TaskId(0)), ImplId(1));
+        assert_eq!(
+            binding.implementation(&app, TaskId(0)).target(),
+            ElementKind::Arm
+        );
+    }
+
+    #[test]
+    fn infeasible_kind_is_rejected() {
+        let platform = topology::dsp_mesh(2, 2); // DSPs only
+        let mut b = ApplicationBuilder::new("x");
+        b.add_task("t", TaskRole::Internal, vec![arm_impl(100, 1)]);
+        let app = b.build().unwrap();
+        assert_eq!(
+            bind(&app, &platform).unwrap_err(),
+            BindingError::NoFeasibleImplementation { task: TaskId(0) }
+        );
+    }
+
+    #[test]
+    fn oversized_demand_is_rejected() {
+        let platform = topology::dsp_mesh(2, 2);
+        let mut b = ApplicationBuilder::new("x");
+        b.add_task("t", TaskRole::Internal, vec![dsp_impl(100_000, 1)]);
+        let app = b.build().unwrap();
+        assert!(bind(&app, &platform).is_err());
+    }
+
+    #[test]
+    fn aggregate_demand_exhausts_pool() {
+        // 4 DSPs; 5 tasks each needing a whole DSP must fail at binding.
+        let platform = topology::dsp_mesh(2, 2);
+        let mut b = ApplicationBuilder::new("x");
+        for i in 0..5 {
+            b.add_task(format!("t{i}"), TaskRole::Internal, vec![dsp_impl(1000, 1)]);
+        }
+        let app = b.build().unwrap();
+        assert!(matches!(
+            bind(&app, &platform).unwrap_err(),
+            BindingError::NoFeasibleImplementation { .. }
+        ));
+        // 4 such tasks are fine.
+        let mut b = ApplicationBuilder::new("y");
+        for i in 0..4 {
+            b.add_task(format!("t{i}"), TaskRole::Internal, vec![dsp_impl(1000, 1)]);
+        }
+        let app = b.build().unwrap();
+        assert!(bind(&app, &platform).is_ok());
+    }
+
+    #[test]
+    fn falls_back_to_pricier_implementation_under_pressure() {
+        // 1 ARM (cheap target) + DSPs. Two tasks prefer ARM, only one fits.
+        let platform = topology::star(3); // 1 arm hub + 3 dsp leaves
+        let mut b = ApplicationBuilder::new("x");
+        b.add_task("a", TaskRole::Internal, vec![arm_impl(600, 1), dsp_impl(600, 50)]);
+        b.add_task("b", TaskRole::Internal, vec![arm_impl(600, 1), dsp_impl(600, 50)]);
+        let app = b.build().unwrap();
+        let binding = bind(&app, &platform).unwrap();
+        let targets: Vec<_> = app
+            .task_ids()
+            .map(|t| binding.implementation(&app, t).target())
+            .collect();
+        assert!(targets.contains(&ElementKind::Arm));
+        assert!(targets.contains(&ElementKind::Dsp), "second task must fall back");
+    }
+
+    #[test]
+    fn binding_respects_existing_claims() {
+        let mut platform = topology::dsp_mesh(1, 2);
+        // Occupy most of both DSPs.
+        for e in platform.element_ids().collect::<Vec<_>>() {
+            platform
+                .claim(e, Occupant { app: AppId(0), task: 0, claimed: ResourceVector::new(800, 0, 0, 0) })
+                .unwrap();
+        }
+        let mut b = ApplicationBuilder::new("x");
+        b.add_task("t", TaskRole::Internal, vec![dsp_impl(500, 1)]);
+        let app = b.build().unwrap();
+        assert!(bind(&app, &platform).is_err());
+        let mut b = ApplicationBuilder::new("y");
+        b.add_task("t", TaskRole::Internal, vec![dsp_impl(150, 1)]);
+        let app = b.build().unwrap();
+        assert!(bind(&app, &platform).is_ok());
+    }
+
+    #[test]
+    fn binding_skips_failed_elements() {
+        let mut platform = topology::dsp_mesh(1, 2);
+        let ids: Vec<_> = platform.element_ids().collect();
+        platform.fail_element(ids[0]);
+        platform.fail_element(ids[1]);
+        let mut b = ApplicationBuilder::new("x");
+        b.add_task("t", TaskRole::Internal, vec![dsp_impl(100, 1)]);
+        let app = b.build().unwrap();
+        assert!(bind(&app, &platform).is_err());
+    }
+
+    #[test]
+    fn high_regret_tasks_bind_first() {
+        // Star: 1 ARM + 2 DSPs. Task "fussy" saves 100 energy on ARM;
+        // task "easy" saves 1. Both fit either; only one ARM slot.
+        let platform = topology::star(2);
+        let mut b = ApplicationBuilder::new("x");
+        let easy = b.add_task("easy", TaskRole::Internal, vec![arm_impl(600, 10), dsp_impl(600, 11)]);
+        let fussy =
+            b.add_task("fussy", TaskRole::Internal, vec![arm_impl(600, 10), dsp_impl(600, 110)]);
+        let app = b.build().unwrap();
+        let binding = bind(&app, &platform).unwrap();
+        assert_eq!(binding.implementation(&app, fussy).target(), ElementKind::Arm);
+        assert_eq!(binding.implementation(&app, easy).target(), ElementKind::Dsp);
+    }
+}

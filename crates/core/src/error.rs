@@ -1,0 +1,281 @@
+//! Error types for the four allocation phases.
+
+use std::fmt;
+
+use kairos_app::{ChannelId, TaskId};
+use kairos_platform::ElementId;
+
+/// The four run-time phases of spatial resource allocation (paper Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Implementation selection.
+    Binding,
+    /// Spatial task placement (the paper's contribution).
+    Mapping,
+    /// Channel route establishment.
+    Routing,
+    /// Throughput/latency validation.
+    Validation,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; 4] =
+        [Phase::Binding, Phase::Mapping, Phase::Routing, Phase::Validation];
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Binding => f.write_str("binding"),
+            Phase::Mapping => f.write_str("mapping"),
+            Phase::Routing => f.write_str("routing"),
+            Phase::Validation => f.write_str("validation"),
+        }
+    }
+}
+
+/// Binding-phase failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindingError {
+    /// No implementation of the task has a feasible element anywhere in the
+    /// platform (considering already-reserved budget for other tasks).
+    NoFeasibleImplementation {
+        /// The task that could not be bound.
+        task: TaskId,
+    },
+}
+
+impl fmt::Display for BindingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindingError::NoFeasibleImplementation { task } => {
+                write!(f, "no feasible implementation for task {task}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BindingError {}
+
+/// Mapping-phase failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// A pinned task (singleton candidate set) could not claim its element.
+    PinnedTaskInfeasible {
+        /// The pinned task.
+        task: TaskId,
+        /// Its only candidate element.
+        element: ElementId,
+    },
+    /// No starting point exists: some task has no available element at all.
+    NoStartingPoint {
+        /// The unplaceable task.
+        task: TaskId,
+    },
+    /// The platform search ran out of elements before mapping a ring
+    /// (the `fail` of the paper's Fig. 5, line 12).
+    SearchExhausted {
+        /// Index of the task-graph ring that could not be mapped.
+        ring: usize,
+        /// Tasks left unmapped in that ring.
+        unmapped: Vec<TaskId>,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::PinnedTaskInfeasible { task, element } => {
+                write!(f, "pinned task {task} does not fit on its only element {element}")
+            }
+            MappingError::NoStartingPoint { task } => {
+                write!(f, "no element available for task {task}")
+            }
+            MappingError::SearchExhausted { ring, unmapped } => write!(
+                f,
+                "platform search exhausted at ring {ring} with {} tasks unmapped",
+                unmapped.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// Routing-phase failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutingError {
+    /// No path with a free virtual channel and sufficient bandwidth exists.
+    NoRoute {
+        /// The channel that could not be routed.
+        channel: ChannelId,
+        /// Source element of the route.
+        src: ElementId,
+        /// Destination element of the route.
+        dst: ElementId,
+    },
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::NoRoute { channel, src, dst } => {
+                write!(f, "no route for channel {channel} from {src} to {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+/// Validation-phase failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// A performance constraint is violated by the computed layout.
+    ConstraintViolated {
+        /// Index of the violated constraint in the application.
+        constraint_index: usize,
+        /// Maximum period the constraint allows, in cycles.
+        allowed_period: u64,
+        /// Steady-state period achieved by the layout, in cycles.
+        achieved_period: f64,
+    },
+    /// The SDF analysis itself failed (deadlock, divergence, ...).
+    Analysis(String),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::ConstraintViolated {
+                constraint_index,
+                allowed_period,
+                achieved_period,
+            } => write!(
+                f,
+                "constraint {constraint_index} violated: period {achieved_period:.1} > {allowed_period}"
+            ),
+            ValidationError::Analysis(e) => write!(f, "throughput analysis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// A failed allocation attempt, tagged with the phase that rejected it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocationError {
+    /// Rejected during implementation selection.
+    Binding(BindingError),
+    /// Rejected during spatial placement.
+    Mapping(MappingError),
+    /// Rejected during route establishment.
+    Routing(RoutingError),
+    /// Rejected during performance validation.
+    Validation(ValidationError),
+}
+
+impl AllocationError {
+    /// The phase that rejected the application.
+    pub fn phase(&self) -> Phase {
+        match self {
+            AllocationError::Binding(_) => Phase::Binding,
+            AllocationError::Mapping(_) => Phase::Mapping,
+            AllocationError::Routing(_) => Phase::Routing,
+            AllocationError::Validation(_) => Phase::Validation,
+        }
+    }
+}
+
+impl fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocationError::Binding(e) => write!(f, "binding failed: {e}"),
+            AllocationError::Mapping(e) => write!(f, "mapping failed: {e}"),
+            AllocationError::Routing(e) => write!(f, "routing failed: {e}"),
+            AllocationError::Validation(e) => write!(f, "validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AllocationError::Binding(e) => Some(e),
+            AllocationError::Mapping(e) => Some(e),
+            AllocationError::Routing(e) => Some(e),
+            AllocationError::Validation(e) => Some(e),
+        }
+    }
+}
+
+impl From<BindingError> for AllocationError {
+    fn from(e: BindingError) -> Self {
+        AllocationError::Binding(e)
+    }
+}
+
+impl From<MappingError> for AllocationError {
+    fn from(e: MappingError) -> Self {
+        AllocationError::Mapping(e)
+    }
+}
+
+impl From<RoutingError> for AllocationError {
+    fn from(e: RoutingError) -> Self {
+        AllocationError::Routing(e)
+    }
+}
+
+impl From<ValidationError> for AllocationError {
+    fn from(e: ValidationError) -> Self {
+        AllocationError::Validation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_are_ordered() {
+        assert!(Phase::Binding < Phase::Mapping);
+        assert!(Phase::Mapping < Phase::Routing);
+        assert!(Phase::Routing < Phase::Validation);
+        assert_eq!(Phase::ALL.len(), 4);
+    }
+
+    #[test]
+    fn allocation_error_reports_phase() {
+        let e: AllocationError =
+            BindingError::NoFeasibleImplementation { task: TaskId(3) }.into();
+        assert_eq!(e.phase(), Phase::Binding);
+        assert!(e.to_string().contains("binding"));
+        let e: AllocationError = MappingError::SearchExhausted { ring: 2, unmapped: vec![] }.into();
+        assert_eq!(e.phase(), Phase::Mapping);
+        let e: AllocationError = RoutingError::NoRoute {
+            channel: ChannelId(0),
+            src: ElementId(0),
+            dst: ElementId(1),
+        }
+        .into();
+        assert_eq!(e.phase(), Phase::Routing);
+        let e: AllocationError = ValidationError::Analysis("x".into()).into();
+        assert_eq!(e.phase(), Phase::Validation);
+    }
+
+    #[test]
+    fn errors_have_sources_and_messages() {
+        use std::error::Error;
+        let e: AllocationError = ValidationError::ConstraintViolated {
+            constraint_index: 0,
+            allowed_period: 10,
+            achieved_period: 20.0,
+        }
+        .into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("violated"));
+        assert_eq!(Phase::Mapping.to_string(), "mapping");
+    }
+}

@@ -1,0 +1,73 @@
+//! # kairos-core
+//!
+//! The Kairos run-time spatial resource manager — a full reimplementation of
+//! *ter Braak, Hölzenspies, Kuper, Hurink, Smit: "Run-time Spatial Resource
+//! Management for Real-Time Applications on Heterogeneous MPSoCs", DATE 2010*.
+//!
+//! Resource allocation is decomposed into four phases (paper Fig. 1), each a
+//! module of this crate:
+//!
+//! 1. **[`bind`]** — select an implementation per task (regret-ordered,
+//!    platform-feasibility-checked);
+//! 2. **[`map_application`]** — the paper's contribution: incremental,
+//!    topology-matching task placement via neighborhood decomposition,
+//!    directed BFS element search and a GAP/knapsack assignment core, driven
+//!    by a weighted communication + fragmentation cost function;
+//! 3. **[`route_channels`]** — per-channel virtual-circuit reservation over
+//!    NoC links (BFS, with a Dijkstra variant for ablation);
+//! 4. **[`validate`]** — SDF throughput analysis of the resulting execution
+//!    layout against the application's constraints.
+//!
+//! [`Kairos`] packages the pipeline as a resource manager with admission,
+//! release, per-phase timing, transactional rollback and fault handling.
+//! [`baseline`] adds first-fit and exact-placement comparators for
+//! heuristic-quality studies.
+//!
+//! ## Example
+//!
+//! ```
+//! use kairos_core::{Kairos, KairosConfig, CostPolicy};
+//! use kairos_app::{ApplicationBuilder, TaskRole, Implementation};
+//! use kairos_platform::{topology, ElementKind, ResourceVector};
+//!
+//! let mut kairos = Kairos::new(topology::crisp(), KairosConfig::with_policy(CostPolicy::Both));
+//! let dsp = Implementation::new(ElementKind::Dsp, ResourceVector::new(600, 32, 0, 0), 120, 5);
+//! let mut b = ApplicationBuilder::new("filter");
+//! let src = b.add_task("in", TaskRole::Input, vec![dsp]);
+//! let mid = b.add_task("fir", TaskRole::Internal, vec![dsp]);
+//! let dst = b.add_task("out", TaskRole::Output, vec![dsp]);
+//! b.add_channel(src, mid, 120, 1);
+//! b.add_channel(mid, dst, 120, 1);
+//! let app = b.build()?;
+//!
+//! let report = kairos.admit(&app)?;
+//! println!("admitted as {} in {}", report.app_id, report.timings);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+mod binding;
+mod error;
+mod layout;
+mod manager;
+mod mapping;
+mod metrics;
+mod routing;
+mod validation;
+
+pub use binding::bind;
+pub use error::{
+    AllocationError, BindingError, MappingError, Phase, RoutingError, ValidationError,
+};
+pub use layout::{Binding, ExecutionLayout, Placement, Route};
+pub use manager::{AdmissionFailure, AdmissionReport, Kairos, KairosConfig};
+pub use mapping::{
+    map_application, CostContext, CostPolicy, CostWeights, ElementSearch, GapState,
+    KnapsackItem, KnapsackSolver, MapperConfig, MappingReport, DEFAULT_MISS_PENALTY,
+};
+pub use metrics::PhaseTimings;
+pub use routing::{release_routes, route_channels, RouteAlgorithm};
+pub use validation::{layout_to_sdf, validate, ValidationConfig, ValidationReport};

@@ -1,0 +1,440 @@
+//! The Kairos run-time resource manager: the four-phase admission pipeline.
+//!
+//! [`Kairos`] owns the platform state and processes allocation requests
+//! exactly as the paper's prototype does: binding → mapping → routing →
+//! validation, with per-phase wall-clock timing, and transactional rollback
+//! of all claims when any phase rejects the application. Admitted
+//! applications can later be released (their elements and links are
+//! reclaimed), and element failures can be injected to exercise the
+//! fault-tolerance scenario that motivates run-time resource management.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+use kairos_app::Application;
+use kairos_platform::{AppId, ElementId, Platform};
+
+use crate::binding::bind;
+use crate::error::{AllocationError, Phase};
+use crate::layout::ExecutionLayout;
+use crate::mapping::{map_application, CostWeights, KnapsackSolver, MapperConfig};
+use crate::metrics::PhaseTimings;
+use crate::routing::{release_routes, route_channels, RouteAlgorithm};
+use crate::validation::{validate, ValidationConfig, ValidationReport};
+
+/// Configuration of the resource manager, covering all four phases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KairosConfig {
+    /// Mapping cost-function weights.
+    pub weights: CostWeights,
+    /// Knapsack solver used by `SolveGAP`.
+    pub knapsack: KnapsackSolver,
+    /// Extra BFS rings beyond the first sufficient candidate set.
+    pub extra_search_rings: u32,
+    /// Penalty for failed distance lookups in the cost function.
+    pub distance_miss_penalty: f64,
+    /// Alternative mapping start points retried for unpinned applications.
+    pub start_retries: u32,
+    /// Path-search algorithm of the routing phase.
+    pub route_algorithm: RouteAlgorithm,
+    /// Whether the validation phase runs at all. The paper's synthetic-
+    /// dataset experiments "do not reject applications in the validation
+    /// phase"; disabling validation mirrors that setup exactly, while
+    /// enabling it still never rejects constraint-free applications.
+    pub validate: bool,
+    /// Validation-phase model parameters.
+    pub validation: ValidationConfig,
+}
+
+impl Default for KairosConfig {
+    fn default() -> Self {
+        KairosConfig {
+            weights: CostWeights::default(),
+            knapsack: KnapsackSolver::default(),
+            extra_search_rings: 1,
+            distance_miss_penalty: crate::mapping::DEFAULT_MISS_PENALTY,
+            start_retries: 3,
+            route_algorithm: RouteAlgorithm::Bfs,
+            validate: true,
+            validation: ValidationConfig::default(),
+        }
+    }
+}
+
+impl KairosConfig {
+    /// A configuration with the given cost policy and defaults elsewhere.
+    pub fn with_policy(policy: crate::mapping::CostPolicy) -> Self {
+        KairosConfig { weights: policy.weights(), ..KairosConfig::default() }
+    }
+
+    fn mapper(&self) -> MapperConfig {
+        MapperConfig {
+            weights: self.weights,
+            knapsack: self.knapsack,
+            extra_search_rings: self.extra_search_rings,
+            distance_miss_penalty: self.distance_miss_penalty,
+            start_retries: self.start_retries,
+        }
+    }
+}
+
+/// Report returned for every successful admission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionReport {
+    /// Identity assigned to the admitted application instance.
+    pub app_id: AppId,
+    /// Wall-clock time spent per phase.
+    pub timings: PhaseTimings,
+    /// The computed execution layout.
+    pub layout: ExecutionLayout,
+    /// The validation report, when the validation phase ran.
+    pub validation: Option<ValidationReport>,
+}
+
+/// A failed admission: the phase-tagged error plus the time spent reaching it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionFailure {
+    /// What went wrong, tagged with the rejecting phase.
+    pub error: AllocationError,
+    /// Wall-clock time spent per phase (later phases read zero).
+    pub timings: PhaseTimings,
+}
+
+impl AdmissionFailure {
+    /// The phase that rejected the application.
+    pub fn phase(&self) -> Phase {
+        self.error.phase()
+    }
+}
+
+impl fmt::Display for AdmissionFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.error)
+    }
+}
+
+impl std::error::Error for AdmissionFailure {}
+
+#[derive(Debug, Clone)]
+struct AdmittedApp {
+    layout: ExecutionLayout,
+    channel_bandwidths: Vec<u64>,
+}
+
+/// The run-time spatial resource manager.
+///
+/// # Examples
+///
+/// ```
+/// use kairos_core::{Kairos, KairosConfig};
+/// use kairos_app::{ApplicationBuilder, TaskRole, Implementation};
+/// use kairos_platform::{topology, ElementKind, ResourceVector};
+///
+/// let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+/// let imp = Implementation::new(ElementKind::Dsp, ResourceVector::new(700, 32, 0, 0), 90, 4);
+/// let mut b = ApplicationBuilder::new("blinker");
+/// let t0 = b.add_task("gen", TaskRole::Input, vec![imp]);
+/// let t1 = b.add_task("out", TaskRole::Output, vec![imp]);
+/// b.add_channel(t0, t1, 150, 1);
+/// let app = b.build()?;
+///
+/// let report = kairos.admit(&app)?;
+/// assert_eq!(kairos.admitted_count(), 1);
+/// kairos.release(report.app_id);
+/// assert!(kairos.platform().is_idle());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Kairos {
+    platform: Platform,
+    config: KairosConfig,
+    admitted: HashMap<AppId, AdmittedApp>,
+    next_app: u32,
+}
+
+impl Kairos {
+    /// Creates a resource manager owning `platform`.
+    pub fn new(platform: Platform, config: KairosConfig) -> Self {
+        Kairos { platform, config, admitted: HashMap::new(), next_app: 0 }
+    }
+
+    /// Read access to the managed platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The manager's configuration.
+    pub fn config(&self) -> &KairosConfig {
+        &self.config
+    }
+
+    /// Replaces the cost-function weights for subsequent admissions.
+    pub fn set_weights(&mut self, weights: CostWeights) {
+        self.config.weights = weights;
+    }
+
+    /// Number of currently admitted applications.
+    pub fn admitted_count(&self) -> usize {
+        self.admitted.len()
+    }
+
+    /// Ids of all currently admitted applications.
+    pub fn admitted_ids(&self) -> Vec<AppId> {
+        let mut ids: Vec<AppId> = self.admitted.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The execution layout of an admitted application.
+    pub fn layout(&self, id: AppId) -> Option<&ExecutionLayout> {
+        self.admitted.get(&id).map(|a| &a.layout)
+    }
+
+    /// External resource fragmentation of the platform (paper §III-A).
+    pub fn fragmentation(&self) -> f64 {
+        kairos_platform::external_fragmentation(&self.platform)
+    }
+
+    /// Attempts to admit `app`, running all four phases.
+    ///
+    /// On success all claims stay on the platform and the app is tracked
+    /// under the returned id; on failure the platform is returned to its
+    /// pre-admission state.
+    ///
+    /// # Errors
+    ///
+    /// An [`AdmissionFailure`] carrying the rejecting phase, error detail
+    /// and the per-phase timings collected up to the rejection.
+    pub fn admit(&mut self, app: &Application) -> Result<AdmissionReport, AdmissionFailure> {
+        let checkpoint = self.platform.checkpoint();
+        let app_id = AppId(self.next_app);
+        let mut timings = PhaseTimings::default();
+
+        let result = self.run_phases(app, app_id, &mut timings);
+        match result {
+            Ok((layout, validation)) => {
+                self.next_app += 1;
+                let channel_bandwidths =
+                    app.channels().map(|c| c.bandwidth()).collect();
+                self.admitted
+                    .insert(app_id, AdmittedApp { layout: layout.clone(), channel_bandwidths });
+                Ok(AdmissionReport { app_id, timings, layout, validation })
+            }
+            Err(error) => {
+                self.platform.restore(checkpoint);
+                Err(AdmissionFailure { error, timings })
+            }
+        }
+    }
+
+    fn run_phases(
+        &mut self,
+        app: &Application,
+        app_id: AppId,
+        timings: &mut PhaseTimings,
+    ) -> Result<(ExecutionLayout, Option<ValidationReport>), AllocationError> {
+        // Phase 1: binding.
+        let start = Instant::now();
+        let binding = bind(app, &self.platform);
+        timings.set(Phase::Binding, start.elapsed());
+        let binding = binding?;
+
+        // Phase 2: mapping (claims element resources).
+        let start = Instant::now();
+        let mapping =
+            map_application(app, &binding, &mut self.platform, app_id, &self.config.mapper());
+        timings.set(Phase::Mapping, start.elapsed());
+        let mapping = mapping?;
+
+        // Phase 3: routing (claims link resources).
+        let start = Instant::now();
+        let routes = route_channels(
+            app,
+            &mapping.placement,
+            &mut self.platform,
+            self.config.route_algorithm,
+        );
+        timings.set(Phase::Routing, start.elapsed());
+        let routes = routes?;
+
+        let layout = ExecutionLayout { binding, placement: mapping.placement, routes };
+
+        // Phase 4: validation.
+        let validation = if self.config.validate {
+            let start = Instant::now();
+            let report = validate(app, &layout, &self.config.validation);
+            timings.set(Phase::Validation, start.elapsed());
+            Some(report?)
+        } else {
+            None
+        };
+
+        Ok((layout, validation))
+    }
+
+    /// Releases an admitted application, reclaiming all its element and
+    /// link resources. Returns `false` when `id` is unknown.
+    pub fn release(&mut self, id: AppId) -> bool {
+        let Some(admitted) = self.admitted.remove(&id) else {
+            return false;
+        };
+        self.platform.release_app(id);
+        release_routes(&mut self.platform, &admitted.layout.routes, &admitted.channel_bandwidths);
+        true
+    }
+
+    /// Releases every admitted application.
+    pub fn release_all(&mut self) {
+        for id in self.admitted_ids() {
+            self.release(id);
+        }
+    }
+
+    /// Marks `element` as failed and evicts every application with a task
+    /// placed on it, returning the evicted ids (candidates for re-admission
+    /// on the remaining healthy elements).
+    pub fn fail_element(&mut self, element: ElementId) -> Vec<AppId> {
+        self.platform.fail_element(element);
+        let victims: Vec<AppId> = self
+            .admitted
+            .iter()
+            .filter(|(_, a)| a.layout.placement.iter().any(|(_, e)| e == element))
+            .map(|(&id, _)| id)
+            .collect();
+        let mut sorted = victims;
+        sorted.sort_unstable();
+        for &id in &sorted {
+            self.release(id);
+        }
+        sorted
+    }
+
+    /// Clears the failure mark on `element`.
+    pub fn repair_element(&mut self, element: ElementId) {
+        self.platform.repair_element(element);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_app::{ApplicationBuilder, Constraint, Implementation, TaskRole};
+    use kairos_platform::{topology, ElementKind, ResourceVector};
+
+    fn dsp(cpu: u64) -> Implementation {
+        Implementation::new(ElementKind::Dsp, ResourceVector::new(cpu, 16, 0, 0), 50, 1)
+    }
+
+    fn chain(name: &str, n: usize, cpu: u64, bw: u64) -> Application {
+        let mut b = ApplicationBuilder::new(name);
+        let mut prev = None;
+        for i in 0..n {
+            let t = b.add_task(format!("t{i}"), TaskRole::Internal, vec![dsp(cpu)]);
+            if let Some(p) = prev {
+                b.add_channel(p, t, bw, 1);
+            }
+            prev = Some(t);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn admit_and_release_restores_idle_platform() {
+        let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+        let app = chain("c", 4, 700, 100);
+        let report = kairos.admit(&app).unwrap();
+        assert!(!kairos.platform().is_idle());
+        assert_eq!(kairos.admitted_count(), 1);
+        assert!(report.validation.is_some());
+        assert!(kairos.layout(report.app_id).is_some());
+        assert!(kairos.release(report.app_id));
+        assert!(kairos.platform().is_idle());
+        assert!(!kairos.release(report.app_id), "double release is refused");
+    }
+
+    #[test]
+    fn failed_admissions_leave_no_trace() {
+        let mut kairos = Kairos::new(topology::dsp_mesh(2, 2), KairosConfig::default());
+        let app = chain("big", 5, 1000, 100);
+        let failure = kairos.admit(&app).unwrap_err();
+        assert_eq!(failure.phase(), Phase::Binding);
+        assert!(kairos.platform().is_idle());
+        assert_eq!(kairos.admitted_count(), 0);
+        assert!(failure.timings.binding > std::time::Duration::ZERO);
+        assert_eq!(failure.timings.mapping, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn app_ids_are_unique_across_admissions() {
+        let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+        let app = chain("c", 2, 500, 50);
+        let a = kairos.admit(&app).unwrap().app_id;
+        let b = kairos.admit(&app).unwrap().app_id;
+        assert_ne!(a, b);
+        kairos.release_all();
+        assert!(kairos.platform().is_idle());
+        let c = kairos.admit(&app).unwrap().app_id;
+        assert_ne!(c, b, "ids are not recycled");
+    }
+
+    #[test]
+    fn validation_rejects_infeasible_constraints() {
+        let mut b = ApplicationBuilder::new("tight");
+        let t0 = b.add_task("a", TaskRole::Input, vec![dsp(500)]);
+        let t1 = b.add_task("b", TaskRole::Output, vec![dsp(500)]);
+        b.add_channel(t0, t1, 100, 1);
+        b.add_constraint(Constraint::Throughput { max_period_cycles: 1 });
+        let app = b.build().unwrap();
+        let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+        let failure = kairos.admit(&app).unwrap_err();
+        assert_eq!(failure.phase(), Phase::Validation);
+        assert!(kairos.platform().is_idle(), "validation failure rolls back claims");
+    }
+
+    #[test]
+    fn disabling_validation_skips_the_phase() {
+        let config = KairosConfig { validate: false, ..KairosConfig::default() };
+        let mut kairos = Kairos::new(topology::crisp(), config);
+        let app = chain("c", 3, 500, 50);
+        let report = kairos.admit(&app).unwrap();
+        assert!(report.validation.is_none());
+        assert_eq!(report.timings.validation, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn saturation_eventually_rejects() {
+        let mut kairos = Kairos::new(topology::dsp_mesh(2, 2), KairosConfig::default());
+        let app = chain("c", 2, 900, 100);
+        assert!(kairos.admit(&app).is_ok());
+        assert!(kairos.admit(&app).is_ok());
+        let failure = kairos.admit(&app).unwrap_err();
+        assert_eq!(failure.phase(), Phase::Binding, "aggregate resources exhausted");
+    }
+
+    #[test]
+    fn element_failure_evicts_and_allows_readmission() {
+        let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+        let app = chain("c", 3, 700, 100);
+        let report = kairos.admit(&app).unwrap();
+        let victim_element = report.layout.placement.element(kairos_app::TaskId(0));
+        let evicted = kairos.fail_element(victim_element);
+        assert_eq!(evicted, vec![report.app_id]);
+        assert_eq!(kairos.admitted_count(), 0);
+        // Re-admission must avoid the failed element.
+        let second = kairos.admit(&app).unwrap();
+        for (_, e) in second.layout.placement.iter() {
+            assert_ne!(e, victim_element);
+        }
+        kairos.repair_element(victim_element);
+        assert!(!kairos.platform().is_failed(victim_element));
+    }
+
+    #[test]
+    fn fragmentation_rises_with_occupancy() {
+        let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+        assert_eq!(kairos.fragmentation(), 0.0);
+        kairos.admit(&chain("c", 3, 700, 100)).unwrap();
+        assert!(kairos.fragmentation() > 0.0);
+    }
+}

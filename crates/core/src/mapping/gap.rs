@@ -1,0 +1,278 @@
+//! The Generalized Assignment Problem solver (`SolveGAP` of the paper).
+//!
+//! Implements the `(1+α)`-approximation of Cohen, Katzir & Raz ("An efficient
+//! approximation for the generalized assignment problem", IPL 2006, cited as
+//! [15]): iterate over the bins (elements); for each bin run a knapsack over
+//! the items (tasks) where an item's profit is the *cost reduction*
+//! `c1(t) − c2(t)` over its currently best assignment; winners move to the
+//! new bin. Items never become unassigned once assigned, and each element is
+//! examined once per invocation, so the state can be kept and resumed when
+//! `MapApplication` grows the candidate element set (paper Fig. 4).
+
+use std::collections::HashMap;
+
+use kairos_app::TaskId;
+use kairos_platform::{ElementId, ResourceVector};
+
+use crate::mapping::knapsack::{KnapsackItem, KnapsackSolver};
+
+/// Cost of an unassigned task (the paper initialises `c1` "to very large
+/// values"). Large enough that any feasible first assignment dominates any
+/// reassignment gain, yet small enough that `c1 - c2` still resolves cost
+/// differences in `f64` (ulp at 1e9 is ~1.2e-7).
+const UNASSIGNED_COST: f64 = 1e9;
+
+/// Incremental GAP state over one ring's task set `Ti`.
+///
+/// Reused across [`GapState::solve`] invocations as the candidate element
+/// set grows, preserving best-known costs and assignments exactly as the
+/// paper describes.
+#[derive(Debug, Clone)]
+pub struct GapState {
+    tasks: Vec<TaskId>,
+    /// Best known mapping cost per task (`c1`).
+    best_cost: HashMap<TaskId, f64>,
+    /// Current assignment per task.
+    assignment: HashMap<TaskId, ElementId>,
+    /// Remaining free resources per candidate element (overlay over the
+    /// platform ledger; populated lazily on first sight of an element).
+    free: HashMap<ElementId, ResourceVector>,
+}
+
+impl GapState {
+    /// Creates a fresh state for the tasks of one ring.
+    pub fn new(tasks: Vec<TaskId>) -> Self {
+        let best_cost = tasks.iter().map(|&t| (t, UNASSIGNED_COST)).collect();
+        GapState { tasks, best_cost, assignment: HashMap::new(), free: HashMap::new() }
+    }
+
+    /// The tasks this state manages.
+    pub fn tasks(&self) -> &[TaskId] {
+        &self.tasks
+    }
+
+    /// Current assignment of `task`, if any.
+    pub fn assignment(&self, task: TaskId) -> Option<ElementId> {
+        self.assignment.get(&task).copied()
+    }
+
+    /// `true` when every task has an assignment.
+    pub fn all_assigned(&self) -> bool {
+        self.tasks.iter().all(|t| self.assignment.contains_key(t))
+    }
+
+    /// Tasks still lacking an assignment.
+    pub fn unassigned(&self) -> Vec<TaskId> {
+        self.tasks.iter().copied().filter(|t| !self.assignment.contains_key(t)).collect()
+    }
+
+    /// Final `(task, element)` pairs, in task order.
+    pub fn assignments(&self) -> Vec<(TaskId, ElementId)> {
+        self.tasks
+            .iter()
+            .filter_map(|&t| self.assignment.get(&t).map(|&e| (t, e)))
+            .collect()
+    }
+
+    /// Remaining overlay capacity of `element`, if it was ever considered.
+    pub fn free_of(&self, element: ElementId) -> Option<ResourceVector> {
+        self.free.get(&element).copied()
+    }
+
+    /// Processes `new_elements` (bins discovered since the last call).
+    ///
+    /// For each element `e`, the `availability` predicate gates which tasks
+    /// may run on `e` at all (kind compatibility), `demand` yields a task's
+    /// resource requirement, and `cost` evaluates the paper's mapping cost
+    /// `c2` of placing a task on `e`. Returns `true` when all tasks are
+    /// assigned afterwards.
+    pub fn solve(
+        &mut self,
+        new_elements: &[ElementId],
+        solver: KnapsackSolver,
+        mut initial_free: impl FnMut(ElementId) -> ResourceVector,
+        mut availability: impl FnMut(TaskId, ElementId) -> bool,
+        mut demand: impl FnMut(TaskId) -> ResourceVector,
+        mut cost: impl FnMut(TaskId, ElementId) -> f64,
+    ) -> bool {
+        for &e in new_elements {
+            let capacity = *self.free.entry(e).or_insert_with(|| initial_free(e));
+
+            // Build the knapsack instance: candidate tasks with positive
+            // cost reduction over their current best assignment.
+            let mut candidates: Vec<(TaskId, f64)> = Vec::new();
+            for &t in &self.tasks {
+                if self.assignment.get(&t) == Some(&e) || !availability(t, e) {
+                    continue;
+                }
+                let c2 = cost(t, e);
+                let reduction = self.best_cost[&t] - c2;
+                if reduction > 0.0 {
+                    candidates.push((t, c2));
+                }
+            }
+            if candidates.is_empty() {
+                continue;
+            }
+            let items: Vec<KnapsackItem> = candidates
+                .iter()
+                .map(|&(t, c2)| KnapsackItem {
+                    value: self.best_cost[&t] - c2,
+                    weight: demand(t),
+                })
+                .collect();
+            let chosen = solver.solve(&items, capacity);
+
+            // Move the winners onto e.
+            for idx in chosen {
+                let (t, c2) = candidates[idx];
+                if let Some(old) = self.assignment.insert(t, e) {
+                    let back = self
+                        .free
+                        .get_mut(&old)
+                        .expect("previous assignment must have an overlay entry");
+                    *back = back.saturating_add(&demand(t));
+                }
+                let slot = self.free.get_mut(&e).expect("entry created above");
+                *slot = slot
+                    .checked_sub(&demand(t))
+                    .expect("knapsack respects remaining capacity");
+                self.best_cost.insert(t, c2);
+            }
+        }
+        self.all_assigned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rv(cpu: u64) -> ResourceVector {
+        ResourceVector::new(cpu, 0, 0, 0)
+    }
+
+    fn solve_simple(
+        state: &mut GapState,
+        elements: &[ElementId],
+        capacity: u64,
+        demands: &[u64],
+        cost_fn: impl Fn(TaskId, ElementId) -> f64,
+    ) -> bool {
+        state.solve(
+            elements,
+            KnapsackSolver::default(),
+            |_| rv(capacity),
+            |_, _| true,
+            |t| rv(demands[t.index()]),
+            |t, e| cost_fn(t, e),
+        )
+    }
+
+    #[test]
+    fn assigns_everything_when_capacity_allows() {
+        let tasks = vec![TaskId(0), TaskId(1), TaskId(2)];
+        let mut state = GapState::new(tasks);
+        let done = solve_simple(
+            &mut state,
+            &[ElementId(0), ElementId(1)],
+            100,
+            &[60, 60, 30],
+            |_, _| 1.0,
+        );
+        assert!(done);
+        assert!(state.all_assigned());
+        // Capacity must be respected: the two 60s cannot share one element.
+        let e0 = state.assignment(TaskId(0)).unwrap();
+        let e1 = state.assignment(TaskId(1)).unwrap();
+        assert_ne!(e0, e1);
+    }
+
+    #[test]
+    fn respects_cost_preferences() {
+        let mut state = GapState::new(vec![TaskId(0)]);
+        // Element 0 costs 10, element 1 costs 2: after seeing both, the task
+        // must sit on element 1.
+        let done = solve_simple(
+            &mut state,
+            &[ElementId(0), ElementId(1)],
+            100,
+            &[10],
+            |_, e| if e == ElementId(0) { 10.0 } else { 2.0 },
+        );
+        assert!(done);
+        assert_eq!(state.assignment(TaskId(0)), Some(ElementId(1)));
+        // And the overlay reflects the move: element 0 has its capacity back.
+        assert_eq!(state.free_of(ElementId(0)), Some(rv(100)));
+        assert_eq!(state.free_of(ElementId(1)), Some(rv(90)));
+    }
+
+    #[test]
+    fn never_moves_to_a_worse_element() {
+        let mut state = GapState::new(vec![TaskId(0)]);
+        assert!(solve_simple(&mut state, &[ElementId(0)], 100, &[10], |_, _| 1.0));
+        // A later, more expensive element must not steal the task.
+        solve_simple(&mut state, &[ElementId(1)], 100, &[10], |_, e| {
+            if e == ElementId(1) {
+                50.0
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(state.assignment(TaskId(0)), Some(ElementId(0)));
+    }
+
+    #[test]
+    fn incremental_growth_reuses_state() {
+        // One element too small for both tasks; growth adds a second.
+        let mut state = GapState::new(vec![TaskId(0), TaskId(1)]);
+        let done = solve_simple(&mut state, &[ElementId(0)], 50, &[40, 40], |_, _| 1.0);
+        assert!(!done);
+        assert_eq!(state.unassigned().len(), 1);
+        let done = solve_simple(&mut state, &[ElementId(1)], 50, &[40, 40], |_, _| 1.0);
+        assert!(done, "second invocation must finish the ring");
+        assert!(state.unassigned().is_empty());
+    }
+
+    #[test]
+    fn availability_gates_kinds() {
+        let mut state = GapState::new(vec![TaskId(0)]);
+        let done = state.solve(
+            &[ElementId(0)],
+            KnapsackSolver::default(),
+            |_| rv(100),
+            |_, _| false, // nothing is compatible
+            |_| rv(1),
+            |_, _| 1.0,
+        );
+        assert!(!done);
+        assert_eq!(state.assignments(), vec![]);
+    }
+
+    #[test]
+    fn remapping_frees_the_old_element_for_others() {
+        // t0 lands on e0; e1 is cheaper for t0, so t0 moves; t1 (too big for
+        // e1's leftover) then fits on e0.
+        let mut state = GapState::new(vec![TaskId(0), TaskId(1)]);
+        let cost = |t: TaskId, e: ElementId| match (t.0, e.0) {
+            (0, 0) => 10.0,
+            (0, 1) => 1.0,
+            (1, 0) => 5.0,
+            (1, 1) => 100.0,
+            _ => unreachable!(),
+        };
+        let done = solve_simple(&mut state, &[ElementId(0), ElementId(1)], 100, &[80, 80], cost);
+        assert!(done);
+        assert_eq!(state.assignment(TaskId(0)), Some(ElementId(1)));
+        assert_eq!(state.assignment(TaskId(1)), Some(ElementId(0)));
+    }
+
+    #[test]
+    fn state_accessors() {
+        let state = GapState::new(vec![TaskId(3), TaskId(4)]);
+        assert_eq!(state.tasks(), &[TaskId(3), TaskId(4)]);
+        assert!(!state.all_assigned());
+        assert_eq!(state.unassigned(), vec![TaskId(3), TaskId(4)]);
+        assert_eq!(state.free_of(ElementId(0)), None);
+    }
+}

@@ -1,0 +1,590 @@
+//! Phase 2 — mapping: the incremental task-placement heuristic that is the
+//! paper's main contribution (`MapApplication`, Fig. 5).
+//!
+//! The algorithm divides the mapping problem along the task graph's
+//! topology:
+//!
+//! 1. Seed a partial mapping `M0` from tasks with exactly one available
+//!    element (pinned I/O); if none exist, start from a minimum-degree task
+//!    placed on the cheapest element (which, through the fragmentation
+//!    objective, prefers isolation-prone border elements).
+//! 2. Group the remaining tasks into undirected neighborhoods `Ti` of
+//!    increasing distance `i` from the seeds.
+//! 3. Per neighborhood, search the platform by directed BFS from the
+//!    elements of mapped peers (`E+`/`E-`), one ring at a time, with one
+//!    extra ring beyond the first sufficient candidate set.
+//! 4. Solve each neighborhood's placement as a Generalized Assignment
+//!    Problem, growing the candidate set until the ring is fully mapped or
+//!    the platform is exhausted (which fails the attempt).
+
+mod cost;
+mod gap;
+mod knapsack;
+mod search;
+
+pub use cost::{CostContext, CostPolicy, CostWeights, DEFAULT_MISS_PENALTY};
+pub use gap::GapState;
+pub use knapsack::{KnapsackItem, KnapsackSolver};
+pub use search::ElementSearch;
+
+use kairos_app::{Application, TaskId};
+use kairos_platform::{
+    AppId, ElementId, Occupant, Platform, ResourceVector, SparseDistanceMatrix,
+};
+
+use crate::error::MappingError;
+use crate::layout::{Binding, Placement};
+
+/// Tuning knobs of the mapping phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapperConfig {
+    /// Objective weights of the cost function.
+    pub weights: CostWeights,
+    /// Knapsack strategy used inside `SolveGAP`.
+    pub knapsack: KnapsackSolver,
+    /// Extra BFS rings searched beyond the first sufficient candidate set
+    /// (the paper performs "a single additional search step").
+    pub extra_search_rings: u32,
+    /// Penalty charged by the cost function for failed distance lookups.
+    pub distance_miss_penalty: f64,
+    /// Number of alternative starting elements retried when an unpinned
+    /// application dead-ends from its first start (0 = no retries).
+    pub start_retries: u32,
+}
+
+impl Default for MapperConfig {
+    fn default() -> Self {
+        MapperConfig {
+            weights: CostWeights::default(),
+            knapsack: KnapsackSolver::default(),
+            extra_search_rings: 1,
+            distance_miss_penalty: DEFAULT_MISS_PENALTY,
+            start_retries: 3,
+        }
+    }
+}
+
+impl MapperConfig {
+    /// A configuration using the given cost policy and defaults elsewhere.
+    pub fn with_policy(policy: CostPolicy) -> Self {
+        MapperConfig { weights: policy.weights(), ..MapperConfig::default() }
+    }
+}
+
+/// Outcome of a successful mapping, with search statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingReport {
+    /// The computed task placement.
+    pub placement: Placement,
+    /// Number of task-graph neighborhoods processed (excluding the seeds).
+    pub rings: usize,
+    /// Number of platform elements discovered by the searches.
+    pub elements_discovered: usize,
+    /// Number of `SolveGAP` invocations.
+    pub gap_invocations: usize,
+}
+
+/// Runs the mapping phase: places every task of `app` on an element of
+/// `platform`, claiming element resources as it commits each neighborhood.
+///
+/// On success the claims for all tasks remain on the platform (tagged with
+/// `app_id`); on failure every claim made by this call is rolled back.
+///
+/// # Errors
+///
+/// See [`MappingError`]. In particular the platform-search exhaustion of
+/// Fig. 5 line 12 surfaces as [`MappingError::SearchExhausted`].
+///
+/// # Examples
+///
+/// ```
+/// use kairos_core::{bind, map_application, MapperConfig};
+/// use kairos_app::{ApplicationBuilder, TaskRole, Implementation};
+/// use kairos_platform::{topology, AppId, ElementKind, ResourceVector};
+///
+/// let mut platform = topology::crisp();
+/// let imp = Implementation::new(ElementKind::Dsp, ResourceVector::new(800, 32, 0, 0), 100, 3);
+/// let mut b = ApplicationBuilder::new("pair");
+/// let t0 = b.add_task("a", TaskRole::Internal, vec![imp]);
+/// let t1 = b.add_task("b", TaskRole::Internal, vec![imp]);
+/// b.add_channel(t0, t1, 100, 1);
+/// let app = b.build()?;
+/// let binding = bind(&app, &platform)?;
+/// let report = map_application(&app, &binding, &mut platform, AppId(0), &MapperConfig::default())?;
+/// assert_eq!(report.placement.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn map_application(
+    app: &Application,
+    binding: &Binding,
+    platform: &mut Platform,
+    app_id: AppId,
+    config: &MapperConfig,
+) -> Result<MappingReport, MappingError> {
+    let checkpoint = platform.checkpoint();
+    match map_inner(app, binding, platform, app_id, config) {
+        Ok(report) => Ok(report),
+        Err(e) => {
+            platform.restore(checkpoint);
+            Err(e)
+        }
+    }
+}
+
+fn demand_of(app: &Application, binding: &Binding, t: TaskId) -> ResourceVector {
+    binding.implementation(app, t).requires()
+}
+
+/// `av(e, t)`: kind-compatible, alive and enough free resources.
+fn available(
+    app: &Application,
+    binding: &Binding,
+    platform: &Platform,
+    t: TaskId,
+    e: ElementId,
+) -> bool {
+    let imp = binding.implementation(app, t);
+    platform.element(e).kind() == imp.target() && platform.is_available(e, &imp.requires())
+}
+
+fn claim_task(
+    app: &Application,
+    binding: &Binding,
+    platform: &mut Platform,
+    app_id: AppId,
+    t: TaskId,
+    e: ElementId,
+) -> Result<(), kairos_platform::ClaimError> {
+    platform.claim(e, Occupant { app: app_id, task: t.0, claimed: demand_of(app, binding, t) })
+}
+
+fn map_inner(
+    app: &Application,
+    binding: &Binding,
+    platform: &mut Platform,
+    app_id: AppId,
+    config: &MapperConfig,
+) -> Result<MappingReport, MappingError> {
+    let n = app.task_count();
+
+    // --- M0: pinned tasks (exactly one available element). -----------------
+    let mut pinned: Vec<(TaskId, ElementId)> = Vec::new();
+    for t in app.task_ids() {
+        let candidates: Vec<ElementId> = platform
+            .element_ids()
+            .filter(|&e| available(app, binding, platform, t, e))
+            .collect();
+        match candidates.as_slice() {
+            [] => return Err(MappingError::NoStartingPoint { task: t }),
+            [only] => pinned.push((t, *only)),
+            _ => {}
+        }
+    }
+
+    if !pinned.is_empty() {
+        let mut placement: Vec<Option<ElementId>> = vec![None; n];
+        for &(t, e) in &pinned {
+            claim_task(app, binding, platform, app_id, t, e)
+                .map_err(|_| MappingError::PinnedTaskInfeasible { task: t, element: e })?;
+            placement[t.index()] = Some(e);
+        }
+        return map_rings(app, binding, platform, app_id, config, placement);
+    }
+
+    // --- M0 fallback: minimum-degree task on the cheapest element. ---------
+    // Rank every available start by the cost function; when the mapping
+    // dead-ends from a start (e.g. its free region is too small), retry the
+    // whole process from the next-best start — "multiple iterations are
+    // required to improve the solution".
+    let t0 = *app
+        .min_degree_tasks()
+        .first()
+        .expect("applications are validated non-empty");
+    let mut starts: Vec<(ElementId, f64)> = Vec::new();
+    {
+        let placement: Vec<Option<ElementId>> = vec![None; n];
+        let distances = SparseDistanceMatrix::new();
+        let ctx = CostContext {
+            app,
+            platform,
+            app_id,
+            placement: &placement,
+            distances: &distances,
+            weights: config.weights,
+            miss_penalty: config.distance_miss_penalty,
+        };
+        for e in platform.element_ids() {
+            if available(app, binding, platform, t0, e) {
+                starts.push((e, ctx.mapping_cost(t0, e)));
+            }
+        }
+    }
+    if starts.is_empty() {
+        return Err(MappingError::NoStartingPoint { task: t0 });
+    }
+    starts.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    let attempts = (config.start_retries as usize + 1).min(starts.len());
+    let mut last_err = None;
+    for &(e0, _) in starts.iter().take(attempts) {
+        let checkpoint = platform.checkpoint();
+        let mut placement: Vec<Option<ElementId>> = vec![None; n];
+        claim_task(app, binding, platform, app_id, t0, e0)
+            .expect("availability was checked above");
+        placement[t0.index()] = Some(e0);
+        match map_rings(app, binding, platform, app_id, config, placement) {
+            Ok(report) => return Ok(report),
+            Err(e) => {
+                platform.restore(checkpoint);
+                last_err = Some(e);
+            }
+        }
+    }
+    Err(last_err.expect("at least one attempt was made"))
+}
+
+fn map_rings(
+    app: &Application,
+    binding: &Binding,
+    platform: &mut Platform,
+    app_id: AppId,
+    config: &MapperConfig,
+    mut placement: Vec<Option<ElementId>>,
+) -> Result<MappingReport, MappingError> {
+    let mut distances = SparseDistanceMatrix::new();
+
+    // --- Neighborhood decomposition from the seeds. -------------------------
+    let seeds: Vec<TaskId> = app
+        .task_ids()
+        .filter(|t| placement[t.index()].is_some())
+        .collect();
+    let rings = app.neighborhood_rings(&seeds);
+
+    let mut stats_rings = 0usize;
+    let mut stats_gap = 0usize;
+    let mut stats_elements = 0usize;
+
+    for (i, ring) in rings.iter().enumerate().skip(1) {
+        let tasks: Vec<TaskId> =
+            ring.iter().copied().filter(|t| placement[t.index()].is_none()).collect();
+        if tasks.is_empty() {
+            continue;
+        }
+        stats_rings += 1;
+
+        // E+ / E-: elements of mapped peers with channels into/out of Ti.
+        let mut forward_origins: Vec<ElementId> = Vec::new();
+        let mut backward_origins: Vec<ElementId> = Vec::new();
+        for &t2 in &tasks {
+            for &(t1, _) in app.producers(t2) {
+                if let Some(e1) = placement[t1.index()] {
+                    forward_origins.push(e1); // data flows t1 -> t2
+                }
+            }
+            for &(t1, _) in app.consumers(t2) {
+                if let Some(e1) = placement[t1.index()] {
+                    backward_origins.push(e1); // data flows t2 -> t1
+                }
+            }
+        }
+        if forward_origins.is_empty() && backward_origins.is_empty() {
+            // Disconnected component: restart from every mapped element.
+            let mapped: Vec<ElementId> = placement.iter().flatten().copied().collect();
+            forward_origins = mapped.clone();
+            backward_origins = mapped;
+        }
+
+        let mut search = ElementSearch::new(&forward_origins, &backward_origins);
+        let mut gap = GapState::new(tasks.clone());
+        let mut fresh: Vec<ElementId> = Vec::new();
+        let mut extra_remaining = config.extra_search_rings;
+
+        loop {
+            let ring_elements = search.expand(platform, &mut distances);
+            fresh.extend(ring_elements);
+
+            // Grow until the candidate set looks sufficient (every task has
+            // a compatible discovered element, and there are at least as
+            // many candidates as tasks).
+            let discovered = search.discovered();
+            let sufficient = discovered.len() >= tasks.len()
+                && tasks.iter().all(|&t| {
+                    discovered.iter().any(|&e| available(app, binding, platform, t, e))
+                });
+            if !sufficient && !search.is_exhausted() {
+                continue;
+            }
+            // One extra ring beyond the first sufficient set (§III-B).
+            while sufficient && extra_remaining > 0 && !search.is_exhausted() {
+                extra_remaining -= 1;
+                let extra = search.expand(platform, &mut distances);
+                fresh.extend(extra);
+            }
+
+            let solved = {
+                let ctx = CostContext {
+                    app,
+                    platform,
+                    app_id,
+                    placement: &placement,
+                    distances: &distances,
+                    weights: config.weights,
+                    miss_penalty: config.distance_miss_penalty,
+                };
+                stats_gap += 1;
+                gap.solve(
+                    &fresh,
+                    config.knapsack,
+                    |e| platform.free(e),
+                    |t, e| available(app, binding, platform, t, e),
+                    |t| demand_of(app, binding, t),
+                    |t, e| ctx.mapping_cost(t, e),
+                )
+            };
+            fresh.clear();
+            if solved {
+                break;
+            }
+            if search.is_exhausted() {
+                return Err(MappingError::SearchExhausted {
+                    ring: i,
+                    unmapped: gap.unassigned(),
+                });
+            }
+        }
+        stats_elements += search.discovered().len();
+
+        // Commit the ring: claim resources and fix the placement.
+        for (t, e) in gap.assignments() {
+            claim_task(app, binding, platform, app_id, t, e)
+                .expect("GAP overlay respects platform capacity");
+            placement[t.index()] = Some(e);
+        }
+    }
+
+    let final_placement: Vec<ElementId> = placement
+        .into_iter()
+        .map(|p| p.expect("all rings committed"))
+        .collect();
+    Ok(MappingReport {
+        placement: Placement::new(final_placement),
+        rings: stats_rings,
+        elements_discovered: stats_elements,
+        gap_invocations: stats_gap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::bind;
+    use kairos_app::{ApplicationBuilder, Implementation, TaskRole};
+    use kairos_platform::{topology, ElementKind};
+
+    fn dsp(cpu: u64) -> Implementation {
+        Implementation::new(ElementKind::Dsp, ResourceVector::new(cpu, 16, 0, 0), 100, 1)
+    }
+
+    fn fpga() -> Implementation {
+        Implementation::new(ElementKind::Fpga, ResourceVector::new(100, 32, 500, 1), 100, 1)
+    }
+
+    fn arm() -> Implementation {
+        Implementation::new(ElementKind::Arm, ResourceVector::new(200, 64, 0, 1), 100, 1)
+    }
+
+    /// src(fpga) -> w0..w{n-1}(dsp chain) -> sink(arm)
+    fn pinned_pipeline(n: usize, cpu: u64) -> kairos_app::Application {
+        let mut b = ApplicationBuilder::new("pipe");
+        let src = b.add_task("src", TaskRole::Input, vec![fpga()]);
+        let mut prev = src;
+        for i in 0..n {
+            let w = b.add_task(format!("w{i}"), TaskRole::Internal, vec![dsp(cpu)]);
+            b.add_channel(prev, w, 100, 1);
+            prev = w;
+        }
+        let sink = b.add_task("sink", TaskRole::Output, vec![arm()]);
+        b.add_channel(prev, sink, 100, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn maps_pinned_pipeline_on_crisp() {
+        let mut platform = topology::crisp();
+        let app = pinned_pipeline(4, 800);
+        let binding = bind(&app, &platform).unwrap();
+        let report =
+            map_application(&app, &binding, &mut platform, AppId(0), &MapperConfig::default())
+                .unwrap();
+        // Pinned tasks sit on their singletons.
+        let fpga_el = platform.elements_of_kind(ElementKind::Fpga).next().unwrap().id();
+        let arm_el = platform.elements_of_kind(ElementKind::Arm).next().unwrap().id();
+        assert_eq!(report.placement.element(TaskId(0)), fpga_el);
+        assert_eq!(report.placement.element(TaskId(5)), arm_el);
+        // All tasks claimed on the platform.
+        for (t, e) in report.placement.iter() {
+            assert!(platform.residents(e).iter().any(|o| o.task == t.0));
+        }
+        assert!(report.rings >= 1);
+        assert!(report.elements_discovered > 0);
+    }
+
+    #[test]
+    fn placement_is_local_for_chains() {
+        // On a line platform, a 3-task chain should sit on adjacent elements
+        // under the Communication policy.
+        let mut platform = topology::dsp_line(8);
+        let mut b = ApplicationBuilder::new("chain");
+        let t0 = b.add_task("a", TaskRole::Internal, vec![dsp(800)]);
+        let t1 = b.add_task("b", TaskRole::Internal, vec![dsp(800)]);
+        let t2 = b.add_task("c", TaskRole::Internal, vec![dsp(800)]);
+        b.add_channel(t0, t1, 100, 1);
+        b.add_channel(t1, t2, 100, 1);
+        let app = b.build().unwrap();
+        let binding = bind(&app, &platform).unwrap();
+        let config = MapperConfig::with_policy(CostPolicy::Communication);
+        let report =
+            map_application(&app, &binding, &mut platform, AppId(0), &config).unwrap();
+        let hops = |a: TaskId, b: TaskId| {
+            kairos_platform::hop_distance(
+                &platform,
+                report.placement.element(a),
+                report.placement.element(b),
+            )
+            .unwrap()
+        };
+        assert!(hops(t0, t1) <= 2, "chain neighbors stay close");
+        assert!(hops(t1, t2) <= 2);
+    }
+
+    #[test]
+    fn fails_when_platform_too_small() {
+        let mut platform = topology::dsp_mesh(2, 2);
+        // 5 whole-DSP tasks cannot fit 4 DSPs; binding would refuse, so test
+        // mapping directly with a hand-made binding of a 4-task app onto a
+        // platform where one DSP is pre-claimed.
+        let pre = platform.element_ids().next().unwrap();
+        platform
+            .claim(pre, Occupant { app: AppId(9), task: 0, claimed: ResourceVector::new(1000, 0, 0, 0) })
+            .unwrap();
+        let mut b = ApplicationBuilder::new("big");
+        let mut prev = None;
+        for i in 0..4 {
+            let t = b.add_task(format!("t{i}"), TaskRole::Internal, vec![dsp(1000)]);
+            if let Some(p) = prev {
+                b.add_channel(p, t, 10, 1);
+            }
+            prev = Some(t);
+        }
+        let app = b.build().unwrap();
+        let binding = Binding::new(vec![kairos_app::ImplId(0); 4]);
+        let before = platform.checkpoint();
+        let err = map_application(
+            &app,
+            &binding,
+            &mut platform,
+            AppId(0),
+            &MapperConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MappingError::SearchExhausted { .. } | MappingError::NoStartingPoint { .. }
+        ));
+        // Rollback must be complete.
+        assert_eq!(platform.checkpoint(), before);
+    }
+
+    #[test]
+    fn no_starting_point_when_kind_absent() {
+        let mut platform = topology::dsp_mesh(2, 2);
+        let mut b = ApplicationBuilder::new("armless");
+        b.add_task("t", TaskRole::Internal, vec![arm()]);
+        let app = b.build().unwrap();
+        let binding = Binding::new(vec![kairos_app::ImplId(0)]);
+        assert!(matches!(
+            map_application(&app, &binding, &mut platform, AppId(0), &MapperConfig::default())
+                .unwrap_err(),
+            MappingError::NoStartingPoint { .. }
+        ));
+    }
+
+    #[test]
+    fn unpinned_app_starts_from_min_degree_task() {
+        let mut platform = topology::dsp_mesh(3, 3);
+        // star task graph: center has degree 3, leaves degree 1.
+        let mut b = ApplicationBuilder::new("star");
+        let center = b.add_task("center", TaskRole::Internal, vec![dsp(300)]);
+        for i in 0..3 {
+            let leaf = b.add_task(format!("leaf{i}"), TaskRole::Internal, vec![dsp(300)]);
+            b.add_channel(center, leaf, 50, 1);
+        }
+        let app = b.build().unwrap();
+        let binding = bind(&app, &platform).unwrap();
+        let report = map_application(
+            &app,
+            &binding,
+            &mut platform,
+            AppId(0),
+            &MapperConfig::with_policy(CostPolicy::Both),
+        )
+        .unwrap();
+        assert_eq!(report.placement.len(), 4);
+        // Everything must be claimed exactly once.
+        let claimed: usize = platform
+            .element_ids()
+            .map(|e| platform.residents(e).len())
+            .sum();
+        assert_eq!(claimed, 4);
+    }
+
+    #[test]
+    fn tasks_share_elements_when_resources_allow() {
+        // Two small tasks and a single-DSP platform: both must land on it.
+        let mut platform = topology::dsp_line(1);
+        let mut b = ApplicationBuilder::new("share");
+        let t0 = b.add_task("a", TaskRole::Internal, vec![dsp(300)]);
+        let t1 = b.add_task("b", TaskRole::Internal, vec![dsp(300)]);
+        b.add_channel(t0, t1, 10, 1);
+        let app = b.build().unwrap();
+        let binding = bind(&app, &platform).unwrap();
+        let report =
+            map_application(&app, &binding, &mut platform, AppId(0), &MapperConfig::default())
+                .unwrap();
+        assert_eq!(report.placement.element(t0), report.placement.element(t1));
+    }
+
+    #[test]
+    fn mapping_avoids_failed_elements() {
+        let mut platform = topology::dsp_line(4);
+        let e: Vec<_> = platform.element_ids().collect();
+        platform.fail_element(e[1]);
+        let mut b = ApplicationBuilder::new("pair");
+        let t0 = b.add_task("a", TaskRole::Internal, vec![dsp(900)]);
+        let t1 = b.add_task("b", TaskRole::Internal, vec![dsp(900)]);
+        b.add_channel(t0, t1, 10, 1);
+        let app = b.build().unwrap();
+        let binding = bind(&app, &platform).unwrap();
+        let report =
+            map_application(&app, &binding, &mut platform, AppId(0), &MapperConfig::default())
+                .unwrap();
+        for (_, el) in report.placement.iter() {
+            assert_ne!(el, e[1]);
+        }
+    }
+
+    #[test]
+    fn disconnected_app_still_maps() {
+        let mut platform = topology::dsp_mesh(2, 2);
+        let mut b = ApplicationBuilder::new("disc");
+        b.add_task("a", TaskRole::Internal, vec![dsp(400)]);
+        b.add_task("b", TaskRole::Internal, vec![dsp(400)]);
+        // no channels at all
+        let app = b.build().unwrap();
+        let binding = bind(&app, &platform).unwrap();
+        let report =
+            map_application(&app, &binding, &mut platform, AppId(0), &MapperConfig::default())
+                .unwrap();
+        assert_eq!(report.placement.len(), 2);
+    }
+}

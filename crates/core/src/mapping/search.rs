@@ -1,0 +1,250 @@
+//! Directed breadth-first element search (paper §III-B).
+//!
+//! "In every iteration, we start searching in the topological neighborhood
+//! of the elements that were allocated in the previous iteration. [...] In
+//! the BFS, we try to match the communication infrastructure of the platform
+//! to the structure of the task graph, by taking the direction of
+//! communication channels between tasks into account. In this search, we
+//! keep track of the distance between a newly discovered element and the
+//! origins of the BFS, to estimate the cost of the communication routes."
+//!
+//! [`ElementSearch`] advances one BFS ring per [`ElementSearch::expand`]
+//! call: forward along links from elements holding *producers* for the ring
+//! (`E+`), backward along links from elements holding *consumers* (`E-`).
+//! Distances from each origin are recorded into a
+//! [`SparseDistanceMatrix`]; lookups that the search never reached stay
+//! absent and are charged the miss penalty by the cost function.
+
+use std::collections::HashSet;
+
+use kairos_platform::{ElementId, Platform, SparseDistanceMatrix};
+
+/// Incremental multi-source directed BFS over the platform.
+#[derive(Debug, Clone)]
+pub struct ElementSearch {
+    /// Current forward frontier: `(element, origin)` pairs.
+    forward: Vec<(ElementId, ElementId)>,
+    /// Current backward frontier: `(element, origin)` pairs.
+    backward: Vec<(ElementId, ElementId)>,
+    visited_forward: HashSet<ElementId>,
+    visited_backward: HashSet<ElementId>,
+    /// Everything ever returned by `expand`.
+    discovered: HashSet<ElementId>,
+    /// Hops from the frontier origins.
+    depth: u32,
+}
+
+impl ElementSearch {
+    /// Creates a search starting *at* the given origin sets.
+    ///
+    /// `forward_origins` are the elements `E+` of already-mapped producers:
+    /// the search follows links in their direction of data flow. Conversely
+    /// `backward_origins` (`E-`) are followed against link direction.
+    /// The origins themselves form ring 0 and are reported by the first
+    /// [`ElementSearch::expand`] call — an element already hosting a mapped
+    /// task may still have capacity for more.
+    pub fn new(forward_origins: &[ElementId], backward_origins: &[ElementId]) -> Self {
+        let mut search = ElementSearch {
+            forward: Vec::new(),
+            backward: Vec::new(),
+            visited_forward: HashSet::new(),
+            visited_backward: HashSet::new(),
+            discovered: HashSet::new(),
+            depth: 0,
+        };
+        for &o in forward_origins {
+            if search.visited_forward.insert(o) {
+                search.forward.push((o, o));
+            }
+        }
+        for &o in backward_origins {
+            if search.visited_backward.insert(o) {
+                search.backward.push((o, o));
+            }
+        }
+        search
+    }
+
+    /// Number of BFS rings expanded so far.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// `true` when both frontiers are exhausted.
+    pub fn is_exhausted(&self) -> bool {
+        self.forward.is_empty() && self.backward.is_empty()
+    }
+
+    /// All elements discovered so far.
+    pub fn discovered(&self) -> &HashSet<ElementId> {
+        &self.discovered
+    }
+
+    /// Advances the search by one ring and returns the newly discovered
+    /// elements (ring 0 = the origins themselves). Failed elements are
+    /// neither reported nor traversed. Distances from each origin are
+    /// recorded into `distances`.
+    ///
+    /// Returns an empty vector once the search is exhausted.
+    pub fn expand(
+        &mut self,
+        platform: &Platform,
+        distances: &mut SparseDistanceMatrix,
+    ) -> Vec<ElementId> {
+        let mut fresh = Vec::new();
+
+        if self.depth == 0 {
+            // Ring 0: report the origins.
+            for &(e, origin) in self.forward.iter().chain(self.backward.iter()) {
+                distances.record(origin, e, 0);
+                if !platform.is_failed(e) && self.discovered.insert(e) {
+                    fresh.push(e);
+                }
+            }
+            self.depth = 1;
+            fresh.sort_unstable();
+            return fresh;
+        }
+
+        let mut next_forward = Vec::new();
+        for &(e, origin) in &self.forward {
+            for &(n, _) in platform.successors(e) {
+                if platform.is_failed(n) {
+                    continue;
+                }
+                distances.record(origin, n, self.depth);
+                if self.visited_forward.insert(n) {
+                    next_forward.push((n, origin));
+                    if self.discovered.insert(n) {
+                        fresh.push(n);
+                    }
+                }
+            }
+        }
+        let mut next_backward = Vec::new();
+        for &(e, origin) in &self.backward {
+            for &(n, _) in platform.predecessors(e) {
+                if platform.is_failed(n) {
+                    continue;
+                }
+                distances.record(origin, n, self.depth);
+                if self.visited_backward.insert(n) {
+                    next_backward.push((n, origin));
+                    if self.discovered.insert(n) {
+                        fresh.push(n);
+                    }
+                }
+            }
+        }
+        self.forward = next_forward;
+        self.backward = next_backward;
+        self.depth += 1;
+        fresh.sort_unstable();
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_platform::topology;
+
+    #[test]
+    fn rings_expand_in_hop_order() {
+        let platform = topology::dsp_line(5);
+        let e: Vec<_> = platform.element_ids().collect();
+        let mut dist = SparseDistanceMatrix::new();
+        let mut search = ElementSearch::new(&[e[0]], &[]);
+        assert_eq!(search.expand(&platform, &mut dist), vec![e[0]]);
+        assert_eq!(search.expand(&platform, &mut dist), vec![e[1]]);
+        assert_eq!(search.expand(&platform, &mut dist), vec![e[2]]);
+        assert_eq!(search.depth(), 3);
+        assert_eq!(dist.get(e[0], e[2]), Some(2));
+        assert_eq!(dist.get(e[0], e[4]), None, "not yet reached");
+    }
+
+    #[test]
+    fn search_exhausts_on_small_platform() {
+        let platform = topology::dsp_line(3);
+        let e: Vec<_> = platform.element_ids().collect();
+        let mut dist = SparseDistanceMatrix::new();
+        let mut search = ElementSearch::new(&[e[1]], &[]);
+        let mut all = Vec::new();
+        loop {
+            let ring = search.expand(&platform, &mut dist);
+            if ring.is_empty() {
+                break;
+            }
+            all.extend(ring);
+        }
+        assert!(search.is_exhausted());
+        assert_eq!(all.len(), 3);
+        assert_eq!(search.discovered().len(), 3);
+    }
+
+    #[test]
+    fn forward_and_backward_respect_direction() {
+        use kairos_platform::{ElementKind, PlatformBuilder, ResourceVector};
+        // a -> b -> c (directed only)
+        let mut b = PlatformBuilder::new("dir");
+        let ea = b.add_element(ElementKind::Dsp, ResourceVector::splat(1));
+        let eb = b.add_element(ElementKind::Dsp, ResourceVector::splat(1));
+        let ec = b.add_element(ElementKind::Dsp, ResourceVector::splat(1));
+        b.connect_directed(ea, eb, 10, 1);
+        b.connect_directed(eb, ec, 10, 1);
+        let platform = b.build();
+
+        let mut dist = SparseDistanceMatrix::new();
+        let mut fwd = ElementSearch::new(&[ea], &[]);
+        fwd.expand(&platform, &mut dist);
+        assert_eq!(fwd.expand(&platform, &mut dist), vec![eb]);
+
+        let mut bwd = ElementSearch::new(&[], &[ec]);
+        bwd.expand(&platform, &mut dist);
+        assert_eq!(bwd.expand(&platform, &mut dist), vec![eb]);
+        // Forward from c finds nothing.
+        let mut dead = ElementSearch::new(&[ec], &[]);
+        dead.expand(&platform, &mut dist);
+        assert!(dead.expand(&platform, &mut dist).is_empty());
+        assert!(dead.is_exhausted());
+    }
+
+    #[test]
+    fn multi_origin_search_records_per_origin_distances() {
+        let platform = topology::dsp_line(5);
+        let e: Vec<_> = platform.element_ids().collect();
+        let mut dist = SparseDistanceMatrix::new();
+        let mut search = ElementSearch::new(&[e[0], e[4]], &[]);
+        search.expand(&platform, &mut dist); // origins
+        search.expand(&platform, &mut dist); // ring 1
+        assert_eq!(dist.get(e[0], e[1]), Some(1));
+        assert_eq!(dist.get(e[4], e[3]), Some(1));
+        // e2 not yet discovered from either side.
+        assert_eq!(dist.get(e[0], e[2]), None);
+        let ring2 = search.expand(&platform, &mut dist);
+        assert_eq!(ring2, vec![e[2]]);
+        // Discovered once (shared visited set), but distance recorded from
+        // whichever origin reached it.
+        assert!(dist.get(e[0], e[2]).is_some() || dist.get(e[4], e[2]).is_some());
+    }
+
+    #[test]
+    fn failed_elements_are_opaque() {
+        let mut platform = topology::dsp_line(4);
+        let e: Vec<_> = platform.element_ids().collect();
+        platform.fail_element(e[1]);
+        let mut dist = SparseDistanceMatrix::new();
+        let mut search = ElementSearch::new(&[e[0]], &[]);
+        assert_eq!(search.expand(&platform, &mut dist), vec![e[0]]);
+        assert!(search.expand(&platform, &mut dist).is_empty(), "wall of failure");
+    }
+
+    #[test]
+    fn duplicate_origins_are_deduplicated() {
+        let platform = topology::dsp_line(3);
+        let e: Vec<_> = platform.element_ids().collect();
+        let mut dist = SparseDistanceMatrix::new();
+        let mut search = ElementSearch::new(&[e[0], e[0]], &[e[0]]);
+        assert_eq!(search.expand(&platform, &mut dist), vec![e[0]]);
+    }
+}

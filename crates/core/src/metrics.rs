@@ -1,0 +1,132 @@
+//! Per-phase timing instrumentation.
+//!
+//! The paper's evaluation reports the run-time of every phase per allocation
+//! attempt (Fig. 7, §IV-A); [`PhaseTimings`] is the measured counterpart.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::error::Phase;
+
+/// Wall-clock time spent in each phase of one allocation attempt.
+///
+/// Phases that were never reached (because an earlier phase rejected the
+/// application) read as zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTimings {
+    /// Time in the binding phase.
+    pub binding: Duration,
+    /// Time in the mapping phase.
+    pub mapping: Duration,
+    /// Time in the routing phase.
+    pub routing: Duration,
+    /// Time in the validation phase.
+    pub validation: Duration,
+}
+
+impl PhaseTimings {
+    /// The time recorded for `phase`.
+    pub fn phase(&self, phase: Phase) -> Duration {
+        match phase {
+            Phase::Binding => self.binding,
+            Phase::Mapping => self.mapping,
+            Phase::Routing => self.routing,
+            Phase::Validation => self.validation,
+        }
+    }
+
+    /// Records `duration` for `phase`.
+    pub fn set(&mut self, phase: Phase, duration: Duration) {
+        match phase {
+            Phase::Binding => self.binding = duration,
+            Phase::Mapping => self.mapping = duration,
+            Phase::Routing => self.routing = duration,
+            Phase::Validation => self.validation = duration,
+        }
+    }
+
+    /// Total time over all phases.
+    pub fn total(&self) -> Duration {
+        self.binding + self.mapping + self.routing + self.validation
+    }
+
+    /// Component-wise sum, for averaging over many attempts.
+    pub fn accumulate(&mut self, other: &PhaseTimings) {
+        self.binding += other.binding;
+        self.mapping += other.mapping;
+        self.routing += other.routing;
+        self.validation += other.validation;
+    }
+
+    /// Component-wise division by a sample count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is zero.
+    pub fn mean_of(&self, samples: u32) -> PhaseTimings {
+        assert!(samples > 0, "cannot average zero samples");
+        PhaseTimings {
+            binding: self.binding / samples,
+            mapping: self.mapping / samples,
+            routing: self.routing / samples,
+            validation: self.validation / samples,
+        }
+    }
+}
+
+impl fmt::Display for PhaseTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "binding {:.3} ms, mapping {:.3} ms, routing {:.3} ms, validation {:.3} ms",
+            self.binding.as_secs_f64() * 1e3,
+            self.mapping.as_secs_f64() * 1e3,
+            self.routing.as_secs_f64() * 1e3,
+            self.validation.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get_per_phase() {
+        let mut t = PhaseTimings::default();
+        t.set(Phase::Mapping, Duration::from_millis(5));
+        assert_eq!(t.phase(Phase::Mapping), Duration::from_millis(5));
+        assert_eq!(t.phase(Phase::Binding), Duration::ZERO);
+        assert_eq!(t.total(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn accumulate_and_mean() {
+        let mut acc = PhaseTimings::default();
+        let sample = PhaseTimings {
+            binding: Duration::from_millis(2),
+            mapping: Duration::from_millis(4),
+            routing: Duration::from_millis(6),
+            validation: Duration::from_millis(8),
+        };
+        acc.accumulate(&sample);
+        acc.accumulate(&sample);
+        let mean = acc.mean_of(2);
+        assert_eq!(mean, sample);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn mean_of_zero_panics() {
+        let _ = PhaseTimings::default().mean_of(0);
+    }
+
+    #[test]
+    fn display_shows_milliseconds() {
+        let t = PhaseTimings {
+            binding: Duration::from_micros(1500),
+            ..PhaseTimings::default()
+        };
+        assert!(t.to_string().contains("1.500 ms"));
+    }
+}

@@ -1,0 +1,357 @@
+//! Phase 3 — routing: establishing communication links.
+//!
+//! For pairs of communicating tasks, a path of NoC links is reserved between
+//! their elements, claiming one virtual channel and the channel's bandwidth
+//! on every hop (Kavaldjiev et al., cited as [11]). The paper uses
+//! breadth-first search "because it has no noticeable performance
+//! differences in terms of successful routes and energy consumption,
+//! compared to Dijkstra's algorithm"; both are implemented here so the
+//! ablation benchmark can test that claim.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use kairos_app::Application;
+use kairos_platform::{ElementId, LinkId, Platform};
+
+use crate::error::RoutingError;
+use crate::layout::{Placement, Route};
+
+/// Path-search strategy for the routing phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RouteAlgorithm {
+    /// Breadth-first search: fewest hops, first found.
+    #[default]
+    Bfs,
+    /// Dijkstra with load-aware link weights (`1 + utilisation`): trades
+    /// slightly longer routes for spreading load over less-used links.
+    Dijkstra,
+}
+
+impl std::fmt::Display for RouteAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteAlgorithm::Bfs => f.write_str("bfs"),
+            RouteAlgorithm::Dijkstra => f.write_str("dijkstra"),
+        }
+    }
+}
+
+/// Routes every channel of `app` over `platform`, reserving one virtual
+/// channel plus the channel's bandwidth on each link of each route.
+///
+/// Channels are routed in descending-bandwidth order (fattest first), the
+/// standard heuristic for sequential virtual-channel reservation. Channels
+/// whose endpoints share an element need no links at all.
+///
+/// On success the link claims stay on the platform; on failure all claims
+/// made by this call are rolled back.
+///
+/// # Errors
+///
+/// [`RoutingError::NoRoute`] when some channel has no path with a free
+/// virtual channel and sufficient bandwidth on every hop.
+pub fn route_channels(
+    app: &Application,
+    placement: &Placement,
+    platform: &mut Platform,
+    algorithm: RouteAlgorithm,
+) -> Result<Vec<Route>, RoutingError> {
+    let checkpoint = platform.checkpoint();
+    match route_inner(app, placement, platform, algorithm) {
+        Ok(routes) => Ok(routes),
+        Err(e) => {
+            platform.restore(checkpoint);
+            Err(e)
+        }
+    }
+}
+
+fn route_inner(
+    app: &Application,
+    placement: &Placement,
+    platform: &mut Platform,
+    algorithm: RouteAlgorithm,
+) -> Result<Vec<Route>, RoutingError> {
+    let mut order: Vec<_> = app.channels().collect();
+    order.sort_by(|a, b| b.bandwidth().cmp(&a.bandwidth()).then(a.id().cmp(&b.id())));
+
+    let mut routes: Vec<Option<Route>> = vec![None; app.channel_count()];
+    for channel in order {
+        let src = placement.element(channel.src());
+        let dst = placement.element(channel.dst());
+        if src == dst {
+            routes[channel.id().index()] = Some(Route::new(channel.id(), Vec::new()));
+            continue;
+        }
+        let links = match algorithm {
+            RouteAlgorithm::Bfs => bfs_path(platform, src, dst, channel.bandwidth()),
+            RouteAlgorithm::Dijkstra => dijkstra_path(platform, src, dst, channel.bandwidth()),
+        }
+        .ok_or(RoutingError::NoRoute { channel: channel.id(), src, dst })?;
+        for &l in &links {
+            platform
+                .claim_link(l, channel.bandwidth())
+                .expect("path search only returns links with available capacity");
+        }
+        routes[channel.id().index()] = Some(Route::new(channel.id(), links));
+    }
+    Ok(routes.into_iter().map(|r| r.expect("every channel routed")).collect())
+}
+
+/// Fewest-hops path from `src` to `dst` over links that can still carry
+/// `bandwidth`, or `None`. Failed elements are not traversed (but `src` and
+/// `dst` themselves are permitted, so that draining routes stay discoverable).
+fn bfs_path(
+    platform: &Platform,
+    src: ElementId,
+    dst: ElementId,
+    bandwidth: u64,
+) -> Option<Vec<LinkId>> {
+    let n = platform.element_count();
+    let mut prev: Vec<Option<(ElementId, LinkId)>> = vec![None; n];
+    let mut visited = vec![false; n];
+    visited[src.index()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(e) = queue.pop_front() {
+        if e == dst {
+            return Some(reconstruct(&prev, src, dst));
+        }
+        for &(next, link) in platform.successors(e) {
+            if visited[next.index()]
+                || !platform.link_available(link, bandwidth)
+                || (platform.is_failed(next) && next != dst)
+            {
+                continue;
+            }
+            visited[next.index()] = true;
+            prev[next.index()] = Some((e, link));
+            queue.push_back(next);
+        }
+    }
+    None
+}
+
+/// Load-aware shortest path: link weight `1 + used_fraction`, scaled to
+/// integer milli-weights for a deterministic priority queue.
+fn dijkstra_path(
+    platform: &Platform,
+    src: ElementId,
+    dst: ElementId,
+    bandwidth: u64,
+) -> Option<Vec<LinkId>> {
+    let n = platform.element_count();
+    let mut dist: Vec<u64> = vec![u64::MAX; n];
+    let mut prev: Vec<Option<(ElementId, LinkId)>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    dist[src.index()] = 0;
+    heap.push(Reverse((0, src.0)));
+    while let Some(Reverse((d, e_raw))) = heap.pop() {
+        let e = ElementId(e_raw);
+        if d > dist[e.index()] {
+            continue;
+        }
+        if e == dst {
+            return Some(reconstruct(&prev, src, dst));
+        }
+        for &(next, link) in platform.successors(e) {
+            if !platform.link_available(link, bandwidth)
+                || (platform.is_failed(next) && next != dst)
+            {
+                continue;
+            }
+            let capacity = platform.link(link).bandwidth().max(1);
+            let used = capacity - platform.link_free_bandwidth(link);
+            let weight = 1000 + 1000 * used / capacity;
+            let nd = d.saturating_add(weight);
+            if nd < dist[next.index()] {
+                dist[next.index()] = nd;
+                prev[next.index()] = Some((e, link));
+                heap.push(Reverse((nd, next.0)));
+            }
+        }
+    }
+    None
+}
+
+fn reconstruct(
+    prev: &[Option<(ElementId, LinkId)>],
+    src: ElementId,
+    dst: ElementId,
+) -> Vec<LinkId> {
+    let mut links = Vec::new();
+    let mut cursor = dst;
+    while cursor != src {
+        let (parent, link) = prev[cursor.index()].expect("reconstruct follows visited chain");
+        links.push(link);
+        cursor = parent;
+    }
+    links.reverse();
+    links
+}
+
+/// Releases the link claims of previously established routes.
+///
+/// Local (zero-hop) routes hold no link resources. The `bandwidths` slice
+/// must give the bandwidth of each route's channel, indexed like `routes`.
+///
+/// # Panics
+///
+/// Panics if a release exceeds a link's capacity, indicating the routes were
+/// not established on this platform.
+pub fn release_routes(platform: &mut Platform, routes: &[Route], bandwidths: &[u64]) {
+    for (route, &bw) in routes.iter().zip(bandwidths) {
+        for &l in route.links() {
+            platform.release_link(l, bw);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_app::{ApplicationBuilder, Implementation, TaskRole};
+    use kairos_platform::{topology, ElementKind, ResourceVector};
+
+    fn two_task_app(bw: u64) -> Application {
+        let imp = Implementation::new(ElementKind::Dsp, ResourceVector::splat(1), 1, 1);
+        let mut b = ApplicationBuilder::new("two");
+        let t0 = b.add_task("a", TaskRole::Internal, vec![imp]);
+        let t1 = b.add_task("b", TaskRole::Internal, vec![imp]);
+        b.add_channel(t0, t1, bw, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn routes_shortest_path_on_line() {
+        let mut platform = topology::dsp_line(4);
+        let e: Vec<_> = platform.element_ids().collect();
+        let app = two_task_app(100);
+        let placement = Placement::new(vec![e[0], e[3]]);
+        let routes =
+            route_channels(&app, &placement, &mut platform, RouteAlgorithm::Bfs).unwrap();
+        assert_eq!(routes[0].hops(), 3);
+        // Links actually claimed.
+        for &l in routes[0].links() {
+            assert_eq!(
+                platform.link_free_virtual_channels(l),
+                kairos_platform::topology::DEFAULT_VIRTUAL_CHANNELS - 1
+            );
+            assert_eq!(platform.link_free_bandwidth(l), 900);
+        }
+        // Releasing restores everything.
+        release_routes(&mut platform, &routes, &[100]);
+        assert!(platform.is_idle());
+    }
+
+    #[test]
+    fn local_channels_use_no_links() {
+        let mut platform = topology::dsp_line(2);
+        let e: Vec<_> = platform.element_ids().collect();
+        let app = two_task_app(100);
+        let placement = Placement::new(vec![e[0], e[0]]);
+        let routes =
+            route_channels(&app, &placement, &mut platform, RouteAlgorithm::Bfs).unwrap();
+        assert!(routes[0].is_local());
+        assert!(platform.is_idle());
+    }
+
+    #[test]
+    fn saturated_links_block_routes_and_roll_back() {
+        let mut platform = topology::dsp_line(2);
+        let e: Vec<_> = platform.element_ids().collect();
+        // Saturate the only forward link's virtual channels.
+        let l = platform.link_between(e[0], e[1]).unwrap();
+        for _ in 0..kairos_platform::topology::DEFAULT_VIRTUAL_CHANNELS {
+            platform.claim_link(l, 10).unwrap();
+        }
+        let before = platform.checkpoint();
+        let app = two_task_app(100);
+        let placement = Placement::new(vec![e[0], e[1]]);
+        let err = route_channels(&app, &placement, &mut platform, RouteAlgorithm::Bfs)
+            .unwrap_err();
+        assert!(matches!(err, RoutingError::NoRoute { .. }));
+        assert_eq!(platform.checkpoint(), before, "failed routing must roll back");
+    }
+
+    #[test]
+    fn bandwidth_shortage_blocks_route() {
+        let mut platform = topology::dsp_line(2);
+        let e: Vec<_> = platform.element_ids().collect();
+        let app = two_task_app(1500); // link capacity is 1000
+        let placement = Placement::new(vec![e[0], e[1]]);
+        assert!(route_channels(&app, &placement, &mut platform, RouteAlgorithm::Bfs).is_err());
+    }
+
+    #[test]
+    fn multiple_channels_share_links_via_virtual_channels() {
+        let mut platform = topology::dsp_line(2);
+        let e: Vec<_> = platform.element_ids().collect();
+        let imp = Implementation::new(ElementKind::Dsp, ResourceVector::splat(1), 1, 1);
+        let mut b = ApplicationBuilder::new("multi");
+        let t0 = b.add_task("a", TaskRole::Internal, vec![imp]);
+        let t1 = b.add_task("b", TaskRole::Internal, vec![imp]);
+        b.add_channel(t0, t1, 300, 1);
+        b.add_channel(t0, t1, 300, 1);
+        b.add_channel(t0, t1, 300, 1);
+        let app = b.build().unwrap();
+        let placement = Placement::new(vec![e[0], e[1]]);
+        let routes =
+            route_channels(&app, &placement, &mut platform, RouteAlgorithm::Bfs).unwrap();
+        assert_eq!(routes.len(), 3);
+        let l = platform.link_between(e[0], e[1]).unwrap();
+        assert_eq!(
+            platform.link_free_virtual_channels(l),
+            kairos_platform::topology::DEFAULT_VIRTUAL_CHANNELS - 3
+        );
+        assert_eq!(platform.link_free_bandwidth(l), 100);
+    }
+
+    #[test]
+    fn dijkstra_spreads_load_on_ring() {
+        // Ring of 4: two equal-length paths between opposite corners once
+        // traffic loads one side.
+        let mut platform = topology::dsp_ring(4);
+        let e: Vec<_> = platform.element_ids().collect();
+        let imp = Implementation::new(ElementKind::Dsp, ResourceVector::splat(1), 1, 1);
+        let mut b = ApplicationBuilder::new("ring");
+        let t0 = b.add_task("a", TaskRole::Internal, vec![imp]);
+        let t1 = b.add_task("b", TaskRole::Internal, vec![imp]);
+        b.add_channel(t0, t1, 400, 1);
+        b.add_channel(t0, t1, 400, 1);
+        let app = b.build().unwrap();
+        let placement = Placement::new(vec![e[0], e[2]]);
+        let routes =
+            route_channels(&app, &placement, &mut platform, RouteAlgorithm::Dijkstra).unwrap();
+        // Both routes exist and have 2 hops each (opposite corner).
+        assert_eq!(routes[0].hops(), 2);
+        assert_eq!(routes[1].hops(), 2);
+        // Load-aware weights must send them down different sides.
+        assert_ne!(routes[0].links()[0], routes[1].links()[0]);
+    }
+
+    #[test]
+    fn routes_avoid_failed_elements() {
+        let mut platform = topology::dsp_ring(4);
+        let e: Vec<_> = platform.element_ids().collect();
+        platform.fail_element(e[1]);
+        let app = two_task_app(100);
+        let placement = Placement::new(vec![e[0], e[2]]);
+        let routes =
+            route_channels(&app, &placement, &mut platform, RouteAlgorithm::Bfs).unwrap();
+        // Must go the long way round through e3.
+        assert_eq!(routes[0].hops(), 2);
+        for &l in routes[0].links() {
+            assert_ne!(platform.link(l).src(), e[1]);
+            assert_ne!(platform.link(l).dst(), e[1]);
+        }
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(RouteAlgorithm::Bfs.to_string(), "bfs");
+        assert_eq!(RouteAlgorithm::Dijkstra.to_string(), "dijkstra");
+        assert_eq!(RouteAlgorithm::default(), RouteAlgorithm::Bfs);
+    }
+}

@@ -1,0 +1,338 @@
+//! Phase 4 — validation: throughput analysis of the execution layout.
+//!
+//! "For validation of the performance constraints of applications, we model
+//! the influence of the platform and the application specification as an SDF
+//! graph. We express latency constraints in the application as throughput
+//! constraints [12]. With a state-space exploration of the SDF graph [5],
+//! [13], we calculate the throughput of the corresponding application" (§II).
+//!
+//! The layout-to-SDF translation models:
+//! * every task as an actor whose execution time is the bound
+//!   implementation's cycle count;
+//! * every routed channel as a *transport actor* whose execution time grows
+//!   with the route's hop count (NoC store-and-forward latency);
+//! * bounded channel buffers as back-edge tokens, making the self-timed
+//!   state space finite.
+
+use kairos_app::{Application, TaskRole};
+use kairos_sdf::{
+    measure_latency, throughput_with, LatencyConfig, SdfGraph, SdfGraphBuilder,
+    StateSpaceConfig,
+};
+
+use crate::error::ValidationError;
+use crate::layout::ExecutionLayout;
+
+/// Tuning knobs of the validation phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidationConfig {
+    /// NoC latency per hop, in cycles, charged by transport actors.
+    pub hop_latency_cycles: u64,
+    /// Fixed per-channel transport overhead (serialisation), in cycles.
+    pub transport_overhead_cycles: u64,
+    /// Buffer tokens per channel direction (back-edge initial tokens),
+    /// multiplied by the channel's tokens-per-firing.
+    pub buffer_depth: u32,
+    /// Event budget of the state-space exploration.
+    pub max_events: usize,
+    /// Also measure steady-state end-to-end latency (first input task to
+    /// first output task). Costs a second bounded simulation.
+    pub measure_latency: bool,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig {
+            hop_latency_cycles: 8,
+            transport_overhead_cycles: 4,
+            buffer_depth: 2,
+            max_events: 200_000,
+            measure_latency: false,
+        }
+    }
+}
+
+/// Outcome of a successful validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// Steady-state cycles per graph iteration.
+    pub iteration_period: f64,
+    /// Steady-state iterations per cycle.
+    pub throughput: f64,
+    /// Number of execution states explored by the analysis.
+    pub states_explored: usize,
+    /// Number of SDF actors in the analysed model (tasks + transports).
+    pub actors: usize,
+    /// Steady-state end-to-end latency (input start to output completion),
+    /// in cycles, when [`ValidationConfig::measure_latency`] is set and the
+    /// application has both an input and an output task.
+    pub end_to_end_latency: Option<u64>,
+}
+
+/// Builds the SDF performance model of `app` under `layout`.
+///
+/// Exposed separately so benchmarks and tests can inspect the model the
+/// validation phase analyses.
+pub fn layout_to_sdf(
+    app: &Application,
+    layout: &ExecutionLayout,
+    config: &ValidationConfig,
+) -> SdfGraph {
+    let mut b = SdfGraphBuilder::new(format!("{}::model", app.name()));
+    // One actor per task; execution times come from the binding.
+    let actors: Vec<_> = app
+        .task_ids()
+        .map(|t| {
+            let cycles = layout.binding.implementation(app, t).exec_cycles().max(1);
+            b.add_actor(app.task(t).name().to_owned(), cycles)
+        })
+        .collect();
+
+    for channel in app.channels() {
+        let route = &layout.routes[channel.id().index()];
+        let rate = channel.tokens_per_firing().max(1);
+        let buffer = config.buffer_depth.max(1) * rate;
+        let src = actors[channel.src().index()];
+        let dst = actors[channel.dst().index()];
+        if route.is_local() {
+            b.add_channel(src, dst, rate, rate, 0);
+            b.add_channel(dst, src, rate, rate, buffer);
+        } else {
+            let latency = config.transport_overhead_cycles
+                + config.hop_latency_cycles * route.hops() as u64;
+            let transport =
+                b.add_actor(format!("transport-{}", channel.id()), latency.max(1));
+            b.add_channel(src, transport, rate, rate, 0);
+            b.add_channel(transport, src, rate, rate, buffer);
+            b.add_channel(transport, dst, rate, rate, 0);
+            b.add_channel(dst, transport, rate, rate, buffer);
+        }
+    }
+    b.build().expect("layout model is structurally valid by construction")
+}
+
+/// Runs the validation phase: analyses the layout's steady-state throughput
+/// and checks every constraint of the application.
+///
+/// # Errors
+///
+/// [`ValidationError::Analysis`] when the SDF analysis fails (deadlock,
+/// divergence), [`ValidationError::ConstraintViolated`] when the achieved
+/// period exceeds a constraint's allowance.
+pub fn validate(
+    app: &Application,
+    layout: &ExecutionLayout,
+    config: &ValidationConfig,
+) -> Result<ValidationReport, ValidationError> {
+    let model = layout_to_sdf(app, layout, config);
+
+    // Reference actor: the first output task, or task 0 for sink-less graphs.
+    let reference = app
+        .tasks()
+        .find(|t| t.role() == TaskRole::Output)
+        .map(|t| kairos_sdf::ActorId(t.id().0))
+        .unwrap_or(kairos_sdf::ActorId(0));
+
+    let report = throughput_with(
+        &model,
+        reference,
+        &StateSpaceConfig { max_events: config.max_events },
+    )
+    .map_err(|e| ValidationError::Analysis(e.to_string()))?;
+
+    for (index, constraint) in app.constraints().iter().enumerate() {
+        let allowed = constraint.as_max_period_cycles();
+        if report.iteration_period > allowed as f64 {
+            return Err(ValidationError::ConstraintViolated {
+                constraint_index: index,
+                allowed_period: allowed,
+                achieved_period: report.iteration_period,
+            });
+        }
+    }
+
+    let end_to_end_latency = if config.measure_latency {
+        let source = app
+            .tasks()
+            .find(|t| t.role() == TaskRole::Input)
+            .map(|t| kairos_sdf::ActorId(t.id().0));
+        let sink = app
+            .tasks()
+            .find(|t| t.role() == TaskRole::Output)
+            .map(|t| kairos_sdf::ActorId(t.id().0));
+        match (source, sink) {
+            (Some(source), Some(sink)) => measure_latency(
+                &model,
+                source,
+                sink,
+                &LatencyConfig { max_events: config.max_events, ..LatencyConfig::default() },
+            )
+            .ok()
+            .map(|r| r.max_latency),
+            _ => None,
+        }
+    } else {
+        None
+    };
+
+    Ok(ValidationReport {
+        iteration_period: report.iteration_period,
+        throughput: report.throughput,
+        states_explored: report.states_explored,
+        actors: model.actor_count(),
+        end_to_end_latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{Binding, Placement, Route};
+    use kairos_app::{
+        ApplicationBuilder, ChannelId, Constraint, ImplId, Implementation, TaskRole,
+    };
+    use kairos_platform::{ElementId, ElementKind, LinkId, ResourceVector};
+
+    fn imp(cycles: u64) -> Implementation {
+        Implementation::new(ElementKind::Dsp, ResourceVector::splat(1), cycles, 1)
+    }
+
+    fn pipeline_app(cycles: &[u64]) -> Application {
+        let mut b = ApplicationBuilder::new("pipe");
+        let ids: Vec<_> = cycles
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let role = if i == 0 {
+                    TaskRole::Input
+                } else if i == cycles.len() - 1 {
+                    TaskRole::Output
+                } else {
+                    TaskRole::Internal
+                };
+                b.add_task(format!("t{i}"), role, vec![imp(c)])
+            })
+            .collect();
+        for w in ids.windows(2) {
+            b.add_channel(w[0], w[1], 100, 1);
+        }
+        b.build().unwrap()
+    }
+
+    fn layout_for(app: &Application, hops: &[usize]) -> ExecutionLayout {
+        ExecutionLayout {
+            binding: Binding::new(vec![ImplId(0); app.task_count()]),
+            placement: Placement::new(
+                (0..app.task_count() as u32).map(ElementId).collect(),
+            ),
+            routes: app
+                .channels()
+                .map(|c| {
+                    Route::new(
+                        c.id(),
+                        (0..hops[c.id().index()]).map(|i| LinkId(i as u32)).collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn bottleneck_task_sets_period() {
+        let app = pipeline_app(&[10, 50, 10]);
+        let layout = layout_for(&app, &[0, 0]);
+        let report = validate(&app, &layout, &ValidationConfig::default()).unwrap();
+        // The 50-cycle task dominates; transports are local (zero cost).
+        assert!((report.iteration_period - 50.0).abs() < 1e-9);
+        assert_eq!(report.actors, 3);
+    }
+
+    #[test]
+    fn longer_routes_slow_the_pipeline() {
+        let app = pipeline_app(&[10, 10]);
+        let config = ValidationConfig {
+            hop_latency_cycles: 20,
+            transport_overhead_cycles: 0,
+            ..ValidationConfig::default()
+        };
+        let near = validate(&app, &layout_for(&app, &[1]), &config).unwrap();
+        let far = validate(&app, &layout_for(&app, &[5]), &config).unwrap();
+        assert!(far.iteration_period > near.iteration_period);
+        assert_eq!(near.actors, 3, "two tasks plus one transport");
+    }
+
+    #[test]
+    fn constraint_violation_is_reported() {
+        let mut b = ApplicationBuilder::new("tight");
+        let t0 = b.add_task("a", TaskRole::Input, vec![imp(100)]);
+        let t1 = b.add_task("b", TaskRole::Output, vec![imp(100)]);
+        b.add_channel(t0, t1, 100, 1);
+        b.add_constraint(Constraint::Throughput { max_period_cycles: 50 });
+        let app = b.build().unwrap();
+        let layout = layout_for(&app, &[0]);
+        let err = validate(&app, &layout, &ValidationConfig::default()).unwrap_err();
+        match err {
+            ValidationError::ConstraintViolated { allowed_period, achieved_period, .. } => {
+                assert_eq!(allowed_period, 50);
+                assert!(achieved_period >= 100.0);
+            }
+            other => panic!("expected constraint violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn satisfied_constraint_passes() {
+        let mut b = ApplicationBuilder::new("ok");
+        let t0 = b.add_task("a", TaskRole::Input, vec![imp(10)]);
+        let t1 = b.add_task("b", TaskRole::Output, vec![imp(10)]);
+        b.add_channel(t0, t1, 100, 1);
+        b.add_constraint(Constraint::Throughput { max_period_cycles: 1000 });
+        b.add_constraint(Constraint::Latency { max_latency_cycles: 4000, pipeline_depth: 2 });
+        let app = b.build().unwrap();
+        let layout = layout_for(&app, &[0]);
+        assert!(validate(&app, &layout, &ValidationConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn deeper_buffers_never_hurt_throughput() {
+        let app = pipeline_app(&[10, 30, 10]);
+        let shallow = ValidationConfig { buffer_depth: 1, ..ValidationConfig::default() };
+        let deep = ValidationConfig { buffer_depth: 4, ..ValidationConfig::default() };
+        let layout = layout_for(&app, &[2, 2]);
+        let p_shallow = validate(&app, &layout, &shallow).unwrap().iteration_period;
+        let p_deep = validate(&app, &layout, &deep).unwrap().iteration_period;
+        assert!(p_deep <= p_shallow + 1e-9);
+    }
+
+    #[test]
+    fn zero_cycle_implementations_are_clamped() {
+        let app = pipeline_app(&[0, 0]);
+        let layout = layout_for(&app, &[0]);
+        // Must not hit the zero-time-cycle error: exec times clamp to 1.
+        let report = validate(&app, &layout, &ValidationConfig::default()).unwrap();
+        assert!(report.iteration_period >= 1.0);
+    }
+
+    #[test]
+    fn latency_measurement_is_optional_and_sane() {
+        let app = pipeline_app(&[10, 20, 30]);
+        let layout = layout_for(&app, &[0, 0]);
+        let off = validate(&app, &layout, &ValidationConfig::default()).unwrap();
+        assert_eq!(off.end_to_end_latency, None);
+        let config = ValidationConfig { measure_latency: true, ..ValidationConfig::default() };
+        let on = validate(&app, &layout, &config).unwrap();
+        let latency = on.end_to_end_latency.expect("input and output tasks exist");
+        assert!(latency >= 60, "wavefront must traverse all three stages, got {latency}");
+    }
+
+    #[test]
+    fn model_inventory_matches_layout() {
+        let app = pipeline_app(&[5, 5, 5]);
+        let layout = layout_for(&app, &[0, 3]);
+        let model = layout_to_sdf(&app, &layout, &ValidationConfig::default());
+        // 3 task actors + 1 transport (the 3-hop channel only).
+        assert_eq!(model.actor_count(), 4);
+        // Local channel: 2 edges; remote: 4 edges.
+        assert_eq!(model.channel_count(), 6);
+    }
+}

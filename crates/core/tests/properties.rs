@@ -1,0 +1,168 @@
+//! Property-based tests of the resource-manager core: knapsack safety and
+//! dominance, GAP capacity respect, and whole-pipeline invariants on random
+//! workloads.
+
+use proptest::prelude::*;
+
+use kairos_app::{ApplicationBuilder, Implementation, TaskId, TaskRole};
+use kairos_core::{
+    bind, map_application, CostPolicy, GapState, Kairos, KairosConfig, KnapsackItem,
+    KnapsackSolver, MapperConfig,
+};
+use kairos_platform::{topology, AppId, ElementId, ElementKind, ResourceVector};
+
+fn items() -> impl Strategy<Value = Vec<KnapsackItem>> {
+    proptest::collection::vec(
+        (0.0f64..100.0, 0u64..60, 0u64..30).prop_map(|(value, cpu, mem)| KnapsackItem {
+            value,
+            weight: ResourceVector::new(cpu, mem, 0, 0),
+        }),
+        0..14,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Both knapsack solvers respect capacity in every dimension and only
+    /// pick positive-value items; exact dominates greedy.
+    #[test]
+    fn knapsack_safety_and_dominance(items in items(), cap_cpu in 0u64..150, cap_mem in 0u64..80) {
+        let capacity = ResourceVector::new(cap_cpu, cap_mem, 0, 0);
+        let exact = KnapsackSolver::Exact { max_exact_items: 24 }.solve(&items, capacity);
+        let greedy = KnapsackSolver::Greedy.solve(&items, capacity);
+        for chosen in [&exact, &greedy] {
+            let used: ResourceVector = chosen.iter().map(|&i| items[i].weight).sum();
+            prop_assert!(capacity.fits(&used), "capacity violated");
+            prop_assert!(chosen.iter().all(|&i| items[i].value > 0.0));
+            // indices are unique and sorted
+            let mut sorted = (*chosen).clone();
+            sorted.dedup();
+            prop_assert_eq!(&sorted, chosen);
+        }
+        let value = |chosen: &[usize]| chosen.iter().map(|&i| items[i].value).sum::<f64>();
+        prop_assert!(value(&exact) >= value(&greedy) - 1e-9, "exact must dominate greedy");
+    }
+
+    /// GAP never violates element capacities and never leaves a task
+    /// assigned to a bin it does not fit.
+    #[test]
+    fn gap_respects_capacities(
+        demands in proptest::collection::vec(1u64..50, 1..10),
+        capacities in proptest::collection::vec(10u64..120, 1..6),
+        costs in proptest::collection::vec(0.0f64..50.0, 60),
+    ) {
+        let tasks: Vec<TaskId> = (0..demands.len() as u32).map(TaskId).collect();
+        let elements: Vec<ElementId> = (0..capacities.len() as u32).map(ElementId).collect();
+        let mut state = GapState::new(tasks.clone());
+        state.solve(
+            &elements,
+            KnapsackSolver::default(),
+            |e| ResourceVector::new(capacities[e.index()], 0, 0, 0),
+            |_, _| true,
+            |t| ResourceVector::new(demands[t.index()], 0, 0, 0),
+            |t, e| costs[(t.index() * capacities.len() + e.index()) % costs.len()],
+        );
+        // Per-element load never exceeds capacity.
+        for &e in &elements {
+            let load: u64 = tasks
+                .iter()
+                .filter(|&&t| state.assignment(t) == Some(e))
+                .map(|&t| demands[t.index()])
+                .sum();
+            prop_assert!(load <= capacities[e.index()], "bin over capacity");
+            if let Some(free) = state.free_of(e) {
+                prop_assert_eq!(
+                    free,
+                    ResourceVector::new(capacities[e.index()] - load, 0, 0, 0)
+                );
+            }
+        }
+    }
+}
+
+prop_compose! {
+    /// A random unpinned DSP chain application.
+    fn chain_app()(
+        demands in proptest::collection::vec(100u64..700, 2..7),
+        bandwidth in 10u64..300,
+    ) -> kairos_app::Application {
+        let mut b = ApplicationBuilder::new("prop-chain");
+        let mut prev = None;
+        for (i, &cpu) in demands.iter().enumerate() {
+            let imp = Implementation::new(
+                ElementKind::Dsp,
+                ResourceVector::new(cpu, 8, 0, 0),
+                100,
+                1,
+            );
+            let t = b.add_task(format!("t{i}"), TaskRole::Internal, vec![imp]);
+            if let Some(p) = prev {
+                b.add_channel(p, t, bandwidth, 1);
+            }
+            prev = Some(t);
+        }
+        b.build().unwrap()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mapping either succeeds with a fully-claimed placement or fails with
+    /// an untouched platform — never anything in between.
+    #[test]
+    fn mapping_is_transactional(app in chain_app(), policy_idx in 0usize..4) {
+        let mut platform = topology::dsp_mesh(3, 3);
+        let before = platform.checkpoint();
+        let Ok(binding) = bind(&app, &platform) else { return Ok(()); };
+        let config = MapperConfig::with_policy(CostPolicy::ALL[policy_idx]);
+        match map_application(&app, &binding, &mut platform, AppId(0), &config) {
+            Ok(report) => {
+                prop_assert_eq!(report.placement.len(), app.task_count());
+                let claims: usize =
+                    platform.element_ids().map(|e| platform.residents(e).len()).sum();
+                prop_assert_eq!(claims, app.task_count());
+                for (t, e) in report.placement.iter() {
+                    let demand = binding.implementation(&app, t).requires();
+                    prop_assert_eq!(platform.element(e).kind(), ElementKind::Dsp);
+                    // The element accepted the claim, so capacity was enough.
+                    prop_assert!(platform.element(e).capacity().fits(&demand));
+                }
+            }
+            Err(_) => {
+                prop_assert_eq!(platform.checkpoint(), before, "failed mapping must roll back");
+            }
+        }
+    }
+
+    /// Full admission/release cycles never leak or corrupt platform state.
+    #[test]
+    fn admission_release_cycles_are_clean(apps_seed in proptest::collection::vec(any::<u16>(), 1..6)) {
+        let mut kairos = Kairos::new(topology::dsp_mesh(4, 4), KairosConfig::default());
+        let initial_free = kairos.platform().total_free();
+        let mut resident = Vec::new();
+        for (i, seed) in apps_seed.iter().enumerate() {
+            let cpu = 200 + (*seed as u64 % 500);
+            let imp = Implementation::new(
+                ElementKind::Dsp,
+                ResourceVector::new(cpu, 8, 0, 0),
+                50,
+                1,
+            );
+            let mut b = ApplicationBuilder::new(format!("p{i}"));
+            let t0 = b.add_task("a", TaskRole::Internal, vec![imp]);
+            let t1 = b.add_task("b", TaskRole::Internal, vec![imp]);
+            b.add_channel(t0, t1, 50 + (*seed as u64 % 200), 1);
+            let app = b.build().unwrap();
+            if let Ok(report) = kairos.admit(&app) {
+                resident.push(report.app_id);
+            }
+        }
+        for id in resident {
+            prop_assert!(kairos.release(id));
+        }
+        prop_assert!(kairos.platform().is_idle());
+        prop_assert_eq!(kairos.platform().total_free(), initial_free);
+    }
+}

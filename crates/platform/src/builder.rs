@@ -1,0 +1,170 @@
+//! Incremental construction of [`Platform`] values.
+
+use crate::element::{Element, ElementId, ElementKind};
+use crate::link::{Link, LinkId};
+use crate::platform::Platform;
+use crate::resource::ResourceVector;
+
+/// Builder for [`Platform`] graphs.
+///
+/// Elements receive dense ids in insertion order; [`PlatformBuilder::connect`]
+/// adds a *pair* of directed links (one per direction), matching the
+/// bidirectional NoC channels of the CRISP platform, while
+/// [`PlatformBuilder::connect_directed`] adds a single directed link for
+/// irregular architectures.
+///
+/// # Examples
+///
+/// ```
+/// use kairos_platform::{PlatformBuilder, ElementKind, ResourceVector};
+///
+/// let mut b = PlatformBuilder::new("line3");
+/// let ids: Vec<_> = (0..3)
+///     .map(|_| b.add_element(ElementKind::Dsp, ResourceVector::new(100, 16, 0, 0)))
+///     .collect();
+/// b.connect(ids[0], ids[1], 1000, 4);
+/// b.connect(ids[1], ids[2], 1000, 4);
+/// let p = b.build();
+/// assert_eq!(p.degree(ids[1]), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    name: String,
+    elements: Vec<Element>,
+    links: Vec<Link>,
+}
+
+impl PlatformBuilder {
+    /// Creates an empty builder for a platform called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        PlatformBuilder { name: name.into(), elements: Vec::new(), links: Vec::new() }
+    }
+
+    /// Adds an element with an auto-generated name (`<kind><index>`).
+    pub fn add_element(&mut self, kind: ElementKind, capacity: ResourceVector) -> ElementId {
+        let name = format!("{}{}", kind.label(), self.elements.len());
+        self.add_named_element(kind, name, capacity)
+    }
+
+    /// Adds an element with an explicit name.
+    pub fn add_named_element(
+        &mut self,
+        kind: ElementKind,
+        name: impl Into<String>,
+        capacity: ResourceVector,
+    ) -> ElementId {
+        let id = ElementId(self.elements.len() as u32);
+        self.elements.push(Element::new(id, kind, name.into(), capacity));
+        id
+    }
+
+    /// Adds a single directed link `src -> dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is unknown or `src == dst` (self-links make
+    /// no sense in the NoC model; co-located tasks communicate for free).
+    pub fn connect_directed(
+        &mut self,
+        src: ElementId,
+        dst: ElementId,
+        bandwidth: u64,
+        virtual_channels: u16,
+    ) -> LinkId {
+        assert!(src.index() < self.elements.len(), "unknown source element {src}");
+        assert!(dst.index() < self.elements.len(), "unknown destination element {dst}");
+        assert_ne!(src, dst, "self-links are not allowed");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link::new(id, src, dst, bandwidth, virtual_channels));
+        id
+    }
+
+    /// Adds a bidirectional connection as two directed links, returning
+    /// `(src -> dst, dst -> src)`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PlatformBuilder::connect_directed`].
+    pub fn connect(
+        &mut self,
+        a: ElementId,
+        b: ElementId,
+        bandwidth: u64,
+        virtual_channels: u16,
+    ) -> (LinkId, LinkId) {
+        let forward = self.connect_directed(a, b, bandwidth, virtual_channels);
+        let backward = self.connect_directed(b, a, bandwidth, virtual_channels);
+        (forward, backward)
+    }
+
+    /// Number of elements added so far.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Number of directed links added so far.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Finalises the platform.
+    pub fn build(self) -> Platform {
+        Platform::from_parts(self.name, self.elements, self.links)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = PlatformBuilder::new("x");
+        let e0 = b.add_element(ElementKind::Arm, ResourceVector::splat(1));
+        let e1 = b.add_element(ElementKind::Dsp, ResourceVector::splat(1));
+        assert_eq!(e0, ElementId(0));
+        assert_eq!(e1, ElementId(1));
+        assert_eq!(b.element_count(), 2);
+        let p = b.build();
+        assert_eq!(p.element(e0).kind(), ElementKind::Arm);
+        assert_eq!(p.element(e1).name(), "dsp1");
+    }
+
+    #[test]
+    fn connect_adds_two_links() {
+        let mut b = PlatformBuilder::new("x");
+        let a = b.add_element(ElementKind::Dsp, ResourceVector::splat(1));
+        let c = b.add_element(ElementKind::Dsp, ResourceVector::splat(1));
+        let (f, r) = b.connect(a, c, 7, 3);
+        assert_eq!(b.link_count(), 2);
+        let p = b.build();
+        assert_eq!(p.link(f).src(), a);
+        assert_eq!(p.link(r).src(), c);
+        assert_eq!(p.link(f).bandwidth(), 7);
+        assert_eq!(p.link(r).virtual_channels(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_panics() {
+        let mut b = PlatformBuilder::new("x");
+        let a = b.add_element(ElementKind::Dsp, ResourceVector::splat(1));
+        b.connect_directed(a, a, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown destination")]
+    fn unknown_endpoint_panics() {
+        let mut b = PlatformBuilder::new("x");
+        let a = b.add_element(ElementKind::Dsp, ResourceVector::splat(1));
+        b.connect_directed(a, ElementId(5), 1, 1);
+    }
+
+    #[test]
+    fn named_elements_keep_their_names() {
+        let mut b = PlatformBuilder::new("x");
+        let id = b.add_named_element(ElementKind::Fpga, "front-fpga", ResourceVector::ZERO);
+        let p = b.build();
+        assert_eq!(p.element(id).name(), "front-fpga");
+    }
+}

@@ -1,0 +1,219 @@
+//! Hop-distance queries over the platform graph.
+//!
+//! The mapping phase of the paper builds a *sparse distance matrix* while it
+//! searches the platform for candidate elements; cost evaluation then looks
+//! distances up in that matrix and charges a penalty when a lookup fails
+//! (§III-D). [`SparseDistanceMatrix`] is that structure; the free functions
+//! provide full single-source BFS for metrics and baselines.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::element::ElementId;
+use crate::platform::Platform;
+
+/// Direction in which links are traversed during a search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchDirection {
+    /// Follow links from source to destination (data flows *to* the frontier).
+    Forward,
+    /// Follow links against their direction (data flows *from* the frontier).
+    Backward,
+    /// Ignore link direction.
+    Undirected,
+}
+
+/// Single-source BFS hop distances; `None` for unreachable or failed elements.
+///
+/// Failed elements are opaque: they are neither visited nor traversed.
+pub fn bfs_distances(
+    platform: &Platform,
+    source: ElementId,
+    direction: SearchDirection,
+) -> Vec<Option<u32>> {
+    let mut dist = vec![None; platform.element_count()];
+    if platform.is_failed(source) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(e) = queue.pop_front() {
+        let d = dist[e.index()].expect("queued elements have distances");
+        for n in step(platform, e, direction) {
+            if platform.is_failed(n) || dist[n.index()].is_some() {
+                continue;
+            }
+            dist[n.index()] = Some(d + 1);
+            queue.push_back(n);
+        }
+    }
+    dist
+}
+
+/// Hop distance from `src` to `dst` (directed), `None` when unreachable.
+pub fn hop_distance(platform: &Platform, src: ElementId, dst: ElementId) -> Option<u32> {
+    bfs_distances(platform, src, SearchDirection::Forward)[dst.index()]
+}
+
+fn step(
+    platform: &Platform,
+    e: ElementId,
+    direction: SearchDirection,
+) -> Vec<ElementId> {
+    match direction {
+        SearchDirection::Forward => platform.successors(e).iter().map(|&(n, _)| n).collect(),
+        SearchDirection::Backward => platform.predecessors(e).iter().map(|&(n, _)| n).collect(),
+        SearchDirection::Undirected => platform.neighbors(e),
+    }
+}
+
+/// Sparse pairwise hop distances discovered during element search.
+///
+/// Keys are `(origin, discovered)` pairs. The matrix only ever contains
+/// distances the search actually encountered; [`SparseDistanceMatrix::get`]
+/// returns `None` for everything else, which the mapping cost function
+/// converts into a penalty (the paper's "relative high penalty" on lookup
+/// failure).
+///
+/// # Examples
+///
+/// ```
+/// use kairos_platform::{SparseDistanceMatrix, ElementId};
+///
+/// let mut m = SparseDistanceMatrix::new();
+/// m.record(ElementId(0), ElementId(3), 2);
+/// assert_eq!(m.get(ElementId(0), ElementId(3)), Some(2));
+/// assert_eq!(m.get(ElementId(3), ElementId(0)), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseDistanceMatrix {
+    entries: HashMap<(ElementId, ElementId), u32>,
+}
+
+impl SparseDistanceMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the distance from `origin` to `discovered`, keeping the
+    /// minimum when called twice for the same pair.
+    pub fn record(&mut self, origin: ElementId, discovered: ElementId, hops: u32) {
+        self.entries
+            .entry((origin, discovered))
+            .and_modify(|d| *d = (*d).min(hops))
+            .or_insert(hops);
+    }
+
+    /// Looks up the recorded distance from `origin` to `discovered`.
+    pub fn get(&self, origin: ElementId, discovered: ElementId) -> Option<u32> {
+        if origin == discovered {
+            return Some(0);
+        }
+        self.entries.get(&(origin, discovered)).copied()
+    }
+
+    /// Distance in either direction, preferring `origin -> discovered`.
+    ///
+    /// The platform's bidirectional NoC channels make hop counts symmetric in
+    /// practice, so a reverse entry is an acceptable estimate when the
+    /// forward one was never discovered.
+    pub fn get_symmetric(&self, a: ElementId, b: ElementId) -> Option<u32> {
+        self.get(a, b).or_else(|| self.get(b, a))
+    }
+
+    /// Number of recorded pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes all recorded pairs.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlatformBuilder;
+    use crate::element::ElementKind;
+    use crate::resource::ResourceVector;
+
+    fn line(n: usize) -> (Platform, Vec<ElementId>) {
+        let mut b = PlatformBuilder::new("line");
+        let ids: Vec<_> =
+            (0..n).map(|_| b.add_element(ElementKind::Dsp, ResourceVector::splat(1))).collect();
+        for w in ids.windows(2) {
+            b.connect(w[0], w[1], 100, 2);
+        }
+        (b.build(), ids)
+    }
+
+    #[test]
+    fn bfs_on_line_counts_hops() {
+        let (p, ids) = line(4);
+        let d = bfs_distances(&p, ids[0], SearchDirection::Forward);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+        assert_eq!(hop_distance(&p, ids[3], ids[0]), Some(3));
+    }
+
+    #[test]
+    fn bfs_respects_direction() {
+        let mut b = PlatformBuilder::new("dir");
+        let a = b.add_element(ElementKind::Dsp, ResourceVector::splat(1));
+        let c = b.add_element(ElementKind::Dsp, ResourceVector::splat(1));
+        b.connect_directed(a, c, 10, 1);
+        let p = b.build();
+        assert_eq!(hop_distance(&p, a, c), Some(1));
+        assert_eq!(hop_distance(&p, c, a), None);
+        let back = bfs_distances(&p, c, SearchDirection::Backward);
+        assert_eq!(back[a.index()], Some(1));
+        let und = bfs_distances(&p, c, SearchDirection::Undirected);
+        assert_eq!(und[a.index()], Some(1));
+    }
+
+    #[test]
+    fn bfs_skips_failed_elements() {
+        let (mut p, ids) = line(4);
+        p.fail_element(ids[1]);
+        let d = bfs_distances(&p, ids[0], SearchDirection::Forward);
+        assert_eq!(d[ids[1].index()], None);
+        assert_eq!(d[ids[2].index()], None, "failure cuts the line");
+        p.fail_element(ids[0]);
+        let d = bfs_distances(&p, ids[0], SearchDirection::Forward);
+        assert!(d.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn sparse_matrix_keeps_minimum() {
+        let mut m = SparseDistanceMatrix::new();
+        m.record(ElementId(0), ElementId(1), 5);
+        m.record(ElementId(0), ElementId(1), 3);
+        m.record(ElementId(0), ElementId(1), 9);
+        assert_eq!(m.get(ElementId(0), ElementId(1)), Some(3));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn sparse_matrix_self_distance_is_zero() {
+        let m = SparseDistanceMatrix::new();
+        assert_eq!(m.get(ElementId(7), ElementId(7)), Some(0));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn symmetric_lookup_falls_back() {
+        let mut m = SparseDistanceMatrix::new();
+        m.record(ElementId(2), ElementId(5), 4);
+        assert_eq!(m.get_symmetric(ElementId(5), ElementId(2)), Some(4));
+        assert_eq!(m.get_symmetric(ElementId(5), ElementId(6)), None);
+        m.clear();
+        assert!(m.is_empty());
+    }
+}

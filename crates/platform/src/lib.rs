@@ -1,0 +1,59 @@
+//! # kairos-platform
+//!
+//! Heterogeneous MPSoC platform model for the Kairos run-time spatial
+//! resource manager — a faithful software substrate for the platform side of
+//! *ter Braak et al., "Run-time Spatial Resource Management for Real-Time
+//! Applications on Heterogeneous MPSoCs" (DATE 2010)*.
+//!
+//! A platform `P = <E, L>` consists of processing [`Element`]s connected by
+//! directed NoC [`Link`]s with virtual-channel reservation. Elements provide
+//! vector-valued resources ([`ResourceVector`]); the crate keeps a run-time
+//! ledger of claims (tasks residing on elements, channels occupying links),
+//! supports O(|E|+|L|) checkpoint/rollback for failed allocation attempts,
+//! fault injection for dependability experiments, and the *external resource
+//! fragmentation* metric of §III-A.
+//!
+//! The CRISP General Stream Processor used in the paper's evaluation (ARM +
+//! FPGA + 5 packages of 9 DSPs, 2 memories and a test unit — Fig. 6) is
+//! available as [`topology::crisp`].
+//!
+//! ## Example
+//!
+//! ```
+//! use kairos_platform::{topology, AppId, Occupant, ResourceVector, external_fragmentation};
+//!
+//! let mut platform = topology::crisp();
+//! let dsp = platform.elements_of_kind(kairos_platform::ElementKind::Dsp).next().unwrap().id();
+//!
+//! // Claim most of a DSP for task 0 of application 0:
+//! let claim = ResourceVector::new(700, 32, 0, 0);
+//! platform.claim(dsp, Occupant { app: AppId(0), task: 0, claimed: claim })?;
+//! assert!(external_fragmentation(&platform) > 0.0);
+//!
+//! // Roll it back:
+//! platform.release(dsp, AppId(0), 0);
+//! assert!(platform.is_idle());
+//! # Ok::<(), kairos_platform::ClaimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod distance;
+mod element;
+mod frag;
+mod link;
+mod platform;
+mod render;
+mod resource;
+pub mod topology;
+
+pub use builder::PlatformBuilder;
+pub use distance::{bfs_distances, hop_distance, SearchDirection, SparseDistanceMatrix};
+pub use element::{Element, ElementId, ElementKind};
+pub use frag::{adjacent_pairs, element_utilisation, external_fragmentation, free_island_count};
+pub use link::{Link, LinkId};
+pub use platform::{AppId, ClaimError, Occupant, Platform, PlatformCheckpoint};
+pub use render::{render_link_load, render_occupancy, render_strip};
+pub use resource::{ResourceKind, ResourceVector, RESOURCE_KIND_COUNT};

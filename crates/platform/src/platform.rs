@@ -1,0 +1,602 @@
+//! The platform graph `P = <E, L>` with its mutable resource ledger.
+//!
+//! A [`Platform`] separates immutable *structure* (elements, links, adjacency)
+//! from mutable *state* (free resources, residing tasks, link occupancy,
+//! failed elements). The state can be checkpointed and restored in O(|E|+|L|),
+//! which is how the resource manager rolls back a failed allocation attempt
+//! midway through the binding/mapping/routing/validation pipeline.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::element::{Element, ElementId, ElementKind};
+use crate::link::{Link, LinkId, LinkState};
+use crate::resource::ResourceVector;
+
+/// Identifier of an admitted application instance.
+///
+/// Assigned by the resource manager at admission; the platform only uses it
+/// to distinguish "task of the same application" from "task of another
+/// application" in occupancy queries (the fragmentation bonus of the mapping
+/// cost function needs exactly this distinction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AppId(pub u32);
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+/// A task residing on an element: which application it belongs to and the
+/// task's index within that application's task graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Occupant {
+    /// Owning application instance.
+    pub app: AppId,
+    /// Task index within the owning application.
+    pub task: u32,
+    /// Resources this occupant claimed, needed for release.
+    pub claimed: ResourceVector,
+}
+
+/// Errors raised by resource claims on the platform ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClaimError {
+    /// The element does not provide enough free resources.
+    InsufficientResources {
+        /// Element on which the claim was attempted.
+        element: ElementId,
+        /// The requested vector.
+        requested: ResourceVector,
+        /// The free vector at the time of the claim.
+        free: ResourceVector,
+    },
+    /// The element is marked as failed (fault injection / wear-out).
+    ElementFailed(ElementId),
+    /// The link has no free virtual channel or not enough bandwidth.
+    LinkSaturated {
+        /// Link on which the claim was attempted.
+        link: LinkId,
+        /// Requested bandwidth.
+        requested: u64,
+    },
+}
+
+impl fmt::Display for ClaimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClaimError::InsufficientResources { element, requested, free } => write!(
+                f,
+                "element {element} cannot provide {requested}; only {free} free"
+            ),
+            ClaimError::ElementFailed(e) => write!(f, "element {e} is failed"),
+            ClaimError::LinkSaturated { link, requested } => {
+                write!(f, "link {link} cannot carry {requested} more bandwidth")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClaimError {}
+
+/// Snapshot of the mutable platform state, produced by
+/// [`Platform::checkpoint`] and consumed by [`Platform::restore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformCheckpoint {
+    state: PlatformState,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PlatformState {
+    free: Vec<ResourceVector>,
+    residents: Vec<Vec<Occupant>>,
+    links: Vec<LinkState>,
+    failed: Vec<bool>,
+}
+
+/// A heterogeneous MPSoC platform: elements, directed links and the
+/// run-time resource ledger.
+///
+/// Construct one through [`PlatformBuilder`](crate::PlatformBuilder) or a
+/// topology helper such as [`topology::crisp`](crate::topology::crisp).
+///
+/// # Examples
+///
+/// ```
+/// use kairos_platform::{PlatformBuilder, ElementKind, ResourceVector};
+///
+/// let mut b = PlatformBuilder::new("demo");
+/// let a = b.add_element(ElementKind::Dsp, ResourceVector::new(100, 8, 0, 0));
+/// let c = b.add_element(ElementKind::Dsp, ResourceVector::new(100, 8, 0, 0));
+/// b.connect(a, c, 1000, 4);
+/// let platform = b.build();
+/// assert_eq!(platform.element_count(), 2);
+/// assert_eq!(platform.link_count(), 2); // connect() adds both directions
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    name: String,
+    elements: Vec<Element>,
+    links: Vec<Link>,
+    /// Outgoing adjacency: for each element, `(neighbor, link)` pairs.
+    out_adj: Vec<Vec<(ElementId, LinkId)>>,
+    /// Incoming adjacency: for each element, `(neighbor, link)` pairs.
+    in_adj: Vec<Vec<(ElementId, LinkId)>>,
+    state: PlatformState,
+}
+
+impl Platform {
+    pub(crate) fn from_parts(name: String, elements: Vec<Element>, links: Vec<Link>) -> Self {
+        let n = elements.len();
+        let mut out_adj = vec![Vec::new(); n];
+        let mut in_adj = vec![Vec::new(); n];
+        for link in &links {
+            out_adj[link.src().index()].push((link.dst(), link.id()));
+            in_adj[link.dst().index()].push((link.src(), link.id()));
+        }
+        let state = PlatformState {
+            free: elements.iter().map(|e| e.capacity()).collect(),
+            residents: vec![Vec::new(); n],
+            links: links.iter().map(LinkState::idle).collect(),
+            failed: vec![false; n],
+        };
+        Platform { name, elements, links, out_adj, in_adj, state }
+    }
+
+    /// The platform's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of processing elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The element with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this platform.
+    pub fn element(&self, id: ElementId) -> &Element {
+        &self.elements[id.index()]
+    }
+
+    /// The link with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this platform.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Iterates over all elements.
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.elements.iter()
+    }
+
+    /// Iterates over all element ids.
+    pub fn element_ids(&self) -> impl Iterator<Item = ElementId> {
+        (0..self.elements.len() as u32).map(ElementId)
+    }
+
+    /// Iterates over all links.
+    pub fn links(&self) -> impl Iterator<Item = &Link> {
+        self.links.iter()
+    }
+
+    /// Elements of a given kind.
+    pub fn elements_of_kind(&self, kind: ElementKind) -> impl Iterator<Item = &Element> {
+        self.elements.iter().filter(move |e| e.kind() == kind)
+    }
+
+    /// Outgoing `(neighbor, link)` pairs of `e`.
+    pub fn successors(&self, e: ElementId) -> &[(ElementId, LinkId)] {
+        &self.out_adj[e.index()]
+    }
+
+    /// Incoming `(neighbor, link)` pairs of `e`.
+    pub fn predecessors(&self, e: ElementId) -> &[(ElementId, LinkId)] {
+        &self.in_adj[e.index()]
+    }
+
+    /// All distinct neighbors of `e`, ignoring link direction.
+    pub fn neighbors(&self, e: ElementId) -> Vec<ElementId> {
+        let mut out: Vec<ElementId> = self.out_adj[e.index()]
+            .iter()
+            .map(|&(n, _)| n)
+            .chain(self.in_adj[e.index()].iter().map(|&(n, _)| n))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The undirected degree of `e` (number of distinct neighbors).
+    pub fn degree(&self, e: ElementId) -> usize {
+        self.neighbors(e).len()
+    }
+
+    /// The maximum undirected degree over all elements, 0 for an empty platform.
+    pub fn max_degree(&self) -> usize {
+        self.element_ids().map(|e| self.degree(e)).max().unwrap_or(0)
+    }
+
+    /// The link from `src` to `dst`, if one exists.
+    pub fn link_between(&self, src: ElementId, dst: ElementId) -> Option<LinkId> {
+        self.out_adj[src.index()]
+            .iter()
+            .find(|&&(n, _)| n == dst)
+            .map(|&(_, l)| l)
+    }
+
+    // ---- dynamic state: elements ------------------------------------------------
+
+    /// Free resources currently available on `e`.
+    pub fn free(&self, e: ElementId) -> ResourceVector {
+        self.state.free[e.index()]
+    }
+
+    /// `true` when at least one task resides on `e`.
+    pub fn is_used(&self, e: ElementId) -> bool {
+        !self.state.residents[e.index()].is_empty()
+    }
+
+    /// `true` when `e` has been marked failed.
+    pub fn is_failed(&self, e: ElementId) -> bool {
+        self.state.failed[e.index()]
+    }
+
+    /// Tasks currently residing on `e`.
+    pub fn residents(&self, e: ElementId) -> &[Occupant] {
+        &self.state.residents[e.index()]
+    }
+
+    /// Availability test `av(e, t)` on the quantity axis: the element is
+    /// alive and provides at least `demand` free resources.
+    pub fn is_available(&self, e: ElementId, demand: &ResourceVector) -> bool {
+        !self.is_failed(e) && self.free(e).fits(demand)
+    }
+
+    /// Claims `occupant.claimed` resources on `e` and records the occupant.
+    ///
+    /// # Errors
+    ///
+    /// [`ClaimError::ElementFailed`] when `e` is failed,
+    /// [`ClaimError::InsufficientResources`] when the free vector does not
+    /// cover the claim.
+    pub fn claim(&mut self, e: ElementId, occupant: Occupant) -> Result<(), ClaimError> {
+        if self.is_failed(e) {
+            return Err(ClaimError::ElementFailed(e));
+        }
+        let free = self.state.free[e.index()];
+        match free.checked_sub(&occupant.claimed) {
+            Some(rest) => {
+                self.state.free[e.index()] = rest;
+                self.state.residents[e.index()].push(occupant);
+                Ok(())
+            }
+            None => Err(ClaimError::InsufficientResources {
+                element: e,
+                requested: occupant.claimed,
+                free,
+            }),
+        }
+    }
+
+    /// Releases the occupant `(app, task)` from `e`, returning its claim.
+    ///
+    /// Returns `None` (and changes nothing) when the occupant is not present.
+    pub fn release(&mut self, e: ElementId, app: AppId, task: u32) -> Option<ResourceVector> {
+        let residents = &mut self.state.residents[e.index()];
+        let pos = residents.iter().position(|o| o.app == app && o.task == task)?;
+        let occupant = residents.swap_remove(pos);
+        self.state.free[e.index()] =
+            self.state.free[e.index()].saturating_add(&occupant.claimed);
+        Some(occupant.claimed)
+    }
+
+    /// Releases every occupant of application `app` on every element and
+    /// returns how many were released. Link claims are *not* touched; the
+    /// resource manager releases routes explicitly.
+    pub fn release_app(&mut self, app: AppId) -> usize {
+        let mut count = 0;
+        for idx in 0..self.elements.len() {
+            let residents = &mut self.state.residents[idx];
+            let mut i = 0;
+            while i < residents.len() {
+                if residents[i].app == app {
+                    let occ = residents.swap_remove(i);
+                    self.state.free[idx] = self.state.free[idx].saturating_add(&occ.claimed);
+                    count += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        count
+    }
+
+    // ---- dynamic state: links ---------------------------------------------------
+
+    /// Remaining bandwidth on link `l`.
+    pub fn link_free_bandwidth(&self, l: LinkId) -> u64 {
+        self.state.links[l.index()].free_bandwidth
+    }
+
+    /// Remaining virtual channels on link `l`.
+    pub fn link_free_virtual_channels(&self, l: LinkId) -> u16 {
+        self.state.links[l.index()].free_virtual_channels
+    }
+
+    /// `true` when link `l` can still accept a channel of `bandwidth`.
+    pub fn link_available(&self, l: LinkId, bandwidth: u64) -> bool {
+        let s = &self.state.links[l.index()];
+        s.free_virtual_channels > 0 && s.free_bandwidth >= bandwidth
+    }
+
+    /// Reserves one virtual channel carrying `bandwidth` on link `l`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClaimError::LinkSaturated`] when no virtual channel or not enough
+    /// bandwidth is left.
+    pub fn claim_link(&mut self, l: LinkId, bandwidth: u64) -> Result<(), ClaimError> {
+        let s = &mut self.state.links[l.index()];
+        if s.free_virtual_channels == 0 || s.free_bandwidth < bandwidth {
+            return Err(ClaimError::LinkSaturated { link: l, requested: bandwidth });
+        }
+        s.free_virtual_channels -= 1;
+        s.free_bandwidth -= bandwidth;
+        Ok(())
+    }
+
+    /// Returns one virtual channel carrying `bandwidth` to link `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the release would exceed the link's physical capacity,
+    /// which indicates an unbalanced claim/release pair in the caller.
+    pub fn release_link(&mut self, l: LinkId, bandwidth: u64) {
+        let cap = self.links[l.index()];
+        let s = &mut self.state.links[l.index()];
+        s.free_virtual_channels += 1;
+        s.free_bandwidth += bandwidth;
+        assert!(
+            s.free_virtual_channels <= cap.virtual_channels()
+                && s.free_bandwidth <= cap.bandwidth(),
+            "unbalanced link release on {l}"
+        );
+    }
+
+    // ---- faults -----------------------------------------------------------------
+
+    /// Marks `e` as failed. Already-residing occupants stay recorded (the
+    /// resource manager decides what to re-allocate); new claims are refused
+    /// and searches skip the element.
+    pub fn fail_element(&mut self, e: ElementId) {
+        self.state.failed[e.index()] = true;
+    }
+
+    /// Clears the failure mark on `e`.
+    pub fn repair_element(&mut self, e: ElementId) {
+        self.state.failed[e.index()] = false;
+    }
+
+    /// Ids of all currently failed elements.
+    pub fn failed_elements(&self) -> Vec<ElementId> {
+        self.element_ids().filter(|&e| self.is_failed(e)).collect()
+    }
+
+    // ---- checkpointing ----------------------------------------------------------
+
+    /// Captures the complete mutable state.
+    pub fn checkpoint(&self) -> PlatformCheckpoint {
+        PlatformCheckpoint { state: self.state.clone() }
+    }
+
+    /// Restores a previously captured state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint was taken from a structurally different
+    /// platform (different element or link count).
+    pub fn restore(&mut self, checkpoint: PlatformCheckpoint) {
+        assert_eq!(
+            checkpoint.state.free.len(),
+            self.elements.len(),
+            "checkpoint does not belong to this platform"
+        );
+        assert_eq!(
+            checkpoint.state.links.len(),
+            self.links.len(),
+            "checkpoint does not belong to this platform"
+        );
+        self.state = checkpoint.state;
+    }
+
+    /// `true` when no resources are claimed anywhere (all elements idle,
+    /// all links at full capacity). Failure marks are ignored.
+    pub fn is_idle(&self) -> bool {
+        self.elements
+            .iter()
+            .enumerate()
+            .all(|(i, e)| self.state.free[i] == e.capacity() && self.state.residents[i].is_empty())
+            && self
+                .links
+                .iter()
+                .enumerate()
+                .all(|(i, l)| self.state.links[i] == LinkState::idle(l))
+    }
+
+    /// Total free resources summed over all non-failed elements.
+    pub fn total_free(&self) -> ResourceVector {
+        self.element_ids()
+            .filter(|&e| !self.is_failed(e))
+            .map(|e| self.free(e))
+            .sum()
+    }
+
+    /// Total capacity summed over all non-failed elements.
+    pub fn total_capacity(&self) -> ResourceVector {
+        self.elements
+            .iter()
+            .filter(|e| !self.is_failed(e.id()))
+            .map(|e| e.capacity())
+            .sum()
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "platform '{}': {} elements, {} links",
+            self.name,
+            self.element_count(),
+            self.link_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlatformBuilder;
+
+    fn two_dsp() -> (Platform, ElementId, ElementId) {
+        let mut b = PlatformBuilder::new("t");
+        let a = b.add_element(ElementKind::Dsp, ResourceVector::new(100, 10, 0, 0));
+        let c = b.add_element(ElementKind::Dsp, ResourceVector::new(100, 10, 0, 0));
+        b.connect(a, c, 1000, 2);
+        (b.build(), a, c)
+    }
+
+    fn occ(app: u32, task: u32, r: ResourceVector) -> Occupant {
+        Occupant { app: AppId(app), task, claimed: r }
+    }
+
+    #[test]
+    fn claim_and_release_roundtrip() {
+        let (mut p, a, _) = two_dsp();
+        let before = p.checkpoint();
+        p.claim(a, occ(0, 0, ResourceVector::new(60, 5, 0, 0))).unwrap();
+        assert_eq!(p.free(a), ResourceVector::new(40, 5, 0, 0));
+        assert!(p.is_used(a));
+        assert_eq!(p.release(a, AppId(0), 0), Some(ResourceVector::new(60, 5, 0, 0)));
+        assert!(!p.is_used(a));
+        assert_eq!(p.checkpoint(), before);
+        assert!(p.is_idle());
+    }
+
+    #[test]
+    fn claim_rejects_overcommit() {
+        let (mut p, a, _) = two_dsp();
+        let err = p
+            .claim(a, occ(0, 0, ResourceVector::new(101, 0, 0, 0)))
+            .unwrap_err();
+        assert!(matches!(err, ClaimError::InsufficientResources { .. }));
+        assert!(p.is_idle());
+    }
+
+    #[test]
+    fn claim_rejects_failed_element() {
+        let (mut p, a, _) = two_dsp();
+        p.fail_element(a);
+        let err = p.claim(a, occ(0, 0, ResourceVector::ZERO)).unwrap_err();
+        assert_eq!(err, ClaimError::ElementFailed(a));
+        assert_eq!(p.failed_elements(), vec![a]);
+        p.repair_element(a);
+        assert!(p.claim(a, occ(0, 0, ResourceVector::ZERO)).is_ok());
+    }
+
+    #[test]
+    fn release_unknown_occupant_is_none() {
+        let (mut p, a, _) = two_dsp();
+        assert_eq!(p.release(a, AppId(9), 9), None);
+    }
+
+    #[test]
+    fn release_app_clears_all_claims() {
+        let (mut p, a, c) = two_dsp();
+        p.claim(a, occ(1, 0, ResourceVector::new(10, 0, 0, 0))).unwrap();
+        p.claim(c, occ(1, 1, ResourceVector::new(20, 0, 0, 0))).unwrap();
+        p.claim(c, occ(2, 0, ResourceVector::new(30, 0, 0, 0))).unwrap();
+        assert_eq!(p.release_app(AppId(1)), 2);
+        assert_eq!(p.free(a), ResourceVector::new(100, 10, 0, 0));
+        assert_eq!(p.free(c), ResourceVector::new(70, 10, 0, 0));
+        assert_eq!(p.residents(c).len(), 1);
+    }
+
+    #[test]
+    fn link_claims_track_vc_and_bandwidth() {
+        let (mut p, a, c) = two_dsp();
+        let l = p.link_between(a, c).unwrap();
+        assert!(p.link_available(l, 600));
+        p.claim_link(l, 600).unwrap();
+        assert_eq!(p.link_free_bandwidth(l), 400);
+        assert_eq!(p.link_free_virtual_channels(l), 1);
+        assert!(!p.link_available(l, 500));
+        p.claim_link(l, 400).unwrap();
+        let err = p.claim_link(l, 0).unwrap_err();
+        assert!(matches!(err, ClaimError::LinkSaturated { .. }));
+        p.release_link(l, 400);
+        p.release_link(l, 600);
+        assert!(p.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced link release")]
+    fn unbalanced_link_release_panics() {
+        let (mut p, a, c) = two_dsp();
+        let l = p.link_between(a, c).unwrap();
+        p.release_link(l, 1);
+    }
+
+    #[test]
+    fn checkpoint_restore_undoes_everything() {
+        let (mut p, a, c) = two_dsp();
+        let cp = p.checkpoint();
+        p.claim(a, occ(0, 0, ResourceVector::new(50, 0, 0, 0))).unwrap();
+        let l = p.link_between(a, c).unwrap();
+        p.claim_link(l, 100).unwrap();
+        p.fail_element(c);
+        p.restore(cp);
+        assert!(p.is_idle());
+        assert!(!p.is_failed(c));
+    }
+
+    #[test]
+    fn adjacency_is_directional() {
+        let mut b = PlatformBuilder::new("dir");
+        let a = b.add_element(ElementKind::Dsp, ResourceVector::splat(1));
+        let c = b.add_element(ElementKind::Dsp, ResourceVector::splat(1));
+        b.connect_directed(a, c, 10, 1);
+        let p = b.build();
+        assert_eq!(p.successors(a).len(), 1);
+        assert_eq!(p.predecessors(a).len(), 0);
+        assert_eq!(p.successors(c).len(), 0);
+        assert_eq!(p.predecessors(c).len(), 1);
+        assert_eq!(p.neighbors(a), vec![c]);
+        assert_eq!(p.neighbors(c), vec![a]);
+        assert_eq!(p.degree(a), 1);
+        assert_eq!(p.link_between(c, a), None);
+    }
+
+    #[test]
+    fn totals_exclude_failed_elements() {
+        let (mut p, a, _) = two_dsp();
+        assert_eq!(p.total_capacity(), ResourceVector::new(200, 20, 0, 0));
+        p.fail_element(a);
+        assert_eq!(p.total_capacity(), ResourceVector::new(100, 10, 0, 0));
+        assert_eq!(p.total_free(), ResourceVector::new(100, 10, 0, 0));
+    }
+}

@@ -1,0 +1,248 @@
+//! End-to-end latency measurement under self-timed execution.
+//!
+//! The paper expresses latency constraints as throughput constraints
+//! (Moreira & Bekooij [12]) before checking them; this module provides the
+//! *direct* measurement those conversions approximate: simulate the
+//! self-timed schedule and pair the k-th firing **start** of a source actor
+//! with the k-th firing **completion** of a sink actor. After a warm-up
+//! prefix, the maximum pairing distance is the steady-state end-to-end
+//! latency of one token wavefront through the pipeline.
+
+use crate::graph::{ActorId, SdfGraph};
+use crate::statespace::StateSpaceError;
+
+/// Configuration of the latency measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// Source-firing/sink-completion pairs to discard as transient.
+    pub warmup_iterations: usize,
+    /// Pairs measured after warm-up.
+    pub window_iterations: usize,
+    /// Upper bound on simulation steps.
+    pub max_events: usize,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig { warmup_iterations: 8, window_iterations: 32, max_events: 1_000_000 }
+    }
+}
+
+/// Result of a latency measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyReport {
+    /// The measured source actor.
+    pub source: ActorId,
+    /// The measured sink actor.
+    pub sink: ActorId,
+    /// Maximum source-start to sink-completion distance in the window.
+    pub max_latency: u64,
+    /// Mean distance over the window.
+    pub mean_latency: f64,
+    /// Number of pairs measured.
+    pub window: usize,
+}
+
+/// Measures the steady-state end-to-end latency from `source` to `sink`
+/// under self-timed execution.
+///
+/// The k-th firing start of `source` is paired with the k-th firing
+/// completion of `sink`; for a consistent graph where both actors have
+/// equal repetition-vector entries (true for the pipeline models the
+/// validation phase builds) this is the lifetime of one input wavefront.
+///
+/// # Errors
+///
+/// [`StateSpaceError::Deadlock`] when execution stalls before the window
+/// completes, [`StateSpaceError::Diverged`] when the event budget runs out
+/// (unbounded graphs — add back-edges first).
+///
+/// # Panics
+///
+/// Panics if `source` or `sink` are out of range, or the window is empty.
+///
+/// # Examples
+///
+/// ```
+/// use kairos_sdf::{SdfGraphBuilder, measure_latency, LatencyConfig};
+///
+/// let mut b = SdfGraphBuilder::new("pipe");
+/// let a = b.add_actor("a", 3);
+/// let c = b.add_actor("b", 4);
+/// let d = b.add_actor("c", 5);
+/// b.add_channel(a, c, 1, 1, 0);
+/// b.add_channel(c, d, 1, 1, 0);
+/// let g = b.build()?.with_bounded_buffers(2);
+/// let report = measure_latency(&g, a, d, &LatencyConfig::default())?;
+/// // One wavefront takes at least the sum of stage times...
+/// assert!(report.max_latency >= 12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn measure_latency(
+    graph: &SdfGraph,
+    source: ActorId,
+    sink: ActorId,
+    config: &LatencyConfig,
+) -> Result<LatencyReport, StateSpaceError> {
+    assert!(source.index() < graph.actor_count(), "source actor out of range");
+    assert!(sink.index() < graph.actor_count(), "sink actor out of range");
+    assert!(config.window_iterations > 0, "window must be non-empty");
+
+    let needed = config.warmup_iterations + config.window_iterations;
+    let n = graph.actor_count();
+    let mut tokens: Vec<i64> = graph.channels().map(|c| c.initial_tokens() as i64).collect();
+    let mut completes_at: Vec<Option<u64>> = vec![None; n];
+    let mut now: u64 = 0;
+
+    let mut source_starts: Vec<u64> = Vec::with_capacity(needed);
+    let mut sink_completes: Vec<u64> = Vec::with_capacity(needed);
+
+    for _ in 0..config.max_events {
+        // Start phase.
+        for a in graph.actor_ids() {
+            if completes_at[a.index()].is_some() {
+                continue;
+            }
+            let enabled = graph
+                .input_channels(a)
+                .iter()
+                .all(|&cid| tokens[cid.index()] >= graph.channel(cid).consume() as i64);
+            if !enabled {
+                continue;
+            }
+            for &cid in graph.input_channels(a) {
+                tokens[cid.index()] -= graph.channel(cid).consume() as i64;
+            }
+            completes_at[a.index()] = Some(now + graph.actor(a).exec_time());
+            if a == source && source_starts.len() < needed {
+                source_starts.push(now);
+            }
+        }
+
+        // Enough data collected?
+        if sink_completes.len() >= needed && source_starts.len() >= needed {
+            break;
+        }
+
+        // Advance phase.
+        let next = completes_at.iter().flatten().copied().min();
+        let Some(next) = next else {
+            return Err(StateSpaceError::Deadlock);
+        };
+        now = next;
+        for a in graph.actor_ids() {
+            if completes_at[a.index()] == Some(now) {
+                completes_at[a.index()] = None;
+                for &cid in graph.output_channels(a) {
+                    tokens[cid.index()] += graph.channel(cid).produce() as i64;
+                }
+                if a == sink && sink_completes.len() < needed {
+                    sink_completes.push(now);
+                }
+            }
+        }
+    }
+
+    if sink_completes.len() < needed || source_starts.len() < needed {
+        return Err(StateSpaceError::Diverged { max_events: config.max_events });
+    }
+
+    let mut max_latency = 0u64;
+    let mut total = 0u64;
+    for k in config.warmup_iterations..needed {
+        let latency = sink_completes[k].saturating_sub(source_starts[k]);
+        max_latency = max_latency.max(latency);
+        total += latency;
+    }
+    Ok(LatencyReport {
+        source,
+        sink,
+        max_latency,
+        mean_latency: total as f64 / config.window_iterations as f64,
+        window: config.window_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SdfGraphBuilder;
+
+    fn pipeline(times: &[u64], buffer: u32) -> (SdfGraph, ActorId, ActorId) {
+        let mut b = SdfGraphBuilder::new("p");
+        let actors: Vec<_> =
+            times.iter().enumerate().map(|(i, &t)| b.add_actor(format!("a{i}"), t)).collect();
+        for w in actors.windows(2) {
+            b.add_channel(w[0], w[1], 1, 1, 0);
+        }
+        let g = b.build().unwrap().with_bounded_buffers(buffer);
+        (g, actors[0], *actors.last().unwrap())
+    }
+
+    #[test]
+    fn latency_is_at_least_the_critical_path() {
+        let (g, src, snk) = pipeline(&[3, 4, 5], 4);
+        let r = measure_latency(&g, src, snk, &LatencyConfig::default()).unwrap();
+        assert!(r.max_latency >= 12, "critical path is 3+4+5");
+        assert!(r.mean_latency >= 12.0);
+        assert_eq!(r.window, 32);
+    }
+
+    #[test]
+    fn single_actor_latency_is_its_exec_time() {
+        let mut b = SdfGraphBuilder::new("one");
+        let a = b.add_actor("a", 7);
+        b.add_channel(a, a, 1, 1, 1); // serialise
+        let g = b.build().unwrap();
+        let r = measure_latency(&g, a, a, &LatencyConfig::default()).unwrap();
+        assert_eq!(r.max_latency, 7);
+    }
+
+    #[test]
+    fn backpressure_increases_latency() {
+        // A slow tail actor causes queueing at the head with deep buffers.
+        let (deep, src1, snk1) = pipeline(&[1, 10], 8);
+        let (shallow, src2, snk2) = pipeline(&[1, 10], 1);
+        let config = LatencyConfig::default();
+        let l_deep = measure_latency(&deep, src1, snk1, &config).unwrap();
+        let l_shallow = measure_latency(&shallow, src2, snk2, &config).unwrap();
+        assert!(
+            l_deep.max_latency >= l_shallow.max_latency,
+            "deeper buffers queue more wavefronts: {} < {}",
+            l_deep.max_latency,
+            l_shallow.max_latency
+        );
+    }
+
+    #[test]
+    fn deadlocked_graph_reports_deadlock() {
+        let mut b = SdfGraphBuilder::new("dead");
+        let a = b.add_actor("a", 1);
+        let c = b.add_actor("c", 1);
+        b.add_channel(a, c, 1, 1, 0);
+        b.add_channel(c, a, 1, 1, 0);
+        let g = b.build().unwrap();
+        assert_eq!(
+            measure_latency(&g, a, c, &LatencyConfig::default()).unwrap_err(),
+            StateSpaceError::Deadlock
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_divergence() {
+        let (g, src, snk) = pipeline(&[5, 5, 5, 5], 2);
+        let config = LatencyConfig { max_events: 3, ..LatencyConfig::default() };
+        assert!(matches!(
+            measure_latency(&g, src, snk, &config).unwrap_err(),
+            StateSpaceError::Diverged { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn empty_window_panics() {
+        let (g, src, snk) = pipeline(&[1, 1], 2);
+        let config = LatencyConfig { window_iterations: 0, ..LatencyConfig::default() };
+        let _ = measure_latency(&g, src, snk, &config);
+    }
+}

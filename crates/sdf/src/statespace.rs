@@ -1,0 +1,359 @@
+//! Self-timed state-space throughput analysis.
+//!
+//! Implements the throughput analysis the paper's validation phase relies on
+//! (Ghamarian et al., "Throughput analysis of synchronous data flow graphs",
+//! ACSD 2006): execute the graph *self-timed* (every actor fires as soon as
+//! it is enabled), record the execution state after every step, and detect
+//! the recurrent state that starts the periodic phase. The steady-state
+//! throughput of the reference actor is then `firings per period / period
+//! length`.
+//!
+//! The state space is finite only when token accumulation is bounded; use
+//! [`SdfGraph::with_bounded_buffers`](crate::SdfGraph::with_bounded_buffers)
+//! to back-edge unbounded channels first. Analysis is event-driven and
+//! disallows auto-concurrency (an actor is sequential hardware), matching
+//! the execution model of the paper's tasks.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::analysis::{repetition_vector, SdfAnalysisError};
+use crate::graph::{ActorId, SdfGraph};
+
+/// Errors raised by the state-space exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateSpaceError {
+    /// No actor can ever fire again.
+    Deadlock,
+    /// The exploration exceeded its event budget without recurrence —
+    /// typically an unbounded (back-edge-free) graph.
+    Diverged {
+        /// The configured event budget that was exhausted.
+        max_events: usize,
+    },
+    /// A dependency cycle of zero-time actors makes time stand still.
+    ZeroTimeCycle,
+    /// The reference actor never fires in the periodic phase.
+    ReferenceStarved,
+    /// Static analysis failed before simulation started.
+    Analysis(SdfAnalysisError),
+}
+
+impl fmt::Display for StateSpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateSpaceError::Deadlock => f.write_str("self-timed execution deadlocked"),
+            StateSpaceError::Diverged { max_events } => {
+                write!(f, "no recurrent state within {max_events} events")
+            }
+            StateSpaceError::ZeroTimeCycle => f.write_str("zero-time cycle, time cannot advance"),
+            StateSpaceError::ReferenceStarved => {
+                f.write_str("reference actor does not fire in the periodic phase")
+            }
+            StateSpaceError::Analysis(e) => write!(f, "static analysis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StateSpaceError {}
+
+impl From<SdfAnalysisError> for StateSpaceError {
+    fn from(e: SdfAnalysisError) -> Self {
+        StateSpaceError::Analysis(e)
+    }
+}
+
+/// Tuning knobs for the exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateSpaceConfig {
+    /// Upper bound on simulation steps before reporting divergence.
+    pub max_events: usize,
+}
+
+impl Default for StateSpaceConfig {
+    fn default() -> Self {
+        StateSpaceConfig { max_events: 1_000_000 }
+    }
+}
+
+/// Result of a throughput analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    /// The actor whose firing rate was measured.
+    pub reference: ActorId,
+    /// Steady-state firings of the reference actor per cycle.
+    pub throughput: f64,
+    /// Steady-state cycles per complete graph iteration
+    /// (`q[reference] / throughput`).
+    pub iteration_period: f64,
+    /// Length of the transient prefix, in cycles.
+    pub transient_time: u64,
+    /// Length of the periodic phase, in cycles.
+    pub period_time: u64,
+    /// Reference firings per periodic phase.
+    pub period_firings: u64,
+    /// Number of distinct execution states visited.
+    pub states_explored: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct StateKey {
+    tokens: Vec<u32>,
+    /// Remaining execution time per actor; `u64::MAX` when idle.
+    remaining: Vec<u64>,
+}
+
+/// Computes the steady-state throughput of `reference` by self-timed
+/// state-space exploration with the default configuration.
+///
+/// # Errors
+///
+/// See [`StateSpaceError`].
+///
+/// # Examples
+///
+/// ```
+/// use kairos_sdf::{SdfGraphBuilder, throughput};
+///
+/// let mut b = SdfGraphBuilder::new("pingpong");
+/// let a = b.add_actor("a", 2);
+/// let c = b.add_actor("c", 3);
+/// b.add_channel(a, c, 1, 1, 1);
+/// b.add_channel(c, a, 1, 1, 1);
+/// let g = b.build()?;
+/// let report = throughput(&g, a)?;
+/// // One firing of each actor per 3-cycle round (they pipeline).
+/// assert!((report.throughput - 1.0 / 3.0).abs() < 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn throughput(graph: &SdfGraph, reference: ActorId) -> Result<ThroughputReport, StateSpaceError> {
+    throughput_with(graph, reference, &StateSpaceConfig::default())
+}
+
+/// [`throughput`] with an explicit configuration.
+///
+/// # Errors
+///
+/// See [`StateSpaceError`].
+///
+/// # Panics
+///
+/// Panics if `reference` is out of range for `graph`.
+pub fn throughput_with(
+    graph: &SdfGraph,
+    reference: ActorId,
+    config: &StateSpaceConfig,
+) -> Result<ThroughputReport, StateSpaceError> {
+    assert!(reference.index() < graph.actor_count(), "reference actor out of range");
+    let q = repetition_vector(graph)?;
+    let n = graph.actor_count();
+
+    let mut tokens: Vec<i64> = graph.channels().map(|c| c.initial_tokens() as i64).collect();
+    // Completion time per busy actor (absolute), None when idle.
+    let mut completes_at: Vec<Option<u64>> = vec![None; n];
+    let mut now: u64 = 0;
+    let mut ref_firings: u64 = 0;
+
+    // Visited states -> (time, ref firings) at first visit.
+    let mut seen: HashMap<StateKey, (u64, u64)> = HashMap::new();
+
+    for _ in 0..config.max_events {
+        // Start phase: fire every enabled idle actor. Token consumption only
+        // removes tokens, so one scan per actor suffices.
+        for a in graph.actor_ids() {
+            if completes_at[a.index()].is_some() {
+                continue;
+            }
+            let enabled = graph
+                .input_channels(a)
+                .iter()
+                .all(|&cid| tokens[cid.index()] >= graph.channel(cid).consume() as i64);
+            if !enabled {
+                continue;
+            }
+            for &cid in graph.input_channels(a) {
+                tokens[cid.index()] -= graph.channel(cid).consume() as i64;
+            }
+            completes_at[a.index()] = Some(now + graph.actor(a).exec_time());
+        }
+
+        // Record the post-start state and look for recurrence.
+        let key = StateKey {
+            tokens: tokens
+                .iter()
+                .map(|&t| u32::try_from(t).expect("token counts are non-negative"))
+                .collect(),
+            remaining: completes_at
+                .iter()
+                .map(|c| c.map_or(u64::MAX, |at| at - now))
+                .collect(),
+        };
+        if let Some(&(prev_time, prev_firings)) = seen.get(&key) {
+            let period_time = now - prev_time;
+            let period_firings = ref_firings - prev_firings;
+            if period_time == 0 {
+                return Err(StateSpaceError::ZeroTimeCycle);
+            }
+            if period_firings == 0 {
+                return Err(StateSpaceError::ReferenceStarved);
+            }
+            let throughput = period_firings as f64 / period_time as f64;
+            return Ok(ThroughputReport {
+                reference,
+                throughput,
+                iteration_period: q[reference.index()] as f64 / throughput,
+                transient_time: prev_time,
+                period_time,
+                period_firings,
+                states_explored: seen.len(),
+            });
+        }
+        seen.insert(key, (now, ref_firings));
+
+        // Advance phase: jump to the earliest completion.
+        let next = completes_at.iter().flatten().copied().min();
+        let Some(next) = next else {
+            return Err(StateSpaceError::Deadlock);
+        };
+        now = next;
+        for a in graph.actor_ids() {
+            if completes_at[a.index()] == Some(now) {
+                completes_at[a.index()] = None;
+                for &cid in graph.output_channels(a) {
+                    tokens[cid.index()] += graph.channel(cid).produce() as i64;
+                }
+                if a == reference {
+                    ref_firings += 1;
+                }
+            }
+        }
+    }
+
+    Err(StateSpaceError::Diverged { max_events: config.max_events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SdfGraphBuilder;
+
+    /// Two-actor ring with one token in each direction.
+    fn pingpong(ea: u64, ec: u64) -> (SdfGraph, ActorId, ActorId) {
+        let mut b = SdfGraphBuilder::new("pp");
+        let a = b.add_actor("a", ea);
+        let c = b.add_actor("c", ec);
+        b.add_channel(a, c, 1, 1, 1);
+        b.add_channel(c, a, 1, 1, 1);
+        (b.build().unwrap(), a, c)
+    }
+
+    #[test]
+    fn pipeline_throughput_is_bottleneck_rate() {
+        let (g, a, c) = pingpong(2, 5);
+        let r = throughput(&g, a).unwrap();
+        assert!((r.throughput - 0.2).abs() < 1e-9, "bottleneck is the 5-cycle actor");
+        let r2 = throughput(&g, c).unwrap();
+        assert!((r2.throughput - 0.2).abs() < 1e-9);
+        assert!((r.iteration_period - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_token_ring_serialises() {
+        let mut b = SdfGraphBuilder::new("ring1");
+        let a = b.add_actor("a", 2);
+        let c = b.add_actor("c", 3);
+        b.add_channel(a, c, 1, 1, 1);
+        b.add_channel(c, a, 1, 1, 0);
+        let g = b.build().unwrap();
+        // Only one token circulates: period = 2 + 3 = 5.
+        let r = throughput(&g, a).unwrap();
+        assert!((r.throughput - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadlocked_graph_reports_deadlock() {
+        let mut b = SdfGraphBuilder::new("dead");
+        let a = b.add_actor("a", 1);
+        let c = b.add_actor("c", 1);
+        b.add_channel(a, c, 1, 1, 0);
+        b.add_channel(c, a, 1, 1, 0);
+        let g = b.build().unwrap();
+        assert_eq!(throughput(&g, a).unwrap_err(), StateSpaceError::Deadlock);
+    }
+
+    #[test]
+    fn unbounded_graph_diverges() {
+        let mut b = SdfGraphBuilder::new("unbounded");
+        let a = b.add_actor("a", 1);
+        let c = b.add_actor("c", 2);
+        b.add_channel(a, c, 1, 1, 0); // no back-edge: a outruns c forever
+        let g = b.build().unwrap();
+        let err =
+            throughput_with(&g, a, &StateSpaceConfig { max_events: 500 }).unwrap_err();
+        assert_eq!(err, StateSpaceError::Diverged { max_events: 500 });
+        // Bounding the buffer makes it analysable:
+        let bounded = g.with_bounded_buffers(2);
+        let r = throughput(&bounded, a).unwrap();
+        assert!((r.throughput - 0.5).abs() < 1e-9, "throughput limited by slow consumer");
+    }
+
+    #[test]
+    fn zero_time_cycle_is_detected() {
+        let mut b = SdfGraphBuilder::new("zero");
+        let a = b.add_actor("a", 0);
+        b.add_channel(a, a, 1, 1, 1);
+        let g = b.build().unwrap();
+        assert_eq!(throughput(&g, a).unwrap_err(), StateSpaceError::ZeroTimeCycle);
+    }
+
+    #[test]
+    fn multirate_iteration_period() {
+        // a fires 3x per iteration (q=[3,2]); each firing takes 1; c takes 2.
+        let mut b = SdfGraphBuilder::new("mr");
+        let a = b.add_actor("a", 1);
+        let c = b.add_actor("c", 2);
+        b.add_channel(a, c, 2, 3, 0);
+        let g = b.build().unwrap().with_bounded_buffers(6);
+        let r = throughput(&g, a).unwrap();
+        assert!(r.throughput > 0.0);
+        let per_iter_a = 3.0 / r.throughput;
+        assert!((r.iteration_period - per_iter_a).abs() < 1e-9);
+        // c is the bottleneck: 2 firings x 2 cycles, sequential -> >= 4 cycles/iter.
+        assert!(r.iteration_period >= 4.0 - 1e-9);
+    }
+
+    #[test]
+    fn inconsistent_graph_fails_fast() {
+        let mut b = SdfGraphBuilder::new("inc");
+        let a = b.add_actor("a", 1);
+        let c = b.add_actor("c", 1);
+        b.add_channel(a, c, 2, 1, 0);
+        b.add_channel(c, a, 1, 1, 0);
+        let g = b.build().unwrap();
+        assert!(matches!(
+            throughput(&g, a).unwrap_err(),
+            StateSpaceError::Analysis(SdfAnalysisError::Inconsistent)
+        ));
+    }
+
+    #[test]
+    fn transient_is_separated_from_period() {
+        // Unbalanced initial tokens create a transient before steady state.
+        let mut b = SdfGraphBuilder::new("trans");
+        let a = b.add_actor("a", 1);
+        let c = b.add_actor("c", 4);
+        b.add_channel(a, c, 1, 1, 3);
+        b.add_channel(c, a, 1, 1, 1);
+        let g = b.build().unwrap();
+        let r = throughput(&g, a).unwrap();
+        assert!((r.throughput - 0.25).abs() < 1e-9);
+        assert!(r.period_time > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference actor out of range")]
+    fn bad_reference_panics() {
+        let (g, _, _) = pingpong(1, 1);
+        let _ = throughput(&g, ActorId(99));
+    }
+}

@@ -1,0 +1,90 @@
+//! Fault tolerance through run-time re-mapping.
+//!
+//! The paper motivates run-time resource management with the need "to
+//! provide some degree of fault tolerance, due to imperfect production
+//! processes and wear of materials". This example injects element failures
+//! and re-admits the evicted applications on the remaining healthy
+//! elements — something a design-time mapping cannot do.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use kairos::appgen::{AppGenerator, GeneratorConfig};
+use kairos::core::{Kairos, KairosConfig};
+use kairos::platform::{topology, ElementKind};
+
+fn main() {
+    let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+    let mut generator = AppGenerator::new(
+        GeneratorConfig { internal_tasks: 3..=6, ..GeneratorConfig::default() },
+        0xFA17,
+    );
+
+    // Admit a handful of applications and remember their layouts.
+    let apps: Vec<_> = (0..6).map(|i| generator.generate(format!("app{i}"))).collect();
+    let mut resident = Vec::new();
+    for app in &apps {
+        if let Ok(report) = kairos.admit(app) {
+            resident.push((app, report));
+        }
+    }
+    println!("{} applications resident before the fault", resident.len());
+
+    // Fail the busiest DSP.
+    let busiest = kairos
+        .platform()
+        .element_ids()
+        .filter(|&e| kairos.platform().element(e).kind() == ElementKind::Dsp)
+        .max_by_key(|&e| kairos.platform().residents(e).len())
+        .expect("CRISP has DSPs");
+    let occupants = kairos.platform().residents(busiest).len();
+    println!(
+        "\ninjecting failure into {} ({} resident tasks)",
+        kairos.platform().element(busiest).name(),
+        occupants
+    );
+    let evicted = kairos.fail_element(busiest);
+    println!("evicted applications: {evicted:?}");
+
+    // Re-admit the victims: the mapper must route around the dead element.
+    let mut recovered = 0;
+    for (app, old_report) in &resident {
+        if !evicted.contains(&old_report.app_id) {
+            continue;
+        }
+        match kairos.admit(app) {
+            Ok(new_report) => {
+                recovered += 1;
+                let moved = new_report
+                    .layout
+                    .placement
+                    .iter()
+                    .zip(old_report.layout.placement.iter())
+                    .filter(|((_, new), (_, old))| new != old)
+                    .count();
+                println!(
+                    "  {} re-admitted as {} ({} of {} tasks moved)",
+                    app.name(),
+                    new_report.app_id,
+                    moved,
+                    app.task_count()
+                );
+                // The failed element must not be used.
+                assert!(new_report.layout.placement.iter().all(|(_, e)| e != busiest));
+            }
+            Err(failure) => {
+                println!("  {} could not be recovered ({})", app.name(), failure.phase());
+            }
+        }
+    }
+    println!(
+        "\nrecovered {recovered}/{} evicted applications without {}",
+        evicted.len(),
+        kairos.platform().element(busiest).name()
+    );
+
+    // Repair and show the element becomes usable again.
+    kairos.repair_element(busiest);
+    println!("element repaired; failure set now {:?}", kairos.platform().failed_elements());
+}

@@ -1,0 +1,89 @@
+//! Run-time dynamics: applications arriving and leaving an MPSoC.
+//!
+//! Demonstrates what *run-time* (versus design-time) resource management
+//! buys: the platform admits an unpredictable stream of applications,
+//! rejects what no longer fits, and reclaims resources when applications
+//! terminate — no precomputed schedule could cover these combinations.
+//!
+//! ```sh
+//! cargo run --release --example multi_app
+//! ```
+
+use kairos::appgen::{AppGenerator, GeneratorConfig};
+use kairos::core::{Kairos, KairosConfig};
+use kairos::platform::topology;
+
+fn main() {
+    let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+    let mut generator = AppGenerator::new(
+        GeneratorConfig { internal_tasks: 3..=8, ..GeneratorConfig::default() },
+        0xD1CE,
+    );
+
+    println!("phase 1: admission until saturation");
+    let mut admitted = Vec::new();
+    let mut rejected_at = None;
+    for i in 0..40 {
+        let app = generator.generate(format!("app{i}"));
+        match kairos.admit(&app) {
+            Ok(report) => {
+                println!(
+                    "  + {} ({} tasks) -> {} [frag {:>5.1}%]",
+                    app.name(),
+                    app.task_count(),
+                    report.app_id,
+                    100.0 * kairos.fragmentation()
+                );
+                admitted.push(report.app_id);
+            }
+            Err(failure) => {
+                println!(
+                    "  x {} rejected in {} phase after {} admissions",
+                    app.name(),
+                    failure.phase(),
+                    admitted.len()
+                );
+                rejected_at = Some(i);
+                break;
+            }
+        }
+    }
+
+    println!("\noccupancy strip (o/8/# = 1/2-3/4+ tasks, . = idle):");
+    println!("  {}", kairos::platform::render_strip(kairos.platform()));
+
+    println!("\nphase 2: half the applications terminate");
+    let to_release: Vec<_> = admitted.iter().copied().step_by(2).collect();
+    for id in &to_release {
+        kairos.release(*id);
+    }
+    println!(
+        "  released {} applications; fragmentation now {:.1}%",
+        to_release.len(),
+        100.0 * kairos.fragmentation()
+    );
+    println!("  {}", kairos::platform::render_strip(kairos.platform()));
+
+    println!("\nphase 3: the freed resources admit new work");
+    let mut readmitted = 0;
+    for i in 0..10 {
+        let app = generator.generate(format!("late{i}"));
+        match kairos.admit(&app) {
+            Ok(report) => {
+                readmitted += 1;
+                println!("  + {} -> {}", app.name(), report.app_id);
+            }
+            Err(failure) => {
+                println!("  x {} rejected ({} phase)", app.name(), failure.phase());
+            }
+        }
+    }
+    println!(
+        "\nsummary: {} initial admissions (first rejection at request {:?}), \
+         {} late admissions after partial release, {} apps resident",
+        admitted.len(),
+        rejected_at,
+        readmitted,
+        kairos.admitted_count()
+    );
+}

@@ -1,0 +1,42 @@
+//! # kairos
+//!
+//! Run-time spatial resource management for real-time applications on
+//! heterogeneous MPSoCs — a complete Rust reproduction of *ter Braak,
+//! Hölzenspies, Kuper, Hurink, Smit (DATE 2010)*.
+//!
+//! This meta-crate re-exports the whole workspace:
+//!
+//! * [`platform`] — MPSoC platform model (elements, NoC links, resource
+//!   vectors, the CRISP topology, fragmentation metrics, fault injection);
+//! * [`app`] — application model (task graphs, implementations, channels,
+//!   constraints, the Kairos binary container format);
+//! * [`appgen`] — TGFF-like workload generator, the six DATE'10 datasets and
+//!   the 53-task beamforming case study;
+//! * [`sdf`] — SDF graphs and self-timed state-space throughput analysis;
+//! * [`core`] — the four-phase resource manager itself: binding, mapping
+//!   (the paper's contribution), routing, validation, plus baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kairos::core::{Kairos, KairosConfig};
+//! use kairos::platform::topology;
+//! use kairos::appgen::{AppGenerator, GeneratorConfig};
+//!
+//! let mut manager = Kairos::new(topology::crisp(), KairosConfig::default());
+//! let mut generator = AppGenerator::new(GeneratorConfig::default(), 7);
+//! let app = generator.generate("demo");
+//! match manager.admit(&app) {
+//!     Ok(report) => println!("admitted {} in {}", report.app_id, report.timings),
+//!     Err(failure) => println!("rejected in {} phase: {}", failure.phase(), failure),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use kairos_app as app;
+pub use kairos_appgen as appgen;
+pub use kairos_core as core;
+pub use kairos_platform as platform;
+pub use kairos_sdf as sdf;

@@ -1,0 +1,26 @@
+//! Smoke test: the 53-task beamformer admits onto CRISP with balanced
+//! weights (paper §IV-A).
+
+use kairos::appgen::beamforming::beamforming_app;
+use kairos::core::{CostPolicy, Kairos, KairosConfig};
+use kairos::platform::topology;
+
+#[test]
+fn beamformer_admits_with_both_objectives() {
+    let app = beamforming_app();
+    let config = KairosConfig {
+        extra_search_rings: 5,
+        ..KairosConfig::with_policy(CostPolicy::Both)
+    };
+    let mut kairos = Kairos::new(topology::crisp(), config);
+    match kairos.admit(&app) {
+        Ok(report) => {
+            println!("admitted: {}", report.layout);
+            println!("timings: {}", report.timings);
+            assert_eq!(report.layout.placement.len(), 53);
+        }
+        Err(failure) => {
+            panic!("beamformer rejected in {} phase: {}", failure.phase(), failure);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The Kairos binary application format end-to-end: applications survive
+//! encode/decode byte-exactly and allocate identically afterwards — the
+//! property the paper's Linux binary handler relies on.
+
+use kairos::app::binfmt;
+use kairos::appgen::{beamforming_app, generate_dataset, DatasetSpec};
+use kairos::core::{Kairos, KairosConfig};
+use kairos::platform::topology;
+
+#[test]
+fn every_dataset_app_roundtrips() {
+    for spec in DatasetSpec::all() {
+        for app in generate_dataset(spec, 10, 42) {
+            let image = binfmt::encode(&app);
+            assert!(binfmt::is_kairos_image(&image));
+            let back = binfmt::decode(&image).expect("decode");
+            assert_eq!(app, back, "{spec:?}: roundtrip mismatch");
+        }
+    }
+}
+
+#[test]
+fn beamformer_roundtrips() {
+    let app = beamforming_app();
+    let image = binfmt::encode(&app);
+    let back = binfmt::decode(&image).unwrap();
+    assert_eq!(app, back);
+}
+
+#[test]
+fn decoded_applications_allocate_identically() {
+    let apps = generate_dataset(DatasetSpec::all()[0], 8, 17);
+    let mut direct = Kairos::new(topology::crisp(), KairosConfig::default());
+    let mut via_image = Kairos::new(topology::crisp(), KairosConfig::default());
+    for app in &apps {
+        let decoded = binfmt::decode(&binfmt::encode(app)).unwrap();
+        let a = direct.admit(app);
+        let b = via_image.admit(&decoded);
+        match (a, b) {
+            (Ok(ra), Ok(rb)) => {
+                assert_eq!(ra.layout, rb.layout, "layouts diverged for {}", app.name());
+            }
+            (Err(fa), Err(fb)) => {
+                assert_eq!(fa.phase(), fb.phase(), "phases diverged for {}", app.name());
+            }
+            (a, b) => panic!(
+                "admission outcome diverged for {}: direct={:?} decoded={:?}",
+                app.name(),
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+}
+
+#[test]
+fn foreign_binaries_are_rejected() {
+    // The kernel handler must not claim ELF files or random bytes.
+    assert!(!binfmt::is_kairos_image(b"\x7fELF\x02\x01\x01"));
+    assert!(binfmt::decode(b"\x7fELF\x02\x01\x01").is_err());
+    assert!(binfmt::decode(&[]).is_err());
+}

@@ -1,0 +1,176 @@
+//! Cross-crate integration tests: the full four-phase pipeline on the CRISP
+//! platform, with structural invariants checked on every admitted layout.
+
+use kairos::app::Application;
+use kairos::appgen::{generate_dataset, DatasetSpec};
+use kairos::core::{CostPolicy, Kairos, KairosConfig};
+use kairos::platform::{topology, Platform};
+
+/// Checks every invariant an execution layout must satisfy.
+fn assert_layout_invariants(
+    app: &Application,
+    layout: &kairos::core::ExecutionLayout,
+    platform: &Platform,
+    app_id: kairos::platform::AppId,
+) {
+    // Every task is placed on a kind-compatible element and recorded as a
+    // resident occupant.
+    for (task, element) in layout.placement.iter() {
+        let imp = layout.binding.implementation(app, task);
+        assert_eq!(
+            platform.element(element).kind(),
+            imp.target(),
+            "task {task} placed on incompatible element kind"
+        );
+        assert!(
+            platform
+                .residents(element)
+                .iter()
+                .any(|o| o.app == app_id && o.task == task.0),
+            "task {task} not resident on its element"
+        );
+    }
+    // Element capacities are never exceeded (free = capacity - sum(claims)).
+    for e in platform.element_ids() {
+        let claimed: kairos::platform::ResourceVector =
+            platform.residents(e).iter().map(|o| o.claimed).sum();
+        let expected_free = platform
+            .element(e)
+            .capacity()
+            .checked_sub(&claimed)
+            .expect("claims exceed capacity");
+        assert_eq!(platform.free(e), expected_free, "ledger out of sync on {e}");
+    }
+    // Every route is a contiguous link path from the producer's element to
+    // the consumer's element.
+    for route in &layout.routes {
+        let channel = app.channel(route.channel());
+        let src = layout.placement.element(channel.src());
+        let dst = layout.placement.element(channel.dst());
+        if route.is_local() {
+            assert_eq!(src, dst, "local route between distinct elements");
+            continue;
+        }
+        let mut cursor = src;
+        for &l in route.links() {
+            assert_eq!(platform.link(l).src(), cursor, "route not contiguous");
+            cursor = platform.link(l).dst();
+        }
+        assert_eq!(cursor, dst, "route does not reach the destination");
+    }
+}
+
+#[test]
+fn admitted_layouts_satisfy_all_invariants() {
+    let mut total_admitted = 0;
+    for spec in DatasetSpec::all() {
+        let apps = generate_dataset(spec, 20, 99);
+        let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+        let mut admitted = 0;
+        for app in &apps {
+            if let Ok(report) = kairos.admit(app) {
+                admitted += 1;
+                assert_layout_invariants(app, &report.layout, kairos.platform(), report.app_id);
+            }
+        }
+        // Communication-Large intentionally filters very hard (Table I:
+        // only ~20% map even on an empty platform), so only require global
+        // coverage plus per-dataset coverage for the other five.
+        if spec != DatasetSpec::all()[2] {
+            assert!(admitted > 0, "{spec:?}: nothing admitted on an empty platform");
+        }
+        total_admitted += admitted;
+    }
+    assert!(total_admitted >= 20, "too few admissions overall ({total_admitted})");
+}
+
+#[test]
+fn rejections_leave_the_platform_untouched() {
+    let apps = generate_dataset(DatasetSpec::all()[3], 40, 7); // computation small
+    let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+    let mut last_good = kairos.platform().checkpoint();
+    let mut saw_rejection = false;
+    for app in &apps {
+        match kairos.admit(app) {
+            Ok(_) => last_good = kairos.platform().checkpoint(),
+            Err(_) => {
+                saw_rejection = true;
+                assert_eq!(
+                    kairos.platform().checkpoint(),
+                    last_good,
+                    "rejection modified the platform"
+                );
+            }
+        }
+    }
+    assert!(saw_rejection, "sequence never saturated the platform");
+}
+
+#[test]
+fn release_everything_returns_to_idle() {
+    let apps = generate_dataset(DatasetSpec::all()[0], 15, 3);
+    let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+    for app in &apps {
+        let _ = kairos.admit(app);
+    }
+    assert!(kairos.admitted_count() > 0);
+    kairos.release_all();
+    assert!(kairos.platform().is_idle(), "leaked claims after releasing all apps");
+    assert_eq!(kairos.fragmentation(), 0.0);
+}
+
+#[test]
+fn all_cost_policies_produce_valid_layouts() {
+    let apps = generate_dataset(DatasetSpec::all()[1], 8, 21);
+    for policy in CostPolicy::ALL {
+        let mut kairos = Kairos::new(topology::crisp(), KairosConfig::with_policy(policy));
+        for app in &apps {
+            if let Ok(report) = kairos.admit(app) {
+                assert_layout_invariants(app, &report.layout, kairos.platform(), report.app_id);
+            }
+        }
+    }
+}
+
+#[test]
+fn interleaved_admissions_and_releases_conserve_resources() {
+    let apps = generate_dataset(DatasetSpec::all()[0], 20, 5);
+    let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+    let initial_free = kairos.platform().total_free();
+    let mut resident = Vec::new();
+    for (i, app) in apps.iter().enumerate() {
+        if let Ok(report) = kairos.admit(app) {
+            resident.push(report.app_id);
+        }
+        // Every third step, release the oldest resident.
+        if i % 3 == 2 && !resident.is_empty() {
+            let id = resident.remove(0);
+            assert!(kairos.release(id));
+        }
+    }
+    for id in resident {
+        kairos.release(id);
+    }
+    assert!(kairos.platform().is_idle());
+    assert_eq!(kairos.platform().total_free(), initial_free);
+}
+
+#[test]
+fn admission_works_on_alternative_topologies() {
+    let apps = generate_dataset(DatasetSpec::all()[0], 6, 11);
+    for platform in [topology::dsp_mesh(6, 6), topology::dsp_ring(24), topology::heterogeneous_mesh(5, 5)] {
+        let mut kairos = Kairos::new(platform, KairosConfig::default());
+        let mut ok = 0;
+        for app in &apps {
+            // Apps with FPGA/ARM-pinned IO may be infeasible on DSP-only
+            // fabrics; that is a legitimate binding rejection, not an error.
+            if kairos.admit(app).is_ok() {
+                ok += 1;
+            }
+        }
+        // The heterogeneous mesh must admit something.
+        if kairos.platform().name().starts_with("hetmesh") {
+            assert!(ok > 0, "heterogeneous mesh admitted nothing");
+        }
+    }
+}

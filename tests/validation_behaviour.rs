@@ -1,0 +1,156 @@
+//! Validation-phase integration tests: the SDF model of an execution layout
+//! responds correctly to placement quality, buffer depth and constraints.
+
+use kairos::app::{ApplicationBuilder, Constraint, Implementation, TaskRole};
+use kairos::core::{
+    bind, map_application, route_channels, validate, CostPolicy, ExecutionLayout, Kairos,
+    KairosConfig, MapperConfig, RouteAlgorithm, ValidationConfig,
+};
+use kairos::platform::{topology, AppId, ElementKind, ResourceVector};
+
+fn pipeline_app(stages: usize, cycles: u64) -> kairos::app::Application {
+    let imp = Implementation::new(
+        ElementKind::Dsp,
+        ResourceVector::new(600, 16, 0, 0),
+        cycles,
+        1,
+    );
+    let mut b = ApplicationBuilder::new("vpipe");
+    let mut prev = None;
+    for i in 0..stages {
+        let role = if i == 0 {
+            TaskRole::Input
+        } else if i == stages - 1 {
+            TaskRole::Output
+        } else {
+            TaskRole::Internal
+        };
+        let t = b.add_task(format!("s{i}"), role, vec![imp]);
+        if let Some(p) = prev {
+            b.add_channel(p, t, 100, 1);
+        }
+        prev = Some(t);
+    }
+    b.build().unwrap()
+}
+
+fn layout_on_line(app: &kairos::app::Application) -> (ExecutionLayout, kairos::platform::Platform) {
+    let mut platform = topology::dsp_line(app.task_count() + 2);
+    let binding = bind(app, &platform).unwrap();
+    let report = map_application(
+        app,
+        &binding,
+        &mut platform,
+        AppId(0),
+        &MapperConfig::with_policy(CostPolicy::Communication),
+    )
+    .unwrap();
+    let routes =
+        route_channels(app, &report.placement, &mut platform, RouteAlgorithm::Bfs).unwrap();
+    (ExecutionLayout { binding, placement: report.placement, routes }, platform)
+}
+
+#[test]
+fn period_tracks_the_slowest_stage() {
+    for bottleneck in [50u64, 200, 800] {
+        let mut b = ApplicationBuilder::new("bn");
+        let fast = Implementation::new(ElementKind::Dsp, ResourceVector::new(400, 8, 0, 0), 20, 1);
+        let slow =
+            Implementation::new(ElementKind::Dsp, ResourceVector::new(400, 8, 0, 0), bottleneck, 1);
+        let t0 = b.add_task("a", TaskRole::Input, vec![fast]);
+        let t1 = b.add_task("b", TaskRole::Internal, vec![slow]);
+        let t2 = b.add_task("c", TaskRole::Output, vec![fast]);
+        b.add_channel(t0, t1, 50, 1);
+        b.add_channel(t1, t2, 50, 1);
+        let app = b.build().unwrap();
+        let (layout, _) = layout_on_line(&app);
+        let report = validate(&app, &layout, &ValidationConfig::default()).unwrap();
+        assert!(
+            report.iteration_period >= bottleneck as f64,
+            "period {} below bottleneck {bottleneck}",
+            report.iteration_period
+        );
+        assert!(
+            report.iteration_period <= (bottleneck + 60) as f64,
+            "period {} far above bottleneck {bottleneck} (pipelining broken?)",
+            report.iteration_period
+        );
+    }
+}
+
+#[test]
+fn hop_latency_config_scales_transport_cost() {
+    let app = pipeline_app(4, 10);
+    let (layout, _) = layout_on_line(&app);
+    let slow_noc = ValidationConfig {
+        hop_latency_cycles: 500,
+        ..ValidationConfig::default()
+    };
+    let fast_noc = ValidationConfig { hop_latency_cycles: 1, ..ValidationConfig::default() };
+    let slow = validate(&app, &layout, &slow_noc).unwrap();
+    let fast = validate(&app, &layout, &fast_noc).unwrap();
+    if layout.total_hops() > 0 {
+        assert!(slow.iteration_period > fast.iteration_period);
+    }
+}
+
+#[test]
+fn latency_exceeds_period_for_pipelines() {
+    let app = pipeline_app(5, 30);
+    let (layout, _) = layout_on_line(&app);
+    let config = ValidationConfig { measure_latency: true, ..ValidationConfig::default() };
+    let report = validate(&app, &layout, &config).unwrap();
+    let latency = report.end_to_end_latency.expect("pipeline has input and output");
+    assert!(
+        latency as f64 >= report.iteration_period,
+        "a 5-stage wavefront cannot beat one period"
+    );
+    assert!(latency >= 5 * 30, "latency below the critical path");
+}
+
+#[test]
+fn constraints_gate_admission_end_to_end() {
+    // Identical apps, one feasible and one infeasible constraint.
+    let feasible = {
+        let mut b = ApplicationBuilder::new("ok");
+        let imp =
+            Implementation::new(ElementKind::Dsp, ResourceVector::new(500, 8, 0, 0), 100, 1);
+        let t0 = b.add_task("a", TaskRole::Input, vec![imp]);
+        let t1 = b.add_task("b", TaskRole::Output, vec![imp]);
+        b.add_channel(t0, t1, 100, 1);
+        b.add_constraint(Constraint::Throughput { max_period_cycles: 100_000 });
+        b.build().unwrap()
+    };
+    let infeasible = {
+        let mut b = ApplicationBuilder::new("tight");
+        let imp =
+            Implementation::new(ElementKind::Dsp, ResourceVector::new(500, 8, 0, 0), 100, 1);
+        let t0 = b.add_task("a", TaskRole::Input, vec![imp]);
+        let t1 = b.add_task("b", TaskRole::Output, vec![imp]);
+        b.add_channel(t0, t1, 100, 1);
+        b.add_constraint(Constraint::Throughput { max_period_cycles: 10 });
+        b.build().unwrap()
+    };
+    let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+    assert!(kairos.admit(&feasible).is_ok());
+    let failure = kairos.admit(&infeasible).unwrap_err();
+    assert_eq!(failure.phase(), kairos::core::Phase::Validation);
+}
+
+#[test]
+fn validation_handles_the_largest_generated_apps() {
+    // Large dataset apps must never diverge or deadlock in the analysis.
+    use kairos::appgen::{generate_dataset, DatasetSpec};
+    let apps = generate_dataset(DatasetSpec::all()[5], 15, 0xAA); // computation large
+    let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+    let mut validated = 0;
+    for app in &apps {
+        if let Ok(report) = kairos.admit(app) {
+            let v = report.validation.expect("validation enabled");
+            assert!(v.iteration_period.is_finite() && v.iteration_period > 0.0);
+            validated += 1;
+        }
+        kairos.release_all();
+    }
+    assert!(validated > 0);
+}
