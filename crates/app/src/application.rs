@@ -448,20 +448,14 @@ mod tests {
 
     #[test]
     fn build_rejects_empty() {
-        assert_eq!(
-            ApplicationBuilder::new("x").build().unwrap_err(),
-            ApplicationError::Empty
-        );
+        assert_eq!(ApplicationBuilder::new("x").build().unwrap_err(), ApplicationError::Empty);
     }
 
     #[test]
     fn build_rejects_task_without_impl() {
         let mut b = ApplicationBuilder::new("x");
         b.add_task("a", TaskRole::Input, vec![]);
-        assert_eq!(
-            b.build().unwrap_err(),
-            ApplicationError::TaskWithoutImplementation(TaskId(0))
-        );
+        assert_eq!(b.build().unwrap_err(), ApplicationError::TaskWithoutImplementation(TaskId(0)));
     }
 
     #[test]

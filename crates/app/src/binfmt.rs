@@ -291,16 +291,13 @@ pub fn decode(image: &[u8]) -> Result<Application, BinfmtError> {
             1 => {
                 let max_latency_cycles = r.u64()?;
                 let pipeline_depth = r.u32()?;
-                builder
-                    .add_constraint(Constraint::Latency { max_latency_cycles, pipeline_depth });
+                builder.add_constraint(Constraint::Latency { max_latency_cycles, pipeline_depth });
             }
             t => return Err(BinfmtError::InvalidTag(t)),
         }
     }
 
-    builder
-        .build()
-        .map_err(|e| BinfmtError::InvalidApplication(e.to_string()))
+    builder.build().map_err(|e| BinfmtError::InvalidApplication(e.to_string()))
 }
 
 /// `true` when `image` starts with the Kairos magic — the test the paper's

@@ -56,10 +56,9 @@ impl fmt::Display for Constraint {
             Constraint::Throughput { max_period_cycles } => {
                 write!(f, "throughput: period <= {max_period_cycles} cycles")
             }
-            Constraint::Latency { max_latency_cycles, pipeline_depth } => write!(
-                f,
-                "latency <= {max_latency_cycles} cycles over {pipeline_depth} iterations"
-            ),
+            Constraint::Latency { max_latency_cycles, pipeline_depth } => {
+                write!(f, "latency <= {max_latency_cycles} cycles over {pipeline_depth} iterations")
+            }
         }
     }
 }

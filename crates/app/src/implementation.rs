@@ -97,7 +97,8 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let imp = Implementation::new(ElementKind::Dsp, ResourceVector::new(700, 32, 0, 0), 500, 42);
+        let imp =
+            Implementation::new(ElementKind::Dsp, ResourceVector::new(700, 32, 0, 0), 500, 42);
         assert_eq!(imp.target(), ElementKind::Dsp);
         assert_eq!(imp.requires(), ResourceVector::new(700, 32, 0, 0));
         assert_eq!(imp.exec_cycles(), 500);

@@ -1,0 +1,203 @@
+//! Arrival-process sampling for long-running multi-application workloads.
+//!
+//! The paper evaluates one-shot admission sequences; run-time management is
+//! really about applications *arriving and leaving over time*. This module
+//! provides the reusable sampling layer for such workloads: a weighted
+//! mixture over the Table-I datasets ([`WorkloadMix`]) and a seeded sampler
+//! ([`WorkloadSampler`]) drawing applications, exponential inter-arrival
+//! gaps and exponential lifetimes from it. The `kairos-sim` discrete-event
+//! engine is the primary consumer.
+//!
+//! Everything is deterministic in the seed, like the rest of this crate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use kairos_app::Application;
+
+use crate::datasets::DatasetSpec;
+use crate::generator::AppGenerator;
+
+/// One weighted component of a [`WorkloadMix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MixEntry {
+    /// The dataset applications of this component are drawn from.
+    pub spec: DatasetSpec,
+    /// Relative weight of the component within the mixture.
+    pub weight: u32,
+}
+
+impl MixEntry {
+    /// A component of `spec` with `weight`.
+    pub fn new(spec: DatasetSpec, weight: u32) -> Self {
+        MixEntry { spec, weight }
+    }
+}
+
+/// A weighted mixture over application datasets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    entries: Vec<MixEntry>,
+}
+
+impl WorkloadMix {
+    /// A mixture over `entries`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `entries` is empty or all weights are zero.
+    pub fn new(entries: Vec<MixEntry>) -> Self {
+        assert!(!entries.is_empty(), "workload mix needs at least one component");
+        assert!(entries.iter().any(|e| e.weight > 0), "workload mix needs a positive weight");
+        WorkloadMix { entries }
+    }
+
+    /// A uniform mixture over the given datasets.
+    pub fn uniform(specs: impl IntoIterator<Item = DatasetSpec>) -> Self {
+        WorkloadMix::new(specs.into_iter().map(|spec| MixEntry::new(spec, 1)).collect())
+    }
+
+    /// A uniform mixture over all six Table-I datasets.
+    pub fn all_datasets() -> Self {
+        WorkloadMix::uniform(DatasetSpec::all())
+    }
+
+    /// The mixture components.
+    pub fn entries(&self) -> &[MixEntry] {
+        &self.entries
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.entries.iter().map(|e| e.weight as u64).sum()
+    }
+}
+
+/// Seeded sampler of application arrivals from a [`WorkloadMix`].
+///
+/// # Examples
+///
+/// ```
+/// use kairos_appgen::{WorkloadMix, WorkloadSampler};
+///
+/// let mut sampler = WorkloadSampler::new("w", WorkloadMix::all_datasets(), 7);
+/// let app = sampler.next_app();
+/// let gap = sampler.next_delay(50);
+/// assert!(gap >= 1);
+/// // Same seed, same stream:
+/// let mut again = WorkloadSampler::new("w", WorkloadMix::all_datasets(), 7);
+/// assert_eq!(app, again.next_app());
+/// assert_eq!(gap, again.next_delay(50));
+/// ```
+#[derive(Debug)]
+pub struct WorkloadSampler {
+    label: String,
+    mix: WorkloadMix,
+    rng: StdRng,
+    generated: u64,
+}
+
+impl WorkloadSampler {
+    /// A sampler drawing from `mix`, deterministic in `seed`. Generated
+    /// applications are named `<label>-<n>`.
+    pub fn new(label: impl Into<String>, mix: WorkloadMix, seed: u64) -> Self {
+        WorkloadSampler { label: label.into(), mix, rng: StdRng::seed_from_u64(seed), generated: 0 }
+    }
+
+    /// Number of applications drawn so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Draws the next application: picks a mixture component by weight, then
+    /// generates one application from a sub-generator seeded off this
+    /// sampler's stream.
+    pub fn next_app(&mut self) -> Application {
+        let mut pick = self.rng.gen_range(0..self.mix.total_weight());
+        let mut spec = self.mix.entries()[0].spec;
+        for entry in self.mix.entries() {
+            if pick < entry.weight as u64 {
+                spec = entry.spec;
+                break;
+            }
+            pick -= entry.weight as u64;
+        }
+        let sub_seed = self.rng.gen_range(0..u64::MAX);
+        let name = format!("{}-{}", self.label, self.generated);
+        self.generated += 1;
+        AppGenerator::new(spec.generator_config(), sub_seed).generate(name)
+    }
+
+    /// Draws an exponentially distributed delay with the given mean
+    /// (inter-arrival gap or lifetime), rounded up to at least one tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mean` is zero.
+    pub fn next_delay(&mut self, mean: u64) -> u64 {
+        assert!(mean > 0, "exponential delay needs a positive mean");
+        let u = self.rng.gen_range(0.0f64..1.0);
+        let delay = -(1.0 - u).ln() * mean as f64;
+        (delay.ceil() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{Orientation, SizeClass};
+
+    #[test]
+    fn sampler_is_deterministic_in_seed() {
+        let mix = WorkloadMix::all_datasets();
+        let mut a = WorkloadSampler::new("s", mix.clone(), 11);
+        let mut b = WorkloadSampler::new("s", mix.clone(), 11);
+        for _ in 0..10 {
+            assert_eq!(a.next_app(), b.next_app());
+            assert_eq!(a.next_delay(30), b.next_delay(30));
+        }
+        let mut c = WorkloadSampler::new("s", mix, 12);
+        let differs = (0..10).any(|_| a.next_app() != c.next_app());
+        assert!(differs, "different seeds should diverge");
+    }
+
+    #[test]
+    fn app_names_are_unique_and_labelled() {
+        let mut s = WorkloadSampler::new("web", WorkloadMix::all_datasets(), 0);
+        let names: Vec<String> = (0..5).map(|_| s.next_app().name().to_owned()).collect();
+        assert_eq!(s.generated(), 5);
+        for (i, name) in names.iter().enumerate() {
+            assert_eq!(name, &format!("web-{i}"));
+        }
+    }
+
+    #[test]
+    fn weighted_mix_respects_zero_weights() {
+        let only = DatasetSpec { orientation: Orientation::Computation, size: SizeClass::Small };
+        let ignored =
+            DatasetSpec { orientation: Orientation::Communication, size: SizeClass::Large };
+        let mix = WorkloadMix::new(vec![MixEntry::new(only, 3), MixEntry::new(ignored, 0)]);
+        let mut s = WorkloadSampler::new("z", mix, 5);
+        let (lo, hi) = only.size.task_bounds();
+        for _ in 0..20 {
+            let app = s.next_app();
+            let n = app.task_count() as u32;
+            assert!(n >= lo && n <= hi, "only the weighted component may be drawn");
+        }
+    }
+
+    #[test]
+    fn exponential_delays_have_roughly_the_requested_mean() {
+        let mut s = WorkloadSampler::new("d", WorkloadMix::all_datasets(), 1);
+        let n = 4000u64;
+        let sum: u64 = (0..n).map(|_| s.next_delay(40)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((30.0..50.0).contains(&mean), "mean {mean} too far from 40");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_mix_is_rejected() {
+        WorkloadMix::new(Vec::new());
+    }
+}

@@ -18,9 +18,9 @@
 //!
 //! (each `comb_p` feeds `comb_{p+1}`; `comb4` feeds `acc`.)
 //!
-//! 1 source + 5 distributors + 40 beam stages + 5 combiners + 1 accumulator
-//! + 1 monitor = **53 tasks**; 45 of them (beam stages + combiners) each
-//! claim more than half a DSP, so every one of the platform's 45 DSPs must
+//! One source + 5 distributors + 40 beam stages + 5 combiners + 1
+//! accumulator + 1 monitor = **53 tasks**; 45 of them (beam stages plus
+//! combiners) each claim more than half a DSP, so every one of the 45 DSPs must
 //! host exactly one — the "all 45 DSPs" property that makes the mapping
 //! tight, and the chain structure makes admission succeed only when the
 //! cost-function weights produce contiguous, communication-local layouts
@@ -98,8 +98,7 @@ pub fn beamforming_app_with(config: BeamformingConfig) -> Application {
     );
     let arm_acc =
         Implementation::new(ElementKind::Arm, ResourceVector::new(300, 256, 0, 1), 150, 15);
-    let arm_mon =
-        Implementation::new(ElementKind::Arm, ResourceVector::new(150, 128, 0, 1), 80, 8);
+    let arm_mon = Implementation::new(ElementKind::Arm, ResourceVector::new(150, 128, 0, 1), 80, 8);
 
     let adc = b.add_task("adc", TaskRole::Input, vec![fpga_imp]);
 
@@ -152,10 +151,8 @@ mod tests {
     fn task_inventory_matches_the_paper() {
         let app = beamforming_app();
         assert_eq!(app.task_count(), 53);
-        let dsp_tasks = app
-            .tasks()
-            .filter(|t| t.implementations()[0].target() == ElementKind::Dsp)
-            .count();
+        let dsp_tasks =
+            app.tasks().filter(|t| t.implementations()[0].target() == ElementKind::Dsp).count();
         assert_eq!(dsp_tasks, 45, "needs all 45 DSPs of the CRISP platform");
     }
 

@@ -11,13 +11,15 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 use kairos_app::Application;
 
 use crate::config::GeneratorConfig;
 use crate::generator::AppGenerator;
 
 /// Whether a dataset's tasks are resource-heavy or resource-light.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Orientation {
     /// Light tasks (10–70% of an element), many sharing elements —
     /// stress lands on the interconnect.
@@ -36,7 +38,7 @@ impl fmt::Display for Orientation {
 }
 
 /// Application size class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SizeClass {
     /// 3–5 tasks.
     Small,
@@ -68,7 +70,7 @@ impl fmt::Display for SizeClass {
 }
 
 /// One of the paper's six dataset specifications.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DatasetSpec {
     /// Resource-usage orientation.
     pub orientation: Orientation,
@@ -138,7 +140,9 @@ impl fmt::Display for DatasetSpec {
 pub fn generate_dataset(spec: DatasetSpec, count: usize, seed: u64) -> Vec<Application> {
     let mut generator = AppGenerator::new(spec.generator_config(), seed);
     (0..count)
-        .map(|i| generator.generate(format!("{}-{i}", spec.name().to_lowercase().replace(' ', "-"))))
+        .map(|i| {
+            generator.generate(format!("{}-{i}", spec.name().to_lowercase().replace(' ', "-")))
+        })
         .collect()
 }
 

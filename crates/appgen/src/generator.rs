@@ -107,11 +107,7 @@ impl AppGenerator {
             let n_impls = self.rng.gen_range(self.config.implementations_per_task.clone());
             let mut impls = vec![self.implementation(ElementKind::Dsp)];
             for _ in 1..n_impls {
-                let kind = if self.rng.gen_bool(0.3) {
-                    ElementKind::Arm
-                } else {
-                    ElementKind::Dsp
-                };
+                let kind = if self.rng.gen_bool(0.3) { ElementKind::Arm } else { ElementKind::Dsp };
                 impls.push(self.implementation(kind));
             }
             let t = b.add_task(format!("proc{i}"), TaskRole::Internal, impls);
@@ -161,9 +157,8 @@ impl AppGenerator {
             return;
         }
         let wanted = self.rng.gen_range(1..=self.config.max_in_degree.min(earlier.len() as u32));
-        let mut candidates: Vec<usize> = (0..earlier.len())
-            .filter(|&i| out_degree[i] < self.config.max_out_degree)
-            .collect();
+        let mut candidates: Vec<usize> =
+            (0..earlier.len()).filter(|&i| out_degree[i] < self.config.max_out_degree).collect();
         // Without spare out-degree anywhere, fall back to the most recent
         // task to keep the graph connected.
         if candidates.is_empty() {

@@ -22,11 +22,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrivals;
 pub mod beamforming;
 mod config;
 mod datasets;
 mod generator;
 
+pub use arrivals::{MixEntry, WorkloadMix, WorkloadSampler};
 pub use beamforming::{beamforming_app, beamforming_app_with, BeamformingConfig};
 pub use config::GeneratorConfig;
 pub use datasets::{generate_dataset, DatasetSpec, Orientation, SizeClass};

@@ -11,16 +11,8 @@ use kairos_appgen::{
 use kairos_platform::topology::default_capacity;
 
 fn config() -> impl Strategy<Value = GeneratorConfig> {
-    (
-        1u32..3,
-        1u32..8,
-        1u32..3,
-        1u32..5,
-        1u32..5,
-        10u32..60,
-        0.0f64..1.0,
-    )
-        .prop_map(|(n_in, n_int, n_out, max_in, max_out, pct_lo, pin)| GeneratorConfig {
+    (1u32..3, 1u32..8, 1u32..3, 1u32..5, 1u32..5, 10u32..60, 0.0f64..1.0).prop_map(
+        |(n_in, n_int, n_out, max_in, max_out, pct_lo, pin)| GeneratorConfig {
             input_tasks: n_in..=n_in + 1,
             internal_tasks: n_int..=n_int + 2,
             output_tasks: n_out..=n_out + 1,
@@ -29,7 +21,8 @@ fn config() -> impl Strategy<Value = GeneratorConfig> {
             resource_percent: pct_lo..=(pct_lo + 40).min(100),
             io_pin_probability: pin,
             ..GeneratorConfig::default()
-        })
+        },
+    )
 }
 
 proptest! {

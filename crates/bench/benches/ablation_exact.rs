@@ -39,8 +39,7 @@ fn main() {
         let mut work = platform.clone();
         match map_application(&app, &binding, &mut work, AppId(0), &mapper) {
             Ok(report) => {
-                let heuristic =
-                    placement_comm_cost(&app, &report.placement, &platform, 1000);
+                let heuristic = placement_comm_cost(&app, &report.placement, &platform, 1000);
                 // Ratio against max(1) to avoid dividing by a zero optimum.
                 let ratio = (heuristic.max(1)) as f64 / (optimal.max(1)) as f64;
                 ratios.push(ratio);

@@ -10,8 +10,8 @@ use std::time::Instant;
 
 use kairos_appgen::DatasetSpec;
 use kairos_bench::{
-    filtered_dataset, print_table, run_sequence, shuffled_orders, BenchScale,
-    FailureHistogram, EXPERIMENT_SEED,
+    filtered_dataset, print_table, run_sequence, shuffled_orders, BenchScale, FailureHistogram,
+    EXPERIMENT_SEED,
 };
 use kairos_core::{KairosConfig, KnapsackSolver};
 use kairos_platform::topology;

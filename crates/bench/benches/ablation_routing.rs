@@ -8,8 +8,8 @@
 
 use kairos_appgen::{DatasetSpec, Orientation};
 use kairos_bench::{
-    filtered_dataset, print_table, run_sequence, shuffled_orders, BenchScale,
-    FailureHistogram, EXPERIMENT_SEED,
+    filtered_dataset, print_table, run_sequence, shuffled_orders, BenchScale, FailureHistogram,
+    EXPERIMENT_SEED,
 };
 use kairos_core::{KairosConfig, RouteAlgorithm};
 use kairos_platform::topology;
@@ -61,10 +61,7 @@ fn main() {
             ],
         ],
     );
-    let rel = if bfs_ok > 0 {
-        100.0 * (dij_ok as f64 - bfs_ok as f64) / bfs_ok as f64
-    } else {
-        0.0
-    };
+    let rel =
+        if bfs_ok > 0 { 100.0 * (dij_ok as f64 - bfs_ok as f64) / bfs_ok as f64 } else { 0.0 };
     println!("\nadmission difference: {rel:+.1}% (paper: no noticeable difference)");
 }

@@ -15,8 +15,7 @@ use kairos_core::{CostWeights, Kairos, KairosConfig};
 use kairos_platform::topology;
 
 fn main() {
-    let paper_scale =
-        std::env::var("KAIROS_PAPER_SCALE").map(|v| v == "1").unwrap_or(false);
+    let paper_scale = std::env::var("KAIROS_PAPER_SCALE").map(|v| v == "1").unwrap_or(false);
     let (comm_step, frag_step) = if paper_scale { (1u32, 10u32) } else { (5, 50) };
 
     let app = beamforming_app();
@@ -26,11 +25,7 @@ fn main() {
     // search is widened (paper SIII-B: "the local search can be extended to
     // gather even more elements") so the weights have enough placement
     // freedom to matter on this 45-of-45-DSP instance.
-    let base = KairosConfig {
-        validate: false,
-        extra_search_rings: 5,
-        ..KairosConfig::default()
-    };
+    let base = KairosConfig { validate: false, extra_search_rings: 5, ..KairosConfig::default() };
 
     let comm_weights: Vec<u32> = (0..=25).step_by(comm_step as usize).collect();
     let frag_weights: Vec<u32> = (0..=1000).step_by(frag_step as usize).collect();
@@ -40,18 +35,16 @@ fn main() {
     let mut frag_zero_admits = 0usize;
 
     println!("\n== Fig. 10: beamformer admission over the weight grid ==");
-    println!("(rows: fragmentation weight, top-down; cols: communication weight; '#' = admitted)\n");
-    let header: String =
-        comm_weights.iter().map(|w| if w % 5 == 0 { '|' } else { '.' }).collect();
+    println!(
+        "(rows: fragmentation weight, top-down; cols: communication weight; '#' = admitted)\n"
+    );
+    let header: String = comm_weights.iter().map(|w| if w % 5 == 0 { '|' } else { '.' }).collect();
     println!("      {header}");
     for &fw in frag_weights.iter().rev() {
         let mut line = String::new();
         for &cw in &comm_weights {
             let config = KairosConfig {
-                weights: CostWeights {
-                    communication: cw as f64,
-                    fragmentation: fw as f64,
-                },
+                weights: CostWeights { communication: cw as f64, fragmentation: fw as f64 },
                 ..base
             };
             let mut kairos = Kairos::new(platform.clone(), config);

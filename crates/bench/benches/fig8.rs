@@ -10,8 +10,8 @@
 
 use kairos_appgen::DatasetSpec;
 use kairos_bench::{
-    aggregate_positions, filtered_dataset, print_table, run_sequence, shuffled_orders,
-    BenchScale, PositionAggregate, EXPERIMENT_SEED,
+    aggregate_positions, filtered_dataset, print_table, run_sequence, shuffled_orders, BenchScale,
+    PositionAggregate, EXPERIMENT_SEED,
 };
 use kairos_core::{CostPolicy, KairosConfig};
 use kairos_platform::topology;
@@ -37,10 +37,8 @@ fn policy_series(policy: CostPolicy, scale: BenchScale) -> Vec<PositionAggregate
 
 fn main() {
     let scale = BenchScale::from_env();
-    let series: Vec<(CostPolicy, Vec<PositionAggregate>)> = CostPolicy::ALL
-        .iter()
-        .map(|&p| (p, policy_series(p, scale)))
-        .collect();
+    let series: Vec<(CostPolicy, Vec<PositionAggregate>)> =
+        CostPolicy::ALL.iter().map(|&p| (p, policy_series(p, scale))).collect();
 
     let mut rows = Vec::new();
     for pos in 0..POSITIONS {

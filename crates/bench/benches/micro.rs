@@ -135,13 +135,9 @@ fn bench_sdf(c: &mut Criterion) {
             b.add_channel(w[0], w[1], 1, 1, 0);
         }
         let graph = b.build().unwrap().with_bounded_buffers(2);
-        group.bench_with_input(
-            BenchmarkId::new("throughput", stages),
-            &graph,
-            |bench, graph| {
-                bench.iter(|| throughput(black_box(graph), actors[0]).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("throughput", stages), &graph, |bench, graph| {
+            bench.iter(|| throughput(black_box(graph), actors[0]).unwrap());
+        });
     }
     group.finish();
 }
@@ -172,10 +168,8 @@ fn bench_beamformer_admission(c: &mut Criterion) {
     let app = beamforming_app();
     // Same configuration as the casestudy bench: the 45-of-45-DSP fill
     // needs the widened candidate search to admit.
-    let config = KairosConfig {
-        extra_search_rings: 5,
-        ..KairosConfig::with_policy(CostPolicy::Both)
-    };
+    let config =
+        KairosConfig { extra_search_rings: 5, ..KairosConfig::with_policy(CostPolicy::Both) };
     c.bench_function("casestudy/beamformer_admission", |b| {
         b.iter_batched(
             || Kairos::new(topology::crisp(), config),

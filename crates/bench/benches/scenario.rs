@@ -1,0 +1,45 @@
+//! Scenario-engine throughput — wall-clock cost of driving the manager
+//! through each catalog scenario of `kairos-sim`.
+//!
+//! The discrete-event engine is the foundation for long-running workload
+//! studies, so its own overhead matters: this bench reports the wall time
+//! and the resulting event counts per catalog scenario, plus events
+//! processed per second as a single scalability figure.
+
+use std::time::Instant;
+
+use kairos_bench::print_table;
+use kairos_sim::{Scenario, Simulator};
+
+fn main() {
+    let mut rows = Vec::new();
+    for scenario in Scenario::catalog() {
+        let name = scenario.name.clone();
+        // One warm-up run, then the measured run (both deterministic).
+        Simulator::new(scenario.clone()).expect("catalog scenario is valid").run();
+        let start = Instant::now();
+        let report = Simulator::new(scenario).expect("catalog scenario is valid").run();
+        let elapsed = start.elapsed();
+
+        let events = report.totals.arrivals
+            + report.totals.departures
+            + report.totals.faults_injected
+            + report.totals.repairs
+            + report.samples.len() as u64;
+        let events_per_sec = events as f64 / elapsed.as_secs_f64();
+        rows.push(vec![
+            name,
+            format!("{}", report.horizon),
+            format!("{}", report.totals.arrivals),
+            format!("{}", report.totals.admissions),
+            format!("{}", report.totals.rejections),
+            format!("{:.2}", elapsed.as_secs_f64() * 1e3),
+            format!("{events_per_sec:.0}"),
+        ]);
+    }
+    print_table(
+        "Scenario engine: catalog run cost",
+        &["scenario", "horizon", "arrivals", "admitted", "rejected", "wall (ms)", "events/s"],
+        &rows,
+    );
+}

@@ -37,8 +37,7 @@ fn main() {
         let (apps, initial) = filtered_dataset(spec, scale, &platform, &config);
         let mut histogram = FailureHistogram::default();
         if !apps.is_empty() {
-            let orders =
-                shuffled_orders(apps.len(), scale.sequences, EXPERIMENT_SEED ^ 0x7ab1e);
+            let orders = shuffled_orders(apps.len(), scale.sequences, EXPERIMENT_SEED ^ 0x7ab1e);
             for order in &orders {
                 for outcome in run_sequence(&platform, &config, &apps, order) {
                     histogram.record(&outcome);

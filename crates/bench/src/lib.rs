@@ -104,9 +104,9 @@ pub fn filtered_dataset(
 
 fn spec_seed(spec: DatasetSpec) -> u64 {
     // Stable per-dataset stream: FNV-1a over the display name.
-    spec.name().bytes().fold(0xcbf29ce484222325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x100000001b3)
-    })
+    spec.name()
+        .bytes()
+        .fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
 }
 
 /// Deterministic random visit orders for sequence experiments.
@@ -336,10 +336,7 @@ mod tests {
                 histogram.record(outcome);
             }
         }
-        assert_eq!(
-            histogram.successes + histogram.failures(),
-            apps.len() * scale.sequences
-        );
+        assert_eq!(histogram.successes + histogram.failures(), apps.len() * scale.sequences);
         let agg = aggregate_positions(&runs, apps.len().min(5));
         assert_eq!(agg[0].attempts, scale.sequences);
         assert!(agg[0].success_rate() > 0.0, "first app on an empty platform admits");
@@ -363,9 +360,7 @@ mod tests {
 
     #[test]
     fn histogram_shares_sum_to_100() {
-        let mut h = FailureHistogram::default();
-        h.binding = 3;
-        h.routing = 7;
+        let h = FailureHistogram { binding: 3, routing: 7, ..FailureHistogram::default() };
         let sum: f64 = Phase::ALL.iter().map(|&p| h.share(p)).sum();
         assert!((sum - 100.0).abs() < 1e-9);
         assert_eq!(FailureHistogram::default().share(Phase::Binding), 0.0);

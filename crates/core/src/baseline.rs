@@ -58,8 +58,7 @@ pub fn map_first_fit(
     for t in app.task_ids() {
         let imp = binding.implementation(app, t);
         let slot = platform.element_ids().find(|&e| {
-            platform.element(e).kind() == imp.target()
-                && platform.is_available(e, &imp.requires())
+            platform.element(e).kind() == imp.target() && platform.is_available(e, &imp.requires())
         });
         match slot {
             Some(e) => {
@@ -125,9 +124,7 @@ impl ExactSearch<'_> {
         }
         if depth == self.app.task_count() {
             self.best_cost = cost_so_far;
-            self.best = Some(
-                self.assignment.iter().map(|a| a.expect("complete")).collect(),
-            );
+            self.best = Some(self.assignment.iter().map(|a| a.expect("complete")).collect());
             return;
         }
         let t = TaskId(depth as u32);
@@ -139,9 +136,8 @@ impl ExactSearch<'_> {
             {
                 continue;
             }
-            self.free[e.index()] = self.free[e.index()]
-                .checked_sub(&imp.requires())
-                .expect("fits checked");
+            self.free[e.index()] =
+                self.free[e.index()].checked_sub(&imp.requires()).expect("fits checked");
             self.assignment[depth] = Some(e);
             self.dfs(depth + 1);
             self.assignment[depth] = None;
@@ -220,8 +216,7 @@ mod tests {
         let binding = bind(&app, &platform).unwrap();
         let placement = map_first_fit(&app, &binding, &mut platform, AppId(0)).unwrap();
         assert_eq!(placement.len(), 3);
-        let total_claims: usize =
-            platform.element_ids().map(|e| platform.residents(e).len()).sum();
+        let total_claims: usize = platform.element_ids().map(|e| platform.residents(e).len()).sum();
         assert_eq!(total_claims, 3);
     }
 

@@ -71,10 +71,8 @@ impl Pool {
     fn commit(&mut self, kind: ElementKind, demand: &ResourceVector) -> bool {
         match self.best_fit(kind, demand) {
             Some(i) => {
-                self.free[i] = self
-                    .free[i]
-                    .checked_sub(demand)
-                    .expect("best_fit guarantees the demand fits");
+                self.free[i] =
+                    self.free[i].checked_sub(demand).expect("best_fit guarantees the demand fits");
                 true
             }
             None => false,
@@ -82,10 +80,7 @@ impl Pool {
     }
 }
 
-fn feasible_candidates(
-    task_impls: &[Implementation],
-    pool: &Pool,
-) -> Vec<Candidate> {
+fn feasible_candidates(task_impls: &[Implementation], pool: &Pool) -> Vec<Candidate> {
     let mut out = Vec::new();
     for (i, imp) in task_impls.iter().enumerate() {
         if pool.feasible(imp.target(), &imp.requires()) {
@@ -162,10 +157,7 @@ pub fn bind(app: &Application, platform: &Platform) -> Result<Binding, BindingEr
     }
 
     Ok(Binding::new(
-        choices
-            .into_iter()
-            .map(|c| c.expect("all tasks bound or error returned"))
-            .collect(),
+        choices.into_iter().map(|c| c.expect("all tasks bound or error returned")).collect(),
     ))
 }
 
@@ -192,10 +184,7 @@ mod tests {
         let app = b.build().unwrap();
         let binding = bind(&app, &platform).unwrap();
         assert_eq!(binding.choice(TaskId(0)), ImplId(1));
-        assert_eq!(
-            binding.implementation(&app, TaskId(0)).target(),
-            ElementKind::Arm
-        );
+        assert_eq!(binding.implementation(&app, TaskId(0)).target(), ElementKind::Arm);
     }
 
     #[test]
@@ -250,10 +239,8 @@ mod tests {
         b.add_task("b", TaskRole::Internal, vec![arm_impl(600, 1), dsp_impl(600, 50)]);
         let app = b.build().unwrap();
         let binding = bind(&app, &platform).unwrap();
-        let targets: Vec<_> = app
-            .task_ids()
-            .map(|t| binding.implementation(&app, t).target())
-            .collect();
+        let targets: Vec<_> =
+            app.task_ids().map(|t| binding.implementation(&app, t).target()).collect();
         assert!(targets.contains(&ElementKind::Arm));
         assert!(targets.contains(&ElementKind::Dsp), "second task must fall back");
     }
@@ -264,7 +251,10 @@ mod tests {
         // Occupy most of both DSPs.
         for e in platform.element_ids().collect::<Vec<_>>() {
             platform
-                .claim(e, Occupant { app: AppId(0), task: 0, claimed: ResourceVector::new(800, 0, 0, 0) })
+                .claim(
+                    e,
+                    Occupant { app: AppId(0), task: 0, claimed: ResourceVector::new(800, 0, 0, 0) },
+                )
                 .unwrap();
         }
         let mut b = ApplicationBuilder::new("x");
@@ -295,7 +285,8 @@ mod tests {
         // task "easy" saves 1. Both fit either; only one ARM slot.
         let platform = topology::star(2);
         let mut b = ApplicationBuilder::new("x");
-        let easy = b.add_task("easy", TaskRole::Internal, vec![arm_impl(600, 10), dsp_impl(600, 11)]);
+        let easy =
+            b.add_task("easy", TaskRole::Internal, vec![arm_impl(600, 10), dsp_impl(600, 11)]);
         let fussy =
             b.add_task("fussy", TaskRole::Internal, vec![arm_impl(600, 10), dsp_impl(600, 110)]);
         let app = b.build().unwrap();

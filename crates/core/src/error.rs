@@ -20,8 +20,7 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, in pipeline order.
-    pub const ALL: [Phase; 4] =
-        [Phase::Binding, Phase::Mapping, Phase::Routing, Phase::Validation];
+    pub const ALL: [Phase; 4] = [Phase::Binding, Phase::Mapping, Phase::Routing, Phase::Validation];
 }
 
 impl fmt::Display for Phase {
@@ -248,18 +247,14 @@ mod tests {
 
     #[test]
     fn allocation_error_reports_phase() {
-        let e: AllocationError =
-            BindingError::NoFeasibleImplementation { task: TaskId(3) }.into();
+        let e: AllocationError = BindingError::NoFeasibleImplementation { task: TaskId(3) }.into();
         assert_eq!(e.phase(), Phase::Binding);
         assert!(e.to_string().contains("binding"));
         let e: AllocationError = MappingError::SearchExhausted { ring: 2, unmapped: vec![] }.into();
         assert_eq!(e.phase(), Phase::Mapping);
-        let e: AllocationError = RoutingError::NoRoute {
-            channel: ChannelId(0),
-            src: ElementId(0),
-            dst: ElementId(1),
-        }
-        .into();
+        let e: AllocationError =
+            RoutingError::NoRoute { channel: ChannelId(0), src: ElementId(0), dst: ElementId(1) }
+                .into();
         assert_eq!(e.phase(), Phase::Routing);
         let e: AllocationError = ValidationError::Analysis("x".into()).into();
         assert_eq!(e.phase(), Phase::Validation);

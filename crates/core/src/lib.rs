@@ -65,9 +65,9 @@ pub use error::{
 pub use layout::{Binding, ExecutionLayout, Placement, Route};
 pub use manager::{AdmissionFailure, AdmissionReport, Kairos, KairosConfig};
 pub use mapping::{
-    map_application, CostContext, CostPolicy, CostWeights, ElementSearch, GapState,
-    KnapsackItem, KnapsackSolver, MapperConfig, MappingReport, DEFAULT_MISS_PENALTY,
+    map_application, CostContext, CostPolicy, CostWeights, ElementSearch, GapState, KnapsackItem,
+    KnapsackSolver, MapperConfig, MappingReport, DEFAULT_MISS_PENALTY,
 };
-pub use metrics::PhaseTimings;
+pub use metrics::{OccupancySnapshot, PhaseTimings};
 pub use routing::{release_routes, route_channels, RouteAlgorithm};
 pub use validation::{layout_to_sdf, validate, ValidationConfig, ValidationReport};

@@ -19,7 +19,7 @@ use crate::binding::bind;
 use crate::error::{AllocationError, Phase};
 use crate::layout::ExecutionLayout;
 use crate::mapping::{map_application, CostWeights, KnapsackSolver, MapperConfig};
-use crate::metrics::PhaseTimings;
+use crate::metrics::{OccupancySnapshot, PhaseTimings};
 use crate::routing::{release_routes, route_channels, RouteAlgorithm};
 use crate::validation::{validate, ValidationConfig, ValidationReport};
 
@@ -196,6 +196,30 @@ impl Kairos {
         kairos_platform::external_fragmentation(&self.platform)
     }
 
+    /// Fraction of elements hosting at least one task, in `[0, 1]`.
+    pub fn utilisation(&self) -> f64 {
+        kairos_platform::element_utilisation(&self.platform)
+    }
+
+    /// An instantaneous snapshot of all occupancy metrics, for time-series
+    /// sampling by long-running drivers (the `kairos-sim` scenario engine).
+    pub fn occupancy(&self) -> OccupancySnapshot {
+        let free: u64 = self.platform.total_free().as_array().iter().sum();
+        let capacity: u64 = self.platform.total_capacity().as_array().iter().sum();
+        OccupancySnapshot {
+            admitted_apps: self.admitted.len(),
+            element_utilisation: kairos_platform::element_utilisation(&self.platform),
+            resource_utilisation: if capacity == 0 {
+                0.0
+            } else {
+                1.0 - free as f64 / capacity as f64
+            },
+            external_fragmentation: kairos_platform::external_fragmentation(&self.platform),
+            free_islands: kairos_platform::free_island_count(&self.platform),
+            failed_elements: self.platform.failed_elements().len(),
+        }
+    }
+
     /// Attempts to admit `app`, running all four phases.
     ///
     /// On success all claims stay on the platform and the app is tracked
@@ -215,8 +239,7 @@ impl Kairos {
         match result {
             Ok((layout, validation)) => {
                 self.next_app += 1;
-                let channel_bandwidths =
-                    app.channels().map(|c| c.bandwidth()).collect();
+                let channel_bandwidths = app.channels().map(|c| c.bandwidth()).collect();
                 self.admitted
                     .insert(app_id, AdmittedApp { layout: layout.clone(), channel_bandwidths });
                 Ok(AdmissionReport { app_id, timings, layout, validation })
@@ -428,6 +451,27 @@ mod tests {
         }
         kairos.repair_element(victim_element);
         assert!(!kairos.platform().is_failed(victim_element));
+    }
+
+    #[test]
+    fn occupancy_snapshot_tracks_admission_and_release() {
+        let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+        let idle = kairos.occupancy();
+        assert_eq!(idle.admitted_apps, 0);
+        assert_eq!(idle.element_utilisation, 0.0);
+        assert_eq!(idle.resource_utilisation, 0.0);
+        assert_eq!(idle.free_islands, 1);
+        assert_eq!(idle.failed_elements, 0);
+
+        let report = kairos.admit(&chain("c", 3, 700, 100)).unwrap();
+        let busy = kairos.occupancy();
+        assert_eq!(busy.admitted_apps, 1);
+        assert!(busy.element_utilisation > 0.0);
+        assert!(busy.resource_utilisation > 0.0);
+        assert_eq!(busy.element_utilisation, kairos.utilisation());
+
+        kairos.release(report.app_id);
+        assert_eq!(kairos.occupancy(), idle, "release restores the idle snapshot");
     }
 
     #[test]

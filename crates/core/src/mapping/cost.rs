@@ -65,12 +65,8 @@ pub enum CostPolicy {
 
 impl CostPolicy {
     /// All four policies, in the order the paper's figures list them.
-    pub const ALL: [CostPolicy; 4] = [
-        CostPolicy::None,
-        CostPolicy::Communication,
-        CostPolicy::Fragmentation,
-        CostPolicy::Both,
-    ];
+    pub const ALL: [CostPolicy; 4] =
+        [CostPolicy::None, CostPolicy::Communication, CostPolicy::Fragmentation, CostPolicy::Both];
 
     /// The weight pair realising this policy.
     pub fn weights(self) -> CostWeights {
@@ -147,10 +143,8 @@ impl CostContext<'_> {
             let Some(peer_element) = self.placement[peer.index()] else {
                 continue; // unmapped peers are left out of the equation
             };
-            let hops = self
-                .distances
-                .get_symmetric(peer_element, e)
-                .map_or(self.miss_penalty, f64::from);
+            let hops =
+                self.distances.get_symmetric(peer_element, e).map_or(self.miss_penalty, f64::from);
             let bandwidth = self.app.channel(channel).bandwidth() as f64 / BANDWIDTH_UNIT;
             total += hops * bandwidth;
         }
@@ -166,9 +160,9 @@ impl CostContext<'_> {
             if residents.is_empty() {
                 continue;
             }
-            let retains_peer = residents.iter().any(|o| {
-                o.app == self.app_id && peers.iter().any(|&p| p.0 == o.task)
-            });
+            let retains_peer = residents
+                .iter()
+                .any(|o| o.app == self.app_id && peers.iter().any(|&p| p.0 == o.task));
             let same_app = residents.iter().any(|o| o.app == self.app_id);
             bonus += if retains_peer {
                 BONUS_PEER
@@ -194,12 +188,10 @@ mod tests {
     use kairos_platform::{topology, ElementKind, Occupant, ResourceVector};
 
     fn pipeline(n: usize) -> Application {
-        let imp =
-            Implementation::new(ElementKind::Dsp, ResourceVector::new(500, 16, 0, 0), 100, 1);
+        let imp = Implementation::new(ElementKind::Dsp, ResourceVector::new(500, 16, 0, 0), 100, 1);
         let mut b = ApplicationBuilder::new("pipe");
-        let ids: Vec<_> = (0..n)
-            .map(|i| b.add_task(format!("t{i}"), TaskRole::Internal, vec![imp]))
-            .collect();
+        let ids: Vec<_> =
+            (0..n).map(|i| b.add_task(format!("t{i}"), TaskRole::Internal, vec![imp])).collect();
         for w in ids.windows(2) {
             b.add_channel(w[0], w[1], 200, 1);
         }
@@ -208,7 +200,10 @@ mod tests {
 
     #[test]
     fn policies_have_expected_weights() {
-        assert_eq!(CostPolicy::None.weights(), CostWeights { communication: 0.0, fragmentation: 0.0 });
+        assert_eq!(
+            CostPolicy::None.weights(),
+            CostWeights { communication: 0.0, fragmentation: 0.0 }
+        );
         assert!(CostPolicy::Communication.weights().communication > 0.0);
         assert_eq!(CostPolicy::Communication.weights().fragmentation, 0.0);
         assert_eq!(CostPolicy::Fragmentation.weights().communication, 0.0);

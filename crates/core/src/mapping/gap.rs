@@ -68,10 +68,7 @@ impl GapState {
 
     /// Final `(task, element)` pairs, in task order.
     pub fn assignments(&self) -> Vec<(TaskId, ElementId)> {
-        self.tasks
-            .iter()
-            .filter_map(|&t| self.assignment.get(&t).map(|&e| (t, e)))
-            .collect()
+        self.tasks.iter().filter_map(|&t| self.assignment.get(&t).map(|&e| (t, e))).collect()
     }
 
     /// Remaining overlay capacity of `element`, if it was ever considered.
@@ -116,10 +113,7 @@ impl GapState {
             }
             let items: Vec<KnapsackItem> = candidates
                 .iter()
-                .map(|&(t, c2)| KnapsackItem {
-                    value: self.best_cost[&t] - c2,
-                    weight: demand(t),
-                })
+                .map(|&(t, c2)| KnapsackItem { value: self.best_cost[&t] - c2, weight: demand(t) })
                 .collect();
             let chosen = solver.solve(&items, capacity);
 
@@ -134,9 +128,7 @@ impl GapState {
                     *back = back.saturating_add(&demand(t));
                 }
                 let slot = self.free.get_mut(&e).expect("entry created above");
-                *slot = slot
-                    .checked_sub(&demand(t))
-                    .expect("knapsack respects remaining capacity");
+                *slot = slot.checked_sub(&demand(t)).expect("knapsack respects remaining capacity");
                 self.best_cost.insert(t, c2);
             }
         }
@@ -165,7 +157,7 @@ mod tests {
             |_| rv(capacity),
             |_, _| true,
             |t| rv(demands[t.index()]),
-            |t, e| cost_fn(t, e),
+            cost_fn,
         )
     }
 
@@ -173,13 +165,8 @@ mod tests {
     fn assigns_everything_when_capacity_allows() {
         let tasks = vec![TaskId(0), TaskId(1), TaskId(2)];
         let mut state = GapState::new(tasks);
-        let done = solve_simple(
-            &mut state,
-            &[ElementId(0), ElementId(1)],
-            100,
-            &[60, 60, 30],
-            |_, _| 1.0,
-        );
+        let done =
+            solve_simple(&mut state, &[ElementId(0), ElementId(1)], 100, &[60, 60, 30], |_, _| 1.0);
         assert!(done);
         assert!(state.all_assigned());
         // Capacity must be respected: the two 60s cannot share one element.
@@ -193,13 +180,13 @@ mod tests {
         let mut state = GapState::new(vec![TaskId(0)]);
         // Element 0 costs 10, element 1 costs 2: after seeing both, the task
         // must sit on element 1.
-        let done = solve_simple(
-            &mut state,
-            &[ElementId(0), ElementId(1)],
-            100,
-            &[10],
-            |_, e| if e == ElementId(0) { 10.0 } else { 2.0 },
-        );
+        let done = solve_simple(&mut state, &[ElementId(0), ElementId(1)], 100, &[10], |_, e| {
+            if e == ElementId(0) {
+                10.0
+            } else {
+                2.0
+            }
+        });
         assert!(done);
         assert_eq!(state.assignment(TaskId(0)), Some(ElementId(1)));
         // And the overlay reflects the move: element 0 has its capacity back.

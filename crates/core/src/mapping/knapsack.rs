@@ -61,8 +61,7 @@ fn ratio(item: &KnapsackItem) -> f64 {
 }
 
 fn solve_greedy(items: &[KnapsackItem], capacity: ResourceVector) -> Vec<usize> {
-    let mut order: Vec<usize> =
-        (0..items.len()).filter(|&i| items[i].value > 0.0).collect();
+    let mut order: Vec<usize> = (0..items.len()).filter(|&i| items[i].value > 0.0).collect();
     order.sort_by(|&a, &b| {
         ratio(&items[b]).partial_cmp(&ratio(&items[a])).unwrap_or(std::cmp::Ordering::Equal)
     });
@@ -80,8 +79,7 @@ fn solve_greedy(items: &[KnapsackItem], capacity: ResourceVector) -> Vec<usize> 
 
 fn solve_exact(items: &[KnapsackItem], capacity: ResourceVector) -> Vec<usize> {
     // Order by ratio so the optimistic bound tightens quickly.
-    let mut order: Vec<usize> =
-        (0..items.len()).filter(|&i| items[i].value > 0.0).collect();
+    let mut order: Vec<usize> = (0..items.len()).filter(|&i| items[i].value > 0.0).collect();
     order.sort_by(|&a, &b| {
         ratio(&items[b]).partial_cmp(&ratio(&items[a])).unwrap_or(std::cmp::Ordering::Equal)
     });
@@ -179,8 +177,7 @@ mod tests {
         let cap = ResourceVector::new(10, 10, 0, 0);
         for solver in [KnapsackSolver::default(), KnapsackSolver::Greedy] {
             let chosen = solver.solve(&items, cap);
-            let used: ResourceVector =
-                chosen.iter().map(|&i| items[i].weight).sum();
+            let used: ResourceVector = chosen.iter().map(|&i| items[i].weight).sum();
             assert!(cap.fits(&used), "{solver:?} exceeded capacity");
             assert_eq!(total_value(&items, &chosen), 10.0, "{solver:?} suboptimal");
         }
@@ -219,12 +216,7 @@ mod tests {
             let items: Vec<KnapsackItem> = (0..n)
                 .map(|_| KnapsackItem {
                     value: (rand() % 100) as f64,
-                    weight: ResourceVector::new(
-                        (rand() % 50) as u64,
-                        (rand() % 20) as u64,
-                        0,
-                        0,
-                    ),
+                    weight: ResourceVector::new((rand() % 50) as u64, (rand() % 20) as u64, 0, 0),
                 })
                 .collect();
             let cap = ResourceVector::new(60, 25, 0, 0);

@@ -28,9 +28,7 @@ pub use knapsack::{KnapsackItem, KnapsackSolver};
 pub use search::ElementSearch;
 
 use kairos_app::{Application, TaskId};
-use kairos_platform::{
-    AppId, ElementId, Occupant, Platform, ResourceVector, SparseDistanceMatrix,
-};
+use kairos_platform::{AppId, ElementId, Occupant, Platform, ResourceVector, SparseDistanceMatrix};
 
 use crate::error::MappingError;
 use crate::layout::{Binding, Placement};
@@ -170,10 +168,8 @@ fn map_inner(
     // --- M0: pinned tasks (exactly one available element). -----------------
     let mut pinned: Vec<(TaskId, ElementId)> = Vec::new();
     for t in app.task_ids() {
-        let candidates: Vec<ElementId> = platform
-            .element_ids()
-            .filter(|&e| available(app, binding, platform, t, e))
-            .collect();
+        let candidates: Vec<ElementId> =
+            platform.element_ids().filter(|&e| available(app, binding, platform, t, e)).collect();
         match candidates.as_slice() {
             [] => return Err(MappingError::NoStartingPoint { task: t }),
             [only] => pinned.push((t, *only)),
@@ -196,10 +192,7 @@ fn map_inner(
     // dead-ends from a start (e.g. its free region is too small), retry the
     // whole process from the next-best start — "multiple iterations are
     // required to improve the solution".
-    let t0 = *app
-        .min_degree_tasks()
-        .first()
-        .expect("applications are validated non-empty");
+    let t0 = *app.min_degree_tasks().first().expect("applications are validated non-empty");
     let mut starts: Vec<(ElementId, f64)> = Vec::new();
     {
         let placement: Vec<Option<ElementId>> = vec![None; n];
@@ -229,8 +222,7 @@ fn map_inner(
     for &(e0, _) in starts.iter().take(attempts) {
         let checkpoint = platform.checkpoint();
         let mut placement: Vec<Option<ElementId>> = vec![None; n];
-        claim_task(app, binding, platform, app_id, t0, e0)
-            .expect("availability was checked above");
+        claim_task(app, binding, platform, app_id, t0, e0).expect("availability was checked above");
         placement[t0.index()] = Some(e0);
         match map_rings(app, binding, platform, app_id, config, placement) {
             Ok(report) => return Ok(report),
@@ -254,10 +246,7 @@ fn map_rings(
     let mut distances = SparseDistanceMatrix::new();
 
     // --- Neighborhood decomposition from the seeds. -------------------------
-    let seeds: Vec<TaskId> = app
-        .task_ids()
-        .filter(|t| placement[t.index()].is_some())
-        .collect();
+    let seeds: Vec<TaskId> = app.task_ids().filter(|t| placement[t.index()].is_some()).collect();
     let rings = app.neighborhood_rings(&seeds);
 
     let mut stats_rings = 0usize;
@@ -308,9 +297,9 @@ fn map_rings(
             // many candidates as tasks).
             let discovered = search.discovered();
             let sufficient = discovered.len() >= tasks.len()
-                && tasks.iter().all(|&t| {
-                    discovered.iter().any(|&e| available(app, binding, platform, t, e))
-                });
+                && tasks
+                    .iter()
+                    .all(|&t| discovered.iter().any(|&e| available(app, binding, platform, t, e)));
             if !sufficient && !search.is_exhausted() {
                 continue;
             }
@@ -346,10 +335,7 @@ fn map_rings(
                 break;
             }
             if search.is_exhausted() {
-                return Err(MappingError::SearchExhausted {
-                    ring: i,
-                    unmapped: gap.unassigned(),
-                });
+                return Err(MappingError::SearchExhausted { ring: i, unmapped: gap.unassigned() });
             }
         }
         stats_elements += search.discovered().len();
@@ -362,10 +348,8 @@ fn map_rings(
         }
     }
 
-    let final_placement: Vec<ElementId> = placement
-        .into_iter()
-        .map(|p| p.expect("all rings committed"))
-        .collect();
+    let final_placement: Vec<ElementId> =
+        placement.into_iter().map(|p| p.expect("all rings committed")).collect();
     Ok(MappingReport {
         placement: Placement::new(final_placement),
         rings: stats_rings,
@@ -443,8 +427,7 @@ mod tests {
         let app = b.build().unwrap();
         let binding = bind(&app, &platform).unwrap();
         let config = MapperConfig::with_policy(CostPolicy::Communication);
-        let report =
-            map_application(&app, &binding, &mut platform, AppId(0), &config).unwrap();
+        let report = map_application(&app, &binding, &mut platform, AppId(0), &config).unwrap();
         let hops = |a: TaskId, b: TaskId| {
             kairos_platform::hop_distance(
                 &platform,
@@ -465,7 +448,10 @@ mod tests {
         // platform where one DSP is pre-claimed.
         let pre = platform.element_ids().next().unwrap();
         platform
-            .claim(pre, Occupant { app: AppId(9), task: 0, claimed: ResourceVector::new(1000, 0, 0, 0) })
+            .claim(
+                pre,
+                Occupant { app: AppId(9), task: 0, claimed: ResourceVector::new(1000, 0, 0, 0) },
+            )
             .unwrap();
         let mut b = ApplicationBuilder::new("big");
         let mut prev = None;
@@ -479,14 +465,9 @@ mod tests {
         let app = b.build().unwrap();
         let binding = Binding::new(vec![kairos_app::ImplId(0); 4]);
         let before = platform.checkpoint();
-        let err = map_application(
-            &app,
-            &binding,
-            &mut platform,
-            AppId(0),
-            &MapperConfig::default(),
-        )
-        .unwrap_err();
+        let err =
+            map_application(&app, &binding, &mut platform, AppId(0), &MapperConfig::default())
+                .unwrap_err();
         assert!(matches!(
             err,
             MappingError::SearchExhausted { .. } | MappingError::NoStartingPoint { .. }
@@ -531,10 +512,7 @@ mod tests {
         .unwrap();
         assert_eq!(report.placement.len(), 4);
         // Everything must be claimed exactly once.
-        let claimed: usize = platform
-            .element_ids()
-            .map(|e| platform.residents(e).len())
-            .sum();
+        let claimed: usize = platform.element_ids().map(|e| platform.residents(e).len()).sum();
         assert_eq!(claimed, 4);
     }
 

@@ -1,10 +1,15 @@
-//! Per-phase timing instrumentation.
+//! Per-phase timing instrumentation and occupancy metrics.
 //!
 //! The paper's evaluation reports the run-time of every phase per allocation
 //! attempt (Fig. 7, §IV-A); [`PhaseTimings`] is the measured counterpart.
+//! [`OccupancySnapshot`] packages the platform-state metrics (utilisation,
+//! fragmentation, free islands) that long-running drivers such as
+//! `kairos-sim` sample over time.
 
 use std::fmt;
 use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
 
 use crate::error::Phase;
 
@@ -87,6 +92,27 @@ impl fmt::Display for PhaseTimings {
     }
 }
 
+/// Instantaneous occupancy metrics of a managed platform.
+///
+/// Produced by [`Kairos::occupancy`](crate::Kairos::occupancy); all values
+/// are pure functions of the platform state, so two identical admission
+/// histories yield identical snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OccupancySnapshot {
+    /// Number of currently admitted applications.
+    pub admitted_apps: usize,
+    /// Fraction of elements hosting at least one task, in `[0, 1]`.
+    pub element_utilisation: f64,
+    /// Fraction of total platform resources currently claimed, in `[0, 1]`.
+    pub resource_utilisation: f64,
+    /// External resource fragmentation (paper §III-A), in `[0, 1]`.
+    pub external_fragmentation: f64,
+    /// Number of connected islands of free, healthy elements.
+    pub free_islands: usize,
+    /// Number of elements currently marked failed.
+    pub failed_elements: usize,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,10 +149,7 @@ mod tests {
 
     #[test]
     fn display_shows_milliseconds() {
-        let t = PhaseTimings {
-            binding: Duration::from_micros(1500),
-            ..PhaseTimings::default()
-        };
+        let t = PhaseTimings { binding: Duration::from_micros(1500), ..PhaseTimings::default() };
         assert!(t.to_string().contains("1.500 ms"));
     }
 }

@@ -229,8 +229,7 @@ mod tests {
         let e: Vec<_> = platform.element_ids().collect();
         let app = two_task_app(100);
         let placement = Placement::new(vec![e[0], e[3]]);
-        let routes =
-            route_channels(&app, &placement, &mut platform, RouteAlgorithm::Bfs).unwrap();
+        let routes = route_channels(&app, &placement, &mut platform, RouteAlgorithm::Bfs).unwrap();
         assert_eq!(routes[0].hops(), 3);
         // Links actually claimed.
         for &l in routes[0].links() {
@@ -251,8 +250,7 @@ mod tests {
         let e: Vec<_> = platform.element_ids().collect();
         let app = two_task_app(100);
         let placement = Placement::new(vec![e[0], e[0]]);
-        let routes =
-            route_channels(&app, &placement, &mut platform, RouteAlgorithm::Bfs).unwrap();
+        let routes = route_channels(&app, &placement, &mut platform, RouteAlgorithm::Bfs).unwrap();
         assert!(routes[0].is_local());
         assert!(platform.is_idle());
     }
@@ -269,8 +267,7 @@ mod tests {
         let before = platform.checkpoint();
         let app = two_task_app(100);
         let placement = Placement::new(vec![e[0], e[1]]);
-        let err = route_channels(&app, &placement, &mut platform, RouteAlgorithm::Bfs)
-            .unwrap_err();
+        let err = route_channels(&app, &placement, &mut platform, RouteAlgorithm::Bfs).unwrap_err();
         assert!(matches!(err, RoutingError::NoRoute { .. }));
         assert_eq!(platform.checkpoint(), before, "failed routing must roll back");
     }
@@ -297,8 +294,7 @@ mod tests {
         b.add_channel(t0, t1, 300, 1);
         let app = b.build().unwrap();
         let placement = Placement::new(vec![e[0], e[1]]);
-        let routes =
-            route_channels(&app, &placement, &mut platform, RouteAlgorithm::Bfs).unwrap();
+        let routes = route_channels(&app, &placement, &mut platform, RouteAlgorithm::Bfs).unwrap();
         assert_eq!(routes.len(), 3);
         let l = platform.link_between(e[0], e[1]).unwrap();
         assert_eq!(
@@ -338,8 +334,7 @@ mod tests {
         platform.fail_element(e[1]);
         let app = two_task_app(100);
         let placement = Placement::new(vec![e[0], e[2]]);
-        let routes =
-            route_channels(&app, &placement, &mut platform, RouteAlgorithm::Bfs).unwrap();
+        let routes = route_channels(&app, &placement, &mut platform, RouteAlgorithm::Bfs).unwrap();
         // Must go the long way round through e3.
         assert_eq!(routes[0].hops(), 2);
         for &l in routes[0].links() {

@@ -16,8 +16,7 @@
 
 use kairos_app::{Application, TaskRole};
 use kairos_sdf::{
-    measure_latency, throughput_with, LatencyConfig, SdfGraph, SdfGraphBuilder,
-    StateSpaceConfig,
+    measure_latency, throughput_with, LatencyConfig, SdfGraph, SdfGraphBuilder, StateSpaceConfig,
 };
 
 use crate::error::ValidationError;
@@ -98,10 +97,9 @@ pub fn layout_to_sdf(
             b.add_channel(src, dst, rate, rate, 0);
             b.add_channel(dst, src, rate, rate, buffer);
         } else {
-            let latency = config.transport_overhead_cycles
-                + config.hop_latency_cycles * route.hops() as u64;
-            let transport =
-                b.add_actor(format!("transport-{}", channel.id()), latency.max(1));
+            let latency =
+                config.transport_overhead_cycles + config.hop_latency_cycles * route.hops() as u64;
+            let transport = b.add_actor(format!("transport-{}", channel.id()), latency.max(1));
             b.add_channel(src, transport, rate, rate, 0);
             b.add_channel(transport, src, rate, rate, buffer);
             b.add_channel(transport, dst, rate, rate, 0);
@@ -133,12 +131,9 @@ pub fn validate(
         .map(|t| kairos_sdf::ActorId(t.id().0))
         .unwrap_or(kairos_sdf::ActorId(0));
 
-    let report = throughput_with(
-        &model,
-        reference,
-        &StateSpaceConfig { max_events: config.max_events },
-    )
-    .map_err(|e| ValidationError::Analysis(e.to_string()))?;
+    let report =
+        throughput_with(&model, reference, &StateSpaceConfig { max_events: config.max_events })
+            .map_err(|e| ValidationError::Analysis(e.to_string()))?;
 
     for (index, constraint) in app.constraints().iter().enumerate() {
         let allowed = constraint.as_max_period_cycles();
@@ -188,9 +183,7 @@ pub fn validate(
 mod tests {
     use super::*;
     use crate::layout::{Binding, Placement, Route};
-    use kairos_app::{
-        ApplicationBuilder, ChannelId, Constraint, ImplId, Implementation, TaskRole,
-    };
+    use kairos_app::{ApplicationBuilder, Constraint, ImplId, Implementation, TaskRole};
     use kairos_platform::{ElementId, ElementKind, LinkId, ResourceVector};
 
     fn imp(cycles: u64) -> Implementation {
@@ -222,9 +215,7 @@ mod tests {
     fn layout_for(app: &Application, hops: &[usize]) -> ExecutionLayout {
         ExecutionLayout {
             binding: Binding::new(vec![ImplId(0); app.task_count()]),
-            placement: Placement::new(
-                (0..app.task_count() as u32).map(ElementId).collect(),
-            ),
+            placement: Placement::new((0..app.task_count() as u32).map(ElementId).collect()),
             routes: app
                 .channels()
                 .map(|c| {

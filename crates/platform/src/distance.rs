@@ -55,11 +55,7 @@ pub fn hop_distance(platform: &Platform, src: ElementId, dst: ElementId) -> Opti
     bfs_distances(platform, src, SearchDirection::Forward)[dst.index()]
 }
 
-fn step(
-    platform: &Platform,
-    e: ElementId,
-    direction: SearchDirection,
-) -> Vec<ElementId> {
+fn step(platform: &Platform, e: ElementId, direction: SearchDirection) -> Vec<ElementId> {
     match direction {
         SearchDirection::Forward => platform.successors(e).iter().map(|&(n, _)| n).collect(),
         SearchDirection::Backward => platform.predecessors(e).iter().map(|&(n, _)| n).collect(),

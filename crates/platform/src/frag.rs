@@ -43,10 +43,7 @@ pub fn external_fragmentation(platform: &Platform) -> f64 {
     if pairs.is_empty() {
         return 0.0;
     }
-    let mixed = pairs
-        .iter()
-        .filter(|&&(a, b)| platform.is_used(a) != platform.is_used(b))
-        .count();
+    let mixed = pairs.iter().filter(|&&(a, b)| platform.is_used(a) != platform.is_used(b)).count();
     mixed as f64 / pairs.len() as f64
 }
 
@@ -68,10 +65,7 @@ pub fn free_island_count(platform: &Platform) -> usize {
     let mut visited = vec![false; n];
     let mut islands = 0;
     for start in platform.element_ids() {
-        if visited[start.index()]
-            || platform.is_used(start)
-            || platform.is_failed(start)
-        {
+        if visited[start.index()] || platform.is_used(start) || platform.is_failed(start) {
             continue;
         }
         islands += 1;
@@ -108,8 +102,7 @@ mod tests {
     }
 
     fn use_element(p: &mut Platform, e: ElementId, task: u32) {
-        p.claim(e, Occupant { app: AppId(0), task, claimed: ResourceVector::splat(1) })
-            .unwrap();
+        p.claim(e, Occupant { app: AppId(0), task, claimed: ResourceVector::splat(1) }).unwrap();
     }
 
     #[test]

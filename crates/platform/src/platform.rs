@@ -67,10 +67,9 @@ pub enum ClaimError {
 impl fmt::Display for ClaimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ClaimError::InsufficientResources { element, requested, free } => write!(
-                f,
-                "element {element} cannot provide {requested}; only {free} free"
-            ),
+            ClaimError::InsufficientResources { element, requested, free } => {
+                write!(f, "element {element} cannot provide {requested}; only {free} free")
+            }
             ClaimError::ElementFailed(e) => write!(f, "element {e} is failed"),
             ClaimError::LinkSaturated { link, requested } => {
                 write!(f, "link {link} cannot carry {requested} more bandwidth")
@@ -232,10 +231,7 @@ impl Platform {
 
     /// The link from `src` to `dst`, if one exists.
     pub fn link_between(&self, src: ElementId, dst: ElementId) -> Option<LinkId> {
-        self.out_adj[src.index()]
-            .iter()
-            .find(|&&(n, _)| n == dst)
-            .map(|&(_, l)| l)
+        self.out_adj[src.index()].iter().find(|&&(n, _)| n == dst).map(|&(_, l)| l)
     }
 
     // ---- dynamic state: elements ------------------------------------------------
@@ -299,8 +295,7 @@ impl Platform {
         let residents = &mut self.state.residents[e.index()];
         let pos = residents.iter().position(|o| o.app == app && o.task == task)?;
         let occupant = residents.swap_remove(pos);
-        self.state.free[e.index()] =
-            self.state.free[e.index()].saturating_add(&occupant.claimed);
+        self.state.free[e.index()] = self.state.free[e.index()].saturating_add(&occupant.claimed);
         Some(occupant.claimed)
     }
 
@@ -430,28 +425,17 @@ impl Platform {
             .iter()
             .enumerate()
             .all(|(i, e)| self.state.free[i] == e.capacity() && self.state.residents[i].is_empty())
-            && self
-                .links
-                .iter()
-                .enumerate()
-                .all(|(i, l)| self.state.links[i] == LinkState::idle(l))
+            && self.links.iter().enumerate().all(|(i, l)| self.state.links[i] == LinkState::idle(l))
     }
 
     /// Total free resources summed over all non-failed elements.
     pub fn total_free(&self) -> ResourceVector {
-        self.element_ids()
-            .filter(|&e| !self.is_failed(e))
-            .map(|e| self.free(e))
-            .sum()
+        self.element_ids().filter(|&e| !self.is_failed(e)).map(|e| self.free(e)).sum()
     }
 
     /// Total capacity summed over all non-failed elements.
     pub fn total_capacity(&self) -> ResourceVector {
-        self.elements
-            .iter()
-            .filter(|e| !self.is_failed(e.id()))
-            .map(|e| e.capacity())
-            .sum()
+        self.elements.iter().filter(|e| !self.is_failed(e.id())).map(|e| e.capacity()).sum()
     }
 }
 
@@ -500,9 +484,7 @@ mod tests {
     #[test]
     fn claim_rejects_overcommit() {
         let (mut p, a, _) = two_dsp();
-        let err = p
-            .claim(a, occ(0, 0, ResourceVector::new(101, 0, 0, 0)))
-            .unwrap_err();
+        let err = p.claim(a, occ(0, 0, ResourceVector::new(101, 0, 0, 0))).unwrap_err();
         assert!(matches!(err, ClaimError::InsufficientResources { .. }));
         assert!(p.is_idle());
     }

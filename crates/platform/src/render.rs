@@ -95,12 +95,9 @@ mod tests {
     fn strip_tracks_occupancy_classes() {
         let mut p = topology::dsp_line(4);
         let e: Vec<_> = p.element_ids().collect();
-        p.claim(e[0], Occupant { app: AppId(0), task: 0, claimed: ResourceVector::ZERO })
-            .unwrap();
-        p.claim(e[1], Occupant { app: AppId(0), task: 1, claimed: ResourceVector::ZERO })
-            .unwrap();
-        p.claim(e[1], Occupant { app: AppId(0), task: 2, claimed: ResourceVector::ZERO })
-            .unwrap();
+        p.claim(e[0], Occupant { app: AppId(0), task: 0, claimed: ResourceVector::ZERO }).unwrap();
+        p.claim(e[1], Occupant { app: AppId(0), task: 1, claimed: ResourceVector::ZERO }).unwrap();
+        p.claim(e[1], Occupant { app: AppId(0), task: 2, claimed: ResourceVector::ZERO }).unwrap();
         p.fail_element(e[3]);
         assert_eq!(render_strip(&p), "o8.X");
     }

@@ -32,12 +32,8 @@ pub enum ResourceKind {
 
 impl ResourceKind {
     /// All resource kinds, in vector-index order.
-    pub const ALL: [ResourceKind; RESOURCE_KIND_COUNT] = [
-        ResourceKind::Compute,
-        ResourceKind::Memory,
-        ResourceKind::Area,
-        ResourceKind::Io,
-    ];
+    pub const ALL: [ResourceKind; RESOURCE_KIND_COUNT] =
+        [ResourceKind::Compute, ResourceKind::Memory, ResourceKind::Area, ResourceKind::Io];
 
     /// The index of this kind within a [`ResourceVector`].
     #[inline]
@@ -139,8 +135,8 @@ impl ResourceVector {
     #[inline]
     pub fn checked_sub(&self, rhs: &ResourceVector) -> Option<ResourceVector> {
         let mut out = [0u64; RESOURCE_KIND_COUNT];
-        for i in 0..RESOURCE_KIND_COUNT {
-            out[i] = self.0[i].checked_sub(rhs.0[i])?;
+        for (slot, (have, need)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *slot = have.checked_sub(*need)?;
         }
         Some(ResourceVector(out))
     }
@@ -148,41 +144,25 @@ impl ResourceVector {
     /// Component-wise saturating subtraction.
     #[inline]
     pub fn saturating_sub(&self, rhs: &ResourceVector) -> ResourceVector {
-        let mut out = [0u64; RESOURCE_KIND_COUNT];
-        for i in 0..RESOURCE_KIND_COUNT {
-            out[i] = self.0[i].saturating_sub(rhs.0[i]);
-        }
-        ResourceVector(out)
+        ResourceVector(std::array::from_fn(|i| self.0[i].saturating_sub(rhs.0[i])))
     }
 
     /// Component-wise saturating addition.
     #[inline]
     pub fn saturating_add(&self, rhs: &ResourceVector) -> ResourceVector {
-        let mut out = [0u64; RESOURCE_KIND_COUNT];
-        for i in 0..RESOURCE_KIND_COUNT {
-            out[i] = self.0[i].saturating_add(rhs.0[i]);
-        }
-        ResourceVector(out)
+        ResourceVector(std::array::from_fn(|i| self.0[i].saturating_add(rhs.0[i])))
     }
 
     /// Component-wise minimum.
     #[inline]
     pub fn component_min(&self, rhs: &ResourceVector) -> ResourceVector {
-        let mut out = [0u64; RESOURCE_KIND_COUNT];
-        for i in 0..RESOURCE_KIND_COUNT {
-            out[i] = self.0[i].min(rhs.0[i]);
-        }
-        ResourceVector(out)
+        ResourceVector(std::array::from_fn(|i| self.0[i].min(rhs.0[i])))
     }
 
     /// Component-wise maximum.
     #[inline]
     pub fn component_max(&self, rhs: &ResourceVector) -> ResourceVector {
-        let mut out = [0u64; RESOURCE_KIND_COUNT];
-        for i in 0..RESOURCE_KIND_COUNT {
-            out[i] = self.0[i].max(rhs.0[i]);
-        }
-        ResourceVector(out)
+        ResourceVector(std::array::from_fn(|i| self.0[i].max(rhs.0[i])))
     }
 
     /// Returns `true` if all components are zero.
@@ -208,11 +188,7 @@ impl ResourceVector {
     /// Panics if `den` is zero.
     pub fn scaled(&self, num: u64, den: u64) -> ResourceVector {
         assert!(den != 0, "scale denominator must be non-zero");
-        let mut out = [0u64; RESOURCE_KIND_COUNT];
-        for i in 0..RESOURCE_KIND_COUNT {
-            out[i] = self.0[i].saturating_mul(num) / den;
-        }
-        ResourceVector(out)
+        ResourceVector(std::array::from_fn(|i| self.0[i].saturating_mul(num) / den))
     }
 
     /// The utilisation of `self` relative to `capacity`, as the maximum
@@ -277,8 +253,7 @@ impl Sub for ResourceVector {
     ///
     /// Panics on underflow; use [`ResourceVector::checked_sub`] in ledgers.
     fn sub(self, rhs: ResourceVector) -> ResourceVector {
-        self.checked_sub(&rhs)
-            .expect("resource vector subtraction underflowed")
+        self.checked_sub(&rhs).expect("resource vector subtraction underflowed")
     }
 }
 
@@ -340,10 +315,7 @@ mod tests {
         let a = ResourceVector::new(5, 5, 5, 5);
         let b = ResourceVector::new(6, 0, 0, 0);
         assert_eq!(a.checked_sub(&b), None);
-        assert_eq!(
-            a.checked_sub(&ResourceVector::splat(5)),
-            Some(ResourceVector::ZERO)
-        );
+        assert_eq!(a.checked_sub(&ResourceVector::splat(5)), Some(ResourceVector::ZERO));
     }
 
     #[test]

@@ -88,11 +88,7 @@ pub fn crisp_custom(config: CrispConfig) -> Platform {
     let vc = config.virtual_channels;
     let mut b = PlatformBuilder::new(format!("crisp-{}pkg", config.packages));
 
-    let fpga = b.add_named_element(
-        ElementKind::Fpga,
-        "fpga0",
-        default_capacity(ElementKind::Fpga),
-    );
+    let fpga = b.add_named_element(ElementKind::Fpga, "fpga0", default_capacity(ElementKind::Fpga));
 
     // Per package: 3 columns x 4 rows; rows 0..2 are DSPs, row 3 is mem,mem,tst.
     const COLS: usize = 3;
@@ -184,10 +180,20 @@ pub fn dsp_mesh(width: usize, height: usize) -> Platform {
         for col in 0..width {
             let here = ids[row * width + col];
             if col + 1 < width {
-                b.connect(here, ids[row * width + col + 1], DEFAULT_LINK_BANDWIDTH, DEFAULT_VIRTUAL_CHANNELS);
+                b.connect(
+                    here,
+                    ids[row * width + col + 1],
+                    DEFAULT_LINK_BANDWIDTH,
+                    DEFAULT_VIRTUAL_CHANNELS,
+                );
             }
             if row + 1 < height {
-                b.connect(here, ids[(row + 1) * width + col], DEFAULT_LINK_BANDWIDTH, DEFAULT_VIRTUAL_CHANNELS);
+                b.connect(
+                    here,
+                    ids[(row + 1) * width + col],
+                    DEFAULT_LINK_BANDWIDTH,
+                    DEFAULT_VIRTUAL_CHANNELS,
+                );
             }
         }
     }
@@ -271,10 +277,20 @@ pub fn heterogeneous_mesh(width: usize, height: usize) -> Platform {
         for col in 0..width {
             let here = ids[row * width + col];
             if col + 1 < width {
-                b.connect(here, ids[row * width + col + 1], DEFAULT_LINK_BANDWIDTH, DEFAULT_VIRTUAL_CHANNELS);
+                b.connect(
+                    here,
+                    ids[row * width + col + 1],
+                    DEFAULT_LINK_BANDWIDTH,
+                    DEFAULT_VIRTUAL_CHANNELS,
+                );
             }
             if row + 1 < height {
-                b.connect(here, ids[(row + 1) * width + col], DEFAULT_LINK_BANDWIDTH, DEFAULT_VIRTUAL_CHANNELS);
+                b.connect(
+                    here,
+                    ids[(row + 1) * width + col],
+                    DEFAULT_LINK_BANDWIDTH,
+                    DEFAULT_VIRTUAL_CHANNELS,
+                );
             }
         }
     }

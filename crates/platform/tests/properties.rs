@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use kairos_platform::{
-    bfs_distances, external_fragmentation, topology, AppId, ElementKind, Occupant,
-    PlatformBuilder, ResourceVector, SearchDirection,
+    bfs_distances, external_fragmentation, topology, AppId, ElementKind, Occupant, PlatformBuilder,
+    ResourceVector, SearchDirection,
 };
 
 fn vector() -> impl Strategy<Value = ResourceVector> {

@@ -114,9 +114,7 @@ pub fn repetition_vector(graph: &SdfGraph) -> Result<Vec<u64>, SdfAnalysisError>
                         members.push(c.dst().index());
                         stack.push(c.dst());
                     }
-                    Some(existing) if existing != r => {
-                        return Err(SdfAnalysisError::Inconsistent)
-                    }
+                    Some(existing) if existing != r => return Err(SdfAnalysisError::Inconsistent),
                     Some(_) => {}
                 }
             }
@@ -132,9 +130,7 @@ pub fn repetition_vector(graph: &SdfGraph) -> Result<Vec<u64>, SdfAnalysisError>
                         members.push(c.src().index());
                         stack.push(c.src());
                     }
-                    Some(existing) if existing != r => {
-                        return Err(SdfAnalysisError::Inconsistent)
-                    }
+                    Some(existing) if existing != r => return Err(SdfAnalysisError::Inconsistent),
                     Some(_) => {}
                 }
             }
@@ -155,10 +151,7 @@ pub fn repetition_vector(graph: &SdfGraph) -> Result<Vec<u64>, SdfAnalysisError>
         let mut scaled = Vec::with_capacity(members.len());
         for &m in &members {
             let r = ratio[m].expect("component members have ratios");
-            let v = r
-                .num
-                .checked_mul(denom_lcm / r.den)
-                .ok_or(SdfAnalysisError::Overflow)?;
+            let v = r.num.checked_mul(denom_lcm / r.den).ok_or(SdfAnalysisError::Overflow)?;
             numer_gcd = gcd(numer_gcd, v);
             scaled.push((m, v));
         }
@@ -189,8 +182,7 @@ pub fn is_consistent(graph: &SdfGraph) -> bool {
 pub fn check_deadlock_free(graph: &SdfGraph) -> Result<(), SdfAnalysisError> {
     let q = repetition_vector(graph)?;
     let mut remaining: Vec<u64> = q.clone();
-    let mut tokens: Vec<i64> =
-        graph.channels().map(|c| c.initial_tokens() as i64).collect();
+    let mut tokens: Vec<i64> = graph.channels().map(|c| c.initial_tokens() as i64).collect();
 
     let total: u64 = q.iter().sum();
     let mut fired = 0u64;

@@ -39,10 +39,10 @@ mod latency;
 mod statespace;
 
 pub use analysis::{check_deadlock_free, is_consistent, repetition_vector, SdfAnalysisError};
-pub use latency::{measure_latency, LatencyConfig, LatencyReport};
 pub use graph::{
     Actor, ActorId, SdfChannel, SdfChannelId, SdfGraph, SdfGraphBuilder, SdfGraphError,
 };
+pub use latency::{measure_latency, LatencyConfig, LatencyReport};
 pub use statespace::{
     throughput, throughput_with, StateSpaceConfig, StateSpaceError, ThroughputReport,
 };

@@ -126,7 +126,10 @@ struct StateKey {
 /// assert!((report.throughput - 1.0 / 3.0).abs() < 1e-9);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn throughput(graph: &SdfGraph, reference: ActorId) -> Result<ThroughputReport, StateSpaceError> {
+pub fn throughput(
+    graph: &SdfGraph,
+    reference: ActorId,
+) -> Result<ThroughputReport, StateSpaceError> {
     throughput_with(graph, reference, &StateSpaceConfig::default())
 }
 
@@ -183,10 +186,7 @@ pub fn throughput_with(
                 .iter()
                 .map(|&t| u32::try_from(t).expect("token counts are non-negative"))
                 .collect(),
-            remaining: completes_at
-                .iter()
-                .map(|c| c.map_or(u64::MAX, |at| at - now))
-                .collect(),
+            remaining: completes_at.iter().map(|c| c.map_or(u64::MAX, |at| at - now)).collect(),
         };
         if let Some(&(prev_time, prev_firings)) = seen.get(&key) {
             let period_time = now - prev_time;
@@ -288,8 +288,7 @@ mod tests {
         let c = b.add_actor("c", 2);
         b.add_channel(a, c, 1, 1, 0); // no back-edge: a outruns c forever
         let g = b.build().unwrap();
-        let err =
-            throughput_with(&g, a, &StateSpaceConfig { max_events: 500 }).unwrap_err();
+        let err = throughput_with(&g, a, &StateSpaceConfig { max_events: 500 }).unwrap_err();
         assert_eq!(err, StateSpaceError::Diverged { max_events: 500 });
         // Bounding the buffer makes it analysable:
         let bounded = g.with_bounded_buffers(2);

@@ -11,11 +11,8 @@ use kairos_sdf::{
 
 /// A random chain graph with bounded buffers (always consistent & live).
 fn chain() -> impl Strategy<Value = SdfGraph> {
-    (
-        proptest::collection::vec(1u64..40, 2..8),
-        proptest::collection::vec(1u32..4, 1..7),
-    )
-        .prop_map(|(exec_times, rates)| {
+    (proptest::collection::vec(1u64..40, 2..8), proptest::collection::vec(1u32..4, 1..7)).prop_map(
+        |(exec_times, rates)| {
             let mut b = SdfGraphBuilder::new("chain");
             let actors: Vec<_> = exec_times
                 .iter()
@@ -27,7 +24,8 @@ fn chain() -> impl Strategy<Value = SdfGraph> {
                 b.add_channel(w[0], w[1], rate, rate, 0);
             }
             b.build().unwrap().with_bounded_buffers(8)
-        })
+        },
+    )
 }
 
 proptest! {

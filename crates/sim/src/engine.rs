@@ -1,0 +1,395 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Simulator`] drives a [`Kairos`] manager through a [`Scenario`]: a
+//! binary-heap event queue ordered by `(time, sequence)` advances a virtual
+//! clock over application arrivals, departures, scripted element faults and
+//! repairs, and periodic metric samples. Arrivals chain within each phase —
+//! processing one arrival schedules the next — so the whole run is a pure
+//! function of the scenario (seed included), which the determinism tests
+//! rely on.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use kairos_app::Application;
+use kairos_appgen::{WorkloadMix, WorkloadSampler};
+use kairos_core::{Kairos, KairosConfig, Phase};
+use kairos_platform::{AppId, ElementId};
+
+use crate::report::{PhaseStats, SamplePoint, SimReport, Totals};
+use crate::scenario::Scenario;
+
+/// What happens at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimEvent {
+    /// An application of workload phase `phase` arrives.
+    Arrival { phase: usize },
+    /// An admitted application's lifetime expires.
+    Departure { app: AppId },
+    /// Scripted fault `fault` (index into the scenario) strikes.
+    Fault { fault: usize },
+    /// A previously failed element recovers.
+    Repair { element: ElementId },
+    /// A metric time-series sample is taken.
+    Sample,
+}
+
+/// An event at a virtual time; `seq` breaks ties deterministically in
+/// schedule order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    at: u64,
+    seq: u64,
+    event: SimEvent,
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A currently admitted application and its scheduled departure.
+#[derive(Debug, Clone)]
+struct LiveApp {
+    app: Application,
+    departs_at: Option<u64>,
+}
+
+/// Per-workload-phase accumulator.
+#[derive(Debug, Default, Clone)]
+struct PhaseAccum {
+    arrivals: u64,
+    admissions: u64,
+    rejections: u64,
+    departures: u64,
+}
+
+/// Drives a [`Kairos`] manager through one scenario run.
+///
+/// # Examples
+///
+/// ```
+/// use kairos_sim::{Scenario, Simulator};
+///
+/// let scenario = Scenario::by_name("steady-churn").unwrap();
+/// let report = Simulator::new(scenario).unwrap().run();
+/// assert!(report.totals.arrivals > 0);
+/// assert_eq!(report.totals.arrivals, report.totals.admissions + report.totals.rejections);
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    scenario: Scenario,
+    manager: Kairos,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+    ran: bool,
+    samplers: Vec<Option<WorkloadSampler>>,
+    phase_starts: Vec<u64>,
+    live: HashMap<AppId, LiveApp>,
+    totals: Totals,
+    rejections_by_phase: [u64; 4],
+    phase_accum: Vec<PhaseAccum>,
+    samples: Vec<SamplePoint>,
+}
+
+impl Simulator {
+    /// A simulator for `scenario` with the default manager configuration.
+    ///
+    /// # Errors
+    ///
+    /// The scenario's [`Scenario::validate`] error, if any.
+    pub fn new(scenario: Scenario) -> Result<Self, String> {
+        Simulator::with_config(scenario, KairosConfig::default())
+    }
+
+    /// A simulator with an explicit manager configuration.
+    ///
+    /// # Errors
+    ///
+    /// The scenario's [`Scenario::validate`] error, if any.
+    pub fn with_config(scenario: Scenario, config: KairosConfig) -> Result<Self, String> {
+        scenario.validate()?;
+        let manager = Kairos::new(scenario.platform.build(), config);
+        // One independent sampler per phase, seeded off the scenario seed so
+        // adding a phase does not disturb the streams of the others.
+        let samplers = scenario
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(i, phase)| {
+                phase.has_arrivals().then(|| {
+                    WorkloadSampler::new(
+                        format!("{}-p{i}", scenario.name),
+                        WorkloadMix::new(phase.mix.clone()),
+                        scenario.seed.wrapping_add(0x9E3779B9 * (i as u64 + 1)),
+                    )
+                })
+            })
+            .collect();
+        let mut phase_starts = Vec::with_capacity(scenario.phases.len());
+        let mut t = 0;
+        for phase in &scenario.phases {
+            phase_starts.push(t);
+            t += phase.duration;
+        }
+        let phase_accum = vec![PhaseAccum::default(); scenario.phases.len()];
+        Ok(Simulator {
+            scenario,
+            manager,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            ran: false,
+            samplers,
+            phase_starts,
+            live: HashMap::new(),
+            totals: Totals::default(),
+            rejections_by_phase: [0; 4],
+            phase_accum,
+            samples: Vec::new(),
+        })
+    }
+
+    /// The managed platform's resource manager (for post-run inspection).
+    pub fn manager(&self) -> &Kairos {
+        &self.manager
+    }
+
+    /// The scenario being simulated.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    fn schedule(&mut self, at: u64, event: SimEvent) {
+        if at > self.scenario.horizon() {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// The workload phase containing tick `t` (the last phase for the
+    /// horizon tick itself).
+    fn phase_at(&self, t: u64) -> usize {
+        match self.phase_starts.binary_search(&t) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+
+    fn phase_end(&self, phase: usize) -> u64 {
+        self.phase_starts[phase] + self.scenario.phases[phase].duration
+    }
+
+    /// Runs the scenario to its horizon and aggregates the report. The
+    /// simulator stays available afterwards for [`Self::manager`]
+    /// inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called a second time: the manager and samplers are
+    /// mid-stream after a run, so a rerun would produce a corrupt report.
+    /// Build a fresh `Simulator` instead (identical scenarios reproduce
+    /// identical runs).
+    pub fn run(&mut self) -> SimReport {
+        assert!(!self.ran, "Simulator::run may only be called once; build a fresh Simulator");
+        self.ran = true;
+        // Seed the queue: samples over the whole horizon, the first arrival
+        // of every arrival phase, and the scripted faults.
+        let horizon = self.scenario.horizon();
+        let mut t = 0;
+        while t <= horizon {
+            self.schedule(t, SimEvent::Sample);
+            t += self.scenario.sample_period;
+        }
+        for phase in 0..self.scenario.phases.len() {
+            if self.samplers[phase].is_some() {
+                let start = self.phase_starts[phase];
+                let mean = self.scenario.phases[phase].mean_interarrival;
+                let gap = self.samplers[phase].as_mut().expect("checked").next_delay(mean);
+                let at = start + gap;
+                if at < self.phase_end(phase) {
+                    self.schedule(at, SimEvent::Arrival { phase });
+                }
+            }
+        }
+        let fault_times: Vec<u64> = self.scenario.faults.iter().map(|f| f.at).collect();
+        for (i, at) in fault_times.into_iter().enumerate() {
+            self.schedule(at, SimEvent::Fault { fault: i });
+        }
+
+        while let Some(Reverse(Scheduled { at, event, .. })) = self.queue.pop() {
+            match event {
+                SimEvent::Arrival { phase } => self.on_arrival(at, phase),
+                SimEvent::Departure { app } => self.on_departure(at, app),
+                SimEvent::Fault { fault } => self.on_fault(at, fault),
+                SimEvent::Repair { element } => {
+                    self.manager.repair_element(element);
+                    self.totals.repairs += 1;
+                }
+                SimEvent::Sample => {
+                    self.samples.push(SamplePoint { at, occupancy: self.manager.occupancy() });
+                }
+            }
+        }
+
+        self.finalize()
+    }
+
+    fn on_arrival(&mut self, at: u64, phase: usize) {
+        let spec_mean_lifetime = self.scenario.phases[phase].mean_lifetime;
+        let mean_gap = self.scenario.phases[phase].mean_interarrival;
+        let sampler = self.samplers[phase].as_mut().expect("arrival phases have samplers");
+        let app = sampler.next_app();
+        let lifetime = if spec_mean_lifetime > 0 {
+            Some(sampler.next_delay(spec_mean_lifetime))
+        } else {
+            None
+        };
+        let next_gap = sampler.next_delay(mean_gap);
+
+        self.totals.arrivals += 1;
+        self.phase_accum[phase].arrivals += 1;
+        match self.manager.admit(&app) {
+            Ok(report) => {
+                self.totals.admissions += 1;
+                self.phase_accum[phase].admissions += 1;
+                let departs_at = lifetime.map(|l| at + l);
+                if let Some(departure) = departs_at {
+                    self.schedule(departure, SimEvent::Departure { app: report.app_id });
+                }
+                self.live.insert(report.app_id, LiveApp { app, departs_at });
+            }
+            Err(failure) => {
+                self.totals.rejections += 1;
+                self.phase_accum[phase].rejections += 1;
+                self.rejections_by_phase[phase_index(failure.phase())] += 1;
+            }
+        }
+
+        let next = at + next_gap;
+        if next < self.phase_end(phase) {
+            self.schedule(next, SimEvent::Arrival { phase });
+        }
+    }
+
+    fn on_departure(&mut self, at: u64, app: AppId) {
+        // The app may already be gone: evicted by a fault and not
+        // re-admitted, or re-admitted under a fresh id.
+        if self.manager.release(app) {
+            self.live.remove(&app);
+            self.totals.departures += 1;
+            let phase = self.phase_at(at);
+            self.phase_accum[phase].departures += 1;
+        }
+    }
+
+    fn on_fault(&mut self, at: u64, fault: usize) {
+        let spec = self.scenario.faults[fault];
+        let element = ElementId(spec.element);
+        let victims = self.manager.fail_element(element);
+        self.totals.faults_injected += 1;
+        self.totals.evictions += victims.len() as u64;
+        if let Some(after) = spec.repair_after {
+            self.schedule(at + after, SimEvent::Repair { element });
+        }
+        for victim in victims {
+            let Some(live) = self.live.remove(&victim) else { continue };
+            if !self.scenario.readmit_evicted {
+                self.totals.lost_to_faults += 1;
+                continue;
+            }
+            // Offer the evicted application for immediate re-admission on
+            // the remaining healthy elements, keeping its departure time. A
+            // departure falling on this very tick is rescheduled (`>=`, not
+            // `>`): the stale Departure event carries the old id and no-ops,
+            // and without a fresh one the re-admitted app would never leave.
+            match self.manager.admit(&live.app) {
+                Ok(report) => {
+                    self.totals.readmissions += 1;
+                    if let Some(departs_at) = live.departs_at {
+                        if departs_at >= at {
+                            self.schedule(departs_at, SimEvent::Departure { app: report.app_id });
+                        }
+                    }
+                    self.live.insert(report.app_id, live);
+                }
+                Err(_) => {
+                    self.totals.lost_to_faults += 1;
+                }
+            }
+        }
+    }
+
+    fn finalize(&mut self) -> SimReport {
+        let phases = self
+            .scenario
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(i, phase)| {
+                let accum = &self.phase_accum[i];
+                let start = self.phase_starts[i];
+                let end = self.phase_end(i);
+                let window: Vec<&SamplePoint> =
+                    self.samples.iter().filter(|s| s.at >= start && s.at < end).collect();
+                let mean = |f: fn(&SamplePoint) -> f64| {
+                    if window.is_empty() {
+                        0.0
+                    } else {
+                        window.iter().map(|s| f(s)).sum::<f64>() / window.len() as f64
+                    }
+                };
+                PhaseStats {
+                    name: phase.name.clone(),
+                    start,
+                    end,
+                    arrivals: accum.arrivals,
+                    admissions: accum.admissions,
+                    rejections: accum.rejections,
+                    departures: accum.departures,
+                    rejection_rate: if accum.arrivals == 0 {
+                        0.0
+                    } else {
+                        accum.rejections as f64 / accum.arrivals as f64
+                    },
+                    mean_utilisation: mean(|s| s.occupancy.element_utilisation),
+                    mean_fragmentation: mean(|s| s.occupancy.external_fragmentation),
+                }
+            })
+            .collect();
+
+        SimReport {
+            scenario: self.scenario.name.clone(),
+            seed: self.scenario.seed,
+            horizon: self.scenario.horizon(),
+            totals: self.totals,
+            rejections_by_phase: Phase::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, phase)| (phase.to_string(), self.rejections_by_phase[i]))
+                .collect(),
+            phases,
+            samples: std::mem::take(&mut self.samples),
+            final_state: self.manager.occupancy(),
+        }
+    }
+}
+
+/// Pipeline-order index of an admission phase.
+fn phase_index(phase: Phase) -> usize {
+    match phase {
+        Phase::Binding => 0,
+        Phase::Mapping => 1,
+        Phase::Routing => 2,
+        Phase::Validation => 3,
+    }
+}

@@ -1,0 +1,175 @@
+//! Aggregated simulation results.
+//!
+//! A [`SimReport`] is everything a scenario run leaves behind: total event
+//! counts, rejections broken down by the admission pipeline phase that
+//! refused them, per-workload-phase statistics, the sampled metric
+//! time-series and the final platform state. Rendering to JSON is
+//! deterministic — two runs of the same scenario produce byte-identical
+//! reports.
+
+use serde::{Deserialize, Serialize};
+
+use kairos_core::OccupancySnapshot;
+
+use crate::json::Json;
+
+/// Total event counts over a whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Totals {
+    /// Applications that arrived (offered for admission).
+    pub arrivals: u64,
+    /// Successful admissions of fresh arrivals (`arrivals == admissions +
+    /// rejections`); re-admissions after faults are counted separately in
+    /// [`Totals::readmissions`].
+    pub admissions: u64,
+    /// Refused admissions.
+    pub rejections: u64,
+    /// Applications that departed after their lifetime expired.
+    pub departures: u64,
+    /// Element faults injected.
+    pub faults_injected: u64,
+    /// Element repairs performed.
+    pub repairs: u64,
+    /// Applications evicted by element faults.
+    pub evictions: u64,
+    /// Evicted applications successfully re-admitted elsewhere.
+    pub readmissions: u64,
+    /// Evicted applications that could not be re-admitted.
+    pub lost_to_faults: u64,
+}
+
+/// Statistics of one workload phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Phase name from the scenario.
+    pub name: String,
+    /// Phase start tick (inclusive).
+    pub start: u64,
+    /// Phase end tick (exclusive).
+    pub end: u64,
+    /// Arrivals during the phase.
+    pub arrivals: u64,
+    /// Admissions during the phase.
+    pub admissions: u64,
+    /// Rejections during the phase.
+    pub rejections: u64,
+    /// Departures during the phase.
+    pub departures: u64,
+    /// `rejections / arrivals`, `0` for arrival-free phases.
+    pub rejection_rate: f64,
+    /// Mean element utilisation over the phase's samples.
+    pub mean_utilisation: f64,
+    /// Mean external fragmentation over the phase's samples.
+    pub mean_fragmentation: f64,
+}
+
+/// One point of the sampled metric time-series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplePoint {
+    /// Virtual time of the sample.
+    pub at: u64,
+    /// Platform occupancy metrics at that instant.
+    pub occupancy: OccupancySnapshot,
+}
+
+/// The complete result of one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario seed the run was driven by.
+    pub seed: u64,
+    /// Virtual length of the run.
+    pub horizon: u64,
+    /// Total event counts.
+    pub totals: Totals,
+    /// Rejections per admission pipeline phase, in pipeline order
+    /// (binding, mapping, routing, validation).
+    pub rejections_by_phase: Vec<(String, u64)>,
+    /// Per-workload-phase statistics.
+    pub phases: Vec<PhaseStats>,
+    /// Sampled metric time-series.
+    pub samples: Vec<SamplePoint>,
+    /// Platform state when the run ended.
+    pub final_state: OccupancySnapshot,
+}
+
+fn occupancy_json(o: &OccupancySnapshot) -> Json {
+    let mut doc = Json::object();
+    doc.push("admitted_apps", o.admitted_apps);
+    doc.push("element_utilisation", o.element_utilisation);
+    doc.push("resource_utilisation", o.resource_utilisation);
+    doc.push("external_fragmentation", o.external_fragmentation);
+    doc.push("free_islands", o.free_islands);
+    doc.push("failed_elements", o.failed_elements);
+    doc
+}
+
+impl SimReport {
+    /// The report as an ordered JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::object();
+        doc.push("scenario", self.scenario.as_str());
+        doc.push("seed", self.seed);
+        doc.push("horizon", self.horizon);
+
+        let mut totals = Json::object();
+        totals.push("arrivals", self.totals.arrivals);
+        totals.push("admissions", self.totals.admissions);
+        totals.push("rejections", self.totals.rejections);
+        totals.push("departures", self.totals.departures);
+        totals.push("faults_injected", self.totals.faults_injected);
+        totals.push("repairs", self.totals.repairs);
+        totals.push("evictions", self.totals.evictions);
+        totals.push("readmissions", self.totals.readmissions);
+        totals.push("lost_to_faults", self.totals.lost_to_faults);
+        doc.push("totals", totals);
+
+        let mut rejections = Json::object();
+        for (phase, count) in &self.rejections_by_phase {
+            rejections.push(phase, *count);
+        }
+        doc.push("rejections_by_phase", rejections);
+
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| {
+                let mut phase = Json::object();
+                phase.push("name", p.name.as_str());
+                phase.push("start", p.start);
+                phase.push("end", p.end);
+                phase.push("arrivals", p.arrivals);
+                phase.push("admissions", p.admissions);
+                phase.push("rejections", p.rejections);
+                phase.push("departures", p.departures);
+                phase.push("rejection_rate", p.rejection_rate);
+                phase.push("mean_utilisation", p.mean_utilisation);
+                phase.push("mean_fragmentation", p.mean_fragmentation);
+                phase
+            })
+            .collect::<Vec<_>>();
+        doc.push("phases", phases);
+
+        let samples = self
+            .samples
+            .iter()
+            .map(|s| {
+                let mut sample = Json::object();
+                sample.push("at", s.at);
+                sample.push("occupancy", occupancy_json(&s.occupancy));
+                sample
+            })
+            .collect::<Vec<_>>();
+        doc.push("samples", samples);
+
+        doc.push("final_state", occupancy_json(&self.final_state));
+        doc
+    }
+
+    /// The report rendered as a JSON string, byte-for-byte deterministic
+    /// for identical runs.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+}

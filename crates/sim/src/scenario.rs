@@ -1,0 +1,478 @@
+//! Scenario descriptions and the built-in catalog.
+//!
+//! A [`Scenario`] is a complete, seeded description of a multi-application
+//! experiment: the platform, a sequence of workload phases (each with its
+//! own dataset mixture, arrival rate and lifetime distribution), and a
+//! script of element faults. Identical scenarios produce identical
+//! simulations — the engine draws every random choice from the scenario
+//! seed.
+//!
+//! [`Scenario::catalog`] ships five named scenarios spanning the regimes
+//! the paper motivates: steady churn, bursty arrivals, saturation, hotspot
+//! element failures and a mixed-dataset workload.
+
+use serde::{Deserialize, Serialize};
+
+use kairos_appgen::{DatasetSpec, MixEntry, Orientation, SizeClass, WorkloadMix};
+use kairos_platform::{topology, Platform};
+
+use crate::json::Json;
+
+/// The platform a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlatformSpec {
+    /// The paper's CRISP General Stream Processor (62 elements).
+    Crisp,
+    /// A homogeneous DSP mesh.
+    DspMesh {
+        /// Mesh width in elements.
+        width: usize,
+        /// Mesh height in elements.
+        height: usize,
+    },
+    /// A heterogeneous mesh (ARM/DSP/FPGA/memory mix).
+    HeterogeneousMesh {
+        /// Mesh width in elements.
+        width: usize,
+        /// Mesh height in elements.
+        height: usize,
+    },
+}
+
+impl PlatformSpec {
+    /// Instantiates the platform.
+    pub fn build(&self) -> Platform {
+        match *self {
+            PlatformSpec::Crisp => topology::crisp(),
+            PlatformSpec::DspMesh { width, height } => topology::dsp_mesh(width, height),
+            PlatformSpec::HeterogeneousMesh { width, height } => {
+                topology::heterogeneous_mesh(width, height)
+            }
+        }
+    }
+
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> String {
+        match *self {
+            PlatformSpec::Crisp => "crisp".to_owned(),
+            PlatformSpec::DspMesh { width, height } => format!("dsp-mesh-{width}x{height}"),
+            PlatformSpec::HeterogeneousMesh { width, height } => {
+                format!("het-mesh-{width}x{height}")
+            }
+        }
+    }
+}
+
+/// One workload phase: a time window with its own arrival process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Phase name, used in per-phase report rows.
+    pub name: String,
+    /// Phase length in virtual ticks.
+    pub duration: u64,
+    /// Mean exponential inter-arrival gap; `0` disables arrivals (a drain
+    /// or quiescent phase).
+    pub mean_interarrival: u64,
+    /// Mean exponential application lifetime; `0` means admitted
+    /// applications never depart on their own.
+    pub mean_lifetime: u64,
+    /// Dataset mixture arrivals are drawn from.
+    pub mix: Vec<MixEntry>,
+}
+
+impl PhaseSpec {
+    /// A phase named `name` lasting `duration` ticks.
+    pub fn new(
+        name: impl Into<String>,
+        duration: u64,
+        mean_interarrival: u64,
+        mean_lifetime: u64,
+        mix: Vec<MixEntry>,
+    ) -> Self {
+        PhaseSpec { name: name.into(), duration, mean_interarrival, mean_lifetime, mix }
+    }
+
+    /// Whether the phase generates arrivals at all.
+    pub fn has_arrivals(&self) -> bool {
+        self.mean_interarrival > 0 && !self.mix.is_empty()
+    }
+}
+
+/// A scripted element fault (and optional repair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Virtual time of the failure.
+    pub at: u64,
+    /// Index of the failing element on the scenario platform.
+    pub element: u32,
+    /// Ticks until the element is repaired; `None` leaves it failed.
+    pub repair_after: Option<u64>,
+}
+
+/// A complete, seeded scenario description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (catalog key).
+    pub name: String,
+    /// Master seed; every random draw in the simulation derives from it.
+    pub seed: u64,
+    /// Sampling period of the metric time-series, in virtual ticks.
+    pub sample_period: u64,
+    /// Platform to manage.
+    pub platform: PlatformSpec,
+    /// Consecutive workload phases.
+    pub phases: Vec<PhaseSpec>,
+    /// Scripted element faults.
+    pub faults: Vec<FaultSpec>,
+    /// Whether applications evicted by a fault are immediately offered for
+    /// re-admission on the remaining healthy elements.
+    pub readmit_evicted: bool,
+}
+
+impl Scenario {
+    /// Total virtual duration: the sum of all phase durations.
+    pub fn horizon(&self) -> u64 {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// Structural sanity checks.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err("scenario has no phases".into());
+        }
+        if self.sample_period == 0 {
+            return Err("sample_period must be positive".into());
+        }
+        for phase in &self.phases {
+            if phase.duration == 0 {
+                return Err(format!("phase '{}' has zero duration", phase.name));
+            }
+            if phase.mean_interarrival > 0 && phase.mix.is_empty() {
+                return Err(format!("phase '{}' has arrivals but an empty mix", phase.name));
+            }
+            if phase.mean_interarrival > 0 && phase.mix.iter().all(|e| e.weight == 0) {
+                return Err(format!("phase '{}' mix has no positive weight", phase.name));
+            }
+        }
+        let elements = self.platform.build().element_count() as u32;
+        let horizon = self.horizon();
+        for fault in &self.faults {
+            if fault.element >= elements {
+                return Err(format!(
+                    "fault at t={} targets element {} but the platform has {elements}",
+                    fault.at, fault.element
+                ));
+            }
+            if fault.at > horizon {
+                return Err(format!("fault at t={} is beyond the horizon", fault.at));
+            }
+        }
+        // Outage windows on one element must not overlap or even touch: the
+        // platform's failure mark is a single flag, so an earlier fault's
+        // repair would clear a later, still-active fault — and at the exact
+        // repair tick the new fault is processed before the pending repair,
+        // which would then silently cancel it.
+        let mut by_element: Vec<&FaultSpec> = self.faults.iter().collect();
+        by_element.sort_by_key(|f| (f.element, f.at));
+        for pair in by_element.windows(2) {
+            let (first, second) = (pair[0], pair[1]);
+            if first.element != second.element {
+                continue;
+            }
+            let repaired_by = first.repair_after.map(|after| first.at + after);
+            if repaired_by.is_none_or(|t| t >= second.at) {
+                return Err(format!(
+                    "element {} faults again at t={} while its outage from t={} is still active",
+                    second.element, second.at, first.at
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The scenario as an ordered JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::object();
+        doc.push("name", self.name.as_str());
+        doc.push("seed", self.seed);
+        doc.push("sample_period", self.sample_period);
+        doc.push("platform", self.platform.name());
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| {
+                let mut phase = Json::object();
+                phase.push("name", p.name.as_str());
+                phase.push("duration", p.duration);
+                phase.push("mean_interarrival", p.mean_interarrival);
+                phase.push("mean_lifetime", p.mean_lifetime);
+                let mix = p
+                    .mix
+                    .iter()
+                    .map(|e| {
+                        let mut entry = Json::object();
+                        entry.push("dataset", e.spec.name());
+                        entry.push("weight", e.weight);
+                        entry
+                    })
+                    .collect::<Vec<_>>();
+                phase.push("mix", mix);
+                phase
+            })
+            .collect::<Vec<_>>();
+        doc.push("phases", phases);
+        let faults = self
+            .faults
+            .iter()
+            .map(|f| {
+                let mut fault = Json::object();
+                fault.push("at", f.at);
+                fault.push("element", f.element);
+                match f.repair_after {
+                    Some(after) => fault.push("repair_after", after),
+                    None => fault.push("repair_after", Json::Null),
+                };
+                fault
+            })
+            .collect::<Vec<_>>();
+        doc.push("faults", faults);
+        doc.push("readmit_evicted", self.readmit_evicted);
+        doc
+    }
+
+    /// The built-in catalog of named scenarios.
+    pub fn catalog() -> Vec<Scenario> {
+        vec![steady_churn(), bursty_arrivals(), saturation(), hotspot_failures(), mixed_datasets()]
+    }
+
+    /// Looks up a catalog scenario by name.
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Scenario::catalog().into_iter().find(|s| s.name == name)
+    }
+}
+
+fn spec(orientation: Orientation, size: SizeClass) -> DatasetSpec {
+    DatasetSpec { orientation, size }
+}
+
+fn small_mix() -> Vec<MixEntry> {
+    vec![
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Small), 2),
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Small), 2),
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Medium), 1),
+    ]
+}
+
+/// Steady-state churn: applications arrive and depart at a balanced rate,
+/// keeping the platform at moderate occupancy for a long horizon.
+fn steady_churn() -> Scenario {
+    Scenario {
+        name: "steady-churn".to_owned(),
+        seed: 0xC0FFEE,
+        sample_period: 50,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("warmup", 500, 40, 400, small_mix()),
+            PhaseSpec::new("steady", 2000, 25, 300, small_mix()),
+            PhaseSpec::new("drain", 1500, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+    }
+}
+
+/// Bursty arrivals: tight bursts alternate with quiet lulls, stressing
+/// admission latency and the rejection behaviour under momentary overload.
+fn bursty_arrivals() -> Scenario {
+    let burst_mix = vec![
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Small), 3),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Medium), 1),
+    ];
+    Scenario {
+        name: "bursty-arrivals".to_owned(),
+        seed: 0xB0057,
+        sample_period: 25,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("burst-1", 300, 5, 250, burst_mix.clone()),
+            PhaseSpec::new("lull-1", 500, 150, 250, burst_mix.clone()),
+            PhaseSpec::new("burst-2", 300, 4, 250, burst_mix.clone()),
+            PhaseSpec::new("lull-2", 500, 150, 250, burst_mix),
+            PhaseSpec::new("drain", 800, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+    }
+}
+
+/// High-occupancy saturation: long-lived, resource-heavy applications pile
+/// up until admissions mostly reject, probing behaviour at the capacity
+/// cliff.
+fn saturation() -> Scenario {
+    let heavy_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Medium), 2),
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Large), 1),
+    ];
+    Scenario {
+        name: "saturation".to_owned(),
+        seed: 0x5A7,
+        sample_period: 40,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("fill", 1200, 15, 0, heavy_mix.clone()),
+            PhaseSpec::new("saturated", 1200, 20, 6000, heavy_mix),
+            PhaseSpec::new("drain", 600, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+    }
+}
+
+/// Hotspot element failures: a steady workload while the DSPs of the
+/// central CRISP package fail one after another (then recover), exercising
+/// eviction and re-admission on the remaining healthy elements.
+fn hotspot_failures() -> Scenario {
+    // CRISP element ids: 0 = FPGA, packages of 12 from 1, ARM last.
+    // Package 2 (the central one) spans ids 25..=36; its DSPs are 25..=33.
+    let central_dsps = [28u32, 29, 31, 26, 32];
+    let faults = central_dsps
+        .iter()
+        .enumerate()
+        .map(|(i, &element)| FaultSpec {
+            at: 400 + 250 * i as u64,
+            element,
+            repair_after: Some(700),
+        })
+        .collect();
+    Scenario {
+        name: "hotspot-failures".to_owned(),
+        seed: 0xFA17,
+        sample_period: 40,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("warmup", 400, 12, 900, small_mix()),
+            PhaseSpec::new("failing", 1600, 12, 800, small_mix()),
+            PhaseSpec::new("recovered", 800, 20, 400, small_mix()),
+            PhaseSpec::new("drain", 1200, 0, 0, Vec::new()),
+        ],
+        faults,
+        readmit_evicted: true,
+    }
+}
+
+/// Mixed-dataset workload: all six Table-I datasets arrive uniformly,
+/// reproducing the paper's heterogeneous admission mix as a long-running
+/// stream.
+fn mixed_datasets() -> Scenario {
+    Scenario {
+        name: "mixed-datasets".to_owned(),
+        seed: 0x717C,
+        sample_period: 50,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("mixed", 2500, 35, 350, WorkloadMix::all_datasets().entries().to_vec()),
+            PhaseSpec::new("drain", 1200, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_five_valid_named_scenarios() {
+        let catalog = Scenario::catalog();
+        assert_eq!(catalog.len(), 5);
+        let mut names: Vec<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
+        for scenario in &catalog {
+            scenario.validate().unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+            assert!(scenario.horizon() > 0);
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5, "catalog names must be unique");
+    }
+
+    #[test]
+    fn by_name_finds_catalog_entries() {
+        assert!(Scenario::by_name("steady-churn").is_some());
+        assert!(Scenario::by_name("hotspot-failures").is_some());
+        assert!(Scenario::by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn validate_rejects_broken_scenarios() {
+        let mut s = Scenario::by_name("steady-churn").unwrap();
+        s.phases.clear();
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::by_name("steady-churn").unwrap();
+        s.faults.push(FaultSpec { at: 0, element: 10_000, repair_after: None });
+        assert!(s.validate().unwrap_err().contains("element"));
+
+        let mut s = Scenario::by_name("steady-churn").unwrap();
+        s.phases[0].mix.clear();
+        assert!(s.validate().unwrap_err().contains("empty mix"));
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_outages_on_one_element() {
+        let mut s = Scenario::by_name("steady-churn").unwrap();
+        // Second fault strikes while the first outage is still active.
+        s.faults = vec![
+            FaultSpec { at: 100, element: 5, repair_after: Some(300) },
+            FaultSpec { at: 200, element: 5, repair_after: Some(300) },
+        ];
+        assert!(s.validate().unwrap_err().contains("still active"));
+
+        // A permanent outage can never be followed by another fault there.
+        s.faults = vec![
+            FaultSpec { at: 100, element: 5, repair_after: None },
+            FaultSpec { at: 900, element: 5, repair_after: None },
+        ];
+        assert!(s.validate().unwrap_err().contains("still active"));
+
+        // A fault at the exact repair tick would race the pending repair
+        // (the fault is processed first, the repair then cancels it).
+        s.faults = vec![
+            FaultSpec { at: 100, element: 5, repair_after: Some(100) },
+            FaultSpec { at: 200, element: 5, repair_after: None },
+        ];
+        assert!(s.validate().unwrap_err().contains("still active"));
+
+        // Strictly separated outages and different elements are fine.
+        s.faults = vec![
+            FaultSpec { at: 100, element: 5, repair_after: Some(100) },
+            FaultSpec { at: 201, element: 5, repair_after: None },
+            FaultSpec { at: 150, element: 6, repair_after: Some(10) },
+        ];
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn scenario_json_is_deterministic_and_complete() {
+        let s = Scenario::by_name("hotspot-failures").unwrap();
+        let a = s.to_json().render();
+        let b = s.to_json().render();
+        assert_eq!(a, b);
+        for key in ["\"name\"", "\"seed\"", "\"phases\"", "\"faults\"", "\"readmit_evicted\""] {
+            assert!(a.contains(key), "missing {key} in {a}");
+        }
+    }
+
+    #[test]
+    fn platform_specs_build() {
+        assert_eq!(PlatformSpec::Crisp.build().element_count(), 62);
+        assert_eq!(PlatformSpec::DspMesh { width: 3, height: 2 }.build().element_count(), 6);
+        assert!(
+            PlatformSpec::HeterogeneousMesh { width: 3, height: 3 }.build().element_count() >= 9
+        );
+    }
+}

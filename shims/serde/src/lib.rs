@@ -1,0 +1,17 @@
+//! Offline shim of `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! minimal local stand-ins for its external dependencies (see
+//! `shims/README.md`). The seed codebase only *derives* `Serialize` /
+//! `Deserialize` and never drives an actual serializer, so the traits here
+//! are empty markers; the derive macros emit matching marker impls.
+//! Actual wire formats in this workspace are hand-rolled (the `kairos-app`
+//! binary container and the `kairos-sim` JSON reports).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,51 @@
+//! Offline shim of `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! minimal local stand-ins for its external dependencies (see
+//! `shims/README.md`). This proc-macro crate accepts the same derive
+//! invocations as the real `serde_derive` and emits *marker* impls of the
+//! shim `serde::Serialize` / `serde::Deserialize` traits. It parses the
+//! type name by hand instead of pulling in `syn`/`quote`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type identifier following the `struct`/`enum`/`union`
+/// keyword, panicking on generic types (none exist in this workspace).
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        let name = name.to_string();
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            assert!(
+                                p.as_char() != '<',
+                                "serde shim derive does not support generic type `{name}`"
+                            );
+                        }
+                        return name;
+                    }
+                    other => panic!("expected type name after `{word}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde shim derive: no struct/enum/union found in input");
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+}

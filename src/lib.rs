@@ -14,7 +14,10 @@
 //!   the 53-task beamforming case study;
 //! * [`sdf`] — SDF graphs and self-timed state-space throughput analysis;
 //! * [`core`] — the four-phase resource manager itself: binding, mapping
-//!   (the paper's contribution), routing, validation, plus baselines.
+//!   (the paper's contribution), routing, validation, plus baselines;
+//! * [`sim`] — a deterministic discrete-event scenario engine driving the
+//!   manager through long-running multi-application workloads with
+//!   arrivals, departures and element faults.
 //!
 //! ## Quickstart
 //!
@@ -40,3 +43,4 @@ pub use kairos_appgen as appgen;
 pub use kairos_core as core;
 pub use kairos_platform as platform;
 pub use kairos_sdf as sdf;
+pub use kairos_sim as sim;

@@ -8,10 +8,8 @@ use kairos::platform::topology;
 #[test]
 fn beamformer_admits_with_both_objectives() {
     let app = beamforming_app();
-    let config = KairosConfig {
-        extra_search_rings: 5,
-        ..KairosConfig::with_policy(CostPolicy::Both)
-    };
+    let config =
+        KairosConfig { extra_search_rings: 5, ..KairosConfig::with_policy(CostPolicy::Both) };
     let mut kairos = Kairos::new(topology::crisp(), config);
     match kairos.admit(&app) {
         Ok(report) => {

@@ -1,9 +1,7 @@
 //! Conformance of the CRISP platform model against everything the paper
 //! states about it (Fig. 6, §IV, §IV-A).
 
-use kairos::platform::{
-    bfs_distances, topology, ElementKind, SearchDirection,
-};
+use kairos::platform::{bfs_distances, topology, ElementKind, SearchDirection};
 
 #[test]
 fn element_inventory_matches_figure_6() {
@@ -46,9 +44,7 @@ fn crisp_is_less_connected_than_a_mesh_of_equal_size() {
     // connected."
     let crisp = topology::crisp();
     let mesh = topology::dsp_mesh(8, 8);
-    let density = |p: &kairos::platform::Platform| {
-        p.link_count() as f64 / p.element_count() as f64
-    };
+    let density = |p: &kairos::platform::Platform| p.link_count() as f64 / p.element_count() as f64;
     assert!(density(&crisp) < density(&mesh));
 }
 
@@ -74,13 +70,11 @@ fn dsp_capacity_hosts_one_heavy_or_several_light_tasks() {
     let cap = topology::default_capacity(ElementKind::Dsp);
     let heavy = cap.scaled(70, 100);
     let light = cap.scaled(30, 100);
-    assert!(!cap
-        .checked_sub(&heavy)
-        .map(|rest| rest.fits(&heavy))
-        .unwrap_or(false), "two heavy tasks must not share a DSP");
-    let after_two_light = cap
-        .checked_sub(&light)
-        .and_then(|r| r.checked_sub(&light));
+    assert!(
+        !cap.checked_sub(&heavy).map(|rest| rest.fits(&heavy)).unwrap_or(false),
+        "two heavy tasks must not share a DSP"
+    );
+    let after_two_light = cap.checked_sub(&light).and_then(|r| r.checked_sub(&light));
     assert!(after_two_light.is_some(), "two light tasks must share a DSP");
 }
 

@@ -35,8 +35,7 @@ fn failure_evicts_only_affected_apps() {
         .find(|&e| kairos.platform().is_used(e))
         .expect("some element is used");
     let victims_expected: usize = {
-        let mut ids: Vec<_> =
-            kairos.platform().residents(victim).iter().map(|o| o.app).collect();
+        let mut ids: Vec<_> = kairos.platform().residents(victim).iter().map(|o| o.app).collect();
         ids.sort_unstable();
         ids.dedup();
         ids.len()
@@ -52,12 +51,8 @@ fn failure_evicts_only_affected_apps() {
 fn readmission_avoids_failed_elements() {
     let (mut kairos, apps) = manager_with_apps(4, 0xFEED);
     // Fail three DSPs.
-    let dsps: Vec<_> = kairos
-        .platform()
-        .elements_of_kind(ElementKind::Dsp)
-        .take(3)
-        .map(|e| e.id())
-        .collect();
+    let dsps: Vec<_> =
+        kairos.platform().elements_of_kind(ElementKind::Dsp).take(3).map(|e| e.id()).collect();
     for &d in &dsps {
         kairos.fail_element(d);
     }

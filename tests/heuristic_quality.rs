@@ -84,8 +84,7 @@ fn knapsack_choice_does_not_change_feasibility_on_small_rings() {
             knapsack: KnapsackSolver::Exact { max_exact_items: 24 },
             ..MapperConfig::with_policy(CostPolicy::Both)
         };
-        let greedy_cfg =
-            MapperConfig { knapsack: KnapsackSolver::Greedy, ..exact_cfg };
+        let greedy_cfg = MapperConfig { knapsack: KnapsackSolver::Greedy, ..exact_cfg };
         let mut w1 = platform.clone();
         let mut w2 = platform.clone();
         let a = map_application(&app, &binding, &mut w1, AppId(0), &exact_cfg).is_ok();

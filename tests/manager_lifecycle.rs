@@ -108,8 +108,5 @@ fn rejected_apps_can_be_admitted_after_capacity_frees_up() {
     for id in resident {
         kairos.release(id);
     }
-    assert!(
-        kairos.admit(&victim).is_ok(),
-        "app must be admittable once capacity is released"
-    );
+    assert!(kairos.admit(&victim).is_ok(), "app must be admittable once capacity is released");
 }

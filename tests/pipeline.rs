@@ -23,10 +23,7 @@ fn assert_layout_invariants(
             "task {task} placed on incompatible element kind"
         );
         assert!(
-            platform
-                .residents(element)
-                .iter()
-                .any(|o| o.app == app_id && o.task == task.0),
+            platform.residents(element).iter().any(|o| o.app == app_id && o.task == task.0),
             "task {task} not resident on its element"
         );
     }
@@ -34,11 +31,8 @@ fn assert_layout_invariants(
     for e in platform.element_ids() {
         let claimed: kairos::platform::ResourceVector =
             platform.residents(e).iter().map(|o| o.claimed).sum();
-        let expected_free = platform
-            .element(e)
-            .capacity()
-            .checked_sub(&claimed)
-            .expect("claims exceed capacity");
+        let expected_free =
+            platform.element(e).capacity().checked_sub(&claimed).expect("claims exceed capacity");
         assert_eq!(platform.free(e), expected_free, "ledger out of sync on {e}");
     }
     // Every route is a contiguous link path from the producer's element to
@@ -158,7 +152,9 @@ fn interleaved_admissions_and_releases_conserve_resources() {
 #[test]
 fn admission_works_on_alternative_topologies() {
     let apps = generate_dataset(DatasetSpec::all()[0], 6, 11);
-    for platform in [topology::dsp_mesh(6, 6), topology::dsp_ring(24), topology::heterogeneous_mesh(5, 5)] {
+    for platform in
+        [topology::dsp_mesh(6, 6), topology::dsp_ring(24), topology::heterogeneous_mesh(5, 5)]
+    {
         let mut kairos = Kairos::new(platform, KairosConfig::default());
         let mut ok = 0;
         for app in &apps {

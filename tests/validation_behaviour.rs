@@ -9,12 +9,7 @@ use kairos::core::{
 use kairos::platform::{topology, AppId, ElementKind, ResourceVector};
 
 fn pipeline_app(stages: usize, cycles: u64) -> kairos::app::Application {
-    let imp = Implementation::new(
-        ElementKind::Dsp,
-        ResourceVector::new(600, 16, 0, 0),
-        cycles,
-        1,
-    );
+    let imp = Implementation::new(ElementKind::Dsp, ResourceVector::new(600, 16, 0, 0), cycles, 1);
     let mut b = ApplicationBuilder::new("vpipe");
     let mut prev = None;
     for i in 0..stages {
@@ -82,10 +77,7 @@ fn period_tracks_the_slowest_stage() {
 fn hop_latency_config_scales_transport_cost() {
     let app = pipeline_app(4, 10);
     let (layout, _) = layout_on_line(&app);
-    let slow_noc = ValidationConfig {
-        hop_latency_cycles: 500,
-        ..ValidationConfig::default()
-    };
+    let slow_noc = ValidationConfig { hop_latency_cycles: 500, ..ValidationConfig::default() };
     let fast_noc = ValidationConfig { hop_latency_cycles: 1, ..ValidationConfig::default() };
     let slow = validate(&app, &layout, &slow_noc).unwrap();
     let fast = validate(&app, &layout, &fast_noc).unwrap();
@@ -113,8 +105,7 @@ fn constraints_gate_admission_end_to_end() {
     // Identical apps, one feasible and one infeasible constraint.
     let feasible = {
         let mut b = ApplicationBuilder::new("ok");
-        let imp =
-            Implementation::new(ElementKind::Dsp, ResourceVector::new(500, 8, 0, 0), 100, 1);
+        let imp = Implementation::new(ElementKind::Dsp, ResourceVector::new(500, 8, 0, 0), 100, 1);
         let t0 = b.add_task("a", TaskRole::Input, vec![imp]);
         let t1 = b.add_task("b", TaskRole::Output, vec![imp]);
         b.add_channel(t0, t1, 100, 1);
@@ -123,8 +114,7 @@ fn constraints_gate_admission_end_to_end() {
     };
     let infeasible = {
         let mut b = ApplicationBuilder::new("tight");
-        let imp =
-            Implementation::new(ElementKind::Dsp, ResourceVector::new(500, 8, 0, 0), 100, 1);
+        let imp = Implementation::new(ElementKind::Dsp, ResourceVector::new(500, 8, 0, 0), 100, 1);
         let t0 = b.add_task("a", TaskRole::Input, vec![imp]);
         let t1 = b.add_task("b", TaskRole::Output, vec![imp]);
         b.add_channel(t0, t1, 100, 1);
