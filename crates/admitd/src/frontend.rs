@@ -1,0 +1,392 @@
+//! The admission-control front-end itself.
+
+use kairos_app::Application;
+use kairos_core::{AdmissionReport, FailureDurability, Kairos, OccupancySnapshot, Phase};
+use kairos_platform::{AppId, ElementId};
+
+use crate::policy::AdmitPolicy;
+use crate::queue::{AdmissionQueue, PriorityClass, QueuedRequest, Ticket};
+
+/// Why a request left the front-end without being admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Its priority class was at capacity when it arrived (backpressure).
+    QueueFull,
+    /// The pipeline failure can never clear up
+    /// ([`FailureDurability::Permanent`]); `phase` rejected it.
+    Permanent {
+        /// The pipeline phase that rejected the request.
+        phase: Phase,
+    },
+    /// The request waited past its deadline.
+    Timeout,
+    /// The retry budget ran out; `phase` rejected the final attempt.
+    RetriesExhausted {
+        /// The pipeline phase that rejected the final attempt.
+        phase: Phase,
+    },
+    /// The front-end shut down with the request still queued.
+    Shutdown,
+}
+
+/// One observable state change of the front-end. Every mutating call
+/// returns the full ordered list of what happened, so drivers (the
+/// `kairos-sim` engine) can account for queue-jumping admissions, retries
+/// and drops without polling.
+#[derive(Debug, Clone)]
+pub enum QueueEvent {
+    /// The request entered its class queue.
+    Enqueued {
+        /// The request's identity.
+        ticket: Ticket,
+        /// Its priority class.
+        class: PriorityClass,
+        /// Total queue depth right after the enqueue.
+        depth: usize,
+    },
+    /// The request was admitted (possibly after waiting and retries).
+    Admitted {
+        /// The request's identity.
+        ticket: Ticket,
+        /// Its priority class.
+        class: PriorityClass,
+        /// The admitted application, returned to the caller for lifetime
+        /// bookkeeping (departures, fault re-admission). Boxed to keep
+        /// the event enum small.
+        app: Box<Application>,
+        /// The manager's admission report, boxed for the same reason.
+        report: Box<AdmissionReport>,
+        /// Ticks spent queued (`0` for immediate admissions).
+        waited: u64,
+        /// Total admission attempts, the successful one included.
+        attempts: u32,
+    },
+    /// An eligible attempt failed transiently; the request stays queued
+    /// and backs off.
+    AttemptFailed {
+        /// The request's identity.
+        ticket: Ticket,
+        /// Its priority class.
+        class: PriorityClass,
+        /// The failed attempt's number (1-based).
+        attempt: u32,
+        /// The pipeline phase that rejected the attempt.
+        phase: Phase,
+    },
+    /// The request left the front-end unadmitted.
+    Rejected {
+        /// The request's identity.
+        ticket: Ticket,
+        /// Its priority class.
+        class: PriorityClass,
+        /// Why it was rejected.
+        reason: RejectReason,
+        /// Ticks spent queued (`0` when it never entered the queue).
+        waited: u64,
+    },
+}
+
+impl QueueEvent {
+    /// The ticket the event concerns.
+    pub fn ticket(&self) -> Ticket {
+        match *self {
+            QueueEvent::Enqueued { ticket, .. }
+            | QueueEvent::Admitted { ticket, .. }
+            | QueueEvent::AttemptFailed { ticket, .. }
+            | QueueEvent::Rejected { ticket, .. } => ticket,
+        }
+    }
+}
+
+/// Priority admission-control front-end over a [`Kairos`] manager.
+///
+/// Sits between request sources and `Kairos::admit`: holds requests in a
+/// bounded priority queue instead of dropping them, retries transient
+/// mapping failures when a release or repair actually frees capacity
+/// (deterministic exponential backoff, measured in capacity events), and
+/// rejects permanently hopeless requests immediately using
+/// [`FailureDurability`] introspection.
+///
+/// # Examples
+///
+/// ```
+/// use kairos_admitd::{Admitd, AdmitPolicy, PriorityClass, QueueEvent};
+/// use kairos_core::{Kairos, KairosConfig};
+/// use kairos_app::{ApplicationBuilder, TaskRole, Implementation};
+/// use kairos_platform::{topology, ElementKind, ResourceVector};
+///
+/// let kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+/// let mut admitd = Admitd::new(kairos, AdmitPolicy::default());
+/// let imp = Implementation::new(ElementKind::Dsp, ResourceVector::new(700, 32, 0, 0), 90, 4);
+/// let mut b = ApplicationBuilder::new("stream");
+/// let t0 = b.add_task("in", TaskRole::Input, vec![imp]);
+/// let t1 = b.add_task("out", TaskRole::Output, vec![imp]);
+/// b.add_channel(t0, t1, 150, 1);
+/// let app = b.build()?;
+///
+/// let (ticket, events) = admitd.submit(app, PriorityClass::Normal, 0);
+/// assert!(events.iter().any(|e| matches!(e, QueueEvent::Admitted { .. })));
+/// assert_eq!(events[0].ticket(), ticket);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Admitd {
+    kairos: Kairos,
+    policy: AdmitPolicy,
+    queue: AdmissionQueue,
+    next_ticket: u64,
+    /// Monotone count of capacity-freeing events (releases, repairs,
+    /// evictions); the clock that retry backoff is measured against.
+    capacity_events: u64,
+}
+
+impl Admitd {
+    /// A front-end managing `kairos` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the policy fails [`AdmitPolicy::validate`].
+    pub fn new(kairos: Kairos, policy: AdmitPolicy) -> Self {
+        policy.validate().unwrap_or_else(|e| panic!("invalid admission policy: {e}"));
+        Admitd {
+            kairos,
+            queue: AdmissionQueue::with_capacity(policy.class_capacity),
+            policy,
+            next_ticket: 0,
+            capacity_events: 0,
+        }
+    }
+
+    /// Read access to the managed resource manager.
+    pub fn kairos(&self) -> &Kairos {
+        &self.kairos
+    }
+
+    /// The front-end's policy.
+    pub fn policy(&self) -> &AdmitPolicy {
+        &self.policy
+    }
+
+    /// The current queue contents (read-only).
+    pub fn queue(&self) -> &AdmissionQueue {
+        &self.queue
+    }
+
+    /// Total queued requests.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Capacity-freeing events observed so far.
+    pub fn capacity_events(&self) -> u64 {
+        self.capacity_events
+    }
+
+    /// An occupancy snapshot of the managed platform.
+    pub fn occupancy(&self) -> OccupancySnapshot {
+        self.kairos.occupancy()
+    }
+
+    /// Submits `app` for admission at virtual time `now`.
+    ///
+    /// The request is enqueued (or refused with
+    /// [`RejectReason::QueueFull`] when its class is at capacity) and a
+    /// drain pass runs immediately, so an uncontended request is admitted
+    /// in the same call with zero wait. The returned events may also
+    /// concern *other* requests the drain reached.
+    pub fn submit(
+        &mut self,
+        app: Application,
+        class: PriorityClass,
+        now: u64,
+    ) -> (Ticket, Vec<QueueEvent>) {
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        if self.queue.is_full(class) {
+            let events = vec![QueueEvent::Rejected {
+                ticket,
+                class,
+                reason: RejectReason::QueueFull,
+                waited: 0,
+            }];
+            return (ticket, events);
+        }
+        self.queue.push(QueuedRequest {
+            ticket,
+            app,
+            class,
+            submitted_at: now,
+            deadline: self.policy.max_wait.map(|w| now.saturating_add(w)),
+            attempts: 0,
+            eligible_at_event: 0,
+        });
+        let mut events = vec![QueueEvent::Enqueued { ticket, class, depth: self.queue.len() }];
+        events.extend(self.drain(now));
+        (ticket, events)
+    }
+
+    /// Releases an admitted application; on success this is a capacity
+    /// event, so the queue is drained in priority order. Returns whether
+    /// the id was known, plus everything the drain did.
+    pub fn release(&mut self, id: AppId, now: u64) -> (bool, Vec<QueueEvent>) {
+        if !self.kairos.release(id) {
+            return (false, Vec::new());
+        }
+        self.capacity_events += 1;
+        (true, self.drain(now))
+    }
+
+    /// Marks `element` failed and evicts its applications (returned for
+    /// the caller's re-admission bookkeeping). Evictions free claims, so
+    /// a non-empty eviction counts as a capacity event and triggers a
+    /// drain — some queued request may fit the surviving elements.
+    pub fn fail_element(&mut self, element: ElementId, now: u64) -> (Vec<AppId>, Vec<QueueEvent>) {
+        let victims = self.kairos.fail_element(element);
+        if victims.is_empty() {
+            return (victims, Vec::new());
+        }
+        self.capacity_events += 1;
+        let events = self.drain(now);
+        (victims, events)
+    }
+
+    /// Repairs `element`. A repair of an actually-failed element is a
+    /// capacity event and drains the queue; repairing a healthy element
+    /// is a no-op and must not burn anyone's retry budget.
+    pub fn repair_element(&mut self, element: ElementId, now: u64) -> Vec<QueueEvent> {
+        if !self.kairos.platform().is_failed(element) {
+            return Vec::new();
+        }
+        self.kairos.repair_element(element);
+        self.capacity_events += 1;
+        self.drain(now)
+    }
+
+    /// Drops every queued request whose deadline has passed by `now`.
+    /// Unlike a drain this makes no admission attempts — nothing freed up.
+    pub fn expire(&mut self, now: u64) -> Vec<QueueEvent> {
+        let mut events = Vec::new();
+        for class in 0..4 {
+            let mut i = 0;
+            while i < self.queue.class_len(class) {
+                if self.is_overdue(class, i, now) {
+                    events.push(self.reject_at(class, i, RejectReason::Timeout, now));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        events
+    }
+
+    /// Drops every queued request with [`RejectReason::Shutdown`] — the
+    /// end-of-run flush that keeps request accounting conservative.
+    pub fn shutdown(&mut self, now: u64) -> Vec<QueueEvent> {
+        let mut events = Vec::new();
+        for class in 0..4 {
+            while self.queue.class_len(class) > 0 {
+                events.push(self.reject_at(class, 0, RejectReason::Shutdown, now));
+            }
+        }
+        events
+    }
+
+    /// Whether the request at `(class, i)` has waited past its deadline.
+    fn is_overdue(&self, class: usize, i: usize, now: u64) -> bool {
+        self.queue
+            .get(class, i)
+            .expect("index bounded by class_len")
+            .deadline
+            .is_some_and(|d| now >= d)
+    }
+
+    /// Removes the request at `(class, i)` and builds its rejection event.
+    /// `saturating_sub` keeps the wait well-defined even for callers with
+    /// non-monotone clocks.
+    fn reject_at(&mut self, class: usize, i: usize, reason: RejectReason, now: u64) -> QueueEvent {
+        let req = self.queue.remove(class, i);
+        QueueEvent::Rejected {
+            ticket: req.ticket,
+            class: req.class,
+            reason,
+            waited: now.saturating_sub(req.submitted_at),
+        }
+    }
+
+    /// One batch drain pass at `now`: walks the queue in priority-then-
+    /// FIFO order and attempts every *eligible* request once. A request is
+    /// eligible when its retry backoff has elapsed (in capacity events);
+    /// overdue requests are dropped on the way. Capacity only shrinks
+    /// during a pass, so a single pass is complete — nothing skipped
+    /// could have become admissible by the end.
+    fn drain(&mut self, now: u64) -> Vec<QueueEvent> {
+        let mut events = Vec::new();
+        for class in 0..4 {
+            let mut i = 0;
+            while i < self.queue.class_len(class) {
+                if self.is_overdue(class, i, now) {
+                    events.push(self.reject_at(class, i, RejectReason::Timeout, now));
+                    continue;
+                }
+                let eligible =
+                    self.queue.get(class, i).expect("index bounded by class_len").eligible_at_event
+                        <= self.capacity_events;
+                if !eligible {
+                    i += 1;
+                    continue;
+                }
+                let attempt_result = {
+                    let req = self.queue.get(class, i).expect("index bounded by class_len");
+                    self.kairos.admit(&req.app)
+                };
+                match attempt_result {
+                    Ok(report) => {
+                        let req = self.queue.remove(class, i);
+                        events.push(QueueEvent::Admitted {
+                            ticket: req.ticket,
+                            class: req.class,
+                            app: Box::new(req.app),
+                            report: Box::new(report),
+                            waited: now.saturating_sub(req.submitted_at),
+                            attempts: req.attempts + 1,
+                        });
+                    }
+                    Err(failure) if failure.durability() == FailureDurability::Permanent => {
+                        let reason = RejectReason::Permanent { phase: failure.phase() };
+                        events.push(self.reject_at(class, i, reason, now));
+                    }
+                    Err(failure) => {
+                        let exhausted = {
+                            let req =
+                                self.queue.get_mut(class, i).expect("index bounded by class_len");
+                            req.attempts += 1;
+                            req.attempts >= self.policy.max_attempts
+                        };
+                        if exhausted {
+                            let reason = RejectReason::RetriesExhausted { phase: failure.phase() };
+                            events.push(self.reject_at(class, i, reason, now));
+                        } else {
+                            let backoff = {
+                                let req = self
+                                    .queue
+                                    .get_mut(class, i)
+                                    .expect("index bounded by class_len");
+                                let b = self.policy.backoff(req.attempts);
+                                req.eligible_at_event = self.capacity_events.saturating_add(b);
+                                (req.ticket, req.class, req.attempts)
+                            };
+                            events.push(QueueEvent::AttemptFailed {
+                                ticket: backoff.0,
+                                class: backoff.1,
+                                attempt: backoff.2,
+                                phase: failure.phase(),
+                            });
+                            i += 1;
+                        }
+                    }
+                }
+            }
+        }
+        events
+    }
+}

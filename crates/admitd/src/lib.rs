@@ -1,0 +1,316 @@
+//! # kairos-admitd
+//!
+//! A priority admission-control front-end for the Kairos resource manager.
+//!
+//! The paper's manager decides admission one request at a time and simply
+//! rejects when the platform is full. A production run-time needs the
+//! layer this crate provides between request sources and
+//! [`Kairos::admit`](kairos_core::Kairos::admit):
+//!
+//! * **Priority queueing** — four priority classes drained
+//!   highest-priority-first, FIFO within a class ([`AdmissionQueue`]);
+//! * **Backpressure** — hard per-class capacities; a full class refuses
+//!   new requests ([`RejectReason::QueueFull`]) so queue memory is bounded
+//!   under any overload;
+//! * **Bounded retry** — transient failures (mapping/routing contention,
+//!   load-dependent binding failures; see
+//!   [`FailureDurability`](kairos_core::FailureDurability)) are retried
+//!   with deterministic exponential backoff measured in *capacity events*
+//!   (releases, repairs, evictions), never on a blind timer, and bounded
+//!   by [`AdmitPolicy::max_attempts`]. Structurally hopeless requests are
+//!   rejected permanently on first contact;
+//! * **Batch admission** — every capacity-changing event triggers a drain
+//!   pass that walks the whole queue in priority-then-FIFO order, so one
+//!   big release can admit many small waiters at once;
+//! * **Timeouts** — requests that wait past [`AdmitPolicy::max_wait`] are
+//!   dropped ([`RejectReason::Timeout`]).
+//!
+//! Every mutating call returns the ordered [`QueueEvent`] list of what
+//! happened, and everything is deterministic: same call sequence, same
+//! events — the property the `kairos-sim` byte-reproducibility tests lean
+//! on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod frontend;
+mod policy;
+mod queue;
+
+pub use frontend::{Admitd, QueueEvent, RejectReason};
+pub use policy::AdmitPolicy;
+pub use queue::{AdmissionQueue, PriorityClass, Ticket};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_app::{Application, ApplicationBuilder, Implementation, TaskRole};
+    use kairos_core::{Kairos, KairosConfig, Phase};
+    use kairos_platform::{topology, ElementKind, ResourceVector};
+
+    /// A `tasks`-task chain demanding `cpu` per task on the 2x2 DSP mesh.
+    fn chain_with(name: &str, tasks: usize, cpu: u64) -> Application {
+        let imp = Implementation::new(ElementKind::Dsp, ResourceVector::new(cpu, 16, 0, 0), 50, 1);
+        let mut b = ApplicationBuilder::new(name);
+        let mut prev = None;
+        for i in 0..tasks {
+            let t = b.add_task(format!("t{i}"), TaskRole::Internal, vec![imp]);
+            if let Some(p) = prev {
+                b.add_channel(p, t, 10, 1);
+            }
+            prev = Some(t);
+        }
+        b.build().unwrap()
+    }
+
+    /// A chain of near-whole-DSP tasks: each occupies 90% of one DSP, so
+    /// at most four fit at once.
+    fn chain(name: &str, tasks: usize) -> Application {
+        chain_with(name, tasks, 900)
+    }
+
+    fn front(policy: AdmitPolicy) -> Admitd {
+        Admitd::new(Kairos::new(topology::dsp_mesh(2, 2), KairosConfig::default()), policy)
+    }
+
+    fn admitted_id(events: &[QueueEvent]) -> Option<kairos_platform::AppId> {
+        events.iter().find_map(|e| match e {
+            QueueEvent::Admitted { report, .. } => Some(report.app_id),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn uncontended_requests_admit_immediately_with_zero_wait() {
+        let mut admitd = front(AdmitPolicy::default());
+        let (ticket, events) = admitd.submit(chain("a", 2), PriorityClass::Normal, 5);
+        let admitted = events
+            .iter()
+            .find(|e| matches!(e, QueueEvent::Admitted { .. }))
+            .expect("admitted in the same call");
+        if let QueueEvent::Admitted { ticket: t, waited, attempts, .. } = admitted {
+            assert_eq!(*t, ticket);
+            assert_eq!(*waited, 0);
+            assert_eq!(*attempts, 1);
+        }
+        assert_eq!(admitd.queue_depth(), 0);
+        assert_eq!(admitd.kairos().admitted_count(), 1);
+    }
+
+    #[test]
+    fn full_class_applies_backpressure() {
+        let policy = AdmitPolicy { class_capacity: [0, 0, 1, 0], ..AdmitPolicy::default() };
+        let mut admitd = front(policy);
+        // Fill the platform so subsequent requests queue.
+        admitd.submit(chain("fill", 4), PriorityClass::Normal, 0);
+        // One queues, the second is refused.
+        let (_, e1) = admitd.submit(chain("q1", 1), PriorityClass::Normal, 1);
+        assert!(e1.iter().any(|e| matches!(e, QueueEvent::AttemptFailed { .. })));
+        let (_, e2) = admitd.submit(chain("q2", 1), PriorityClass::Normal, 2);
+        assert!(matches!(
+            e2.as_slice(),
+            [QueueEvent::Rejected { reason: RejectReason::QueueFull, waited: 0, .. }]
+        ));
+        // A disabled class refuses instantly.
+        let (_, e3) = admitd.submit(chain("c", 1), PriorityClass::Critical, 3);
+        assert!(matches!(
+            e3.as_slice(),
+            [QueueEvent::Rejected { reason: RejectReason::QueueFull, .. }]
+        ));
+        assert_eq!(admitd.queue_depth(), 1, "memory stays bounded at the class capacity");
+    }
+
+    #[test]
+    fn release_drains_waiters_in_priority_then_fifo_order() {
+        let policy =
+            AdmitPolicy { class_capacity: [4, 4, 4, 4], max_wait: None, ..AdmitPolicy::default() };
+        let mut admitd = front(policy);
+        let (_, fill) = admitd.submit(chain("fill", 4), PriorityClass::Low, 0);
+        let fill_id = admitted_id(&fill).expect("the fill app admits");
+        // Three waiters: low first, then normal, then critical.
+        let (low, _) = admitd.submit(chain("w-low", 4), PriorityClass::Low, 1);
+        let (norm, _) = admitd.submit(chain("w-norm", 4), PriorityClass::Normal, 2);
+        let (crit, _) = admitd.submit(chain("w-crit", 4), PriorityClass::Critical, 3);
+        assert_eq!(admitd.queue_depth(), 3);
+
+        // Releasing the fill app frees the whole mesh: the drain must
+        // attempt critical before normal before low, and the first fit
+        // wins the capacity.
+        let (ok, events) = admitd.release(fill_id, 10);
+        assert!(ok);
+        let admitted: Vec<Ticket> = events
+            .iter()
+            .filter_map(|e| match e {
+                QueueEvent::Admitted { ticket, .. } => Some(*ticket),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(admitted, vec![crit], "highest priority wins the freed capacity");
+        // The others were attempted (in order) and failed transiently.
+        let attempted: Vec<Ticket> = events.iter().map(QueueEvent::ticket).collect();
+        assert_eq!(attempted, vec![crit, norm, low], "drain order is priority-then-FIFO");
+    }
+
+    #[test]
+    fn backoff_parks_requests_between_capacity_events() {
+        let policy = AdmitPolicy {
+            class_capacity: [4, 4, 4, 4],
+            max_wait: None,
+            max_attempts: 10,
+            backoff_base: 2,
+            backoff_cap: 8,
+        };
+        let mut admitd = front(policy);
+        let (_, fill) = admitd.submit(chain("fill", 4), PriorityClass::Low, 0);
+        let fill_id = admitted_id(&fill).unwrap();
+        let (waiter, e) = admitd.submit(chain("w", 4), PriorityClass::Normal, 1);
+        assert!(e.iter().any(
+            |ev| matches!(ev, QueueEvent::AttemptFailed { ticket, attempt: 1, .. } if *ticket == waiter)
+        ));
+        // Backoff after attempt 1 is 2 capacity events: an admit+release
+        // of a tiny app (one event) must NOT re-attempt the waiter...
+        let (_, e) = admitd.submit(chain_with("tiny", 1, 50), PriorityClass::Normal, 2);
+        let tiny_id = admitted_id(&e).unwrap();
+        let (_, e) = admitd.release(tiny_id, 3);
+        assert!(
+            !e.iter().any(|ev| ev.ticket() == waiter),
+            "parked request must sit out the first capacity event"
+        );
+        // ...but the second capacity event re-attempts it, and with the
+        // fill app gone it is admitted.
+        let (_, e) = admitd.release(fill_id, 4);
+        assert!(e.iter().any(
+            |ev| matches!(ev, QueueEvent::Admitted { ticket, attempts: 2, waited: 3, .. } if *ticket == waiter)
+        ));
+    }
+
+    #[test]
+    fn retries_are_bounded_and_report_the_final_phase() {
+        let policy = AdmitPolicy {
+            class_capacity: [4, 4, 4, 4],
+            max_wait: None,
+            max_attempts: 3,
+            backoff_base: 1,
+            backoff_cap: 1,
+        };
+        let mut admitd = front(policy);
+        admitd.submit(chain("fill", 4), PriorityClass::Low, 0);
+        // A 4-task waiter can never fit while the fill app stays: admit
+        // and release unrelated tiny apps to burn capacity events.
+        let (waiter, _) = admitd.submit(chain("w", 4), PriorityClass::Normal, 1);
+        let mut dropped = None;
+        for round in 0..10u64 {
+            let (_, e) = admitd.submit(chain_with("tiny", 1, 50), PriorityClass::Normal, 2 + round);
+            let id = admitted_id(&e).unwrap();
+            let (_, e) = admitd.release(id, 3 + round);
+            if let Some(ev) = e.iter().find(|ev| {
+                matches!(
+                    ev,
+                    QueueEvent::Rejected { ticket, reason: RejectReason::RetriesExhausted { .. }, .. }
+                    if *ticket == waiter
+                )
+            }) {
+                dropped = Some(ev.clone());
+                break;
+            }
+        }
+        let Some(QueueEvent::Rejected { reason: RejectReason::RetriesExhausted { phase }, .. }) =
+            dropped
+        else {
+            panic!("waiter must exhaust its retry budget");
+        };
+        assert_eq!(phase, Phase::Binding, "whole-mesh demand fails at the aggregate check");
+        assert_eq!(admitd.queue_depth(), 0);
+    }
+
+    #[test]
+    fn structurally_hopeless_requests_reject_permanently() {
+        let mut admitd = front(AdmitPolicy::default());
+        let imp =
+            Implementation::new(ElementKind::Dsp, ResourceVector::new(100_000, 0, 0, 0), 10, 1);
+        let mut b = ApplicationBuilder::new("huge");
+        b.add_task("t", TaskRole::Internal, vec![imp]);
+        let (_, events) = admitd.submit(b.build().unwrap(), PriorityClass::Critical, 0);
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                QueueEvent::Rejected {
+                    reason: RejectReason::Permanent { phase: Phase::Binding },
+                    ..
+                }
+            )),
+            "no retry budget wasted on a request that can never fit: {events:?}"
+        );
+        assert_eq!(admitd.queue_depth(), 0);
+    }
+
+    #[test]
+    fn timeouts_drop_overdue_requests() {
+        let policy = AdmitPolicy {
+            class_capacity: [4, 4, 4, 4],
+            max_wait: Some(100),
+            ..AdmitPolicy::default()
+        };
+        let mut admitd = front(policy);
+        admitd.submit(chain("fill", 4), PriorityClass::Low, 0);
+        let (waiter, _) = admitd.submit(chain("w", 4), PriorityClass::Normal, 10);
+        assert!(admitd.expire(109).is_empty(), "not yet overdue");
+        let events = admitd.expire(110);
+        assert!(matches!(
+            events.as_slice(),
+            [QueueEvent::Rejected { ticket, reason: RejectReason::Timeout, waited: 100, .. }]
+            if *ticket == waiter
+        ));
+        assert_eq!(admitd.queue_depth(), 0);
+    }
+
+    #[test]
+    fn shutdown_flushes_everything_still_queued() {
+        let policy =
+            AdmitPolicy { class_capacity: [4, 4, 4, 4], max_wait: None, ..AdmitPolicy::default() };
+        let mut admitd = front(policy);
+        admitd.submit(chain("fill", 4), PriorityClass::Low, 0);
+        admitd.submit(chain("w1", 4), PriorityClass::Normal, 1);
+        admitd.submit(chain("w2", 4), PriorityClass::Low, 2);
+        let events = admitd.shutdown(50);
+        assert_eq!(events.len(), 2);
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, QueueEvent::Rejected { reason: RejectReason::Shutdown, .. })));
+        assert!(admitd.queue().is_empty());
+    }
+
+    #[test]
+    fn repairing_a_healthy_element_is_not_a_capacity_event() {
+        let policy =
+            AdmitPolicy { class_capacity: [4, 4, 4, 4], max_wait: None, ..AdmitPolicy::default() };
+        let mut admitd = front(policy);
+        admitd.submit(chain("fill", 4), PriorityClass::Low, 0);
+        let (waiter, _) = admitd.submit(chain("w", 4), PriorityClass::Normal, 1);
+        let before = admitd.capacity_events();
+        // Repairing an element that never failed must not drain (and so
+        // must not burn the waiter's retry budget).
+        let events = admitd.repair_element(kairos_platform::ElementId(0), 2);
+        assert!(events.is_empty(), "no-op repair produced {events:?}");
+        assert_eq!(admitd.capacity_events(), before);
+        assert!(admitd.queue().tickets().contains(&waiter));
+    }
+
+    #[test]
+    fn failed_elements_trigger_a_drain_and_return_victims() {
+        let policy =
+            AdmitPolicy { class_capacity: [4, 4, 4, 4], max_wait: None, ..AdmitPolicy::default() };
+        let mut admitd = front(policy);
+        let (_, fill) = admitd.submit(chain("fill", 4), PriorityClass::Low, 0);
+        let fill_id = admitted_id(&fill).unwrap();
+        let (waiter, _) = admitd.submit(chain("w", 1), PriorityClass::Normal, 1);
+        // Fail an element hosting the fill app: everything it claimed is
+        // released, so the 1-task waiter fits on a surviving DSP.
+        let hosting = admitd.kairos().layout(fill_id).unwrap().placement.iter().next().unwrap().1;
+        let (victims, events) = admitd.fail_element(hosting, 5);
+        assert_eq!(victims, vec![fill_id]);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, QueueEvent::Admitted { ticket, .. } if *ticket == waiter)));
+    }
+}

@@ -1,0 +1,118 @@
+//! Admission-control policy knobs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::queue::PriorityClass;
+
+/// Tunable policy of an [`Admitd`](crate::Admitd) front-end.
+///
+/// Everything is deterministic: capacities bound memory, `max_attempts`
+/// bounds retries, and the backoff is measured in *capacity events*
+/// (releases/repairs) rather than wall-clock ticks — a parked request is
+/// reconsidered when something actually freed up, never on a blind timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmitPolicy {
+    /// Maximum queued requests per priority class (drain order:
+    /// critical, high, normal, low). A full class refuses new submissions
+    /// — explicit backpressure instead of unbounded growth. `0` disables
+    /// the class.
+    pub class_capacity: [usize; 4],
+    /// Ticks a request may wait in the queue before it is dropped as
+    /// timed out; `None` waits forever (bounded only by capacity).
+    pub max_wait: Option<u64>,
+    /// Admission attempts (the initial one included) before a request is
+    /// dropped as exhausted. At least 1.
+    pub max_attempts: u32,
+    /// Backoff after the first failed attempt, in capacity events; attempt
+    /// `n` backs off `backoff_base << (n - 1)` events. At least 1.
+    pub backoff_base: u64,
+    /// Upper bound on the per-attempt backoff, in capacity events.
+    pub backoff_cap: u64,
+}
+
+impl Default for AdmitPolicy {
+    fn default() -> Self {
+        AdmitPolicy {
+            class_capacity: [8, 16, 32, 32],
+            max_wait: Some(500),
+            max_attempts: 6,
+            backoff_base: 1,
+            backoff_cap: 8,
+        }
+    }
+}
+
+impl AdmitPolicy {
+    /// Structural sanity checks.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err("max_attempts must be at least 1".into());
+        }
+        if self.backoff_base == 0 {
+            return Err("backoff_base must be at least 1".into());
+        }
+        if self.backoff_cap < self.backoff_base {
+            return Err("backoff_cap must be >= backoff_base".into());
+        }
+        if self.max_wait == Some(0) {
+            return Err("max_wait of 0 would time every request out instantly".into());
+        }
+        Ok(())
+    }
+
+    /// Capacity of `class`'s queue.
+    pub fn capacity_of(&self, class: PriorityClass) -> usize {
+        self.class_capacity[class.index()]
+    }
+
+    /// Total queue capacity over all classes (the memory bound).
+    pub fn total_capacity(&self) -> usize {
+        self.class_capacity.iter().sum()
+    }
+
+    /// Capacity events to skip after failed attempt `attempt` (1-based):
+    /// `min(backoff_base << (attempt - 1), backoff_cap)`, saturating.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        let shifted = self.backoff_base.checked_shl(attempt.saturating_sub(1)).unwrap_or(u64::MAX);
+        shifted.min(self.backoff_cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_valid() {
+        AdmitPolicy::default().validate().unwrap();
+        assert_eq!(AdmitPolicy::default().total_capacity(), 88);
+        assert_eq!(AdmitPolicy::default().capacity_of(PriorityClass::Critical), 8);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = AdmitPolicy { backoff_base: 1, backoff_cap: 8, ..AdmitPolicy::default() };
+        assert_eq!(policy.backoff(1), 1);
+        assert_eq!(policy.backoff(2), 2);
+        assert_eq!(policy.backoff(3), 4);
+        assert_eq!(policy.backoff(4), 8);
+        assert_eq!(policy.backoff(5), 8, "capped");
+        assert_eq!(policy.backoff(200), 8, "huge attempts saturate instead of overflowing");
+    }
+
+    #[test]
+    fn validate_rejects_broken_policies() {
+        let p = AdmitPolicy { max_attempts: 0, ..AdmitPolicy::default() };
+        assert!(p.validate().is_err());
+        let p = AdmitPolicy { backoff_base: 0, ..AdmitPolicy::default() };
+        assert!(p.validate().is_err());
+        let p = AdmitPolicy { backoff_cap: 0, ..AdmitPolicy::default() };
+        assert!(p.validate().is_err());
+        let p = AdmitPolicy { max_wait: Some(0), ..AdmitPolicy::default() };
+        assert!(p.validate().is_err());
+    }
+}

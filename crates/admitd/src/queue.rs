@@ -1,0 +1,224 @@
+//! The deterministic priority admission queue.
+//!
+//! [`AdmissionQueue`] is a pure data structure: four priority classes, FIFO
+//! order within each class, and a hard per-class capacity that implements
+//! backpressure — a full class refuses new requests instead of growing
+//! without bound. All iteration is in *drain order* (priority class
+//! ascending, then submission order), so every consumer observes the same
+//! deterministic sequence.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use kairos_app::Application;
+
+/// Priority class of an admission request; lower classes drain first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PriorityClass {
+    /// Safety- or deadline-critical requests, drained before everything.
+    Critical,
+    /// Latency-sensitive interactive requests.
+    High,
+    /// The default class for ordinary workloads.
+    Normal,
+    /// Batch / best-effort requests, drained last.
+    Low,
+}
+
+impl PriorityClass {
+    /// All classes, highest priority first (drain order).
+    pub const ALL: [PriorityClass; 4] =
+        [PriorityClass::Critical, PriorityClass::High, PriorityClass::Normal, PriorityClass::Low];
+
+    /// Dense index of the class, `0` = highest priority.
+    pub fn index(self) -> usize {
+        match self {
+            PriorityClass::Critical => 0,
+            PriorityClass::High => 1,
+            PriorityClass::Normal => 2,
+            PriorityClass::Low => 3,
+        }
+    }
+}
+
+impl fmt::Display for PriorityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PriorityClass::Critical => f.write_str("critical"),
+            PriorityClass::High => f.write_str("high"),
+            PriorityClass::Normal => f.write_str("normal"),
+            PriorityClass::Low => f.write_str("low"),
+        }
+    }
+}
+
+/// Identity of one admission request, unique per front-end for its whole
+/// lifetime (queued, admitted, or dropped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ticket(pub u64);
+
+impl fmt::Display for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// A request waiting in the queue.
+#[derive(Debug, Clone)]
+pub(crate) struct QueuedRequest {
+    /// The request's identity.
+    pub ticket: Ticket,
+    /// The application awaiting admission.
+    pub app: Application,
+    /// Its priority class.
+    pub class: PriorityClass,
+    /// Virtual time the request was submitted.
+    pub submitted_at: u64,
+    /// Virtual time after which the request is dropped as timed out.
+    pub deadline: Option<u64>,
+    /// Failed admission attempts so far.
+    pub attempts: u32,
+    /// Capacity-event number this request becomes eligible again at after
+    /// a failed attempt (deterministic backoff); eligible when the
+    /// front-end's event counter reaches it.
+    pub eligible_at_event: u64,
+}
+
+/// Bounded priority-then-FIFO queue of admission requests.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionQueue {
+    classes: [VecDeque<QueuedRequest>; 4],
+    capacity: [usize; 4],
+}
+
+impl AdmissionQueue {
+    /// An empty queue with the given per-class capacities. A capacity of
+    /// `0` disables a class entirely (every submission is refused).
+    pub fn with_capacity(capacity: [usize; 4]) -> Self {
+        AdmissionQueue { classes: Default::default(), capacity }
+    }
+
+    /// Total queued requests across all classes.
+    pub fn len(&self) -> usize {
+        self.classes.iter().map(VecDeque::len).sum()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.classes.iter().all(VecDeque::is_empty)
+    }
+
+    /// Queued requests per class, in drain order.
+    pub fn depths(&self) -> [usize; 4] {
+        [self.classes[0].len(), self.classes[1].len(), self.classes[2].len(), self.classes[3].len()]
+    }
+
+    /// `true` when `class` cannot accept another request.
+    pub fn is_full(&self, class: PriorityClass) -> bool {
+        self.classes[class.index()].len() >= self.capacity[class.index()]
+    }
+
+    /// Appends a request to the back of its class.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the class is full — callers must check [`Self::is_full`]
+    /// first (the front-end turns fullness into an explicit rejection).
+    pub(crate) fn push(&mut self, request: QueuedRequest) {
+        assert!(!self.is_full(request.class), "push into a full class; check is_full first");
+        self.classes[request.class.index()].push_back(request);
+    }
+
+    /// The queued request at `(class, position)`, in drain order.
+    pub(crate) fn get(&self, class: usize, position: usize) -> Option<&QueuedRequest> {
+        self.classes[class].get(position)
+    }
+
+    pub(crate) fn get_mut(&mut self, class: usize, position: usize) -> Option<&mut QueuedRequest> {
+        self.classes[class].get_mut(position)
+    }
+
+    /// Removes and returns the request at `(class, position)`.
+    pub(crate) fn remove(&mut self, class: usize, position: usize) -> QueuedRequest {
+        self.classes[class].remove(position).expect("remove of a present request")
+    }
+
+    /// Number of requests in class index `class`.
+    pub(crate) fn class_len(&self, class: usize) -> usize {
+        self.classes[class].len()
+    }
+
+    /// Tickets currently queued, in drain order.
+    pub fn tickets(&self) -> Vec<Ticket> {
+        self.classes.iter().flat_map(|c| c.iter().map(|r| r.ticket)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_app::{ApplicationBuilder, Implementation, TaskRole};
+    use kairos_platform::{ElementKind, ResourceVector};
+
+    fn tiny_app(name: &str) -> Application {
+        let imp = Implementation::new(ElementKind::Dsp, ResourceVector::new(10, 1, 0, 0), 10, 1);
+        let mut b = ApplicationBuilder::new(name);
+        b.add_task("t", TaskRole::Internal, vec![imp]);
+        b.build().unwrap()
+    }
+
+    fn request(ticket: u64, class: PriorityClass) -> QueuedRequest {
+        QueuedRequest {
+            ticket: Ticket(ticket),
+            app: tiny_app("a"),
+            class,
+            submitted_at: 0,
+            deadline: None,
+            attempts: 0,
+            eligible_at_event: 0,
+        }
+    }
+
+    #[test]
+    fn classes_order_highest_priority_first() {
+        assert_eq!(PriorityClass::ALL.map(PriorityClass::index), [0, 1, 2, 3]);
+        assert!(PriorityClass::Critical < PriorityClass::Low);
+        assert_eq!(PriorityClass::High.to_string(), "high");
+    }
+
+    #[test]
+    fn drain_order_is_priority_then_fifo() {
+        let mut q = AdmissionQueue::with_capacity([4, 4, 4, 4]);
+        q.push(request(0, PriorityClass::Low));
+        q.push(request(1, PriorityClass::Normal));
+        q.push(request(2, PriorityClass::Critical));
+        q.push(request(3, PriorityClass::Normal));
+        q.push(request(4, PriorityClass::Critical));
+        let order: Vec<u64> = q.tickets().iter().map(|t| t.0).collect();
+        assert_eq!(order, vec![2, 4, 1, 3, 0]);
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.depths(), [2, 0, 2, 1]);
+    }
+
+    #[test]
+    fn capacity_bounds_each_class() {
+        let mut q = AdmissionQueue::with_capacity([1, 0, 2, 2]);
+        assert!(!q.is_full(PriorityClass::Critical));
+        q.push(request(0, PriorityClass::Critical));
+        assert!(q.is_full(PriorityClass::Critical));
+        assert!(q.is_full(PriorityClass::High), "zero capacity means always full");
+        q.push(request(1, PriorityClass::Normal));
+        q.push(request(2, PriorityClass::Normal));
+        assert!(q.is_full(PriorityClass::Normal));
+        assert!(!q.is_full(PriorityClass::Low));
+    }
+
+    #[test]
+    #[should_panic(expected = "full class")]
+    fn pushing_into_a_full_class_panics() {
+        let mut q = AdmissionQueue::with_capacity([0, 0, 0, 0]);
+        q.push(request(0, PriorityClass::Low));
+    }
+}

@@ -19,6 +19,45 @@ use kairos_app::Application;
 use crate::datasets::DatasetSpec;
 use crate::generator::AppGenerator;
 
+/// The shape of an inter-arrival (or lifetime) delay distribution.
+///
+/// The paper's evaluation is purely Poissonian; real traffic is often
+/// anything but. `Deterministic` models periodic sources (sensor frames,
+/// fixed-rate codecs), `Pareto` models heavy-tailed bursts where rare long
+/// gaps separate dense clumps of arrivals — the regime that stresses
+/// admission queues hardest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ArrivalDistribution {
+    /// Memoryless exponential gaps (Poisson arrivals) — the default.
+    #[default]
+    Exponential,
+    /// Every gap is exactly the mean: a strictly periodic source.
+    Deterministic,
+    /// Heavy-tailed Pareto gaps with shape `alpha_centi / 100`.
+    ///
+    /// The scale is derived from the requested mean, so the long-run rate
+    /// matches the other distributions; the shape controls burstiness
+    /// (values just above 100 are extremely bursty). Must be `> 100` so
+    /// the mean exists.
+    Pareto {
+        /// Tail shape α in hundredths (e.g. `150` ⇒ α = 1.5).
+        alpha_centi: u32,
+    },
+}
+
+impl ArrivalDistribution {
+    /// Stable name used in scenario JSON documents.
+    pub fn name(&self) -> String {
+        match *self {
+            ArrivalDistribution::Exponential => "exponential".to_owned(),
+            ArrivalDistribution::Deterministic => "deterministic".to_owned(),
+            ArrivalDistribution::Pareto { alpha_centi } => {
+                format!("pareto-{}.{:02}", alpha_centi / 100, alpha_centi % 100)
+            }
+        }
+    }
+}
+
 /// One weighted component of a [`WorkloadMix`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MixEntry {
@@ -135,9 +174,35 @@ impl WorkloadSampler {
     ///
     /// Panics when `mean` is zero.
     pub fn next_delay(&mut self, mean: u64) -> u64 {
-        assert!(mean > 0, "exponential delay needs a positive mean");
-        let u = self.rng.gen_range(0.0f64..1.0);
-        let delay = -(1.0 - u).ln() * mean as f64;
+        self.next_delay_with(ArrivalDistribution::Exponential, mean)
+    }
+
+    /// Draws a delay from `dist` with the given mean, rounded up to at
+    /// least one tick. `Deterministic` consumes no randomness; the others
+    /// consume exactly one draw, so swapping distributions between phases
+    /// does not perturb unrelated streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mean` is zero, or when a Pareto shape is `<= 100`
+    /// (the mean would diverge).
+    pub fn next_delay_with(&mut self, dist: ArrivalDistribution, mean: u64) -> u64 {
+        assert!(mean > 0, "delay distribution needs a positive mean");
+        let delay = match dist {
+            ArrivalDistribution::Deterministic => return mean.max(1),
+            ArrivalDistribution::Exponential => {
+                let u = self.rng.gen_range(0.0f64..1.0);
+                -(1.0 - u).ln() * mean as f64
+            }
+            ArrivalDistribution::Pareto { alpha_centi } => {
+                assert!(alpha_centi > 100, "Pareto shape must exceed 1.00 for a finite mean");
+                let alpha = alpha_centi as f64 / 100.0;
+                // Scale x_m chosen so E[X] = alpha * x_m / (alpha - 1) = mean.
+                let scale = mean as f64 * (alpha - 1.0) / alpha;
+                let u = self.rng.gen_range(0.0f64..1.0);
+                scale / (1.0 - u).powf(1.0 / alpha)
+            }
+        };
         (delay.ceil() as u64).max(1)
     }
 }
@@ -199,5 +264,58 @@ mod tests {
     #[should_panic(expected = "at least one component")]
     fn empty_mix_is_rejected() {
         WorkloadMix::new(Vec::new());
+    }
+
+    #[test]
+    fn deterministic_delays_are_exactly_the_mean() {
+        let mut s = WorkloadSampler::new("d", WorkloadMix::all_datasets(), 1);
+        for mean in [1u64, 7, 40, 1000] {
+            assert_eq!(s.next_delay_with(ArrivalDistribution::Deterministic, mean), mean);
+        }
+        // And no randomness is consumed: the exponential stream after a
+        // deterministic draw matches a fresh sampler's first draw.
+        let mut a = WorkloadSampler::new("d", WorkloadMix::all_datasets(), 2);
+        let mut b = WorkloadSampler::new("d", WorkloadMix::all_datasets(), 2);
+        a.next_delay_with(ArrivalDistribution::Deterministic, 9);
+        assert_eq!(a.next_delay(30), b.next_delay(30));
+    }
+
+    #[test]
+    fn pareto_delays_match_the_requested_mean_roughly() {
+        let mut s = WorkloadSampler::new("p", WorkloadMix::all_datasets(), 3);
+        let dist = ArrivalDistribution::Pareto { alpha_centi: 250 };
+        let n = 20_000u64;
+        let draws: Vec<u64> = (0..n).map(|_| s.next_delay_with(dist, 40)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / n as f64;
+        assert!((30.0..55.0).contains(&mean), "mean {mean} too far from 40");
+        // Heavy tail: the maximum dwarfs the mean far more than the
+        // deterministic distribution ever could.
+        assert!(*draws.iter().max().unwrap() > 200, "tail draws should exceed 5x the mean");
+        assert!(draws.iter().all(|&d| d >= 1));
+    }
+
+    #[test]
+    fn pareto_is_deterministic_in_seed() {
+        let dist = ArrivalDistribution::Pareto { alpha_centi: 150 };
+        let mut a = WorkloadSampler::new("p", WorkloadMix::all_datasets(), 9);
+        let mut b = WorkloadSampler::new("p", WorkloadMix::all_datasets(), 9);
+        for _ in 0..50 {
+            assert_eq!(a.next_delay_with(dist, 25), b.next_delay_with(dist, 25));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must exceed")]
+    fn pareto_shape_at_or_below_one_is_rejected() {
+        let mut s = WorkloadSampler::new("p", WorkloadMix::all_datasets(), 1);
+        s.next_delay_with(ArrivalDistribution::Pareto { alpha_centi: 100 }, 10);
+    }
+
+    #[test]
+    fn distribution_names_are_stable() {
+        assert_eq!(ArrivalDistribution::Exponential.name(), "exponential");
+        assert_eq!(ArrivalDistribution::Deterministic.name(), "deterministic");
+        assert_eq!(ArrivalDistribution::Pareto { alpha_centi: 150 }.name(), "pareto-1.50");
+        assert_eq!(ArrivalDistribution::default(), ArrivalDistribution::Exponential);
     }
 }

@@ -28,7 +28,7 @@ mod config;
 mod datasets;
 mod generator;
 
-pub use arrivals::{MixEntry, WorkloadMix, WorkloadSampler};
+pub use arrivals::{ArrivalDistribution, MixEntry, WorkloadMix, WorkloadSampler};
 pub use beamforming::{beamforming_app, beamforming_app_with, BeamformingConfig};
 pub use config::GeneratorConfig;
 pub use datasets::{generate_dataset, DatasetSpec, Orientation, SizeClass};

@@ -91,6 +91,17 @@ fn feasible_candidates(task_impls: &[Implementation], pool: &Pool) -> Vec<Candid
     out
 }
 
+/// `true` when no implementation of the task fits *any* element's raw
+/// capacity — ignoring current claims and failure marks — so the task can
+/// never be bound on this platform no matter how empty or healthy it gets.
+/// Conservative by design: a `false` answer only means "not provably
+/// hopeless".
+fn structurally_infeasible(task_impls: &[Implementation], platform: &Platform) -> bool {
+    task_impls.iter().all(|imp| {
+        !platform.elements().any(|e| e.kind() == imp.target() && e.capacity().fits(&imp.requires()))
+    })
+}
+
 /// Runs the binding phase of an allocation attempt.
 ///
 /// Selects one implementation per task, cheapest (by energy) first, in
@@ -126,7 +137,12 @@ pub fn bind(app: &Application, platform: &Platform) -> Result<Binding, BindingEr
     for task in app.tasks() {
         let cands = feasible_candidates(task.implementations(), &pool);
         let regret = match cands.as_slice() {
-            [] => return Err(BindingError::NoFeasibleImplementation { task: task.id() }),
+            [] => {
+                return Err(BindingError::NoFeasibleImplementation {
+                    task: task.id(),
+                    structural: structurally_infeasible(task.implementations(), platform),
+                })
+            }
             [_] => u64::MAX,
             [first, second, ..] => second.energy - first.energy,
         };
@@ -152,7 +168,10 @@ pub fn bind(app: &Application, platform: &Platform) -> Result<Binding, BindingEr
             }
         }
         if !bound {
-            return Err(BindingError::NoFeasibleImplementation { task: task_id });
+            return Err(BindingError::NoFeasibleImplementation {
+                task: task_id,
+                structural: structurally_infeasible(task.implementations(), platform),
+            });
         }
     }
 
@@ -195,17 +214,41 @@ mod tests {
         let app = b.build().unwrap();
         assert_eq!(
             bind(&app, &platform).unwrap_err(),
-            BindingError::NoFeasibleImplementation { task: TaskId(0) }
+            BindingError::NoFeasibleImplementation { task: TaskId(0), structural: true }
         );
     }
 
     #[test]
-    fn oversized_demand_is_rejected() {
+    fn oversized_demand_is_rejected_as_structural() {
         let platform = topology::dsp_mesh(2, 2);
         let mut b = ApplicationBuilder::new("x");
         b.add_task("t", TaskRole::Internal, vec![dsp_impl(100_000, 1)]);
         let app = b.build().unwrap();
-        assert!(bind(&app, &platform).is_err());
+        assert_eq!(
+            bind(&app, &platform).unwrap_err(),
+            BindingError::NoFeasibleImplementation { task: TaskId(0), structural: true }
+        );
+    }
+
+    #[test]
+    fn load_dependent_failures_are_not_structural() {
+        // The task fits an idle DSP, but both DSPs are mostly claimed.
+        let mut platform = topology::dsp_mesh(1, 2);
+        for e in platform.element_ids().collect::<Vec<_>>() {
+            platform
+                .claim(
+                    e,
+                    Occupant { app: AppId(0), task: 0, claimed: ResourceVector::new(900, 0, 0, 0) },
+                )
+                .unwrap();
+        }
+        let mut b = ApplicationBuilder::new("x");
+        b.add_task("t", TaskRole::Internal, vec![dsp_impl(500, 1)]);
+        let app = b.build().unwrap();
+        assert_eq!(
+            bind(&app, &platform).unwrap_err(),
+            BindingError::NoFeasibleImplementation { task: TaskId(0), structural: false }
+        );
     }
 
     #[test]

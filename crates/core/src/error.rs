@@ -34,6 +34,20 @@ impl fmt::Display for Phase {
     }
 }
 
+/// Whether a failed admission could succeed later without changing the
+/// request, used by admission front-ends (`kairos-admitd`) to decide
+/// between queue-and-retry and immediate permanent rejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureDurability {
+    /// The rejection reflects *current* occupancy — freed or repaired
+    /// capacity may let the identical request through. Worth retrying.
+    Transient,
+    /// The request can never be admitted on this platform, regardless of
+    /// load (e.g. a task too large for every element's raw capacity).
+    /// Retrying is pointless.
+    Permanent,
+}
+
 /// Binding-phase failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BindingError {
@@ -42,14 +56,19 @@ pub enum BindingError {
     NoFeasibleImplementation {
         /// The task that could not be bound.
         task: TaskId,
+        /// `true` when no implementation of the task fits any element's
+        /// *raw capacity* either — the application can never be admitted
+        /// on this platform, no matter how empty it gets.
+        structural: bool,
     },
 }
 
 impl fmt::Display for BindingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BindingError::NoFeasibleImplementation { task } => {
-                write!(f, "no feasible implementation for task {task}")
+            BindingError::NoFeasibleImplementation { task, structural } => {
+                let kind = if *structural { "structurally infeasible" } else { "no feasible" };
+                write!(f, "{kind} implementation for task {task}")
             }
         }
     }
@@ -185,6 +204,30 @@ impl AllocationError {
             AllocationError::Validation(_) => Phase::Validation,
         }
     }
+
+    /// Whether the failure could clear up once capacity is released or
+    /// repaired ([`FailureDurability::Transient`]) or can never succeed on
+    /// this platform ([`FailureDurability::Permanent`]).
+    ///
+    /// The classification is conservative: `Permanent` is only reported
+    /// when the request is provably hopeless (a task that exceeds every
+    /// element's raw capacity, or an SDF analysis failure inherent to the
+    /// application's graph). Everything load-dependent — mapping and
+    /// routing contention, pool exhaustion under occupancy, constraint
+    /// violations that a less contended layout might avoid — is
+    /// `Transient`; retry front-ends bound such retries by policy.
+    pub fn durability(&self) -> FailureDurability {
+        match self {
+            AllocationError::Binding(BindingError::NoFeasibleImplementation {
+                structural: true,
+                ..
+            }) => FailureDurability::Permanent,
+            AllocationError::Validation(ValidationError::Analysis(_)) => {
+                FailureDurability::Permanent
+            }
+            _ => FailureDurability::Transient,
+        }
+    }
 }
 
 impl fmt::Display for AllocationError {
@@ -247,7 +290,8 @@ mod tests {
 
     #[test]
     fn allocation_error_reports_phase() {
-        let e: AllocationError = BindingError::NoFeasibleImplementation { task: TaskId(3) }.into();
+        let e: AllocationError =
+            BindingError::NoFeasibleImplementation { task: TaskId(3), structural: false }.into();
         assert_eq!(e.phase(), Phase::Binding);
         assert!(e.to_string().contains("binding"));
         let e: AllocationError = MappingError::SearchExhausted { ring: 2, unmapped: vec![] }.into();
@@ -272,5 +316,31 @@ mod tests {
         assert!(e.source().is_some());
         assert!(e.to_string().contains("violated"));
         assert_eq!(Phase::Mapping.to_string(), "mapping");
+    }
+
+    #[test]
+    fn durability_separates_retryable_from_hopeless() {
+        let transient: [AllocationError; 4] = [
+            BindingError::NoFeasibleImplementation { task: TaskId(0), structural: false }.into(),
+            MappingError::SearchExhausted { ring: 1, unmapped: vec![TaskId(0)] }.into(),
+            RoutingError::NoRoute { channel: ChannelId(0), src: ElementId(0), dst: ElementId(1) }
+                .into(),
+            ValidationError::ConstraintViolated {
+                constraint_index: 0,
+                allowed_period: 10,
+                achieved_period: 20.0,
+            }
+            .into(),
+        ];
+        for e in &transient {
+            assert_eq!(e.durability(), FailureDurability::Transient, "{e}");
+        }
+        let permanent: [AllocationError; 2] = [
+            BindingError::NoFeasibleImplementation { task: TaskId(0), structural: true }.into(),
+            ValidationError::Analysis("deadlock".into()).into(),
+        ];
+        for e in &permanent {
+            assert_eq!(e.durability(), FailureDurability::Permanent, "{e}");
+        }
     }
 }

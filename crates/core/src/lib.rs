@@ -60,7 +60,8 @@ mod validation;
 
 pub use binding::bind;
 pub use error::{
-    AllocationError, BindingError, MappingError, Phase, RoutingError, ValidationError,
+    AllocationError, BindingError, FailureDurability, MappingError, Phase, RoutingError,
+    ValidationError,
 };
 pub use layout::{Binding, ExecutionLayout, Placement, Route};
 pub use manager::{AdmissionFailure, AdmissionReport, Kairos, KairosConfig};

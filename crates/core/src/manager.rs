@@ -106,6 +106,18 @@ impl AdmissionFailure {
     pub fn phase(&self) -> Phase {
         self.error.phase()
     }
+
+    /// Whether the failure is worth retrying once capacity frees up
+    /// (see [`AllocationError::durability`]).
+    pub fn durability(&self) -> crate::error::FailureDurability {
+        self.error.durability()
+    }
+
+    /// `true` when the identical request might succeed after a release or
+    /// repair — the signal admission queues key their retry policy on.
+    pub fn is_transient(&self) -> bool {
+        self.durability() == crate::error::FailureDurability::Transient
+    }
 }
 
 impl fmt::Display for AdmissionFailure {
@@ -231,13 +243,17 @@ impl Kairos {
     /// An [`AdmissionFailure`] carrying the rejecting phase, error detail
     /// and the per-phase timings collected up to the rejection.
     pub fn admit(&mut self, app: &Application) -> Result<AdmissionReport, AdmissionFailure> {
-        let checkpoint = self.platform.checkpoint();
+        // Claim-journal transaction instead of a full occupancy clone: the
+        // rollback cost is proportional to the claims actually made by this
+        // attempt, not to the platform size (see `Platform::begin_txn`).
+        self.platform.begin_txn();
         let app_id = AppId(self.next_app);
         let mut timings = PhaseTimings::default();
 
         let result = self.run_phases(app, app_id, &mut timings);
         match result {
             Ok((layout, validation)) => {
+                self.platform.commit_txn();
                 self.next_app += 1;
                 let channel_bandwidths = app.channels().map(|c| c.bandwidth()).collect();
                 self.admitted
@@ -245,7 +261,7 @@ impl Kairos {
                 Ok(AdmissionReport { app_id, timings, layout, validation })
             }
             Err(error) => {
-                self.platform.restore(checkpoint);
+                self.platform.rollback_txn();
                 Err(AdmissionFailure { error, timings })
             }
         }

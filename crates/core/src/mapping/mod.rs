@@ -119,11 +119,14 @@ pub fn map_application(
     app_id: AppId,
     config: &MapperConfig,
 ) -> Result<MappingReport, MappingError> {
-    let checkpoint = platform.checkpoint();
+    platform.begin_txn();
     match map_inner(app, binding, platform, app_id, config) {
-        Ok(report) => Ok(report),
+        Ok(report) => {
+            platform.commit_txn();
+            Ok(report)
+        }
         Err(e) => {
-            platform.restore(checkpoint);
+            platform.rollback_txn();
             Err(e)
         }
     }
@@ -220,14 +223,17 @@ fn map_inner(
     let attempts = (config.start_retries as usize + 1).min(starts.len());
     let mut last_err = None;
     for &(e0, _) in starts.iter().take(attempts) {
-        let checkpoint = platform.checkpoint();
+        platform.begin_txn();
         let mut placement: Vec<Option<ElementId>> = vec![None; n];
         claim_task(app, binding, platform, app_id, t0, e0).expect("availability was checked above");
         placement[t0.index()] = Some(e0);
         match map_rings(app, binding, platform, app_id, config, placement) {
-            Ok(report) => return Ok(report),
+            Ok(report) => {
+                platform.commit_txn();
+                return Ok(report);
+            }
             Err(e) => {
-                platform.restore(checkpoint);
+                platform.rollback_txn();
                 last_err = Some(e);
             }
         }

@@ -57,11 +57,14 @@ pub fn route_channels(
     platform: &mut Platform,
     algorithm: RouteAlgorithm,
 ) -> Result<Vec<Route>, RoutingError> {
-    let checkpoint = platform.checkpoint();
+    platform.begin_txn();
     match route_inner(app, placement, platform, algorithm) {
-        Ok(routes) => Ok(routes),
+        Ok(routes) => {
+            platform.commit_txn();
+            Ok(routes)
+        }
         Err(e) => {
-            platform.restore(checkpoint);
+            platform.rollback_txn();
             Err(e)
         }
     }

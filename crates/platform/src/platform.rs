@@ -87,6 +87,25 @@ pub struct PlatformCheckpoint {
     state: PlatformState,
 }
 
+/// One undoable ledger mutation, recorded while a transaction is open.
+///
+/// Each op stores exactly what [`Platform::rollback_txn`] needs to invert
+/// it; the journal is the cheap alternative to cloning the whole
+/// [`PlatformState`] per allocation attempt.
+#[derive(Debug, Clone, PartialEq)]
+enum JournalOp {
+    /// `claim` succeeded: undo by releasing `(app, task)` from `element`.
+    Claim { element: ElementId, app: AppId, task: u32 },
+    /// `release` succeeded: undo by re-seating the occupant.
+    Release { element: ElementId, occupant: Occupant },
+    /// `claim_link` succeeded: undo by returning the virtual channel.
+    ClaimLink { link: LinkId, bandwidth: u64 },
+    /// `release_link` ran: undo by re-reserving the virtual channel.
+    ReleaseLink { link: LinkId, bandwidth: u64 },
+    /// `fail_element`/`repair_element` flipped the mark from `was`.
+    SetFailed { element: ElementId, was: bool },
+}
+
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct PlatformState {
     free: Vec<ResourceVector>,
@@ -124,6 +143,12 @@ pub struct Platform {
     /// Incoming adjacency: for each element, `(neighbor, link)` pairs.
     in_adj: Vec<Vec<(ElementId, LinkId)>>,
     state: PlatformState,
+    /// Undo log of ledger mutations since the outermost open transaction.
+    /// Empty whenever no transaction is open.
+    journal: Vec<JournalOp>,
+    /// Journal positions of the currently open (possibly nested)
+    /// transactions, innermost last.
+    txn_marks: Vec<usize>,
 }
 
 impl Platform {
@@ -141,7 +166,16 @@ impl Platform {
             links: links.iter().map(LinkState::idle).collect(),
             failed: vec![false; n],
         };
-        Platform { name, elements, links, out_adj, in_adj, state }
+        Platform {
+            name,
+            elements,
+            links,
+            out_adj,
+            in_adj,
+            state,
+            journal: Vec::new(),
+            txn_marks: Vec::new(),
+        }
     }
 
     /// The platform's name.
@@ -277,6 +311,11 @@ impl Platform {
         match free.checked_sub(&occupant.claimed) {
             Some(rest) => {
                 self.state.free[e.index()] = rest;
+                self.record(|| JournalOp::Claim {
+                    element: e,
+                    app: occupant.app,
+                    task: occupant.task,
+                });
                 self.state.residents[e.index()].push(occupant);
                 Ok(())
             }
@@ -292,10 +331,11 @@ impl Platform {
     ///
     /// Returns `None` (and changes nothing) when the occupant is not present.
     pub fn release(&mut self, e: ElementId, app: AppId, task: u32) -> Option<ResourceVector> {
-        let residents = &mut self.state.residents[e.index()];
-        let pos = residents.iter().position(|o| o.app == app && o.task == task)?;
-        let occupant = residents.swap_remove(pos);
+        let pos =
+            self.state.residents[e.index()].iter().position(|o| o.app == app && o.task == task)?;
+        let occupant = self.state.residents[e.index()].swap_remove(pos);
         self.state.free[e.index()] = self.state.free[e.index()].saturating_add(&occupant.claimed);
+        self.record(|| JournalOp::Release { element: e, occupant });
         Some(occupant.claimed)
     }
 
@@ -305,12 +345,15 @@ impl Platform {
     pub fn release_app(&mut self, app: AppId) -> usize {
         let mut count = 0;
         for idx in 0..self.elements.len() {
-            let residents = &mut self.state.residents[idx];
             let mut i = 0;
-            while i < residents.len() {
-                if residents[i].app == app {
-                    let occ = residents.swap_remove(i);
+            while i < self.state.residents[idx].len() {
+                if self.state.residents[idx][i].app == app {
+                    let occ = self.state.residents[idx].swap_remove(i);
                     self.state.free[idx] = self.state.free[idx].saturating_add(&occ.claimed);
+                    self.record(|| JournalOp::Release {
+                        element: ElementId(idx as u32),
+                        occupant: occ,
+                    });
                     count += 1;
                 } else {
                     i += 1;
@@ -351,6 +394,7 @@ impl Platform {
         }
         s.free_virtual_channels -= 1;
         s.free_bandwidth -= bandwidth;
+        self.record(|| JournalOp::ClaimLink { link: l, bandwidth });
         Ok(())
     }
 
@@ -370,6 +414,7 @@ impl Platform {
                 && s.free_bandwidth <= cap.bandwidth(),
             "unbalanced link release on {l}"
         );
+        self.record(|| JournalOp::ReleaseLink { link: l, bandwidth });
     }
 
     // ---- faults -----------------------------------------------------------------
@@ -378,17 +423,112 @@ impl Platform {
     /// resource manager decides what to re-allocate); new claims are refused
     /// and searches skip the element.
     pub fn fail_element(&mut self, e: ElementId) {
+        let was = self.state.failed[e.index()];
         self.state.failed[e.index()] = true;
+        self.record(|| JournalOp::SetFailed { element: e, was });
     }
 
     /// Clears the failure mark on `e`.
     pub fn repair_element(&mut self, e: ElementId) {
+        let was = self.state.failed[e.index()];
         self.state.failed[e.index()] = false;
+        self.record(|| JournalOp::SetFailed { element: e, was });
     }
 
     /// Ids of all currently failed elements.
     pub fn failed_elements(&self) -> Vec<ElementId> {
         self.element_ids().filter(|&e| self.is_failed(e)).collect()
+    }
+
+    // ---- transactions -----------------------------------------------------------
+
+    /// Records `op()` when at least one transaction is open.
+    #[inline]
+    fn record(&mut self, op: impl FnOnce() -> JournalOp) {
+        if !self.txn_marks.is_empty() {
+            self.journal.push(op());
+        }
+    }
+
+    /// Opens a transaction: every subsequent ledger mutation (element and
+    /// link claims/releases, failure-mark flips) is journaled until the
+    /// matching [`Self::commit_txn`] or [`Self::rollback_txn`].
+    ///
+    /// Transactions nest: an inner rollback undoes only the inner ops, an
+    /// inner commit folds them into the enclosing transaction. This is the
+    /// admission hot path's cheap alternative to [`Self::checkpoint`]: cost
+    /// is proportional to the mutations actually made, not to `|E| + |L|`.
+    pub fn begin_txn(&mut self) {
+        self.txn_marks.push(self.journal.len());
+    }
+
+    /// Closes the innermost transaction, keeping its mutations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no transaction is open.
+    pub fn commit_txn(&mut self) {
+        self.txn_marks.pop().expect("commit_txn without an open transaction");
+        if self.txn_marks.is_empty() {
+            self.journal.clear();
+        }
+    }
+
+    /// Closes the innermost transaction, undoing its mutations in reverse
+    /// order. Resource quantities are restored exactly; resident record
+    /// order is also exact provided releases inside the transaction only
+    /// targeted occupants claimed inside it (the admission pipeline's
+    /// pattern).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no transaction is open.
+    pub fn rollback_txn(&mut self) {
+        let mark = self.txn_marks.pop().expect("rollback_txn without an open transaction");
+        while self.journal.len() > mark {
+            let op = self.journal.pop().expect("journal length checked");
+            self.undo(op);
+        }
+    }
+
+    /// Whether a transaction is currently open.
+    pub fn txn_active(&self) -> bool {
+        !self.txn_marks.is_empty()
+    }
+
+    /// Inverts one journaled op, bypassing journal recording.
+    fn undo(&mut self, op: JournalOp) {
+        match op {
+            JournalOp::Claim { element, app, task } => {
+                let residents = &mut self.state.residents[element.index()];
+                let pos = residents
+                    .iter()
+                    .rposition(|o| o.app == app && o.task == task)
+                    .expect("journaled claim is still seated");
+                let occ = residents.swap_remove(pos);
+                self.state.free[element.index()] =
+                    self.state.free[element.index()].saturating_add(&occ.claimed);
+            }
+            JournalOp::Release { element, occupant } => {
+                self.state.free[element.index()] = self.state.free[element.index()]
+                    .checked_sub(&occupant.claimed)
+                    .expect("undoing a journaled release fits by construction");
+                self.state.residents[element.index()].push(occupant);
+            }
+            JournalOp::ClaimLink { link, bandwidth } => {
+                let s = &mut self.state.links[link.index()];
+                s.free_virtual_channels += 1;
+                s.free_bandwidth += bandwidth;
+            }
+            JournalOp::ReleaseLink { link, bandwidth } => {
+                let s = &mut self.state.links[link.index()];
+                s.free_virtual_channels -= 1;
+                s.free_bandwidth -= bandwidth;
+            }
+            JournalOp::SetFailed { element, was } => {
+                self.state.failed[element.index()] = was;
+            }
+        }
     }
 
     // ---- checkpointing ----------------------------------------------------------
@@ -405,6 +545,11 @@ impl Platform {
     /// Panics if the checkpoint was taken from a structurally different
     /// platform (different element or link count).
     pub fn restore(&mut self, checkpoint: PlatformCheckpoint) {
+        assert!(
+            self.txn_marks.is_empty(),
+            "restore during an open transaction would corrupt the journal; \
+             roll back or commit first"
+        );
         assert_eq!(
             checkpoint.state.free.len(),
             self.elements.len(),
@@ -571,6 +716,75 @@ mod tests {
         assert_eq!(p.neighbors(c), vec![a]);
         assert_eq!(p.degree(a), 1);
         assert_eq!(p.link_between(c, a), None);
+    }
+
+    #[test]
+    fn txn_rollback_is_an_exact_inverse() {
+        let (mut p, a, c) = two_dsp();
+        // Pre-existing occupant outside any transaction.
+        p.claim(a, occ(7, 0, ResourceVector::new(10, 1, 0, 0))).unwrap();
+        let before = p.checkpoint();
+
+        p.begin_txn();
+        p.claim(a, occ(0, 0, ResourceVector::new(30, 2, 0, 0))).unwrap();
+        p.claim(c, occ(0, 1, ResourceVector::new(40, 3, 0, 0))).unwrap();
+        // Backtrack one of our own claims mid-transaction.
+        assert!(p.release(a, AppId(0), 0).is_some());
+        p.claim(a, occ(0, 2, ResourceVector::new(5, 0, 0, 0))).unwrap();
+        let l = p.link_between(a, c).unwrap();
+        p.claim_link(l, 200).unwrap();
+        p.release_link(l, 200);
+        p.claim_link(l, 300).unwrap();
+        p.fail_element(c);
+        p.rollback_txn();
+
+        assert_eq!(p.checkpoint(), before, "rollback must restore the exact pre-txn state");
+        assert!(!p.txn_active());
+    }
+
+    #[test]
+    fn txn_commit_keeps_mutations_and_nests() {
+        let (mut p, a, c) = two_dsp();
+        p.begin_txn();
+        p.claim(a, occ(0, 0, ResourceVector::new(10, 0, 0, 0))).unwrap();
+        // Inner transaction rolled back: its claim disappears, the outer
+        // claim survives.
+        p.begin_txn();
+        p.claim(c, occ(0, 1, ResourceVector::new(20, 0, 0, 0))).unwrap();
+        p.rollback_txn();
+        assert!(p.txn_active());
+        // Inner transaction committed: folded into the outer one.
+        p.begin_txn();
+        p.claim(c, occ(0, 2, ResourceVector::new(30, 0, 0, 0))).unwrap();
+        p.commit_txn();
+        p.commit_txn();
+        assert!(!p.txn_active());
+        assert_eq!(p.free(a), ResourceVector::new(90, 10, 0, 0));
+        assert_eq!(p.free(c), ResourceVector::new(70, 10, 0, 0));
+        // An outer rollback after a nested commit undoes everything.
+        let before = p.checkpoint();
+        p.begin_txn();
+        p.begin_txn();
+        p.claim(a, occ(1, 0, ResourceVector::new(15, 0, 0, 0))).unwrap();
+        p.commit_txn();
+        p.rollback_txn();
+        assert_eq!(p.checkpoint(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "without an open transaction")]
+    fn rollback_without_txn_panics() {
+        let (mut p, _, _) = two_dsp();
+        p.rollback_txn();
+    }
+
+    #[test]
+    #[should_panic(expected = "open transaction")]
+    fn restore_during_txn_panics() {
+        let (mut p, _, _) = two_dsp();
+        let cp = p.checkpoint();
+        p.begin_txn();
+        p.restore(cp);
     }
 
     #[test]

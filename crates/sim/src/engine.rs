@@ -7,16 +7,23 @@
 //! processing one arrival schedules the next — so the whole run is a pure
 //! function of the scenario (seed included), which the determinism tests
 //! rely on.
+//!
+//! Scenarios with an [`AdmitPolicy`](kairos_admitd::AdmitPolicy) route
+//! every arrival through a [`kairos_admitd::Admitd`] front-end instead of
+//! calling `Kairos::admit` directly: requests queue under their phase's
+//! priority class, retry on capacity events, time out, and are flushed at
+//! the horizon — all of it surfacing in the report's queue section.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use kairos_admitd::{Admitd, PriorityClass, QueueEvent, RejectReason};
 use kairos_app::Application;
 use kairos_appgen::{WorkloadMix, WorkloadSampler};
 use kairos_core::{Kairos, KairosConfig, Phase};
 use kairos_platform::{AppId, ElementId};
 
-use crate::report::{PhaseStats, SamplePoint, SimReport, Totals};
+use crate::report::{ClassQueueStats, PhaseStats, QueueReport, SamplePoint, SimReport, Totals};
 use crate::scenario::Scenario;
 
 /// What happens at a scheduled instant.
@@ -30,6 +37,8 @@ enum SimEvent {
     Fault { fault: usize },
     /// A previously failed element recovers.
     Repair { element: ElementId },
+    /// Queued requests whose deadline has passed are dropped.
+    QueueExpiry,
     /// A metric time-series sample is taken.
     Sample,
 }
@@ -60,6 +69,22 @@ impl Ord for Scheduled {
 struct LiveApp {
     app: Application,
     departs_at: Option<u64>,
+    class: PriorityClass,
+}
+
+/// A request somewhere in the admission front-end, keyed by ticket.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    /// Lifetime drawn at arrival; departure is scheduled from the
+    /// admission instant.
+    lifetime: Option<u64>,
+    /// Fixed departure instant (fault re-submissions keep their original
+    /// departure time).
+    fixed_departure: Option<u64>,
+    /// Workload phase the request arrived in (accounting attribution).
+    phase: usize,
+    /// Whether this is the re-submission of a fault-evicted application.
+    resubmission: bool,
 }
 
 /// Per-workload-phase accumulator.
@@ -69,6 +94,55 @@ struct PhaseAccum {
     admissions: u64,
     rejections: u64,
     departures: u64,
+}
+
+/// Running admission-queue statistics.
+#[derive(Debug, Default, Clone)]
+struct QueueAccum {
+    queued: u64,
+    admitted_immediate: u64,
+    admitted_after_wait: u64,
+    retry_attempts: u64,
+    rejected_queue_full: u64,
+    rejected_permanent: u64,
+    dropped_timeout: u64,
+    dropped_retries_exhausted: u64,
+    flushed_at_shutdown: u64,
+    max_depth: u64,
+    total_wait: u64,
+    wait_samples: u64,
+    max_wait: u64,
+    class_queued: [u64; 4],
+    class_admitted: [u64; 4],
+    class_dropped: [u64; 4],
+    class_wait: [u64; 4],
+    class_wait_samples: [u64; 4],
+}
+
+/// The admission path of a run: the bare manager, or the `kairos-admitd`
+/// front-end wrapping it. One long-lived instance per simulator, so the
+/// variant size difference is irrelevant.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+enum Backend {
+    Direct(Kairos),
+    Queued(Admitd),
+}
+
+impl Backend {
+    fn kairos(&self) -> &Kairos {
+        match self {
+            Backend::Direct(kairos) => kairos,
+            Backend::Queued(admitd) => admitd.kairos(),
+        }
+    }
+
+    fn queue_depth(&self) -> u64 {
+        match self {
+            Backend::Direct(_) => 0,
+            Backend::Queued(admitd) => admitd.queue_depth() as u64,
+        }
+    }
 }
 
 /// Drives a [`Kairos`] manager through one scenario run.
@@ -86,16 +160,18 @@ struct PhaseAccum {
 #[derive(Debug)]
 pub struct Simulator {
     scenario: Scenario,
-    manager: Kairos,
+    backend: Backend,
     queue: BinaryHeap<Reverse<Scheduled>>,
     next_seq: u64,
     ran: bool,
     samplers: Vec<Option<WorkloadSampler>>,
     phase_starts: Vec<u64>,
     live: HashMap<AppId, LiveApp>,
+    pending: HashMap<u64, Pending>,
     totals: Totals,
     rejections_by_phase: [u64; 4],
     phase_accum: Vec<PhaseAccum>,
+    queue_accum: QueueAccum,
     samples: Vec<SamplePoint>,
 }
 
@@ -117,6 +193,10 @@ impl Simulator {
     pub fn with_config(scenario: Scenario, config: KairosConfig) -> Result<Self, String> {
         scenario.validate()?;
         let manager = Kairos::new(scenario.platform.build(), config);
+        let backend = match &scenario.admission {
+            None => Backend::Direct(manager),
+            Some(policy) => Backend::Queued(Admitd::new(manager, *policy)),
+        };
         // One independent sampler per phase, seeded off the scenario seed so
         // adding a phase does not disturb the streams of the others.
         let samplers = scenario
@@ -142,23 +222,33 @@ impl Simulator {
         let phase_accum = vec![PhaseAccum::default(); scenario.phases.len()];
         Ok(Simulator {
             scenario,
-            manager,
+            backend,
             queue: BinaryHeap::new(),
             next_seq: 0,
             ran: false,
             samplers,
             phase_starts,
             live: HashMap::new(),
+            pending: HashMap::new(),
             totals: Totals::default(),
             rejections_by_phase: [0; 4],
             phase_accum,
+            queue_accum: QueueAccum::default(),
             samples: Vec::new(),
         })
     }
 
     /// The managed platform's resource manager (for post-run inspection).
     pub fn manager(&self) -> &Kairos {
-        &self.manager
+        self.backend.kairos()
+    }
+
+    /// The admission front-end, when the scenario runs with one.
+    pub fn admitd(&self) -> Option<&Admitd> {
+        match &self.backend {
+            Backend::Direct(_) => None,
+            Backend::Queued(admitd) => Some(admitd),
+        }
     }
 
     /// The scenario being simulated.
@@ -214,7 +304,9 @@ impl Simulator {
             if self.samplers[phase].is_some() {
                 let start = self.phase_starts[phase];
                 let mean = self.scenario.phases[phase].mean_interarrival;
-                let gap = self.samplers[phase].as_mut().expect("checked").next_delay(mean);
+                let dist = self.scenario.phases[phase].arrival;
+                let gap =
+                    self.samplers[phase].as_mut().expect("checked").next_delay_with(dist, mean);
                 let at = start + gap;
                 if at < self.phase_end(phase) {
                     self.schedule(at, SimEvent::Arrival { phase });
@@ -231,14 +323,28 @@ impl Simulator {
                 SimEvent::Arrival { phase } => self.on_arrival(at, phase),
                 SimEvent::Departure { app } => self.on_departure(at, app),
                 SimEvent::Fault { fault } => self.on_fault(at, fault),
-                SimEvent::Repair { element } => {
-                    self.manager.repair_element(element);
-                    self.totals.repairs += 1;
+                SimEvent::Repair { element } => self.on_repair(at, element),
+                SimEvent::QueueExpiry => {
+                    if let Backend::Queued(admitd) = &mut self.backend {
+                        let events = admitd.expire(at);
+                        self.apply_queue_events(at, events);
+                    }
                 }
                 SimEvent::Sample => {
-                    self.samples.push(SamplePoint { at, occupancy: self.manager.occupancy() });
+                    self.samples.push(SamplePoint {
+                        at,
+                        occupancy: self.backend.kairos().occupancy(),
+                        queue_depth: self.backend.queue_depth(),
+                    });
                 }
             }
+        }
+
+        // Flush whatever is still queued at the horizon so every arrival
+        // reaches exactly one terminal outcome.
+        if let Backend::Queued(admitd) = &mut self.backend {
+            let events = admitd.shutdown(horizon);
+            self.apply_queue_events(horizon, events);
         }
 
         self.finalize()
@@ -247,6 +353,7 @@ impl Simulator {
     fn on_arrival(&mut self, at: u64, phase: usize) {
         let spec_mean_lifetime = self.scenario.phases[phase].mean_lifetime;
         let mean_gap = self.scenario.phases[phase].mean_interarrival;
+        let dist = self.scenario.phases[phase].arrival;
         let sampler = self.samplers[phase].as_mut().expect("arrival phases have samplers");
         let app = sampler.next_app();
         let lifetime = if spec_mean_lifetime > 0 {
@@ -254,24 +361,38 @@ impl Simulator {
         } else {
             None
         };
-        let next_gap = sampler.next_delay(mean_gap);
+        let next_gap = sampler.next_delay_with(dist, mean_gap);
 
         self.totals.arrivals += 1;
         self.phase_accum[phase].arrivals += 1;
-        match self.manager.admit(&app) {
-            Ok(report) => {
-                self.totals.admissions += 1;
-                self.phase_accum[phase].admissions += 1;
-                let departs_at = lifetime.map(|l| at + l);
-                if let Some(departure) = departs_at {
-                    self.schedule(departure, SimEvent::Departure { app: report.app_id });
+        match &mut self.backend {
+            Backend::Direct(kairos) => match kairos.admit(&app) {
+                Ok(report) => {
+                    self.totals.admissions += 1;
+                    self.phase_accum[phase].admissions += 1;
+                    let departs_at = lifetime.map(|l| at + l);
+                    if let Some(departure) = departs_at {
+                        self.schedule(departure, SimEvent::Departure { app: report.app_id });
+                    }
+                    self.live.insert(
+                        report.app_id,
+                        LiveApp { app, departs_at, class: PriorityClass::Normal },
+                    );
                 }
-                self.live.insert(report.app_id, LiveApp { app, departs_at });
-            }
-            Err(failure) => {
-                self.totals.rejections += 1;
-                self.phase_accum[phase].rejections += 1;
-                self.rejections_by_phase[phase_index(failure.phase())] += 1;
+                Err(failure) => {
+                    self.totals.rejections += 1;
+                    self.phase_accum[phase].rejections += 1;
+                    self.rejections_by_phase[phase_index(failure.phase())] += 1;
+                }
+            },
+            Backend::Queued(admitd) => {
+                let class = self.scenario.phases[phase].priority;
+                let (ticket, events) = admitd.submit(app, class, at);
+                self.pending.insert(
+                    ticket.0,
+                    Pending { lifetime, fixed_departure: None, phase, resubmission: false },
+                );
+                self.apply_queue_events(at, events);
             }
         }
 
@@ -284,7 +405,22 @@ impl Simulator {
     fn on_departure(&mut self, at: u64, app: AppId) {
         // The app may already be gone: evicted by a fault and not
         // re-admitted, or re-admitted under a fresh id.
-        if self.manager.release(app) {
+        let released = match &mut self.backend {
+            Backend::Direct(kairos) => kairos.release(app),
+            Backend::Queued(admitd) => {
+                let (ok, events) = admitd.release(app, at);
+                if ok {
+                    // Account the departure before the drain's admissions.
+                    self.live.remove(&app);
+                    self.totals.departures += 1;
+                    let phase = self.phase_at(at);
+                    self.phase_accum[phase].departures += 1;
+                }
+                self.apply_queue_events(at, events);
+                return;
+            }
+        };
+        if released {
             self.live.remove(&app);
             self.totals.departures += 1;
             let phase = self.phase_at(at);
@@ -292,41 +428,188 @@ impl Simulator {
         }
     }
 
+    fn on_repair(&mut self, at: u64, element: ElementId) {
+        self.totals.repairs += 1;
+        match &mut self.backend {
+            Backend::Direct(kairos) => kairos.repair_element(element),
+            Backend::Queued(admitd) => {
+                let events = admitd.repair_element(element, at);
+                self.apply_queue_events(at, events);
+            }
+        }
+    }
+
     fn on_fault(&mut self, at: u64, fault: usize) {
         let spec = self.scenario.faults[fault];
         let element = ElementId(spec.element);
-        let victims = self.manager.fail_element(element);
         self.totals.faults_injected += 1;
-        self.totals.evictions += victims.len() as u64;
         if let Some(after) = spec.repair_after {
             self.schedule(at + after, SimEvent::Repair { element });
         }
-        for victim in victims {
-            let Some(live) = self.live.remove(&victim) else { continue };
-            if !self.scenario.readmit_evicted {
-                self.totals.lost_to_faults += 1;
-                continue;
-            }
-            // Offer the evicted application for immediate re-admission on
-            // the remaining healthy elements, keeping its departure time. A
-            // departure falling on this very tick is rescheduled (`>=`, not
-            // `>`): the stale Departure event carries the old id and no-ops,
-            // and without a fresh one the re-admitted app would never leave.
-            match self.manager.admit(&live.app) {
-                Ok(report) => {
-                    self.totals.readmissions += 1;
-                    if let Some(departs_at) = live.departs_at {
-                        if departs_at >= at {
-                            self.schedule(departs_at, SimEvent::Departure { app: report.app_id });
+        match &mut self.backend {
+            Backend::Direct(kairos) => {
+                let victims = kairos.fail_element(element);
+                self.totals.evictions += victims.len() as u64;
+                for victim in victims {
+                    let Some(live) = self.live.remove(&victim) else { continue };
+                    if !self.scenario.readmit_evicted {
+                        self.totals.lost_to_faults += 1;
+                        continue;
+                    }
+                    // Offer the evicted application for immediate re-admission on
+                    // the remaining healthy elements, keeping its departure time. A
+                    // departure falling on this very tick is rescheduled (`>=`, not
+                    // `>`): the stale Departure event carries the old id and no-ops,
+                    // and without a fresh one the re-admitted app would never leave.
+                    let Backend::Direct(kairos) = &mut self.backend else { unreachable!() };
+                    match kairos.admit(&live.app) {
+                        Ok(report) => {
+                            self.totals.readmissions += 1;
+                            if let Some(departs_at) = live.departs_at {
+                                if departs_at >= at {
+                                    self.schedule(
+                                        departs_at,
+                                        SimEvent::Departure { app: report.app_id },
+                                    );
+                                }
+                            }
+                            self.live.insert(report.app_id, live);
+                        }
+                        Err(_) => {
+                            self.totals.lost_to_faults += 1;
                         }
                     }
-                    self.live.insert(report.app_id, live);
                 }
-                Err(_) => {
-                    self.totals.lost_to_faults += 1;
+            }
+            Backend::Queued(admitd) => {
+                let (victims, events) = admitd.fail_element(element, at);
+                self.totals.evictions += victims.len() as u64;
+                self.apply_queue_events(at, events);
+                for victim in victims {
+                    let Some(live) = self.live.remove(&victim) else { continue };
+                    if !self.scenario.readmit_evicted {
+                        self.totals.lost_to_faults += 1;
+                        continue;
+                    }
+                    // Evicted applications re-enter through the queue under
+                    // their original class, keeping their departure instant.
+                    let Backend::Queued(admitd) = &mut self.backend else { unreachable!() };
+                    let (ticket, events) = admitd.submit(live.app.clone(), live.class, at);
+                    self.pending.insert(
+                        ticket.0,
+                        Pending {
+                            lifetime: None,
+                            fixed_departure: live.departs_at,
+                            phase: self.phase_at(at),
+                            resubmission: true,
+                        },
+                    );
+                    self.apply_queue_events(at, events);
                 }
             }
         }
+    }
+
+    /// Folds one batch of front-end events into the run's accounting:
+    /// admissions (scheduling departures), retries, rejections and
+    /// queue-depth high-water marks.
+    ///
+    /// Queue statistics (`QueueReport`) count *first-class requests only*:
+    /// the re-submissions of fault-evicted applications surface under
+    /// `readmissions`/`lost_to_faults` exactly as on the direct path, so
+    /// `queued == admitted + dropped` style balances hold with or without
+    /// faults in the scenario.
+    fn apply_queue_events(&mut self, at: u64, events: Vec<QueueEvent>) {
+        let max_wait = self.scenario.admission.as_ref().and_then(|p| p.max_wait);
+        for event in events {
+            match event {
+                QueueEvent::Enqueued { ticket, class, depth } => {
+                    let info = self.pending[&ticket.0];
+                    if !info.resubmission {
+                        self.queue_accum.queued += 1;
+                        self.queue_accum.class_queued[class.index()] += 1;
+                    }
+                    self.queue_accum.max_depth = self.queue_accum.max_depth.max(depth as u64);
+                    if let Some(wait) = max_wait {
+                        self.schedule(at + wait, SimEvent::QueueExpiry);
+                    }
+                }
+                QueueEvent::Admitted { ticket, class, app, report, waited, .. } => {
+                    let info =
+                        self.pending.remove(&ticket.0).expect("admitted tickets are pending");
+                    if info.resubmission {
+                        self.totals.readmissions += 1;
+                    } else {
+                        self.totals.admissions += 1;
+                        self.phase_accum[info.phase].admissions += 1;
+                        if waited == 0 {
+                            self.queue_accum.admitted_immediate += 1;
+                        } else {
+                            self.queue_accum.admitted_after_wait += 1;
+                        }
+                        self.queue_accum.class_admitted[class.index()] += 1;
+                        self.record_wait(class, waited);
+                    }
+                    let departs_at = info.fixed_departure.or(info.lifetime.map(|l| at + l));
+                    if let Some(departure) = departs_at {
+                        // A re-admitted app whose departure is overdue
+                        // leaves immediately (next tick processing order).
+                        self.schedule(
+                            departure.max(at),
+                            SimEvent::Departure { app: report.app_id },
+                        );
+                    }
+                    self.live.insert(report.app_id, LiveApp { app: *app, departs_at, class });
+                }
+                QueueEvent::AttemptFailed { ticket, .. } => {
+                    let first_class = self.pending.get(&ticket.0).is_none_or(|p| !p.resubmission);
+                    if first_class {
+                        self.queue_accum.retry_attempts += 1;
+                    }
+                }
+                QueueEvent::Rejected { ticket, class, reason, waited } => {
+                    let info =
+                        self.pending.remove(&ticket.0).expect("rejected tickets are pending");
+                    if info.resubmission {
+                        self.totals.lost_to_faults += 1;
+                        continue;
+                    }
+                    self.totals.rejections += 1;
+                    self.phase_accum[info.phase].rejections += 1;
+                    self.queue_accum.class_dropped[class.index()] += 1;
+                    match reason {
+                        RejectReason::QueueFull => self.queue_accum.rejected_queue_full += 1,
+                        RejectReason::Permanent { phase } => {
+                            self.queue_accum.rejected_permanent += 1;
+                            self.rejections_by_phase[phase_index(phase)] += 1;
+                            self.record_wait(class, waited);
+                        }
+                        RejectReason::Timeout => {
+                            self.queue_accum.dropped_timeout += 1;
+                            self.record_wait(class, waited);
+                        }
+                        RejectReason::RetriesExhausted { phase } => {
+                            self.queue_accum.dropped_retries_exhausted += 1;
+                            self.rejections_by_phase[phase_index(phase)] += 1;
+                            self.record_wait(class, waited);
+                        }
+                        RejectReason::Shutdown => {
+                            self.queue_accum.flushed_at_shutdown += 1;
+                            self.record_wait(class, waited);
+                        }
+                    }
+                }
+            }
+        }
+        self.queue_accum.max_depth = self.queue_accum.max_depth.max(self.backend.queue_depth());
+    }
+
+    fn record_wait(&mut self, class: PriorityClass, waited: u64) {
+        self.queue_accum.total_wait += waited;
+        self.queue_accum.wait_samples += 1;
+        self.queue_accum.max_wait = self.queue_accum.max_wait.max(waited);
+        self.queue_accum.class_wait[class.index()] += waited;
+        self.queue_accum.class_wait_samples[class.index()] += 1;
     }
 
     fn finalize(&mut self) -> SimReport {
@@ -367,6 +650,45 @@ impl Simulator {
             })
             .collect();
 
+        let qa = &self.queue_accum;
+        let mean_of = |total: u64, samples: u64| {
+            if samples == 0 {
+                0.0
+            } else {
+                total as f64 / samples as f64
+            }
+        };
+        let by_class = PriorityClass::ALL
+            .iter()
+            .map(|&class| {
+                let i = class.index();
+                ClassQueueStats {
+                    class: class.to_string(),
+                    queued: qa.class_queued[i],
+                    admitted: qa.class_admitted[i],
+                    dropped: qa.class_dropped[i],
+                    total_wait: qa.class_wait[i],
+                    mean_wait: mean_of(qa.class_wait[i], qa.class_wait_samples[i]),
+                }
+            })
+            .collect();
+        let queue = QueueReport {
+            enabled: self.scenario.admission.is_some(),
+            queued: qa.queued,
+            admitted_immediate: qa.admitted_immediate,
+            admitted_after_wait: qa.admitted_after_wait,
+            retry_attempts: qa.retry_attempts,
+            rejected_queue_full: qa.rejected_queue_full,
+            rejected_permanent: qa.rejected_permanent,
+            dropped_timeout: qa.dropped_timeout,
+            dropped_retries_exhausted: qa.dropped_retries_exhausted,
+            flushed_at_shutdown: qa.flushed_at_shutdown,
+            max_depth: qa.max_depth,
+            mean_wait: mean_of(qa.total_wait, qa.wait_samples),
+            max_wait: qa.max_wait,
+            by_class,
+        };
+
         SimReport {
             scenario: self.scenario.name.clone(),
             seed: self.scenario.seed,
@@ -378,8 +700,9 @@ impl Simulator {
                 .map(|(i, phase)| (phase.to_string(), self.rejections_by_phase[i]))
                 .collect(),
             phases,
+            queue,
             samples: std::mem::take(&mut self.samples),
-            final_state: self.manager.occupancy(),
+            final_state: self.backend.kairos().occupancy(),
         }
     }
 }

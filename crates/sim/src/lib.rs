@@ -10,13 +10,18 @@
 //! and periodic occupancy sampling.
 //!
 //! * [`Scenario`] — a seeded, fully declarative experiment description,
-//!   with a built-in catalog of five named scenarios ([`Scenario::catalog`]):
-//!   `steady-churn`, `bursty-arrivals`, `saturation`, `hotspot-failures`
-//!   and `mixed-datasets`;
+//!   with a built-in catalog of eight named scenarios
+//!   ([`Scenario::catalog`]): `steady-churn`, `bursty-arrivals`,
+//!   `saturation`, `hotspot-failures`, `mixed-datasets`, plus three that
+//!   exercise the `kairos-admitd` admission front-end —
+//!   `priority-inversion`, `overload-backpressure` and `retry-storm`;
 //! * [`Simulator`] — the event queue + virtual clock driving a
-//!   [`Kairos`](kairos_core::Kairos) manager through a scenario;
+//!   [`Kairos`](kairos_core::Kairos) manager through a scenario, directly
+//!   or through a [`kairos_admitd::Admitd`] priority queue with
+//!   backpressure, bounded retry and timeouts;
 //! * [`SimReport`] — aggregated admissions, rejections by pipeline phase,
-//!   departures, fault statistics and metric time-series, rendered as
+//!   departures, fault statistics, queue behaviour ([`QueueReport`]:
+//!   depth, waits, retries, drops) and metric time-series, rendered as
 //!   byte-deterministic JSON.
 //!
 //! Identical scenarios yield byte-identical reports: the engine draws every
@@ -42,5 +47,5 @@ mod report;
 mod scenario;
 
 pub use engine::Simulator;
-pub use report::{PhaseStats, SamplePoint, SimReport, Totals};
+pub use report::{ClassQueueStats, PhaseStats, QueueReport, SamplePoint, SimReport, Totals};
 pub use scenario::{FaultSpec, PhaseSpec, PlatformSpec, Scenario};

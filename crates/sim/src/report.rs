@@ -70,6 +70,60 @@ pub struct SamplePoint {
     pub at: u64,
     /// Platform occupancy metrics at that instant.
     pub occupancy: OccupancySnapshot,
+    /// Admission-queue depth at that instant (`0` without a queue).
+    pub queue_depth: u64,
+}
+
+/// Per-priority-class admission-queue statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassQueueStats {
+    /// Class name (`critical`, `high`, `normal`, `low`).
+    pub class: String,
+    /// Requests that entered this class's queue.
+    pub queued: u64,
+    /// Requests of this class that were admitted.
+    pub admitted: u64,
+    /// Requests of this class that left unadmitted (any reason).
+    pub dropped: u64,
+    /// Sum of queue waits over this class's terminal outcomes, in ticks.
+    pub total_wait: u64,
+    /// Mean queue wait of this class's terminal outcomes, in ticks.
+    pub mean_wait: f64,
+}
+
+/// Aggregated admission-queue behaviour over a whole run. All counters
+/// are zero for scenarios without an admission policy.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct QueueReport {
+    /// Whether the scenario ran with an admission queue at all.
+    pub enabled: bool,
+    /// Requests that entered the queue (refused-at-the-door requests are
+    /// not queued and count only under `rejected_queue_full`).
+    pub queued: u64,
+    /// Requests admitted in their submission call, with zero wait.
+    pub admitted_immediate: u64,
+    /// Requests admitted later, by a capacity-event drain.
+    pub admitted_after_wait: u64,
+    /// Failed admission attempts of requests that stayed queued.
+    pub retry_attempts: u64,
+    /// Requests refused because their class was at capacity.
+    pub rejected_queue_full: u64,
+    /// Requests rejected on a permanent (structural) pipeline failure.
+    pub rejected_permanent: u64,
+    /// Requests dropped after waiting past the policy deadline.
+    pub dropped_timeout: u64,
+    /// Requests dropped after exhausting their retry budget.
+    pub dropped_retries_exhausted: u64,
+    /// Requests still queued when the run ended (flushed at shutdown).
+    pub flushed_at_shutdown: u64,
+    /// Largest total queue depth observed.
+    pub max_depth: u64,
+    /// Mean queue wait over all terminal outcomes of queued requests.
+    pub mean_wait: f64,
+    /// Largest queue wait observed among terminal outcomes.
+    pub max_wait: u64,
+    /// Per-priority-class breakdown, in drain order.
+    pub by_class: Vec<ClassQueueStats>,
 }
 
 /// The complete result of one scenario run.
@@ -88,6 +142,8 @@ pub struct SimReport {
     pub rejections_by_phase: Vec<(String, u64)>,
     /// Per-workload-phase statistics.
     pub phases: Vec<PhaseStats>,
+    /// Admission-queue statistics (all-zero for direct-admission runs).
+    pub queue: QueueReport,
     /// Sampled metric time-series.
     pub samples: Vec<SamplePoint>,
     /// Platform state when the run ended.
@@ -151,6 +207,38 @@ impl SimReport {
             .collect::<Vec<_>>();
         doc.push("phases", phases);
 
+        let mut queue = Json::object();
+        queue.push("enabled", self.queue.enabled);
+        queue.push("queued", self.queue.queued);
+        queue.push("admitted_immediate", self.queue.admitted_immediate);
+        queue.push("admitted_after_wait", self.queue.admitted_after_wait);
+        queue.push("retry_attempts", self.queue.retry_attempts);
+        queue.push("rejected_queue_full", self.queue.rejected_queue_full);
+        queue.push("rejected_permanent", self.queue.rejected_permanent);
+        queue.push("dropped_timeout", self.queue.dropped_timeout);
+        queue.push("dropped_retries_exhausted", self.queue.dropped_retries_exhausted);
+        queue.push("flushed_at_shutdown", self.queue.flushed_at_shutdown);
+        queue.push("max_depth", self.queue.max_depth);
+        queue.push("mean_wait", self.queue.mean_wait);
+        queue.push("max_wait", self.queue.max_wait);
+        let by_class = self
+            .queue
+            .by_class
+            .iter()
+            .map(|c| {
+                let mut class = Json::object();
+                class.push("class", c.class.as_str());
+                class.push("queued", c.queued);
+                class.push("admitted", c.admitted);
+                class.push("dropped", c.dropped);
+                class.push("total_wait", c.total_wait);
+                class.push("mean_wait", c.mean_wait);
+                class
+            })
+            .collect::<Vec<_>>();
+        queue.push("by_class", by_class);
+        doc.push("queue", queue);
+
         let samples = self
             .samples
             .iter()
@@ -158,6 +246,7 @@ impl SimReport {
                 let mut sample = Json::object();
                 sample.push("at", s.at);
                 sample.push("occupancy", occupancy_json(&s.occupancy));
+                sample.push("queue_depth", s.queue_depth);
                 sample
             })
             .collect::<Vec<_>>();

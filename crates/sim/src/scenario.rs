@@ -7,13 +7,18 @@
 //! simulations — the engine draws every random choice from the scenario
 //! seed.
 //!
-//! [`Scenario::catalog`] ships five named scenarios spanning the regimes
-//! the paper motivates: steady churn, bursty arrivals, saturation, hotspot
-//! element failures and a mixed-dataset workload.
+//! [`Scenario::catalog`] ships eight named scenarios: five spanning the
+//! regimes the paper motivates (steady churn, bursty arrivals, saturation,
+//! hotspot element failures, a mixed-dataset workload) and three
+//! exercising the `kairos-admitd` admission front-end (priority inversion,
+//! overload backpressure, retry storms).
 
 use serde::{Deserialize, Serialize};
 
-use kairos_appgen::{DatasetSpec, MixEntry, Orientation, SizeClass, WorkloadMix};
+use kairos_admitd::{AdmitPolicy, PriorityClass};
+use kairos_appgen::{
+    ArrivalDistribution, DatasetSpec, MixEntry, Orientation, SizeClass, WorkloadMix,
+};
 use kairos_platform::{topology, Platform};
 
 use crate::json::Json;
@@ -70,18 +75,25 @@ pub struct PhaseSpec {
     pub name: String,
     /// Phase length in virtual ticks.
     pub duration: u64,
-    /// Mean exponential inter-arrival gap; `0` disables arrivals (a drain
-    /// or quiescent phase).
+    /// Mean inter-arrival gap; `0` disables arrivals (a drain or
+    /// quiescent phase).
     pub mean_interarrival: u64,
     /// Mean exponential application lifetime; `0` means admitted
     /// applications never depart on their own.
     pub mean_lifetime: u64,
     /// Dataset mixture arrivals are drawn from.
     pub mix: Vec<MixEntry>,
+    /// Shape of the inter-arrival distribution (exponential by default;
+    /// deterministic and Pareto cover periodic and heavy-tailed sources).
+    pub arrival: ArrivalDistribution,
+    /// Priority class this phase's arrivals are submitted under when the
+    /// scenario runs with an admission queue; ignored otherwise.
+    pub priority: PriorityClass,
 }
 
 impl PhaseSpec {
-    /// A phase named `name` lasting `duration` ticks.
+    /// A phase named `name` lasting `duration` ticks, with exponential
+    /// arrivals of [`PriorityClass::Normal`] priority.
     pub fn new(
         name: impl Into<String>,
         duration: u64,
@@ -89,7 +101,27 @@ impl PhaseSpec {
         mean_lifetime: u64,
         mix: Vec<MixEntry>,
     ) -> Self {
-        PhaseSpec { name: name.into(), duration, mean_interarrival, mean_lifetime, mix }
+        PhaseSpec {
+            name: name.into(),
+            duration,
+            mean_interarrival,
+            mean_lifetime,
+            mix,
+            arrival: ArrivalDistribution::Exponential,
+            priority: PriorityClass::Normal,
+        }
+    }
+
+    /// The same phase with a different inter-arrival distribution.
+    pub fn with_arrival(mut self, arrival: ArrivalDistribution) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// The same phase submitting its arrivals under `priority`.
+    pub fn with_priority(mut self, priority: PriorityClass) -> Self {
+        self.priority = priority;
+        self
     }
 
     /// Whether the phase generates arrivals at all.
@@ -127,6 +159,10 @@ pub struct Scenario {
     /// Whether applications evicted by a fault are immediately offered for
     /// re-admission on the remaining healthy elements.
     pub readmit_evicted: bool,
+    /// Admission front-end policy. `None` admits directly (reject when
+    /// full, the paper's behaviour); `Some` routes every request through
+    /// a `kairos-admitd` priority queue with backpressure and retry.
+    pub admission: Option<AdmitPolicy>,
 }
 
 impl Scenario {
@@ -157,6 +193,17 @@ impl Scenario {
             if phase.mean_interarrival > 0 && phase.mix.iter().all(|e| e.weight == 0) {
                 return Err(format!("phase '{}' mix has no positive weight", phase.name));
             }
+            if let ArrivalDistribution::Pareto { alpha_centi } = phase.arrival {
+                if alpha_centi <= 100 {
+                    return Err(format!(
+                        "phase '{}' Pareto shape {alpha_centi} must exceed 100 (alpha > 1)",
+                        phase.name
+                    ));
+                }
+            }
+        }
+        if let Some(policy) = &self.admission {
+            policy.validate().map_err(|e| format!("admission policy: {e}"))?;
         }
         let elements = self.platform.build().element_count() as u32;
         let horizon = self.horizon();
@@ -210,6 +257,8 @@ impl Scenario {
                 phase.push("duration", p.duration);
                 phase.push("mean_interarrival", p.mean_interarrival);
                 phase.push("mean_lifetime", p.mean_lifetime);
+                phase.push("arrival", p.arrival.name());
+                phase.push("priority", p.priority.to_string());
                 let mix = p
                     .mix
                     .iter()
@@ -241,12 +290,38 @@ impl Scenario {
             .collect::<Vec<_>>();
         doc.push("faults", faults);
         doc.push("readmit_evicted", self.readmit_evicted);
+        match &self.admission {
+            None => doc.push("admission", Json::Null),
+            Some(policy) => {
+                let mut adm = Json::object();
+                let capacities =
+                    policy.class_capacity.iter().map(|&c| Json::UInt(c as u64)).collect::<Vec<_>>();
+                adm.push("class_capacity", capacities);
+                match policy.max_wait {
+                    Some(w) => adm.push("max_wait", w),
+                    None => adm.push("max_wait", Json::Null),
+                };
+                adm.push("max_attempts", policy.max_attempts);
+                adm.push("backoff_base", policy.backoff_base);
+                adm.push("backoff_cap", policy.backoff_cap);
+                doc.push("admission", adm)
+            }
+        };
         doc
     }
 
     /// The built-in catalog of named scenarios.
     pub fn catalog() -> Vec<Scenario> {
-        vec![steady_churn(), bursty_arrivals(), saturation(), hotspot_failures(), mixed_datasets()]
+        vec![
+            steady_churn(),
+            bursty_arrivals(),
+            saturation(),
+            hotspot_failures(),
+            mixed_datasets(),
+            priority_inversion(),
+            overload_backpressure(),
+            retry_storm(),
+        ]
     }
 
     /// Looks up a catalog scenario by name.
@@ -282,6 +357,7 @@ fn steady_churn() -> Scenario {
         ],
         faults: Vec::new(),
         readmit_evicted: false,
+        admission: None,
     }
 }
 
@@ -306,6 +382,7 @@ fn bursty_arrivals() -> Scenario {
         ],
         faults: Vec::new(),
         readmit_evicted: false,
+        admission: None,
     }
 }
 
@@ -329,6 +406,7 @@ fn saturation() -> Scenario {
         ],
         faults: Vec::new(),
         readmit_evicted: false,
+        admission: None,
     }
 }
 
@@ -361,6 +439,7 @@ fn hotspot_failures() -> Scenario {
         ],
         faults,
         readmit_evicted: true,
+        admission: None,
     }
 }
 
@@ -379,6 +458,106 @@ fn mixed_datasets() -> Scenario {
         ],
         faults: Vec::new(),
         readmit_evicted: false,
+        admission: None,
+    }
+}
+
+/// Priority inversion probe: a saturating stream of low-priority,
+/// long-lived applications builds a backlog, then a burst of critical
+/// requests arrives. With the admission queue in place the criticals jump
+/// the older low-priority waiters the moment departures free capacity —
+/// the inversion a plain FIFO front-end would suffer never happens.
+fn priority_inversion() -> Scenario {
+    let heavy_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Medium), 2),
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Large), 1),
+    ];
+    Scenario {
+        name: "priority-inversion".to_owned(),
+        seed: 0x1A2B3C,
+        sample_period: 40,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("fill-low", 900, 12, 2200, heavy_mix.clone())
+                .with_priority(PriorityClass::Low),
+            PhaseSpec::new("critical-burst", 700, 25, 500, small_mix())
+                .with_priority(PriorityClass::Critical),
+            PhaseSpec::new("drain", 2400, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+        admission: Some(AdmitPolicy {
+            class_capacity: [12, 8, 8, 16],
+            max_wait: Some(1500),
+            max_attempts: 10,
+            backoff_base: 1,
+            backoff_cap: 4,
+        }),
+    }
+}
+
+/// Overload backpressure: heavy-tailed Pareto arrivals far above the
+/// service rate slam a deliberately small queue. The class capacities are
+/// the memory bound — once full, requests are refused with `QueueFull`
+/// instead of growing the queue without limit.
+fn overload_backpressure() -> Scenario {
+    let heavy_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Medium), 2),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Medium), 1),
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Large), 1),
+    ];
+    Scenario {
+        name: "overload-backpressure".to_owned(),
+        seed: 0x0F10AD,
+        sample_period: 25,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("overload", 1800, 6, 1200, heavy_mix)
+                .with_arrival(ArrivalDistribution::Pareto { alpha_centi: 160 }),
+            PhaseSpec::new("drain", 2000, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+        admission: Some(AdmitPolicy {
+            class_capacity: [4, 4, 8, 4],
+            max_wait: Some(600),
+            max_attempts: 5,
+            backoff_base: 1,
+            backoff_cap: 8,
+        }),
+    }
+}
+
+/// Retry storm: strictly periodic arrivals of mid-sized applications into
+/// a platform kept near-full by long-lived residents. Almost every
+/// admission needs several attempts, each re-triggered by a departure
+/// (capacity event), exercising the deterministic backoff ladder.
+fn retry_storm() -> Scenario {
+    let resident_mix = vec![MixEntry::new(spec(Orientation::Computation, SizeClass::Large), 1)];
+    let churn_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Medium), 3),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Small), 1),
+    ];
+    Scenario {
+        name: "retry-storm".to_owned(),
+        seed: 0x57083,
+        sample_period: 30,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("residents", 600, 18, 0, resident_mix).with_priority(PriorityClass::Low),
+            PhaseSpec::new("storm", 1500, 14, 260, churn_mix)
+                .with_arrival(ArrivalDistribution::Deterministic),
+            PhaseSpec::new("drain", 1600, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+        admission: Some(AdmitPolicy {
+            class_capacity: [8, 8, 24, 12],
+            max_wait: Some(900),
+            max_attempts: 8,
+            backoff_base: 1,
+            backoff_cap: 2,
+        }),
     }
 }
 
@@ -387,9 +566,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalog_has_five_valid_named_scenarios() {
+    fn catalog_has_eight_valid_named_scenarios() {
         let catalog = Scenario::catalog();
-        assert_eq!(catalog.len(), 5);
+        assert_eq!(catalog.len(), 8);
         let mut names: Vec<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
         for scenario in &catalog {
             scenario.validate().unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
@@ -397,13 +576,21 @@ mod tests {
         }
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 5, "catalog names must be unique");
+        assert_eq!(names.len(), 8, "catalog names must be unique");
+        // The queueing scenarios all carry an admission policy; the five
+        // legacy scenarios stay on the direct path.
+        let queued: Vec<&str> =
+            catalog.iter().filter(|s| s.admission.is_some()).map(|s| s.name.as_str()).collect();
+        assert_eq!(queued, vec!["priority-inversion", "overload-backpressure", "retry-storm"]);
     }
 
     #[test]
     fn by_name_finds_catalog_entries() {
         assert!(Scenario::by_name("steady-churn").is_some());
         assert!(Scenario::by_name("hotspot-failures").is_some());
+        assert!(Scenario::by_name("overload-backpressure").is_some());
+        assert!(Scenario::by_name("priority-inversion").is_some());
+        assert!(Scenario::by_name("retry-storm").is_some());
         assert!(Scenario::by_name("nonsense").is_none());
     }
 
@@ -420,6 +607,14 @@ mod tests {
         let mut s = Scenario::by_name("steady-churn").unwrap();
         s.phases[0].mix.clear();
         assert!(s.validate().unwrap_err().contains("empty mix"));
+
+        let mut s = Scenario::by_name("steady-churn").unwrap();
+        s.phases[0].arrival = ArrivalDistribution::Pareto { alpha_centi: 100 };
+        assert!(s.validate().unwrap_err().contains("Pareto"));
+
+        let mut s = Scenario::by_name("overload-backpressure").unwrap();
+        s.admission.as_mut().unwrap().max_attempts = 0;
+        assert!(s.validate().unwrap_err().contains("admission policy"));
     }
 
     #[test]
@@ -465,6 +660,18 @@ mod tests {
         for key in ["\"name\"", "\"seed\"", "\"phases\"", "\"faults\"", "\"readmit_evicted\""] {
             assert!(a.contains(key), "missing {key} in {a}");
         }
+        assert!(a.contains("\"admission\": null"), "direct scenarios render a null admission");
+        let queued = Scenario::by_name("retry-storm").unwrap().to_json().render();
+        for key in [
+            "\"class_capacity\"",
+            "\"max_wait\"",
+            "\"max_attempts\"",
+            "\"backoff_base\"",
+            "\"arrival\"",
+        ] {
+            assert!(queued.contains(key), "missing {key} in {queued}");
+        }
+        assert!(queued.contains("\"deterministic\""));
     }
 
     #[test]

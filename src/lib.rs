@@ -15,9 +15,13 @@
 //! * [`sdf`] — SDF graphs and self-timed state-space throughput analysis;
 //! * [`core`] — the four-phase resource manager itself: binding, mapping
 //!   (the paper's contribution), routing, validation, plus baselines;
+//! * [`admitd`] — the priority admission-control front-end: bounded
+//!   per-class queues with backpressure, deterministic capacity-event
+//!   retry with exponential backoff, timeouts and batch drains;
 //! * [`sim`] — a deterministic discrete-event scenario engine driving the
 //!   manager through long-running multi-application workloads with
-//!   arrivals, departures and element faults.
+//!   arrivals, departures and element faults, directly or through the
+//!   admission queue.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use kairos_admitd as admitd;
 pub use kairos_app as app;
 pub use kairos_appgen as appgen;
 pub use kairos_core as core;
