@@ -1,10 +1,13 @@
 //! The admission-control front-end itself.
 
+use std::collections::BTreeMap;
+
 use kairos_app::Application;
 use kairos_core::{AdmissionReport, FailureDurability, Kairos, OccupancySnapshot, Phase};
 use kairos_platform::{AppId, ElementId};
+use kairos_reloc::{compact, select_victims, CompactReport, VictimPlan};
 
-use crate::policy::AdmitPolicy;
+use crate::policy::{AdmitPolicy, PreemptionPolicy};
 use crate::queue::{AdmissionQueue, PriorityClass, QueuedRequest, Ticket};
 
 /// Why a request left the front-end without being admitted.
@@ -84,18 +87,62 @@ pub enum QueueEvent {
         /// Ticks spent queued (`0` when it never entered the queue).
         waited: u64,
     },
+    /// A running application was evicted to make room for a blocked
+    /// higher-priority request. The victim is preempted, not dropped: it
+    /// re-enters the queue as a retryable request under the fresh
+    /// `ticket`, carrying its previously accumulated wait (an `Enqueued`
+    /// for that ticket follows — or a `Rejected { QueueFull }` when its
+    /// class queue is full).
+    Preempted {
+        /// The evicted application.
+        victim: AppId,
+        /// The victim's priority class (strictly lower than the
+        /// preempting request's).
+        class: PriorityClass,
+        /// The fresh ticket the victim re-enters the queue under.
+        ticket: Ticket,
+        /// The blocked request the eviction was performed for.
+        by: Ticket,
+    },
+    /// A running application was live-migrated to a different placement
+    /// to clear the region a blocked request needs. The application keeps
+    /// running under the same id throughout — nothing is evicted.
+    Migrated {
+        /// The migrated application (its id is stable across the move).
+        app: AppId,
+        /// The migrated application's priority class.
+        class: PriorityClass,
+        /// Tasks whose hosting element changed.
+        moved_tasks: usize,
+        /// The blocked request the migration was performed for.
+        by: Ticket,
+    },
 }
 
 impl QueueEvent {
-    /// The ticket the event concerns.
+    /// The ticket the event concerns: for relocation events
+    /// ([`QueueEvent::Preempted`], [`QueueEvent::Migrated`]) that is the
+    /// victim's requeue ticket and the blocked requester respectively.
     pub fn ticket(&self) -> Ticket {
         match *self {
             QueueEvent::Enqueued { ticket, .. }
             | QueueEvent::Admitted { ticket, .. }
             | QueueEvent::AttemptFailed { ticket, .. }
-            | QueueEvent::Rejected { ticket, .. } => ticket,
+            | QueueEvent::Rejected { ticket, .. }
+            | QueueEvent::Preempted { ticket, .. } => ticket,
+            QueueEvent::Migrated { by, .. } => by,
         }
     }
+}
+
+/// What the front-end remembers about an admitted application, for the
+/// benefit of the preemption hook: the class decides who may be
+/// victimised, the accumulated wait travels with a preempted victim back
+/// into the queue (cumulative-wait semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AdmittedMeta {
+    class: PriorityClass,
+    waited: u64,
 }
 
 /// Priority admission-control front-end over a [`Kairos`] manager.
@@ -136,8 +183,13 @@ pub struct Admitd {
     queue: AdmissionQueue,
     next_ticket: u64,
     /// Monotone count of capacity-freeing events (releases, repairs,
-    /// evictions); the clock that retry backoff is measured against.
+    /// evictions, relocations); the clock retry backoff is measured
+    /// against.
     capacity_events: u64,
+    /// Class and accumulated wait per admitted application — the
+    /// preemption hook's victim registry. Ordered so candidate
+    /// enumeration is deterministic.
+    admitted_meta: BTreeMap<AppId, AdmittedMeta>,
 }
 
 impl Admitd {
@@ -154,6 +206,7 @@ impl Admitd {
             policy,
             next_ticket: 0,
             capacity_events: 0,
+            admitted_meta: BTreeMap::new(),
         }
     }
 
@@ -194,6 +247,11 @@ impl Admitd {
     /// drain pass runs immediately, so an uncontended request is admitted
     /// in the same call with zero wait. The returned events may also
     /// concern *other* requests the drain reached.
+    ///
+    /// A critical request hitting a full critical queue gets one last
+    /// chance under an enabled [`AdmitPolicy::preemption`] policy: if a
+    /// relocation plan exists, victims are evicted or migrated and the
+    /// request is admitted directly — the `QueueFull` preemption hook.
     pub fn submit(
         &mut self,
         app: Application,
@@ -203,6 +261,13 @@ impl Admitd {
         let ticket = Ticket(self.next_ticket);
         self.next_ticket += 1;
         if self.queue.is_full(class) {
+            if class == PriorityClass::Critical
+                && self.policy.preemption != PreemptionPolicy::Disabled
+            {
+                if let Some(events) = self.try_preempt_admit(&app, ticket, class, now) {
+                    return (ticket, events);
+                }
+            }
             let events = vec![QueueEvent::Rejected {
                 ticket,
                 class,
@@ -219,6 +284,8 @@ impl Admitd {
             deadline: self.policy.max_wait.map(|w| now.saturating_add(w)),
             attempts: 0,
             eligible_at_event: 0,
+            prior_wait: 0,
+            preempt_attempts: 0,
         });
         let mut events = vec![QueueEvent::Enqueued { ticket, class, depth: self.queue.len() }];
         events.extend(self.drain(now));
@@ -232,6 +299,7 @@ impl Admitd {
         if !self.kairos.release(id) {
             return (false, Vec::new());
         }
+        self.admitted_meta.remove(&id);
         self.capacity_events += 1;
         (true, self.drain(now))
     }
@@ -244,6 +312,9 @@ impl Admitd {
         let victims = self.kairos.fail_element(element);
         if victims.is_empty() {
             return (victims, Vec::new());
+        }
+        for victim in &victims {
+            self.admitted_meta.remove(victim);
         }
         self.capacity_events += 1;
         let events = self.drain(now);
@@ -300,16 +371,15 @@ impl Admitd {
             .is_some_and(|d| now >= d)
     }
 
-    /// Removes the request at `(class, i)` and builds its rejection event.
-    /// `saturating_sub` keeps the wait well-defined even for callers with
-    /// non-monotone clocks.
+    /// Removes the request at `(class, i)` and builds its rejection event,
+    /// reporting the cumulative wait across requeues.
     fn reject_at(&mut self, class: usize, i: usize, reason: RejectReason, now: u64) -> QueueEvent {
         let req = self.queue.remove(class, i);
         QueueEvent::Rejected {
             ticket: req.ticket,
             class: req.class,
             reason,
-            waited: now.saturating_sub(req.submitted_at),
+            waited: req.waited(now),
         }
     }
 
@@ -342,12 +412,15 @@ impl Admitd {
                 match attempt_result {
                     Ok(report) => {
                         let req = self.queue.remove(class, i);
+                        let waited = req.waited(now);
+                        self.admitted_meta
+                            .insert(report.app_id, AdmittedMeta { class: req.class, waited });
                         events.push(QueueEvent::Admitted {
                             ticket: req.ticket,
                             class: req.class,
                             app: Box::new(req.app),
                             report: Box::new(report),
-                            waited: now.saturating_sub(req.submitted_at),
+                            waited,
                             attempts: req.attempts + 1,
                         });
                     }
@@ -356,6 +429,22 @@ impl Admitd {
                         events.push(self.reject_at(class, i, reason, now));
                     }
                     Err(failure) => {
+                        // Preemption hook: a blocked critical may relocate
+                        // running lower-priority work once, then is
+                        // re-attempted immediately against the freed room.
+                        let can_preempt = {
+                            let req = self.queue.get(class, i).expect("index bounded by class_len");
+                            req.class == PriorityClass::Critical
+                                && self.policy.preemption != PreemptionPolicy::Disabled
+                                && req.preempt_attempts == 0
+                        };
+                        if can_preempt && self.relocate_for(class, i, now, &mut events) {
+                            let req =
+                                self.queue.get_mut(class, i).expect("index bounded by class_len");
+                            req.attempts += 1;
+                            req.preempt_attempts += 1;
+                            continue;
+                        }
                         let exhausted = {
                             let req =
                                 self.queue.get_mut(class, i).expect("index bounded by class_len");
@@ -388,5 +477,194 @@ impl Admitd {
             }
         }
         events
+    }
+
+    // ---- preemption / relocation ------------------------------------------------
+
+    /// The priority class an application was admitted under, while it is
+    /// still admitted. Applications admitted before preemption support
+    /// existed (none — the registry is as old as the hook) always have an
+    /// entry; unknown or already-released ids return `None`.
+    pub fn admitted_class(&self, id: AppId) -> Option<PriorityClass> {
+        self.admitted_meta.get(&id).map(|m| m.class)
+    }
+
+    /// Running applications of a class *strictly lower* than `than`, in
+    /// eviction-preference order: lowest class first, then fewest tasks
+    /// (cheapest reconfiguration), then id — a deterministic order the
+    /// `kairos-reloc` planner treats as cheapest-first.
+    fn preemption_candidates(&self, than: PriorityClass) -> Vec<AppId> {
+        let mut candidates: Vec<(usize, usize, AppId)> = self
+            .admitted_meta
+            .iter()
+            .filter(|(_, meta)| meta.class.index() > than.index())
+            .map(|(&id, meta)| {
+                let tasks = self.kairos.layout(id).map_or(0, |l| l.placement.len());
+                (meta.class.index(), tasks, id)
+            })
+            .collect();
+        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        candidates.into_iter().map(|(_, _, id)| id).collect()
+    }
+
+    /// Plans and applies a relocation for the blocked request at
+    /// `(class, i)`. Returns whether a relocation actually happened (the
+    /// caller then re-attempts the request against the freed room).
+    fn relocate_for(
+        &mut self,
+        class: usize,
+        i: usize,
+        now: u64,
+        events: &mut Vec<QueueEvent>,
+    ) -> bool {
+        let (ticket, req_class, app) = {
+            let req = self.queue.get(class, i).expect("index bounded by class_len");
+            (req.ticket, req.class, req.app.clone())
+        };
+        let candidates = self.preemption_candidates(req_class);
+        let Some(plan) =
+            select_victims(&mut self.kairos, &app, &candidates, self.policy.max_victims)
+        else {
+            return false;
+        };
+        self.apply_relocation(plan, ticket, now, events);
+        true
+    }
+
+    /// Executes a validated relocation plan: under
+    /// [`PreemptionPolicy::Migrate`] each victim is live-migrated off the
+    /// plan's target region (falling back to eviction when both footprints
+    /// don't fit at once); under [`PreemptionPolicy::Evict`] every victim
+    /// is evicted and re-queued as a retryable request carrying its
+    /// accumulated wait. Every completed relocation is a capacity event.
+    fn apply_relocation(
+        &mut self,
+        plan: VictimPlan,
+        by: Ticket,
+        now: u64,
+        events: &mut Vec<QueueEvent>,
+    ) {
+        let targets = plan.target_elements();
+        for victim in plan.victims {
+            let meta = *self.admitted_meta.get(&victim).expect("candidates are admitted");
+            let migrated = match self.policy.preemption {
+                PreemptionPolicy::Migrate => self.kairos.migrate(victim, &targets).ok(),
+                _ => None,
+            };
+            self.capacity_events += 1;
+            match migrated {
+                Some(report) => {
+                    events.push(QueueEvent::Migrated {
+                        app: victim,
+                        class: meta.class,
+                        moved_tasks: report.moved_tasks,
+                        by,
+                    });
+                }
+                None => {
+                    let app = self
+                        .kairos
+                        .application(victim)
+                        .expect("victim is admitted until released")
+                        .clone();
+                    assert!(self.kairos.release(victim), "a victim is never double-released");
+                    self.admitted_meta.remove(&victim);
+                    let ticket = Ticket(self.next_ticket);
+                    self.next_ticket += 1;
+                    events.push(QueueEvent::Preempted { victim, class: meta.class, ticket, by });
+                    if self.queue.is_full(meta.class) {
+                        events.push(QueueEvent::Rejected {
+                            ticket,
+                            class: meta.class,
+                            reason: RejectReason::QueueFull,
+                            waited: meta.waited,
+                        });
+                    } else {
+                        self.queue.push(QueuedRequest {
+                            ticket,
+                            app,
+                            class: meta.class,
+                            submitted_at: now,
+                            deadline: self.policy.max_wait.map(|w| now.saturating_add(w)),
+                            attempts: 0,
+                            eligible_at_event: 0,
+                            prior_wait: meta.waited,
+                            preempt_attempts: 0,
+                        });
+                        events.push(QueueEvent::Enqueued {
+                            ticket,
+                            class: meta.class,
+                            depth: self.queue.len(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// The `QueueFull` preemption hook: admits `app` directly — without
+    /// ever entering the full queue — when a relocation plan exists.
+    /// Returns `None` (and changes nothing) when no plan exists; the
+    /// caller then falls back to the plain `QueueFull` rejection.
+    fn try_preempt_admit(
+        &mut self,
+        app: &Application,
+        ticket: Ticket,
+        class: PriorityClass,
+        now: u64,
+    ) -> Option<Vec<QueueEvent>> {
+        let mut events = Vec::new();
+        // Door admissions never queued: zero wait, one attempt.
+        let door_admit = |this: &mut Self, report: AdmissionReport| {
+            this.admitted_meta.insert(report.app_id, AdmittedMeta { class, waited: 0 });
+            QueueEvent::Admitted {
+                ticket,
+                class,
+                app: Box::new(app.clone()),
+                report: Box::new(report),
+                waited: 0,
+                attempts: 1,
+            }
+        };
+        // A request that fits outright needs no victims — only plan a
+        // relocation when the request is actually blocked by occupancy.
+        if let Ok(report) = self.kairos.admit(app) {
+            events.push(door_admit(self, report));
+            return Some(events);
+        }
+        let candidates = self.preemption_candidates(class);
+        let plan = select_victims(&mut self.kairos, app, &candidates, self.policy.max_victims)?;
+        self.apply_relocation(plan, ticket, now, &mut events);
+        match self.kairos.admit(app) {
+            Ok(report) => events.push(door_admit(self, report)),
+            Err(_) => {
+                // Migration side effects can, in rare routing-contention
+                // cases, leave the probed layout unreachable; the request
+                // still cannot enter the full queue.
+                events.push(QueueEvent::Rejected {
+                    ticket,
+                    class,
+                    reason: RejectReason::QueueFull,
+                    waited: 0,
+                });
+            }
+        }
+        // Relocation freed capacity elsewhere too — drain the waiters.
+        events.extend(self.drain(now));
+        Some(events)
+    }
+
+    /// Runs one defragmenting compaction sweep
+    /// ([`kairos_reloc::compact`]) over the managed platform, migrating
+    /// at most `max_moves` applications to strictly reduce external
+    /// fragmentation. A sweep that moved anything counts as a capacity
+    /// event (contiguous room appeared) and drains the queue.
+    pub fn defrag(&mut self, now: u64, max_moves: usize) -> (CompactReport, Vec<QueueEvent>) {
+        let report = compact(&mut self.kairos, max_moves);
+        if report.move_count() == 0 {
+            return (report, Vec::new());
+        }
+        self.capacity_events += 1;
+        (report, self.drain(now))
     }
 }

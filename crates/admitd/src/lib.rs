@@ -23,7 +23,15 @@
 //!   pass that walks the whole queue in priority-then-FIFO order, so one
 //!   big release can admit many small waiters at once;
 //! * **Timeouts** — requests that wait past [`AdmitPolicy::max_wait`] are
-//!   dropped ([`RejectReason::Timeout`]).
+//!   dropped ([`RejectReason::Timeout`]);
+//! * **Preemption** — under an enabled [`PreemptionPolicy`], a blocked
+//!   critical request may relocate running lower-priority applications: a
+//!   minimal victim set is planned by `kairos-reloc`, then either evicted
+//!   and re-queued as retryable requests ([`QueueEvent::Preempted`] —
+//!   preempted, not dropped, with cumulative wait preserved across the
+//!   requeue) or live-migrated off the request's target region with their
+//!   identity intact ([`QueueEvent::Migrated`]). [`Admitd::defrag`] runs
+//!   the same migration machinery as a fragmentation-reducing sweep.
 //!
 //! Every mutating call returns the ordered [`QueueEvent`] list of what
 //! happened, and everything is deterministic: same call sequence, same
@@ -31,14 +39,14 @@
 //! on.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod frontend;
 mod policy;
 mod queue;
 
 pub use frontend::{Admitd, QueueEvent, RejectReason};
-pub use policy::AdmitPolicy;
+pub use policy::{AdmitPolicy, PreemptionPolicy};
 pub use queue::{AdmissionQueue, PriorityClass, Ticket};
 
 #[cfg(test)]
@@ -159,6 +167,7 @@ mod tests {
             max_attempts: 10,
             backoff_base: 2,
             backoff_cap: 8,
+            ..AdmitPolicy::default()
         };
         let mut admitd = front(policy);
         let (_, fill) = admitd.submit(chain("fill", 4), PriorityClass::Low, 0);
@@ -192,6 +201,7 @@ mod tests {
             max_attempts: 3,
             backoff_base: 1,
             backoff_cap: 1,
+            ..AdmitPolicy::default()
         };
         let mut admitd = front(policy);
         admitd.submit(chain("fill", 4), PriorityClass::Low, 0);
@@ -294,6 +304,272 @@ mod tests {
         assert!(events.is_empty(), "no-op repair produced {events:?}");
         assert_eq!(admitd.capacity_events(), before);
         assert!(admitd.queue().tickets().contains(&waiter));
+    }
+
+    fn preempt_policy(preemption: PreemptionPolicy) -> AdmitPolicy {
+        AdmitPolicy {
+            class_capacity: [4, 4, 4, 4],
+            max_wait: None,
+            preemption,
+            ..AdmitPolicy::default()
+        }
+    }
+
+    #[test]
+    fn blocked_critical_evicts_and_requeues_lower_priority_work() {
+        let mut admitd = front(preempt_policy(PreemptionPolicy::Evict));
+        let (_, fill) = admitd.submit(chain("fill", 4), PriorityClass::Low, 0);
+        let fill_id = admitted_id(&fill).expect("fill admits");
+        assert_eq!(admitd.admitted_class(fill_id), Some(PriorityClass::Low));
+
+        // A critical that cannot fit while the fill app runs: under the
+        // preemption policy it evicts the fill app and admits immediately.
+        let (crit, events) = admitd.submit(chain("crit", 4), PriorityClass::Critical, 10);
+        let preempted = events
+            .iter()
+            .find_map(|e| match e {
+                QueueEvent::Preempted { victim, class, ticket, by } => {
+                    Some((*victim, *class, *ticket, *by))
+                }
+                _ => None,
+            })
+            .expect("the fill app is preempted: {events:?}");
+        assert_eq!(preempted.0, fill_id);
+        assert_eq!(preempted.1, PriorityClass::Low);
+        assert_eq!(preempted.3, crit, "preemption is attributed to the blocked critical");
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                QueueEvent::Admitted { ticket, .. } if *ticket == crit
+            )),
+            "the critical must be admitted in the same call: {events:?}"
+        );
+        // The victim is preempted, not dropped: its requeue ticket sits in
+        // the low-priority queue as a retryable request.
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                QueueEvent::Enqueued { ticket, class: PriorityClass::Low, .. }
+                    if *ticket == preempted.2
+            )),
+            "victim re-enters the queue: {events:?}"
+        );
+        assert!(admitd.queue().tickets().contains(&preempted.2));
+        assert_eq!(admitd.kairos().admitted_count(), 1);
+        assert_eq!(admitd.admitted_class(fill_id), None);
+
+        // Releasing the critical lets the requeued victim back in.
+        let crit_id = admitted_id(&events).unwrap();
+        let (ok, events) = admitd.release(crit_id, 20);
+        assert!(ok);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            QueueEvent::Admitted { ticket, .. } if *ticket == preempted.2
+        )));
+    }
+
+    #[test]
+    fn preemption_victim_sets_are_minimal() {
+        let mut admitd = front(preempt_policy(PreemptionPolicy::Evict));
+        // Four independent single-task residents fill the mesh.
+        let mut ids = Vec::new();
+        for i in 0..4 {
+            let (_, e) = admitd.submit(chain_with(&format!("r{i}"), 1, 900), PriorityClass::Low, 0);
+            ids.push(admitted_id(&e).unwrap());
+        }
+        // A single-task critical needs exactly one victim.
+        let (_, events) = admitd.submit(chain_with("c", 1, 900), PriorityClass::Critical, 1);
+        let evicted: Vec<_> =
+            events.iter().filter(|e| matches!(e, QueueEvent::Preempted { .. })).collect();
+        assert_eq!(evicted.len(), 1, "one eviction suffices: {events:?}");
+        assert_eq!(admitd.kairos().admitted_count(), 4, "three residents plus the critical");
+    }
+
+    #[test]
+    fn disabled_preemption_leaves_criticals_waiting() {
+        let mut admitd = front(preempt_policy(PreemptionPolicy::Disabled));
+        admitd.submit(chain("fill", 4), PriorityClass::Low, 0);
+        let (crit, events) = admitd.submit(chain("crit", 4), PriorityClass::Critical, 1);
+        assert!(events.iter().all(|e| !matches!(e, QueueEvent::Preempted { .. })));
+        assert!(admitd.queue().tickets().contains(&crit), "the critical waits");
+    }
+
+    #[test]
+    fn migrate_policy_moves_victims_and_falls_back_to_eviction() {
+        // 2x2 mesh. Three 600-CPU normals occupy e0..e2 and a fourth takes
+        // e3; a 350-CPU low-priority app co-locates with the first (the
+        // mapper packs). Releasing the e1 resident leaves exactly one
+        // element a 2x700 critical can use — it needs e0 too, so the plan
+        // is {low, normal-on-e0}. The low victim (350) still fits beside
+        // another resident and is live-migrated; the 600 normal fits
+        // nowhere and falls back to eviction-and-requeue.
+        let mut admitd = front(preempt_policy(PreemptionPolicy::Migrate));
+        let mut normals = Vec::new();
+        for i in 0..3 {
+            let (_, e) =
+                admitd.submit(chain_with(&format!("n{i}"), 1, 600), PriorityClass::Normal, 0);
+            normals.push(admitted_id(&e).unwrap());
+        }
+        let (_, e) = admitd.submit(chain_with("low", 1, 350), PriorityClass::Low, 0);
+        let low = admitted_id(&e).unwrap();
+        let (_, e) = admitd.submit(chain_with("n3", 1, 600), PriorityClass::Normal, 0);
+        normals.push(admitted_id(&e).unwrap());
+        let low_host =
+            admitd.kairos().layout(low).unwrap().placement.element(kairos_app::TaskId(0));
+        // Release a normal hosted away from the low app, opening one
+        // whole element.
+        let doomed = *normals
+            .iter()
+            .find(|&&id| {
+                admitd.kairos().layout(id).unwrap().placement.element(kairos_app::TaskId(0))
+                    != low_host
+            })
+            .unwrap();
+        admitd.release(doomed, 1);
+
+        let (crit, events) = admitd.submit(chain_with("crit", 2, 700), PriorityClass::Critical, 5);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, QueueEvent::Admitted { ticket, .. } if *ticket == crit)),
+            "the critical must get in: {events:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                QueueEvent::Migrated { app, by, .. } if *app == low && *by == crit
+            )),
+            "the small victim is migrated, not evicted: {events:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                QueueEvent::Preempted { victim, .. } if normals.contains(victim)
+            )),
+            "the unmigratable 600-CPU victim falls back to eviction: {events:?}"
+        );
+        // The migrated app is still running under its original id.
+        assert_eq!(admitd.admitted_class(low), Some(PriorityClass::Low));
+        assert_ne!(
+            admitd.kairos().layout(low).unwrap().placement.element(kairos_app::TaskId(0)),
+            low_host,
+            "the migrated app actually moved"
+        );
+    }
+
+    #[test]
+    fn queue_full_criticals_preempt_at_the_door() {
+        let policy = AdmitPolicy {
+            class_capacity: [1, 4, 4, 4],
+            max_wait: None,
+            preemption: PreemptionPolicy::Evict,
+            ..AdmitPolicy::default()
+        };
+        let mut admitd = front(policy);
+        // A 3-element critical resident (not preemptible) plus a
+        // low-priority resident on the remaining element.
+        let (_, e) = admitd.submit(chain_with("c0", 3, 800), PriorityClass::Critical, 0);
+        assert!(admitted_id(&e).is_some());
+        let (_, e) = admitd.submit(chain_with("r", 1, 600), PriorityClass::Low, 0);
+        let resident = admitted_id(&e).unwrap();
+        // A hopelessly large critical fills the capacity-1 critical queue:
+        // even evicting the low resident frees just one element of the
+        // four it needs, so no relocation plan exists and it waits.
+        let (waiter, _) = admitd.submit(chain_with("w", 4, 600), PriorityClass::Critical, 1);
+        assert!(admitd.queue().tickets().contains(&waiter), "the waiter stays queued");
+        // The door-knock critical arrives to a full queue and relocates
+        // its way in directly, never entering the queue.
+        let (knock, events) = admitd.submit(chain_with("k", 1, 700), PriorityClass::Critical, 2);
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                QueueEvent::Preempted { victim, by, .. } if *victim == resident && *by == knock
+            )),
+            "the door-knock preempts the low resident: {events:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                QueueEvent::Admitted { ticket, waited: 0, .. } if *ticket == knock
+            )),
+            "the door-knock is admitted without ever queueing: {events:?}"
+        );
+        assert!(admitd.queue().tickets().contains(&waiter), "the big waiter still waits");
+    }
+
+    /// Regression test pinning the intended wait-time semantics: a
+    /// preempted-and-requeued application's reported wait is *cumulative
+    /// across requeues* — the wait before its first admission plus the
+    /// wait of the requeue — never reset by the preemption and never
+    /// counting its original enqueue instant against the later requeue.
+    #[test]
+    fn preempted_requeues_accumulate_wait_across_lives() {
+        let mut admitd = front(preempt_policy(PreemptionPolicy::Evict));
+        let (_, e) = admitd.submit(chain("a", 4), PriorityClass::Low, 0);
+        let a_id = admitted_id(&e).unwrap();
+        // B waits 10 ticks behind A before its first admission.
+        let (b_ticket, _) = admitd.submit(chain("b", 4), PriorityClass::Low, 0);
+        let (_, e) = admitd.release(a_id, 10);
+        assert!(e.iter().any(|ev| matches!(
+            ev,
+            QueueEvent::Admitted { ticket, waited: 10, .. } if *ticket == b_ticket
+        )));
+        let b_id = admitted_id(&e).unwrap();
+
+        // At t=20 a critical preempts B; B requeues carrying waited=10.
+        let (_, e) = admitd.submit(chain("crit", 4), PriorityClass::Critical, 20);
+        let crit_id = admitted_id(&e).unwrap();
+        let b_requeue = e
+            .iter()
+            .find_map(|ev| match ev {
+                QueueEvent::Preempted { victim, ticket, .. } if *victim == b_id => Some(*ticket),
+                _ => None,
+            })
+            .expect("B is preempted");
+
+        // The critical departs at t=25: B re-admits having waited
+        // 10 (first life) + 5 (requeue), not 5 (reset) and not 25
+        // (counted from its original enqueue instant).
+        let (_, e) = admitd.release(crit_id, 25);
+        let waited = e
+            .iter()
+            .find_map(|ev| match ev {
+                QueueEvent::Admitted { ticket, waited, .. } if *ticket == b_requeue => {
+                    Some(*waited)
+                }
+                _ => None,
+            })
+            .expect("B re-admits after the critical departs");
+        assert_eq!(waited, 15, "cumulative wait across requeues");
+    }
+
+    #[test]
+    fn defrag_compacts_and_drains() {
+        let policy = AdmitPolicy { max_wait: None, ..AdmitPolicy::default() };
+        let kairos = Kairos::new(topology::dsp_line(8), kairos_core::KairosConfig::default());
+        let mut admitd = Admitd::new(kairos, policy);
+        // Checkerboard the line, then release every other app.
+        let mut ids = Vec::new();
+        for i in 0..8 {
+            let (_, e) =
+                admitd.submit(chain_with(&format!("c{i}"), 1, 900), PriorityClass::Normal, 0);
+            ids.push(admitted_id(&e).unwrap());
+        }
+        for id in ids.iter().skip(1).step_by(2) {
+            admitd.release(*id, 1);
+        }
+        let frag_before = admitd.occupancy().external_fragmentation;
+        let before_events = admitd.capacity_events();
+        let (report, _) = admitd.defrag(2, 8);
+        assert!(report.move_count() > 0, "the checkerboard must compact");
+        assert!(admitd.occupancy().external_fragmentation < frag_before);
+        assert_eq!(admitd.capacity_events(), before_events + 1, "a sweep is one capacity event");
+        // An idle follow-up sweep is free.
+        let (report, events) = admitd.defrag(3, 8);
+        if report.move_count() == 0 {
+            assert!(events.is_empty());
+            assert_eq!(admitd.capacity_events(), before_events + 1);
+        }
     }
 
     #[test]

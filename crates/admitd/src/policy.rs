@@ -2,7 +2,43 @@
 
 use serde::{Deserialize, Serialize};
 
+use std::fmt;
+
 use crate::queue::PriorityClass;
+
+/// How the front-end reacts when a [`PriorityClass::Critical`] request is
+/// blocked by the occupancy of running lower-priority applications (or
+/// refused at the door of a full critical queue).
+///
+/// Victims are always of a *strictly lower* priority class than the
+/// blocked request, chosen by the `kairos-reloc` planner as a minimal set
+/// whose removal provably unblocks the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PreemptionPolicy {
+    /// Never preempt: blocked criticals wait like everyone else (the
+    /// pre-relocation behaviour).
+    #[default]
+    Disabled,
+    /// Evict the victim set. Victims re-enter the admission queue as
+    /// retryable requests — preempted, not dropped — carrying their
+    /// accumulated queue wait.
+    Evict,
+    /// Live-migrate victims off the blocked request's target region
+    /// (make-before-break, keeping them running with their identity
+    /// intact); victims that cannot be migrated — no room for both
+    /// footprints — fall back to eviction-and-requeue.
+    Migrate,
+}
+
+impl fmt::Display for PreemptionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreemptionPolicy::Disabled => f.write_str("disabled"),
+            PreemptionPolicy::Evict => f.write_str("evict"),
+            PreemptionPolicy::Migrate => f.write_str("migrate"),
+        }
+    }
+}
 
 /// Tunable policy of an [`Admitd`](crate::Admitd) front-end.
 ///
@@ -28,6 +64,13 @@ pub struct AdmitPolicy {
     pub backoff_base: u64,
     /// Upper bound on the per-attempt backoff, in capacity events.
     pub backoff_cap: u64,
+    /// Whether (and how) blocked critical requests may preempt running
+    /// lower-priority applications.
+    pub preemption: PreemptionPolicy,
+    /// Most applications one relocation may evict or migrate; bounds the
+    /// collateral damage of admitting a single critical request. Must be
+    /// at least 1 while preemption is enabled.
+    pub max_victims: usize,
 }
 
 impl Default for AdmitPolicy {
@@ -38,6 +81,8 @@ impl Default for AdmitPolicy {
             max_attempts: 6,
             backoff_base: 1,
             backoff_cap: 8,
+            preemption: PreemptionPolicy::Disabled,
+            max_victims: 4,
         }
     }
 }
@@ -60,6 +105,9 @@ impl AdmitPolicy {
         }
         if self.max_wait == Some(0) {
             return Err("max_wait of 0 would time every request out instantly".into());
+        }
+        if self.preemption != PreemptionPolicy::Disabled && self.max_victims == 0 {
+            return Err("preemption with max_victims of 0 can never relocate anything".into());
         }
         Ok(())
     }
@@ -114,5 +162,21 @@ mod tests {
         assert!(p.validate().is_err());
         let p = AdmitPolicy { max_wait: Some(0), ..AdmitPolicy::default() };
         assert!(p.validate().is_err());
+        let p = AdmitPolicy {
+            preemption: PreemptionPolicy::Evict,
+            max_victims: 0,
+            ..AdmitPolicy::default()
+        };
+        assert!(p.validate().is_err());
+        let p = AdmitPolicy { max_victims: 0, ..AdmitPolicy::default() };
+        assert!(p.validate().is_ok(), "max_victims is irrelevant while preemption is disabled");
+    }
+
+    #[test]
+    fn preemption_policy_names_are_stable() {
+        assert_eq!(PreemptionPolicy::default(), PreemptionPolicy::Disabled);
+        assert_eq!(PreemptionPolicy::Disabled.to_string(), "disabled");
+        assert_eq!(PreemptionPolicy::Evict.to_string(), "evict");
+        assert_eq!(PreemptionPolicy::Migrate.to_string(), "migrate");
     }
 }

@@ -84,6 +84,25 @@ pub(crate) struct QueuedRequest {
     /// a failed attempt (deterministic backoff); eligible when the
     /// front-end's event counter reaches it.
     pub eligible_at_event: u64,
+    /// Queue wait accumulated by *earlier* lives of this request: a
+    /// preempted-and-requeued application carries the wait of its original
+    /// admission here, so every reported wait is cumulative across
+    /// requeues (`prior_wait + now - submitted_at`), never reset by a
+    /// preemption and never double-counting time spent running.
+    pub prior_wait: u64,
+    /// Relocations already performed on behalf of this request; bounds
+    /// preemption to one applied relocation per request lifetime.
+    pub preempt_attempts: u32,
+}
+
+impl QueuedRequest {
+    /// The request's cumulative queue wait as of `now`: time queued in
+    /// this life plus [`QueuedRequest::prior_wait`] from lives before a
+    /// preemption. `saturating_sub` keeps the value well-defined for
+    /// callers with non-monotone clocks.
+    pub(crate) fn waited(&self, now: u64) -> u64 {
+        self.prior_wait.saturating_add(now.saturating_sub(self.submitted_at))
+    }
 }
 
 /// Bounded priority-then-FIFO queue of admission requests.
@@ -178,6 +197,8 @@ mod tests {
             deadline: None,
             attempts: 0,
             eligible_at_event: 0,
+            prior_wait: 0,
+            preempt_attempts: 0,
         }
     }
 

@@ -46,7 +46,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod baseline;
 mod binding;
@@ -64,7 +64,9 @@ pub use error::{
     ValidationError,
 };
 pub use layout::{Binding, ExecutionLayout, Placement, Route};
-pub use manager::{AdmissionFailure, AdmissionReport, Kairos, KairosConfig};
+pub use manager::{
+    AdmissionFailure, AdmissionReport, Kairos, KairosConfig, MigrationError, MigrationReport,
+};
 pub use mapping::{
     map_application, CostContext, CostPolicy, CostWeights, ElementSearch, GapState, KnapsackItem,
     KnapsackSolver, MapperConfig, MappingReport, DEFAULT_MISS_PENALTY,

@@ -130,8 +130,54 @@ impl std::error::Error for AdmissionFailure {}
 
 #[derive(Debug, Clone)]
 struct AdmittedApp {
+    /// The admitted application itself, retained so relocation (live
+    /// migration, preemption re-queueing) can re-run the pipeline for it.
+    app: Application,
     layout: ExecutionLayout,
     channel_bandwidths: Vec<u64>,
+}
+
+/// Why a live migration failed. The platform is always left exactly as it
+/// was before the attempt — a failed migration never half-moves an
+/// application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MigrationError {
+    /// The id is not an admitted application.
+    UnknownApp(AppId),
+    /// The pipeline could not place the application on the allowed
+    /// elements while its old claims were still held (make-before-break
+    /// needs room for both footprints).
+    Admission(AdmissionFailure),
+    /// The acceptance check of [`Kairos::migrate_if`] declined the
+    /// computed move; everything was rolled back.
+    Declined,
+}
+
+impl fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrationError::UnknownApp(id) => write!(f, "{id} is not admitted"),
+            MigrationError::Admission(e) => write!(f, "no alternate placement: {e}"),
+            MigrationError::Declined => f.write_str("migration declined by acceptance check"),
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {}
+
+/// Report of a completed live migration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationReport {
+    /// The migrated application (its id is stable across the move).
+    pub app_id: AppId,
+    /// The layout the application ran under before the move.
+    pub old_layout: ExecutionLayout,
+    /// The layout it runs under now.
+    pub new_layout: ExecutionLayout,
+    /// Tasks whose hosting element actually changed.
+    pub moved_tasks: usize,
+    /// Wall-clock time spent per pipeline phase computing the new layout.
+    pub timings: PhaseTimings,
 }
 
 /// The run-time spatial resource manager.
@@ -203,6 +249,13 @@ impl Kairos {
         self.admitted.get(&id).map(|a| &a.layout)
     }
 
+    /// The admitted application itself. Relocation layers use this to
+    /// re-queue a preempted application without the original submitter's
+    /// involvement.
+    pub fn application(&self, id: AppId) -> Option<&Application> {
+        self.admitted.get(&id).map(|a| &a.app)
+    }
+
     /// External resource fragmentation of the platform (paper §III-A).
     pub fn fragmentation(&self) -> f64 {
         kairos_platform::external_fragmentation(&self.platform)
@@ -256,13 +309,159 @@ impl Kairos {
                 self.platform.commit_txn();
                 self.next_app += 1;
                 let channel_bandwidths = app.channels().map(|c| c.bandwidth()).collect();
-                self.admitted
-                    .insert(app_id, AdmittedApp { layout: layout.clone(), channel_bandwidths });
+                self.admitted.insert(
+                    app_id,
+                    AdmittedApp { app: app.clone(), layout: layout.clone(), channel_bandwidths },
+                );
                 Ok(AdmissionReport { app_id, timings, layout, validation })
             }
             Err(error) => {
                 self.platform.rollback_txn();
                 Err(AdmissionFailure { error, timings })
+            }
+        }
+    }
+
+    /// Releases the platform claims (element resources and link
+    /// reservations) of an admitted application *without* touching the
+    /// admission registry. Callers inside an open transaction use this for
+    /// undoable what-if releases; `release` wraps it for the real thing.
+    fn release_claims_of(&mut self, id: AppId) {
+        let Some(admitted) = self.admitted.get(&id) else { return };
+        let routes = admitted.layout.routes.clone();
+        let bandwidths = admitted.channel_bandwidths.clone();
+        self.platform.release_app(id);
+        release_routes(&mut self.platform, &routes, &bandwidths);
+    }
+
+    /// Probes whether `app` could be admitted if the applications in
+    /// `without` were released first, leaving the platform state exactly
+    /// as it was. Returns the execution layout the pipeline would produce.
+    ///
+    /// This is the what-if query behind preemption planning: a relocation
+    /// planner grows a victim set and asks, per candidate set, whether
+    /// evicting it actually unblocks the request. The whole probe — the
+    /// victims' releases and every claim of the trial admission — runs in
+    /// one claim-journal transaction that is always rolled back.
+    ///
+    /// # Errors
+    ///
+    /// The [`AdmissionFailure`] the pipeline would report, if any.
+    pub fn probe_admit_without(
+        &mut self,
+        app: &Application,
+        without: &[AppId],
+    ) -> Result<ExecutionLayout, AdmissionFailure> {
+        self.platform.begin_txn();
+        for &victim in without {
+            self.release_claims_of(victim);
+        }
+        // The scratch id is `next_app` *un-incremented*: it can never
+        // collide with an admitted application, and a probe admits nothing.
+        let scratch = AppId(self.next_app);
+        let mut timings = PhaseTimings::default();
+        let result = self.run_phases(app, scratch, &mut timings);
+        self.platform.rollback_txn();
+        match result {
+            Ok((layout, _)) => Ok(layout),
+            Err(error) => Err(AdmissionFailure { error, timings }),
+        }
+    }
+
+    /// Live-migrates an admitted application to a fresh placement computed
+    /// by the full pipeline, avoiding the `avoid` elements. Equivalent to
+    /// [`Kairos::migrate_if`] with an acceptance check that always accepts.
+    ///
+    /// # Errors
+    ///
+    /// See [`Kairos::migrate_if`].
+    pub fn migrate(
+        &mut self,
+        id: AppId,
+        avoid: &[ElementId],
+    ) -> Result<MigrationReport, MigrationError> {
+        self.migrate_if(id, avoid, |_, _, _| true)
+    }
+
+    /// Live-migrates an admitted application, letting `accept` veto the
+    /// move after seeing the would-be result.
+    ///
+    /// The move is journal-backed and two-phase, make-before-break:
+    ///
+    /// 1. **claim new** — the pipeline re-runs for the application with
+    ///    its old claims still in place (so a migration needs room for
+    ///    both footprints at once), claiming the new placement under a
+    ///    scratch id that cannot collide with the old claims;
+    /// 2. **transfer** — the old claims are released and the scratch
+    ///    claims are relabelled to the application's real id
+    ///    ([`Platform::transfer_app`]); the id is stable across the move;
+    /// 3. **release old / decide** — `accept` sees the old layout, the new
+    ///    layout and the post-move platform. Accepting commits the
+    ///    transaction; declining (or any earlier failure) rolls the whole
+    ///    journal back, so the application is never left half-moved.
+    ///
+    /// Elements in `avoid` are off-limits to the new placement (they are
+    /// failure-marked for the duration of the pipeline run and restored
+    /// before `accept` runs).
+    ///
+    /// # Errors
+    ///
+    /// [`MigrationError::UnknownApp`] for unknown ids,
+    /// [`MigrationError::Admission`] when no alternate placement exists
+    /// under the avoidance set and current occupancy, and
+    /// [`MigrationError::Declined`] when `accept` vetoed the move. In
+    /// every error case the platform is byte-identical to before the call.
+    pub fn migrate_if(
+        &mut self,
+        id: AppId,
+        avoid: &[ElementId],
+        accept: impl FnOnce(&ExecutionLayout, &ExecutionLayout, &Platform) -> bool,
+    ) -> Result<MigrationReport, MigrationError> {
+        let Some(admitted) = self.admitted.get(&id) else {
+            return Err(MigrationError::UnknownApp(id));
+        };
+        let app = admitted.app.clone();
+        let old_layout = admitted.layout.clone();
+
+        self.platform.begin_txn();
+        // Failure-mark the avoided elements so the pipeline's searches skip
+        // them; only elements not already failed are restored afterwards.
+        let mut masked: Vec<ElementId> = Vec::new();
+        for &e in avoid {
+            if !self.platform.is_failed(e) && !masked.contains(&e) {
+                self.platform.fail_element(e);
+                masked.push(e);
+            }
+        }
+
+        let scratch = AppId(self.next_app);
+        let mut timings = PhaseTimings::default();
+        match self.run_phases(&app, scratch, &mut timings) {
+            Err(error) => {
+                self.platform.rollback_txn();
+                Err(MigrationError::Admission(AdmissionFailure { error, timings }))
+            }
+            Ok((new_layout, _)) => {
+                // Transfer: drop the old footprint, relabel the new one.
+                self.release_claims_of(id);
+                self.platform.transfer_app(scratch, id);
+                for e in masked {
+                    self.platform.repair_element(e);
+                }
+                if !accept(&old_layout, &new_layout, &self.platform) {
+                    self.platform.rollback_txn();
+                    return Err(MigrationError::Declined);
+                }
+                self.platform.commit_txn();
+                let moved_tasks = old_layout
+                    .placement
+                    .iter()
+                    .zip(new_layout.placement.iter())
+                    .filter(|((_, old), (_, new))| old != new)
+                    .count();
+                let entry = self.admitted.get_mut(&id).expect("checked above");
+                entry.layout = new_layout.clone();
+                Ok(MigrationReport { app_id: id, old_layout, new_layout, moved_tasks, timings })
             }
         }
     }
@@ -488,6 +687,74 @@ mod tests {
 
         kairos.release(report.app_id);
         assert_eq!(kairos.occupancy(), idle, "release restores the idle snapshot");
+    }
+
+    #[test]
+    fn probe_admit_without_leaves_no_trace() {
+        let mut kairos = Kairos::new(topology::dsp_mesh(2, 2), KairosConfig::default());
+        let resident = kairos.admit(&chain("fill", 4, 900, 100)).unwrap().app_id;
+        let before = kairos.platform().checkpoint();
+        let blocked = chain("blocked", 2, 900, 100);
+        // Blocked while the resident holds the mesh...
+        assert!(kairos.probe_admit_without(&blocked, &[]).is_err());
+        // ...admittable if the resident were gone — but nothing changes.
+        let layout = kairos.probe_admit_without(&blocked, &[resident]).unwrap();
+        assert_eq!(layout.placement.len(), 2);
+        assert_eq!(kairos.platform().checkpoint(), before, "probe must be state-neutral");
+        assert_eq!(kairos.admitted_count(), 1);
+        assert!(kairos.layout(resident).is_some());
+    }
+
+    #[test]
+    fn migrate_keeps_id_and_balances_claims() {
+        let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+        let app = chain("mover", 3, 700, 100);
+        let report = kairos.admit(&app).unwrap();
+        let id = report.app_id;
+        let old_elements: Vec<_> = report.layout.placement.iter().map(|(_, e)| e).collect();
+
+        // Force the app off every element it currently occupies.
+        let migration = kairos.migrate(id, &old_elements).unwrap();
+        assert_eq!(migration.app_id, id, "identity is stable across the move");
+        assert_eq!(migration.moved_tasks, 3);
+        for (_, e) in migration.new_layout.placement.iter() {
+            assert!(!old_elements.contains(&e), "avoided elements must not be reused");
+            assert!(!kairos.platform().is_failed(e));
+        }
+        assert_eq!(kairos.admitted_count(), 1);
+        assert_eq!(kairos.layout(id), Some(&migration.new_layout));
+        // Accounting balance: releasing the migrated app restores idle.
+        assert!(kairos.release(id));
+        assert!(kairos.platform().is_idle(), "claims = releases + live must hold after a move");
+    }
+
+    #[test]
+    fn failed_migration_never_half_moves() {
+        let mut kairos = Kairos::new(topology::dsp_mesh(2, 2), KairosConfig::default());
+        let report = kairos.admit(&chain("pinned", 2, 900, 100)).unwrap();
+        let before = kairos.platform().checkpoint();
+        // Avoiding the whole mesh leaves nowhere to go.
+        let everywhere: Vec<_> = kairos.platform().element_ids().collect();
+        let err = kairos.migrate(report.app_id, &everywhere).unwrap_err();
+        assert!(matches!(err, MigrationError::Admission(_)));
+        assert_eq!(kairos.platform().checkpoint(), before, "failed move rolls back exactly");
+        assert_eq!(kairos.layout(report.app_id), Some(&report.layout));
+        assert!(!kairos.platform().element_ids().any(|e| kairos.platform().is_failed(e)));
+    }
+
+    #[test]
+    fn declined_migration_rolls_back() {
+        let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+        let report = kairos.admit(&chain("stay", 3, 700, 100)).unwrap();
+        let before = kairos.platform().checkpoint();
+        let err = kairos.migrate_if(report.app_id, &[], |_, _, _| false).unwrap_err();
+        assert_eq!(err, MigrationError::Declined);
+        assert_eq!(kairos.platform().checkpoint(), before);
+        assert_eq!(kairos.layout(report.app_id), Some(&report.layout));
+        assert!(matches!(
+            kairos.migrate(AppId(999), &[]),
+            Err(MigrationError::UnknownApp(AppId(999)))
+        ));
     }
 
     #[test]

@@ -96,14 +96,19 @@ pub struct PlatformCheckpoint {
 enum JournalOp {
     /// `claim` succeeded: undo by releasing `(app, task)` from `element`.
     Claim { element: ElementId, app: AppId, task: u32 },
-    /// `release` succeeded: undo by re-seating the occupant.
-    Release { element: ElementId, occupant: Occupant },
+    /// `release` succeeded: undo by re-seating the occupant at `pos`,
+    /// exactly inverting the `swap_remove` that evicted it (so rollback
+    /// restores resident order byte-for-byte, which what-if probes over
+    /// pre-transaction occupants rely on).
+    Release { element: ElementId, occupant: Occupant, pos: usize },
     /// `claim_link` succeeded: undo by returning the virtual channel.
     ClaimLink { link: LinkId, bandwidth: u64 },
     /// `release_link` ran: undo by re-reserving the virtual channel.
     ReleaseLink { link: LinkId, bandwidth: u64 },
     /// `fail_element`/`repair_element` flipped the mark from `was`.
     SetFailed { element: ElementId, was: bool },
+    /// `transfer_app` relabelled one occupant: undo by relabelling back.
+    Transfer { element: ElementId, task: u32, from: AppId, to: AppId },
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -335,7 +340,7 @@ impl Platform {
             self.state.residents[e.index()].iter().position(|o| o.app == app && o.task == task)?;
         let occupant = self.state.residents[e.index()].swap_remove(pos);
         self.state.free[e.index()] = self.state.free[e.index()].saturating_add(&occupant.claimed);
-        self.record(|| JournalOp::Release { element: e, occupant });
+        self.record(|| JournalOp::Release { element: e, occupant, pos });
         Some(occupant.claimed)
     }
 
@@ -353,10 +358,55 @@ impl Platform {
                     self.record(|| JournalOp::Release {
                         element: ElementId(idx as u32),
                         occupant: occ,
+                        pos: i,
                     });
                     count += 1;
                 } else {
                     i += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Reassigns every occupant of application `from` to application `to`,
+    /// keeping elements, task indices and claimed resources untouched, and
+    /// returns how many occupants changed hands.
+    ///
+    /// This is the *transfer* step of a live migration: the resource
+    /// manager claims the new placement under a scratch id (so claims of
+    /// the moving application never collide with its own old ones),
+    /// releases the old placement, then transfers the scratch claims to
+    /// the application's real id. Each relabel is journaled, so a
+    /// transaction rollback restores the original ownership exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `to` already has an occupant with the same task index
+    /// on an element hosting a `from` occupant of that task: the
+    /// `(app, task)` pair identifies occupants within an element, so such
+    /// a transfer would make later releases — and the journaled undo —
+    /// ambiguous. Live migration never hits this (the old claims are
+    /// released before the transfer).
+    pub fn transfer_app(&mut self, from: AppId, to: AppId) -> usize {
+        let mut count = 0;
+        for idx in 0..self.elements.len() {
+            for pos in 0..self.state.residents[idx].len() {
+                if self.state.residents[idx][pos].app == from {
+                    let task = self.state.residents[idx][pos].task;
+                    assert!(
+                        !self.state.residents[idx].iter().any(|o| o.app == to && o.task == task),
+                        "transfer of {from} task {task} to {to} collides with an existing \
+                         occupant on element {idx}"
+                    );
+                    self.state.residents[idx][pos].app = to;
+                    self.record(|| JournalOp::Transfer {
+                        element: ElementId(idx as u32),
+                        task,
+                        from,
+                        to,
+                    });
+                    count += 1;
                 }
             }
         }
@@ -475,10 +525,11 @@ impl Platform {
     }
 
     /// Closes the innermost transaction, undoing its mutations in reverse
-    /// order. Resource quantities are restored exactly; resident record
-    /// order is also exact provided releases inside the transaction only
-    /// targeted occupants claimed inside it (the admission pipeline's
-    /// pattern).
+    /// order. The rollback is an exact inverse: resource quantities,
+    /// occupant ownership *and* resident record order are restored
+    /// byte-for-byte — what-if probes (preemption planning, migration)
+    /// release pre-transaction occupants and rely on a rolled-back state
+    /// being indistinguishable from the original.
     ///
     /// # Panics
     ///
@@ -509,11 +560,16 @@ impl Platform {
                 self.state.free[element.index()] =
                     self.state.free[element.index()].saturating_add(&occ.claimed);
             }
-            JournalOp::Release { element, occupant } => {
+            JournalOp::Release { element, occupant, pos } => {
                 self.state.free[element.index()] = self.state.free[element.index()]
                     .checked_sub(&occupant.claimed)
                     .expect("undoing a journaled release fits by construction");
-                self.state.residents[element.index()].push(occupant);
+                // Exactly invert the release's `swap_remove(pos)`: append,
+                // then swap the appended occupant back into `pos`.
+                let residents = &mut self.state.residents[element.index()];
+                residents.push(occupant);
+                let last = residents.len() - 1;
+                residents.swap(pos, last);
             }
             JournalOp::ClaimLink { link, bandwidth } => {
                 let s = &mut self.state.links[link.index()];
@@ -527,6 +583,13 @@ impl Platform {
             }
             JournalOp::SetFailed { element, was } => {
                 self.state.failed[element.index()] = was;
+            }
+            JournalOp::Transfer { element, task, from, to } => {
+                let occ = self.state.residents[element.index()]
+                    .iter_mut()
+                    .find(|o| o.app == to && o.task == task)
+                    .expect("journaled transfer target is still seated");
+                occ.app = from;
             }
         }
     }
@@ -768,6 +831,50 @@ mod tests {
         p.claim(a, occ(1, 0, ResourceVector::new(15, 0, 0, 0))).unwrap();
         p.commit_txn();
         p.rollback_txn();
+        assert_eq!(p.checkpoint(), before);
+    }
+
+    #[test]
+    fn transfer_app_relabels_occupants_and_rolls_back() {
+        let (mut p, a, c) = two_dsp();
+        p.claim(a, occ(3, 0, ResourceVector::new(10, 1, 0, 0))).unwrap();
+        p.claim(c, occ(3, 1, ResourceVector::new(20, 2, 0, 0))).unwrap();
+        p.claim(c, occ(4, 0, ResourceVector::new(5, 0, 0, 0))).unwrap();
+        let before = p.checkpoint();
+
+        p.begin_txn();
+        assert_eq!(p.transfer_app(AppId(3), AppId(9)), 2);
+        assert!(p.residents(a).iter().all(|o| o.app == AppId(9)));
+        assert!(p.residents(c).iter().any(|o| o.app == AppId(9) && o.task == 1));
+        assert!(p.residents(c).iter().any(|o| o.app == AppId(4)), "other apps untouched");
+        assert_eq!(p.free(a), ResourceVector::new(90, 9, 0, 0), "no resources move");
+        p.rollback_txn();
+        assert_eq!(p.checkpoint(), before, "rollback restores the original ownership");
+
+        p.begin_txn();
+        assert_eq!(p.transfer_app(AppId(3), AppId(9)), 2);
+        p.commit_txn();
+        assert_eq!(p.release_app(AppId(9)), 2);
+        assert_eq!(p.release_app(AppId(3)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with an existing occupant")]
+    fn ambiguous_transfer_is_refused() {
+        // A transfer that would seat two (app, task) duplicates on one
+        // element would make releases and journal undo ambiguous.
+        let (mut p, a, _) = two_dsp();
+        p.claim(a, occ(1, 0, ResourceVector::new(10, 0, 0, 0))).unwrap();
+        p.claim(a, occ(2, 0, ResourceVector::new(10, 0, 0, 0))).unwrap();
+        p.transfer_app(AppId(2), AppId(1));
+    }
+
+    #[test]
+    fn transfer_of_unknown_app_is_a_noop() {
+        let (mut p, a, _) = two_dsp();
+        p.claim(a, occ(1, 0, ResourceVector::new(10, 0, 0, 0))).unwrap();
+        let before = p.checkpoint();
+        assert_eq!(p.transfer_app(AppId(7), AppId(8)), 0);
         assert_eq!(p.checkpoint(), before);
     }
 

@@ -39,6 +39,8 @@ enum SimEvent {
     Repair { element: ElementId },
     /// Queued requests whose deadline has passed are dropped.
     QueueExpiry,
+    /// A defragmenting compaction sweep runs (`Scenario::defrag`).
+    Defrag,
     /// A metric time-series sample is taken.
     Sample,
 }
@@ -72,19 +74,31 @@ struct LiveApp {
     class: PriorityClass,
 }
 
+/// Where a front-end request came from; decides which accounting bucket
+/// its terminal outcome lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    /// A first-class workload arrival.
+    Fresh,
+    /// The re-submission of a fault-evicted application.
+    Fault,
+    /// The requeue of a preemption victim.
+    Preempt,
+}
+
 /// A request somewhere in the admission front-end, keyed by ticket.
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     /// Lifetime drawn at arrival; departure is scheduled from the
     /// admission instant.
     lifetime: Option<u64>,
-    /// Fixed departure instant (fault re-submissions keep their original
-    /// departure time).
+    /// Fixed departure instant (fault and preemption re-submissions keep
+    /// their original departure time).
     fixed_departure: Option<u64>,
     /// Workload phase the request arrived in (accounting attribution).
     phase: usize,
-    /// Whether this is the re-submission of a fault-evicted application.
-    resubmission: bool,
+    /// How the request entered the front-end.
+    origin: Origin,
 }
 
 /// Per-workload-phase accumulator.
@@ -317,6 +331,13 @@ impl Simulator {
         for (i, at) in fault_times.into_iter().enumerate() {
             self.schedule(at, SimEvent::Fault { fault: i });
         }
+        if let Some(defrag) = self.scenario.defrag {
+            let mut t = defrag.period;
+            while t <= horizon {
+                self.schedule(t, SimEvent::Defrag);
+                t += defrag.period;
+            }
+        }
 
         while let Some(Reverse(Scheduled { at, event, .. })) = self.queue.pop() {
             match event {
@@ -330,6 +351,7 @@ impl Simulator {
                         self.apply_queue_events(at, events);
                     }
                 }
+                SimEvent::Defrag => self.on_defrag(at),
                 SimEvent::Sample => {
                     self.samples.push(SamplePoint {
                         at,
@@ -390,7 +412,7 @@ impl Simulator {
                 let (ticket, events) = admitd.submit(app, class, at);
                 self.pending.insert(
                     ticket.0,
-                    Pending { lifetime, fixed_departure: None, phase, resubmission: false },
+                    Pending { lifetime, fixed_departure: None, phase, origin: Origin::Fresh },
                 );
                 self.apply_queue_events(at, events);
             }
@@ -425,6 +447,26 @@ impl Simulator {
             self.totals.departures += 1;
             let phase = self.phase_at(at);
             self.phase_accum[phase].departures += 1;
+        }
+    }
+
+    /// One defragmenting compaction sweep over the managed platform.
+    /// Moves strictly reduce external fragmentation and are bounded by the
+    /// scenario's `max_moves`; on the queued backend a sweep that moved
+    /// anything is a capacity event, so its drain may admit waiters into
+    /// the newly contiguous room.
+    fn on_defrag(&mut self, at: u64) {
+        let max_moves = self.scenario.defrag.expect("Defrag events need a defrag spec").max_moves;
+        match &mut self.backend {
+            Backend::Direct(kairos) => {
+                let report = kairos_reloc::compact(kairos, max_moves);
+                self.totals.defrag_moves += report.move_count() as u64;
+            }
+            Backend::Queued(admitd) => {
+                let (report, events) = admitd.defrag(at, max_moves);
+                self.totals.defrag_moves += report.move_count() as u64;
+                self.apply_queue_events(at, events);
+            }
         }
     }
 
@@ -501,7 +543,7 @@ impl Simulator {
                             lifetime: None,
                             fixed_departure: live.departs_at,
                             phase: self.phase_at(at),
-                            resubmission: true,
+                            origin: Origin::Fault,
                         },
                     );
                     self.apply_queue_events(at, events);
@@ -525,7 +567,7 @@ impl Simulator {
             match event {
                 QueueEvent::Enqueued { ticket, class, depth } => {
                     let info = self.pending[&ticket.0];
-                    if !info.resubmission {
+                    if info.origin == Origin::Fresh {
                         self.queue_accum.queued += 1;
                         self.queue_accum.class_queued[class.index()] += 1;
                     }
@@ -537,18 +579,20 @@ impl Simulator {
                 QueueEvent::Admitted { ticket, class, app, report, waited, .. } => {
                     let info =
                         self.pending.remove(&ticket.0).expect("admitted tickets are pending");
-                    if info.resubmission {
-                        self.totals.readmissions += 1;
-                    } else {
-                        self.totals.admissions += 1;
-                        self.phase_accum[info.phase].admissions += 1;
-                        if waited == 0 {
-                            self.queue_accum.admitted_immediate += 1;
-                        } else {
-                            self.queue_accum.admitted_after_wait += 1;
+                    match info.origin {
+                        Origin::Fault => self.totals.readmissions += 1,
+                        Origin::Preempt => self.totals.preempt_readmissions += 1,
+                        Origin::Fresh => {
+                            self.totals.admissions += 1;
+                            self.phase_accum[info.phase].admissions += 1;
+                            if waited == 0 {
+                                self.queue_accum.admitted_immediate += 1;
+                            } else {
+                                self.queue_accum.admitted_after_wait += 1;
+                            }
+                            self.queue_accum.class_admitted[class.index()] += 1;
+                            self.record_wait(class, waited);
                         }
-                        self.queue_accum.class_admitted[class.index()] += 1;
-                        self.record_wait(class, waited);
                     }
                     let departs_at = info.fixed_departure.or(info.lifetime.map(|l| at + l));
                     if let Some(departure) = departs_at {
@@ -562,17 +606,46 @@ impl Simulator {
                     self.live.insert(report.app_id, LiveApp { app: *app, departs_at, class });
                 }
                 QueueEvent::AttemptFailed { ticket, .. } => {
-                    let first_class = self.pending.get(&ticket.0).is_none_or(|p| !p.resubmission);
+                    let first_class =
+                        self.pending.get(&ticket.0).is_none_or(|p| p.origin == Origin::Fresh);
                     if first_class {
                         self.queue_accum.retry_attempts += 1;
                     }
                 }
+                QueueEvent::Preempted { victim, ticket, .. } => {
+                    // The victim leaves the platform but not the system:
+                    // its requeue ticket inherits the departure schedule,
+                    // exactly like a fault-evicted re-submission.
+                    let live = self.live.remove(&victim).expect("preemption victims are live apps");
+                    self.totals.preemptions += 1;
+                    self.pending.insert(
+                        ticket.0,
+                        Pending {
+                            lifetime: None,
+                            fixed_departure: live.departs_at,
+                            phase: self.phase_at(at),
+                            origin: Origin::Preempt,
+                        },
+                    );
+                }
+                QueueEvent::Migrated { .. } => {
+                    // The app keeps running under the same id; only the
+                    // placement changed.
+                    self.totals.migrations += 1;
+                }
                 QueueEvent::Rejected { ticket, class, reason, waited } => {
                     let info =
                         self.pending.remove(&ticket.0).expect("rejected tickets are pending");
-                    if info.resubmission {
-                        self.totals.lost_to_faults += 1;
-                        continue;
+                    match info.origin {
+                        Origin::Fault => {
+                            self.totals.lost_to_faults += 1;
+                            continue;
+                        }
+                        Origin::Preempt => {
+                            self.totals.lost_to_preemption += 1;
+                            continue;
+                        }
+                        Origin::Fresh => {}
                     }
                     self.totals.rejections += 1;
                     self.phase_accum[info.phase].rejections += 1;

@@ -10,18 +10,23 @@
 //! and periodic occupancy sampling.
 //!
 //! * [`Scenario`] — a seeded, fully declarative experiment description,
-//!   with a built-in catalog of eight named scenarios
-//!   ([`Scenario::catalog`]): `steady-churn`, `bursty-arrivals`,
-//!   `saturation`, `hotspot-failures`, `mixed-datasets`, plus three that
-//!   exercise the `kairos-admitd` admission front-end —
-//!   `priority-inversion`, `overload-backpressure` and `retry-storm`;
+//!   with a built-in catalog of eleven named scenarios
+//!   ([`Scenario::catalog`], documented in `docs/SCENARIOS.md`):
+//!   `steady-churn`, `bursty-arrivals`, `saturation`, `hotspot-failures`,
+//!   `mixed-datasets`, three that exercise the `kairos-admitd` admission
+//!   front-end — `priority-inversion`, `overload-backpressure`,
+//!   `retry-storm` — and three that exercise the `kairos-reloc`
+//!   relocation subsystem — `critical-preempt`, `migrate-vs-evict`,
+//!   `defrag-sweep`;
 //! * [`Simulator`] — the event queue + virtual clock driving a
 //!   [`Kairos`](kairos_core::Kairos) manager through a scenario, directly
 //!   or through a [`kairos_admitd::Admitd`] priority queue with
-//!   backpressure, bounded retry and timeouts;
+//!   backpressure, bounded retry, timeouts and preemption, plus periodic
+//!   defragmenting compaction sweeps ([`DefragSpec`]);
 //! * [`SimReport`] — aggregated admissions, rejections by pipeline phase,
-//!   departures, fault statistics, queue behaviour ([`QueueReport`]:
-//!   depth, waits, retries, drops) and metric time-series, rendered as
+//!   departures, fault statistics, relocation counters (preemptions,
+//!   migrations, defrag moves), queue behaviour ([`QueueReport`]: depth,
+//!   waits, retries, drops) and metric time-series, rendered as
 //!   byte-deterministic JSON.
 //!
 //! Identical scenarios yield byte-identical reports: the engine draws every
@@ -48,4 +53,4 @@ mod scenario;
 
 pub use engine::Simulator;
 pub use report::{ClassQueueStats, PhaseStats, QueueReport, SamplePoint, SimReport, Totals};
-pub use scenario::{FaultSpec, PhaseSpec, PlatformSpec, Scenario};
+pub use scenario::{DefragSpec, FaultSpec, PhaseSpec, PlatformSpec, Scenario};

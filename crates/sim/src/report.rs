@@ -36,6 +36,20 @@ pub struct Totals {
     pub readmissions: u64,
     /// Evicted applications that could not be re-admitted.
     pub lost_to_faults: u64,
+    /// Applications evicted by preemption (each re-enters the queue as a
+    /// retryable request; `preemptions == preempt_readmissions +
+    /// lost_to_preemption` once the run ends).
+    pub preemptions: u64,
+    /// Preempted applications that made it back in through the queue.
+    pub preempt_readmissions: u64,
+    /// Preempted applications that never made it back (timeout, retry
+    /// exhaustion, full class queue, or still waiting at the horizon).
+    pub lost_to_preemption: u64,
+    /// Live migrations performed for blocked criticals (the migrated
+    /// applications kept running throughout — no eviction).
+    pub migrations: u64,
+    /// Applications moved by defragmenting compaction sweeps.
+    pub defrag_moves: u64,
 }
 
 /// Statistics of one workload phase.
@@ -179,6 +193,11 @@ impl SimReport {
         totals.push("evictions", self.totals.evictions);
         totals.push("readmissions", self.totals.readmissions);
         totals.push("lost_to_faults", self.totals.lost_to_faults);
+        totals.push("preemptions", self.totals.preemptions);
+        totals.push("preempt_readmissions", self.totals.preempt_readmissions);
+        totals.push("lost_to_preemption", self.totals.lost_to_preemption);
+        totals.push("migrations", self.totals.migrations);
+        totals.push("defrag_moves", self.totals.defrag_moves);
         doc.push("totals", totals);
 
         let mut rejections = Json::object();

@@ -7,15 +7,19 @@
 //! simulations — the engine draws every random choice from the scenario
 //! seed.
 //!
-//! [`Scenario::catalog`] ships eight named scenarios: five spanning the
+//! [`Scenario::catalog`] ships eleven named scenarios: five spanning the
 //! regimes the paper motivates (steady churn, bursty arrivals, saturation,
-//! hotspot element failures, a mixed-dataset workload) and three
-//! exercising the `kairos-admitd` admission front-end (priority inversion,
-//! overload backpressure, retry storms).
+//! hotspot element failures, a mixed-dataset workload), three exercising
+//! the `kairos-admitd` admission front-end (priority inversion, overload
+//! backpressure, retry storms), and three exercising the `kairos-reloc`
+//! relocation subsystem (preemption of low-priority work for criticals,
+//! migration versus evict-and-readmit, defragmenting compaction sweeps).
+//! `docs/SCENARIOS.md` documents every entry; CI checks the two stay in
+//! sync.
 
 use serde::{Deserialize, Serialize};
 
-use kairos_admitd::{AdmitPolicy, PriorityClass};
+use kairos_admitd::{AdmitPolicy, PreemptionPolicy, PriorityClass};
 use kairos_appgen::{
     ArrivalDistribution, DatasetSpec, MixEntry, Orientation, SizeClass, WorkloadMix,
 };
@@ -130,6 +134,18 @@ impl PhaseSpec {
     }
 }
 
+/// A periodic defragmenting compaction sweep (`kairos_reloc::compact`):
+/// every `period` ticks the engine live-migrates up to `max_moves`
+/// admitted applications, keeping only moves that strictly reduce
+/// external resource fragmentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DefragSpec {
+    /// Ticks between sweeps (the first sweep runs at `period`).
+    pub period: u64,
+    /// Most applications one sweep may move.
+    pub max_moves: usize,
+}
+
 /// A scripted element fault (and optional repair).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultSpec {
@@ -161,8 +177,12 @@ pub struct Scenario {
     pub readmit_evicted: bool,
     /// Admission front-end policy. `None` admits directly (reject when
     /// full, the paper's behaviour); `Some` routes every request through
-    /// a `kairos-admitd` priority queue with backpressure and retry.
+    /// a `kairos-admitd` priority queue with backpressure, retry and —
+    /// under an enabled [`kairos_admitd::PreemptionPolicy`] — preemption
+    /// of running lower-priority applications for blocked criticals.
     pub admission: Option<AdmitPolicy>,
+    /// Periodic defragmenting compaction sweeps; `None` never compacts.
+    pub defrag: Option<DefragSpec>,
 }
 
 impl Scenario {
@@ -204,6 +224,14 @@ impl Scenario {
         }
         if let Some(policy) = &self.admission {
             policy.validate().map_err(|e| format!("admission policy: {e}"))?;
+        }
+        if let Some(defrag) = &self.defrag {
+            if defrag.period == 0 {
+                return Err("defrag period must be positive".into());
+            }
+            if defrag.max_moves == 0 {
+                return Err("defrag with max_moves of 0 can never move anything".into());
+            }
         }
         let elements = self.platform.build().element_count() as u32;
         let horizon = self.horizon();
@@ -304,7 +332,18 @@ impl Scenario {
                 adm.push("max_attempts", policy.max_attempts);
                 adm.push("backoff_base", policy.backoff_base);
                 adm.push("backoff_cap", policy.backoff_cap);
+                adm.push("preemption", policy.preemption.to_string());
+                adm.push("max_victims", policy.max_victims as u64);
                 doc.push("admission", adm)
+            }
+        };
+        match &self.defrag {
+            None => doc.push("defrag", Json::Null),
+            Some(spec) => {
+                let mut defrag = Json::object();
+                defrag.push("period", spec.period);
+                defrag.push("max_moves", spec.max_moves as u64);
+                doc.push("defrag", defrag)
             }
         };
         doc
@@ -321,6 +360,9 @@ impl Scenario {
             priority_inversion(),
             overload_backpressure(),
             retry_storm(),
+            critical_preempt(),
+            migrate_vs_evict(),
+            defrag_sweep(),
         ]
     }
 
@@ -358,6 +400,7 @@ fn steady_churn() -> Scenario {
         faults: Vec::new(),
         readmit_evicted: false,
         admission: None,
+        defrag: None,
     }
 }
 
@@ -383,6 +426,7 @@ fn bursty_arrivals() -> Scenario {
         faults: Vec::new(),
         readmit_evicted: false,
         admission: None,
+        defrag: None,
     }
 }
 
@@ -407,6 +451,7 @@ fn saturation() -> Scenario {
         faults: Vec::new(),
         readmit_evicted: false,
         admission: None,
+        defrag: None,
     }
 }
 
@@ -440,6 +485,7 @@ fn hotspot_failures() -> Scenario {
         faults,
         readmit_evicted: true,
         admission: None,
+        defrag: None,
     }
 }
 
@@ -459,6 +505,7 @@ fn mixed_datasets() -> Scenario {
         faults: Vec::new(),
         readmit_evicted: false,
         admission: None,
+        defrag: None,
     }
 }
 
@@ -492,7 +539,9 @@ fn priority_inversion() -> Scenario {
             max_attempts: 10,
             backoff_base: 1,
             backoff_cap: 4,
+            ..AdmitPolicy::default()
         }),
+        defrag: None,
     }
 }
 
@@ -524,7 +573,9 @@ fn overload_backpressure() -> Scenario {
             max_attempts: 5,
             backoff_base: 1,
             backoff_cap: 8,
+            ..AdmitPolicy::default()
         }),
+        defrag: None,
     }
 }
 
@@ -557,7 +608,119 @@ fn retry_storm() -> Scenario {
             max_attempts: 8,
             backoff_base: 1,
             backoff_cap: 2,
+            ..AdmitPolicy::default()
         }),
+        defrag: None,
+    }
+}
+
+/// Critical preemption: a saturating stream of long-lived low-priority
+/// applications owns the platform when a surge of criticals arrives. With
+/// [`PreemptionPolicy::Evict`] each blocked critical evicts a minimal
+/// victim set back into the queue (preempted, not dropped) and takes the
+/// room — the report shows criticals admitted against a full platform,
+/// with the preempted/readmitted/lost balance in the totals.
+fn critical_preempt() -> Scenario {
+    let heavy_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Medium), 2),
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Large), 1),
+    ];
+    Scenario {
+        name: "critical-preempt".to_owned(),
+        seed: 0x9EE47,
+        sample_period: 40,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("fill-low", 900, 12, 2600, heavy_mix).with_priority(PriorityClass::Low),
+            PhaseSpec::new("critical-surge", 700, 28, 450, small_mix())
+                .with_priority(PriorityClass::Critical),
+            PhaseSpec::new("drain", 2600, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+        admission: Some(AdmitPolicy {
+            class_capacity: [12, 8, 8, 24],
+            max_wait: Some(1600),
+            max_attempts: 8,
+            backoff_base: 1,
+            backoff_cap: 4,
+            preemption: PreemptionPolicy::Evict,
+            max_victims: 4,
+        }),
+        defrag: None,
+    }
+}
+
+/// Migration versus evict-and-readmit: the same blocked-critical regime as
+/// `critical-preempt`, but under [`PreemptionPolicy::Migrate`] victims are
+/// live-migrated off the critical's target region whenever both footprints
+/// fit at once — they keep running instead of being thrown back into the
+/// queue. Rerunning this scenario with the policy flipped to `Evict` is
+/// the paper-style baseline comparison: migration admits the same blocked
+/// criticals with strictly fewer full evictions (the sim test suite pins
+/// exactly that).
+fn migrate_vs_evict() -> Scenario {
+    // Small, long-lived low-priority residents: light enough that another
+    // element's slack can absorb one, so make-before-break usually works.
+    let light_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Small), 3),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Small), 2),
+    ];
+    let crit_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Medium), 2),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Medium), 1),
+    ];
+    Scenario {
+        name: "migrate-vs-evict".to_owned(),
+        seed: 0x316A7E,
+        sample_period: 40,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("fill-low", 900, 12, 3000, light_mix).with_priority(PriorityClass::Low),
+            PhaseSpec::new("critical-surge", 800, 40, 500, crit_mix)
+                .with_priority(PriorityClass::Critical),
+            PhaseSpec::new("drain", 2600, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+        admission: Some(AdmitPolicy {
+            class_capacity: [12, 8, 8, 32],
+            max_wait: Some(1600),
+            max_attempts: 8,
+            backoff_base: 1,
+            backoff_cap: 4,
+            preemption: PreemptionPolicy::Migrate,
+            max_victims: 6,
+        }),
+        defrag: None,
+    }
+}
+
+/// Defragmenting compaction sweeps: high churn of small applications
+/// shreds the platform into scattered free crumbs; every 150 ticks a
+/// `kairos_reloc::compact` sweep live-migrates up to four applications,
+/// keeping only moves that strictly reduce external fragmentation. The
+/// sampled fragmentation series shows the saw-tooth the sweeps cut into
+/// the churn's upward drift.
+fn defrag_sweep() -> Scenario {
+    let churn_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Small), 3),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Small), 2),
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Medium), 1),
+    ];
+    Scenario {
+        name: "defrag-sweep".to_owned(),
+        seed: 0xDF,
+        sample_period: 30,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("churn", 2400, 18, 220, churn_mix),
+            PhaseSpec::new("drain", 1200, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+        admission: None,
+        defrag: Some(DefragSpec { period: 150, max_moves: 4 }),
     }
 }
 
@@ -566,9 +729,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalog_has_eight_valid_named_scenarios() {
+    fn catalog_has_eleven_valid_named_scenarios() {
         let catalog = Scenario::catalog();
-        assert_eq!(catalog.len(), 8);
+        assert_eq!(catalog.len(), 11);
         let mut names: Vec<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
         for scenario in &catalog {
             scenario.validate().unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
@@ -576,12 +739,31 @@ mod tests {
         }
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 8, "catalog names must be unique");
-        // The queueing scenarios all carry an admission policy; the five
-        // legacy scenarios stay on the direct path.
+        assert_eq!(names.len(), 11, "catalog names must be unique");
+        // The queueing and preemption scenarios all carry an admission
+        // policy; the five legacy scenarios and the defrag sweep stay on
+        // the direct path.
         let queued: Vec<&str> =
             catalog.iter().filter(|s| s.admission.is_some()).map(|s| s.name.as_str()).collect();
-        assert_eq!(queued, vec!["priority-inversion", "overload-backpressure", "retry-storm"]);
+        assert_eq!(
+            queued,
+            vec![
+                "priority-inversion",
+                "overload-backpressure",
+                "retry-storm",
+                "critical-preempt",
+                "migrate-vs-evict",
+            ]
+        );
+        let preempting: Vec<&str> = catalog
+            .iter()
+            .filter(|s| s.admission.is_some_and(|p| p.preemption != PreemptionPolicy::Disabled))
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(preempting, vec!["critical-preempt", "migrate-vs-evict"]);
+        let defragging: Vec<&str> =
+            catalog.iter().filter(|s| s.defrag.is_some()).map(|s| s.name.as_str()).collect();
+        assert_eq!(defragging, vec!["defrag-sweep"]);
     }
 
     #[test]

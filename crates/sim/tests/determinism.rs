@@ -25,6 +25,7 @@ fn churn_and_drain(seed: u64) -> Scenario {
         faults: Vec::new(),
         readmit_evicted: false,
         admission: None,
+        defrag: None,
     }
 }
 
@@ -181,6 +182,7 @@ fn queued_scenarios_with_faults_keep_accounting_balanced() {
         max_attempts: 4,
         backoff_base: 1,
         backoff_cap: 4,
+        ..kairos_admitd::AdmitPolicy::default()
     });
     let report = Simulator::new(scenario).unwrap().run();
     let q = &report.queue;

@@ -32,6 +32,12 @@ fn describe(events: &[QueueEvent]) {
             QueueEvent::Rejected { ticket, class, reason, waited } => {
                 println!("  - {ticket} [{class}] rejected after {waited} ticks: {reason:?}");
             }
+            QueueEvent::Preempted { victim, class, ticket, by } => {
+                println!("  < {victim} [{class}] preempted for {by}, requeued as {ticket}");
+            }
+            QueueEvent::Migrated { app, class, moved_tasks, by } => {
+                println!("  > {app} [{class}] migrated ({moved_tasks} tasks moved) for {by}");
+            }
         }
     }
 }
@@ -43,6 +49,7 @@ fn main() {
         max_attempts: 6,
         backoff_base: 1,
         backoff_cap: 4,
+        ..AdmitPolicy::default()
     };
     println!("policy: {policy:?}\n");
     let mut admitd = Admitd::new(Kairos::new(topology::crisp(), KairosConfig::default()), policy);

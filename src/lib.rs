@@ -15,9 +15,13 @@
 //! * [`sdf`] — SDF graphs and self-timed state-space throughput analysis;
 //! * [`core`] — the four-phase resource manager itself: binding, mapping
 //!   (the paper's contribution), routing, validation, plus baselines;
+//! * [`reloc`] — the relocation planner: preemption victim selection,
+//!   journal-backed live migration and defragmenting compaction;
 //! * [`admitd`] — the priority admission-control front-end: bounded
 //!   per-class queues with backpressure, deterministic capacity-event
-//!   retry with exponential backoff, timeouts and batch drains;
+//!   retry with exponential backoff, timeouts, batch drains and the
+//!   preemption hook that evicts or migrates lower-priority work for
+//!   blocked criticals;
 //! * [`sim`] — a deterministic discrete-event scenario engine driving the
 //!   manager through long-running multi-application workloads with
 //!   arrivals, departures and element faults, directly or through the
@@ -47,5 +51,6 @@ pub use kairos_app as app;
 pub use kairos_appgen as appgen;
 pub use kairos_core as core;
 pub use kairos_platform as platform;
+pub use kairos_reloc as reloc;
 pub use kairos_sdf as sdf;
 pub use kairos_sim as sim;
