@@ -3,11 +3,14 @@
 use std::collections::BTreeMap;
 
 use kairos_app::Application;
-use kairos_core::{AdmissionReport, FailureDurability, Kairos, OccupancySnapshot, Phase};
+use kairos_core::{
+    AdmissionReport, FailureDurability, Kairos, MigrationError, MigrationReport, OccupancySnapshot,
+    Phase,
+};
 use kairos_platform::{AppId, ElementId};
 use kairos_reloc::{compact, select_victims, CompactReport, VictimPlan};
 
-use crate::policy::{AdmitPolicy, PreemptionPolicy};
+use crate::policy::{AdmitPolicy, PreemptionPolicy, VictimOrder};
 use crate::queue::{AdmissionQueue, PriorityClass, QueuedRequest, Ticket};
 
 /// Why a request left the front-end without being admitted.
@@ -258,23 +261,78 @@ impl Admitd {
         class: PriorityClass,
         now: u64,
     ) -> (Ticket, Vec<QueueEvent>) {
+        let mut events = Vec::new();
+        let (ticket, entered) = self.through_the_door(app, class, now, &mut events);
+        if entered {
+            events.extend(self.drain(now));
+        }
+        (ticket, events)
+    }
+
+    /// Submits a whole arrival wave in one call, sharing one batch scope
+    /// and one drain pass.
+    ///
+    /// Each request passes the door exactly as under [`Admitd::submit`]
+    /// (enqueue, `QueueFull` backpressure, the critical door-preemption
+    /// hook), but the queue is drained *once*, after every request is in —
+    /// so a wave of N uncontended requests costs one priority-ordered
+    /// walk and, thanks to [`Kairos::begin_batch`], one top-level
+    /// platform transaction instead of N of each. Admission outcomes for
+    /// an uncontended wave are identical to N sequential submissions
+    /// (the `kairos-svc` property tests pin this); under contention the
+    /// single drain hands capacity out in priority-then-FIFO order, which
+    /// is exactly the order sequential submission of a class-sorted wave
+    /// would use.
+    ///
+    /// Returns one ticket per request, in submission order, plus the full
+    /// ordered event list.
+    pub fn submit_batch(
+        &mut self,
+        requests: Vec<(Application, PriorityClass)>,
+        now: u64,
+    ) -> (Vec<Ticket>, Vec<QueueEvent>) {
+        self.kairos.begin_batch();
+        let mut tickets = Vec::with_capacity(requests.len());
+        let mut events = Vec::new();
+        for (app, class) in requests {
+            let (ticket, _) = self.through_the_door(app, class, now, &mut events);
+            tickets.push(ticket);
+        }
+        events.extend(self.drain(now));
+        self.kairos.commit_batch();
+        (tickets, events)
+    }
+
+    /// Takes one request through the door: enqueues it (emitting
+    /// `Enqueued`), or resolves it at the door — `QueueFull`
+    /// backpressure, with the critical preemption hook as the last
+    /// resort. Returns the allocated ticket and whether the request
+    /// actually entered the queue (and so needs a drain pass).
+    fn through_the_door(
+        &mut self,
+        app: Application,
+        class: PriorityClass,
+        now: u64,
+        events: &mut Vec<QueueEvent>,
+    ) -> (Ticket, bool) {
         let ticket = Ticket(self.next_ticket);
         self.next_ticket += 1;
         if self.queue.is_full(class) {
             if class == PriorityClass::Critical
                 && self.policy.preemption != PreemptionPolicy::Disabled
             {
-                if let Some(events) = self.try_preempt_admit(&app, ticket, class, now) {
-                    return (ticket, events);
+                if let Some(door_events) = self.try_preempt_admit(&app, ticket, class, now) {
+                    events.extend(door_events);
+                    return (ticket, false);
                 }
             }
-            let events = vec![QueueEvent::Rejected {
+            events.push(QueueEvent::Rejected {
                 ticket,
                 class,
                 reason: RejectReason::QueueFull,
                 waited: 0,
-            }];
-            return (ticket, events);
+            });
+            return (ticket, false);
         }
         self.queue.push(QueuedRequest {
             ticket,
@@ -287,9 +345,8 @@ impl Admitd {
             prior_wait: 0,
             preempt_attempts: 0,
         });
-        let mut events = vec![QueueEvent::Enqueued { ticket, class, depth: self.queue.len() }];
-        events.extend(self.drain(now));
-        (ticket, events)
+        events.push(QueueEvent::Enqueued { ticket, class, depth: self.queue.len() });
+        (ticket, true)
     }
 
     /// Releases an admitted application; on success this is a capacity
@@ -490,9 +547,10 @@ impl Admitd {
     }
 
     /// Running applications of a class *strictly lower* than `than`, in
-    /// eviction-preference order: lowest class first, then fewest tasks
-    /// (cheapest reconfiguration), then id — a deterministic order the
-    /// `kairos-reloc` planner treats as cheapest-first.
+    /// eviction-preference order: lowest class first, then the policy's
+    /// [`VictimOrder`] tie-break (fewest or most tasks first), then id —
+    /// a deterministic order the `kairos-reloc` planner treats as
+    /// cheapest-first.
     fn preemption_candidates(&self, than: PriorityClass) -> Vec<AppId> {
         let mut candidates: Vec<(usize, usize, AppId)> = self
             .admitted_meta
@@ -503,8 +561,40 @@ impl Admitd {
                 (meta.class.index(), tasks, id)
             })
             .collect();
-        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let order = self.policy.victim_order;
+        candidates.sort_by(|a, b| {
+            let size = match order {
+                VictimOrder::SmallestFirst => a.1.cmp(&b.1),
+                VictimOrder::LargestFirst => b.1.cmp(&a.1),
+            };
+            b.0.cmp(&a.0).then(size).then(a.2.cmp(&b.2))
+        });
         candidates.into_iter().map(|(_, _, id)| id).collect()
+    }
+
+    /// The single victim-selection code path shared by the drain hook and
+    /// the `QueueFull` door hook: enumerate candidates strictly below
+    /// `class`, plan a minimal victim set that provably unblocks `app`,
+    /// and apply it (evicting or migrating per the policy), attributing
+    /// every relocation event to the blocked request `by`. Returns
+    /// whether a relocation actually happened — `false` means no plan
+    /// exists and nothing changed.
+    fn relocate_to_unblock(
+        &mut self,
+        app: &Application,
+        class: PriorityClass,
+        by: Ticket,
+        now: u64,
+        events: &mut Vec<QueueEvent>,
+    ) -> bool {
+        let candidates = self.preemption_candidates(class);
+        let Some(plan) =
+            select_victims(&mut self.kairos, app, &candidates, self.policy.max_victims)
+        else {
+            return false;
+        };
+        self.apply_relocation(plan, by, now, events);
+        true
     }
 
     /// Plans and applies a relocation for the blocked request at
@@ -521,14 +611,7 @@ impl Admitd {
             let req = self.queue.get(class, i).expect("index bounded by class_len");
             (req.ticket, req.class, req.app.clone())
         };
-        let candidates = self.preemption_candidates(req_class);
-        let Some(plan) =
-            select_victims(&mut self.kairos, &app, &candidates, self.policy.max_victims)
-        else {
-            return false;
-        };
-        self.apply_relocation(plan, ticket, now, events);
-        true
+        self.relocate_to_unblock(&app, req_class, ticket, now, events)
     }
 
     /// Executes a validated relocation plan: under
@@ -632,9 +715,9 @@ impl Admitd {
             events.push(door_admit(self, report));
             return Some(events);
         }
-        let candidates = self.preemption_candidates(class);
-        let plan = select_victims(&mut self.kairos, app, &candidates, self.policy.max_victims)?;
-        self.apply_relocation(plan, ticket, now, &mut events);
+        if !self.relocate_to_unblock(app, class, ticket, now, &mut events) {
+            return None;
+        }
         match self.kairos.admit(app) {
             Ok(report) => events.push(door_admit(self, report)),
             Err(_) => {
@@ -666,5 +749,27 @@ impl Admitd {
         }
         self.capacity_events += 1;
         (report, self.drain(now))
+    }
+
+    /// Live-migrates an admitted application off the `avoid` elements
+    /// ([`Kairos::migrate`]): make-before-break, identity stable across
+    /// the move. A completed migration changed the shape of free capacity
+    /// — contiguous room may have appeared where there was none — so it
+    /// counts as a capacity event and drains the queue. A failed
+    /// migration changes nothing and returns no events.
+    pub fn migrate(
+        &mut self,
+        id: AppId,
+        avoid: &[ElementId],
+        now: u64,
+    ) -> (Result<MigrationReport, MigrationError>, Vec<QueueEvent>) {
+        match self.kairos.migrate(id, avoid) {
+            Ok(report) => {
+                self.capacity_events += 1;
+                let events = self.drain(now);
+                (Ok(report), events)
+            }
+            Err(error) => (Err(error), Vec::new()),
+        }
     }
 }

@@ -46,7 +46,7 @@ mod policy;
 mod queue;
 
 pub use frontend::{Admitd, QueueEvent, RejectReason};
-pub use policy::{AdmitPolicy, PreemptionPolicy};
+pub use policy::{AdmitPolicy, PreemptionPolicy, VictimOrder};
 pub use queue::{AdmissionQueue, PriorityClass, Ticket};
 
 #[cfg(test)]
@@ -541,6 +541,167 @@ mod tests {
             })
             .expect("B re-admits after the critical departs");
         assert_eq!(waited, 15, "cumulative wait across requeues");
+    }
+
+    /// Regression test for the door-path asymmetry: the `QueueFull` door
+    /// hook and the drain hook share one victim-selection code path, so
+    /// for the same admitted state the same blocked critical must preempt
+    /// the same victims, whichever hook fires.
+    #[test]
+    fn door_and_drain_hooks_select_identical_victims() {
+        let victims_of = |events: &[QueueEvent]| -> Vec<kairos_platform::AppId> {
+            events
+                .iter()
+                .filter_map(|e| match e {
+                    QueueEvent::Preempted { victim, .. } => Some(*victim),
+                    _ => None,
+                })
+                .collect()
+        };
+        // Drain hook: the critical enters a non-full queue, fails its
+        // first attempt and relocates from inside the drain. With r0
+        // (1 task) and r1 (2 tasks) admitted one element stays free, so
+        // the 2-task critical needs exactly one victim.
+        let drain_policy = AdmitPolicy {
+            class_capacity: [4, 4, 4, 4],
+            max_wait: None,
+            preemption: PreemptionPolicy::Evict,
+            max_victims: 1,
+            ..AdmitPolicy::default()
+        };
+        let mut drain_path = front(drain_policy);
+        drain_path.submit(chain_with("r0", 1, 900), PriorityClass::Low, 0);
+        drain_path.submit(chain_with("r1", 2, 900), PriorityClass::Low, 0);
+        let (_, drain_events) = drain_path.submit(chain("crit", 2), PriorityClass::Critical, 1);
+        let drain_victims = victims_of(&drain_events);
+        assert!(!drain_victims.is_empty(), "the drain hook must preempt: {drain_events:?}");
+
+        // Door hook: identical admitted state, but the capacity-1 critical
+        // queue is plugged by a waiter no single victim can unblock (a
+        // whole-mesh request under max_victims = 1), so the same critical
+        // relocates at the door instead.
+        let door_policy = AdmitPolicy { class_capacity: [1, 4, 4, 4], ..drain_policy };
+        let mut door_path = front(door_policy);
+        door_path.submit(chain_with("r0", 1, 900), PriorityClass::Low, 0);
+        door_path.submit(chain_with("r1", 2, 900), PriorityClass::Low, 0);
+        door_path.submit(chain("plug", 4), PriorityClass::Critical, 0);
+        assert_eq!(door_path.queue_depth(), 1, "the plug must stay queued");
+        let (_, door_events) = door_path.submit(chain("crit", 2), PriorityClass::Critical, 1);
+        let door_victims = victims_of(&door_events);
+        assert!(
+            door_events.iter().any(|e| matches!(e, QueueEvent::Admitted { waited: 0, .. })),
+            "the door-knock admits without queueing: {door_events:?}"
+        );
+        assert_eq!(door_victims, drain_victims, "both hooks share one victim-selection path");
+    }
+
+    #[test]
+    fn victim_order_changes_candidate_preference() {
+        let submit_residents = |admitd: &mut Admitd| {
+            // A 1-task and a 2-task resident of equal class leave one free
+            // element; a 2-task critical is unblocked by evicting *either*
+            // resident alone, so the greedy planner takes whichever the
+            // victim order offers first.
+            let (_, e) = admitd.submit(chain_with("small", 1, 900), PriorityClass::Low, 0);
+            let small = admitted_id(&e).unwrap();
+            let (_, e) = admitd.submit(chain_with("large", 2, 900), PriorityClass::Low, 0);
+            let large = admitted_id(&e).unwrap();
+            (small, large)
+        };
+        let victims_of = |events: &[QueueEvent]| -> Vec<kairos_platform::AppId> {
+            events
+                .iter()
+                .filter_map(|e| match e {
+                    QueueEvent::Preempted { victim, .. } => Some(*victim),
+                    _ => None,
+                })
+                .collect()
+        };
+        let mut smallest = front(preempt_policy(PreemptionPolicy::Evict));
+        let (small, _) = submit_residents(&mut smallest);
+        let (_, e) = smallest.submit(chain("crit", 2), PriorityClass::Critical, 1);
+        assert_eq!(victims_of(&e), vec![small], "smallest-first evicts the 1-task resident");
+
+        let mut largest = front(AdmitPolicy {
+            victim_order: VictimOrder::LargestFirst,
+            ..preempt_policy(PreemptionPolicy::Evict)
+        });
+        let (_, large) = submit_residents(&mut largest);
+        let (_, e) = largest.submit(chain("crit", 2), PriorityClass::Critical, 1);
+        assert_eq!(victims_of(&e), vec![large], "largest-first evicts the 2-task resident");
+    }
+
+    #[test]
+    fn batch_submission_matches_sequential_outcomes_when_uncontended() {
+        let policy =
+            AdmitPolicy { class_capacity: [4, 4, 4, 4], max_wait: None, ..AdmitPolicy::default() };
+        let mut sequential = front(policy);
+        let mut batched = front(policy);
+        let wave: Vec<(Application, PriorityClass)> = (0..3)
+            .map(|i| (chain_with(&format!("w{i}"), 1, 200), PriorityClass::ALL[i % 4]))
+            .collect();
+        let mut seq_admitted = 0;
+        for (app, class) in wave.clone() {
+            let (_, e) = sequential.submit(app, class, 5);
+            seq_admitted += e.iter().filter(|ev| matches!(ev, QueueEvent::Admitted { .. })).count();
+        }
+        let (tickets, events) = batched.submit_batch(wave, 5);
+        assert_eq!(tickets.len(), 3);
+        assert_eq!(tickets, vec![Ticket(0), Ticket(1), Ticket(2)], "submission-order tickets");
+        let batch_admitted =
+            events.iter().filter(|ev| matches!(ev, QueueEvent::Admitted { .. })).count();
+        assert_eq!(batch_admitted, seq_admitted);
+        assert_eq!(batched.kairos().admitted_count(), sequential.kairos().admitted_count());
+        // The batch shares one top-level platform transaction where the
+        // sequential path pays one per admission attempt.
+        assert!(
+            batched.kairos().platform().txn_count() < sequential.kairos().platform().txn_count(),
+            "batched: {} vs sequential: {}",
+            batched.kairos().platform().txn_count(),
+            sequential.kairos().platform().txn_count()
+        );
+    }
+
+    #[test]
+    fn batch_drains_in_priority_order_under_contention() {
+        let policy =
+            AdmitPolicy { class_capacity: [4, 4, 4, 4], max_wait: None, ..AdmitPolicy::default() };
+        let mut admitd = front(policy);
+        // Room for exactly one whole-mesh app; the critical must win it
+        // even though it is submitted last in the wave.
+        let wave = vec![
+            (chain("low", 4), PriorityClass::Low),
+            (chain("norm", 4), PriorityClass::Normal),
+            (chain("crit", 4), PriorityClass::Critical),
+        ];
+        let (tickets, events) = admitd.submit_batch(wave, 0);
+        let admitted: Vec<Ticket> = events
+            .iter()
+            .filter_map(|e| match e {
+                QueueEvent::Admitted { ticket, .. } => Some(*ticket),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(admitted, vec![tickets[2]], "the critical wins the single slot");
+    }
+
+    #[test]
+    fn migrate_is_a_capacity_event_on_success_only() {
+        let policy =
+            AdmitPolicy { class_capacity: [4, 4, 4, 4], max_wait: None, ..AdmitPolicy::default() };
+        let mut admitd = front(policy);
+        let (_, e) = admitd.submit(chain_with("mover", 1, 600), PriorityClass::Normal, 0);
+        let mover = admitted_id(&e).unwrap();
+        let host = admitd.kairos().layout(mover).unwrap().placement.element(kairos_app::TaskId(0));
+        let before = admitd.capacity_events();
+        let (result, _) = admitd.migrate(mover, &[host], 1);
+        assert!(result.is_ok());
+        assert_eq!(admitd.capacity_events(), before + 1);
+        // Migrating an unknown app changes nothing.
+        let (result, events) = admitd.migrate(kairos_platform::AppId(999), &[], 2);
+        assert!(result.is_err());
+        assert!(events.is_empty());
+        assert_eq!(admitd.capacity_events(), before + 1);
     }
 
     #[test]

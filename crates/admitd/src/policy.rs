@@ -40,6 +40,31 @@ impl fmt::Display for PreemptionPolicy {
     }
 }
 
+/// The order preemption candidates are offered to the `kairos-reloc`
+/// planner in — the front-end's eviction-cost policy. Candidates are
+/// always grouped lowest priority class first; the order decides ties
+/// within a class. Injectable at service construction through
+/// `kairos-svc`'s `ServiceBuilder`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum VictimOrder {
+    /// Fewest tasks first: prefer the cheapest reconfiguration, evicting
+    /// or migrating as little work as possible per victim.
+    #[default]
+    SmallestFirst,
+    /// Most tasks first: prefer the victim that frees the most room, so
+    /// large blocked requests need fewer victims overall.
+    LargestFirst,
+}
+
+impl fmt::Display for VictimOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VictimOrder::SmallestFirst => f.write_str("smallest-first"),
+            VictimOrder::LargestFirst => f.write_str("largest-first"),
+        }
+    }
+}
+
 /// Tunable policy of an [`Admitd`](crate::Admitd) front-end.
 ///
 /// Everything is deterministic: capacities bound memory, `max_attempts`
@@ -71,6 +96,9 @@ pub struct AdmitPolicy {
     /// collateral damage of admitting a single critical request. Must be
     /// at least 1 while preemption is enabled.
     pub max_victims: usize,
+    /// Tie-break order preemption candidates are offered to the planner
+    /// in (within a priority class).
+    pub victim_order: VictimOrder,
 }
 
 impl Default for AdmitPolicy {
@@ -83,6 +111,7 @@ impl Default for AdmitPolicy {
             backoff_cap: 8,
             preemption: PreemptionPolicy::Disabled,
             max_victims: 4,
+            victim_order: VictimOrder::SmallestFirst,
         }
     }
 }
@@ -178,5 +207,12 @@ mod tests {
         assert_eq!(PreemptionPolicy::Disabled.to_string(), "disabled");
         assert_eq!(PreemptionPolicy::Evict.to_string(), "evict");
         assert_eq!(PreemptionPolicy::Migrate.to_string(), "migrate");
+    }
+
+    #[test]
+    fn victim_order_names_are_stable() {
+        assert_eq!(VictimOrder::default(), VictimOrder::SmallestFirst);
+        assert_eq!(VictimOrder::SmallestFirst.to_string(), "smallest-first");
+        assert_eq!(VictimOrder::LargestFirst.to_string(), "largest-first");
     }
 }

@@ -1,0 +1,131 @@
+//! Batched versus sequential service submission.
+//!
+//! The `kairos-svc` service admits a whole arrival wave through
+//! `submit_batch` as one operation: class-sorted, inside a single
+//! top-level platform transaction, with one priority-ordered drain pass —
+//! where sequential submission pays one top-level transaction and one
+//! drain walk per request. This bench measures both paths over identical
+//! waves (drawn from the Table-I datasets) on the CRISP platform, for the
+//! queued and the direct service alike.
+//!
+//! Admission *outcomes* are identical either way (the `kairos-svc`
+//! property tests pin that); what batching buys is the cost column:
+//! strictly fewer top-level platform transactions (`Platform::txn_count`)
+//! and less wall-clock per wave. The run asserts the transaction
+//! inequality — it is this PR's acceptance criterion, and deterministic.
+
+use std::time::Instant;
+
+use kairos_admitd::{AdmitPolicy, PriorityClass};
+use kairos_appgen::{WorkloadMix, WorkloadSampler};
+use kairos_bench::print_table;
+use kairos_platform::topology;
+use kairos_svc::{KairosService, Request, ResourceService, ServiceBuilder};
+
+/// A queue roomy enough that no wave hits the door.
+fn policy(wave: usize) -> AdmitPolicy {
+    let cap = wave.max(8);
+    AdmitPolicy { class_capacity: [cap; 4], max_wait: None, ..AdmitPolicy::default() }
+}
+
+fn build(queued: bool, wave: usize) -> KairosService {
+    let builder = ServiceBuilder::new(topology::crisp()).deterministic(true);
+    if queued { builder.admission(policy(wave)) } else { builder }.build().expect("valid service")
+}
+
+/// One identical arrival wave per run, deterministic in `seed`. The wave
+/// is pre-sorted by class (stable), the order the batched drain itself
+/// uses — so the sequential baseline reaches identical admission
+/// outcomes and the measured difference is purely cost: transactions and
+/// drain walks, not arrival ordering.
+fn wave(n: usize, seed: u64) -> Vec<Request> {
+    let mut sampler = WorkloadSampler::new("service-batch", WorkloadMix::all_datasets(), seed);
+    let classes = PriorityClass::ALL;
+    let mut requests: Vec<(PriorityClass, Request)> = (0..n)
+        .map(|i| {
+            let class = classes[i % classes.len()];
+            (class, Request::admit(0, sampler.next_app(), class))
+        })
+        .collect();
+    requests.sort_by_key(|(class, _)| class.index());
+    requests.into_iter().map(|(_, request)| request).collect()
+}
+
+struct Outcome {
+    micros: f64,
+    txns: u64,
+    admitted: usize,
+}
+
+fn run(queued: bool, n: usize, batched: bool) -> Outcome {
+    const REPS: u32 = 5;
+    let mut micros = 0.0;
+    let mut last = None;
+    for rep in 0..REPS {
+        let mut service = build(queued, n);
+        let requests = wave(n, 0xBA7C4 + rep as u64);
+        let start = Instant::now();
+        if batched {
+            service.submit_batch(requests);
+        } else {
+            for request in requests {
+                service.submit(request);
+            }
+        }
+        micros += start.elapsed().as_secs_f64() * 1e6;
+        service.take_events();
+        last = Some(Outcome {
+            micros: 0.0,
+            txns: service.kairos().platform().txn_count(),
+            admitted: service.kairos().admitted_count(),
+        });
+    }
+    let last = last.expect("at least one rep");
+    Outcome { micros: micros / REPS as f64, ..last }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for queued in [false, true] {
+        for n in [4usize, 16, 64] {
+            let sequential = run(queued, n, false);
+            let batched = run(queued, n, true);
+            assert_eq!(
+                batched.admitted, sequential.admitted,
+                "batching must not change admission outcomes"
+            );
+            assert!(
+                batched.txns < sequential.txns,
+                "batched submission must cost strictly fewer top-level platform \
+                 transactions ({} vs {})",
+                batched.txns,
+                sequential.txns
+            );
+            rows.push(vec![
+                if queued { "queued" } else { "direct" }.to_owned(),
+                n.to_string(),
+                sequential.admitted.to_string(),
+                format!("{:.1}", sequential.micros),
+                format!("{:.1}", batched.micros),
+                sequential.txns.to_string(),
+                batched.txns.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "service_batch — batched vs sequential wave submission (per wave)",
+        &[
+            "service",
+            "wave",
+            "admitted",
+            "sequential us",
+            "batched us",
+            "sequential txns",
+            "batched txns",
+        ],
+        &rows,
+    );
+    println!(
+        "\nbatched submission pays strictly fewer top-level platform transactions (asserted)."
+    );
+}

@@ -10,7 +10,6 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::time::Instant;
 
 use kairos_app::Application;
 use kairos_platform::{AppId, ElementId, Platform};
@@ -19,7 +18,7 @@ use crate::binding::bind;
 use crate::error::{AllocationError, Phase};
 use crate::layout::ExecutionLayout;
 use crate::mapping::{map_application, CostWeights, KnapsackSolver, MapperConfig};
-use crate::metrics::{OccupancySnapshot, PhaseTimings};
+use crate::metrics::{OccupancySnapshot, PhaseClock, PhaseTimings};
 use crate::routing::{release_routes, route_channels, RouteAlgorithm};
 use crate::validation::{validate, ValidationConfig, ValidationReport};
 
@@ -45,6 +44,13 @@ pub struct KairosConfig {
     pub validate: bool,
     /// Validation-phase model parameters.
     pub validation: ValidationConfig,
+    /// Run the pipeline on the zero [`PhaseClock`]: every recorded
+    /// [`PhaseTimings`] duration is exactly zero and `Instant` is never
+    /// consulted. Timing never feeds back into any allocation decision,
+    /// so this changes no admission outcome — it exists for
+    /// byte-determinism-sensitive drivers (the `kairos-sim` engine sets
+    /// it) whose outputs must be pure functions of their inputs.
+    pub deterministic: bool,
 }
 
 impl Default for KairosConfig {
@@ -58,6 +64,7 @@ impl Default for KairosConfig {
             route_algorithm: RouteAlgorithm::Bfs,
             validate: true,
             validation: ValidationConfig::default(),
+            deterministic: false,
         }
     }
 }
@@ -466,27 +473,39 @@ impl Kairos {
         }
     }
 
+    /// The timing source of the pipeline: the wall clock, or the zero
+    /// clock under [`KairosConfig::deterministic`].
+    fn phase_clock(&self) -> PhaseClock {
+        if self.config.deterministic {
+            PhaseClock::zero()
+        } else {
+            PhaseClock::wall()
+        }
+    }
+
     fn run_phases(
         &mut self,
         app: &Application,
         app_id: AppId,
         timings: &mut PhaseTimings,
     ) -> Result<(ExecutionLayout, Option<ValidationReport>), AllocationError> {
+        let clock = self.phase_clock();
+
         // Phase 1: binding.
-        let start = Instant::now();
+        let start = clock.start();
         let binding = bind(app, &self.platform);
         timings.set(Phase::Binding, start.elapsed());
         let binding = binding?;
 
         // Phase 2: mapping (claims element resources).
-        let start = Instant::now();
+        let start = clock.start();
         let mapping =
             map_application(app, &binding, &mut self.platform, app_id, &self.config.mapper());
         timings.set(Phase::Mapping, start.elapsed());
         let mapping = mapping?;
 
         // Phase 3: routing (claims link resources).
-        let start = Instant::now();
+        let start = clock.start();
         let routes = route_channels(
             app,
             &mapping.placement,
@@ -500,7 +519,7 @@ impl Kairos {
 
         // Phase 4: validation.
         let validation = if self.config.validate {
-            let start = Instant::now();
+            let start = clock.start();
             let report = validate(app, &layout, &self.config.validation);
             timings.set(Phase::Validation, start.elapsed());
             Some(report?)
@@ -509,6 +528,35 @@ impl Kairos {
         };
 
         Ok((layout, validation))
+    }
+
+    /// Opens a batch scope: one platform transaction that every operation
+    /// until the matching [`Kairos::commit_batch`] nests inside.
+    ///
+    /// Without a batch scope, each [`Kairos::admit`] opens (and commits or
+    /// rolls back) its own top-level platform transaction; a wave of N
+    /// admissions pays N. Inside a batch scope the whole wave shares a
+    /// single top-level transaction — the per-admission transactions nest,
+    /// so a failed admission still rolls back exactly its own claims while
+    /// successful ones stay. `kairos-svc` drives this from
+    /// `submit_batch`; compare the two paths with
+    /// `cargo bench -p kairos-bench --bench service_batch`.
+    ///
+    /// Scopes must be balanced: every `begin_batch` needs its
+    /// `commit_batch`. Nesting batch scopes is allowed (they fold like
+    /// the transactions they wrap).
+    pub fn begin_batch(&mut self) {
+        self.platform.begin_txn();
+    }
+
+    /// Closes the innermost batch scope opened by
+    /// [`Kairos::begin_batch`], keeping everything the batch did.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no batch scope (or other transaction) is open.
+    pub fn commit_batch(&mut self) {
+        self.platform.commit_txn();
     }
 
     /// Releases an admitted application, reclaiming all its element and
@@ -755,6 +803,34 @@ mod tests {
             kairos.migrate(AppId(999), &[]),
             Err(MigrationError::UnknownApp(AppId(999)))
         ));
+    }
+
+    #[test]
+    fn deterministic_config_zeroes_all_timings() {
+        let config = KairosConfig { deterministic: true, ..KairosConfig::default() };
+        let mut kairos = Kairos::new(topology::crisp(), config);
+        let report = kairos.admit(&chain("c", 4, 700, 100)).unwrap();
+        assert_eq!(report.timings, PhaseTimings::default(), "zero clock records nothing");
+        let mut full = Kairos::new(topology::dsp_mesh(2, 2), config);
+        let failure = full.admit(&chain("big", 5, 1000, 100)).unwrap_err();
+        assert_eq!(failure.timings, PhaseTimings::default());
+    }
+
+    #[test]
+    fn batch_scope_shares_one_top_level_transaction() {
+        let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+        let app = chain("c", 2, 500, 50);
+        let before = kairos.platform().txn_count();
+        kairos.begin_batch();
+        kairos.admit(&app).unwrap();
+        kairos.admit(&app).unwrap();
+        // A failed admission inside the scope rolls back only itself.
+        assert!(kairos.admit(&chain("big", 70, 980, 10)).is_err());
+        kairos.commit_batch();
+        assert_eq!(kairos.platform().txn_count(), before + 1, "the whole batch is one txn");
+        assert_eq!(kairos.admitted_count(), 2);
+        kairos.release_all();
+        assert!(kairos.platform().is_idle(), "batched claims release cleanly");
     }
 
     #[test]

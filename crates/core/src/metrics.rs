@@ -7,11 +7,57 @@
 //! `kairos-sim` sample over time.
 
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::Phase;
+
+/// The clock behind [`PhaseTimings`]: either the wall clock or a zero
+/// clock that never consults `Instant`.
+///
+/// Timing is diagnostic-only — no control-flow decision may ever depend
+/// on it — so replay-sensitive drivers (the `kairos-sim` scenario engine,
+/// any byte-determinism test) run the pipeline with
+/// [`KairosConfig::deterministic`](crate::KairosConfig::deterministic)
+/// set, which swaps in [`PhaseClock::zero`] and makes every recorded
+/// duration exactly `Duration::ZERO`. Report determinism then holds by
+/// construction instead of depending on timings being excluded from the
+/// rendering by hand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseClock {
+    enabled: bool,
+}
+
+impl PhaseClock {
+    /// The wall clock: measurements are real elapsed time.
+    pub fn wall() -> Self {
+        PhaseClock { enabled: true }
+    }
+
+    /// The zero clock: every measurement reads `Duration::ZERO` and
+    /// `Instant` is never consulted.
+    pub fn zero() -> Self {
+        PhaseClock { enabled: false }
+    }
+
+    /// Starts one measurement.
+    pub fn start(&self) -> PhaseStart {
+        PhaseStart(self.enabled.then(Instant::now))
+    }
+}
+
+/// An in-flight [`PhaseClock`] measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseStart(Option<Instant>);
+
+impl PhaseStart {
+    /// Time elapsed since [`PhaseClock::start`]; `Duration::ZERO` under
+    /// the zero clock.
+    pub fn elapsed(&self) -> Duration {
+        self.0.map_or(Duration::ZERO, |started| started.elapsed())
+    }
+}
 
 /// Wall-clock time spent in each phase of one allocation attempt.
 ///
@@ -151,5 +197,13 @@ mod tests {
     fn display_shows_milliseconds() {
         let t = PhaseTimings { binding: Duration::from_micros(1500), ..PhaseTimings::default() };
         assert!(t.to_string().contains("1.500 ms"));
+    }
+
+    #[test]
+    fn zero_clock_never_measures() {
+        let start = PhaseClock::zero().start();
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(start.elapsed(), Duration::ZERO);
+        assert!(PhaseClock::wall().start().elapsed() < Duration::from_secs(60));
     }
 }

@@ -1,27 +1,40 @@
 //! The discrete-event simulation engine.
 //!
-//! [`Simulator`] drives a [`Kairos`] manager through a [`Scenario`]: a
-//! binary-heap event queue ordered by `(time, sequence)` advances a virtual
-//! clock over application arrivals, departures, scripted element faults and
-//! repairs, and periodic metric samples. Arrivals chain within each phase —
-//! processing one arrival schedules the next — so the whole run is a pure
-//! function of the scenario (seed included), which the determinism tests
-//! rely on.
+//! [`Simulator`] drives the Kairos run-time through a [`Scenario`]: a
+//! binary-heap event queue ordered by `(time, sequence)` advances a
+//! virtual clock over application arrivals, departures, scripted element
+//! faults and repairs, and periodic metric samples. Arrivals chain within
+//! each phase — processing one arrival schedules the next — so the whole
+//! run is a pure function of the scenario (seed included), which the
+//! determinism tests rely on.
 //!
-//! Scenarios with an [`AdmitPolicy`](kairos_admitd::AdmitPolicy) route
-//! every arrival through a [`kairos_admitd::Admitd`] front-end instead of
-//! calling `Kairos::admit` directly: requests queue under their phase's
-//! priority class, retry on capacity events, time out, and are flushed at
-//! the horizon — all of it surfacing in the report's queue section.
+//! All scenario traffic flows through the unified
+//! [`ResourceService`](kairos_svc::ResourceService) API: every simulation
+//! action is a typed [`Command`](kairos_svc::Command) (arrivals are
+//! `Admit` requests — batched waves go through `submit_batch` as one
+//! operation — departures are `Release`, scripted faults are
+//! `InjectFault`, and so on), and every accounting decision is driven by
+//! the service's single [`Event`](kairos_svc::Event) stream. Scenarios
+//! with an [`AdmitPolicy`](kairos_admitd::AdmitPolicy) get a queued
+//! service (requests queue under their phase's priority class, retry on
+//! capacity events, time out, and are flushed at the horizon — all of it
+//! surfacing in the report's queue section); scenarios without one get a
+//! direct service that admits or rejects immediately, the paper's
+//! behaviour. The engine itself no longer touches `Admitd` or
+//! `kairos_reloc` — the service owns that glue.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use kairos_admitd::{Admitd, PriorityClass, QueueEvent, RejectReason};
+use kairos_admitd::PriorityClass;
 use kairos_app::Application;
 use kairos_appgen::{WorkloadMix, WorkloadSampler};
 use kairos_core::{Kairos, KairosConfig, Phase};
 use kairos_platform::{AppId, ElementId};
+use kairos_svc::{
+    CapacityEvent, Command, Event, KairosService, RejectCause, Request, ResourceService,
+    ServiceBuilder,
+};
 
 use crate::report::{ClassQueueStats, PhaseStats, QueueReport, SamplePoint, SimReport, Totals};
 use crate::scenario::Scenario;
@@ -29,7 +42,7 @@ use crate::scenario::Scenario;
 /// What happens at a scheduled instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SimEvent {
-    /// An application of workload phase `phase` arrives.
+    /// A wave of applications of workload phase `phase` arrives.
     Arrival { phase: usize },
     /// An admitted application's lifetime expires.
     Departure { app: AppId },
@@ -74,7 +87,7 @@ struct LiveApp {
     class: PriorityClass,
 }
 
-/// Where a front-end request came from; decides which accounting bucket
+/// Where a service request came from; decides which accounting bucket
 /// its terminal outcome lands in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Origin {
@@ -86,7 +99,7 @@ enum Origin {
     Preempt,
 }
 
-/// A request somewhere in the admission front-end, keyed by ticket.
+/// A request somewhere in the service, keyed by its service ticket.
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     /// Lifetime drawn at arrival; departure is scheduled from the
@@ -97,7 +110,7 @@ struct Pending {
     fixed_departure: Option<u64>,
     /// Workload phase the request arrived in (accounting attribution).
     phase: usize,
-    /// How the request entered the front-end.
+    /// How the request entered the service.
     origin: Origin,
 }
 
@@ -133,33 +146,7 @@ struct QueueAccum {
     class_wait_samples: [u64; 4],
 }
 
-/// The admission path of a run: the bare manager, or the `kairos-admitd`
-/// front-end wrapping it. One long-lived instance per simulator, so the
-/// variant size difference is irrelevant.
-#[derive(Debug)]
-#[allow(clippy::large_enum_variant)]
-enum Backend {
-    Direct(Kairos),
-    Queued(Admitd),
-}
-
-impl Backend {
-    fn kairos(&self) -> &Kairos {
-        match self {
-            Backend::Direct(kairos) => kairos,
-            Backend::Queued(admitd) => admitd.kairos(),
-        }
-    }
-
-    fn queue_depth(&self) -> u64 {
-        match self {
-            Backend::Direct(_) => 0,
-            Backend::Queued(admitd) => admitd.queue_depth() as u64,
-        }
-    }
-}
-
-/// Drives a [`Kairos`] manager through one scenario run.
+/// Drives the Kairos run-time through one scenario run.
 ///
 /// # Examples
 ///
@@ -174,7 +161,7 @@ impl Backend {
 #[derive(Debug)]
 pub struct Simulator {
     scenario: Scenario,
-    backend: Backend,
+    service: KairosService,
     queue: BinaryHeap<Reverse<Scheduled>>,
     next_seq: u64,
     ran: bool,
@@ -201,16 +188,21 @@ impl Simulator {
 
     /// A simulator with an explicit manager configuration.
     ///
+    /// The engine always forces [`KairosConfig::deterministic`]: reports
+    /// must be pure functions of the scenario, so the pipeline runs on
+    /// the zero phase clock regardless of what `config` says.
+    ///
     /// # Errors
     ///
     /// The scenario's [`Scenario::validate`] error, if any.
     pub fn with_config(scenario: Scenario, config: KairosConfig) -> Result<Self, String> {
         scenario.validate()?;
-        let manager = Kairos::new(scenario.platform.build(), config);
-        let backend = match &scenario.admission {
-            None => Backend::Direct(manager),
-            Some(policy) => Backend::Queued(Admitd::new(manager, *policy)),
-        };
+        let mut builder =
+            ServiceBuilder::new(scenario.platform.build()).config(config).deterministic(true);
+        if let Some(policy) = &scenario.admission {
+            builder = builder.admission(*policy);
+        }
+        let service = builder.build().map_err(|e| format!("admission policy: {e}"))?;
         // One independent sampler per phase, seeded off the scenario seed so
         // adding a phase does not disturb the streams of the others.
         let samplers = scenario
@@ -236,7 +228,7 @@ impl Simulator {
         let phase_accum = vec![PhaseAccum::default(); scenario.phases.len()];
         Ok(Simulator {
             scenario,
-            backend,
+            service,
             queue: BinaryHeap::new(),
             next_seq: 0,
             ran: false,
@@ -254,20 +246,23 @@ impl Simulator {
 
     /// The managed platform's resource manager (for post-run inspection).
     pub fn manager(&self) -> &Kairos {
-        self.backend.kairos()
+        self.service.kairos()
     }
 
-    /// The admission front-end, when the scenario runs with one.
-    pub fn admitd(&self) -> Option<&Admitd> {
-        match &self.backend {
-            Backend::Direct(_) => None,
-            Backend::Queued(admitd) => Some(admitd),
-        }
+    /// The service the engine drives all scenario traffic through.
+    pub fn service(&self) -> &KairosService {
+        &self.service
     }
 
     /// The scenario being simulated.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
+    }
+
+    /// Whether the scenario runs with an admission queue (queue
+    /// statistics are only accumulated then).
+    fn queue_enabled(&self) -> bool {
+        self.scenario.admission.is_some()
     }
 
     fn schedule(&mut self, at: u64, event: SimEvent) {
@@ -299,7 +294,7 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics when called a second time: the manager and samplers are
+    /// Panics when called a second time: the service and samplers are
     /// mid-stream after a run, so a rerun would produce a corrupt report.
     /// Build a fresh `Simulator` instead (identical scenarios reproduce
     /// identical runs).
@@ -346,17 +341,15 @@ impl Simulator {
                 SimEvent::Fault { fault } => self.on_fault(at, fault),
                 SimEvent::Repair { element } => self.on_repair(at, element),
                 SimEvent::QueueExpiry => {
-                    if let Backend::Queued(admitd) = &mut self.backend {
-                        let events = admitd.expire(at);
-                        self.apply_queue_events(at, events);
-                    }
+                    let events = self.service.pump(CapacityEvent::Tick { now: at });
+                    self.apply_events(at, events);
                 }
                 SimEvent::Defrag => self.on_defrag(at),
                 SimEvent::Sample => {
                     self.samples.push(SamplePoint {
                         at,
-                        occupancy: self.backend.kairos().occupancy(),
-                        queue_depth: self.backend.queue_depth(),
+                        occupancy: self.service.occupancy(),
+                        queue_depth: self.service.queue_depth() as u64,
                     });
                 }
             }
@@ -364,10 +357,8 @@ impl Simulator {
 
         // Flush whatever is still queued at the horizon so every arrival
         // reaches exactly one terminal outcome.
-        if let Backend::Queued(admitd) = &mut self.backend {
-            let events = admitd.shutdown(horizon);
-            self.apply_queue_events(horizon, events);
-        }
+        let events = self.service.pump(CapacityEvent::Shutdown { now: horizon });
+        self.apply_events(horizon, events);
 
         self.finalize()
     }
@@ -376,47 +367,48 @@ impl Simulator {
         let spec_mean_lifetime = self.scenario.phases[phase].mean_lifetime;
         let mean_gap = self.scenario.phases[phase].mean_interarrival;
         let dist = self.scenario.phases[phase].arrival;
+        let wave = self.scenario.phases[phase].batch.max(1);
+        let class = self.scenario.phases[phase].priority;
         let sampler = self.samplers[phase].as_mut().expect("arrival phases have samplers");
-        let app = sampler.next_app();
-        let lifetime = if spec_mean_lifetime > 0 {
-            Some(sampler.next_delay(spec_mean_lifetime))
-        } else {
-            None
-        };
+        // Draw the whole wave, then the gap to the next one — one fixed
+        // consumption order keeps the random streams stable.
+        let mut arrivals: Vec<(Application, Option<u64>)> = Vec::with_capacity(wave as usize);
+        for _ in 0..wave {
+            let app = sampler.next_app();
+            let lifetime = if spec_mean_lifetime > 0 {
+                Some(sampler.next_delay(spec_mean_lifetime))
+            } else {
+                None
+            };
+            arrivals.push((app, lifetime));
+        }
         let next_gap = sampler.next_delay_with(dist, mean_gap);
 
-        self.totals.arrivals += 1;
-        self.phase_accum[phase].arrivals += 1;
-        match &mut self.backend {
-            Backend::Direct(kairos) => match kairos.admit(&app) {
-                Ok(report) => {
-                    self.totals.admissions += 1;
-                    self.phase_accum[phase].admissions += 1;
-                    let departs_at = lifetime.map(|l| at + l);
-                    if let Some(departure) = departs_at {
-                        self.schedule(departure, SimEvent::Departure { app: report.app_id });
-                    }
-                    self.live.insert(
-                        report.app_id,
-                        LiveApp { app, departs_at, class: PriorityClass::Normal },
-                    );
-                }
-                Err(failure) => {
-                    self.totals.rejections += 1;
-                    self.phase_accum[phase].rejections += 1;
-                    self.rejections_by_phase[phase_index(failure.phase())] += 1;
-                }
-            },
-            Backend::Queued(admitd) => {
-                let class = self.scenario.phases[phase].priority;
-                let (ticket, events) = admitd.submit(app, class, at);
+        self.totals.arrivals += wave;
+        self.phase_accum[phase].arrivals += wave;
+        if wave == 1 {
+            let (app, lifetime) = arrivals.pop().expect("wave of one");
+            let ticket = self.service.submit(Request::admit(at, app, class));
+            self.pending.insert(
+                ticket.0,
+                Pending { lifetime, fixed_departure: None, phase, origin: Origin::Fresh },
+            );
+        } else {
+            // A synchronized wave: admitted through the batched service
+            // path as one operation.
+            let lifetimes: Vec<Option<u64>> = arrivals.iter().map(|(_, l)| *l).collect();
+            let requests: Vec<Request> =
+                arrivals.into_iter().map(|(app, _)| Request::admit(at, app, class)).collect();
+            let tickets = self.service.submit_batch(requests);
+            for (ticket, lifetime) in tickets.into_iter().zip(lifetimes) {
                 self.pending.insert(
                     ticket.0,
                     Pending { lifetime, fixed_departure: None, phase, origin: Origin::Fresh },
                 );
-                self.apply_queue_events(at, events);
             }
         }
+        let events = self.service.take_events();
+        self.apply_events(at, events);
 
         let next = at + next_gap;
         if next < self.phase_end(phase) {
@@ -426,59 +418,30 @@ impl Simulator {
 
     fn on_departure(&mut self, at: u64, app: AppId) {
         // The app may already be gone: evicted by a fault and not
-        // re-admitted, or re-admitted under a fresh id.
-        let released = match &mut self.backend {
-            Backend::Direct(kairos) => kairos.release(app),
-            Backend::Queued(admitd) => {
-                let (ok, events) = admitd.release(app, at);
-                if ok {
-                    // Account the departure before the drain's admissions.
-                    self.live.remove(&app);
-                    self.totals.departures += 1;
-                    let phase = self.phase_at(at);
-                    self.phase_accum[phase].departures += 1;
-                }
-                self.apply_queue_events(at, events);
-                return;
-            }
-        };
-        if released {
-            self.live.remove(&app);
-            self.totals.departures += 1;
-            let phase = self.phase_at(at);
-            self.phase_accum[phase].departures += 1;
-        }
+        // re-admitted, or re-admitted under a fresh id. The service
+        // reports `found: false` then and the release is a no-op.
+        self.service.submit(Request::release(at, app));
+        let events = self.service.take_events();
+        self.apply_events(at, events);
     }
 
     /// One defragmenting compaction sweep over the managed platform.
     /// Moves strictly reduce external fragmentation and are bounded by the
-    /// scenario's `max_moves`; on the queued backend a sweep that moved
+    /// scenario's `max_moves`; on a queued service a sweep that moved
     /// anything is a capacity event, so its drain may admit waiters into
     /// the newly contiguous room.
     fn on_defrag(&mut self, at: u64) {
         let max_moves = self.scenario.defrag.expect("Defrag events need a defrag spec").max_moves;
-        match &mut self.backend {
-            Backend::Direct(kairos) => {
-                let report = kairos_reloc::compact(kairos, max_moves);
-                self.totals.defrag_moves += report.move_count() as u64;
-            }
-            Backend::Queued(admitd) => {
-                let (report, events) = admitd.defrag(at, max_moves);
-                self.totals.defrag_moves += report.move_count() as u64;
-                self.apply_queue_events(at, events);
-            }
-        }
+        self.service.submit(Request::new(at, Command::Defrag { max_moves }));
+        let events = self.service.take_events();
+        self.apply_events(at, events);
     }
 
     fn on_repair(&mut self, at: u64, element: ElementId) {
         self.totals.repairs += 1;
-        match &mut self.backend {
-            Backend::Direct(kairos) => kairos.repair_element(element),
-            Backend::Queued(admitd) => {
-                let events = admitd.repair_element(element, at);
-                self.apply_queue_events(at, events);
-            }
-        }
+        self.service.submit(Request::new(at, Command::Repair { element }));
+        let events = self.service.take_events();
+        self.apply_events(at, events);
     }
 
     fn on_fault(&mut self, at: u64, fault: usize) {
@@ -488,84 +451,56 @@ impl Simulator {
         if let Some(after) = spec.repair_after {
             self.schedule(at + after, SimEvent::Repair { element });
         }
-        match &mut self.backend {
-            Backend::Direct(kairos) => {
-                let victims = kairos.fail_element(element);
-                self.totals.evictions += victims.len() as u64;
-                for victim in victims {
-                    let Some(live) = self.live.remove(&victim) else { continue };
-                    if !self.scenario.readmit_evicted {
-                        self.totals.lost_to_faults += 1;
-                        continue;
-                    }
-                    // Offer the evicted application for immediate re-admission on
-                    // the remaining healthy elements, keeping its departure time. A
-                    // departure falling on this very tick is rescheduled (`>=`, not
-                    // `>`): the stale Departure event carries the old id and no-ops,
-                    // and without a fresh one the re-admitted app would never leave.
-                    let Backend::Direct(kairos) = &mut self.backend else { unreachable!() };
-                    match kairos.admit(&live.app) {
-                        Ok(report) => {
-                            self.totals.readmissions += 1;
-                            if let Some(departs_at) = live.departs_at {
-                                if departs_at >= at {
-                                    self.schedule(
-                                        departs_at,
-                                        SimEvent::Departure { app: report.app_id },
-                                    );
-                                }
-                            }
-                            self.live.insert(report.app_id, live);
-                        }
-                        Err(_) => {
-                            self.totals.lost_to_faults += 1;
-                        }
-                    }
-                }
+        self.service.submit(Request::new(at, Command::InjectFault { element }));
+        let events = self.service.take_events();
+        let victims: Vec<AppId> = events
+            .iter()
+            .find_map(|e| match e {
+                Event::ElementFailed { evicted, .. } => Some(evicted.clone()),
+                _ => None,
+            })
+            .expect("a fault command reports ElementFailed");
+        self.apply_events(at, events);
+        for victim in victims {
+            let Some(live) = self.live.remove(&victim) else { continue };
+            if !self.scenario.readmit_evicted {
+                self.totals.lost_to_faults += 1;
+                continue;
             }
-            Backend::Queued(admitd) => {
-                let (victims, events) = admitd.fail_element(element, at);
-                self.totals.evictions += victims.len() as u64;
-                self.apply_queue_events(at, events);
-                for victim in victims {
-                    let Some(live) = self.live.remove(&victim) else { continue };
-                    if !self.scenario.readmit_evicted {
-                        self.totals.lost_to_faults += 1;
-                        continue;
-                    }
-                    // Evicted applications re-enter through the queue under
-                    // their original class, keeping their departure instant.
-                    let Backend::Queued(admitd) = &mut self.backend else { unreachable!() };
-                    let (ticket, events) = admitd.submit(live.app.clone(), live.class, at);
-                    self.pending.insert(
-                        ticket.0,
-                        Pending {
-                            lifetime: None,
-                            fixed_departure: live.departs_at,
-                            phase: self.phase_at(at),
-                            origin: Origin::Fault,
-                        },
-                    );
-                    self.apply_queue_events(at, events);
-                }
-            }
+            // Evicted applications are offered for re-admission under
+            // their original class, keeping their departure instant: an
+            // immediate outcome on a direct service, a queued retryable
+            // request on a queued one.
+            let ticket = self.service.submit(Request::admit(at, live.app.clone(), live.class));
+            self.pending.insert(
+                ticket.0,
+                Pending {
+                    lifetime: None,
+                    fixed_departure: live.departs_at,
+                    phase: self.phase_at(at),
+                    origin: Origin::Fault,
+                },
+            );
+            let events = self.service.take_events();
+            self.apply_events(at, events);
         }
     }
 
-    /// Folds one batch of front-end events into the run's accounting:
-    /// admissions (scheduling departures), retries, rejections and
-    /// queue-depth high-water marks.
+    /// Folds one batch of service events into the run's accounting:
+    /// admissions (scheduling departures), retries, rejections, releases,
+    /// evictions and queue-depth high-water marks.
     ///
     /// Queue statistics (`QueueReport`) count *first-class requests only*:
     /// the re-submissions of fault-evicted applications surface under
     /// `readmissions`/`lost_to_faults` exactly as on the direct path, so
     /// `queued == admitted + dropped` style balances hold with or without
     /// faults in the scenario.
-    fn apply_queue_events(&mut self, at: u64, events: Vec<QueueEvent>) {
+    fn apply_events(&mut self, at: u64, events: Vec<Event>) {
         let max_wait = self.scenario.admission.as_ref().and_then(|p| p.max_wait);
+        let queue_enabled = self.queue_enabled();
         for event in events {
             match event {
-                QueueEvent::Enqueued { ticket, class, depth } => {
+                Event::Queued { ticket, class, depth } => {
                     let info = self.pending[&ticket.0];
                     if info.origin == Origin::Fresh {
                         self.queue_accum.queued += 1;
@@ -576,7 +511,7 @@ impl Simulator {
                         self.schedule(at + wait, SimEvent::QueueExpiry);
                     }
                 }
-                QueueEvent::Admitted { ticket, class, app, report, waited, .. } => {
+                Event::Admitted { ticket, class, app, report, waited, .. } => {
                     let info =
                         self.pending.remove(&ticket.0).expect("admitted tickets are pending");
                     match info.origin {
@@ -585,13 +520,15 @@ impl Simulator {
                         Origin::Fresh => {
                             self.totals.admissions += 1;
                             self.phase_accum[info.phase].admissions += 1;
-                            if waited == 0 {
-                                self.queue_accum.admitted_immediate += 1;
-                            } else {
-                                self.queue_accum.admitted_after_wait += 1;
+                            if queue_enabled {
+                                if waited == 0 {
+                                    self.queue_accum.admitted_immediate += 1;
+                                } else {
+                                    self.queue_accum.admitted_after_wait += 1;
+                                }
+                                self.queue_accum.class_admitted[class.index()] += 1;
+                                self.record_wait(class, waited);
                             }
-                            self.queue_accum.class_admitted[class.index()] += 1;
-                            self.record_wait(class, waited);
                         }
                     }
                     let departs_at = info.fixed_departure.or(info.lifetime.map(|l| at + l));
@@ -605,21 +542,21 @@ impl Simulator {
                     }
                     self.live.insert(report.app_id, LiveApp { app: *app, departs_at, class });
                 }
-                QueueEvent::AttemptFailed { ticket, .. } => {
+                Event::AttemptFailed { ticket, .. } => {
                     let first_class =
                         self.pending.get(&ticket.0).is_none_or(|p| p.origin == Origin::Fresh);
                     if first_class {
                         self.queue_accum.retry_attempts += 1;
                     }
                 }
-                QueueEvent::Preempted { victim, ticket, .. } => {
+                Event::Preempted { victim, requeued_as, .. } => {
                     // The victim leaves the platform but not the system:
                     // its requeue ticket inherits the departure schedule,
                     // exactly like a fault-evicted re-submission.
                     let live = self.live.remove(&victim).expect("preemption victims are live apps");
                     self.totals.preemptions += 1;
                     self.pending.insert(
-                        ticket.0,
+                        requeued_as.0,
                         Pending {
                             lifetime: None,
                             fixed_departure: live.departs_at,
@@ -628,12 +565,18 @@ impl Simulator {
                         },
                     );
                 }
-                QueueEvent::Migrated { .. } => {
+                Event::Migrated { .. } => {
                     // The app keeps running under the same id; only the
-                    // placement changed.
+                    // placement changed. (Defrag sweeps report their moves
+                    // in `Event::Defragged` counts, not here.)
                     self.totals.migrations += 1;
                 }
-                QueueEvent::Rejected { ticket, class, reason, waited } => {
+                Event::MigrationFailed { .. } => {
+                    // The engine issues no `Migrate` commands of its own;
+                    // a failed preemption-migration falls back to eviction
+                    // inside the service and never surfaces here.
+                }
+                Event::Rejected { ticket, class, cause, waited } => {
                     let info =
                         self.pending.remove(&ticket.0).expect("rejected tickets are pending");
                     match info.origin {
@@ -649,32 +592,55 @@ impl Simulator {
                     }
                     self.totals.rejections += 1;
                     self.phase_accum[info.phase].rejections += 1;
+                    if let RejectCause::Refused { phase } = cause {
+                        // The direct path's immediate rejection: pipeline
+                        // attribution only, no queue involved.
+                        self.rejections_by_phase[phase_index(phase)] += 1;
+                        continue;
+                    }
                     self.queue_accum.class_dropped[class.index()] += 1;
-                    match reason {
-                        RejectReason::QueueFull => self.queue_accum.rejected_queue_full += 1,
-                        RejectReason::Permanent { phase } => {
+                    match cause {
+                        RejectCause::Refused { .. } => unreachable!("handled above"),
+                        RejectCause::QueueFull => self.queue_accum.rejected_queue_full += 1,
+                        RejectCause::Permanent { phase } => {
                             self.queue_accum.rejected_permanent += 1;
                             self.rejections_by_phase[phase_index(phase)] += 1;
                             self.record_wait(class, waited);
                         }
-                        RejectReason::Timeout => {
+                        RejectCause::Timeout => {
                             self.queue_accum.dropped_timeout += 1;
                             self.record_wait(class, waited);
                         }
-                        RejectReason::RetriesExhausted { phase } => {
+                        RejectCause::RetriesExhausted { phase } => {
                             self.queue_accum.dropped_retries_exhausted += 1;
                             self.rejections_by_phase[phase_index(phase)] += 1;
                             self.record_wait(class, waited);
                         }
-                        RejectReason::Shutdown => {
+                        RejectCause::Shutdown => {
                             self.queue_accum.flushed_at_shutdown += 1;
                             self.record_wait(class, waited);
                         }
                     }
                 }
+                Event::Released { app, found, .. } => {
+                    if found {
+                        self.live.remove(&app);
+                        self.totals.departures += 1;
+                        let phase = self.phase_at(at);
+                        self.phase_accum[phase].departures += 1;
+                    }
+                }
+                Event::ElementFailed { evicted, .. } => {
+                    self.totals.evictions += evicted.len() as u64;
+                }
+                Event::ElementRepaired { .. } => {}
+                Event::Defragged { moves, .. } => {
+                    self.totals.defrag_moves += moves as u64;
+                }
             }
         }
-        self.queue_accum.max_depth = self.queue_accum.max_depth.max(self.backend.queue_depth());
+        self.queue_accum.max_depth =
+            self.queue_accum.max_depth.max(self.service.queue_depth() as u64);
     }
 
     fn record_wait(&mut self, class: PriorityClass, waited: u64) {
@@ -775,7 +741,7 @@ impl Simulator {
             phases,
             queue,
             samples: std::mem::take(&mut self.samples),
-            final_state: self.backend.kairos().occupancy(),
+            final_state: self.service.kairos().occupancy(),
         }
     }
 }

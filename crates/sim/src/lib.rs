@@ -10,19 +10,25 @@
 //! and periodic occupancy sampling.
 //!
 //! * [`Scenario`] — a seeded, fully declarative experiment description,
-//!   with a built-in catalog of eleven named scenarios
+//!   with a built-in catalog of twelve named scenarios
 //!   ([`Scenario::catalog`], documented in `docs/SCENARIOS.md`):
 //!   `steady-churn`, `bursty-arrivals`, `saturation`, `hotspot-failures`,
 //!   `mixed-datasets`, three that exercise the `kairos-admitd` admission
 //!   front-end — `priority-inversion`, `overload-backpressure`,
-//!   `retry-storm` — and three that exercise the `kairos-reloc`
-//!   relocation subsystem — `critical-preempt`, `migrate-vs-evict`,
-//!   `defrag-sweep`;
-//! * [`Simulator`] — the event queue + virtual clock driving a
-//!   [`Kairos`](kairos_core::Kairos) manager through a scenario, directly
-//!   or through a [`kairos_admitd::Admitd`] priority queue with
-//!   backpressure, bounded retry, timeouts and preemption, plus periodic
-//!   defragmenting compaction sweeps ([`DefragSpec`]);
+//!   `retry-storm` — three that exercise the `kairos-reloc` relocation
+//!   subsystem — `critical-preempt`, `migrate-vs-evict`, `defrag-sweep`
+//!   — and `batch-arrival-wave`, which admits synchronized arrival waves
+//!   through the batched service path;
+//! * [`Simulator`] — the event queue + virtual clock driving all
+//!   scenario traffic through the unified
+//!   [`kairos_svc::ResourceService`] API: arrivals are `Admit` commands
+//!   (waves go through `submit_batch` as one batched operation),
+//!   departures are `Release`, scripted faults are `InjectFault`, and
+//!   every accounting decision is read off the service's single
+//!   [`kairos_svc::Event`] stream — with or without a
+//!   [`kairos_admitd::AdmitPolicy`] priority queue (backpressure,
+//!   bounded retry, timeouts, preemption), plus periodic defragmenting
+//!   compaction sweeps ([`DefragSpec`]);
 //! * [`SimReport`] — aggregated admissions, rejections by pipeline phase,
 //!   departures, fault statistics, relocation counters (preemptions,
 //!   migrations, defrag moves), queue behaviour ([`QueueReport`]: depth,
@@ -44,7 +50,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod engine;
 pub mod json;

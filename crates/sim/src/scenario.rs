@@ -7,15 +7,16 @@
 //! simulations — the engine draws every random choice from the scenario
 //! seed.
 //!
-//! [`Scenario::catalog`] ships eleven named scenarios: five spanning the
+//! [`Scenario::catalog`] ships twelve named scenarios: five spanning the
 //! regimes the paper motivates (steady churn, bursty arrivals, saturation,
 //! hotspot element failures, a mixed-dataset workload), three exercising
 //! the `kairos-admitd` admission front-end (priority inversion, overload
-//! backpressure, retry storms), and three exercising the `kairos-reloc`
+//! backpressure, retry storms), three exercising the `kairos-reloc`
 //! relocation subsystem (preemption of low-priority work for criticals,
-//! migration versus evict-and-readmit, defragmenting compaction sweeps).
-//! `docs/SCENARIOS.md` documents every entry; CI checks the two stay in
-//! sync.
+//! migration versus evict-and-readmit, defragmenting compaction sweeps),
+//! and one exercising batched submission through the `kairos-svc` service
+//! API (synchronized arrival waves). `docs/SCENARIOS.md` documents every
+//! entry; CI checks the two stay in sync.
 
 use serde::{Deserialize, Serialize};
 
@@ -93,6 +94,11 @@ pub struct PhaseSpec {
     /// Priority class this phase's arrivals are submitted under when the
     /// scenario runs with an admission queue; ignored otherwise.
     pub priority: PriorityClass,
+    /// Applications arriving *together* at each arrival instant — a
+    /// synchronized wave. `1` is a lone arrival; larger waves are
+    /// admitted through `ResourceService::submit_batch` as one batched
+    /// operation (one platform transaction, one drain pass).
+    pub batch: u64,
 }
 
 impl PhaseSpec {
@@ -113,6 +119,7 @@ impl PhaseSpec {
             mix,
             arrival: ArrivalDistribution::Exponential,
             priority: PriorityClass::Normal,
+            batch: 1,
         }
     }
 
@@ -125,6 +132,13 @@ impl PhaseSpec {
     /// The same phase submitting its arrivals under `priority`.
     pub fn with_priority(mut self, priority: PriorityClass) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// The same phase arriving in synchronized waves of `batch`
+    /// applications per arrival instant.
+    pub fn with_batch(mut self, batch: u64) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -213,6 +227,9 @@ impl Scenario {
             if phase.mean_interarrival > 0 && phase.mix.iter().all(|e| e.weight == 0) {
                 return Err(format!("phase '{}' mix has no positive weight", phase.name));
             }
+            if phase.batch == 0 {
+                return Err(format!("phase '{}' has a zero arrival batch", phase.name));
+            }
             if let ArrivalDistribution::Pareto { alpha_centi } = phase.arrival {
                 if alpha_centi <= 100 {
                     return Err(format!(
@@ -287,6 +304,7 @@ impl Scenario {
                 phase.push("mean_lifetime", p.mean_lifetime);
                 phase.push("arrival", p.arrival.name());
                 phase.push("priority", p.priority.to_string());
+                phase.push("batch", p.batch);
                 let mix = p
                     .mix
                     .iter()
@@ -334,6 +352,7 @@ impl Scenario {
                 adm.push("backoff_cap", policy.backoff_cap);
                 adm.push("preemption", policy.preemption.to_string());
                 adm.push("max_victims", policy.max_victims as u64);
+                adm.push("victim_order", policy.victim_order.to_string());
                 doc.push("admission", adm)
             }
         };
@@ -363,6 +382,7 @@ impl Scenario {
             critical_preempt(),
             migrate_vs_evict(),
             defrag_sweep(),
+            batch_arrival_wave(),
         ]
     }
 
@@ -646,6 +666,7 @@ fn critical_preempt() -> Scenario {
             backoff_cap: 4,
             preemption: PreemptionPolicy::Evict,
             max_victims: 4,
+            ..AdmitPolicy::default()
         }),
         defrag: None,
     }
@@ -691,6 +712,7 @@ fn migrate_vs_evict() -> Scenario {
             backoff_cap: 4,
             preemption: PreemptionPolicy::Migrate,
             max_victims: 6,
+            ..AdmitPolicy::default()
         }),
         defrag: None,
     }
@@ -724,14 +746,59 @@ fn defrag_sweep() -> Scenario {
     }
 }
 
+/// Batched arrival waves: applications arrive in tight synchronized
+/// bursts — the multi-application reconfiguration points of Khasanov &
+/// Castrillon's runtime — and each wave is admitted through
+/// `ResourceService::submit_batch` as one operation: class-sorted, one
+/// platform transaction, one priority-ordered drain pass. A smaller
+/// critical wave phase interleaves priorities so the batched drain's
+/// class ordering is actually exercised.
+fn batch_arrival_wave() -> Scenario {
+    let wave_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Small), 3),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Small), 2),
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Medium), 1),
+    ];
+    let crit_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Small), 2),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Small), 1),
+    ];
+    Scenario {
+        name: "batch-arrival-wave".to_owned(),
+        seed: 0xBA7C4,
+        sample_period: 30,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("normal-waves", 1500, 120, 500, wave_mix)
+                .with_arrival(ArrivalDistribution::Deterministic)
+                .with_batch(6),
+            PhaseSpec::new("critical-waves", 600, 150, 400, crit_mix)
+                .with_priority(PriorityClass::Critical)
+                .with_batch(4),
+            PhaseSpec::new("drain", 1500, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+        admission: Some(AdmitPolicy {
+            class_capacity: [8, 8, 24, 16],
+            max_wait: Some(800),
+            max_attempts: 6,
+            backoff_base: 1,
+            backoff_cap: 4,
+            ..AdmitPolicy::default()
+        }),
+        defrag: None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn catalog_has_eleven_valid_named_scenarios() {
+    fn catalog_has_twelve_valid_named_scenarios() {
         let catalog = Scenario::catalog();
-        assert_eq!(catalog.len(), 11);
+        assert_eq!(catalog.len(), 12);
         let mut names: Vec<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
         for scenario in &catalog {
             scenario.validate().unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
@@ -739,10 +806,10 @@ mod tests {
         }
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 11, "catalog names must be unique");
-        // The queueing and preemption scenarios all carry an admission
-        // policy; the five legacy scenarios and the defrag sweep stay on
-        // the direct path.
+        assert_eq!(names.len(), 12, "catalog names must be unique");
+        // The queueing, preemption and batching scenarios all carry an
+        // admission policy; the five legacy scenarios and the defrag
+        // sweep stay on the direct path.
         let queued: Vec<&str> =
             catalog.iter().filter(|s| s.admission.is_some()).map(|s| s.name.as_str()).collect();
         assert_eq!(
@@ -753,8 +820,15 @@ mod tests {
                 "retry-storm",
                 "critical-preempt",
                 "migrate-vs-evict",
+                "batch-arrival-wave",
             ]
         );
+        let batched: Vec<&str> = catalog
+            .iter()
+            .filter(|s| s.phases.iter().any(|p| p.batch > 1))
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(batched, vec!["batch-arrival-wave"]);
         let preempting: Vec<&str> = catalog
             .iter()
             .filter(|s| s.admission.is_some_and(|p| p.preemption != PreemptionPolicy::Disabled))
@@ -793,6 +867,10 @@ mod tests {
         let mut s = Scenario::by_name("steady-churn").unwrap();
         s.phases[0].arrival = ArrivalDistribution::Pareto { alpha_centi: 100 };
         assert!(s.validate().unwrap_err().contains("Pareto"));
+
+        let mut s = Scenario::by_name("batch-arrival-wave").unwrap();
+        s.phases[0].batch = 0;
+        assert!(s.validate().unwrap_err().contains("batch"));
 
         let mut s = Scenario::by_name("overload-backpressure").unwrap();
         s.admission.as_mut().unwrap().max_attempts = 0;

@@ -1,0 +1,123 @@
+//! Service construction with injectable policies.
+
+use kairos_admitd::{AdmitPolicy, Admitd, PreemptionPolicy, VictimOrder};
+use kairos_core::{CostPolicy, CostWeights, Kairos, KairosConfig};
+use kairos_platform::Platform;
+
+use crate::service::KairosService;
+
+/// Builds a [`KairosService`], injecting the policies that shape its
+/// decisions at construction time:
+///
+/// * the **cost policy** of the mapping phase ([`ServiceBuilder::cost_policy`]
+///   / [`ServiceBuilder::weights`], or a whole [`KairosConfig`]);
+/// * the **admission policy** ([`ServiceBuilder::admission`]): without
+///   one the service admits or rejects immediately (the paper's
+///   behaviour); with one, requests queue under the `kairos-admitd`
+///   front-end with backpressure, retry and timeouts;
+/// * the **preemption policy** and **victim ordering**
+///   ([`ServiceBuilder::preemption`], [`ServiceBuilder::victim_order`]):
+///   how blocked criticals may relocate running lower-priority work.
+///
+/// # Examples
+///
+/// ```
+/// use kairos_svc::ServiceBuilder;
+/// use kairos_admitd::{PreemptionPolicy, VictimOrder};
+/// use kairos_platform::topology;
+///
+/// let service = ServiceBuilder::new(topology::crisp())
+///     .deterministic(true)
+///     .preemption(PreemptionPolicy::Migrate)
+///     .victim_order(VictimOrder::SmallestFirst)
+///     .build()?;
+/// assert!(service.admitd().is_some(), "preemption implies the queued front-end");
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServiceBuilder {
+    platform: Platform,
+    config: KairosConfig,
+    admission: Option<AdmitPolicy>,
+}
+
+impl ServiceBuilder {
+    /// A builder for a service managing `platform`, with the default
+    /// manager configuration and no admission queue.
+    pub fn new(platform: Platform) -> Self {
+        ServiceBuilder { platform, config: KairosConfig::default(), admission: None }
+    }
+
+    /// Replaces the whole manager configuration.
+    pub fn config(mut self, config: KairosConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the mapping phase's cost policy (communication, fragmentation
+    /// or both — paper §III).
+    pub fn cost_policy(mut self, policy: CostPolicy) -> Self {
+        self.config.weights = policy.weights();
+        self
+    }
+
+    /// Sets explicit mapping cost weights.
+    pub fn weights(mut self, weights: CostWeights) -> Self {
+        self.config.weights = weights;
+        self
+    }
+
+    /// Runs the pipeline on the zero phase clock
+    /// ([`KairosConfig::deterministic`]): all recorded timings are zero,
+    /// so service output is a pure function of its inputs.
+    pub fn deterministic(mut self, deterministic: bool) -> Self {
+        self.config.deterministic = deterministic;
+        self
+    }
+
+    /// Fronts the manager with a `kairos-admitd` priority queue under
+    /// `policy`. Without this (or one of the preemption knobs below) the
+    /// service admits directly and rejects when full.
+    pub fn admission(mut self, policy: AdmitPolicy) -> Self {
+        self.admission = Some(policy);
+        self
+    }
+
+    /// Sets the preemption policy for blocked critical requests.
+    /// Preemption is a front-end feature, so this implies an admission
+    /// queue (the default [`AdmitPolicy`] when none was set yet).
+    pub fn preemption(mut self, policy: PreemptionPolicy) -> Self {
+        self.admission.get_or_insert_with(AdmitPolicy::default).preemption = policy;
+        self
+    }
+
+    /// Sets the victim ordering preemption candidates are offered in.
+    /// Implies an admission queue, like [`ServiceBuilder::preemption`].
+    pub fn victim_order(mut self, order: VictimOrder) -> Self {
+        self.admission.get_or_insert_with(AdmitPolicy::default).victim_order = order;
+        self
+    }
+
+    /// Bounds the victims one relocation may displace. Implies an
+    /// admission queue, like [`ServiceBuilder::preemption`].
+    pub fn max_victims(mut self, max_victims: usize) -> Self {
+        self.admission.get_or_insert_with(AdmitPolicy::default).max_victims = max_victims;
+        self
+    }
+
+    /// Builds the service.
+    ///
+    /// # Errors
+    ///
+    /// The admission policy's [`AdmitPolicy::validate`] error, if any.
+    pub fn build(self) -> Result<KairosService, String> {
+        let kairos = Kairos::new(self.platform, self.config);
+        match self.admission {
+            None => Ok(KairosService::direct(kairos)),
+            Some(policy) => {
+                policy.validate()?;
+                Ok(KairosService::queued(Admitd::new(kairos, policy)))
+            }
+        }
+    }
+}

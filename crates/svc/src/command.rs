@@ -1,0 +1,116 @@
+//! The operation set of the service, expressed as data.
+//!
+//! Everything a caller can ask the run-time to do is a [`Command`]
+//! variant; a [`Request`] stamps a command with its virtual submission
+//! time. Making operations data (rather than one method per operation) is
+//! what makes batches first-class: a `Vec<Request>` *is* an arrival wave,
+//! and [`ResourceService::submit_batch`](crate::ResourceService::submit_batch)
+//! can sort, group and transact over it.
+
+use kairos_admitd::PriorityClass;
+use kairos_app::Application;
+use kairos_platform::{AppId, ElementId};
+
+/// One operation against the managed platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Admit `app` under priority `class`: queued, retried and — for
+    /// blocked criticals under an enabled preemption policy — relocated
+    /// for, exactly as the `kairos-admitd` front-end does. On a service
+    /// without an admission queue the command admits or rejects
+    /// immediately (the paper's behaviour).
+    Admit {
+        /// The application requesting admission.
+        app: Application,
+        /// Its priority class (ignored by queue-less services except as
+        /// event metadata).
+        class: PriorityClass,
+    },
+    /// Release the admitted application `app`, freeing all its element
+    /// and link claims. A successful release is a capacity event: queued
+    /// waiters are drained in priority order.
+    Release {
+        /// The application to release.
+        app: AppId,
+    },
+    /// Live-migrate the admitted application `app` off the `avoid`
+    /// elements (make-before-break; its identity is stable across the
+    /// move). A completed migration is a capacity event.
+    Migrate {
+        /// The application to move.
+        app: AppId,
+        /// Elements its new placement must not use.
+        avoid: Vec<ElementId>,
+    },
+    /// Run one defragmenting compaction sweep, live-migrating up to
+    /// `max_moves` applications; only moves that strictly reduce external
+    /// fragmentation (paper §III-A) are kept. A sweep that moved anything
+    /// is a capacity event.
+    Defrag {
+        /// Most applications the sweep may move.
+        max_moves: usize,
+    },
+    /// Mark `element` failed, evicting every application placed on it.
+    /// The evicted ids come back in the resulting
+    /// [`Event::ElementFailed`](crate::Event::ElementFailed) for the
+    /// caller's re-submission policy; a non-empty eviction is a capacity
+    /// event.
+    InjectFault {
+        /// The element to fail.
+        element: ElementId,
+    },
+    /// Clear the failure mark on `element`. Repairing an actually-failed
+    /// element is a capacity event; repairing a healthy one is a no-op
+    /// that must not burn anyone's retry budget.
+    Repair {
+        /// The element to repair.
+        element: ElementId,
+    },
+}
+
+/// A [`Command`] stamped with its virtual submission time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Virtual time of the submission (the service never consults a wall
+    /// clock; time is whatever the driver says it is).
+    pub at: u64,
+    /// The operation to perform.
+    pub command: Command,
+}
+
+impl Request {
+    /// A request performing `command` at virtual time `at`.
+    pub fn new(at: u64, command: Command) -> Self {
+        Request { at, command }
+    }
+
+    /// Shorthand for an admission request.
+    pub fn admit(at: u64, app: Application, class: PriorityClass) -> Self {
+        Request::new(at, Command::Admit { app, class })
+    }
+
+    /// Shorthand for a release request.
+    pub fn release(at: u64, app: AppId) -> Self {
+        Request::new(at, Command::Release { app })
+    }
+}
+
+/// A clock- or lifecycle-driven nudge to the service, distinct from a
+/// [`Command`]: nothing is being asked for, but queued work may reach
+/// decisions — which [`pump`](crate::ResourceService::pump) returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityEvent {
+    /// Virtual time advanced to `now`: requests that waited past their
+    /// deadline are dropped.
+    Tick {
+        /// The new virtual time.
+        now: u64,
+    },
+    /// The service is shutting down at `now`: everything still queued is
+    /// flushed with [`RejectCause::Shutdown`](crate::RejectCause::Shutdown)
+    /// so every submission reaches exactly one terminal outcome.
+    Shutdown {
+        /// The virtual shutdown time.
+        now: u64,
+    },
+}

@@ -1,0 +1,232 @@
+//! The unified event stream.
+//!
+//! One tagged [`Event`] enum replaces the per-crate observation types a
+//! caller previously had to stitch together (`kairos-admitd`'s
+//! `QueueEvent`, `kairos-core`'s `AdmissionReport` returns, relocation
+//! notifications). Every event carries a [`Ticket`] correlating it to the
+//! [`Request`](crate::Request) that caused it — or, for relocation
+//! events, to the blocked request they were performed for — and admitted
+//! applications are additionally correlated by their stable
+//! [`AppId`](kairos_platform::AppId).
+
+use std::fmt;
+
+use kairos_admitd::{PriorityClass, RejectReason};
+use kairos_app::Application;
+use kairos_core::{AdmissionReport, MigrationError, Phase};
+use kairos_platform::{AppId, ElementId};
+
+/// Identity of one service request, unique for the lifetime of the
+/// service. Distinct from `kairos_admitd::Ticket` (which only numbers
+/// admission requests inside the front-end): every
+/// [`Command`](crate::Command) gets a service ticket, and tickets minted
+/// internally by the front-end — preemption-victim requeues — are
+/// surfaced as fresh service tickets too, so callers see one uniform
+/// identifier space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(pub u64);
+
+impl fmt::Display for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svc{}", self.0)
+    }
+}
+
+/// Why a request left the service without being admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCause {
+    /// Its priority class's queue was at capacity (backpressure).
+    QueueFull,
+    /// A queue-less service ran the pipeline once and `phase` rejected
+    /// it — the paper's immediate-rejection behaviour.
+    Refused {
+        /// The pipeline phase that rejected the request.
+        phase: Phase,
+    },
+    /// The failure can never clear up; `phase` rejected it permanently.
+    Permanent {
+        /// The pipeline phase that rejected the request.
+        phase: Phase,
+    },
+    /// The request waited past its deadline.
+    Timeout,
+    /// The retry budget ran out; `phase` rejected the final attempt.
+    RetriesExhausted {
+        /// The pipeline phase that rejected the final attempt.
+        phase: Phase,
+    },
+    /// The service shut down with the request still queued.
+    Shutdown,
+}
+
+impl RejectCause {
+    /// The rejecting pipeline phase, for causes that carry one.
+    pub fn phase(&self) -> Option<Phase> {
+        match *self {
+            RejectCause::Refused { phase }
+            | RejectCause::Permanent { phase }
+            | RejectCause::RetriesExhausted { phase } => Some(phase),
+            RejectCause::QueueFull | RejectCause::Timeout | RejectCause::Shutdown => None,
+        }
+    }
+}
+
+impl From<RejectReason> for RejectCause {
+    fn from(reason: RejectReason) -> Self {
+        match reason {
+            RejectReason::QueueFull => RejectCause::QueueFull,
+            RejectReason::Permanent { phase } => RejectCause::Permanent { phase },
+            RejectReason::Timeout => RejectCause::Timeout,
+            RejectReason::RetriesExhausted { phase } => RejectCause::RetriesExhausted { phase },
+            RejectReason::Shutdown => RejectCause::Shutdown,
+        }
+    }
+}
+
+/// One observable state change of the service — the single stream every
+/// driver consumes instead of per-crate event and report types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// An admission request entered its class queue.
+    Queued {
+        /// The request's service ticket.
+        ticket: Ticket,
+        /// Its priority class.
+        class: PriorityClass,
+        /// Total queue depth right after the enqueue.
+        depth: usize,
+    },
+    /// An admission request was admitted (possibly after waiting).
+    Admitted {
+        /// The request's service ticket.
+        ticket: Ticket,
+        /// Its priority class.
+        class: PriorityClass,
+        /// The admitted application, returned for the caller's lifetime
+        /// bookkeeping. Boxed to keep the enum small.
+        app: Box<Application>,
+        /// The pipeline's admission report (stable [`AppId`], layout,
+        /// timings), boxed for the same reason.
+        report: Box<AdmissionReport>,
+        /// Ticks spent queued (`0` for immediate admissions).
+        waited: u64,
+        /// Total admission attempts, the successful one included.
+        attempts: u32,
+    },
+    /// An eligible attempt failed transiently; the request stays queued
+    /// and backs off.
+    AttemptFailed {
+        /// The request's service ticket.
+        ticket: Ticket,
+        /// Its priority class.
+        class: PriorityClass,
+        /// The failed attempt's number (1-based).
+        attempt: u32,
+        /// The pipeline phase that rejected the attempt.
+        phase: Phase,
+    },
+    /// An admission request left the service unadmitted.
+    Rejected {
+        /// The request's service ticket.
+        ticket: Ticket,
+        /// Its priority class.
+        class: PriorityClass,
+        /// Why it was rejected.
+        cause: RejectCause,
+        /// Ticks spent queued (`0` when it never entered the queue).
+        waited: u64,
+    },
+    /// A running application was evicted to make room for a blocked
+    /// higher-priority request. The victim is preempted, not dropped: it
+    /// re-enters the queue under the fresh service ticket `requeued_as`,
+    /// carrying its previously accumulated wait.
+    Preempted {
+        /// The evicted application.
+        victim: AppId,
+        /// The victim's priority class.
+        class: PriorityClass,
+        /// The fresh ticket the victim's requeue runs under.
+        requeued_as: Ticket,
+        /// The blocked request the eviction was performed for.
+        by: Ticket,
+    },
+    /// An application was live-migrated: by a
+    /// [`Command::Migrate`](crate::Command::Migrate), or by a preemption
+    /// under the `Migrate` policy (a defrag sweep's internal moves
+    /// surface in [`Event::Defragged`] counts instead). Its id is stable
+    /// across the move.
+    Migrated {
+        /// The command's ticket — or, for preemption-driven migration,
+        /// the blocked request the move was performed for.
+        ticket: Ticket,
+        /// The migrated application.
+        app: AppId,
+        /// Tasks whose hosting element changed.
+        moved_tasks: usize,
+    },
+    /// A [`Command::Migrate`](crate::Command::Migrate) found no
+    /// acceptable move; the platform is exactly as it was.
+    MigrationFailed {
+        /// The command's ticket.
+        ticket: Ticket,
+        /// The application that stayed put.
+        app: AppId,
+        /// Why the move failed, boxed to keep the enum small.
+        error: Box<MigrationError>,
+    },
+    /// A [`Command::Release`](crate::Command::Release) completed.
+    Released {
+        /// The command's ticket.
+        ticket: Ticket,
+        /// The released application.
+        app: AppId,
+        /// Whether the id was actually admitted (`false` for unknown or
+        /// already-released ids — nothing changed then).
+        found: bool,
+    },
+    /// A [`Command::InjectFault`](crate::Command::InjectFault) completed.
+    ElementFailed {
+        /// The command's ticket.
+        ticket: Ticket,
+        /// The failed element.
+        element: ElementId,
+        /// Applications evicted by the failure, in id order — candidates
+        /// for the caller's re-submission policy.
+        evicted: Vec<AppId>,
+    },
+    /// A [`Command::Repair`](crate::Command::Repair) completed.
+    ElementRepaired {
+        /// The command's ticket.
+        ticket: Ticket,
+        /// The repaired element.
+        element: ElementId,
+    },
+    /// A [`Command::Defrag`](crate::Command::Defrag) sweep completed.
+    Defragged {
+        /// The command's ticket.
+        ticket: Ticket,
+        /// Applications the sweep migrated.
+        moves: usize,
+    },
+}
+
+impl Event {
+    /// The service ticket the event concerns: for [`Event::Preempted`]
+    /// that is the victim's requeue ticket (mirroring the front-end's
+    /// convention).
+    pub fn ticket(&self) -> Ticket {
+        match *self {
+            Event::Queued { ticket, .. }
+            | Event::Admitted { ticket, .. }
+            | Event::AttemptFailed { ticket, .. }
+            | Event::Rejected { ticket, .. }
+            | Event::Migrated { ticket, .. }
+            | Event::MigrationFailed { ticket, .. }
+            | Event::Released { ticket, .. }
+            | Event::ElementFailed { ticket, .. }
+            | Event::ElementRepaired { ticket, .. }
+            | Event::Defragged { ticket, .. } => ticket,
+            Event::Preempted { requeued_as, .. } => requeued_as,
+        }
+    }
+}

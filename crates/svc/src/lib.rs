@@ -1,0 +1,76 @@
+//! # kairos-svc
+//!
+//! The unified resource-service API: **one typed command/event surface**
+//! over the whole Kairos run-time.
+//!
+//! The paper's manager is a single run-time entity applications talk to
+//! through one request interface. After growing the reproduction into
+//! separate subsystems — the `kairos-core` pipeline, the `kairos-admitd`
+//! priority front-end, the `kairos-reloc` relocation planner — callers
+//! had to stitch three disjoint APIs together (the `kairos-sim` engine
+//! re-implemented exactly that glue). This crate restores the paper's
+//! shape at production scale:
+//!
+//! * **Operations as data** — every request is a [`Command`]
+//!   (`Admit`, `Release`, `Migrate`, `Defrag`, `InjectFault`, `Repair`)
+//!   wrapped in a time-stamped [`Request`]; drivers build traffic instead
+//!   of calling subsystem methods.
+//! * **One event stream** — everything observable is a tagged [`Event`]
+//!   carrying a stable service [`Ticket`] (and, once admitted, the
+//!   application's stable `AppId`), replacing the per-crate
+//!   `QueueEvent`/`AdmissionReport`/relocation-notification types.
+//! * **Batches are first-class** —
+//!   [`ResourceService::submit_batch`] admits a whole arrival wave as
+//!   one operation: class-sorted, inside one platform transaction, with
+//!   one drain pass instead of N independent submissions
+//!   (`cargo bench -p kairos-bench --bench service_batch` measures the
+//!   difference; the property tests pin outcome equivalence).
+//! * **Policies injected at construction** — [`ServiceBuilder`] takes
+//!   the mapping cost policy, the admission policy, the preemption
+//!   policy and the victim ordering; the service's behaviour is fixed at
+//!   build time and deterministic thereafter.
+//!
+//! The low-level layer stays public: [`Kairos`], [`Admitd`] and the
+//! `kairos-reloc` planner are re-exported below for callers that need
+//! subsystem access, and [`ResourceService::kairos`] exposes the managed
+//! manager for inspection.
+//!
+//! ## Example
+//!
+//! ```
+//! use kairos_svc::{Command, Event, Request, ResourceService, ServiceBuilder};
+//! use kairos_admitd::PriorityClass;
+//! use kairos_appgen::{AppGenerator, GeneratorConfig};
+//! use kairos_platform::topology;
+//!
+//! let mut service = ServiceBuilder::new(topology::crisp()).deterministic(true).build()?;
+//! let mut generator = AppGenerator::new(GeneratorConfig::default(), 7);
+//!
+//! // A synchronized arrival wave, admitted as one batch.
+//! let wave: Vec<Request> = (0..4)
+//!     .map(|i| Request::admit(0, generator.generate(format!("app-{i}")), PriorityClass::Normal))
+//!     .collect();
+//! let tickets = service.submit_batch(wave);
+//! let events = service.take_events();
+//! assert_eq!(tickets.len(), 4);
+//! assert!(events.iter().any(|e| matches!(e, Event::Admitted { .. })));
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod builder;
+mod command;
+mod event;
+mod service;
+
+pub use builder::ServiceBuilder;
+pub use command::{CapacityEvent, Command, Request};
+pub use event::{Event, RejectCause, Ticket};
+pub use service::{KairosService, ResourceService};
+
+// The low-level layer, re-exported so service users have one import for
+// subsystem access.
+pub use kairos_admitd::{AdmitPolicy, Admitd, PreemptionPolicy, PriorityClass, VictimOrder};
+pub use kairos_core::{Kairos, KairosConfig};

@@ -1,0 +1,422 @@
+//! The [`ResourceService`] trait and its canonical [`KairosService`]
+//! implementation.
+
+use std::collections::BTreeMap;
+
+use kairos_admitd::{Admitd, PriorityClass, QueueEvent, Ticket as QueueTicket};
+use kairos_app::Application;
+use kairos_core::{Kairos, OccupancySnapshot};
+
+use crate::command::{CapacityEvent, Command, Request};
+use crate::event::{Event, RejectCause, Ticket};
+
+/// The one typed surface applications (and the `kairos-sim` scenario
+/// engine) talk to the run-time through.
+///
+/// A service accepts [`Request`]s — operations as data — and reports
+/// everything that happened as a single ordered [`Event`] stream:
+///
+/// * [`ResourceService::submit`] performs one command and returns its
+///   service [`Ticket`]; the events it caused accumulate until
+///   [`ResourceService::take_events`] drains them.
+/// * [`ResourceService::submit_batch`] performs a whole arrival wave as
+///   one operation: admissions share one top-level platform transaction
+///   and one class-ordered drain pass instead of N independent
+///   submissions (`cargo bench -p kairos-bench --bench service_batch`).
+/// * [`ResourceService::pump`] feeds lifecycle events (time advancing,
+///   shutdown) and returns the decisions they forced.
+///
+/// Everything is deterministic: the same request sequence produces the
+/// same event stream, byte for byte.
+pub trait ResourceService {
+    /// Performs one command, returning the ticket correlating its events.
+    fn submit(&mut self, request: Request) -> Ticket;
+
+    /// Performs a whole wave of commands as one operation, returning one
+    /// ticket per request in submission order.
+    ///
+    /// Admissions in the wave are handled collectively: sorted by
+    /// priority class (stable, so FIFO within a class is preserved),
+    /// admitted inside a single platform transaction, and — on a queued
+    /// service — drained in one pass. Non-admission commands execute
+    /// after the wave's admissions, in submission order.
+    fn submit_batch(&mut self, requests: Vec<Request>) -> Vec<Ticket>;
+
+    /// Feeds one lifecycle event and returns the decisions it forced
+    /// (timed-out drops, shutdown flushes). Unlike [`Self::submit`], the
+    /// returned events are not also buffered.
+    fn pump(&mut self, event: CapacityEvent) -> Vec<Event>;
+
+    /// Drains every event buffered since the last call, in order.
+    fn take_events(&mut self) -> Vec<Event>;
+
+    /// Read access to the underlying resource manager (the "low-level"
+    /// layer), for inspection.
+    fn kairos(&self) -> &Kairos;
+
+    /// Requests currently waiting in the admission queue (`0` for
+    /// queue-less services).
+    fn queue_depth(&self) -> usize;
+
+    /// An occupancy snapshot of the managed platform.
+    fn occupancy(&self) -> OccupancySnapshot {
+        self.kairos().occupancy()
+    }
+}
+
+/// The admission path behind a [`KairosService`]: the bare manager (the
+/// paper's immediate admit-or-reject), or the `kairos-admitd` priority
+/// front-end. One long-lived instance per service, so the variant size
+/// difference is irrelevant.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+enum Backend {
+    Direct(Kairos),
+    Queued(Admitd),
+}
+
+/// The canonical [`ResourceService`]: owns a [`Kairos`] manager — behind
+/// a `kairos-admitd` front-end when built with an admission policy — and
+/// the `kairos-reloc` relocation machinery, all under one typed
+/// command/event surface.
+///
+/// Built by [`ServiceBuilder`](crate::ServiceBuilder), which is where
+/// policies (cost weights, admission queueing, preemption, victim
+/// ordering) are injected.
+///
+/// # Examples
+///
+/// ```
+/// use kairos_svc::{Command, Event, Request, ResourceService, ServiceBuilder};
+/// use kairos_admitd::PriorityClass;
+/// use kairos_app::{ApplicationBuilder, TaskRole, Implementation};
+/// use kairos_platform::{topology, ElementKind, ResourceVector};
+///
+/// let mut service = ServiceBuilder::new(topology::crisp()).build()?;
+/// let imp = Implementation::new(ElementKind::Dsp, ResourceVector::new(700, 32, 0, 0), 90, 4);
+/// let mut b = ApplicationBuilder::new("stream");
+/// let t0 = b.add_task("in", TaskRole::Input, vec![imp]);
+/// let t1 = b.add_task("out", TaskRole::Output, vec![imp]);
+/// b.add_channel(t0, t1, 150, 1);
+/// let app = b.build()?;
+///
+/// let ticket = service.submit(Request::admit(0, app, PriorityClass::Normal));
+/// let events = service.take_events();
+/// assert!(matches!(&events[..], [Event::Admitted { ticket: t, .. }] if *t == ticket));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct KairosService {
+    backend: Backend,
+    /// Next service ticket; allocation order is submission order, with
+    /// front-end-minted tickets (preemption requeues) numbered at the
+    /// instant their first event is translated.
+    next_ticket: u64,
+    /// Front-end ticket → service ticket, for the queued backend. Grows
+    /// with the run; entries are never removed because a ticket may be
+    /// referenced by later events (a requeued victim's admission).
+    tickets: BTreeMap<u64, Ticket>,
+    /// Events accumulated since the last [`ResourceService::take_events`].
+    events: Vec<Event>,
+}
+
+impl KairosService {
+    /// A queue-less service over `kairos`: admissions run the pipeline
+    /// once and reject immediately on failure, the paper's behaviour.
+    pub fn direct(kairos: Kairos) -> Self {
+        KairosService {
+            backend: Backend::Direct(kairos),
+            next_ticket: 0,
+            tickets: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// A queued service over an existing front-end.
+    pub fn queued(admitd: Admitd) -> Self {
+        KairosService {
+            backend: Backend::Queued(admitd),
+            next_ticket: 0,
+            tickets: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The admission front-end, when the service runs with one.
+    pub fn admitd(&self) -> Option<&Admitd> {
+        match &self.backend {
+            Backend::Direct(_) => None,
+            Backend::Queued(admitd) => Some(admitd),
+        }
+    }
+
+    fn alloc_ticket(&mut self) -> Ticket {
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        ticket
+    }
+
+    /// The service ticket of a front-end ticket, minting one on first
+    /// sight (the front-end mints tickets of its own for preemption
+    /// requeues; they join the uniform service ticket space here).
+    fn service_ticket(&mut self, queue_ticket: QueueTicket) -> Ticket {
+        if let Some(&ticket) = self.tickets.get(&queue_ticket.0) {
+            return ticket;
+        }
+        let ticket = self.alloc_ticket();
+        self.tickets.insert(queue_ticket.0, ticket);
+        ticket
+    }
+
+    /// Translates a front-end event batch into unified service events.
+    fn translate(&mut self, queue_events: Vec<QueueEvent>) -> Vec<Event> {
+        queue_events
+            .into_iter()
+            .map(|event| match event {
+                QueueEvent::Enqueued { ticket, class, depth } => {
+                    Event::Queued { ticket: self.service_ticket(ticket), class, depth }
+                }
+                QueueEvent::Admitted { ticket, class, app, report, waited, attempts } => {
+                    Event::Admitted {
+                        ticket: self.service_ticket(ticket),
+                        class,
+                        app,
+                        report,
+                        waited,
+                        attempts,
+                    }
+                }
+                QueueEvent::AttemptFailed { ticket, class, attempt, phase } => {
+                    Event::AttemptFailed {
+                        ticket: self.service_ticket(ticket),
+                        class,
+                        attempt,
+                        phase,
+                    }
+                }
+                QueueEvent::Rejected { ticket, class, reason, waited } => Event::Rejected {
+                    ticket: self.service_ticket(ticket),
+                    class,
+                    cause: reason.into(),
+                    waited,
+                },
+                QueueEvent::Preempted { victim, class, ticket, by } => Event::Preempted {
+                    victim,
+                    class,
+                    // `by` is always an already-known ticket; the requeue
+                    // ticket is fresh and minted here, in event order.
+                    by: self.service_ticket(by),
+                    requeued_as: self.service_ticket(ticket),
+                },
+                QueueEvent::Migrated { app, by, moved_tasks, .. } => {
+                    Event::Migrated { ticket: self.service_ticket(by), app, moved_tasks }
+                }
+            })
+            .collect()
+    }
+
+    /// Translates and buffers a front-end event batch.
+    fn ingest(&mut self, queue_events: Vec<QueueEvent>) {
+        let translated = self.translate(queue_events);
+        self.events.extend(translated);
+    }
+
+    /// One direct-path admission: run the pipeline once, admit or reject.
+    fn admit_direct(
+        kairos: &mut Kairos,
+        ticket: Ticket,
+        app: Application,
+        class: PriorityClass,
+        events: &mut Vec<Event>,
+    ) {
+        match kairos.admit(&app) {
+            Ok(report) => events.push(Event::Admitted {
+                ticket,
+                class,
+                app: Box::new(app),
+                report: Box::new(report),
+                waited: 0,
+                attempts: 1,
+            }),
+            Err(failure) => events.push(Event::Rejected {
+                ticket,
+                class,
+                cause: RejectCause::Refused { phase: failure.phase() },
+                waited: 0,
+            }),
+        }
+    }
+
+    /// Performs one non-admission command under an already-allocated
+    /// ticket. Admissions are handled by the callers (they differ between
+    /// single and batched submission).
+    fn perform(&mut self, ticket: Ticket, at: u64, command: Command) {
+        match command {
+            Command::Admit { .. } => unreachable!("admissions are routed by the callers"),
+            Command::Release { app } => {
+                let (found, queued) = match &mut self.backend {
+                    Backend::Direct(kairos) => (kairos.release(app), Vec::new()),
+                    Backend::Queued(admitd) => admitd.release(app, at),
+                };
+                self.events.push(Event::Released { ticket, app, found });
+                self.ingest(queued);
+            }
+            Command::Migrate { app, avoid } => {
+                let (result, queued) = match &mut self.backend {
+                    Backend::Direct(kairos) => (kairos.migrate(app, &avoid), Vec::new()),
+                    Backend::Queued(admitd) => admitd.migrate(app, &avoid, at),
+                };
+                match result {
+                    Ok(report) => self.events.push(Event::Migrated {
+                        ticket,
+                        app,
+                        moved_tasks: report.moved_tasks,
+                    }),
+                    Err(error) => self.events.push(Event::MigrationFailed {
+                        ticket,
+                        app,
+                        error: Box::new(error),
+                    }),
+                }
+                self.ingest(queued);
+            }
+            Command::Defrag { max_moves } => {
+                let (moves, queued) = match &mut self.backend {
+                    Backend::Direct(kairos) => {
+                        (kairos_reloc::compact(kairos, max_moves).move_count(), Vec::new())
+                    }
+                    Backend::Queued(admitd) => {
+                        let (report, queued) = admitd.defrag(at, max_moves);
+                        (report.move_count(), queued)
+                    }
+                };
+                self.events.push(Event::Defragged { ticket, moves });
+                self.ingest(queued);
+            }
+            Command::InjectFault { element } => {
+                let (evicted, queued) = match &mut self.backend {
+                    Backend::Direct(kairos) => (kairos.fail_element(element), Vec::new()),
+                    Backend::Queued(admitd) => admitd.fail_element(element, at),
+                };
+                self.events.push(Event::ElementFailed { ticket, element, evicted });
+                self.ingest(queued);
+            }
+            Command::Repair { element } => {
+                let queued = match &mut self.backend {
+                    Backend::Direct(kairos) => {
+                        kairos.repair_element(element);
+                        Vec::new()
+                    }
+                    Backend::Queued(admitd) => admitd.repair_element(element, at),
+                };
+                self.events.push(Event::ElementRepaired { ticket, element });
+                self.ingest(queued);
+            }
+        }
+    }
+}
+
+impl ResourceService for KairosService {
+    fn submit(&mut self, request: Request) -> Ticket {
+        let Request { at, command } = request;
+        let ticket = self.alloc_ticket();
+        if let Command::Admit { app, class } = command {
+            match &mut self.backend {
+                Backend::Direct(kairos) => {
+                    Self::admit_direct(kairos, ticket, app, class, &mut self.events);
+                }
+                Backend::Queued(admitd) => {
+                    let (queue_ticket, queued) = admitd.submit(app, class, at);
+                    self.tickets.insert(queue_ticket.0, ticket);
+                    self.ingest(queued);
+                }
+            }
+        } else {
+            self.perform(ticket, at, command);
+        }
+        ticket
+    }
+
+    fn submit_batch(&mut self, requests: Vec<Request>) -> Vec<Ticket> {
+        // Allocate every ticket up front, in submission order — batching
+        // changes how work is performed, never how it is identified.
+        let requests: Vec<(Ticket, Request)> =
+            requests.into_iter().map(|r| (self.alloc_ticket(), r)).collect();
+        let tickets: Vec<Ticket> = requests.iter().map(|(t, _)| *t).collect();
+
+        let mut admissions: Vec<(Ticket, u64, Application, PriorityClass)> = Vec::new();
+        let mut rest: Vec<(Ticket, u64, Command)> = Vec::new();
+        for (ticket, Request { at, command }) in requests {
+            match command {
+                Command::Admit { app, class } => admissions.push((ticket, at, app, class)),
+                other => rest.push((ticket, at, other)),
+            }
+        }
+
+        if !admissions.is_empty() {
+            // The wave's timestamp: batches model synchronized arrivals,
+            // so the earliest request time stamps the whole wave.
+            let wave_at = admissions.iter().map(|(_, at, _, _)| *at).min().expect("non-empty");
+            match &mut self.backend {
+                Backend::Direct(kairos) => {
+                    // Class-sort (stable: FIFO within a class), mirroring
+                    // the drain order a queued service would use, then
+                    // admit the whole wave inside one platform
+                    // transaction.
+                    admissions.sort_by_key(|(_, _, _, class)| class.index());
+                    kairos.begin_batch();
+                    for (ticket, _, app, class) in admissions {
+                        Self::admit_direct(kairos, ticket, app, class, &mut self.events);
+                    }
+                    kairos.commit_batch();
+                }
+                Backend::Queued(admitd) => {
+                    // The front-end's batch path: every request through
+                    // the door, then one drain pass (which is itself
+                    // priority-then-FIFO ordered) in one batch scope.
+                    let service_tickets: Vec<Ticket> =
+                        admissions.iter().map(|(ticket, ..)| *ticket).collect();
+                    let wave: Vec<(Application, PriorityClass)> =
+                        admissions.into_iter().map(|(_, _, app, class)| (app, class)).collect();
+                    let (queue_tickets, queued) = admitd.submit_batch(wave, wave_at);
+                    for (ticket, queue_ticket) in service_tickets.into_iter().zip(queue_tickets) {
+                        self.tickets.insert(queue_ticket.0, ticket);
+                    }
+                    self.ingest(queued);
+                }
+            }
+        }
+
+        for (ticket, at, command) in rest {
+            self.perform(ticket, at, command);
+        }
+        tickets
+    }
+
+    fn pump(&mut self, event: CapacityEvent) -> Vec<Event> {
+        let queued = match (&mut self.backend, event) {
+            (Backend::Direct(_), _) => Vec::new(),
+            (Backend::Queued(admitd), CapacityEvent::Tick { now }) => admitd.expire(now),
+            (Backend::Queued(admitd), CapacityEvent::Shutdown { now }) => admitd.shutdown(now),
+        };
+        self.translate(queued)
+    }
+
+    fn take_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn kairos(&self) -> &Kairos {
+        match &self.backend {
+            Backend::Direct(kairos) => kairos,
+            Backend::Queued(admitd) => admitd.kairos(),
+        }
+    }
+
+    fn queue_depth(&self) -> usize {
+        match &self.backend {
+            Backend::Direct(_) => 0,
+            Backend::Queued(admitd) => admitd.queue_depth(),
+        }
+    }
+}

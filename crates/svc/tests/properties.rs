@@ -1,0 +1,339 @@
+//! Property-based and integration tests of the unified service API:
+//! batched submission is outcome-equivalent to sequential submission,
+//! cheaper in platform transactions, and the whole surface replays
+//! deterministically.
+
+use proptest::prelude::*;
+
+use kairos_admitd::{AdmitPolicy, PriorityClass};
+use kairos_app::{Application, ApplicationBuilder, Implementation, TaskRole};
+use kairos_platform::{topology, ElementKind, ResourceVector};
+use kairos_svc::{
+    CapacityEvent, Command, Event, KairosService, Request, ResourceService, ServiceBuilder,
+};
+
+/// A chain of `tasks` DSP tasks, each demanding `cpu`.
+fn chain(name: &str, tasks: usize, cpu: u64) -> Application {
+    let imp = Implementation::new(ElementKind::Dsp, ResourceVector::new(cpu, 8, 0, 0), 50, 1);
+    let mut b = ApplicationBuilder::new(name);
+    let mut prev = None;
+    for i in 0..tasks {
+        let t = b.add_task(format!("t{i}"), TaskRole::Internal, vec![imp]);
+        if let Some(p) = prev {
+            b.add_channel(p, t, 10, 1);
+        }
+        prev = Some(t);
+    }
+    b.build().unwrap()
+}
+
+/// Queue policy roomy enough that no wave in these tests ever hits the
+/// door (class capacities above every generated wave size, no timeout).
+fn roomy_policy() -> AdmitPolicy {
+    AdmitPolicy { class_capacity: [16, 16, 16, 16], max_wait: None, ..AdmitPolicy::default() }
+}
+
+/// Terminal outcome of an admission request: `Some(true)` admitted,
+/// `Some(false)` rejected, `None` still queued.
+fn outcome_of(events: &[Event], ticket: kairos_svc::Ticket) -> Option<bool> {
+    events.iter().find_map(|e| match e {
+        Event::Admitted { ticket: t, .. } if *t == ticket => Some(true),
+        Event::Rejected { ticket: t, .. } if *t == ticket => Some(false),
+        _ => None,
+    })
+}
+
+/// One generated admission: task count, class index, and whether the app
+/// is structurally hopeless (rejected permanently regardless of order).
+type Gen = (u8, u8, bool);
+
+fn wave_from(spec: &[Gen], cpu: u64) -> Vec<(Application, PriorityClass)> {
+    spec.iter()
+        .enumerate()
+        .map(|(i, &(tasks, class, hopeless))| {
+            let cpu = if hopeless { 1_000_000 } else { cpu };
+            let app = chain(&format!("w{i}"), 1 + (tasks % 3) as usize, cpu);
+            (app, PriorityClass::ALL[(class % 4) as usize])
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Uncontended equivalence: when neither the platform nor the queue
+    /// is contended, a batched wave produces exactly the same per-request
+    /// accept/reject outcomes as sequential submission in arrival order.
+    #[test]
+    fn batch_equals_sequential_when_uncontended(
+        spec in proptest::collection::vec((0u8..3, 0u8..4, any::<bool>()), 1..10),
+    ) {
+        // Small demands on the 62-element CRISP platform: every sound app
+        // fits, every hopeless app rejects permanently, order-free.
+        let wave = wave_from(&spec, 80);
+
+        let mut sequential = ServiceBuilder::new(topology::crisp())
+            .deterministic(true).admission(roomy_policy()).build().unwrap();
+        let mut seq_outcomes = Vec::new();
+        for (app, class) in wave.clone() {
+            let ticket = sequential.submit(Request::admit(0, app, class));
+            let events = sequential.take_events();
+            seq_outcomes.push(outcome_of(&events, ticket));
+        }
+
+        let mut batched = ServiceBuilder::new(topology::crisp())
+            .deterministic(true).admission(roomy_policy()).build().unwrap();
+        let requests = wave.into_iter().map(|(app, class)| Request::admit(0, app, class)).collect();
+        let tickets = batched.submit_batch(requests);
+        let events = batched.take_events();
+        let batch_outcomes: Vec<Option<bool>> =
+            tickets.iter().map(|&t| outcome_of(&events, t)).collect();
+
+        prop_assert_eq!(&batch_outcomes, &seq_outcomes, "uncontended outcomes must be identical");
+        prop_assert!(batch_outcomes.iter().all(|o| o.is_some()), "nothing waits uncontended");
+        prop_assert_eq!(
+            batched.kairos().admitted_count(),
+            sequential.kairos().admitted_count()
+        );
+    }
+
+    /// Contended safety: a batched wave admits exactly the requests that
+    /// sequential submission of the same wave in class-sorted order
+    /// (the order the batch drain itself uses) would admit — in
+    /// particular, the batch never accepts an app that sequential
+    /// admission would reject.
+    #[test]
+    fn batch_never_admits_what_sequential_rejects(
+        spec in proptest::collection::vec((0u8..3, 0u8..4), 2..12),
+    ) {
+        // Heavy demands on a 2x2 mesh: most waves are platform-contended.
+        let spec: Vec<Gen> = spec.into_iter().map(|(t, c)| (t, c, false)).collect();
+        let wave = wave_from(&spec, 700);
+
+        let mut batched = ServiceBuilder::new(topology::dsp_mesh(2, 2))
+            .deterministic(true).admission(roomy_policy()).build().unwrap();
+        let requests: Vec<Request> =
+            wave.iter().map(|(app, class)| Request::admit(0, app.clone(), *class)).collect();
+        let tickets = batched.submit_batch(requests);
+        let events = batched.take_events();
+        let batch_admitted: Vec<&str> = tickets
+            .iter()
+            .zip(&wave)
+            .filter(|&(&t, _)| outcome_of(&events, t) == Some(true))
+            .map(|(_, (app, _))| app.name())
+            .collect();
+
+        // Sequential submission in the batch's own order: stable
+        // class-sort of the wave.
+        let mut sorted = wave.clone();
+        sorted.sort_by_key(|(_, class)| class.index());
+        let mut sequential = ServiceBuilder::new(topology::dsp_mesh(2, 2))
+            .deterministic(true).admission(roomy_policy()).build().unwrap();
+        let mut seq_admitted = Vec::new();
+        for (app, class) in sorted {
+            let name = app.name().to_owned();
+            let ticket = sequential.submit(Request::admit(0, app, class));
+            let events = sequential.take_events();
+            if outcome_of(&events, ticket) == Some(true) {
+                seq_admitted.push(name);
+            }
+        }
+
+        let mut batch_sorted: Vec<String> =
+            batch_admitted.iter().map(|s| s.to_string()).collect();
+        batch_sorted.sort();
+        seq_admitted.sort();
+        prop_assert_eq!(batch_sorted, seq_admitted,
+            "batched admission decisions must match class-sorted sequential submission");
+    }
+
+    /// Replay determinism: the same request sequence produces the same
+    /// event stream, byte for byte.
+    #[test]
+    fn identical_request_sequences_replay_identically(
+        spec in proptest::collection::vec((0u8..3, 0u8..4, any::<bool>()), 1..10),
+    ) {
+        let run = || {
+            let mut service = ServiceBuilder::new(topology::dsp_mesh(3, 3))
+                .deterministic(true).admission(roomy_policy()).build().unwrap();
+            let wave = wave_from(&spec, 400);
+            let half = wave.len() / 2;
+            let mut log = Vec::new();
+            for (i, (app, class)) in wave.iter().take(half).enumerate() {
+                service.submit(Request::admit(i as u64, app.clone(), *class));
+                log.extend(service.take_events());
+            }
+            let batch: Vec<Request> = wave[half..]
+                .iter()
+                .map(|(app, class)| Request::admit(half as u64, app.clone(), *class))
+                .collect();
+            service.submit_batch(batch);
+            log.extend(service.take_events());
+            // Release everything, then flush.
+            for id in service.kairos().admitted_ids() {
+                service.submit(Request::release(100, id));
+                log.extend(service.take_events());
+            }
+            log.extend(service.pump(CapacityEvent::Shutdown { now: 200 }));
+            log
+        };
+        prop_assert_eq!(run(), run(), "service replay must be deterministic");
+    }
+}
+
+#[test]
+fn direct_service_runs_every_command_kind() {
+    let mut service = ServiceBuilder::new(topology::crisp()).deterministic(true).build().unwrap();
+    assert!(service.admitd().is_none());
+
+    let t0 = service.submit(Request::admit(0, chain("a", 3, 700), PriorityClass::Normal));
+    let events = service.take_events();
+    let Some(Event::Admitted { report, .. }) = events.first() else {
+        panic!("expected an admission, got {events:?}");
+    };
+    let id = report.app_id;
+    let host = report.layout.placement.iter().next().unwrap().1;
+    assert_eq!(events[0].ticket(), t0);
+
+    // Migrate off the hosting element.
+    let t1 = service.submit(Request::new(1, Command::Migrate { app: id, avoid: vec![host] }));
+    let events = service.take_events();
+    assert!(
+        matches!(&events[..], [Event::Migrated { ticket, app, .. }] if *ticket == t1 && *app == id)
+    );
+
+    // Fault the (now different) hosting element: the app is evicted.
+    let host = service.kairos().layout(id).unwrap().placement.iter().next().unwrap().1;
+    let t2 = service.submit(Request::new(2, Command::InjectFault { element: host }));
+    let events = service.take_events();
+    assert!(matches!(
+        &events[..],
+        [Event::ElementFailed { ticket, evicted, .. }] if *ticket == t2 && evicted.contains(&id)
+    ));
+
+    let t3 = service.submit(Request::new(3, Command::Repair { element: host }));
+    let events = service.take_events();
+    assert!(matches!(&events[..], [Event::ElementRepaired { ticket, .. }] if *ticket == t3));
+
+    // Pump is a no-op without a queue.
+    assert!(service.pump(CapacityEvent::Tick { now: 4 }).is_empty());
+    assert!(service.pump(CapacityEvent::Shutdown { now: 5 }).is_empty());
+
+    // Releasing an unknown id reports found: false.
+    let t4 = service.submit(Request::release(6, id));
+    let events = service.take_events();
+    assert!(matches!(
+        &events[..],
+        [Event::Released { ticket, found: false, .. }] if *ticket == t4
+    ));
+    assert!(service.kairos().platform().is_idle());
+}
+
+#[test]
+fn direct_rejections_carry_the_refusing_phase() {
+    let mut service =
+        ServiceBuilder::new(topology::dsp_mesh(2, 2)).deterministic(true).build().unwrap();
+    service.submit(Request::admit(0, chain("fill", 4, 900), PriorityClass::Normal));
+    service.take_events();
+    service.submit(Request::admit(1, chain("blocked", 4, 900), PriorityClass::Normal));
+    let events = service.take_events();
+    assert!(matches!(
+        &events[..],
+        [Event::Rejected { cause: kairos_svc::RejectCause::Refused { .. }, waited: 0, .. }]
+    ));
+}
+
+#[test]
+fn preemption_requeues_surface_as_fresh_service_tickets() {
+    let mut service = ServiceBuilder::new(topology::dsp_mesh(2, 2))
+        .deterministic(true)
+        .admission(AdmitPolicy { max_wait: None, ..roomy_policy() })
+        .preemption(kairos_svc::PreemptionPolicy::Evict)
+        .build()
+        .unwrap();
+    let low = service.submit(Request::admit(0, chain("low", 4, 900), PriorityClass::Low));
+    service.take_events();
+    let crit = service.submit(Request::admit(1, chain("crit", 4, 900), PriorityClass::Critical));
+    let events = service.take_events();
+    let preempt = events
+        .iter()
+        .find_map(|e| match e {
+            Event::Preempted { requeued_as, by, .. } => Some((*requeued_as, *by)),
+            _ => None,
+        })
+        .expect("the critical must preempt: {events:?}");
+    assert_eq!(preempt.1, crit, "attribution maps back to the blocked request's ticket");
+    assert!(preempt.0 != low && preempt.0 != crit, "the requeue runs under a fresh ticket");
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::Queued { ticket, .. } if *ticket == preempt.0)));
+    assert!(events.iter().any(|e| matches!(e, Event::Admitted { ticket, .. } if *ticket == crit)));
+}
+
+/// The batching acceptance criterion: a batched wave costs strictly
+/// fewer top-level platform transactions than the same wave submitted
+/// sequentially — on both backends.
+#[test]
+fn batched_waves_cost_strictly_fewer_platform_transactions() {
+    let wave = |n: usize| -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                Request::admit(0, chain(&format!("w{i}"), 1 + i % 3, 120), PriorityClass::Normal)
+            })
+            .collect()
+    };
+    let build = |queued: bool| -> KairosService {
+        let b = ServiceBuilder::new(topology::crisp()).deterministic(true);
+        if queued { b.admission(roomy_policy()).build() } else { b.build() }.unwrap()
+    };
+    for queued in [false, true] {
+        let mut sequential = build(queued);
+        for request in wave(8) {
+            sequential.submit(request);
+        }
+        let mut batched = build(queued);
+        batched.submit_batch(wave(8));
+        let (seq_txns, batch_txns) =
+            (sequential.kairos().platform().txn_count(), batched.kairos().platform().txn_count());
+        assert!(
+            batch_txns < seq_txns,
+            "queued={queued}: batch must pay fewer top-level txns ({batch_txns} vs {seq_txns})"
+        );
+        assert_eq!(
+            batched.kairos().admitted_count(),
+            sequential.kairos().admitted_count(),
+            "queued={queued}: same admissions either way"
+        );
+    }
+}
+
+#[test]
+fn builder_rejects_invalid_admission_policies() {
+    let err = ServiceBuilder::new(topology::crisp())
+        .admission(AdmitPolicy { max_attempts: 0, ..AdmitPolicy::default() })
+        .build();
+    assert!(err.is_err());
+}
+
+#[test]
+fn mixed_batches_run_non_admissions_after_the_wave() {
+    let mut service = ServiceBuilder::new(topology::crisp()).deterministic(true).build().unwrap();
+    let resident = service.submit(Request::admit(0, chain("r", 2, 500), PriorityClass::Normal));
+    let events = service.take_events();
+    assert_eq!(events[0].ticket(), resident);
+    let Event::Admitted { report, .. } = &events[0] else { panic!("admitted") };
+    let id = report.app_id;
+
+    let tickets = service.submit_batch(vec![
+        Request::new(1, Command::Release { app: id }),
+        Request::admit(1, chain("n", 1, 500), PriorityClass::Normal),
+    ]);
+    let events = service.take_events();
+    // The admission (second request) resolves first; the release follows.
+    assert_eq!(events.len(), 2);
+    assert!(matches!(&events[0], Event::Admitted { ticket, .. } if *ticket == tickets[1]));
+    assert!(matches!(
+        &events[1],
+        Event::Released { ticket, found: true, .. } if *ticket == tickets[0]
+    ));
+}

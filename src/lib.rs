@@ -22,10 +22,15 @@
 //!   retry with exponential backoff, timeouts, batch drains and the
 //!   preemption hook that evicts or migrates lower-priority work for
 //!   blocked criticals;
+//! * [`svc`] — the unified service API: one typed command/event surface
+//!   (`ResourceService`) over core + admitd + reloc, with operations as
+//!   data (`Command`), one correlated `Event` stream, first-class batched
+//!   submission of arrival waves, and construction-time policy injection
+//!   (`ServiceBuilder`);
 //! * [`sim`] — a deterministic discrete-event scenario engine driving the
-//!   manager through long-running multi-application workloads with
-//!   arrivals, departures and element faults, directly or through the
-//!   admission queue.
+//!   service through long-running multi-application workloads with
+//!   arrivals (lone or in batched waves), departures and element faults,
+//!   with or without the admission queue.
 //!
 //! ## Quickstart
 //!
@@ -54,3 +59,4 @@ pub use kairos_platform as platform;
 pub use kairos_reloc as reloc;
 pub use kairos_sdf as sdf;
 pub use kairos_sim as sim;
+pub use kairos_svc as svc;
