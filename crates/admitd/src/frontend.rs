@@ -349,6 +349,43 @@ impl Admitd {
         (ticket, true)
     }
 
+    /// Probes whether `app` could be admitted right now, leaving the
+    /// platform, the queue and every registry exactly as they were. The
+    /// pass-through of [`Kairos::probe_admit`] sharded deployments use to
+    /// compare queued shard managers without enqueueing anything.
+    ///
+    /// # Errors
+    ///
+    /// The [`kairos_core::AdmissionFailure`] the pipeline would report.
+    pub fn probe_admit(
+        &mut self,
+        app: &Application,
+    ) -> Result<kairos_core::AdmissionProbe, kairos_core::AdmissionFailure> {
+        self.kairos.probe_admit(app)
+    }
+
+    /// Admits `app` immediately, bypassing the queue — no ticket, no
+    /// events, no retry. The admitted application is registered in the
+    /// preemption victim registry under `class` (zero accumulated wait),
+    /// so later preemption planning treats it exactly like a drained
+    /// admission. This is the import half of a cross-shard rebalance
+    /// move: the application already waited its wait on another shard and
+    /// must not re-enter a queue here.
+    ///
+    /// # Errors
+    ///
+    /// The pipeline's [`kairos_core::AdmissionFailure`], if any; nothing
+    /// changes then.
+    pub fn admit_direct(
+        &mut self,
+        app: &Application,
+        class: PriorityClass,
+    ) -> Result<AdmissionReport, kairos_core::AdmissionFailure> {
+        let report = self.kairos.admit(app)?;
+        self.admitted_meta.insert(report.app_id, AdmittedMeta { class, waited: 0 });
+        Ok(report)
+    }
+
     /// Releases an admitted application; on success this is a capacity
     /// event, so the queue is drained in priority order. Returns whether
     /// the id was known, plus everything the drain did.

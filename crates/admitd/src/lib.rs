@@ -734,6 +734,45 @@ mod tests {
     }
 
     #[test]
+    fn probe_admit_is_state_neutral_through_the_front_end() {
+        let mut admitd = front(AdmitPolicy::default());
+        admitd.submit(chain_with("resident", 1, 600), PriorityClass::Normal, 0);
+        let before = admitd.kairos().platform().checkpoint();
+        let depth = admitd.queue_depth();
+        let probe = admitd.probe_admit(&chain_with("ghost", 2, 500)).unwrap();
+        assert_eq!(probe.layout.placement.len(), 2);
+        assert_eq!(admitd.kairos().platform().checkpoint(), before);
+        assert_eq!(admitd.queue_depth(), depth, "a probe enqueues nothing");
+        assert!(admitd.probe_admit(&chain("hopeless", 5)).is_err());
+        assert_eq!(admitd.kairos().platform().checkpoint(), before);
+    }
+
+    #[test]
+    fn admit_direct_bypasses_the_queue_but_joins_the_victim_registry() {
+        let mut admitd = front(preempt_policy(PreemptionPolicy::Evict));
+        let report = admitd.admit_direct(&chain("import", 4), PriorityClass::Low).unwrap();
+        assert_eq!(admitd.queue_depth(), 0, "no ticket, no queue entry");
+        assert_eq!(admitd.admitted_class(report.app_id), Some(PriorityClass::Low));
+        // The import is a first-class preemption candidate: a blocked
+        // critical may relocate it like any drained admission.
+        let (crit, events) = admitd.submit(chain("crit", 4), PriorityClass::Critical, 1);
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                QueueEvent::Preempted { victim, by, .. }
+                    if *victim == report.app_id && *by == crit
+            )),
+            "the imported app is preemptible: {events:?}"
+        );
+        // A failing direct admission changes nothing.
+        let mut full = front(AdmitPolicy::default());
+        full.admit_direct(&chain("fill", 4), PriorityClass::Normal).unwrap();
+        let before = full.kairos().platform().checkpoint();
+        assert!(full.admit_direct(&chain("no-room", 4), PriorityClass::Normal).is_err());
+        assert_eq!(full.kairos().platform().checkpoint(), before);
+    }
+
+    #[test]
     fn failed_elements_trigger_a_drain_and_return_victims() {
         let policy =
             AdmitPolicy { class_capacity: [4, 4, 4, 4], max_wait: None, ..AdmitPolicy::default() };

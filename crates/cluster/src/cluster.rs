@@ -1,0 +1,1105 @@
+//! The sharded [`ResourceService`]: one `Kairos` manager per platform
+//! region, parallel admission probes, and cross-shard rebalancing.
+
+use std::collections::BTreeMap;
+
+use kairos_admitd::{AdmitPolicy, PriorityClass};
+use kairos_app::Application;
+use kairos_core::{AdmissionProbe, Kairos, KairosConfig, OccupancySnapshot};
+use kairos_platform::{adjacent_pairs, AppId, ElementId, Platform, RegionMap};
+use kairos_svc::{
+    CapacityEvent, Command, Event, KairosService, Request, ResourceService, ServiceBuilder, Ticket,
+};
+
+use crate::policy::{FirstFit, PlacementPolicy, ShardFit, ShardLoad, ShardProbe};
+
+/// Size of each shard's [`AppId`] namespace: shard `i` mints ids from
+/// `i * APP_ID_STRIDE`, so an id alone identifies its home shard and ids
+/// stay globally unique across the cluster (shard 0 of a one-shard
+/// cluster numbers from 0 — exactly the single-manager behaviour).
+pub const APP_ID_STRIDE: u32 = 1 << 24;
+
+/// Shards a load may lag the most-loaded shard by before a
+/// [`Command::Rebalance`] sweep moves work across the boundary.
+const REBALANCE_GAP: f64 = 0.05;
+
+/// One region shard: its service, its slice of the global element id
+/// space, and the translation of its service tickets into the cluster's.
+#[derive(Debug)]
+struct Shard {
+    service: KairosService,
+    /// Local element index → global element id.
+    globals: Vec<ElementId>,
+    /// Shard-service ticket → cluster ticket. Entries are never removed:
+    /// a ticket may be referenced by later events (a requeued victim's
+    /// admission).
+    tickets: BTreeMap<u64, Ticket>,
+}
+
+/// Translates one shard's event batch into the cluster's id spaces:
+/// tickets through the shard's translation map, element ids from the
+/// shard's local space back to the global platform. App ids pass through
+/// untouched — they are globally unique by construction (the per-shard
+/// [`APP_ID_STRIDE`] namespace). Admission-report layouts stay in
+/// shard-local element coordinates; translate them through
+/// [`ClusterService::regions`] when needed.
+fn translate_events(next: &mut u64, shard: &mut Shard, events: Vec<Event>) -> Vec<Event> {
+    let Shard { globals, tickets, .. } = shard;
+    // The cluster ticket of a shard-service ticket, minted on first sight
+    // (shards mint tickets of their own for preemption requeues; they
+    // join the cluster's uniform ticket space here, in event order).
+    let mut t = |ticket: Ticket| -> Ticket {
+        if let Some(&t) = tickets.get(&ticket.0) {
+            return t;
+        }
+        let minted = Ticket(*next);
+        *next += 1;
+        tickets.insert(ticket.0, minted);
+        minted
+    };
+    events
+        .into_iter()
+        .map(|event| match event {
+            Event::Queued { ticket, class, depth } => {
+                Event::Queued { ticket: t(ticket), class, depth }
+            }
+            Event::Admitted { ticket, class, app, report, waited, attempts } => {
+                Event::Admitted { ticket: t(ticket), class, app, report, waited, attempts }
+            }
+            Event::AttemptFailed { ticket, class, attempt, phase } => {
+                Event::AttemptFailed { ticket: t(ticket), class, attempt, phase }
+            }
+            Event::Rejected { ticket, class, cause, waited } => {
+                Event::Rejected { ticket: t(ticket), class, cause, waited }
+            }
+            Event::Preempted { victim, class, requeued_as, by } => {
+                Event::Preempted { victim, class, by: t(by), requeued_as: t(requeued_as) }
+            }
+            Event::Migrated { ticket, app, moved_tasks } => {
+                Event::Migrated { ticket: t(ticket), app, moved_tasks }
+            }
+            Event::MigrationFailed { ticket, app, error } => {
+                Event::MigrationFailed { ticket: t(ticket), app, error }
+            }
+            Event::Released { ticket, app, found } => {
+                Event::Released { ticket: t(ticket), app, found }
+            }
+            Event::ElementFailed { ticket, element, evicted } => Event::ElementFailed {
+                ticket: t(ticket),
+                element: globals[element.index()],
+                evicted,
+            },
+            Event::ElementRepaired { ticket, element } => {
+                Event::ElementRepaired { ticket: t(ticket), element: globals[element.index()] }
+            }
+            Event::Defragged { ticket, moves } => Event::Defragged { ticket: t(ticket), moves },
+            Event::Rebalanced { ticket, moves } => Event::Rebalanced { ticket: t(ticket), moves },
+        })
+        .collect()
+}
+
+/// Builds a [`ClusterService`]: the platform, the shard count, and the
+/// same policy knobs as [`ServiceBuilder`] — every shard gets an
+/// identical configuration (admission queue included), plus the
+/// cluster-level [`PlacementPolicy`] deciding which shard each admission
+/// is routed to.
+///
+/// # Examples
+///
+/// ```
+/// use kairos_cluster::{ClusterBuilder, LeastLoaded};
+/// use kairos_platform::topology;
+///
+/// let cluster = ClusterBuilder::new(topology::crisp(), 4)
+///     .deterministic(true)
+///     .placement(Box::new(LeastLoaded))
+///     .build()?;
+/// assert_eq!(cluster.shard_count(), 4);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    platform: Platform,
+    shards: usize,
+    config: KairosConfig,
+    admission: Option<AdmitPolicy>,
+    policy: Box<dyn PlacementPolicy>,
+}
+
+impl ClusterBuilder {
+    /// A builder for a cluster of `shards` region managers over
+    /// `platform`, with the default manager configuration, no admission
+    /// queue and [`FirstFit`] placement.
+    pub fn new(platform: Platform, shards: usize) -> Self {
+        ClusterBuilder {
+            platform,
+            shards,
+            config: KairosConfig::default(),
+            admission: None,
+            policy: Box::new(FirstFit),
+        }
+    }
+
+    /// Replaces the per-shard manager configuration (each shard's
+    /// [`KairosConfig::app_id_base`] is still overridden to its own
+    /// [`APP_ID_STRIDE`] slot).
+    pub fn config(mut self, config: KairosConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs every shard's pipeline on the zero phase clock, making
+    /// cluster output a pure function of its inputs.
+    pub fn deterministic(mut self, deterministic: bool) -> Self {
+        self.config.deterministic = deterministic;
+        self
+    }
+
+    /// Fronts every shard manager with a `kairos-admitd` priority queue
+    /// under `policy` (class capacities apply per shard).
+    pub fn admission(mut self, policy: AdmitPolicy) -> Self {
+        self.admission = Some(policy);
+        self
+    }
+
+    /// Injects the shard-placement policy (default: [`FirstFit`]).
+    pub fn placement(mut self, policy: Box<dyn PlacementPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builds the cluster: partitions the platform into contiguous
+    /// capacity-balanced regions ([`RegionMap::new`]) and starts one
+    /// [`KairosService`] per region.
+    ///
+    /// # Errors
+    ///
+    /// The partitioner's error (zero shards, more shards than elements,
+    /// or more shards than [`APP_ID_STRIDE`] namespaces), or the
+    /// admission policy's validation error.
+    pub fn build(self) -> Result<ClusterService, String> {
+        if self.shards > (u32::MAX / APP_ID_STRIDE) as usize {
+            return Err(format!("at most {} shards are addressable", u32::MAX / APP_ID_STRIDE));
+        }
+        let region = RegionMap::new(&self.platform, self.shards)?;
+        let mut shards = Vec::with_capacity(region.region_count());
+        for r in 0..region.region_count() {
+            let config = KairosConfig { app_id_base: r as u32 * APP_ID_STRIDE, ..self.config };
+            let mut builder = ServiceBuilder::new(region.extract(&self.platform, r)).config(config);
+            if let Some(policy) = self.admission {
+                builder = builder.admission(policy);
+            }
+            shards.push(Shard {
+                service: builder.build()?,
+                globals: region.elements(r).to_vec(),
+                tickets: BTreeMap::new(),
+            });
+        }
+        Ok(ClusterService {
+            shards,
+            region,
+            policy: self.policy,
+            next_ticket: 0,
+            events: Vec::new(),
+        })
+    }
+}
+
+/// A fleet of shard managers behind one [`ResourceService`] surface.
+///
+/// The platform is partitioned into contiguous, capacity-balanced
+/// regions; each region is owned by its own [`KairosService`] (direct or
+/// queued, exactly as a monolithic service would be). Traffic flows:
+///
+/// * **Admissions** fan out as parallel what-if probes across all shards
+///   (`std::thread::scope`; each probe runs in a claim-journal
+///   transaction that is always rolled back, so losing probes cost
+///   nothing). Probe results are merged in shard-id order and the
+///   injected [`PlacementPolicy`] picks the winning shard — making the
+///   outcome independent of thread scheduling. The admission is then
+///   submitted to that shard's service, queueing semantics and all. When
+///   no shard fits, the policy's fallback shard takes the request (to
+///   queue or reject it).
+/// * **Releases, migrations, faults and repairs** route to the owning
+///   shard: app ids encode their home shard ([`APP_ID_STRIDE`]), element
+///   ids translate through the [`RegionMap`].
+/// * **[`Command::Defrag`]** compacts every shard in shard-id order
+///   (`kairos-reloc` migration stays shard-local) and reports one sweep.
+/// * **[`Command::Rebalance`]** moves running applications from the
+///   most- to the least-loaded shard by evict-and-readmit across the
+///   boundary — two-phase (claim the new home, then free the old; any
+///   failure rolls the move back) — reporting each move's id change in
+///   [`Event::Rebalanced`].
+///
+/// A one-shard cluster is byte-for-byte the monolithic service: identity
+/// partition, identity id maps, probes skipped.
+///
+/// # Examples
+///
+/// ```
+/// use kairos_cluster::ClusterBuilder;
+/// use kairos_svc::{Request, ResourceService, Event};
+/// use kairos_admitd::PriorityClass;
+/// use kairos_appgen::{AppGenerator, GeneratorConfig};
+/// use kairos_platform::topology;
+///
+/// let mut cluster = ClusterBuilder::new(topology::crisp(), 3).deterministic(true).build()?;
+/// let mut generator = AppGenerator::new(GeneratorConfig::default(), 7);
+/// let ticket = cluster.submit(Request::admit(0, generator.generate("app"), PriorityClass::Normal));
+/// let events = cluster.take_events();
+/// assert!(matches!(&events[..], [Event::Admitted { ticket: t, .. }] if *t == ticket));
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug)]
+pub struct ClusterService {
+    shards: Vec<Shard>,
+    region: RegionMap,
+    policy: Box<dyn PlacementPolicy>,
+    /// Next cluster ticket; allocation order is submission order, with
+    /// shard-minted tickets (preemption requeues) numbered at the instant
+    /// their first event is translated.
+    next_ticket: u64,
+    /// Events accumulated since the last [`ResourceService::take_events`].
+    events: Vec<Event>,
+}
+
+impl ClusterService {
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The region partition the cluster runs on (element id translation
+    /// between the global platform and each shard's local space).
+    pub fn regions(&self) -> &RegionMap {
+        &self.region
+    }
+
+    /// Read access to one shard's service, for inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn shard(&self, shard: usize) -> &KairosService {
+        &self.shards[shard].service
+    }
+
+    /// The injected placement policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The shard that minted `app` (ids encode their home shard).
+    pub fn shard_of_app(&self, app: AppId) -> usize {
+        ((app.0 / APP_ID_STRIDE) as usize).min(self.shards.len() - 1)
+    }
+
+    /// Probes every shard with a state-neutral what-if admission of
+    /// `app` — in parallel on a multi-shard cluster — and returns the
+    /// results merged in shard-id order. Nothing changes anywhere: each
+    /// probe runs in a claim-journal transaction its shard always rolls
+    /// back.
+    pub fn probe_admit(&mut self, app: &Application) -> Vec<ShardProbe> {
+        if self.shards.len() == 1 {
+            let fit = fit_of(self.shards[0].service.probe_admit(app).ok());
+            return vec![ShardProbe { shard: 0, fit }];
+        }
+        // One scoped thread per shard: each exclusively owns its shard's
+        // manager (`iter_mut` hands out disjoint borrows), reads the
+        // shared application, and reports back through its join handle.
+        // Joining in spawn order re-imposes shard-id order on the
+        // results, so scheduling cannot leak into any decision.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|shard| scope.spawn(move || shard.service.probe_admit(app).ok()))
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(shard, handle)| ShardProbe {
+                    shard,
+                    fit: fit_of(handle.join().expect("probe thread panicked")),
+                })
+                .collect()
+        })
+    }
+
+    /// Probes every shard with a state-neutral what-if admission of a
+    /// whole arrival wave: one scoped thread per shard probes *all* of
+    /// `apps` against its region, so the fan-out cost is one thread per
+    /// shard per wave instead of per application. Returns one shard-id-
+    /// ordered probe row per application, identical to calling
+    /// [`ClusterService::probe_admit`] per app (probes are state-neutral,
+    /// so the rows are independent) — this is what batched submission
+    /// places its admissions with, and the workload the `cluster_probe`
+    /// bench measures against the monolithic sequential baseline.
+    pub fn probe_admit_wave(&mut self, apps: &[Application]) -> Vec<Vec<ShardProbe>> {
+        let refs: Vec<&Application> = apps.iter().collect();
+        self.probe_wave(&refs)
+    }
+
+    /// [`Self::probe_admit_wave`] over borrowed applications (what the
+    /// batched submission path calls — the wave is still owned by the
+    /// requests being placed).
+    fn probe_wave(&mut self, apps: &[&Application]) -> Vec<Vec<ShardProbe>> {
+        if self.shards.len() == 1 {
+            return apps
+                .iter()
+                .map(|app| {
+                    let fit = fit_of(self.shards[0].service.probe_admit(app).ok());
+                    vec![ShardProbe { shard: 0, fit }]
+                })
+                .collect();
+        }
+        let per_shard: Vec<Vec<Option<ShardFit>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|shard| {
+                    scope.spawn(move || {
+                        apps.iter().map(|app| fit_of(shard.service.probe_admit(app).ok())).collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("probe thread panicked"))
+                .collect()
+        });
+        (0..apps.len())
+            .map(|a| {
+                per_shard
+                    .iter()
+                    .enumerate()
+                    .map(|(shard, fits)| ShardProbe { shard, fit: fits[a] })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Current per-shard loads, in shard-id order.
+    pub fn loads(&self) -> Vec<ShardLoad> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardLoad {
+                shard,
+                resource_utilisation: s.service.occupancy().resource_utilisation,
+                queue_depth: s.service.queue_depth(),
+            })
+            .collect()
+    }
+
+    fn alloc_ticket(&mut self) -> Ticket {
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        ticket
+    }
+
+    /// Probes, asks the policy, falls back: the shard this admission is
+    /// routed to.
+    fn place(&mut self, app: &Application) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        let probes = self.probe_admit(app);
+        match self.policy.choose(&probes) {
+            Some(shard) => shard,
+            None => self.policy.fallback(&self.loads()),
+        }
+    }
+
+    /// Drains one shard's buffered events into the cluster's, translated.
+    fn drain_shard(&mut self, shard: usize) {
+        let s = &mut self.shards[shard];
+        let events = s.service.take_events();
+        let translated = translate_events(&mut self.next_ticket, s, events);
+        self.events.extend(translated);
+    }
+
+    /// Submits `request` to `shard` under the cluster ticket `ticket` and
+    /// drains the fallout.
+    fn forward(&mut self, shard: usize, ticket: Ticket, request: Request) {
+        let s = &mut self.shards[shard];
+        let shard_ticket = s.service.submit(request);
+        s.tickets.insert(shard_ticket.0, ticket);
+        self.drain_shard(shard);
+    }
+
+    /// Performs one command under an already-allocated cluster ticket.
+    fn dispatch(&mut self, ticket: Ticket, at: u64, command: Command) {
+        match command {
+            Command::Admit { app, class } => {
+                let target = self.place(&app);
+                self.forward(target, ticket, Request::admit(at, app, class));
+            }
+            Command::Release { app } => {
+                let target = self.shard_of_app(app);
+                self.forward(target, ticket, Request::new(at, Command::Release { app }));
+            }
+            Command::Migrate { app, avoid } => {
+                let target = self.shard_of_app(app);
+                // Only elements of the owning shard can host the app;
+                // avoided elements elsewhere are unreachable anyway.
+                let avoid: Vec<ElementId> = avoid
+                    .into_iter()
+                    .filter(|&e| self.region.region_of(e) == target)
+                    .map(|e| self.region.to_local(e))
+                    .collect();
+                self.forward(target, ticket, Request::new(at, Command::Migrate { app, avoid }));
+            }
+            Command::InjectFault { element } => {
+                let target = self.region.region_of(element);
+                let element = self.region.to_local(element);
+                self.forward(target, ticket, Request::new(at, Command::InjectFault { element }));
+            }
+            Command::Repair { element } => {
+                let target = self.region.region_of(element);
+                let element = self.region.to_local(element);
+                self.forward(target, ticket, Request::new(at, Command::Repair { element }));
+            }
+            Command::Defrag { max_moves } => self.run_defrag(at, ticket, max_moves),
+            Command::Rebalance { max_moves } => self.run_rebalance(at, ticket, max_moves),
+        }
+    }
+
+    /// One cluster-wide defrag sweep: every shard compacts itself (up to
+    /// `max_moves` each, in shard-id order), reported as one
+    /// [`Event::Defragged`] with the summed move count, followed by
+    /// whatever the freed room drained out of the shard queues.
+    fn run_defrag(&mut self, at: u64, ticket: Ticket, max_moves: usize) {
+        let mut moves = 0;
+        let mut tail = Vec::new();
+        for i in 0..self.shards.len() {
+            let s = &mut self.shards[i];
+            let shard_ticket = s.service.submit(Request::new(at, Command::Defrag { max_moves }));
+            s.tickets.insert(shard_ticket.0, ticket);
+            let events = s.service.take_events();
+            for event in translate_events(&mut self.next_ticket, s, events) {
+                match event {
+                    Event::Defragged { moves: m, .. } => moves += m,
+                    other => tail.push(other),
+                }
+            }
+        }
+        self.events.push(Event::Defragged { ticket, moves });
+        self.events.extend(tail);
+    }
+
+    /// One cross-shard rebalance sweep (the real implementation behind
+    /// [`Command::Rebalance`]).
+    ///
+    /// Repeatedly pairs the most- with the least-loaded shard (by
+    /// resource utilisation; ties break toward the lower id) while their
+    /// gap exceeds the rebalance threshold, and moves the first
+    /// probe-fitting application across the boundary — evict-and-readmit,
+    /// two-phase:
+    ///
+    /// 1. **make** — the destination shard admits the application
+    ///    directly (bypassing its queue: the application already waited
+    ///    its wait), minting a fresh id in its own namespace;
+    /// 2. **break** — the source shard releases the old claims; the
+    ///    freed room is a capacity event, so source-shard waiters drain.
+    ///
+    /// A failure in phase 1 skips the candidate with nothing to undo; a
+    /// failure in phase 2 (the app vanished) rolls phase 1 back by
+    /// releasing the fresh claims, so no move is ever half-made.
+    fn run_rebalance(&mut self, at: u64, ticket: Ticket, max_moves: usize) {
+        let mut moves: Vec<(AppId, AppId)> = Vec::new();
+        let mut tail: Vec<Event> = Vec::new();
+        'sweep: while moves.len() < max_moves && self.shards.len() > 1 {
+            let loads = self.loads();
+            let src = loads
+                .iter()
+                .max_by(|a, b| {
+                    a.resource_utilisation.total_cmp(&b.resource_utilisation).then(
+                        b.shard.cmp(&a.shard), // ties -> lower id wins the max
+                    )
+                })
+                .expect("at least one shard")
+                .shard;
+            let dst = loads
+                .iter()
+                .min_by(|a, b| {
+                    a.resource_utilisation.total_cmp(&b.resource_utilisation).then(
+                        a.shard.cmp(&b.shard), // ties -> lower id wins the min
+                    )
+                })
+                .expect("at least one shard")
+                .shard;
+            if src == dst
+                || loads[src].resource_utilisation - loads[dst].resource_utilisation < REBALANCE_GAP
+            {
+                break;
+            }
+            for id in self.shards[src].service.kairos().admitted_ids() {
+                let app = self.shards[src]
+                    .service
+                    .kairos()
+                    .application(id)
+                    .expect("admitted ids resolve")
+                    .clone();
+                let Ok(probe) = self.shards[dst].service.probe_admit(&app) else {
+                    continue;
+                };
+                // Convergence guard: the move must leave the destination
+                // strictly below the source's current load, or the next
+                // iteration would just ship work back (ping-pong).
+                if probe.after.resource_utilisation + f64::EPSILON
+                    >= loads[src].resource_utilisation
+                {
+                    continue;
+                }
+                let class = self.shards[src]
+                    .service
+                    .admitd()
+                    .and_then(|a| a.admitted_class(id))
+                    .unwrap_or(PriorityClass::Normal);
+                // Phase 1 (make): claim the new home across the boundary.
+                let Ok(report) = self.shards[dst].service.admit_now(&app, class) else {
+                    continue;
+                };
+                // Phase 2 (break): free the old home, draining waiters.
+                let (found, drained) = self.shards[src].service.release_now(id, at);
+                if !found {
+                    self.shards[dst].service.release_now(report.app_id, at);
+                    continue;
+                }
+                let s = &mut self.shards[src];
+                tail.extend(translate_events(&mut self.next_ticket, s, drained));
+                moves.push((id, report.app_id));
+                continue 'sweep;
+            }
+            break; // nothing on the loaded shard fits anywhere lighter
+        }
+        // Drain fallout first, the sweep summary last: a later iteration
+        // may move an application a drain admitted moments earlier, and
+        // its `Admitted` must reach the caller before the `Rebalanced`
+        // that renames it (the sim's live-app accounting relies on it).
+        self.events.extend(tail);
+        self.events.push(Event::Rebalanced { ticket, moves });
+    }
+}
+
+fn fit_of(probe: Option<AdmissionProbe>) -> Option<ShardFit> {
+    probe.map(|p| ShardFit {
+        fragmentation: p.after.external_fragmentation,
+        resource_utilisation: p.after.resource_utilisation,
+        free_islands: p.after.free_islands,
+    })
+}
+
+impl ResourceService for ClusterService {
+    fn submit(&mut self, request: Request) -> Ticket {
+        let Request { at, command } = request;
+        let ticket = self.alloc_ticket();
+        self.dispatch(ticket, at, command);
+        ticket
+    }
+
+    fn submit_batch(&mut self, requests: Vec<Request>) -> Vec<Ticket> {
+        // Cluster tickets are allocated up front in submission order —
+        // batching changes how work is performed, never how it is
+        // identified (mirroring the monolithic service).
+        let requests: Vec<(Ticket, Request)> =
+            requests.into_iter().map(|r| (self.alloc_ticket(), r)).collect();
+        let tickets: Vec<Ticket> = requests.iter().map(|(t, _)| *t).collect();
+
+        // Place every admission against the pre-wave state — probes are
+        // state-neutral, so the whole wave is probed in one per-shard
+        // parallel fan-out ([`Self::probe_admit_wave`]) — group the wave
+        // by winning shard, and hand each shard its sub-wave as one
+        // batched submission (one platform transaction, one drain pass —
+        // per shard). Non-admission commands run after the wave, in
+        // submission order, exactly as the monolithic service does.
+        let mut admissions: Vec<(Ticket, u64, Application, PriorityClass)> = Vec::new();
+        let mut rest: Vec<(Ticket, u64, Command)> = Vec::new();
+        for (ticket, Request { at, command }) in requests {
+            match command {
+                Command::Admit { app, class } => admissions.push((ticket, at, app, class)),
+                other => rest.push((ticket, at, other)),
+            }
+        }
+        let mut waves: Vec<Vec<(Ticket, Request)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        if self.shards.len() == 1 {
+            for (ticket, at, app, class) in admissions {
+                waves[0].push((ticket, Request::admit(at, app, class)));
+            }
+        } else {
+            let apps: Vec<&Application> = admissions.iter().map(|(_, _, app, _)| app).collect();
+            let probes = self.probe_wave(&apps);
+            drop(apps);
+            for ((ticket, at, app, class), row) in admissions.into_iter().zip(probes) {
+                let target = match self.policy.choose(&row) {
+                    Some(shard) => shard,
+                    None => self.policy.fallback(&self.loads()),
+                };
+                waves[target].push((ticket, Request::admit(at, app, class)));
+            }
+        }
+        for (i, wave) in waves.into_iter().enumerate() {
+            if wave.is_empty() {
+                continue;
+            }
+            let (cluster_tickets, shard_requests): (Vec<Ticket>, Vec<Request>) =
+                wave.into_iter().unzip();
+            let s = &mut self.shards[i];
+            let shard_tickets = s.service.submit_batch(shard_requests);
+            for (cluster_ticket, shard_ticket) in cluster_tickets.into_iter().zip(shard_tickets) {
+                s.tickets.insert(shard_ticket.0, cluster_ticket);
+            }
+            self.drain_shard(i);
+        }
+        for (ticket, at, command) in rest {
+            self.dispatch(ticket, at, command);
+        }
+        tickets
+    }
+
+    fn pump(&mut self, event: CapacityEvent) -> Vec<Event> {
+        let mut out = Vec::new();
+        for i in 0..self.shards.len() {
+            let s = &mut self.shards[i];
+            let events = s.service.pump(event);
+            out.extend(translate_events(&mut self.next_ticket, s, events));
+        }
+        out
+    }
+
+    fn take_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn kairos(&self) -> &Kairos {
+        self.shards[0].service.kairos()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.service.queue_depth()).sum()
+    }
+
+    /// Whole-cluster occupancy, aggregated exactly: utilisations from the
+    /// summed counts, fragmentation over the union of all intra-shard
+    /// adjacent pairs (cross-shard pairs are invisible to the shard
+    /// managers and excluded — a one-shard cluster therefore matches the
+    /// monolithic snapshot bit for bit), islands and failures summed.
+    fn occupancy(&self) -> OccupancySnapshot {
+        let mut admitted_apps = 0;
+        let mut used = 0usize;
+        let mut elements = 0usize;
+        let (mut free, mut capacity) = (0u64, 0u64);
+        let (mut mixed, mut pairs) = (0usize, 0usize);
+        let mut free_islands = 0;
+        let mut failed_elements = 0;
+        for s in &self.shards {
+            let kairos = s.service.kairos();
+            let p = kairos.platform();
+            admitted_apps += kairos.admitted_count();
+            used += p.element_ids().filter(|&e| p.is_used(e)).count();
+            elements += p.element_count();
+            free += p.total_free().as_array().iter().sum::<u64>();
+            capacity += p.total_capacity().as_array().iter().sum::<u64>();
+            let shard_pairs = adjacent_pairs(p);
+            mixed += shard_pairs.iter().filter(|&&(a, b)| p.is_used(a) != p.is_used(b)).count();
+            pairs += shard_pairs.len();
+            free_islands += kairos_platform::free_island_count(p);
+            failed_elements += p.failed_elements().len();
+        }
+        OccupancySnapshot {
+            admitted_apps,
+            element_utilisation: if elements == 0 { 0.0 } else { used as f64 / elements as f64 },
+            resource_utilisation: if capacity == 0 {
+                0.0
+            } else {
+                1.0 - free as f64 / capacity as f64
+            },
+            external_fragmentation: if pairs == 0 { 0.0 } else { mixed as f64 / pairs as f64 },
+            free_islands,
+            failed_elements,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BestFitFragmentation, LeastLoaded};
+    use kairos_app::{ApplicationBuilder, Implementation, TaskRole};
+    use kairos_platform::{topology, ElementKind, ResourceVector};
+
+    fn chain(name: &str, tasks: usize, cpu: u64) -> Application {
+        let imp = Implementation::new(ElementKind::Dsp, ResourceVector::new(cpu, 8, 0, 0), 50, 1);
+        let mut b = ApplicationBuilder::new(name);
+        let mut prev = None;
+        for i in 0..tasks {
+            let t = b.add_task(format!("t{i}"), TaskRole::Internal, vec![imp]);
+            if let Some(p) = prev {
+                b.add_channel(p, t, 10, 1);
+            }
+            prev = Some(t);
+        }
+        b.build().unwrap()
+    }
+
+    fn cluster(shards: usize) -> ClusterService {
+        ClusterBuilder::new(topology::crisp(), shards).deterministic(true).build().unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_shard_counts() {
+        assert!(ClusterBuilder::new(topology::crisp(), 0).build().is_err());
+        assert!(ClusterBuilder::new(topology::dsp_line(3), 4).build().is_err());
+        assert!(ClusterBuilder::new(topology::crisp(), 1_000_000).build().is_err());
+    }
+
+    #[test]
+    fn one_shard_cluster_reproduces_the_monolithic_event_stream() {
+        let mut mono = ServiceBuilder::new(topology::crisp()).deterministic(true).build().unwrap();
+        let mut one = cluster(1);
+        let traffic: Vec<Request> = vec![
+            Request::admit(0, chain("a", 3, 700), PriorityClass::Normal),
+            Request::admit(1, chain("b", 2, 500), PriorityClass::Critical),
+            Request::admit(2, chain("hopeless", 70, 990), PriorityClass::Low),
+            Request::new(3, Command::InjectFault { element: ElementId(5) }),
+            Request::new(4, Command::Repair { element: ElementId(5) }),
+            Request::new(5, Command::Defrag { max_moves: 4 }),
+            Request::new(6, Command::Rebalance { max_moves: 4 }),
+        ];
+        let mono_tickets: Vec<Ticket> = traffic.iter().cloned().map(|r| mono.submit(r)).collect();
+        let one_tickets: Vec<Ticket> = traffic.into_iter().map(|r| one.submit(r)).collect();
+        assert_eq!(mono_tickets, one_tickets);
+        let (a, b) = (mono.take_events(), one.take_events());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "event streams must match byte-for-byte");
+        assert_eq!(mono.occupancy(), one.occupancy());
+        assert_eq!(mono.queue_depth(), one.queue_depth());
+    }
+
+    #[test]
+    fn one_shard_batches_match_the_monolithic_batch_path() {
+        let mut mono = ServiceBuilder::new(topology::crisp()).deterministic(true).build().unwrap();
+        let mut one = cluster(1);
+        let wave = |i: u64| -> Vec<Request> {
+            vec![
+                Request::admit(i, chain("w0", 2, 600), PriorityClass::Low),
+                Request::admit(i, chain("w1", 1, 400), PriorityClass::Critical),
+                Request::admit(i, chain("w2", 2, 500), PriorityClass::Normal),
+            ]
+        };
+        assert_eq!(mono.submit_batch(wave(0)), one.submit_batch(wave(0)));
+        let (a, b) = (mono.take_events(), one.take_events());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(
+            mono.kairos().platform().txn_count(),
+            one.shard(0).kairos().platform().txn_count(),
+            "one batch transaction either way"
+        );
+    }
+
+    #[test]
+    fn app_ids_encode_their_home_shard_and_releases_route_back() {
+        let mut cluster = ClusterBuilder::new(topology::crisp(), 3)
+            .deterministic(true)
+            .placement(Box::new(LeastLoaded))
+            .build()
+            .unwrap();
+        let mut homes = Vec::new();
+        for i in 0..6 {
+            cluster.submit(Request::admit(
+                i,
+                chain(&format!("a{i}"), 2, 600),
+                PriorityClass::Normal,
+            ));
+        }
+        for event in cluster.take_events() {
+            let Event::Admitted { report, .. } = event else {
+                panic!("uncontended admissions admit: {event:?}")
+            };
+            let home = cluster.shard_of_app(report.app_id);
+            assert!(
+                cluster.shard(home).kairos().admitted_ids().contains(&report.app_id),
+                "the id's encoded shard actually owns it"
+            );
+            homes.push((report.app_id, home));
+        }
+        assert!(
+            homes.iter().map(|&(_, h)| h).collect::<std::collections::BTreeSet<_>>().len() > 1,
+            "least-loaded placement spreads the apps: {homes:?}"
+        );
+        // Releases route home: every shard drains back to idle.
+        for (i, &(id, _)) in homes.iter().enumerate() {
+            cluster.submit(Request::release(10 + i as u64, id));
+        }
+        let releases = cluster.take_events();
+        assert!(releases.iter().all(|e| matches!(e, Event::Released { found: true, .. })));
+        for s in 0..cluster.shard_count() {
+            assert!(cluster.shard(s).kairos().platform().is_idle(), "shard {s} leaked claims");
+        }
+    }
+
+    #[test]
+    fn faults_translate_between_global_and_shard_local_element_ids() {
+        let mut cluster = cluster(4);
+        // Fill broadly so some shard hosts work on the target element.
+        for i in 0..10 {
+            cluster.submit(Request::admit(
+                i,
+                chain(&format!("f{i}"), 2, 600),
+                PriorityClass::Normal,
+            ));
+        }
+        let admitted = cluster.take_events().len();
+        assert!(admitted > 0);
+        // Pick a used global element from some shard's residents.
+        let (global, victim_shard) = (0..cluster.shard_count())
+            .find_map(|s| {
+                let p = cluster.shard(s).kairos().platform();
+                p.element_ids()
+                    .find(|&e| p.is_used(e))
+                    .map(|local| (cluster.regions().to_global(s, local), s))
+            })
+            .expect("something was admitted somewhere");
+        let before = cluster.shard(victim_shard).kairos().admitted_count();
+        cluster.submit(Request::new(20, Command::InjectFault { element: global }));
+        let events = cluster.take_events();
+        let Some(Event::ElementFailed { element, evicted, .. }) =
+            events.iter().find(|e| matches!(e, Event::ElementFailed { .. }))
+        else {
+            panic!("fault must report: {events:?}")
+        };
+        assert_eq!(*element, global, "the event reports the global id back");
+        assert!(!evicted.is_empty(), "the used element evicts its apps");
+        assert!(evicted.iter().all(|&id| cluster.shard_of_app(id) == victim_shard));
+        assert_eq!(cluster.shard(victim_shard).kairos().admitted_count(), before - evicted.len());
+        cluster.submit(Request::new(21, Command::Repair { element: global }));
+        let events = cluster.take_events();
+        assert!(matches!(
+            events.as_slice(),
+            [Event::ElementRepaired { element, .. }] if *element == global
+        ));
+        assert_eq!(cluster.occupancy().failed_elements, 0);
+    }
+
+    #[test]
+    fn parallel_probes_are_deterministic_and_state_neutral() {
+        let mut cluster = ClusterBuilder::new(topology::crisp(), 4)
+            .deterministic(true)
+            .placement(Box::new(BestFitFragmentation))
+            .build()
+            .unwrap();
+        for i in 0..5 {
+            cluster.submit(Request::admit(
+                i,
+                chain(&format!("r{i}"), 2, 700),
+                PriorityClass::Normal,
+            ));
+        }
+        cluster.take_events();
+        let app = chain("probe", 3, 600);
+        let checkpoints: Vec<_> = (0..cluster.shard_count())
+            .map(|s| cluster.shard(s).kairos().platform().checkpoint())
+            .collect();
+        let first = cluster.probe_admit(&app);
+        for _ in 0..10 {
+            assert_eq!(cluster.probe_admit(&app), first, "probe results replay identically");
+        }
+        assert!(first.iter().enumerate().all(|(i, p)| p.shard == i), "shard-id order");
+        for (s, checkpoint) in checkpoints.into_iter().enumerate() {
+            assert_eq!(
+                cluster.shard(s).kairos().platform().checkpoint(),
+                checkpoint,
+                "probing left shard {s} untouched"
+            );
+        }
+        assert!(cluster.take_events().is_empty(), "probes emit nothing");
+    }
+
+    #[test]
+    fn rebalance_moves_work_from_loaded_to_idle_shards() {
+        // FirstFit concentrates everything on shard 0; the sweep then
+        // spreads it across the boundary.
+        let mut cluster =
+            ClusterBuilder::new(topology::dsp_mesh(4, 2), 2).deterministic(true).build().unwrap();
+        for i in 0..3 {
+            cluster.submit(Request::admit(
+                i,
+                chain(&format!("m{i}"), 1, 600),
+                PriorityClass::Normal,
+            ));
+        }
+        let admitted = cluster.take_events().len();
+        assert_eq!(admitted, 3);
+        assert_eq!(cluster.shard(0).kairos().admitted_count(), 3, "first-fit piles on shard 0");
+        assert_eq!(cluster.shard(1).kairos().admitted_count(), 0);
+
+        let ticket = cluster.submit(Request::new(10, Command::Rebalance { max_moves: 8 }));
+        let events = cluster.take_events();
+        let Some(Event::Rebalanced { ticket: t, moves }) =
+            events.iter().find(|e| matches!(e, Event::Rebalanced { .. }))
+        else {
+            panic!("rebalance must report: {events:?}")
+        };
+        assert_eq!(*t, ticket);
+        assert!(!moves.is_empty(), "the imbalance must trigger moves");
+        for &(from, to) in moves {
+            assert_eq!(cluster.shard_of_app(from), 0);
+            assert_eq!(cluster.shard_of_app(to), 1, "moves cross the boundary");
+            assert!(cluster.shard(1).kairos().admitted_ids().contains(&to));
+            assert!(!cluster.shard(0).kairos().admitted_ids().contains(&from));
+        }
+        assert_eq!(cluster.shard_count_admitted(), 3, "rebalance moves apps, it never loses them");
+        let loads = cluster.loads();
+        assert!(
+            (loads[0].resource_utilisation - loads[1].resource_utilisation).abs()
+                < REBALANCE_GAP + 0.35,
+            "the sweep narrows the gap: {loads:?}"
+        );
+        // A balanced cluster's follow-up sweep is a no-op.
+        cluster.submit(Request::new(11, Command::Rebalance { max_moves: 8 }));
+        let events = cluster.take_events();
+        assert!(matches!(
+            events.as_slice(),
+            [Event::Rebalanced { moves, .. }] if moves.is_empty()
+        ));
+        // Ledger balance: releasing everything restores both shards.
+        for s in 0..2 {
+            for id in cluster.shard(s).kairos().admitted_ids() {
+                cluster.submit(Request::release(20, id));
+            }
+        }
+        cluster.take_events();
+        for s in 0..2 {
+            assert!(cluster.shard(s).kairos().platform().is_idle(), "shard {s} leaked claims");
+        }
+    }
+
+    #[test]
+    fn queued_cluster_rebalance_keeps_the_victim_registry_whole() {
+        let policy =
+            AdmitPolicy { class_capacity: [8, 8, 8, 8], max_wait: None, ..AdmitPolicy::default() };
+        let mut cluster = ClusterBuilder::new(topology::dsp_mesh(4, 2), 2)
+            .deterministic(true)
+            .admission(policy)
+            .build()
+            .unwrap();
+        for i in 0..3 {
+            cluster.submit(Request::admit(i, chain(&format!("q{i}"), 1, 600), PriorityClass::Low));
+        }
+        cluster.take_events();
+        cluster.submit(Request::new(5, Command::Rebalance { max_moves: 4 }));
+        let events = cluster.take_events();
+        let Some(Event::Rebalanced { moves, .. }) =
+            events.iter().find(|e| matches!(e, Event::Rebalanced { .. }))
+        else {
+            panic!("rebalance must report: {events:?}")
+        };
+        assert!(!moves.is_empty());
+        // The moved app keeps its admission class on its new shard.
+        for &(_, to) in moves {
+            let home = cluster.shard_of_app(to);
+            assert_eq!(
+                cluster.shard(home).admitd().unwrap().admitted_class(to),
+                Some(PriorityClass::Low),
+                "the import registered in the destination victim registry"
+            );
+        }
+    }
+
+    /// Regression test for the rebalance event order: a sweep's source
+    /// releases drain source-shard waiters, and a later iteration may
+    /// move an application a drain admitted moments earlier — so every
+    /// drain `Admitted` must be emitted *before* the `Rebalanced` that
+    /// may rename its application. A driver folding the stream in order
+    /// (the sim engine's live-app accounting) would otherwise see a move
+    /// of an application it has never heard of.
+    #[test]
+    fn rebalance_emits_drain_admissions_before_the_sweep_summary() {
+        let policy =
+            AdmitPolicy { class_capacity: [4, 4, 4, 4], max_wait: None, ..AdmitPolicy::default() };
+        let mut cluster = ClusterBuilder::new(topology::dsp_mesh(8, 2), 2)
+            .deterministic(true)
+            .admission(policy)
+            .build()
+            .unwrap();
+        // Fill both shards completely, then queue a waiter that fits
+        // nowhere (it lands on the fallback shard 0), then empty most of
+        // shard 1 so the sweep pulls work across the boundary.
+        for i in 0..8 {
+            cluster.submit(Request::admit(i, chain(&format!("f{i}"), 2, 990), PriorityClass::Low));
+        }
+        let waiter =
+            cluster.submit(Request::admit(8, chain("waiter", 1, 500), PriorityClass::Normal));
+        let setup = cluster.take_events();
+        assert!(
+            setup.iter().any(|e| matches!(e, Event::Queued { ticket, .. } if *ticket == waiter)),
+            "the waiter must queue: {setup:?}"
+        );
+        let shard1_apps = cluster.shard(1).kairos().admitted_ids();
+        for id in shard1_apps.iter().take(3) {
+            cluster.submit(Request::release(9, *id));
+        }
+        cluster.take_events();
+
+        cluster.submit(Request::new(10, Command::Rebalance { max_moves: 8 }));
+        let events = cluster.take_events();
+        let rebalance_at = events
+            .iter()
+            .position(|e| matches!(e, Event::Rebalanced { .. }))
+            .expect("the sweep reports");
+        assert_eq!(rebalance_at, events.len() - 1, "sweep summary comes last: {events:?}");
+        let Event::Rebalanced { moves, .. } = &events[rebalance_at] else { unreachable!() };
+        assert!(!moves.is_empty(), "the skew must trigger moves: {events:?}");
+        // The first cross-shard release freed room for the waiter.
+        let drained = events
+            .iter()
+            .position(|e| matches!(e, Event::Admitted { ticket, .. } if *ticket == waiter));
+        assert!(drained.is_some_and(|i| i < rebalance_at), "drain precedes summary: {events:?}");
+        // An in-order fold (the sim's) only ever sees moves of known apps.
+        let mut live: Vec<AppId> = Vec::new();
+        for s in 0..2 {
+            live.extend(cluster.shard(s).kairos().admitted_ids());
+        }
+        let mut known: Vec<AppId> = setup
+            .iter()
+            .filter_map(|e| match e {
+                Event::Admitted { report, .. } => Some(report.app_id),
+                _ => None,
+            })
+            .collect();
+        for event in &events {
+            match event {
+                Event::Admitted { report, .. } => known.push(report.app_id),
+                Event::Rebalanced { moves, .. } => {
+                    for &(from, to) in moves {
+                        assert!(known.contains(&from), "move of an unknown app {from}");
+                        known.retain(|&id| id != from);
+                        known.push(to);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_occupancy_aggregates_across_shards() {
+        let mut cluster = cluster(3);
+        assert_eq!(cluster.occupancy().admitted_apps, 0);
+        assert_eq!(cluster.occupancy().free_islands, 3, "each shard is one idle island");
+        for i in 0..4 {
+            cluster.submit(Request::admit(
+                i,
+                chain(&format!("o{i}"), 2, 600),
+                PriorityClass::Normal,
+            ));
+        }
+        cluster.take_events();
+        let occ = cluster.occupancy();
+        assert_eq!(occ.admitted_apps, 4);
+        assert!(occ.element_utilisation > 0.0 && occ.element_utilisation < 1.0);
+        assert!(occ.resource_utilisation > 0.0);
+        assert_eq!(cluster.shard_count_admitted(), 4);
+    }
+}

@@ -1,0 +1,101 @@
+//! # kairos-cluster
+//!
+//! Sharded platform regions with parallel admission probes behind the
+//! [`ResourceService`](kairos_svc::ResourceService) surface — the first
+//! step from one resource manager to a fleet of them.
+//!
+//! The paper manages one flat spatial resource pool; every deployment of
+//! such a manager at scale partitions the fabric into regions managed
+//! semi-independently so run-time decisions stay local and fast. This
+//! crate does exactly that on top of the existing stack:
+//!
+//! * **Partitioning** — [`kairos_platform::RegionMap`] splits the
+//!   platform into N disjoint *contiguous* element groups balanced by
+//!   resource capacity; each region becomes a standalone platform owned
+//!   by its own [`Kairos`](kairos_svc::Kairos) manager (queued behind
+//!   `kairos-admitd` when an admission policy is set — identical knobs to
+//!   the monolithic [`ServiceBuilder`](kairos_svc::ServiceBuilder)).
+//! * **Parallel admission probes** — every admission fans out as
+//!   state-neutral what-if probes across all shards using
+//!   `std::thread::scope` (no executor, no extra dependencies; each
+//!   probe is a claim-journal transaction its shard always rolls back).
+//!   Results are merged **in shard-id order**, so thread scheduling can
+//!   never leak into a decision: cluster output is byte-deterministic.
+//! * **Pluggable placement** — a [`PlacementPolicy`] trait object picks
+//!   the winning shard from the merged probes: [`FirstFit`],
+//!   [`BestFitFragmentation`] (lowest post-admission §III-A
+//!   fragmentation) or [`LeastLoaded`], with a fallback route for
+//!   requests no shard can admit right now.
+//! * **One service surface** — [`ClusterService`] implements
+//!   [`ResourceService`](kairos_svc::ResourceService), so every existing
+//!   driver — the `kairos-sim` scenario engine included — runs unchanged
+//!   over a fleet of managers. Tickets, app ids ([`APP_ID_STRIDE`]
+//!   namespaces) and element ids all translate into one uniform global
+//!   id space; a one-shard cluster reproduces the monolithic service
+//!   byte for byte.
+//! * **Cross-shard rebalancing** —
+//!   [`Command::Rebalance`](kairos_svc::Command::Rebalance) pairs the
+//!   most- with the least-loaded shard and moves running applications
+//!   across the boundary by two-phase evict-and-readmit (claim the new
+//!   home, then free the old; rollback on any failure), while
+//!   [`Command::Defrag`](kairos_svc::Command::Defrag) keeps using
+//!   `kairos-reloc` live migration *within* each shard.
+//!
+//! ## Example
+//!
+//! ```
+//! use kairos_cluster::{ClusterBuilder, BestFitFragmentation};
+//! use kairos_svc::{Request, ResourceService};
+//! use kairos_admitd::PriorityClass;
+//! use kairos_appgen::{AppGenerator, GeneratorConfig};
+//! use kairos_platform::topology;
+//!
+//! let mut cluster = ClusterBuilder::new(topology::crisp(), 4)
+//!     .deterministic(true)
+//!     .placement(Box::new(BestFitFragmentation))
+//!     .build()?;
+//! let mut generator = AppGenerator::new(GeneratorConfig::default(), 7);
+//! for i in 0..8 {
+//!     cluster.submit(Request::admit(i, generator.generate(format!("app-{i}")), PriorityClass::Normal));
+//! }
+//! let admitted = cluster.take_events().len();
+//! assert!(admitted > 0);
+//! assert_eq!(cluster.occupancy().admitted_apps, cluster.shard_count_admitted());
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod cluster;
+mod policy;
+
+pub use cluster::{ClusterBuilder, ClusterService, APP_ID_STRIDE};
+pub use policy::{
+    BestFitFragmentation, FirstFit, LeastLoaded, PlacementPolicy, PlacementPolicyKind, ShardFit,
+    ShardLoad, ShardProbe,
+};
+
+impl ClusterService {
+    /// Sum of admitted applications over all shards (convenience for the
+    /// crate example; equals `occupancy().admitted_apps`).
+    pub fn shard_count_admitted(&self) -> usize {
+        use kairos_svc::ResourceService as _;
+        (0..self.shard_count()).map(|s| self.shard(s).kairos().admitted_count()).sum()
+    }
+}
+
+// Compile-time thread-safety pins. Sharding moves whole manager stacks
+// into scoped probe threads and shares the probed application between
+// them; if any layer (platform, manager, service, injected policy
+// objects) silently stopped being `Send`/`Sync`, parallel probing would
+// regress. Fail the build here instead.
+const fn _assert_send<T: Send>() {}
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<kairos_platform::Platform>();
+const _: () = _assert_send_sync::<kairos_svc::Kairos>();
+const _: () = _assert_send_sync::<kairos_app::Application>();
+const _: () = _assert_send::<kairos_svc::KairosService>();
+const _: () = _assert_send::<ClusterService>();
+const _: () = _assert_send_sync::<Box<dyn PlacementPolicy>>();
+const _: () = _assert_send_sync::<PlacementPolicyKind>();

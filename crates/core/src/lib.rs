@@ -65,7 +65,8 @@ pub use error::{
 };
 pub use layout::{Binding, ExecutionLayout, Placement, Route};
 pub use manager::{
-    AdmissionFailure, AdmissionReport, Kairos, KairosConfig, MigrationError, MigrationReport,
+    AdmissionFailure, AdmissionProbe, AdmissionReport, Kairos, KairosConfig, MigrationError,
+    MigrationReport,
 };
 pub use mapping::{
     map_application, CostContext, CostPolicy, CostWeights, ElementSearch, GapState, KnapsackItem,
@@ -74,3 +75,11 @@ pub use mapping::{
 pub use metrics::{OccupancySnapshot, PhaseClock, PhaseStart, PhaseTimings};
 pub use routing::{release_routes, route_channels, RouteAlgorithm};
 pub use validation::{layout_to_sdf, validate, ValidationConfig, ValidationReport};
+
+/// Compile-time thread-safety pin: `kairos-cluster` moves one manager
+/// per shard into scoped probe threads, so `Kairos` (and everything it
+/// owns) must stay `Send + Sync`. A field change that silently dropped
+/// either would regress sharding — fail the build here instead.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<Kairos>();
+const _: () = _assert_send_sync::<AdmissionProbe>();

@@ -51,6 +51,12 @@ pub struct KairosConfig {
     /// byte-determinism-sensitive drivers (the `kairos-sim` engine sets
     /// it) whose outputs must be pure functions of their inputs.
     pub deterministic: bool,
+    /// First [`AppId`] this manager assigns (ids count up from here).
+    /// Multi-manager deployments (`kairos-cluster` shards) give every
+    /// manager a disjoint base so admitted ids are globally unique and an
+    /// id alone identifies its home shard. The default of `0` is the
+    /// single-manager behaviour.
+    pub app_id_base: u32,
 }
 
 impl Default for KairosConfig {
@@ -65,6 +71,7 @@ impl Default for KairosConfig {
             validate: true,
             validation: ValidationConfig::default(),
             deterministic: false,
+            app_id_base: 0,
         }
     }
 }
@@ -187,6 +194,20 @@ pub struct MigrationReport {
     pub timings: PhaseTimings,
 }
 
+/// Result of a state-neutral what-if admission ([`Kairos::probe_admit`]):
+/// the layout the pipeline would produce, plus the occupancy the platform
+/// *would* reach — everything a placement policy needs to compare shards
+/// without committing anything anywhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionProbe {
+    /// The execution layout the pipeline computed.
+    pub layout: ExecutionLayout,
+    /// The occupancy snapshot with the trial claims in place (its
+    /// `admitted_apps` count does *not* include the probed application —
+    /// a probe admits nothing).
+    pub after: OccupancySnapshot,
+}
+
 /// The run-time spatial resource manager.
 ///
 /// # Examples
@@ -221,7 +242,8 @@ pub struct Kairos {
 impl Kairos {
     /// Creates a resource manager owning `platform`.
     pub fn new(platform: Platform, config: KairosConfig) -> Self {
-        Kairos { platform, config, admitted: HashMap::new(), next_app: 0 }
+        let next_app = config.app_id_base;
+        Kairos { platform, config, admitted: HashMap::new(), next_app }
     }
 
     /// Read access to the managed platform.
@@ -339,6 +361,35 @@ impl Kairos {
         let bandwidths = admitted.channel_bandwidths.clone();
         self.platform.release_app(id);
         release_routes(&mut self.platform, &routes, &bandwidths);
+    }
+
+    /// Probes whether `app` could be admitted right now, leaving the
+    /// platform state exactly as it was, and reports the layout the
+    /// pipeline would produce together with the occupancy the platform
+    /// would reach.
+    ///
+    /// This is the fan-out query behind sharded admission
+    /// (`kairos-cluster`): every shard manager is probed — concurrently,
+    /// which is safe because the probe is state-neutral and each thread
+    /// owns its shard exclusively — and a placement policy compares the
+    /// returned [`AdmissionProbe`]s to pick the winning shard. The whole
+    /// probe runs in one claim-journal transaction that is always rolled
+    /// back.
+    ///
+    /// # Errors
+    ///
+    /// The [`AdmissionFailure`] the pipeline would report, if any.
+    pub fn probe_admit(&mut self, app: &Application) -> Result<AdmissionProbe, AdmissionFailure> {
+        self.platform.begin_txn();
+        let scratch = AppId(self.next_app);
+        let mut timings = PhaseTimings::default();
+        let result = self.run_phases(app, scratch, &mut timings);
+        let probe = match result {
+            Ok((layout, _)) => Ok(AdmissionProbe { layout, after: self.occupancy() }),
+            Err(error) => Err(AdmissionFailure { error, timings }),
+        };
+        self.platform.rollback_txn();
+        probe
     }
 
     /// Probes whether `app` could be admitted if the applications in
@@ -735,6 +786,37 @@ mod tests {
 
         kairos.release(report.app_id);
         assert_eq!(kairos.occupancy(), idle, "release restores the idle snapshot");
+    }
+
+    #[test]
+    fn probe_admit_reports_the_would_be_occupancy_without_committing() {
+        let mut kairos = Kairos::new(topology::crisp(), KairosConfig::default());
+        let before = kairos.platform().checkpoint();
+        let idle = kairos.occupancy();
+        let probe = kairos.probe_admit(&chain("ghost", 3, 700, 100)).unwrap();
+        assert_eq!(probe.layout.placement.len(), 3);
+        assert!(probe.after.resource_utilisation > idle.resource_utilisation);
+        assert_eq!(probe.after.admitted_apps, 0, "a probe admits nothing");
+        assert_eq!(kairos.platform().checkpoint(), before, "probe must be state-neutral");
+        assert_eq!(kairos.occupancy(), idle);
+        // A failing probe reports the pipeline's failure, equally traceless.
+        let mut tiny = Kairos::new(topology::dsp_mesh(2, 2), KairosConfig::default());
+        let failure = tiny.probe_admit(&chain("big", 5, 1000, 100)).unwrap_err();
+        assert_eq!(failure.phase(), Phase::Binding);
+        assert!(tiny.platform().is_idle());
+    }
+
+    #[test]
+    fn app_id_base_offsets_every_assigned_id() {
+        let config = KairosConfig { app_id_base: 500, ..KairosConfig::default() };
+        let mut kairos = Kairos::new(topology::crisp(), config);
+        let app = chain("c", 2, 500, 50);
+        let a = kairos.admit(&app).unwrap().app_id;
+        let b = kairos.admit(&app).unwrap().app_id;
+        assert_eq!(a, AppId(500));
+        assert_eq!(b, AppId(501));
+        assert!(kairos.release(a) && kairos.release(b));
+        assert!(kairos.platform().is_idle(), "offset ids release cleanly");
     }
 
     #[test]

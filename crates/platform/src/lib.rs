@@ -17,6 +17,11 @@
 //! FPGA + 5 packages of 9 DSPs, 2 memories and a test unit — Fig. 6) is
 //! available as [`topology::crisp`].
 //!
+//! For sharded deployments, [`RegionMap`] partitions a platform into
+//! disjoint contiguous regions balanced by resource capacity and extracts
+//! each region as a standalone platform (the substrate of the
+//! `kairos-cluster` shard managers).
+//!
 //! ## Example
 //!
 //! ```
@@ -45,6 +50,7 @@ mod element;
 mod frag;
 mod link;
 mod platform;
+mod region;
 mod render;
 mod resource;
 pub mod topology;
@@ -55,5 +61,14 @@ pub use element::{Element, ElementId, ElementKind};
 pub use frag::{adjacent_pairs, element_utilisation, external_fragmentation, free_island_count};
 pub use link::{Link, LinkId};
 pub use platform::{AppId, ClaimError, Occupant, Platform, PlatformCheckpoint};
+pub use region::RegionMap;
 pub use render::{render_link_load, render_occupancy, render_strip};
 pub use resource::{ResourceKind, ResourceVector, RESOURCE_KIND_COUNT};
+
+/// Compile-time thread-safety pin (sharded deployments move platforms and
+/// probe them from scoped threads; a field change that silently dropped
+/// `Send`/`Sync` would regress `kairos-cluster`'s parallel probes).
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<Platform>();
+const _: () = _assert_send_sync::<RegionMap>();
+const _: () = _assert_send_sync::<PlatformCheckpoint>();

@@ -615,6 +615,13 @@ impl Platform {
     // ---- checkpointing ----------------------------------------------------------
 
     /// Captures the complete mutable state.
+    ///
+    /// A checkpoint may be taken while a transaction is open — it captures
+    /// the live state including any not-yet-committed journal mutations,
+    /// and stays valid after the transaction commits or rolls back. The
+    /// restriction is on the other side: [`Self::restore`] refuses to run
+    /// while a transaction is open, because overwriting the state would
+    /// orphan the journal entries describing how to undo it.
     pub fn checkpoint(&self) -> PlatformCheckpoint {
         PlatformCheckpoint { state: self.state.clone() }
     }
@@ -623,8 +630,9 @@ impl Platform {
     ///
     /// # Panics
     ///
-    /// Panics if the checkpoint was taken from a structurally different
-    /// platform (different element or link count).
+    /// Panics if a transaction is open (commit or roll back first — see
+    /// [`Self::checkpoint`]), or if the checkpoint was taken from a
+    /// structurally different platform (different element or link count).
     pub fn restore(&mut self, checkpoint: PlatformCheckpoint) {
         assert!(
             self.txn_marks.is_empty(),
@@ -925,6 +933,43 @@ mod tests {
         let cp = p.checkpoint();
         p.begin_txn();
         p.restore(cp);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_across_transactions() {
+        // The PR 2 journal migration left checkpoint()/restore() for
+        // baselines and tests; this pins how the two mechanisms compose.
+        let (mut p, a, c) = two_dsp();
+        p.claim(a, occ(1, 0, ResourceVector::new(25, 2, 0, 0))).unwrap();
+
+        // A checkpoint taken *inside* an open transaction captures the
+        // live (uncommitted) state and stays valid after the txn ends.
+        p.begin_txn();
+        p.claim(c, occ(1, 1, ResourceVector::new(40, 4, 0, 0))).unwrap();
+        let mid_txn = p.checkpoint();
+        p.commit_txn();
+        assert_eq!(p.checkpoint(), mid_txn, "commit keeps exactly what the checkpoint saw");
+
+        // A rolled-back transaction diverges from a mid-txn checkpoint;
+        // restore brings the captured state back byte-for-byte.
+        p.begin_txn();
+        assert!(p.release(c, AppId(1), 1).is_some());
+        p.claim(a, occ(2, 0, ResourceVector::new(5, 1, 0, 0))).unwrap();
+        p.rollback_txn();
+        assert_eq!(p.checkpoint(), mid_txn, "rollback already restored the pre-txn state");
+        p.release(c, AppId(1), 1).unwrap();
+        assert_ne!(p.checkpoint(), mid_txn);
+        p.restore(mid_txn.clone());
+        assert_eq!(p.checkpoint(), mid_txn, "restore is an exact round-trip");
+
+        // The journal machinery is fully functional after a restore: a
+        // fresh transaction rolls back to the restored state exactly.
+        p.begin_txn();
+        p.claim(a, occ(3, 0, ResourceVector::new(10, 0, 0, 0))).unwrap();
+        let l = p.link_between(a, c).unwrap();
+        p.claim_link(l, 150).unwrap();
+        p.rollback_txn();
+        assert_eq!(p.checkpoint(), mid_txn, "post-restore transactions roll back cleanly");
     }
 
     #[test]

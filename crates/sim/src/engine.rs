@@ -29,11 +29,11 @@ use std::collections::{BinaryHeap, HashMap};
 use kairos_admitd::PriorityClass;
 use kairos_app::Application;
 use kairos_appgen::{WorkloadMix, WorkloadSampler};
+use kairos_cluster::ClusterBuilder;
 use kairos_core::{Kairos, KairosConfig, Phase};
 use kairos_platform::{AppId, ElementId};
 use kairos_svc::{
-    CapacityEvent, Command, Event, KairosService, RejectCause, Request, ResourceService,
-    ServiceBuilder,
+    CapacityEvent, Command, Event, RejectCause, Request, ResourceService, ServiceBuilder,
 };
 
 use crate::report::{ClassQueueStats, PhaseStats, QueueReport, SamplePoint, SimReport, Totals};
@@ -54,6 +54,8 @@ enum SimEvent {
     QueueExpiry,
     /// A defragmenting compaction sweep runs (`Scenario::defrag`).
     Defrag,
+    /// A cross-shard rebalancing sweep runs (`ClusterSpec::rebalance`).
+    Rebalance,
     /// A metric time-series sample is taken.
     Sample,
 }
@@ -161,7 +163,7 @@ struct QueueAccum {
 #[derive(Debug)]
 pub struct Simulator {
     scenario: Scenario,
-    service: KairosService,
+    service: Box<dyn ResourceService>,
     queue: BinaryHeap<Reverse<Scheduled>>,
     next_seq: u64,
     ran: bool,
@@ -169,6 +171,9 @@ pub struct Simulator {
     phase_starts: Vec<u64>,
     live: HashMap<AppId, LiveApp>,
     pending: HashMap<u64, Pending>,
+    /// Cross-shard rebalancing re-admits an application under a fresh id;
+    /// departures scheduled under the old id resolve through this chain.
+    renames: HashMap<AppId, AppId>,
     totals: Totals,
     rejections_by_phase: [u64; 4],
     phase_accum: Vec<PhaseAccum>,
@@ -197,12 +202,27 @@ impl Simulator {
     /// The scenario's [`Scenario::validate`] error, if any.
     pub fn with_config(scenario: Scenario, config: KairosConfig) -> Result<Self, String> {
         scenario.validate()?;
-        let mut builder =
-            ServiceBuilder::new(scenario.platform.build()).config(config).deterministic(true);
-        if let Some(policy) = &scenario.admission {
-            builder = builder.admission(*policy);
-        }
-        let service = builder.build().map_err(|e| format!("admission policy: {e}"))?;
+        let service: Box<dyn ResourceService> = match &scenario.cluster {
+            None => {
+                let mut builder = ServiceBuilder::new(scenario.platform.build())
+                    .config(config)
+                    .deterministic(true);
+                if let Some(policy) = &scenario.admission {
+                    builder = builder.admission(*policy);
+                }
+                Box::new(builder.build().map_err(|e| format!("admission policy: {e}"))?)
+            }
+            Some(spec) => {
+                let mut builder = ClusterBuilder::new(scenario.platform.build(), spec.shards)
+                    .config(config)
+                    .deterministic(true)
+                    .placement(spec.policy.build());
+                if let Some(policy) = &scenario.admission {
+                    builder = builder.admission(*policy);
+                }
+                Box::new(builder.build().map_err(|e| format!("cluster: {e}"))?)
+            }
+        };
         // One independent sampler per phase, seeded off the scenario seed so
         // adding a phase does not disturb the streams of the others.
         let samplers = scenario
@@ -236,6 +256,7 @@ impl Simulator {
             phase_starts,
             live: HashMap::new(),
             pending: HashMap::new(),
+            renames: HashMap::new(),
             totals: Totals::default(),
             rejections_by_phase: [0; 4],
             phase_accum,
@@ -245,13 +266,18 @@ impl Simulator {
     }
 
     /// The managed platform's resource manager (for post-run inspection).
+    /// For a clustered scenario this is the *first shard's* manager; use
+    /// [`ResourceService::occupancy`] on [`Simulator::service`] for
+    /// whole-service metrics.
     pub fn manager(&self) -> &Kairos {
         self.service.kairos()
     }
 
-    /// The service the engine drives all scenario traffic through.
-    pub fn service(&self) -> &KairosService {
-        &self.service
+    /// The service the engine drives all scenario traffic through (the
+    /// monolithic `KairosService`, or a `kairos-cluster` shard fleet when
+    /// the scenario sets [`crate::ClusterSpec`]).
+    pub fn service(&self) -> &dyn ResourceService {
+        self.service.as_ref()
     }
 
     /// The scenario being simulated.
@@ -333,6 +359,13 @@ impl Simulator {
                 t += defrag.period;
             }
         }
+        if let Some(rebalance) = self.scenario.cluster.and_then(|c| c.rebalance) {
+            let mut t = rebalance.period;
+            while t <= horizon {
+                self.schedule(t, SimEvent::Rebalance);
+                t += rebalance.period;
+            }
+        }
 
         while let Some(Reverse(Scheduled { at, event, .. })) = self.queue.pop() {
             match event {
@@ -345,6 +378,7 @@ impl Simulator {
                     self.apply_events(at, events);
                 }
                 SimEvent::Defrag => self.on_defrag(at),
+                SimEvent::Rebalance => self.on_rebalance(at),
                 SimEvent::Sample => {
                     self.samples.push(SamplePoint {
                         at,
@@ -417,10 +451,36 @@ impl Simulator {
     }
 
     fn on_departure(&mut self, at: u64, app: AppId) {
-        // The app may already be gone: evicted by a fault and not
-        // re-admitted, or re-admitted under a fresh id. The service
-        // reports `found: false` then and the release is a no-op.
+        // A rebalance sweep may have moved the app to another shard since
+        // this departure was scheduled, re-keying it; chase the renames to
+        // its current id. The app may also already be gone entirely:
+        // evicted by a fault and not re-admitted, or re-admitted under a
+        // fresh id. The service reports `found: false` then and the
+        // release is a no-op.
+        let app = self.resolve(app);
         self.service.submit(Request::release(at, app));
+        let events = self.service.take_events();
+        self.apply_events(at, events);
+    }
+
+    /// The current id of `app`, chasing cross-shard rebalance renames
+    /// (ids are never reused, so the chain cannot cycle).
+    fn resolve(&self, mut app: AppId) -> AppId {
+        while let Some(&next) = self.renames.get(&app) {
+            app = next;
+        }
+        app
+    }
+
+    /// One cross-shard rebalancing sweep over the clustered platform.
+    fn on_rebalance(&mut self, at: u64) {
+        let max_moves = self
+            .scenario
+            .cluster
+            .and_then(|c| c.rebalance)
+            .expect("Rebalance events need a rebalance spec")
+            .max_moves;
+        self.service.submit(Request::new(at, Command::Rebalance { max_moves }));
         let events = self.service.take_events();
         self.apply_events(at, events);
     }
@@ -637,6 +697,18 @@ impl Simulator {
                 Event::Defragged { moves, .. } => {
                     self.totals.defrag_moves += moves as u64;
                 }
+                Event::Rebalanced { moves, .. } => {
+                    // Each move re-admitted a live application on another
+                    // shard under a fresh id; re-key its bookkeeping and
+                    // remember the rename so its scheduled departure still
+                    // finds it.
+                    self.totals.rebalance_moves += moves.len() as u64;
+                    for (from, to) in moves {
+                        let live = self.live.remove(&from).expect("rebalance moves only live apps");
+                        self.renames.insert(from, to);
+                        self.live.insert(to, live);
+                    }
+                }
             }
         }
         self.queue_accum.max_depth =
@@ -741,7 +813,7 @@ impl Simulator {
             phases,
             queue,
             samples: std::mem::take(&mut self.samples),
-            final_state: self.service.kairos().occupancy(),
+            final_state: self.service.occupancy(),
         }
     }
 }

@@ -10,15 +10,19 @@
 //! and periodic occupancy sampling.
 //!
 //! * [`Scenario`] — a seeded, fully declarative experiment description,
-//!   with a built-in catalog of twelve named scenarios
+//!   with a built-in catalog of fourteen named scenarios
 //!   ([`Scenario::catalog`], documented in `docs/SCENARIOS.md`):
 //!   `steady-churn`, `bursty-arrivals`, `saturation`, `hotspot-failures`,
 //!   `mixed-datasets`, three that exercise the `kairos-admitd` admission
 //!   front-end — `priority-inversion`, `overload-backpressure`,
 //!   `retry-storm` — three that exercise the `kairos-reloc` relocation
 //!   subsystem — `critical-preempt`, `migrate-vs-evict`, `defrag-sweep`
-//!   — and `batch-arrival-wave`, which admits synchronized arrival waves
-//!   through the batched service path;
+//!   — `batch-arrival-wave`, which admits synchronized arrival waves
+//!   through the batched service path, and two that exercise the
+//!   `kairos-cluster` sharded deployment ([`ClusterSpec`]) —
+//!   `sharded-arrival-storm` (parallel admission probes over four region
+//!   shards) and `cross-shard-rebalance` (periodic evict-and-readmit
+//!   sweeps against a skewed first-fit fill, [`RebalanceSpec`]);
 //! * [`Simulator`] — the event queue + virtual clock driving all
 //!   scenario traffic through the unified
 //!   [`kairos_svc::ResourceService`] API: arrivals are `Admit` commands
@@ -59,4 +63,6 @@ mod scenario;
 
 pub use engine::Simulator;
 pub use report::{ClassQueueStats, PhaseStats, QueueReport, SamplePoint, SimReport, Totals};
-pub use scenario::{DefragSpec, FaultSpec, PhaseSpec, PlatformSpec, Scenario};
+pub use scenario::{
+    ClusterSpec, DefragSpec, FaultSpec, PhaseSpec, PlatformSpec, RebalanceSpec, Scenario,
+};

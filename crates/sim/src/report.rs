@@ -50,6 +50,10 @@ pub struct Totals {
     pub migrations: u64,
     /// Applications moved by defragmenting compaction sweeps.
     pub defrag_moves: u64,
+    /// Applications moved between shards by cross-shard rebalancing
+    /// sweeps (each move re-admits the application on another shard
+    /// manager under a fresh id; it keeps running throughout).
+    pub rebalance_moves: u64,
 }
 
 /// Statistics of one workload phase.
@@ -198,6 +202,7 @@ impl SimReport {
         totals.push("lost_to_preemption", self.totals.lost_to_preemption);
         totals.push("migrations", self.totals.migrations);
         totals.push("defrag_moves", self.totals.defrag_moves);
+        totals.push("rebalance_moves", self.totals.rebalance_moves);
         doc.push("totals", totals);
 
         let mut rejections = Json::object();

@@ -7,16 +7,19 @@
 //! simulations — the engine draws every random choice from the scenario
 //! seed.
 //!
-//! [`Scenario::catalog`] ships twelve named scenarios: five spanning the
+//! [`Scenario::catalog`] ships fourteen named scenarios: five spanning the
 //! regimes the paper motivates (steady churn, bursty arrivals, saturation,
 //! hotspot element failures, a mixed-dataset workload), three exercising
 //! the `kairos-admitd` admission front-end (priority inversion, overload
 //! backpressure, retry storms), three exercising the `kairos-reloc`
 //! relocation subsystem (preemption of low-priority work for criticals,
 //! migration versus evict-and-readmit, defragmenting compaction sweeps),
-//! and one exercising batched submission through the `kairos-svc` service
-//! API (synchronized arrival waves). `docs/SCENARIOS.md` documents every
-//! entry; CI checks the two stay in sync.
+//! one exercising batched submission through the `kairos-svc` service
+//! API (synchronized arrival waves), and two exercising the
+//! `kairos-cluster` sharded deployment (a parallel-probe arrival storm
+//! over four region shards, and cross-shard rebalancing of a skewed
+//! first-fit fill). `docs/SCENARIOS.md` documents every entry; CI checks
+//! the two stay in sync.
 
 use serde::{Deserialize, Serialize};
 
@@ -24,6 +27,7 @@ use kairos_admitd::{AdmitPolicy, PreemptionPolicy, PriorityClass};
 use kairos_appgen::{
     ArrivalDistribution, DatasetSpec, MixEntry, Orientation, SizeClass, WorkloadMix,
 };
+use kairos_cluster::PlacementPolicyKind;
 use kairos_platform::{topology, Platform};
 
 use crate::json::Json;
@@ -160,6 +164,35 @@ pub struct DefragSpec {
     pub max_moves: usize,
 }
 
+/// A periodic cross-shard rebalancing sweep
+/// ([`kairos_svc::Command::Rebalance`]): every `period` ticks the engine
+/// asks the cluster to move up to `max_moves` running applications from
+/// its most- to its least-loaded shard (evict-and-readmit across the
+/// boundary, two-phase). Only meaningful inside a [`ClusterSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RebalanceSpec {
+    /// Ticks between sweeps (the first sweep runs at `period`).
+    pub period: u64,
+    /// Most applications one sweep may move across shards.
+    pub max_moves: usize,
+}
+
+/// Sharded deployment of the scenario's platform: the engine partitions
+/// the platform into `shards` contiguous capacity-balanced regions and
+/// drives a `kairos-cluster` [`ClusterService`](kairos_cluster::ClusterService)
+/// instead of the monolithic service — same `ResourceService` surface,
+/// same traffic, a fleet of managers underneath. With `shards: 1` the
+/// run is byte-identical to the unsharded scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of region shards.
+    pub shards: usize,
+    /// Shard-placement policy admissions are routed by.
+    pub policy: PlacementPolicyKind,
+    /// Periodic cross-shard rebalancing; `None` never rebalances.
+    pub rebalance: Option<RebalanceSpec>,
+}
+
 /// A scripted element fault (and optional repair).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultSpec {
@@ -197,6 +230,12 @@ pub struct Scenario {
     pub admission: Option<AdmitPolicy>,
     /// Periodic defragmenting compaction sweeps; `None` never compacts.
     pub defrag: Option<DefragSpec>,
+    /// Sharded platform deployment. `None` runs the monolithic service
+    /// (one manager owning the whole platform); `Some` partitions the
+    /// platform into region shards behind a `kairos-cluster` service,
+    /// with parallel admission probes and optional cross-shard
+    /// rebalancing.
+    pub cluster: Option<ClusterSpec>,
 }
 
 impl Scenario {
@@ -251,6 +290,25 @@ impl Scenario {
             }
         }
         let elements = self.platform.build().element_count() as u32;
+        if let Some(cluster) = &self.cluster {
+            if cluster.shards == 0 {
+                return Err("a cluster needs at least one shard".into());
+            }
+            if cluster.shards > elements as usize {
+                return Err(format!(
+                    "cannot split {elements} elements into {} shards",
+                    cluster.shards
+                ));
+            }
+            if let Some(rebalance) = &cluster.rebalance {
+                if rebalance.period == 0 {
+                    return Err("rebalance period must be positive".into());
+                }
+                if rebalance.max_moves == 0 {
+                    return Err("rebalance with max_moves of 0 can never move anything".into());
+                }
+            }
+        }
         let horizon = self.horizon();
         for fault in &self.faults {
             if fault.element >= elements {
@@ -365,6 +423,24 @@ impl Scenario {
                 doc.push("defrag", defrag)
             }
         };
+        match &self.cluster {
+            None => doc.push("cluster", Json::Null),
+            Some(spec) => {
+                let mut cluster = Json::object();
+                cluster.push("shards", spec.shards as u64);
+                cluster.push("policy", spec.policy.name());
+                match &spec.rebalance {
+                    None => cluster.push("rebalance", Json::Null),
+                    Some(rebalance) => {
+                        let mut r = Json::object();
+                        r.push("period", rebalance.period);
+                        r.push("max_moves", rebalance.max_moves as u64);
+                        cluster.push("rebalance", r)
+                    }
+                };
+                doc.push("cluster", cluster)
+            }
+        };
         doc
     }
 
@@ -383,6 +459,8 @@ impl Scenario {
             migrate_vs_evict(),
             defrag_sweep(),
             batch_arrival_wave(),
+            sharded_arrival_storm(),
+            cross_shard_rebalance(),
         ]
     }
 
@@ -421,6 +499,7 @@ fn steady_churn() -> Scenario {
         readmit_evicted: false,
         admission: None,
         defrag: None,
+        cluster: None,
     }
 }
 
@@ -447,6 +526,7 @@ fn bursty_arrivals() -> Scenario {
         readmit_evicted: false,
         admission: None,
         defrag: None,
+        cluster: None,
     }
 }
 
@@ -472,6 +552,7 @@ fn saturation() -> Scenario {
         readmit_evicted: false,
         admission: None,
         defrag: None,
+        cluster: None,
     }
 }
 
@@ -506,6 +587,7 @@ fn hotspot_failures() -> Scenario {
         readmit_evicted: true,
         admission: None,
         defrag: None,
+        cluster: None,
     }
 }
 
@@ -526,6 +608,7 @@ fn mixed_datasets() -> Scenario {
         readmit_evicted: false,
         admission: None,
         defrag: None,
+        cluster: None,
     }
 }
 
@@ -562,6 +645,7 @@ fn priority_inversion() -> Scenario {
             ..AdmitPolicy::default()
         }),
         defrag: None,
+        cluster: None,
     }
 }
 
@@ -596,6 +680,7 @@ fn overload_backpressure() -> Scenario {
             ..AdmitPolicy::default()
         }),
         defrag: None,
+        cluster: None,
     }
 }
 
@@ -631,6 +716,7 @@ fn retry_storm() -> Scenario {
             ..AdmitPolicy::default()
         }),
         defrag: None,
+        cluster: None,
     }
 }
 
@@ -669,6 +755,7 @@ fn critical_preempt() -> Scenario {
             ..AdmitPolicy::default()
         }),
         defrag: None,
+        cluster: None,
     }
 }
 
@@ -715,6 +802,7 @@ fn migrate_vs_evict() -> Scenario {
             ..AdmitPolicy::default()
         }),
         defrag: None,
+        cluster: None,
     }
 }
 
@@ -743,6 +831,7 @@ fn defrag_sweep() -> Scenario {
         readmit_evicted: false,
         admission: None,
         defrag: Some(DefragSpec { period: 150, max_moves: 4 }),
+        cluster: None,
     }
 }
 
@@ -788,6 +877,90 @@ fn batch_arrival_wave() -> Scenario {
             ..AdmitPolicy::default()
         }),
         defrag: None,
+        cluster: None,
+    }
+}
+
+/// Sharded arrival storm: a heavy-tailed Pareto storm of mixed-size
+/// applications slams a CRISP platform partitioned into four region
+/// shards. Every arrival fans out as parallel what-if probes across all
+/// four shard managers; the least-loaded policy routes it to the shard
+/// that would end up emptiest, and requests no shard can take queue at
+/// the policy's fallback shard under per-shard backpressure. The same
+/// storm against `shards: 1` is the monolithic baseline the
+/// `cluster_probe` bench compares against.
+fn sharded_arrival_storm() -> Scenario {
+    // Mostly small applications: a shard is a third of the platform, and
+    // an application must fit inside one shard (placements never span the
+    // region boundary), so the storm is sized to shards, not to the
+    // whole fabric.
+    let storm_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Small), 4),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Small), 3),
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Medium), 1),
+    ];
+    Scenario {
+        name: "sharded-arrival-storm".to_owned(),
+        seed: 0x54A2D,
+        sample_period: 30,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("storm", 1600, 7, 400, storm_mix)
+                .with_arrival(ArrivalDistribution::Pareto { alpha_centi: 150 }),
+            PhaseSpec::new("drain", 1800, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+        admission: Some(AdmitPolicy {
+            class_capacity: [6, 6, 12, 6],
+            max_wait: Some(700),
+            max_attempts: 6,
+            backoff_base: 1,
+            backoff_cap: 4,
+            ..AdmitPolicy::default()
+        }),
+        defrag: None,
+        cluster: Some(ClusterSpec {
+            shards: 3,
+            policy: PlacementPolicyKind::LeastLoaded,
+            rebalance: None,
+        }),
+    }
+}
+
+/// Cross-shard rebalancing: long-lived applications arrive under the
+/// *first-fit* placement policy, which deliberately piles everything
+/// onto the lowest-id shards of a three-shard CRISP cluster. Every 150
+/// ticks a rebalance sweep moves work from the most- to the least-loaded
+/// shard — evict-and-readmit across the region boundary, two-phase with
+/// rollback, each move surfacing as an id change in the report's
+/// `rebalance_moves` total — so the load the placement policy skewed is
+/// spread back out at run time.
+fn cross_shard_rebalance() -> Scenario {
+    let resident_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Small), 3),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Small), 2),
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Medium), 1),
+    ];
+    Scenario {
+        name: "cross-shard-rebalance".to_owned(),
+        seed: 0xC7055,
+        sample_period: 30,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("skewed-fill", 900, 16, 2800, resident_mix.clone()),
+            PhaseSpec::new("steady", 900, 30, 700, resident_mix),
+            PhaseSpec::new("drain", 1400, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+        admission: None,
+        defrag: None,
+        cluster: Some(ClusterSpec {
+            shards: 3,
+            policy: PlacementPolicyKind::FirstFit,
+            rebalance: Some(RebalanceSpec { period: 150, max_moves: 2 }),
+        }),
     }
 }
 
@@ -796,9 +969,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalog_has_twelve_valid_named_scenarios() {
+    fn catalog_has_fourteen_valid_named_scenarios() {
         let catalog = Scenario::catalog();
-        assert_eq!(catalog.len(), 12);
+        assert_eq!(catalog.len(), 14);
         let mut names: Vec<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
         for scenario in &catalog {
             scenario.validate().unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
@@ -806,7 +979,7 @@ mod tests {
         }
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 12, "catalog names must be unique");
+        assert_eq!(names.len(), 14, "catalog names must be unique");
         // The queueing, preemption and batching scenarios all carry an
         // admission policy; the five legacy scenarios and the defrag
         // sweep stay on the direct path.
@@ -821,8 +994,18 @@ mod tests {
                 "critical-preempt",
                 "migrate-vs-evict",
                 "batch-arrival-wave",
+                "sharded-arrival-storm",
             ]
         );
+        let clustered: Vec<&str> =
+            catalog.iter().filter(|s| s.cluster.is_some()).map(|s| s.name.as_str()).collect();
+        assert_eq!(clustered, vec!["sharded-arrival-storm", "cross-shard-rebalance"]);
+        let rebalancing: Vec<&str> = catalog
+            .iter()
+            .filter(|s| s.cluster.is_some_and(|c| c.rebalance.is_some()))
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(rebalancing, vec!["cross-shard-rebalance"]);
         let batched: Vec<&str> = catalog
             .iter()
             .filter(|s| s.phases.iter().any(|p| p.batch > 1))
@@ -875,6 +1058,18 @@ mod tests {
         let mut s = Scenario::by_name("overload-backpressure").unwrap();
         s.admission.as_mut().unwrap().max_attempts = 0;
         assert!(s.validate().unwrap_err().contains("admission policy"));
+
+        let mut s = Scenario::by_name("sharded-arrival-storm").unwrap();
+        s.cluster.as_mut().unwrap().shards = 0;
+        assert!(s.validate().unwrap_err().contains("shard"));
+
+        let mut s = Scenario::by_name("sharded-arrival-storm").unwrap();
+        s.cluster.as_mut().unwrap().shards = 10_000;
+        assert!(s.validate().unwrap_err().contains("shards"));
+
+        let mut s = Scenario::by_name("cross-shard-rebalance").unwrap();
+        s.cluster.as_mut().unwrap().rebalance.as_mut().unwrap().max_moves = 0;
+        assert!(s.validate().unwrap_err().contains("rebalance"));
     }
 
     #[test]

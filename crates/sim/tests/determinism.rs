@@ -26,6 +26,7 @@ fn churn_and_drain(seed: u64) -> Scenario {
         readmit_evicted: false,
         admission: None,
         defrag: None,
+        cluster: None,
     }
 }
 

@@ -39,15 +39,23 @@ pub enum Command {
     Migrate {
         /// The application to move.
         app: AppId,
-        /// Elements its new placement must not use.
+        /// Elements its new placement must not use, in the *service's*
+        /// element id space: global platform ids on a sharded service
+        /// (which translates them for the owning shard) — not the
+        /// shard-local ids found inside an
+        /// [`Event::Admitted`](crate::Event::Admitted) report there.
         avoid: Vec<ElementId>,
     },
-    /// Run one defragmenting compaction sweep, live-migrating up to
-    /// `max_moves` applications; only moves that strictly reduce external
-    /// fragmentation (paper §III-A) are kept. A sweep that moved anything
-    /// is a capacity event.
+    /// Run one defragmenting compaction sweep *per managed platform*,
+    /// live-migrating up to `max_moves` applications on each; only moves
+    /// that strictly reduce external fragmentation (paper §III-A) are
+    /// kept. A sharded service compacts every shard (so one sweep may
+    /// report up to `shards × max_moves` moves in total); relocation
+    /// never crosses a shard boundary here — that is
+    /// [`Command::Rebalance`]'s job. A sweep that moved anything is a
+    /// capacity event.
     Defrag {
-        /// Most applications the sweep may move.
+        /// Most applications the sweep may move per managed platform.
         max_moves: usize,
     },
     /// Mark `element` failed, evicting every application placed on it.
@@ -65,6 +73,17 @@ pub enum Command {
     Repair {
         /// The element to repair.
         element: ElementId,
+    },
+    /// Run one load-rebalancing sweep, moving up to `max_moves` running
+    /// applications *between shard managers* (evict-and-readmit across the
+    /// shard boundary, two-phase with rollback — the moved application
+    /// gets a fresh id on its new shard, reported in
+    /// [`Event::Rebalanced`](crate::Event::Rebalanced)). On a
+    /// single-manager service there is no boundary to move across, so the
+    /// sweep completes with zero moves.
+    Rebalance {
+        /// Most applications one sweep may move across shards.
+        max_moves: usize,
     },
 }
 

@@ -106,7 +106,12 @@ pub enum Event {
         /// bookkeeping. Boxed to keep the enum small.
         app: Box<Application>,
         /// The pipeline's admission report (stable [`AppId`], layout,
-        /// timings), boxed for the same reason.
+        /// timings), boxed for the same reason. On a multi-manager
+        /// service (a `kairos-cluster` shard fleet) the layout's element
+        /// ids are in the *admitting manager's own* coordinate space —
+        /// translate them through the cluster's region map before
+        /// feeding them back into element-addressed commands such as
+        /// [`Command::Migrate`](crate::Command::Migrate).
         report: Box<AdmissionReport>,
         /// Ticks spent queued (`0` for immediate admissions).
         waited: u64,
@@ -208,6 +213,18 @@ pub enum Event {
         /// Applications the sweep migrated.
         moves: usize,
     },
+    /// A [`Command::Rebalance`](crate::Command::Rebalance) sweep
+    /// completed. Each move relocated one running application across a
+    /// shard boundary by evict-and-readmit: it keeps running, but under a
+    /// fresh id minted by its new shard manager (ids encode their home
+    /// shard, so they cannot survive the crossing). Callers tracking
+    /// applications by id must re-key `from` to `to`.
+    Rebalanced {
+        /// The command's ticket.
+        ticket: Ticket,
+        /// Completed moves, in sweep order: `(old id, new id)`.
+        moves: Vec<(AppId, AppId)>,
+    },
 }
 
 impl Event {
@@ -225,7 +242,8 @@ impl Event {
             | Event::Released { ticket, .. }
             | Event::ElementFailed { ticket, .. }
             | Event::ElementRepaired { ticket, .. }
-            | Event::Defragged { ticket, .. } => ticket,
+            | Event::Defragged { ticket, .. }
+            | Event::Rebalanced { ticket, .. } => ticket,
             Event::Preempted { requeued_as, .. } => requeued_as,
         }
     }

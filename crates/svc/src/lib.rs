@@ -74,3 +74,12 @@ pub use service::{KairosService, ResourceService};
 // subsystem access.
 pub use kairos_admitd::{AdmitPolicy, Admitd, PreemptionPolicy, PriorityClass, VictimOrder};
 pub use kairos_core::{Kairos, KairosConfig};
+
+/// Compile-time thread-safety pin: `kairos-cluster` owns one
+/// `KairosService` per shard and probes them from scoped threads, so the
+/// whole service stack must stay `Send` (and `Sync` for shared probing
+/// inputs). A field change that silently dropped either would regress
+/// sharding — fail the build here instead.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<KairosService>();
+const _: () = _assert_send_sync::<Event>();

@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use kairos_admitd::{Admitd, PriorityClass, QueueEvent, Ticket as QueueTicket};
 use kairos_app::Application;
 use kairos_core::{Kairos, OccupancySnapshot};
+use kairos_platform::AppId;
 
 use crate::command::{CapacityEvent, Command, Request};
 use crate::event::{Event, RejectCause, Ticket};
@@ -28,7 +29,11 @@ use crate::event::{Event, RejectCause, Ticket};
 ///
 /// Everything is deterministic: the same request sequence produces the
 /// same event stream, byte for byte.
-pub trait ResourceService {
+///
+/// Implementations must be [`fmt::Debug`](std::fmt::Debug) so drivers
+/// (the `kairos-sim` engine holds its service as a trait object) stay
+/// debuggable.
+pub trait ResourceService: std::fmt::Debug {
     /// Performs one command, returning the ticket correlating its events.
     fn submit(&mut self, request: Request) -> Ticket;
 
@@ -51,14 +56,17 @@ pub trait ResourceService {
     fn take_events(&mut self) -> Vec<Event>;
 
     /// Read access to the underlying resource manager (the "low-level"
-    /// layer), for inspection.
+    /// layer), for inspection. Multi-manager services (a `kairos-cluster`
+    /// of shards) return their first manager; use
+    /// [`ResourceService::occupancy`] for whole-service metrics.
     fn kairos(&self) -> &Kairos;
 
     /// Requests currently waiting in the admission queue (`0` for
     /// queue-less services).
     fn queue_depth(&self) -> usize;
 
-    /// An occupancy snapshot of the managed platform.
+    /// An occupancy snapshot of the managed platform (aggregated over
+    /// every shard, for multi-manager services).
     fn occupancy(&self) -> OccupancySnapshot {
         self.kairos().occupancy()
     }
@@ -312,7 +320,68 @@ impl KairosService {
                 self.events.push(Event::ElementRepaired { ticket, element });
                 self.ingest(queued);
             }
+            Command::Rebalance { .. } => {
+                // One manager owns the whole platform: there is no shard
+                // boundary to move anything across. `kairos-cluster`'s
+                // `ClusterService` implements the real sweep.
+                self.events.push(Event::Rebalanced { ticket, moves: Vec::new() });
+            }
         }
+    }
+
+    /// Probes whether `app` could be admitted right now, leaving the
+    /// service (platform, queue, registries) exactly as it was. The
+    /// per-shard half of `kairos-cluster`'s parallel admission fan-out.
+    ///
+    /// # Errors
+    ///
+    /// The [`kairos_core::AdmissionFailure`] the pipeline would report.
+    pub fn probe_admit(
+        &mut self,
+        app: &Application,
+    ) -> Result<kairos_core::AdmissionProbe, kairos_core::AdmissionFailure> {
+        match &mut self.backend {
+            Backend::Direct(kairos) => kairos.probe_admit(app),
+            Backend::Queued(admitd) => admitd.probe_admit(app),
+        }
+    }
+
+    /// Admits `app` immediately under `class`, bypassing any admission
+    /// queue — no ticket, no buffered events. On a queued service the
+    /// admission is registered in the preemption victim registry, so the
+    /// import behaves exactly like a drained admission afterwards. This
+    /// is the target-shard half of a cross-shard rebalance move; ordinary
+    /// traffic belongs in [`ResourceService::submit`].
+    ///
+    /// # Errors
+    ///
+    /// The pipeline's [`kairos_core::AdmissionFailure`], if any; nothing
+    /// changes then.
+    pub fn admit_now(
+        &mut self,
+        app: &Application,
+        class: PriorityClass,
+    ) -> Result<kairos_core::AdmissionReport, kairos_core::AdmissionFailure> {
+        match &mut self.backend {
+            Backend::Direct(kairos) => kairos.admit(app),
+            Backend::Queued(admitd) => admitd.admit_direct(app, class),
+        }
+    }
+
+    /// Releases `app` without emitting a `Released` event of its own,
+    /// returning whether the id was admitted plus the events of the drain
+    /// the freed capacity triggered (queued services only). The
+    /// source-shard half of a cross-shard rebalance move: the application
+    /// is leaving this manager but not the system, so no caller-visible
+    /// release must be reported — while waiters admitted into the freed
+    /// room are real and are.
+    pub fn release_now(&mut self, app: AppId, at: u64) -> (bool, Vec<Event>) {
+        let (found, queued) = match &mut self.backend {
+            Backend::Direct(kairos) => (kairos.release(app), Vec::new()),
+            Backend::Queued(admitd) => admitd.release(app, at),
+        };
+        let events = self.translate(queued);
+        (found, events)
     }
 }
 

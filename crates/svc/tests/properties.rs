@@ -337,3 +337,51 @@ fn mixed_batches_run_non_admissions_after_the_wave() {
         Event::Released { ticket, found: true, .. } if *ticket == tickets[0]
     ));
 }
+
+#[test]
+fn rebalance_on_a_single_manager_service_is_a_zero_move_sweep() {
+    for queued in [false, true] {
+        let b = ServiceBuilder::new(topology::crisp()).deterministic(true);
+        let mut service =
+            if queued { b.admission(roomy_policy()).build() } else { b.build() }.unwrap();
+        service.submit(Request::admit(0, chain("r", 2, 500), PriorityClass::Normal));
+        service.take_events();
+        let before = service.kairos().platform().checkpoint();
+        let ticket = service.submit(Request::new(1, Command::Rebalance { max_moves: 4 }));
+        let events = service.take_events();
+        assert!(
+            matches!(
+                events.as_slice(),
+                [Event::Rebalanced { ticket: t, moves }] if *t == ticket && moves.is_empty()
+            ),
+            "queued={queued}: no shard boundary, no moves: {events:?}"
+        );
+        assert_eq!(service.kairos().platform().checkpoint(), before);
+    }
+}
+
+#[test]
+fn probe_admit_now_and_release_now_compose_like_a_rebalance_move() {
+    for queued in [false, true] {
+        let b = ServiceBuilder::new(topology::crisp()).deterministic(true);
+        let mut service =
+            if queued { b.admission(roomy_policy()).build() } else { b.build() }.unwrap();
+        let app = chain("mover", 2, 500);
+        // Probe is state-neutral and event-free.
+        let before = service.kairos().platform().checkpoint();
+        service.probe_admit(&app).unwrap();
+        assert_eq!(service.kairos().platform().checkpoint(), before);
+        assert!(service.take_events().is_empty());
+        // Import half: admitted with no ticket and no events.
+        let report = service.admit_now(&app, PriorityClass::Normal).unwrap();
+        assert!(service.take_events().is_empty(), "queue-bypass admissions are event-free");
+        assert_eq!(service.kairos().admitted_count(), 1);
+        // Export half: released with no Released event (only drains, and
+        // with an empty queue there are none).
+        let (found, events) = service.release_now(report.app_id, 1);
+        assert!(found && events.is_empty(), "queued={queued}: {events:?}");
+        assert!(service.kairos().platform().is_idle());
+        let (found, _) = service.release_now(report.app_id, 2);
+        assert!(!found, "double release is refused");
+    }
+}

@@ -56,6 +56,9 @@ fn show(events: &[Event]) {
             Event::Defragged { ticket, moves } => {
                 println!("  {ticket} defrag sweep moved {moves} app(s)");
             }
+            Event::Rebalanced { ticket, moves } => {
+                println!("  {ticket} rebalance sweep moved {} app(s) across shards", moves.len());
+            }
         }
     }
 }

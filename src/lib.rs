@@ -27,6 +27,13 @@
 //!   data (`Command`), one correlated `Event` stream, first-class batched
 //!   submission of arrival waves, and construction-time policy injection
 //!   (`ServiceBuilder`);
+//! * [`cluster`] — the sharded deployment: the platform partitioned into
+//!   contiguous capacity-balanced region shards (`RegionMap`), one
+//!   manager per shard behind the same `ResourceService` surface
+//!   (`ClusterService`), parallel what-if admission probes merged in
+//!   shard-id order, pluggable placement policies (first-fit /
+//!   best-fit-by-fragmentation / least-loaded) and cross-shard
+//!   rebalancing sweeps;
 //! * [`sim`] — a deterministic discrete-event scenario engine driving the
 //!   service through long-running multi-application workloads with
 //!   arrivals (lone or in batched waves), departures and element faults,
@@ -54,6 +61,7 @@
 pub use kairos_admitd as admitd;
 pub use kairos_app as app;
 pub use kairos_appgen as appgen;
+pub use kairos_cluster as cluster;
 pub use kairos_core as core;
 pub use kairos_platform as platform;
 pub use kairos_reloc as reloc;
