@@ -1,6 +1,7 @@
 //! The admission-control front-end itself.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use kairos_app::Application;
 use kairos_core::{
@@ -9,6 +10,7 @@ use kairos_core::{
 };
 use kairos_platform::{AppId, ElementId};
 use kairos_reloc::{compact, select_victims, CompactReport, VictimPlan};
+use kairos_telemetry::{Counter, Gauge, Histogram, Level, Telemetry};
 
 use crate::policy::{AdmitPolicy, PreemptionPolicy, VictimOrder};
 use crate::queue::{AdmissionQueue, PriorityClass, QueuedRequest, Ticket};
@@ -148,6 +150,49 @@ struct AdmittedMeta {
     waited: u64,
 }
 
+/// Bucket bounds for the queue-wait histogram, in virtual-time ticks.
+pub const WAIT_TICKS_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Pre-resolved registry handles for the front-end's queue-transition
+/// accounting, built once when telemetry is attached. Every variant of
+/// [`QueueEvent`] (and every [`RejectReason`]) maps onto exactly one
+/// counter, so the text exposition reads as a complete transition ledger.
+#[derive(Debug, Clone)]
+struct AdmitdMetrics {
+    enqueued: Arc<Counter>,
+    admitted: Arc<Counter>,
+    attempt_failed: Arc<Counter>,
+    rejected_queue_full: Arc<Counter>,
+    rejected_permanent: Arc<Counter>,
+    rejected_timeout: Arc<Counter>,
+    rejected_retries: Arc<Counter>,
+    rejected_shutdown: Arc<Counter>,
+    preempted: Arc<Counter>,
+    migrated: Arc<Counter>,
+    depth: Arc<Gauge>,
+    wait_ticks: Arc<Histogram>,
+}
+
+impl AdmitdMetrics {
+    fn new(telemetry: &Telemetry) -> Option<Self> {
+        let registry = telemetry.registry()?;
+        Some(AdmitdMetrics {
+            enqueued: registry.counter("kairos.admitd.enqueued"),
+            admitted: registry.counter("kairos.admitd.admitted"),
+            attempt_failed: registry.counter("kairos.admitd.attempt_failed"),
+            rejected_queue_full: registry.counter("kairos.admitd.rejected.queue_full"),
+            rejected_permanent: registry.counter("kairos.admitd.rejected.permanent"),
+            rejected_timeout: registry.counter("kairos.admitd.rejected.timeout"),
+            rejected_retries: registry.counter("kairos.admitd.rejected.retries_exhausted"),
+            rejected_shutdown: registry.counter("kairos.admitd.rejected.shutdown"),
+            preempted: registry.counter("kairos.admitd.preempted"),
+            migrated: registry.counter("kairos.admitd.migrated"),
+            depth: registry.gauge("kairos.admitd.queue.depth"),
+            wait_ticks: registry.histogram("kairos.admitd.wait.ticks", WAIT_TICKS_BOUNDS),
+        })
+    }
+}
+
 /// Priority admission-control front-end over a [`Kairos`] manager.
 ///
 /// Sits between request sources and `Kairos::admit`: holds requests in a
@@ -193,6 +238,7 @@ pub struct Admitd {
     /// preemption hook's victim registry. Ordered so candidate
     /// enumeration is deterministic.
     admitted_meta: BTreeMap<AppId, AdmittedMeta>,
+    metrics: Option<AdmitdMetrics>,
 }
 
 impl Admitd {
@@ -210,7 +256,96 @@ impl Admitd {
             next_ticket: 0,
             capacity_events: 0,
             admitted_meta: BTreeMap::new(),
+            metrics: None,
         }
+    }
+
+    /// Attaches an observability hub to the front-end *and* the managed
+    /// manager: queue transitions land on the `kairos.admitd.*` metrics
+    /// and the pipeline's own `kairos.core.*` instrumentation comes along
+    /// via [`Kairos::set_telemetry`]. Attaching a disabled hub detaches
+    /// both again.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.metrics = AdmitdMetrics::new(&telemetry);
+        self.kairos.set_telemetry(telemetry);
+    }
+
+    /// The attached observability hub (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        self.kairos.telemetry()
+    }
+
+    /// Folds a finished call's event list onto the registry: one counter
+    /// bump per transition, the wait histogram for everything that left
+    /// the queue, a flight-recorder line per noteworthy transition, and
+    /// the live depth gauge. Called exactly once per public entry point,
+    /// on the final event list, so no transition is double-counted.
+    fn record_events(&self, events: &[QueueEvent]) {
+        let Some(m) = &self.metrics else { return };
+        let telemetry = self.kairos.telemetry();
+        for event in events {
+            match event {
+                QueueEvent::Enqueued { ticket, class, depth } => {
+                    m.enqueued.inc();
+                    telemetry.event(
+                        Level::DEBUG,
+                        "kairos_admitd",
+                        format!("{ticket} enqueued ({class}), depth {depth}"),
+                    );
+                }
+                QueueEvent::Admitted { ticket, class, waited, attempts, .. } => {
+                    m.admitted.inc();
+                    m.wait_ticks.record(*waited);
+                    telemetry.event(
+                        Level::INFO,
+                        "kairos_admitd",
+                        format!(
+                            "{ticket} admitted ({class}) after {waited} ticks, {attempts} attempts"
+                        ),
+                    );
+                }
+                QueueEvent::AttemptFailed { ticket, attempt, phase, .. } => {
+                    m.attempt_failed.inc();
+                    telemetry.event(
+                        Level::DEBUG,
+                        "kairos_admitd",
+                        format!("{ticket} attempt {attempt} failed in {phase} phase, backing off"),
+                    );
+                }
+                QueueEvent::Rejected { ticket, class, reason, waited } => {
+                    match reason {
+                        RejectReason::QueueFull => m.rejected_queue_full.inc(),
+                        RejectReason::Permanent { .. } => m.rejected_permanent.inc(),
+                        RejectReason::Timeout => m.rejected_timeout.inc(),
+                        RejectReason::RetriesExhausted { .. } => m.rejected_retries.inc(),
+                        RejectReason::Shutdown => m.rejected_shutdown.inc(),
+                    }
+                    m.wait_ticks.record(*waited);
+                    telemetry.event(
+                        Level::WARN,
+                        "kairos_admitd",
+                        format!("{ticket} rejected ({class}): {reason:?} after {waited} ticks"),
+                    );
+                }
+                QueueEvent::Preempted { victim, ticket, by, .. } => {
+                    m.preempted.inc();
+                    telemetry.event(
+                        Level::WARN,
+                        "kairos_admitd",
+                        format!("{victim} preempted for {by}, requeued as {ticket}"),
+                    );
+                }
+                QueueEvent::Migrated { app, moved_tasks, by, .. } => {
+                    m.migrated.inc();
+                    telemetry.event(
+                        Level::INFO,
+                        "kairos_admitd",
+                        format!("{app} migrated for {by}, {moved_tasks} tasks moved"),
+                    );
+                }
+            }
+        }
+        m.depth.set(i64::try_from(self.queue.len()).unwrap_or(i64::MAX));
     }
 
     /// Read access to the managed resource manager.
@@ -261,11 +396,13 @@ impl Admitd {
         class: PriorityClass,
         now: u64,
     ) -> (Ticket, Vec<QueueEvent>) {
+        let _span = self.kairos.telemetry().span("kairos_admitd", "submit");
         let mut events = Vec::new();
         let (ticket, entered) = self.through_the_door(app, class, now, &mut events);
         if entered {
             events.extend(self.drain(now));
         }
+        self.record_events(&events);
         (ticket, events)
     }
 
@@ -291,6 +428,7 @@ impl Admitd {
         requests: Vec<(Application, PriorityClass)>,
         now: u64,
     ) -> (Vec<Ticket>, Vec<QueueEvent>) {
+        let _span = self.kairos.telemetry().span("kairos_admitd", "submit_batch");
         self.kairos.begin_batch();
         let mut tickets = Vec::with_capacity(requests.len());
         let mut events = Vec::new();
@@ -300,6 +438,7 @@ impl Admitd {
         }
         events.extend(self.drain(now));
         self.kairos.commit_batch();
+        self.record_events(&events);
         (tickets, events)
     }
 
@@ -395,7 +534,9 @@ impl Admitd {
         }
         self.admitted_meta.remove(&id);
         self.capacity_events += 1;
-        (true, self.drain(now))
+        let events = self.drain(now);
+        self.record_events(&events);
+        (true, events)
     }
 
     /// Marks `element` failed and evicts its applications (returned for
@@ -412,6 +553,7 @@ impl Admitd {
         }
         self.capacity_events += 1;
         let events = self.drain(now);
+        self.record_events(&events);
         (victims, events)
     }
 
@@ -424,7 +566,9 @@ impl Admitd {
         }
         self.kairos.repair_element(element);
         self.capacity_events += 1;
-        self.drain(now)
+        let events = self.drain(now);
+        self.record_events(&events);
+        events
     }
 
     /// Drops every queued request whose deadline has passed by `now`.
@@ -441,6 +585,7 @@ impl Admitd {
                 }
             }
         }
+        self.record_events(&events);
         events
     }
 
@@ -453,6 +598,7 @@ impl Admitd {
                 events.push(self.reject_at(class, 0, RejectReason::Shutdown, now));
             }
         }
+        self.record_events(&events);
         events
     }
 
@@ -785,7 +931,9 @@ impl Admitd {
             return (report, Vec::new());
         }
         self.capacity_events += 1;
-        (report, self.drain(now))
+        let events = self.drain(now);
+        self.record_events(&events);
+        (report, events)
     }
 
     /// Live-migrates an admitted application off the `avoid` elements
@@ -804,6 +952,7 @@ impl Admitd {
             Ok(report) => {
                 self.capacity_events += 1;
                 let events = self.drain(now);
+                self.record_events(&events);
                 (Ok(report), events)
             }
             Err(error) => (Err(error), Vec::new()),

@@ -45,7 +45,7 @@ mod frontend;
 mod policy;
 mod queue;
 
-pub use frontend::{Admitd, QueueEvent, RejectReason};
+pub use frontend::{Admitd, QueueEvent, RejectReason, WAIT_TICKS_BOUNDS};
 pub use policy::{AdmitPolicy, PreemptionPolicy, VictimOrder};
 pub use queue::{AdmissionQueue, PriorityClass, Ticket};
 

@@ -2,14 +2,16 @@
 //! region, parallel admission probes, and cross-shard rebalancing.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use kairos_admitd::{AdmitPolicy, PriorityClass};
 use kairos_app::Application;
-use kairos_core::{AdmissionProbe, Kairos, KairosConfig, OccupancySnapshot};
+use kairos_core::{AdmissionProbe, Kairos, KairosConfig, OccupancySnapshot, DURATION_NS_BOUNDS};
 use kairos_platform::{adjacent_pairs, AppId, ElementId, Platform, RegionMap};
 use kairos_svc::{
     CapacityEvent, Command, Event, KairosService, Request, ResourceService, ServiceBuilder, Ticket,
 };
+use kairos_telemetry::{Counter, Histogram, Level, Telemetry};
 
 use crate::policy::{FirstFit, PlacementPolicy, ShardFit, ShardLoad, ShardProbe};
 
@@ -124,12 +126,13 @@ pub struct ClusterBuilder {
     config: KairosConfig,
     admission: Option<AdmitPolicy>,
     policy: Box<dyn PlacementPolicy>,
+    telemetry: Telemetry,
 }
 
 impl ClusterBuilder {
     /// A builder for a cluster of `shards` region managers over
     /// `platform`, with the default manager configuration, no admission
-    /// queue and [`FirstFit`] placement.
+    /// queue, [`FirstFit`] placement and telemetry disabled.
     pub fn new(platform: Platform, shards: usize) -> Self {
         ClusterBuilder {
             platform,
@@ -137,6 +140,7 @@ impl ClusterBuilder {
             config: KairosConfig::default(),
             admission: None,
             policy: Box::new(FirstFit),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -168,6 +172,20 @@ impl ClusterBuilder {
         self
     }
 
+    /// Attaches an observability hub to the whole cluster: the
+    /// cluster-level `kairos.cluster.*` metrics (probe fan-out latency
+    /// per shard, placement-score distributions, rebalance accounting)
+    /// land in its registry, and every shard gets a
+    /// [`Telemetry::child`] handle labelled `shard{i}` — sharing the
+    /// registry, but recording its spans and events into a flight
+    /// recorder of its own (each shard is driven by exactly one thread,
+    /// so per-shard rings stay deterministically ordered even under the
+    /// parallel probe fan-out).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Builds the cluster: partitions the platform into contiguous
     /// capacity-balanced regions ([`RegionMap::new`]) and starts one
     /// [`KairosService`] per region.
@@ -185,7 +203,9 @@ impl ClusterBuilder {
         let mut shards = Vec::with_capacity(region.region_count());
         for r in 0..region.region_count() {
             let config = KairosConfig { app_id_base: r as u32 * APP_ID_STRIDE, ..self.config };
-            let mut builder = ServiceBuilder::new(region.extract(&self.platform, r)).config(config);
+            let mut builder = ServiceBuilder::new(region.extract(&self.platform, r))
+                .config(config)
+                .telemetry(self.telemetry.child(&format!("shard{r}")));
             if let Some(policy) = self.admission {
                 builder = builder.admission(policy);
             }
@@ -195,12 +215,15 @@ impl ClusterBuilder {
                 tickets: BTreeMap::new(),
             });
         }
+        let metrics = ClusterMetrics::new(&self.telemetry, region.region_count());
         Ok(ClusterService {
             shards,
             region,
             policy: self.policy,
             next_ticket: 0,
             events: Vec::new(),
+            telemetry: self.telemetry,
+            metrics,
         })
     }
 }
@@ -261,6 +284,77 @@ pub struct ClusterService {
     next_ticket: u64,
     /// Events accumulated since the last [`ResourceService::take_events`].
     events: Vec<Event>,
+    telemetry: Telemetry,
+    metrics: Option<ClusterMetrics>,
+}
+
+/// Bucket bounds for the placement-score histograms: scores are fractions
+/// in `[0, 1]` scaled by `1e6` to integers, so the buckets cut at 10%,
+/// 25%, 50%, 75%, 90% and 100%.
+pub const SCORE_E6_BOUNDS: &[u64] = &[100_000, 250_000, 500_000, 750_000, 900_000, 1_000_000];
+
+/// Pre-resolved registry handles for the cluster layer, built once at
+/// construction. The per-shard probe histograms are recorded from inside
+/// the fan-out's probe threads; that stays deterministic under the zero
+/// clock because every recorded duration is `0` and atomic increments
+/// commute, so the snapshot is a pure function of the probe count.
+#[derive(Debug, Clone)]
+struct ClusterMetrics {
+    probe_waves: Arc<Counter>,
+    probes: Arc<Counter>,
+    /// Per-shard probe latency, indexed by shard id.
+    probe_ns: Vec<Arc<Histogram>>,
+    /// Fragmentation score of every fitting probe, scaled by `1e6`.
+    score_fragmentation: Arc<Histogram>,
+    /// Resource-utilisation score of every fitting probe, scaled by `1e6`.
+    score_utilisation: Arc<Histogram>,
+    placements: Arc<Counter>,
+    fallbacks: Arc<Counter>,
+    rebalance_sweeps: Arc<Counter>,
+    rebalance_moves: Arc<Counter>,
+    rebalance_aborts: Arc<Counter>,
+}
+
+impl ClusterMetrics {
+    fn new(telemetry: &Telemetry, shards: usize) -> Option<Self> {
+        let registry = telemetry.registry()?;
+        Some(ClusterMetrics {
+            probe_waves: registry.counter("kairos.cluster.probe.waves"),
+            probes: registry.counter("kairos.cluster.probes"),
+            probe_ns: (0..shards)
+                .map(|i| {
+                    registry
+                        .histogram(&format!("kairos.cluster.shard{i}.probe.ns"), DURATION_NS_BOUNDS)
+                })
+                .collect(),
+            score_fragmentation: registry
+                .histogram("kairos.cluster.placement.score.fragmentation_e6", SCORE_E6_BOUNDS),
+            score_utilisation: registry
+                .histogram("kairos.cluster.placement.score.utilisation_e6", SCORE_E6_BOUNDS),
+            placements: registry.counter("kairos.cluster.placements"),
+            fallbacks: registry.counter("kairos.cluster.placement.fallbacks"),
+            rebalance_sweeps: registry.counter("kairos.cluster.rebalance.sweeps"),
+            rebalance_moves: registry.counter("kairos.cluster.rebalance.moves"),
+            rebalance_aborts: registry.counter("kairos.cluster.rebalance.aborts"),
+        })
+    }
+
+    /// Folds one shard-id-ordered probe row onto the score histograms.
+    fn note_fits(&self, row: &[ShardProbe]) {
+        for probe in row {
+            if let Some(fit) = &probe.fit {
+                self.score_fragmentation.record(score_e6(fit.fragmentation));
+                self.score_utilisation.record(score_e6(fit.resource_utilisation));
+            }
+        }
+    }
+}
+
+/// A `[0, 1]` score as an integer in parts-per-million (clamped), so the
+/// distribution can live in an integer histogram without breaking the
+/// byte-stable snapshot rendering.
+fn score_e6(score: f64) -> u64 {
+    (score.clamp(0.0, 1.0) * 1e6) as u64
 }
 
 impl ClusterService {
@@ -289,6 +383,13 @@ impl ClusterService {
         self.policy.name()
     }
 
+    /// The attached observability hub (disabled by default). This is the
+    /// cluster-level handle; each shard records through its own
+    /// `shard{i}`-labelled child sharing the same registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// The shard that minted `app` (ids encode their home shard).
     pub fn shard_of_app(&self, app: AppId) -> usize {
         ((app.0 / APP_ID_STRIDE) as usize).min(self.shards.len() - 1)
@@ -300,30 +401,57 @@ impl ClusterService {
     /// probe runs in a claim-journal transaction its shard always rolls
     /// back.
     pub fn probe_admit(&mut self, app: &Application) -> Vec<ShardProbe> {
-        if self.shards.len() == 1 {
-            let fit = fit_of(self.shards[0].service.probe_admit(app).ok());
-            return vec![ShardProbe { shard: 0, fit }];
+        let _span = self.telemetry.span("kairos_cluster", "probe_admit");
+        let metrics = &self.metrics;
+        let telemetry = &self.telemetry;
+        if let Some(m) = metrics {
+            m.probe_waves.inc();
+            m.probes.add(self.shards.len() as u64);
         }
-        // One scoped thread per shard: each exclusively owns its shard's
-        // manager (`iter_mut` hands out disjoint borrows), reads the
-        // shared application, and reports back through its join handle.
-        // Joining in spawn order re-imposes shard-id order on the
-        // results, so scheduling cannot leak into any decision.
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .map(|shard| scope.spawn(move || shard.service.probe_admit(app).ok()))
-                .collect();
-            handles
-                .into_iter()
-                .enumerate()
-                .map(|(shard, handle)| ShardProbe {
-                    shard,
-                    fit: fit_of(handle.join().expect("probe thread panicked")),
-                })
-                .collect()
-        })
+        let row = if self.shards.len() == 1 {
+            let start = telemetry.clock();
+            let fit = fit_of(self.shards[0].service.probe_admit(app).ok());
+            if let Some(m) = metrics {
+                m.probe_ns[0].record(Telemetry::elapsed_ns(start));
+            }
+            vec![ShardProbe { shard: 0, fit }]
+        } else {
+            // One scoped thread per shard: each exclusively owns its shard's
+            // manager (`iter_mut` hands out disjoint borrows), reads the
+            // shared application, and reports back through its join handle.
+            // Joining in spawn order re-imposes shard-id order on the
+            // results, so scheduling cannot leak into any decision.
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, shard)| {
+                        let hist = metrics.as_ref().map(|m| m.probe_ns[i].clone());
+                        scope.spawn(move || {
+                            let start = telemetry.clock();
+                            let probe = shard.service.probe_admit(app).ok();
+                            if let Some(hist) = hist {
+                                hist.record(Telemetry::elapsed_ns(start));
+                            }
+                            probe
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(shard, handle)| ShardProbe {
+                        shard,
+                        fit: fit_of(handle.join().expect("probe thread panicked")),
+                    })
+                    .collect()
+            })
+        };
+        if let Some(m) = metrics {
+            m.note_fits(&row);
+        }
+        row
     }
 
     /// Probes every shard with a state-neutral what-if admission of a
@@ -344,39 +472,67 @@ impl ClusterService {
     /// batched submission path calls — the wave is still owned by the
     /// requests being placed).
     fn probe_wave(&mut self, apps: &[&Application]) -> Vec<Vec<ShardProbe>> {
-        if self.shards.len() == 1 {
-            return apps
-                .iter()
+        let _span = self.telemetry.span("kairos_cluster", "probe_wave");
+        let metrics = &self.metrics;
+        let telemetry = &self.telemetry;
+        if let Some(m) = metrics {
+            m.probe_waves.inc();
+            m.probes.add((self.shards.len() * apps.len()) as u64);
+        }
+        let rows: Vec<Vec<ShardProbe>> = if self.shards.len() == 1 {
+            apps.iter()
                 .map(|app| {
+                    let start = telemetry.clock();
                     let fit = fit_of(self.shards[0].service.probe_admit(app).ok());
+                    if let Some(m) = metrics {
+                        m.probe_ns[0].record(Telemetry::elapsed_ns(start));
+                    }
                     vec![ShardProbe { shard: 0, fit }]
                 })
-                .collect();
-        }
-        let per_shard: Vec<Vec<Option<ShardFit>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .map(|shard| {
-                    scope.spawn(move || {
-                        apps.iter().map(|app| fit_of(shard.service.probe_admit(app).ok())).collect()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("probe thread panicked"))
                 .collect()
-        });
-        (0..apps.len())
-            .map(|a| {
-                per_shard
-                    .iter()
+        } else {
+            let per_shard: Vec<Vec<Option<ShardFit>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
                     .enumerate()
-                    .map(|(shard, fits)| ShardProbe { shard, fit: fits[a] })
+                    .map(|(i, shard)| {
+                        let hist = metrics.as_ref().map(|m| m.probe_ns[i].clone());
+                        scope.spawn(move || {
+                            apps.iter()
+                                .map(|app| {
+                                    let start = telemetry.clock();
+                                    let fit = fit_of(shard.service.probe_admit(app).ok());
+                                    if let Some(hist) = &hist {
+                                        hist.record(Telemetry::elapsed_ns(start));
+                                    }
+                                    fit
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("probe thread panicked"))
                     .collect()
-            })
-            .collect()
+            });
+            (0..apps.len())
+                .map(|a| {
+                    per_shard
+                        .iter()
+                        .enumerate()
+                        .map(|(shard, fits)| ShardProbe { shard, fit: fits[a] })
+                        .collect()
+                })
+                .collect()
+        };
+        if let Some(m) = metrics {
+            for row in &rows {
+                m.note_fits(row);
+            }
+        }
+        rows
     }
 
     /// Current per-shard loads, in shard-id order.
@@ -405,10 +561,17 @@ impl ClusterService {
             return 0;
         }
         let probes = self.probe_admit(app);
-        match self.policy.choose(&probes) {
-            Some(shard) => shard,
-            None => self.policy.fallback(&self.loads()),
+        let (shard, fell_back) = match self.policy.choose(&probes) {
+            Some(shard) => (shard, false),
+            None => (self.policy.fallback(&self.loads()), true),
+        };
+        if let Some(m) = &self.metrics {
+            m.placements.inc();
+            if fell_back {
+                m.fallbacks.inc();
+            }
         }
+        shard
     }
 
     /// Drains one shard's buffered events into the cluster's, translated.
@@ -507,6 +670,10 @@ impl ClusterService {
     /// failure in phase 2 (the app vanished) rolls phase 1 back by
     /// releasing the fresh claims, so no move is ever half-made.
     fn run_rebalance(&mut self, at: u64, ticket: Ticket, max_moves: usize) {
+        let _span = self.telemetry.span("kairos_cluster", "rebalance");
+        if let Some(m) = &self.metrics {
+            m.rebalance_sweeps.inc();
+        }
         let mut moves: Vec<(AppId, AppId)> = Vec::new();
         let mut tail: Vec<Event> = Vec::new();
         'sweep: while moves.len() < max_moves && self.shards.len() > 1 {
@@ -565,6 +732,18 @@ impl ClusterService {
                 let (found, drained) = self.shards[src].service.release_now(id, at);
                 if !found {
                     self.shards[dst].service.release_now(report.app_id, at);
+                    if let Some(m) = &self.metrics {
+                        m.rebalance_aborts.inc();
+                        self.telemetry.event(
+                            Level::WARN,
+                            "kairos_cluster",
+                            format!(
+                                "rebalance move of {id} aborted: source claims vanished, \
+                                 {} rolled back on shard {dst}",
+                                report.app_id
+                            ),
+                        );
+                    }
                     continue;
                 }
                 let s = &mut self.shards[src];
@@ -578,6 +757,14 @@ impl ClusterService {
         // may move an application a drain admitted moments earlier, and
         // its `Admitted` must reach the caller before the `Rebalanced`
         // that renames it (the sim's live-app accounting relies on it).
+        if let Some(m) = &self.metrics {
+            m.rebalance_moves.add(moves.len() as u64);
+            self.telemetry.event(
+                Level::INFO,
+                "kairos_cluster",
+                format!("rebalance sweep moved {} application(s)", moves.len()),
+            );
+        }
         self.events.extend(tail);
         self.events.push(Event::Rebalanced { ticket, moves });
     }

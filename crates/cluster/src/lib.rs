@@ -70,7 +70,7 @@
 mod cluster;
 mod policy;
 
-pub use cluster::{ClusterBuilder, ClusterService, APP_ID_STRIDE};
+pub use cluster::{ClusterBuilder, ClusterService, APP_ID_STRIDE, SCORE_E6_BOUNDS};
 pub use policy::{
     BestFitFragmentation, FirstFit, LeastLoaded, PlacementPolicy, PlacementPolicyKind, ShardFit,
     ShardLoad, ShardProbe,

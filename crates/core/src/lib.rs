@@ -66,7 +66,7 @@ pub use error::{
 pub use layout::{Binding, ExecutionLayout, Placement, Route};
 pub use manager::{
     AdmissionFailure, AdmissionProbe, AdmissionReport, Kairos, KairosConfig, MigrationError,
-    MigrationReport,
+    MigrationReport, DURATION_NS_BOUNDS,
 };
 pub use mapping::{
     map_application, CostContext, CostPolicy, CostWeights, ElementSearch, GapState, KnapsackItem,

@@ -10,9 +10,11 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use kairos_app::Application;
 use kairos_platform::{AppId, ElementId, Platform};
+use kairos_telemetry::{Counter, Histogram, Level, Telemetry};
 
 use crate::binding::bind;
 use crate::error::{AllocationError, Phase};
@@ -237,13 +239,96 @@ pub struct Kairos {
     config: KairosConfig,
     admitted: HashMap<AppId, AdmittedApp>,
     next_app: u32,
+    telemetry: Telemetry,
+    metrics: Option<CoreMetrics>,
+}
+
+/// Duration bucket bounds shared by all pipeline latency histograms:
+/// 1µs .. 1s in decade steps (every value is nanoseconds).
+pub const DURATION_NS_BOUNDS: &[u64] =
+    &[1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000];
+
+/// Pre-resolved registry handles for the manager's hot paths, built once
+/// when telemetry is attached so recording is a single atomic op. Eager
+/// registration also makes every pipeline metric visible in snapshots
+/// from the first render, whether or not it has fired yet.
+#[derive(Debug, Clone)]
+struct CoreMetrics {
+    /// Per-phase pipeline latency, in [`crate::Phase`] order.
+    phase_ns: [Arc<Histogram>; 4],
+    admit_ok: Arc<Counter>,
+    admit_fail: Arc<Counter>,
+    probes: Arc<Counter>,
+    txn_begin: Arc<Counter>,
+    txn_commit: Arc<Counter>,
+    txn_rollback: Arc<Counter>,
+    migrate_attempts: Arc<Counter>,
+    migrate_claims: Arc<Counter>,
+    migrate_transfers: Arc<Counter>,
+    migrate_commits: Arc<Counter>,
+    migrate_rollbacks: Arc<Counter>,
+}
+
+impl CoreMetrics {
+    fn new(telemetry: &Telemetry) -> Option<Self> {
+        let registry = telemetry.registry()?;
+        let phase_hist = |name: &str| {
+            registry.histogram(&format!("kairos.core.phase.{name}.ns"), DURATION_NS_BOUNDS)
+        };
+        Some(CoreMetrics {
+            phase_ns: [
+                phase_hist("binding"),
+                phase_hist("mapping"),
+                phase_hist("routing"),
+                phase_hist("validation"),
+            ],
+            admit_ok: registry.counter("kairos.core.admit.ok"),
+            admit_fail: registry.counter("kairos.core.admit.fail"),
+            probes: registry.counter("kairos.core.probes"),
+            txn_begin: registry.counter("kairos.core.txn.begin"),
+            txn_commit: registry.counter("kairos.core.txn.commit"),
+            txn_rollback: registry.counter("kairos.core.txn.rollback"),
+            migrate_attempts: registry.counter("kairos.core.migrate.attempts"),
+            migrate_claims: registry.counter("kairos.core.migrate.claims"),
+            migrate_transfers: registry.counter("kairos.core.migrate.transfers"),
+            migrate_commits: registry.counter("kairos.core.migrate.commits"),
+            migrate_rollbacks: registry.counter("kairos.core.migrate.rollbacks"),
+        })
+    }
+}
+
+/// A phase duration as whole nanoseconds, saturating at `u64::MAX`
+/// (over five centuries — only reachable through clock misbehaviour).
+fn duration_ns(elapsed: std::time::Duration) -> u64 {
+    u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
 }
 
 impl Kairos {
-    /// Creates a resource manager owning `platform`.
+    /// Creates a resource manager owning `platform`, with telemetry
+    /// disabled (attach a hub with [`Kairos::set_telemetry`]).
     pub fn new(platform: Platform, config: KairosConfig) -> Self {
         let next_app = config.app_id_base;
-        Kairos { platform, config, admitted: HashMap::new(), next_app }
+        Kairos {
+            platform,
+            config,
+            admitted: HashMap::new(),
+            next_app,
+            telemetry: Telemetry::disabled(),
+            metrics: None,
+        }
+    }
+
+    /// Attaches an observability hub: pipeline spans land in its flight
+    /// recorder and the `kairos.core.*` metrics are registered eagerly.
+    /// Attaching a disabled hub detaches instrumentation again.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.metrics = CoreMetrics::new(&telemetry);
+        self.telemetry = telemetry;
+    }
+
+    /// The attached observability hub (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Read access to the managed platform.
@@ -325,29 +410,75 @@ impl Kairos {
     /// An [`AdmissionFailure`] carrying the rejecting phase, error detail
     /// and the per-phase timings collected up to the rejection.
     pub fn admit(&mut self, app: &Application) -> Result<AdmissionReport, AdmissionFailure> {
+        let _span = self.telemetry.span("kairos_core", "admit");
         // Claim-journal transaction instead of a full occupancy clone: the
         // rollback cost is proportional to the claims actually made by this
         // attempt, not to the platform size (see `Platform::begin_txn`).
-        self.platform.begin_txn();
+        self.txn_begin();
         let app_id = AppId(self.next_app);
         let mut timings = PhaseTimings::default();
 
         let result = self.run_phases(app, app_id, &mut timings);
         match result {
             Ok((layout, validation)) => {
-                self.platform.commit_txn();
+                self.txn_commit();
                 self.next_app += 1;
                 let channel_bandwidths = app.channels().map(|c| c.bandwidth()).collect();
                 self.admitted.insert(
                     app_id,
                     AdmittedApp { app: app.clone(), layout: layout.clone(), channel_bandwidths },
                 );
+                if let Some(m) = &self.metrics {
+                    m.admit_ok.inc();
+                    self.telemetry.event(
+                        Level::INFO,
+                        "kairos_core",
+                        format!("admit {}: admitted as {app_id}", app.name()),
+                    );
+                }
                 Ok(AdmissionReport { app_id, timings, layout, validation })
             }
             Err(error) => {
-                self.platform.rollback_txn();
-                Err(AdmissionFailure { error, timings })
+                self.txn_rollback();
+                let failure = AdmissionFailure { error, timings };
+                if let Some(m) = &self.metrics {
+                    m.admit_fail.inc();
+                    self.telemetry.event(
+                        Level::WARN,
+                        "kairos_core",
+                        format!(
+                            "admit {}: rejected in {} phase, claims rolled back",
+                            app.name(),
+                            failure.phase()
+                        ),
+                    );
+                }
+                Err(failure)
             }
+        }
+    }
+
+    /// Opens a platform transaction, counting it when instrumented.
+    fn txn_begin(&mut self) {
+        self.platform.begin_txn();
+        if let Some(m) = &self.metrics {
+            m.txn_begin.inc();
+        }
+    }
+
+    /// Commits the innermost platform transaction, counting it.
+    fn txn_commit(&mut self) {
+        self.platform.commit_txn();
+        if let Some(m) = &self.metrics {
+            m.txn_commit.inc();
+        }
+    }
+
+    /// Rolls back the innermost platform transaction, counting it.
+    fn txn_rollback(&mut self) {
+        self.platform.rollback_txn();
+        if let Some(m) = &self.metrics {
+            m.txn_rollback.inc();
         }
     }
 
@@ -380,7 +511,11 @@ impl Kairos {
     ///
     /// The [`AdmissionFailure`] the pipeline would report, if any.
     pub fn probe_admit(&mut self, app: &Application) -> Result<AdmissionProbe, AdmissionFailure> {
-        self.platform.begin_txn();
+        let _span = self.telemetry.span("kairos_core", "probe_admit");
+        self.txn_begin();
+        if let Some(m) = &self.metrics {
+            m.probes.inc();
+        }
         let scratch = AppId(self.next_app);
         let mut timings = PhaseTimings::default();
         let result = self.run_phases(app, scratch, &mut timings);
@@ -388,7 +523,7 @@ impl Kairos {
             Ok((layout, _)) => Ok(AdmissionProbe { layout, after: self.occupancy() }),
             Err(error) => Err(AdmissionFailure { error, timings }),
         };
-        self.platform.rollback_txn();
+        self.txn_rollback();
         probe
     }
 
@@ -410,7 +545,11 @@ impl Kairos {
         app: &Application,
         without: &[AppId],
     ) -> Result<ExecutionLayout, AdmissionFailure> {
-        self.platform.begin_txn();
+        let _span = self.telemetry.span("kairos_core", "probe_admit_without");
+        self.txn_begin();
+        if let Some(m) = &self.metrics {
+            m.probes.inc();
+        }
         for &victim in without {
             self.release_claims_of(victim);
         }
@@ -419,7 +558,7 @@ impl Kairos {
         let scratch = AppId(self.next_app);
         let mut timings = PhaseTimings::default();
         let result = self.run_phases(app, scratch, &mut timings);
-        self.platform.rollback_txn();
+        self.txn_rollback();
         match result {
             Ok((layout, _)) => Ok(layout),
             Err(error) => Err(AdmissionFailure { error, timings }),
@@ -481,7 +620,11 @@ impl Kairos {
         let app = admitted.app.clone();
         let old_layout = admitted.layout.clone();
 
-        self.platform.begin_txn();
+        let _span = self.telemetry.span("kairos_core", "migrate_if");
+        if let Some(m) = &self.metrics {
+            m.migrate_attempts.inc();
+        }
+        self.txn_begin();
         // Failure-mark the avoided elements so the pipeline's searches skip
         // them; only elements not already failed are restored afterwards.
         let mut masked: Vec<ElementId> = Vec::new();
@@ -496,21 +639,52 @@ impl Kairos {
         let mut timings = PhaseTimings::default();
         match self.run_phases(&app, scratch, &mut timings) {
             Err(error) => {
-                self.platform.rollback_txn();
-                Err(MigrationError::Admission(AdmissionFailure { error, timings }))
+                self.txn_rollback();
+                let failure = AdmissionFailure { error, timings };
+                if let Some(m) = &self.metrics {
+                    m.migrate_rollbacks.inc();
+                    self.telemetry.event(
+                        Level::WARN,
+                        "kairos_core",
+                        format!(
+                            "migrate {id}: no alternate placement ({} phase), rolled back",
+                            failure.phase()
+                        ),
+                    );
+                }
+                Err(MigrationError::Admission(failure))
             }
             Ok((new_layout, _)) => {
+                // The alternate placement is claimed under the scratch id:
+                // phase one of the two-phase move.
+                if let Some(m) = &self.metrics {
+                    m.migrate_claims.inc();
+                }
                 // Transfer: drop the old footprint, relabel the new one.
                 self.release_claims_of(id);
                 self.platform.transfer_app(scratch, id);
+                if let Some(m) = &self.metrics {
+                    m.migrate_transfers.inc();
+                }
                 for e in masked {
                     self.platform.repair_element(e);
                 }
                 if !accept(&old_layout, &new_layout, &self.platform) {
-                    self.platform.rollback_txn();
+                    self.txn_rollback();
+                    if let Some(m) = &self.metrics {
+                        m.migrate_rollbacks.inc();
+                        self.telemetry.event(
+                            Level::WARN,
+                            "kairos_core",
+                            format!("migrate {id}: move declined by acceptance gate, rolled back"),
+                        );
+                    }
                     return Err(MigrationError::Declined);
                 }
-                self.platform.commit_txn();
+                self.txn_commit();
+                if let Some(m) = &self.metrics {
+                    m.migrate_commits.inc();
+                }
                 let moved_tasks = old_layout
                     .placement
                     .iter()
@@ -544,26 +718,41 @@ impl Kairos {
 
         // Phase 1: binding.
         let start = clock.start();
-        let binding = bind(app, &self.platform);
-        timings.set(Phase::Binding, start.elapsed());
+        let binding = {
+            let _span = self.telemetry.span("kairos_core", "phase.binding");
+            bind(app, &self.platform)
+        };
+        let elapsed = start.elapsed();
+        timings.set(Phase::Binding, elapsed);
+        if let Some(m) = &self.metrics {
+            m.phase_ns[0].record(duration_ns(elapsed));
+        }
         let binding = binding?;
 
         // Phase 2: mapping (claims element resources).
         let start = clock.start();
-        let mapping =
-            map_application(app, &binding, &mut self.platform, app_id, &self.config.mapper());
-        timings.set(Phase::Mapping, start.elapsed());
+        let mapping = {
+            let _span = self.telemetry.span("kairos_core", "phase.mapping");
+            map_application(app, &binding, &mut self.platform, app_id, &self.config.mapper())
+        };
+        let elapsed = start.elapsed();
+        timings.set(Phase::Mapping, elapsed);
+        if let Some(m) = &self.metrics {
+            m.phase_ns[1].record(duration_ns(elapsed));
+        }
         let mapping = mapping?;
 
         // Phase 3: routing (claims link resources).
         let start = clock.start();
-        let routes = route_channels(
-            app,
-            &mapping.placement,
-            &mut self.platform,
-            self.config.route_algorithm,
-        );
-        timings.set(Phase::Routing, start.elapsed());
+        let routes = {
+            let _span = self.telemetry.span("kairos_core", "phase.routing");
+            route_channels(app, &mapping.placement, &mut self.platform, self.config.route_algorithm)
+        };
+        let elapsed = start.elapsed();
+        timings.set(Phase::Routing, elapsed);
+        if let Some(m) = &self.metrics {
+            m.phase_ns[2].record(duration_ns(elapsed));
+        }
         let routes = routes?;
 
         let layout = ExecutionLayout { binding, placement: mapping.placement, routes };
@@ -571,8 +760,15 @@ impl Kairos {
         // Phase 4: validation.
         let validation = if self.config.validate {
             let start = clock.start();
-            let report = validate(app, &layout, &self.config.validation);
-            timings.set(Phase::Validation, start.elapsed());
+            let report = {
+                let _span = self.telemetry.span("kairos_core", "phase.validation");
+                validate(app, &layout, &self.config.validation)
+            };
+            let elapsed = start.elapsed();
+            timings.set(Phase::Validation, elapsed);
+            if let Some(m) = &self.metrics {
+                m.phase_ns[3].record(duration_ns(elapsed));
+            }
             Some(report?)
         } else {
             None
@@ -597,7 +793,7 @@ impl Kairos {
     /// `commit_batch`. Nesting batch scopes is allowed (they fold like
     /// the transactions they wrap).
     pub fn begin_batch(&mut self) {
-        self.platform.begin_txn();
+        self.txn_begin();
     }
 
     /// Closes the innermost batch scope opened by
@@ -607,7 +803,7 @@ impl Kairos {
     ///
     /// Panics when no batch scope (or other transaction) is open.
     pub fn commit_batch(&mut self) {
-        self.platform.commit_txn();
+        self.txn_commit();
     }
 
     /// Releases an admitted application, reclaiming all its element and

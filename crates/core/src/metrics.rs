@@ -5,6 +5,28 @@
 //! [`OccupancySnapshot`] packages the platform-state metrics (utilisation,
 //! fragmentation, free islands) that long-running drivers such as
 //! `kairos-sim` sample over time.
+//!
+//! # Aggregation
+//!
+//! A [`PhaseTimings`] value covers exactly one allocation attempt.
+//! Aggregation across attempts goes through the telemetry registry: when a
+//! hub is attached ([`Kairos::set_telemetry`](crate::Kairos::set_telemetry))
+//! every pipeline run also records each phase duration into the
+//! `kairos.core.phase.{binding,mapping,routing,validation}.ns` histograms,
+//! whose snapshots expose per-phase **min / mean / max** (plus count, sum
+//! and the bucketed distribution) without any caller-side bookkeeping.
+//! [`PhaseTimings::accumulate`] / [`PhaseTimings::mean_of`] remain for
+//! registry-free in-process averaging of a batch you already hold.
+//!
+//! # Zero-clock determinism rule
+//!
+//! Those summaries are only meaningful in wall-clock mode. Under
+//! [`KairosConfig::deterministic`](crate::KairosConfig::deterministic) the
+//! pipeline runs on [`PhaseClock::zero`], every recorded duration is
+//! exactly zero, and the phase histograms therefore degenerate to pure
+//! attempt counters (count = attempts, sum = min = max = 0) — a pure
+//! function of the operation sequence, which is what keeps telemetry-on
+//! simulation reports byte-reproducible.
 
 use std::fmt;
 use std::time::{Duration, Instant};

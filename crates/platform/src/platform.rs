@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use kairos_telemetry::Counter;
 use serde::{Deserialize, Serialize};
 
 use crate::element::{Element, ElementId, ElementKind};
@@ -157,8 +158,10 @@ pub struct Platform {
     /// Count of *top-level* transactions ever begun (nested transactions
     /// are not counted): the batching metric — one batched submission of N
     /// requests opens one top-level transaction where N sequential
-    /// submissions open N.
-    txns_begun: u64,
+    /// submissions open N. A `kairos-telemetry` counter (the workspace's
+    /// one counter implementation); its `Clone` copies the value, so
+    /// checkpoints freeze the tally exactly like the former plain field.
+    txns_begun: Counter,
 }
 
 impl Platform {
@@ -185,7 +188,7 @@ impl Platform {
             state,
             journal: Vec::new(),
             txn_marks: Vec::new(),
-            txns_begun: 0,
+            txns_begun: Counter::new(),
         }
     }
 
@@ -516,7 +519,7 @@ impl Platform {
     /// is proportional to the mutations actually made, not to `|E| + |L|`.
     pub fn begin_txn(&mut self) {
         if self.txn_marks.is_empty() {
-            self.txns_begun += 1;
+            self.txns_begun.inc();
         }
         self.txn_marks.push(self.journal.len());
     }
@@ -527,7 +530,7 @@ impl Platform {
     /// `cargo bench -p kairos-bench --bench service_batch` reports it for
     /// batched versus sequential admission of the same arrival wave.
     pub fn txn_count(&self) -> u64 {
-        self.txns_begun
+        self.txns_begun.get()
     }
 
     /// Closes the innermost transaction, keeping its mutations.

@@ -2,6 +2,7 @@
 
 use kairos_core::Kairos;
 use kairos_platform::{external_fragmentation, AppId};
+use kairos_telemetry::Level;
 
 /// One accepted move of a compaction sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,6 +48,11 @@ impl CompactReport {
 /// applications); `0` makes the sweep a no-op probe of current
 /// fragmentation.
 pub fn compact(kairos: &mut Kairos, max_moves: usize) -> CompactReport {
+    let telemetry = kairos.telemetry().clone();
+    let _span = telemetry.span("kairos_reloc", "compact");
+    if let Some(c) = telemetry.counter("kairos.reloc.compact.sweeps") {
+        c.inc();
+    }
     let fragmentation_before = external_fragmentation(kairos.platform());
     let mut moves = Vec::new();
     for id in kairos.admitted_ids() {
@@ -63,6 +69,14 @@ pub fn compact(kairos: &mut Kairos, max_moves: usize) -> CompactReport {
                 fragmentation_after: external_fragmentation(kairos.platform()),
             });
         }
+    }
+    if let Some(c) = telemetry.counter("kairos.reloc.compact.moves") {
+        c.add(moves.len() as u64);
+        telemetry.event(
+            Level::INFO,
+            "kairos_reloc",
+            format!("compaction sweep moved {} application(s)", moves.len()),
+        );
     }
     CompactReport {
         fragmentation_before,

@@ -3,6 +3,7 @@
 use kairos_app::Application;
 use kairos_core::{ExecutionLayout, Kairos};
 use kairos_platform::AppId;
+use kairos_telemetry::Level;
 
 /// A validated preemption plan: evicting `victims` (all of them) lets the
 /// blocked request through.
@@ -48,6 +49,11 @@ pub fn select_victims(
     candidates: &[AppId],
     max_victims: usize,
 ) -> Option<VictimPlan> {
+    let telemetry = kairos.telemetry().clone();
+    let _span = telemetry.span("kairos_reloc", "select_victims");
+    if let Some(c) = telemetry.counter("kairos.reloc.plans.requested") {
+        c.inc();
+    }
     if candidates.is_empty() || max_victims == 0 {
         return None;
     }
@@ -64,7 +70,17 @@ pub fn select_victims(
             break;
         }
     }
-    let mut layout = layout?;
+    let Some(mut layout) = layout else {
+        if let Some(c) = telemetry.counter("kairos.reloc.plans.none") {
+            c.inc();
+            telemetry.event(
+                Level::DEBUG,
+                "kairos_reloc",
+                format!("no victim set of at most {max_victims} unblocks {}", request.name()),
+            );
+        }
+        return None;
+    };
 
     // Prune to minimality w.r.t. single-victim removal. Later victims are
     // reconsidered first: the last one added was load-bearing by
@@ -81,6 +97,17 @@ pub fn select_victims(
         }
     }
 
+    if let Some(c) = telemetry.counter("kairos.reloc.plans.found") {
+        c.inc();
+        if let Some(victims) = telemetry.counter("kairos.reloc.plan.victims") {
+            victims.add(set.len() as u64);
+        }
+        telemetry.event(
+            Level::INFO,
+            "kairos_reloc",
+            format!("plan for {}: {} victim(s)", request.name(), set.len()),
+        );
+    }
     Some(VictimPlan { victims: set, layout })
 }
 

@@ -25,6 +25,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 use kairos_admitd::PriorityClass;
 use kairos_app::Application;
@@ -35,6 +36,7 @@ use kairos_platform::{AppId, ElementId};
 use kairos_svc::{
     CapacityEvent, Command, Event, RejectCause, Request, ResourceService, ServiceBuilder,
 };
+use kairos_telemetry::{Counter, Gauge, Telemetry, TelemetryConfig};
 
 use crate::report::{ClassQueueStats, PhaseStats, QueueReport, SamplePoint, SimReport, Totals};
 use crate::scenario::Scenario;
@@ -125,19 +127,96 @@ struct PhaseAccum {
     departures: u64,
 }
 
-/// Running admission-queue statistics.
-#[derive(Debug, Default, Clone)]
+/// The run totals, tallied on the workspace's one counter implementation
+/// ([`kairos_telemetry::Counter`]). With telemetry enabled the handles
+/// are the registry's own `kairos.sim.total.*` counters, so the report's
+/// `totals` section and the embedded metric snapshot are two views of
+/// the same atomics; disabled runs tally on standalone counters with
+/// identical behaviour. [`TotalsTally::materialize`] freezes the handles
+/// into the report's plain-integer [`Totals`], byte-identical to the
+/// pre-registry accounting.
+#[derive(Debug)]
+struct TotalsTally {
+    arrivals: Arc<Counter>,
+    admissions: Arc<Counter>,
+    rejections: Arc<Counter>,
+    departures: Arc<Counter>,
+    faults_injected: Arc<Counter>,
+    repairs: Arc<Counter>,
+    evictions: Arc<Counter>,
+    readmissions: Arc<Counter>,
+    lost_to_faults: Arc<Counter>,
+    preemptions: Arc<Counter>,
+    preempt_readmissions: Arc<Counter>,
+    lost_to_preemption: Arc<Counter>,
+    migrations: Arc<Counter>,
+    defrag_moves: Arc<Counter>,
+    rebalance_moves: Arc<Counter>,
+}
+
+impl TotalsTally {
+    fn new(telemetry: &Telemetry) -> Self {
+        let counter = |name: &str| match telemetry.registry() {
+            Some(registry) => registry.counter(name),
+            None => Arc::new(Counter::new()),
+        };
+        TotalsTally {
+            arrivals: counter("kairos.sim.total.arrivals"),
+            admissions: counter("kairos.sim.total.admissions"),
+            rejections: counter("kairos.sim.total.rejections"),
+            departures: counter("kairos.sim.total.departures"),
+            faults_injected: counter("kairos.sim.total.faults_injected"),
+            repairs: counter("kairos.sim.total.repairs"),
+            evictions: counter("kairos.sim.total.evictions"),
+            readmissions: counter("kairos.sim.total.readmissions"),
+            lost_to_faults: counter("kairos.sim.total.lost_to_faults"),
+            preemptions: counter("kairos.sim.total.preemptions"),
+            preempt_readmissions: counter("kairos.sim.total.preempt_readmissions"),
+            lost_to_preemption: counter("kairos.sim.total.lost_to_preemption"),
+            migrations: counter("kairos.sim.total.migrations"),
+            defrag_moves: counter("kairos.sim.total.defrag_moves"),
+            rebalance_moves: counter("kairos.sim.total.rebalance_moves"),
+        }
+    }
+
+    fn materialize(&self) -> Totals {
+        Totals {
+            arrivals: self.arrivals.get(),
+            admissions: self.admissions.get(),
+            rejections: self.rejections.get(),
+            departures: self.departures.get(),
+            faults_injected: self.faults_injected.get(),
+            repairs: self.repairs.get(),
+            evictions: self.evictions.get(),
+            readmissions: self.readmissions.get(),
+            lost_to_faults: self.lost_to_faults.get(),
+            preemptions: self.preemptions.get(),
+            preempt_readmissions: self.preempt_readmissions.get(),
+            lost_to_preemption: self.lost_to_preemption.get(),
+            migrations: self.migrations.get(),
+            defrag_moves: self.defrag_moves.get(),
+            rebalance_moves: self.rebalance_moves.get(),
+        }
+    }
+}
+
+/// Running admission-queue statistics. The monotonic counters and the
+/// depth high-water mark live on registry instruments
+/// (`kairos.sim.queue.*`) exactly like [`TotalsTally`]; the wait sums
+/// and per-class arrays feed derived report fields (means, per-class
+/// rows) and stay plain integers.
+#[derive(Debug)]
 struct QueueAccum {
-    queued: u64,
-    admitted_immediate: u64,
-    admitted_after_wait: u64,
-    retry_attempts: u64,
-    rejected_queue_full: u64,
-    rejected_permanent: u64,
-    dropped_timeout: u64,
-    dropped_retries_exhausted: u64,
-    flushed_at_shutdown: u64,
-    max_depth: u64,
+    queued: Arc<Counter>,
+    admitted_immediate: Arc<Counter>,
+    admitted_after_wait: Arc<Counter>,
+    retry_attempts: Arc<Counter>,
+    rejected_queue_full: Arc<Counter>,
+    rejected_permanent: Arc<Counter>,
+    dropped_timeout: Arc<Counter>,
+    dropped_retries_exhausted: Arc<Counter>,
+    flushed_at_shutdown: Arc<Counter>,
+    max_depth: Arc<Gauge>,
     total_wait: u64,
     wait_samples: u64,
     max_wait: u64,
@@ -146,6 +225,39 @@ struct QueueAccum {
     class_dropped: [u64; 4],
     class_wait: [u64; 4],
     class_wait_samples: [u64; 4],
+}
+
+impl QueueAccum {
+    fn new(telemetry: &Telemetry) -> Self {
+        let counter = |name: &str| match telemetry.registry() {
+            Some(registry) => registry.counter(name),
+            None => Arc::new(Counter::new()),
+        };
+        let max_depth = match telemetry.registry() {
+            Some(registry) => registry.gauge("kairos.sim.queue.max_depth"),
+            None => Arc::new(Gauge::new()),
+        };
+        QueueAccum {
+            queued: counter("kairos.sim.queue.queued"),
+            admitted_immediate: counter("kairos.sim.queue.admitted_immediate"),
+            admitted_after_wait: counter("kairos.sim.queue.admitted_after_wait"),
+            retry_attempts: counter("kairos.sim.queue.retry_attempts"),
+            rejected_queue_full: counter("kairos.sim.queue.rejected.queue_full"),
+            rejected_permanent: counter("kairos.sim.queue.rejected.permanent"),
+            dropped_timeout: counter("kairos.sim.queue.dropped.timeout"),
+            dropped_retries_exhausted: counter("kairos.sim.queue.dropped.retries_exhausted"),
+            flushed_at_shutdown: counter("kairos.sim.queue.flushed_at_shutdown"),
+            max_depth,
+            total_wait: 0,
+            wait_samples: 0,
+            max_wait: 0,
+            class_queued: [0; 4],
+            class_admitted: [0; 4],
+            class_dropped: [0; 4],
+            class_wait: [0; 4],
+            class_wait_samples: [0; 4],
+        }
+    }
 }
 
 /// Drives the Kairos run-time through one scenario run.
@@ -174,7 +286,8 @@ pub struct Simulator {
     /// Cross-shard rebalancing re-admits an application under a fresh id;
     /// departures scheduled under the old id resolve through this chain.
     renames: HashMap<AppId, AppId>,
-    totals: Totals,
+    telemetry: Telemetry,
+    totals: TotalsTally,
     rejections_by_phase: [u64; 4],
     phase_accum: Vec<PhaseAccum>,
     queue_accum: QueueAccum,
@@ -202,11 +315,22 @@ impl Simulator {
     /// The scenario's [`Scenario::validate`] error, if any.
     pub fn with_config(scenario: Scenario, config: KairosConfig) -> Result<Self, String> {
         scenario.validate()?;
+        // One telemetry hub for the whole stack. The engine's forced
+        // deterministic clock keeps the hub's default zero-duration mode:
+        // every instrument below the service boundary records pure
+        // op-sequence functions, so enabling telemetry cannot perturb a
+        // report beyond adding its snapshot section.
+        let telemetry = if scenario.telemetry {
+            Telemetry::new(TelemetryConfig::default())
+        } else {
+            Telemetry::disabled()
+        };
         let service: Box<dyn ResourceService> = match &scenario.cluster {
             None => {
                 let mut builder = ServiceBuilder::new(scenario.platform.build())
                     .config(config)
-                    .deterministic(true);
+                    .deterministic(true)
+                    .telemetry(telemetry.clone());
                 if let Some(policy) = &scenario.admission {
                     builder = builder.admission(*policy);
                 }
@@ -216,6 +340,7 @@ impl Simulator {
                 let mut builder = ClusterBuilder::new(scenario.platform.build(), spec.shards)
                     .config(config)
                     .deterministic(true)
+                    .telemetry(telemetry.clone())
                     .placement(spec.policy.build());
                 if let Some(policy) = &scenario.admission {
                     builder = builder.admission(*policy);
@@ -257,10 +382,11 @@ impl Simulator {
             live: HashMap::new(),
             pending: HashMap::new(),
             renames: HashMap::new(),
-            totals: Totals::default(),
+            totals: TotalsTally::new(&telemetry),
             rejections_by_phase: [0; 4],
             phase_accum,
-            queue_accum: QueueAccum::default(),
+            queue_accum: QueueAccum::new(&telemetry),
+            telemetry,
             samples: Vec::new(),
         })
     }
@@ -283,6 +409,15 @@ impl Simulator {
     /// The scenario being simulated.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
+    }
+
+    /// The run's telemetry hub: [`Telemetry::disabled`] unless the
+    /// scenario sets [`Scenario::telemetry`], in which case it is the
+    /// parent handle every service layer (and the engine's own tallies)
+    /// records through — use it to render the text exposition or dump
+    /// flight recorders after a run.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Whether the scenario runs with an admission queue (queue
@@ -418,7 +553,7 @@ impl Simulator {
         }
         let next_gap = sampler.next_delay_with(dist, mean_gap);
 
-        self.totals.arrivals += wave;
+        self.totals.arrivals.add(wave);
         self.phase_accum[phase].arrivals += wave;
         if wave == 1 {
             let (app, lifetime) = arrivals.pop().expect("wave of one");
@@ -498,7 +633,7 @@ impl Simulator {
     }
 
     fn on_repair(&mut self, at: u64, element: ElementId) {
-        self.totals.repairs += 1;
+        self.totals.repairs.inc();
         self.service.submit(Request::new(at, Command::Repair { element }));
         let events = self.service.take_events();
         self.apply_events(at, events);
@@ -507,7 +642,7 @@ impl Simulator {
     fn on_fault(&mut self, at: u64, fault: usize) {
         let spec = self.scenario.faults[fault];
         let element = ElementId(spec.element);
-        self.totals.faults_injected += 1;
+        self.totals.faults_injected.inc();
         if let Some(after) = spec.repair_after {
             self.schedule(at + after, SimEvent::Repair { element });
         }
@@ -524,7 +659,7 @@ impl Simulator {
         for victim in victims {
             let Some(live) = self.live.remove(&victim) else { continue };
             if !self.scenario.readmit_evicted {
-                self.totals.lost_to_faults += 1;
+                self.totals.lost_to_faults.inc();
                 continue;
             }
             // Evicted applications are offered for re-admission under
@@ -563,10 +698,10 @@ impl Simulator {
                 Event::Queued { ticket, class, depth } => {
                     let info = self.pending[&ticket.0];
                     if info.origin == Origin::Fresh {
-                        self.queue_accum.queued += 1;
+                        self.queue_accum.queued.inc();
                         self.queue_accum.class_queued[class.index()] += 1;
                     }
-                    self.queue_accum.max_depth = self.queue_accum.max_depth.max(depth as u64);
+                    self.queue_accum.max_depth.set_max(depth as i64);
                     if let Some(wait) = max_wait {
                         self.schedule(at + wait, SimEvent::QueueExpiry);
                     }
@@ -575,16 +710,16 @@ impl Simulator {
                     let info =
                         self.pending.remove(&ticket.0).expect("admitted tickets are pending");
                     match info.origin {
-                        Origin::Fault => self.totals.readmissions += 1,
-                        Origin::Preempt => self.totals.preempt_readmissions += 1,
+                        Origin::Fault => self.totals.readmissions.inc(),
+                        Origin::Preempt => self.totals.preempt_readmissions.inc(),
                         Origin::Fresh => {
-                            self.totals.admissions += 1;
+                            self.totals.admissions.inc();
                             self.phase_accum[info.phase].admissions += 1;
                             if queue_enabled {
                                 if waited == 0 {
-                                    self.queue_accum.admitted_immediate += 1;
+                                    self.queue_accum.admitted_immediate.inc();
                                 } else {
-                                    self.queue_accum.admitted_after_wait += 1;
+                                    self.queue_accum.admitted_after_wait.inc();
                                 }
                                 self.queue_accum.class_admitted[class.index()] += 1;
                                 self.record_wait(class, waited);
@@ -606,7 +741,7 @@ impl Simulator {
                     let first_class =
                         self.pending.get(&ticket.0).is_none_or(|p| p.origin == Origin::Fresh);
                     if first_class {
-                        self.queue_accum.retry_attempts += 1;
+                        self.queue_accum.retry_attempts.inc();
                     }
                 }
                 Event::Preempted { victim, requeued_as, .. } => {
@@ -614,7 +749,7 @@ impl Simulator {
                     // its requeue ticket inherits the departure schedule,
                     // exactly like a fault-evicted re-submission.
                     let live = self.live.remove(&victim).expect("preemption victims are live apps");
-                    self.totals.preemptions += 1;
+                    self.totals.preemptions.inc();
                     self.pending.insert(
                         requeued_as.0,
                         Pending {
@@ -629,7 +764,7 @@ impl Simulator {
                     // The app keeps running under the same id; only the
                     // placement changed. (Defrag sweeps report their moves
                     // in `Event::Defragged` counts, not here.)
-                    self.totals.migrations += 1;
+                    self.totals.migrations.inc();
                 }
                 Event::MigrationFailed { .. } => {
                     // The engine issues no `Migrate` commands of its own;
@@ -641,16 +776,16 @@ impl Simulator {
                         self.pending.remove(&ticket.0).expect("rejected tickets are pending");
                     match info.origin {
                         Origin::Fault => {
-                            self.totals.lost_to_faults += 1;
+                            self.totals.lost_to_faults.inc();
                             continue;
                         }
                         Origin::Preempt => {
-                            self.totals.lost_to_preemption += 1;
+                            self.totals.lost_to_preemption.inc();
                             continue;
                         }
                         Origin::Fresh => {}
                     }
-                    self.totals.rejections += 1;
+                    self.totals.rejections.inc();
                     self.phase_accum[info.phase].rejections += 1;
                     if let RejectCause::Refused { phase } = cause {
                         // The direct path's immediate rejection: pipeline
@@ -661,23 +796,23 @@ impl Simulator {
                     self.queue_accum.class_dropped[class.index()] += 1;
                     match cause {
                         RejectCause::Refused { .. } => unreachable!("handled above"),
-                        RejectCause::QueueFull => self.queue_accum.rejected_queue_full += 1,
+                        RejectCause::QueueFull => self.queue_accum.rejected_queue_full.inc(),
                         RejectCause::Permanent { phase } => {
-                            self.queue_accum.rejected_permanent += 1;
+                            self.queue_accum.rejected_permanent.inc();
                             self.rejections_by_phase[phase_index(phase)] += 1;
                             self.record_wait(class, waited);
                         }
                         RejectCause::Timeout => {
-                            self.queue_accum.dropped_timeout += 1;
+                            self.queue_accum.dropped_timeout.inc();
                             self.record_wait(class, waited);
                         }
                         RejectCause::RetriesExhausted { phase } => {
-                            self.queue_accum.dropped_retries_exhausted += 1;
+                            self.queue_accum.dropped_retries_exhausted.inc();
                             self.rejections_by_phase[phase_index(phase)] += 1;
                             self.record_wait(class, waited);
                         }
                         RejectCause::Shutdown => {
-                            self.queue_accum.flushed_at_shutdown += 1;
+                            self.queue_accum.flushed_at_shutdown.inc();
                             self.record_wait(class, waited);
                         }
                     }
@@ -685,24 +820,24 @@ impl Simulator {
                 Event::Released { app, found, .. } => {
                     if found {
                         self.live.remove(&app);
-                        self.totals.departures += 1;
+                        self.totals.departures.inc();
                         let phase = self.phase_at(at);
                         self.phase_accum[phase].departures += 1;
                     }
                 }
                 Event::ElementFailed { evicted, .. } => {
-                    self.totals.evictions += evicted.len() as u64;
+                    self.totals.evictions.add(evicted.len() as u64);
                 }
                 Event::ElementRepaired { .. } => {}
                 Event::Defragged { moves, .. } => {
-                    self.totals.defrag_moves += moves as u64;
+                    self.totals.defrag_moves.add(moves as u64);
                 }
                 Event::Rebalanced { moves, .. } => {
                     // Each move re-admitted a live application on another
                     // shard under a fresh id; re-key its bookkeeping and
                     // remember the rename so its scheduled departure still
                     // finds it.
-                    self.totals.rebalance_moves += moves.len() as u64;
+                    self.totals.rebalance_moves.add(moves.len() as u64);
                     for (from, to) in moves {
                         let live = self.live.remove(&from).expect("rebalance moves only live apps");
                         self.renames.insert(from, to);
@@ -711,8 +846,7 @@ impl Simulator {
                 }
             }
         }
-        self.queue_accum.max_depth =
-            self.queue_accum.max_depth.max(self.service.queue_depth() as u64);
+        self.queue_accum.max_depth.set_max(self.service.queue_depth() as i64);
     }
 
     fn record_wait(&mut self, class: PriorityClass, waited: u64) {
@@ -785,16 +919,16 @@ impl Simulator {
             .collect();
         let queue = QueueReport {
             enabled: self.scenario.admission.is_some(),
-            queued: qa.queued,
-            admitted_immediate: qa.admitted_immediate,
-            admitted_after_wait: qa.admitted_after_wait,
-            retry_attempts: qa.retry_attempts,
-            rejected_queue_full: qa.rejected_queue_full,
-            rejected_permanent: qa.rejected_permanent,
-            dropped_timeout: qa.dropped_timeout,
-            dropped_retries_exhausted: qa.dropped_retries_exhausted,
-            flushed_at_shutdown: qa.flushed_at_shutdown,
-            max_depth: qa.max_depth,
+            queued: qa.queued.get(),
+            admitted_immediate: qa.admitted_immediate.get(),
+            admitted_after_wait: qa.admitted_after_wait.get(),
+            retry_attempts: qa.retry_attempts.get(),
+            rejected_queue_full: qa.rejected_queue_full.get(),
+            rejected_permanent: qa.rejected_permanent.get(),
+            dropped_timeout: qa.dropped_timeout.get(),
+            dropped_retries_exhausted: qa.dropped_retries_exhausted.get(),
+            flushed_at_shutdown: qa.flushed_at_shutdown.get(),
+            max_depth: qa.max_depth.get().max(0) as u64,
             mean_wait: mean_of(qa.total_wait, qa.wait_samples),
             max_wait: qa.max_wait,
             by_class,
@@ -804,7 +938,7 @@ impl Simulator {
             scenario: self.scenario.name.clone(),
             seed: self.scenario.seed,
             horizon: self.scenario.horizon(),
-            totals: self.totals,
+            totals: self.totals.materialize(),
             rejections_by_phase: Phase::ALL
                 .iter()
                 .enumerate()
@@ -814,6 +948,9 @@ impl Simulator {
             queue,
             samples: std::mem::take(&mut self.samples),
             final_state: self.service.occupancy(),
+            // Snapshot last: the occupancy call above is read-only, so
+            // every instrument has its final value by now.
+            telemetry: self.telemetry.registry().map(kairos_telemetry::Registry::snapshot),
         }
     }
 }

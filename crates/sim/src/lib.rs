@@ -10,7 +10,7 @@
 //! and periodic occupancy sampling.
 //!
 //! * [`Scenario`] — a seeded, fully declarative experiment description,
-//!   with a built-in catalog of fourteen named scenarios
+//!   with a built-in catalog of fifteen named scenarios
 //!   ([`Scenario::catalog`], documented in `docs/SCENARIOS.md`):
 //!   `steady-churn`, `bursty-arrivals`, `saturation`, `hotspot-failures`,
 //!   `mixed-datasets`, three that exercise the `kairos-admitd` admission
@@ -18,11 +18,14 @@
 //!   `retry-storm` — three that exercise the `kairos-reloc` relocation
 //!   subsystem — `critical-preempt`, `migrate-vs-evict`, `defrag-sweep`
 //!   — `batch-arrival-wave`, which admits synchronized arrival waves
-//!   through the batched service path, and two that exercise the
+//!   through the batched service path, two that exercise the
 //!   `kairos-cluster` sharded deployment ([`ClusterSpec`]) —
 //!   `sharded-arrival-storm` (parallel admission probes over four region
 //!   shards) and `cross-shard-rebalance` (periodic evict-and-readmit
-//!   sweeps against a skewed first-fit fill, [`RebalanceSpec`]);
+//!   sweeps against a skewed first-fit fill, [`RebalanceSpec`]) — and
+//!   `telemetry-probe-latency`, which runs a sharded preempting workload
+//!   with [`Scenario::telemetry`] recording enabled (see
+//!   `docs/OBSERVABILITY.md`);
 //! * [`Simulator`] — the event queue + virtual clock driving all
 //!   scenario traffic through the unified
 //!   [`kairos_svc::ResourceService`] API: arrivals are `Admit` commands
@@ -36,7 +39,9 @@
 //! * [`SimReport`] — aggregated admissions, rejections by pipeline phase,
 //!   departures, fault statistics, relocation counters (preemptions,
 //!   migrations, defrag moves), queue behaviour ([`QueueReport`]: depth,
-//!   waits, retries, drops) and metric time-series, rendered as
+//!   waits, retries, drops) and metric time-series — plus, for
+//!   telemetry-enabled runs, the end-of-run snapshot of the whole
+//!   stack's metric registry ([`SimReport::telemetry`]) — rendered as
 //!   byte-deterministic JSON.
 //!
 //! Identical scenarios yield byte-identical reports: the engine draws every

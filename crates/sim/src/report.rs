@@ -3,13 +3,17 @@
 //! A [`SimReport`] is everything a scenario run leaves behind: total event
 //! counts, rejections broken down by the admission pipeline phase that
 //! refused them, per-workload-phase statistics, the sampled metric
-//! time-series and the final platform state. Rendering to JSON is
+//! time-series and the final platform state — plus, for scenarios with
+//! [`Scenario::telemetry`](crate::Scenario::telemetry) enabled, the full
+//! metric snapshot of the run's telemetry registry. Rendering to JSON is
 //! deterministic — two runs of the same scenario produce byte-identical
-//! reports.
+//! reports; the telemetry section holds only name-ordered integers, so
+//! it is byte-stable too.
 
 use serde::{Deserialize, Serialize};
 
 use kairos_core::OccupancySnapshot;
+use kairos_telemetry::{MetricValue, Snapshot};
 
 use crate::json::Json;
 
@@ -166,6 +170,38 @@ pub struct SimReport {
     pub samples: Vec<SamplePoint>,
     /// Platform state when the run ended.
     pub final_state: OccupancySnapshot,
+    /// End-of-run snapshot of the telemetry registry — every counter,
+    /// gauge and histogram the whole stack recorded, in name order.
+    /// `None` unless the scenario enables
+    /// [`Scenario::telemetry`](crate::Scenario::telemetry); the JSON
+    /// rendering omits its `telemetry` key then, keeping legacy reports
+    /// byte-identical.
+    pub telemetry: Option<Snapshot>,
+}
+
+/// A metric snapshot as an ordered JSON object: one key per metric (the
+/// snapshot is already name-sorted), counters and gauges as bare
+/// integers, histograms as `{count, sum, min, max, bounds, buckets}`
+/// objects. Every value is an integer, so the rendering is byte-stable.
+fn telemetry_json(snapshot: &Snapshot) -> Json {
+    let mut doc = Json::object();
+    for metric in &snapshot.metrics {
+        match &metric.value {
+            MetricValue::Counter(v) => doc.push(&metric.name, *v),
+            MetricValue::Gauge(v) => doc.push(&metric.name, *v),
+            MetricValue::Histogram(h) => {
+                let mut hist = Json::object();
+                hist.push("count", h.count);
+                hist.push("sum", h.sum);
+                hist.push("min", h.min);
+                hist.push("max", h.max);
+                hist.push("bounds", h.bounds.iter().map(|&b| Json::UInt(b)).collect::<Vec<_>>());
+                hist.push("buckets", h.buckets.iter().map(|&b| Json::UInt(b)).collect::<Vec<_>>());
+                doc.push(&metric.name, hist)
+            }
+        };
+    }
+    doc
 }
 
 fn occupancy_json(o: &OccupancySnapshot) -> Json {
@@ -277,6 +313,9 @@ impl SimReport {
         doc.push("samples", samples);
 
         doc.push("final_state", occupancy_json(&self.final_state));
+        if let Some(snapshot) = &self.telemetry {
+            doc.push("telemetry", telemetry_json(snapshot));
+        }
         doc
     }
 

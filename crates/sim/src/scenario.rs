@@ -7,7 +7,7 @@
 //! simulations — the engine draws every random choice from the scenario
 //! seed.
 //!
-//! [`Scenario::catalog`] ships fourteen named scenarios: five spanning the
+//! [`Scenario::catalog`] ships fifteen named scenarios: five spanning the
 //! regimes the paper motivates (steady churn, bursty arrivals, saturation,
 //! hotspot element failures, a mixed-dataset workload), three exercising
 //! the `kairos-admitd` admission front-end (priority inversion, overload
@@ -15,11 +15,14 @@
 //! relocation subsystem (preemption of low-priority work for criticals,
 //! migration versus evict-and-readmit, defragmenting compaction sweeps),
 //! one exercising batched submission through the `kairos-svc` service
-//! API (synchronized arrival waves), and two exercising the
+//! API (synchronized arrival waves), two exercising the
 //! `kairos-cluster` sharded deployment (a parallel-probe arrival storm
 //! over four region shards, and cross-shard rebalancing of a skewed
-//! first-fit fill). `docs/SCENARIOS.md` documents every entry; CI checks
-//! the two stay in sync.
+//! first-fit fill), and one exercising the `kairos-telemetry`
+//! observability layer (`telemetry-probe-latency`, which runs a sharded
+//! preempting workload with [`Scenario::telemetry`] enabled and embeds
+//! the metric snapshot in its report). `docs/SCENARIOS.md` documents
+//! every entry; CI checks the two stay in sync.
 
 use serde::{Deserialize, Serialize};
 
@@ -236,6 +239,14 @@ pub struct Scenario {
     /// with parallel admission probes and optional cross-shard
     /// rebalancing.
     pub cluster: Option<ClusterSpec>,
+    /// Whether the run records `kairos-telemetry` observability: spans,
+    /// the full metric registry (every layer's counters, gauges and
+    /// latency histograms) and per-shard flight recorders. The engine
+    /// always runs the deterministic zero phase clock, so an enabled run
+    /// is byte-identical to a disabled one apart from the extra
+    /// `telemetry` section in the report (all duration histograms record
+    /// zero-nanosecond observations and degenerate to attempt counters).
+    pub telemetry: bool,
 }
 
 impl Scenario {
@@ -441,6 +452,7 @@ impl Scenario {
                 doc.push("cluster", cluster)
             }
         };
+        doc.push("telemetry", self.telemetry);
         doc
     }
 
@@ -461,6 +473,7 @@ impl Scenario {
             batch_arrival_wave(),
             sharded_arrival_storm(),
             cross_shard_rebalance(),
+            telemetry_probe_latency(),
         ]
     }
 
@@ -500,6 +513,7 @@ fn steady_churn() -> Scenario {
         admission: None,
         defrag: None,
         cluster: None,
+        telemetry: false,
     }
 }
 
@@ -527,6 +541,7 @@ fn bursty_arrivals() -> Scenario {
         admission: None,
         defrag: None,
         cluster: None,
+        telemetry: false,
     }
 }
 
@@ -553,6 +568,7 @@ fn saturation() -> Scenario {
         admission: None,
         defrag: None,
         cluster: None,
+        telemetry: false,
     }
 }
 
@@ -588,6 +604,7 @@ fn hotspot_failures() -> Scenario {
         admission: None,
         defrag: None,
         cluster: None,
+        telemetry: false,
     }
 }
 
@@ -609,6 +626,7 @@ fn mixed_datasets() -> Scenario {
         admission: None,
         defrag: None,
         cluster: None,
+        telemetry: false,
     }
 }
 
@@ -646,6 +664,7 @@ fn priority_inversion() -> Scenario {
         }),
         defrag: None,
         cluster: None,
+        telemetry: false,
     }
 }
 
@@ -681,6 +700,7 @@ fn overload_backpressure() -> Scenario {
         }),
         defrag: None,
         cluster: None,
+        telemetry: false,
     }
 }
 
@@ -717,6 +737,7 @@ fn retry_storm() -> Scenario {
         }),
         defrag: None,
         cluster: None,
+        telemetry: false,
     }
 }
 
@@ -756,6 +777,7 @@ fn critical_preempt() -> Scenario {
         }),
         defrag: None,
         cluster: None,
+        telemetry: false,
     }
 }
 
@@ -803,6 +825,7 @@ fn migrate_vs_evict() -> Scenario {
         }),
         defrag: None,
         cluster: None,
+        telemetry: false,
     }
 }
 
@@ -832,6 +855,7 @@ fn defrag_sweep() -> Scenario {
         admission: None,
         defrag: Some(DefragSpec { period: 150, max_moves: 4 }),
         cluster: None,
+        telemetry: false,
     }
 }
 
@@ -878,6 +902,7 @@ fn batch_arrival_wave() -> Scenario {
         }),
         defrag: None,
         cluster: None,
+        telemetry: false,
     }
 }
 
@@ -925,6 +950,7 @@ fn sharded_arrival_storm() -> Scenario {
             policy: PlacementPolicyKind::LeastLoaded,
             rebalance: None,
         }),
+        telemetry: false,
     }
 }
 
@@ -961,6 +987,62 @@ fn cross_shard_rebalance() -> Scenario {
             policy: PlacementPolicyKind::FirstFit,
             rebalance: Some(RebalanceSpec { period: 150, max_moves: 2 }),
         }),
+        telemetry: false,
+    }
+}
+
+/// Telemetry probe latency: the observability showcase. A three-shard
+/// CRISP cluster under the least-loaded policy admits a queued, preempting
+/// workload — low-priority residents first, then a critical surge that
+/// live-migrates victims — with [`Scenario::telemetry`] enabled, so the
+/// report embeds the full metric snapshot: per-shard probe-latency
+/// histograms and placement-score distributions from the parallel probe
+/// fan-out, pipeline-phase and transaction counters from every shard
+/// manager, queue-transition counters from the admission front-ends, and
+/// the two-phase migration tallies. Under the engine's deterministic zero
+/// clock the snapshot is byte-reproducible run to run.
+fn telemetry_probe_latency() -> Scenario {
+    // The migrate-vs-evict recipe, sharded: small long-lived residents a
+    // neighbouring element's slack can absorb, then criticals that force
+    // make-before-break moves — every instrumented subsystem fires.
+    let light_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Small), 3),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Small), 2),
+    ];
+    let crit_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Medium), 2),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Medium), 1),
+    ];
+    Scenario {
+        name: "telemetry-probe-latency".to_owned(),
+        seed: 0x7E1E,
+        sample_period: 30,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("fill-low", 900, 10, 2800, light_mix).with_priority(PriorityClass::Low),
+            PhaseSpec::new("critical-surge", 700, 35, 500, crit_mix)
+                .with_priority(PriorityClass::Critical),
+            PhaseSpec::new("drain", 2400, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+        admission: Some(AdmitPolicy {
+            class_capacity: [10, 8, 8, 24],
+            max_wait: Some(1400),
+            max_attempts: 8,
+            backoff_base: 1,
+            backoff_cap: 4,
+            preemption: PreemptionPolicy::Migrate,
+            max_victims: 4,
+            ..AdmitPolicy::default()
+        }),
+        defrag: None,
+        cluster: Some(ClusterSpec {
+            shards: 3,
+            policy: PlacementPolicyKind::LeastLoaded,
+            rebalance: None,
+        }),
+        telemetry: true,
     }
 }
 
@@ -969,9 +1051,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalog_has_fourteen_valid_named_scenarios() {
+    fn catalog_has_fifteen_valid_named_scenarios() {
         let catalog = Scenario::catalog();
-        assert_eq!(catalog.len(), 14);
+        assert_eq!(catalog.len(), 15);
         let mut names: Vec<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
         for scenario in &catalog {
             scenario.validate().unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
@@ -979,7 +1061,7 @@ mod tests {
         }
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 14, "catalog names must be unique");
+        assert_eq!(names.len(), 15, "catalog names must be unique");
         // The queueing, preemption and batching scenarios all carry an
         // admission policy; the five legacy scenarios and the defrag
         // sweep stay on the direct path.
@@ -995,11 +1077,15 @@ mod tests {
                 "migrate-vs-evict",
                 "batch-arrival-wave",
                 "sharded-arrival-storm",
+                "telemetry-probe-latency",
             ]
         );
         let clustered: Vec<&str> =
             catalog.iter().filter(|s| s.cluster.is_some()).map(|s| s.name.as_str()).collect();
-        assert_eq!(clustered, vec!["sharded-arrival-storm", "cross-shard-rebalance"]);
+        assert_eq!(
+            clustered,
+            vec!["sharded-arrival-storm", "cross-shard-rebalance", "telemetry-probe-latency"]
+        );
         let rebalancing: Vec<&str> = catalog
             .iter()
             .filter(|s| s.cluster.is_some_and(|c| c.rebalance.is_some()))
@@ -1017,10 +1103,18 @@ mod tests {
             .filter(|s| s.admission.is_some_and(|p| p.preemption != PreemptionPolicy::Disabled))
             .map(|s| s.name.as_str())
             .collect();
-        assert_eq!(preempting, vec!["critical-preempt", "migrate-vs-evict"]);
+        assert_eq!(
+            preempting,
+            vec!["critical-preempt", "migrate-vs-evict", "telemetry-probe-latency"]
+        );
         let defragging: Vec<&str> =
             catalog.iter().filter(|s| s.defrag.is_some()).map(|s| s.name.as_str()).collect();
         assert_eq!(defragging, vec!["defrag-sweep"]);
+        // Exactly one scenario runs with telemetry recording on; all the
+        // legacy entries stay byte-identical to their pre-telemetry runs.
+        let telemetric: Vec<&str> =
+            catalog.iter().filter(|s| s.telemetry).map(|s| s.name.as_str()).collect();
+        assert_eq!(telemetric, vec!["telemetry-probe-latency"]);
     }
 
     #[test]
@@ -1112,7 +1206,14 @@ mod tests {
         let a = s.to_json().render();
         let b = s.to_json().render();
         assert_eq!(a, b);
-        for key in ["\"name\"", "\"seed\"", "\"phases\"", "\"faults\"", "\"readmit_evicted\""] {
+        for key in [
+            "\"name\"",
+            "\"seed\"",
+            "\"phases\"",
+            "\"faults\"",
+            "\"readmit_evicted\"",
+            "\"telemetry\"",
+        ] {
             assert!(a.contains(key), "missing {key} in {a}");
         }
         assert!(a.contains("\"admission\": null"), "direct scenarios render a null admission");

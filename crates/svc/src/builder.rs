@@ -3,6 +3,7 @@
 use kairos_admitd::{AdmitPolicy, Admitd, PreemptionPolicy, VictimOrder};
 use kairos_core::{CostPolicy, CostWeights, Kairos, KairosConfig};
 use kairos_platform::Platform;
+use kairos_telemetry::Telemetry;
 
 use crate::service::KairosService;
 
@@ -39,13 +40,19 @@ pub struct ServiceBuilder {
     platform: Platform,
     config: KairosConfig,
     admission: Option<AdmitPolicy>,
+    telemetry: Telemetry,
 }
 
 impl ServiceBuilder {
     /// A builder for a service managing `platform`, with the default
-    /// manager configuration and no admission queue.
+    /// manager configuration, no admission queue and telemetry disabled.
     pub fn new(platform: Platform) -> Self {
-        ServiceBuilder { platform, config: KairosConfig::default(), admission: None }
+        ServiceBuilder {
+            platform,
+            config: KairosConfig::default(),
+            admission: None,
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// Replaces the whole manager configuration.
@@ -105,6 +112,16 @@ impl ServiceBuilder {
         self
     }
 
+    /// Attaches an observability hub ([`kairos_telemetry::Telemetry`]) to
+    /// the built service: the `kairos.svc.*`, `kairos.admitd.*` and
+    /// `kairos.core.*` metrics all land in its registry and spans reach
+    /// its flight recorder. The default is a disabled handle, which costs
+    /// one pointer test per instrumented operation.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Builds the service.
     ///
     /// # Errors
@@ -112,12 +129,16 @@ impl ServiceBuilder {
     /// The admission policy's [`AdmitPolicy::validate`] error, if any.
     pub fn build(self) -> Result<KairosService, String> {
         let kairos = Kairos::new(self.platform, self.config);
-        match self.admission {
-            None => Ok(KairosService::direct(kairos)),
+        let mut service = match self.admission {
+            None => KairosService::direct(kairos),
             Some(policy) => {
                 policy.validate()?;
-                Ok(KairosService::queued(Admitd::new(kairos, policy)))
+                KairosService::queued(Admitd::new(kairos, policy))
             }
+        };
+        if self.telemetry.enabled() {
+            service.set_telemetry(self.telemetry);
         }
+        Ok(service)
     }
 }

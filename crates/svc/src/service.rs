@@ -2,11 +2,13 @@
 //! implementation.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use kairos_admitd::{Admitd, PriorityClass, QueueEvent, Ticket as QueueTicket};
 use kairos_app::Application;
 use kairos_core::{Kairos, OccupancySnapshot};
 use kairos_platform::AppId;
+use kairos_telemetry::{Counter, Telemetry};
 
 use crate::command::{CapacityEvent, Command, Request};
 use crate::event::{Event, RejectCause, Ticket};
@@ -83,6 +85,54 @@ enum Backend {
     Queued(Admitd),
 }
 
+/// Pre-resolved registry handles for the service surface: one counter per
+/// command kind dispatched, one for batched waves, one for events handed
+/// back to the consumer.
+#[derive(Debug, Clone)]
+struct SvcMetrics {
+    commands: Arc<Counter>,
+    admit: Arc<Counter>,
+    release: Arc<Counter>,
+    migrate: Arc<Counter>,
+    defrag: Arc<Counter>,
+    inject_fault: Arc<Counter>,
+    repair: Arc<Counter>,
+    rebalance: Arc<Counter>,
+    batches: Arc<Counter>,
+    events: Arc<Counter>,
+}
+
+impl SvcMetrics {
+    fn new(telemetry: &Telemetry) -> Option<Self> {
+        let registry = telemetry.registry()?;
+        Some(SvcMetrics {
+            commands: registry.counter("kairos.svc.commands"),
+            admit: registry.counter("kairos.svc.command.admit"),
+            release: registry.counter("kairos.svc.command.release"),
+            migrate: registry.counter("kairos.svc.command.migrate"),
+            defrag: registry.counter("kairos.svc.command.defrag"),
+            inject_fault: registry.counter("kairos.svc.command.inject_fault"),
+            repair: registry.counter("kairos.svc.command.repair"),
+            rebalance: registry.counter("kairos.svc.command.rebalance"),
+            batches: registry.counter("kairos.svc.batches"),
+            events: registry.counter("kairos.svc.events"),
+        })
+    }
+
+    fn note_command(&self, command: &Command) {
+        self.commands.inc();
+        match command {
+            Command::Admit { .. } => self.admit.inc(),
+            Command::Release { .. } => self.release.inc(),
+            Command::Migrate { .. } => self.migrate.inc(),
+            Command::Defrag { .. } => self.defrag.inc(),
+            Command::InjectFault { .. } => self.inject_fault.inc(),
+            Command::Repair { .. } => self.repair.inc(),
+            Command::Rebalance { .. } => self.rebalance.inc(),
+        }
+    }
+}
+
 /// The canonical [`ResourceService`]: owns a [`Kairos`] manager — behind
 /// a `kairos-admitd` front-end when built with an admission policy — and
 /// the `kairos-reloc` relocation machinery, all under one typed
@@ -126,6 +176,7 @@ pub struct KairosService {
     tickets: BTreeMap<u64, Ticket>,
     /// Events accumulated since the last [`ResourceService::take_events`].
     events: Vec<Event>,
+    metrics: Option<SvcMetrics>,
 }
 
 impl KairosService {
@@ -137,6 +188,7 @@ impl KairosService {
             next_ticket: 0,
             tickets: BTreeMap::new(),
             events: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -147,7 +199,27 @@ impl KairosService {
             next_ticket: 0,
             tickets: BTreeMap::new(),
             events: Vec::new(),
+            metrics: None,
         }
+    }
+
+    /// Attaches an observability hub down the whole stack this service
+    /// owns: the `kairos.svc.*` dispatch counters here, the
+    /// `kairos.admitd.*` queue metrics on a queued backend, and the
+    /// `kairos.core.*` pipeline instrumentation on the manager.
+    /// [`ServiceBuilder::telemetry`](crate::ServiceBuilder::telemetry)
+    /// calls this at construction time.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.metrics = SvcMetrics::new(&telemetry);
+        match &mut self.backend {
+            Backend::Direct(kairos) => kairos.set_telemetry(telemetry),
+            Backend::Queued(admitd) => admitd.set_telemetry(telemetry),
+        }
+    }
+
+    /// The attached observability hub (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        self.kairos().telemetry()
     }
 
     /// The admission front-end, when the service runs with one.
@@ -387,7 +459,11 @@ impl KairosService {
 
 impl ResourceService for KairosService {
     fn submit(&mut self, request: Request) -> Ticket {
+        let _span = self.telemetry().span("kairos_svc", "submit");
         let Request { at, command } = request;
+        if let Some(m) = &self.metrics {
+            m.note_command(&command);
+        }
         let ticket = self.alloc_ticket();
         if let Command::Admit { app, class } = command {
             match &mut self.backend {
@@ -407,6 +483,13 @@ impl ResourceService for KairosService {
     }
 
     fn submit_batch(&mut self, requests: Vec<Request>) -> Vec<Ticket> {
+        let _span = self.telemetry().span("kairos_svc", "submit_batch");
+        if let Some(m) = &self.metrics {
+            m.batches.inc();
+            for request in &requests {
+                m.note_command(&request.command);
+            }
+        }
         // Allocate every ticket up front, in submission order — batching
         // changes how work is performed, never how it is identified.
         let requests: Vec<(Ticket, Request)> =
@@ -468,11 +551,19 @@ impl ResourceService for KairosService {
             (Backend::Queued(admitd), CapacityEvent::Tick { now }) => admitd.expire(now),
             (Backend::Queued(admitd), CapacityEvent::Shutdown { now }) => admitd.shutdown(now),
         };
-        self.translate(queued)
+        let events = self.translate(queued);
+        if let Some(m) = &self.metrics {
+            m.events.add(events.len() as u64);
+        }
+        events
     }
 
     fn take_events(&mut self) -> Vec<Event> {
-        std::mem::take(&mut self.events)
+        let events = std::mem::take(&mut self.events);
+        if let Some(m) = &self.metrics {
+            m.events.add(events.len() as u64);
+        }
+        events
     }
 
     fn kairos(&self) -> &Kairos {

@@ -1,0 +1,330 @@
+//! The [`Telemetry`] handle every instrumented layer holds.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use tracing::Level;
+
+use crate::flight::{FlightRecorder, TraceEvent};
+use crate::metric::{Counter, Gauge, Histogram};
+use crate::registry::{Registry, Snapshot};
+
+/// Construction knobs for a [`Telemetry`] hub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Whether span durations are measured on the wall clock. `false`
+    /// (the default) is the deterministic mode: every recorded duration
+    /// is zero, so snapshots are a pure function of the operation
+    /// sequence — the telemetry analogue of the zero `PhaseClock`.
+    pub wall_clock: bool,
+    /// Events each flight recorder retains before overwriting the oldest.
+    pub flight_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig { wall_clock: false, flight_capacity: 256 }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Inner {
+    config: TelemetryConfig,
+    registry: Arc<Registry>,
+    recorder: FlightRecorder,
+}
+
+/// The one observability handle the whole stack shares: a metrics
+/// [`Registry`], a [`FlightRecorder`] and the determinism configuration,
+/// behind a cheap-clone `Arc`.
+///
+/// A disabled handle ([`Telemetry::disabled`], also the [`Default`]) is a
+/// `None` and makes every operation a no-op branch, so instrumented hot
+/// paths cost one pointer test when observability is off — the observer
+/// effect the test-suite pins to zero.
+///
+/// [`Telemetry::child`] derives per-shard handles that share the registry
+/// (metric totals aggregate across shards; atomic increments commute, so
+/// totals stay deterministic under the cluster's probe parallelism) while
+/// owning their own flight recorder (each shard's event order is its own
+/// deterministic operation order).
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// The no-op handle: nothing is recorded, nothing is allocated.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled hub labelled `main`.
+    pub fn new(config: TelemetryConfig) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                config,
+                registry: Arc::new(Registry::new()),
+                recorder: FlightRecorder::new("main", config.flight_capacity),
+            })),
+        }
+    }
+
+    /// A handle sharing this hub's registry and configuration but owning
+    /// its own flight recorder labelled `label`. Disabled handles derive
+    /// disabled children.
+    pub fn child(&self, label: &str) -> Telemetry {
+        match &self.inner {
+            None => Telemetry::disabled(),
+            Some(inner) => Telemetry {
+                inner: Some(Arc::new(Inner {
+                    config: inner.config,
+                    registry: inner.registry.clone(),
+                    recorder: FlightRecorder::new(label, inner.config.flight_capacity),
+                })),
+            },
+        }
+    }
+
+    /// Whether this handle records anything at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether span durations are measured on the wall clock (`false`
+    /// when disabled).
+    pub fn wall_clock(&self) -> bool {
+        self.inner.as_ref().is_some_and(|inner| inner.config.wall_clock)
+    }
+
+    /// The shared registry, when enabled.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.inner.as_ref().map(|inner| inner.registry.as_ref())
+    }
+
+    /// The counter registered under `name`, when enabled.
+    pub fn counter(&self, name: &str) -> Option<Arc<Counter>> {
+        self.registry().map(|r| r.counter(name))
+    }
+
+    /// The gauge registered under `name`, when enabled.
+    pub fn gauge(&self, name: &str) -> Option<Arc<Gauge>> {
+        self.registry().map(|r| r.gauge(name))
+    }
+
+    /// The histogram registered under `name`, when enabled.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Option<Arc<Histogram>> {
+        self.registry().map(|r| r.histogram(name, bounds))
+    }
+
+    /// Starts a duration measurement: `Some(now)` only when enabled *and*
+    /// in wall-clock mode. Feed the result to [`Telemetry::elapsed_ns`].
+    #[inline]
+    pub fn clock(&self) -> Option<Instant> {
+        if self.wall_clock() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// The nanoseconds since [`Telemetry::clock`] — `0` in deterministic
+    /// mode, keeping recorded durations byte-stable.
+    #[inline]
+    pub fn elapsed_ns(start: Option<Instant>) -> u64 {
+        start.map_or(0, |s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// Records one point event into this handle's flight recorder.
+    ///
+    /// Guard the `format!` at the call site with [`Telemetry::enabled`]
+    /// so disabled runs never build the message.
+    pub fn event(&self, level: Level, target: &str, message: String) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.record(level, target, message);
+        }
+    }
+
+    /// Opens a span: records its entry event now and its exit event when
+    /// the returned guard drops. Spans of a disabled handle are free.
+    pub fn span(&self, target: &'static str, name: &'static str) -> SpanGuard {
+        if let Some(inner) = &self.inner {
+            inner.recorder.record(Level::DEBUG, target, format!("enter {name}"));
+        }
+        SpanGuard { inner: self.inner.clone(), target, name }
+    }
+
+    /// This handle's flight recorder, when enabled.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.inner.as_ref().map(|inner| &inner.recorder)
+    }
+
+    /// The retained flight-recorder events, oldest first (empty when
+    /// disabled).
+    pub fn flight_dump(&self) -> Vec<TraceEvent> {
+        self.flight().map(FlightRecorder::dump).unwrap_or_default()
+    }
+
+    /// A point-in-time copy of every registered metric (empty when
+    /// disabled).
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry().map(Registry::snapshot).unwrap_or_default()
+    }
+
+    /// The current metrics in the Prometheus text exposition format
+    /// (empty when disabled).
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+
+    /// A [`tracing::Dispatch`] feeding this hub: spans and events emitted
+    /// through the `tracing` macros land in this handle's flight recorder
+    /// and count under the `kairos.tracing.events` / `.spans` metrics.
+    /// Install it with `tracing::dispatcher::with_default` (scoped) or
+    /// `set_global_default`. Disabled handles yield a discarding
+    /// dispatch.
+    pub fn dispatch(&self) -> tracing::Dispatch {
+        match &self.inner {
+            None => tracing::Dispatch::none(),
+            Some(inner) => tracing::Dispatch::new(TelemetrySubscriber {
+                inner: inner.clone(),
+                events: inner.registry.counter("kairos.tracing.events"),
+                spans: inner.registry.counter("kairos.tracing.spans"),
+                next_id: AtomicU64::new(0),
+                names: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+}
+
+/// An open [`Telemetry::span`]; records the matching exit event on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<Arc<Inner>>,
+    target: &'static str,
+    name: &'static str,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.record(Level::DEBUG, self.target, format!("exit {}", self.name));
+        }
+    }
+}
+
+/// The bridge from the `tracing` macro surface into a [`Telemetry`] hub.
+struct TelemetrySubscriber {
+    inner: Arc<Inner>,
+    events: Arc<Counter>,
+    spans: Arc<Counter>,
+    next_id: AtomicU64,
+    names: Mutex<BTreeMap<u64, String>>,
+}
+
+impl tracing::Subscriber for TelemetrySubscriber {
+    fn enabled(&self, _metadata: &tracing::Metadata<'_>) -> bool {
+        true
+    }
+
+    fn new_span(&self, metadata: &tracing::Metadata<'_>) -> tracing::span::Id {
+        self.spans.inc();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.names.lock().expect("span names lock").insert(id, metadata.name().to_owned());
+        tracing::span::Id::from_u64(id)
+    }
+
+    fn event(&self, event: &tracing::Event<'_>) {
+        self.events.inc();
+        let metadata = event.metadata();
+        self.inner.recorder.record(
+            *metadata.level(),
+            metadata.target(),
+            event.message().to_string(),
+        );
+    }
+
+    fn enter(&self, span: &tracing::span::Id) {
+        let names = self.names.lock().expect("span names lock");
+        if let Some(name) = names.get(&span.into_u64()) {
+            self.inner.recorder.record(Level::DEBUG, "tracing", format!("enter {name}"));
+        }
+    }
+
+    fn exit(&self, span: &tracing::span::Id) {
+        let names = self.names.lock().expect("span names lock");
+        if let Some(name) = names.get(&span.into_u64()) {
+            self.inner.recorder.record(Level::DEBUG, "tracing", format!("exit {name}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_do_nothing() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        assert!(!t.wall_clock());
+        assert!(t.counter("x").is_none());
+        assert!(t.clock().is_none());
+        assert_eq!(Telemetry::elapsed_ns(None), 0);
+        t.event(Level::ERROR, "test", "ignored".into());
+        drop(t.span("test", "noop"));
+        assert!(t.snapshot().is_empty());
+        assert!(t.flight_dump().is_empty());
+        assert_eq!(t.render_text(), "");
+    }
+
+    #[test]
+    fn spans_bracket_their_scope_in_the_recorder() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        {
+            let _span = t.span("kairos_core", "admit");
+            t.event(Level::INFO, "kairos_core", "inside".into());
+        }
+        let dump = t.flight_dump();
+        let messages: Vec<_> = dump.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(messages, vec!["enter admit", "inside", "exit admit"]);
+    }
+
+    #[test]
+    fn children_share_the_registry_but_not_the_recorder() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let shard = t.child("shard0");
+        shard.counter("hits").unwrap().inc();
+        assert_eq!(t.counter("hits").unwrap().get(), 1, "registry is shared");
+        shard.event(Level::INFO, "test", "shard-local".into());
+        assert!(t.flight_dump().is_empty(), "recorders are per child");
+        assert_eq!(shard.flight().unwrap().label(), "shard0");
+        assert!(!Telemetry::disabled().child("shard0").enabled());
+    }
+
+    #[test]
+    fn deterministic_mode_records_zero_durations() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        assert!(t.clock().is_none());
+        assert_eq!(Telemetry::elapsed_ns(t.clock()), 0);
+        let wall = Telemetry::new(TelemetryConfig { wall_clock: true, flight_capacity: 16 });
+        assert!(wall.clock().is_some());
+    }
+
+    #[test]
+    fn dispatch_bridges_tracing_macros_into_the_hub() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let dispatch = t.dispatch();
+        tracing::dispatcher::with_default(&dispatch, || {
+            let span = tracing::info_span!("wave");
+            span.in_scope(|| tracing::warn!("queue {} full", "low"));
+        });
+        let messages: Vec<_> = t.flight_dump().into_iter().map(|event| event.message).collect();
+        assert_eq!(messages, vec!["enter wave", "queue low full", "exit wave"]);
+        assert_eq!(t.counter("kairos.tracing.events").unwrap().get(), 1);
+        assert_eq!(t.counter("kairos.tracing.spans").unwrap().get(), 1);
+    }
+}

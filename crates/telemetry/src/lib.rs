@@ -1,0 +1,87 @@
+//! # kairos-telemetry
+//!
+//! The unified observability layer of the Kairos workspace: structured
+//! tracing, an atomic metrics registry and a bounded flight recorder
+//! behind one cheap-clone [`Telemetry`] handle.
+//!
+//! The paper's evaluation measures the run-time cost of every allocation
+//! phase; before this crate that signal existed only as diagnostic-only
+//! `PhaseTimings`, with each subsystem hand-rolling its own tallies. Now
+//! every layer — the core pipeline, the admission front-end, the
+//! relocation planners, the service surface, the cluster fan-out and the
+//! sim engine — records through the same three instruments:
+//!
+//! * **Metrics** — named [`Counter`]s, [`Gauge`]s and fixed-bucket
+//!   [`Histogram`]s in a [`Registry`], recorded with single relaxed
+//!   atomics on the hot path and frozen into a name-ordered [`Snapshot`]
+//!   that renders as a Prometheus text exposition
+//!   ([`Snapshot::render_text`]) or embeds as byte-stable JSON in the sim
+//!   report.
+//! * **Tracing** — spans ([`Telemetry::span`]) and typed events
+//!   ([`Telemetry::event`]) over the minimal `tracing`-compatible facade
+//!   under `shims/tracing`; [`Telemetry::dispatch`] bridges the upstream
+//!   macro surface (`tracing::info!`, `tracing::info_span!`) into the
+//!   same hub.
+//! * **Flight recorder** — a bounded ring of recent [`TraceEvent`]s per
+//!   shard ([`FlightRecorder`]), cheap enough to leave always-on and
+//!   dumped post-mortem on admission failures, rollbacks or aborted
+//!   rebalance sweeps.
+//!
+//! ## Determinism rules
+//!
+//! Telemetry must never perturb what it observes:
+//!
+//! 1. A disabled handle ([`Telemetry::disabled`]) is a `None`; every
+//!    operation behind it is one pointer test. No instrumented code path
+//!    branches on a recorded value, so enabled-vs-disabled runs make
+//!    identical decisions (the observer-effect property test pins the
+//!    resulting reports byte-identical).
+//! 2. In the default deterministic mode
+//!    ([`TelemetryConfig::wall_clock`] `= false`, the analogue of the
+//!    zero `PhaseClock`) every recorded duration is `0`, so duration
+//!    histograms — counts, sums, min/max — are a pure function of the
+//!    operation sequence.
+//! 3. Snapshots iterate the registry in name order and hold only
+//!    integers; rendering is byte-stable for identical runs even under
+//!    the cluster's probe parallelism, because shared counters only ever
+//!    receive commutative atomic increments.
+//!
+//! See `docs/OBSERVABILITY.md` for the span taxonomy and the metric-name
+//! catalogue.
+//!
+//! ## Example
+//!
+//! ```
+//! use kairos_telemetry::{Telemetry, TelemetryConfig};
+//! use tracing::Level;
+//!
+//! let telemetry = Telemetry::new(TelemetryConfig::default());
+//! let admissions = telemetry.counter("kairos.example.admissions").unwrap();
+//! let latency = telemetry.histogram("kairos.example.ns", &[1_000, 1_000_000]).unwrap();
+//!
+//! let span = telemetry.span("example", "admit");
+//! admissions.inc();
+//! latency.record(Telemetry::elapsed_ns(telemetry.clock())); // 0 when deterministic
+//! drop(span);
+//! telemetry.event(Level::INFO, "example", "admitted app 0".into());
+//!
+//! assert!(telemetry.render_text().contains("kairos_example_admissions 1"));
+//! assert_eq!(telemetry.flight_dump().len(), 3); // enter, exit, event
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod flight;
+mod hub;
+mod metric;
+mod registry;
+
+pub use flight::{FlightRecorder, TraceEvent};
+pub use hub::{SpanGuard, Telemetry, TelemetryConfig};
+pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{MetricSnapshot, MetricValue, Registry, Snapshot};
+
+// Re-export the facade level type so instrumented crates can emit events
+// without a direct `tracing` dependency.
+pub use tracing::Level;

@@ -1,0 +1,236 @@
+//! The named-metric registry and its deterministic snapshot/render path.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// One registered instrument.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A registry of named instruments.
+///
+/// Registration (`counter` / `gauge` / `histogram`) takes a lock and is
+/// meant to happen once, at wiring time; the returned `Arc` handles are
+/// what hot paths record through, lock-free. Names are free-form
+/// dot-separated strings (`kairos.core.phase.binding.ns`); the
+/// [`Registry::snapshot`] iterates them in name order, which is what
+/// makes rendering deterministic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(counter) => counter.clone(),
+            other => panic!("metric `{name}` is already registered as a {}", kind_of(other)),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(gauge) => gauge.clone(),
+            other => panic!("metric `{name}` is already registered as a {}", kind_of(other)),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it with `bounds`
+    /// on first use (later calls ignore `bounds` and return the existing
+    /// instrument).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered as a different kind, or
+    /// when creating with invalid bounds ([`Histogram::new`]).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Metric::Histogram(histogram) => histogram.clone(),
+            other => panic!("metric `{name}` is already registered as a {}", kind_of(other)),
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, in name order.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().expect("registry lock");
+        Snapshot {
+            metrics: metrics
+                .iter()
+                .map(|(name, metric)| MetricSnapshot {
+                    name: name.clone(),
+                    value: match metric {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+fn kind_of(metric: &Metric) -> &'static str {
+    match metric {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    }
+}
+
+/// The frozen value of one registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter's current count.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(i64),
+    /// A histogram's full statistics.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named metric inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// The registered (dot-separated) name.
+    pub name: String,
+    /// The frozen value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time copy of a whole [`Registry`], in name order.
+///
+/// Because every value is an integer and the order is fixed, both render
+/// paths — [`Snapshot::render_text`] and the JSON embedding the sim
+/// report performs — are byte-stable for identical runs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// All metrics, sorted by name.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// Whether the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    ///
+    /// Dots and dashes in registered names become underscores (the
+    /// exposition grammar's identifier rule); histograms render the
+    /// standard cumulative `_bucket{le=...}` / `_sum` / `_count` series
+    /// plus non-standard `_min` / `_max` gauges, which carry the
+    /// per-phase summaries the registry tracks natively.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for metric in &self.metrics {
+            let name = sanitise(&metric.name);
+            match &metric.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cumulative = 0;
+                    for (bound, bucket) in h.bounds.iter().zip(&h.buckets) {
+                        cumulative += bucket;
+                        out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                    out.push_str(&format!("{name}_sum {}\n", h.sum));
+                    out.push_str(&format!("{name}_count {}\n", h.count));
+                    out.push_str(&format!("{name}_min {}\n", h.min));
+                    out.push_str(&format!("{name}_max {}\n", h.max));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn sanitise(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_snapshots_are_name_ordered() {
+        let registry = Registry::new();
+        let b = registry.counter("b.count");
+        registry.counter("b.count").add(2);
+        b.inc();
+        registry.gauge("a.depth").set(-3);
+        registry.histogram("c.ns", &[10, 100]).record(7);
+        let snapshot = registry.snapshot();
+        let names: Vec<_> = snapshot.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["a.depth", "b.count", "c.ns"]);
+        assert_eq!(snapshot.metrics[1].value, MetricValue::Counter(3));
+        assert_eq!(snapshot.metrics[0].value, MetricValue::Gauge(-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        registry.counter("x");
+        registry.gauge("x");
+    }
+
+    #[test]
+    fn text_exposition_is_prometheus_shaped_and_deterministic() {
+        let registry = Registry::new();
+        registry.counter("kairos.core.admit.ok").add(2);
+        let h = registry.histogram("kairos.core.phase.binding.ns", &[1_000, 1_000_000]);
+        h.record(0);
+        h.record(5_000);
+        h.record(2_000_000);
+        let text = registry.snapshot().render_text();
+        assert!(text.contains("# TYPE kairos_core_admit_ok counter\nkairos_core_admit_ok 2\n"));
+        assert!(text.contains("kairos_core_phase_binding_ns_bucket{le=\"1000\"} 1\n"));
+        assert!(text.contains("kairos_core_phase_binding_ns_bucket{le=\"1000000\"} 2\n"));
+        assert!(text.contains("kairos_core_phase_binding_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("kairos_core_phase_binding_ns_count 3\n"));
+        assert!(text.contains("kairos_core_phase_binding_ns_min 0\n"));
+        assert!(text.contains("kairos_core_phase_binding_ns_max 2000000\n"));
+        assert_eq!(text, registry.snapshot().render_text(), "rendering is deterministic");
+    }
+}

@@ -1,0 +1,550 @@
+//! Offline shim of `tracing` 0.1.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! minimal local stand-ins for its external dependencies (see
+//! `shims/README.md`). This crate reimplements the subset of the `tracing`
+//! facade that `kairos-telemetry` builds on: [`Level`], span and event
+//! [`Metadata`], the [`Span`] handle with [`Span::enter`] /
+//! [`Span::in_scope`], the [`Subscriber`] trait behind a cheap-clone
+//! [`Dispatch`], the [`dispatcher`] module (scoped and global defaults)
+//! and the `span!` / `event!` macro families with their per-level
+//! shorthands.
+//!
+//! Differences from the real crate (documented in `shims/README.md`):
+//! the [`Subscriber`] trait is simplified — `new_span` takes the span's
+//! [`Metadata`] directly instead of `span::Attributes`, there is no field
+//! recording (`record`, `follows_from`), and events carry one formatted
+//! message instead of structured field values. Call sites use the
+//! upstream surface unchanged.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Describes the verbosity of a span or event.
+///
+/// As upstream: `Level` implements `Ord` so that `Level::ERROR` is the
+/// *minimum* and `Level::TRACE` the maximum — filters read naturally as
+/// `level <= max_level`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Level(u8);
+
+impl Level {
+    /// The "error" level: very serious errors.
+    pub const ERROR: Level = Level(0);
+    /// The "warn" level: hazardous situations.
+    pub const WARN: Level = Level(1);
+    /// The "info" level: useful information.
+    pub const INFO: Level = Level(2);
+    /// The "debug" level: lower-priority information.
+    pub const DEBUG: Level = Level(3);
+    /// The "trace" level: very low-priority, verbose information.
+    pub const TRACE: Level = Level(4);
+
+    /// The level's canonical upper-case name.
+    pub fn as_str(&self) -> &'static str {
+        match self.0 {
+            0 => "ERROR",
+            1 => "WARN",
+            2 => "INFO",
+            3 => "DEBUG",
+            _ => "TRACE",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Statically-known data describing a span or event: its name, the
+/// `target` (by default the emitting module path) and its [`Level`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metadata<'a> {
+    name: &'a str,
+    target: &'a str,
+    level: Level,
+}
+
+impl<'a> Metadata<'a> {
+    /// Metadata with the given name, target and level.
+    pub const fn new(name: &'a str, target: &'a str, level: Level) -> Self {
+        Metadata { name, target, level }
+    }
+
+    /// The span's or event's name.
+    pub fn name(&self) -> &'a str {
+        self.name
+    }
+
+    /// The target the span or event was emitted for.
+    pub fn target(&self) -> &'a str {
+        self.target
+    }
+
+    /// The severity level.
+    pub fn level(&self) -> &Level {
+        &self.level
+    }
+}
+
+/// One moment in time: a notification that something happened, carrying
+/// its [`Metadata`] and a formatted message (the shim's stand-in for
+/// upstream's structured field values).
+#[derive(Debug)]
+pub struct Event<'a> {
+    metadata: Metadata<'a>,
+    message: fmt::Arguments<'a>,
+}
+
+impl<'a> Event<'a> {
+    /// An event from its parts. Upstream constructs events through the
+    /// macros only; the shim exposes this for `dispatcher` plumbing.
+    pub fn new(metadata: Metadata<'a>, message: fmt::Arguments<'a>) -> Self {
+        Event { metadata, message }
+    }
+
+    /// The event's metadata.
+    pub fn metadata(&self) -> &Metadata<'a> {
+        &self.metadata
+    }
+
+    /// The event's formatted message.
+    pub fn message(&self) -> fmt::Arguments<'a> {
+        self.message
+    }
+}
+
+/// Span identifiers, handed out by a [`Subscriber`].
+pub mod span {
+    /// The identifier a [`Subscriber`](crate::Subscriber) assigned to a
+    /// span. Unlike upstream the shim does not require ids to be
+    /// non-zero.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    pub struct Id(u64);
+
+    impl Id {
+        /// An id from its integer value.
+        pub fn from_u64(id: u64) -> Self {
+            Id(id)
+        }
+
+        /// The id's integer value.
+        pub fn into_u64(&self) -> u64 {
+            self.0
+        }
+    }
+}
+
+/// The collector trace data is dispatched to.
+///
+/// Simplified relative to upstream (see the crate docs): `new_span`
+/// receives the span's [`Metadata`] directly and events carry one
+/// formatted message.
+pub trait Subscriber: Send + Sync + 'static {
+    /// Whether a span or event with `metadata` should be recorded.
+    fn enabled(&self, metadata: &Metadata<'_>) -> bool;
+
+    /// Records that a new span exists, returning its id.
+    fn new_span(&self, metadata: &Metadata<'_>) -> span::Id;
+
+    /// Records that an [`Event`] happened.
+    fn event(&self, event: &Event<'_>);
+
+    /// Records that the span with `span` was entered.
+    fn enter(&self, span: &span::Id);
+
+    /// Records that the span with `span` was exited.
+    fn exit(&self, span: &span::Id);
+}
+
+/// A cheap-clone handle to a [`Subscriber`], the unit the [`dispatcher`]
+/// installs and the macros emit through.
+#[derive(Clone)]
+pub struct Dispatch {
+    subscriber: Option<Arc<dyn Subscriber>>,
+}
+
+impl Dispatch {
+    /// A dispatch forwarding to `subscriber`.
+    pub fn new<S: Subscriber>(subscriber: S) -> Self {
+        Dispatch { subscriber: Some(Arc::new(subscriber)) }
+    }
+
+    /// A dispatch forwarding to an already-shared subscriber.
+    pub fn from_arc(subscriber: Arc<dyn Subscriber>) -> Self {
+        Dispatch { subscriber: Some(subscriber) }
+    }
+
+    /// A dispatch that discards everything.
+    pub fn none() -> Self {
+        Dispatch { subscriber: None }
+    }
+
+    /// Whether this dispatch discards everything.
+    pub fn is_none(&self) -> bool {
+        self.subscriber.is_none()
+    }
+
+    /// Whether `metadata` would be recorded.
+    pub fn enabled(&self, metadata: &Metadata<'_>) -> bool {
+        self.subscriber.as_ref().is_some_and(|s| s.enabled(metadata))
+    }
+
+    /// Forwards [`Subscriber::new_span`]; `None` when discarded.
+    pub fn new_span(&self, metadata: &Metadata<'_>) -> Option<span::Id> {
+        let subscriber = self.subscriber.as_ref()?;
+        subscriber.enabled(metadata).then(|| subscriber.new_span(metadata))
+    }
+
+    /// Forwards [`Subscriber::event`].
+    pub fn event(&self, event: &Event<'_>) {
+        if let Some(subscriber) = &self.subscriber {
+            if subscriber.enabled(event.metadata()) {
+                subscriber.event(event);
+            }
+        }
+    }
+
+    /// Forwards [`Subscriber::enter`].
+    pub fn enter(&self, span: &span::Id) {
+        if let Some(subscriber) = &self.subscriber {
+            subscriber.enter(span);
+        }
+    }
+
+    /// Forwards [`Subscriber::exit`].
+    pub fn exit(&self, span: &span::Id) {
+        if let Some(subscriber) = &self.subscriber {
+            subscriber.exit(span);
+        }
+    }
+}
+
+impl fmt::Debug for Dispatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Dispatch").field("none", &self.is_none()).finish()
+    }
+}
+
+impl Default for Dispatch {
+    fn default() -> Self {
+        Dispatch::none()
+    }
+}
+
+/// Scoped and global default [`Dispatch`] management.
+pub mod dispatcher {
+    use std::cell::RefCell;
+    use std::fmt;
+    use std::sync::OnceLock;
+
+    use crate::{Dispatch, Event, Metadata};
+
+    static GLOBAL: OnceLock<Dispatch> = OnceLock::new();
+
+    thread_local! {
+        static CURRENT: RefCell<Vec<Dispatch>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Returned when [`set_global_default`] is called more than once.
+    #[derive(Debug)]
+    pub struct SetGlobalDefaultError;
+
+    impl fmt::Display for SetGlobalDefaultError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("a global default trace dispatcher has already been set")
+        }
+    }
+
+    impl std::error::Error for SetGlobalDefaultError {}
+
+    /// Sets the process-wide fallback dispatcher, used by threads with no
+    /// scoped default installed. May only succeed once.
+    ///
+    /// # Errors
+    ///
+    /// [`SetGlobalDefaultError`] when a global default was already set.
+    pub fn set_global_default(dispatcher: Dispatch) -> Result<(), SetGlobalDefaultError> {
+        GLOBAL.set(dispatcher).map_err(|_| SetGlobalDefaultError)
+    }
+
+    /// Runs `f` with `dispatcher` as this thread's default.
+    pub fn with_default<T>(dispatcher: &Dispatch, f: impl FnOnce() -> T) -> T {
+        CURRENT.with(|stack| stack.borrow_mut().push(dispatcher.clone()));
+        // Pop even on panic so a poisoned scope cannot leak its dispatch.
+        struct Pop;
+        impl Drop for Pop {
+            fn drop(&mut self) {
+                CURRENT.with(|stack| stack.borrow_mut().pop());
+            }
+        }
+        let _pop = Pop;
+        f()
+    }
+
+    /// Calls `f` with the current default: the innermost [`with_default`]
+    /// scope on this thread, else the [`set_global_default`] dispatcher,
+    /// else [`Dispatch::none`].
+    pub fn get_default<T>(mut f: impl FnMut(&Dispatch) -> T) -> T {
+        let scoped = CURRENT.with(|stack| stack.borrow().last().cloned());
+        match scoped {
+            Some(dispatch) => f(&dispatch),
+            None => f(GLOBAL.get().unwrap_or(&Dispatch::none())),
+        }
+    }
+
+    /// Emits one event with the current default dispatcher — the
+    /// `event!` macro family bottoms out here.
+    pub fn event(metadata: Metadata<'_>, message: fmt::Arguments<'_>) {
+        get_default(|dispatch| dispatch.event(&Event::new(metadata, message)));
+    }
+}
+
+/// A handle representing a span, returned by the `span!` macro family.
+///
+/// Entering the span ([`Span::enter`], [`Span::in_scope`]) notifies the
+/// subscriber it was created against; a disabled span ([`Span::none`], or
+/// one created while no subscriber was installed) does nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Span {
+    inner: Option<(span::Id, Dispatch)>,
+}
+
+impl Span {
+    /// A new span against the current default dispatcher — the `span!`
+    /// macro family bottoms out here.
+    pub fn new(metadata: Metadata<'_>) -> Self {
+        dispatcher::get_default(|dispatch| Span {
+            inner: dispatch.new_span(&metadata).map(|id| (id, dispatch.clone())),
+        })
+    }
+
+    /// A disabled span: all operations on it are no-ops.
+    pub fn none() -> Self {
+        Span { inner: None }
+    }
+
+    /// Whether this span was disabled at construction.
+    pub fn is_none(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// The subscriber-assigned id, when enabled.
+    pub fn id(&self) -> Option<span::Id> {
+        self.inner.as_ref().map(|(id, _)| id.clone())
+    }
+
+    /// Enters the span, returning a guard that exits it when dropped.
+    pub fn enter(&self) -> Entered<'_> {
+        if let Some((id, dispatch)) = &self.inner {
+            dispatch.enter(id);
+        }
+        Entered { span: self }
+    }
+
+    /// Runs `f` inside the span.
+    pub fn in_scope<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _entered = self.enter();
+        f()
+    }
+}
+
+/// A guard representing an entered [`Span`]; exits the span on drop.
+#[derive(Debug)]
+pub struct Entered<'a> {
+    span: &'a Span,
+}
+
+impl Drop for Entered<'_> {
+    fn drop(&mut self) {
+        if let Some((id, dispatch)) = &self.span.inner {
+            dispatch.exit(id);
+        }
+    }
+}
+
+/// Constructs a new [`Span`] at the given level.
+///
+/// Supported forms: `span!(Level::INFO, "name")` and
+/// `span!(target: "t", Level::INFO, "name")`.
+#[macro_export]
+macro_rules! span {
+    (target: $target:expr, $lvl:expr, $name:expr) => {
+        $crate::Span::new($crate::Metadata::new($name, $target, $lvl))
+    };
+    ($lvl:expr, $name:expr) => {
+        $crate::span!(target: module_path!(), $lvl, $name)
+    };
+}
+
+/// Constructs a span at the trace level.
+#[macro_export]
+macro_rules! trace_span {
+    ($($arg:tt)*) => { $crate::span!($crate::Level::TRACE, $($arg)*) };
+}
+
+/// Constructs a span at the debug level.
+#[macro_export]
+macro_rules! debug_span {
+    ($($arg:tt)*) => { $crate::span!($crate::Level::DEBUG, $($arg)*) };
+}
+
+/// Constructs a span at the info level.
+#[macro_export]
+macro_rules! info_span {
+    ($($arg:tt)*) => { $crate::span!($crate::Level::INFO, $($arg)*) };
+}
+
+/// Constructs a span at the warn level.
+#[macro_export]
+macro_rules! warn_span {
+    ($($arg:tt)*) => { $crate::span!($crate::Level::WARN, $($arg)*) };
+}
+
+/// Constructs a span at the error level.
+#[macro_export]
+macro_rules! error_span {
+    ($($arg:tt)*) => { $crate::span!($crate::Level::ERROR, $($arg)*) };
+}
+
+/// Emits an [`Event`] at the given level.
+///
+/// Supported forms: `event!(Level::INFO, "fmt", args...)` and
+/// `event!(target: "t", Level::INFO, "fmt", args...)`.
+#[macro_export]
+macro_rules! event {
+    (target: $target:expr, $lvl:expr, $($arg:tt)+) => {
+        $crate::dispatcher::event(
+            $crate::Metadata::new("event", $target, $lvl),
+            format_args!($($arg)+),
+        )
+    };
+    ($lvl:expr, $($arg:tt)+) => {
+        $crate::event!(target: module_path!(), $lvl, $($arg)+)
+    };
+}
+
+/// Emits an event at the trace level.
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::TRACE, $($arg)+) };
+}
+
+/// Emits an event at the debug level.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::DEBUG, $($arg)+) };
+}
+
+/// Emits an event at the info level.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::INFO, $($arg)+) };
+}
+
+/// Emits an event at the warn level.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::WARN, $($arg)+) };
+}
+
+/// Emits an event at the error level.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::ERROR, $($arg)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    #[derive(Debug, Default)]
+    struct Capture {
+        next_id: AtomicU64,
+        log: Mutex<Vec<String>>,
+    }
+
+    impl Subscriber for Capture {
+        fn enabled(&self, metadata: &Metadata<'_>) -> bool {
+            *metadata.level() <= Level::DEBUG
+        }
+        fn new_span(&self, metadata: &Metadata<'_>) -> span::Id {
+            self.log.lock().unwrap().push(format!("new {}", metadata.name()));
+            span::Id::from_u64(self.next_id.fetch_add(1, Ordering::Relaxed))
+        }
+        fn event(&self, event: &Event<'_>) {
+            self.log.lock().unwrap().push(format!(
+                "{} {}",
+                event.metadata().level(),
+                event.message()
+            ));
+        }
+        fn enter(&self, span: &span::Id) {
+            self.log.lock().unwrap().push(format!("enter {}", span.into_u64()));
+        }
+        fn exit(&self, span: &span::Id) {
+            self.log.lock().unwrap().push(format!("exit {}", span.into_u64()));
+        }
+    }
+
+    #[test]
+    fn levels_order_error_lowest() {
+        assert!(Level::ERROR < Level::WARN);
+        assert!(Level::WARN < Level::INFO);
+        assert!(Level::INFO < Level::DEBUG);
+        assert!(Level::DEBUG < Level::TRACE);
+        assert_eq!(Level::INFO.to_string(), "INFO");
+    }
+
+    #[test]
+    fn spans_and_events_reach_the_scoped_subscriber() {
+        let capture = Arc::new(Capture::default());
+        let dispatch = Dispatch::from_arc(capture.clone() as Arc<dyn Subscriber>);
+        dispatcher::with_default(&dispatch, || {
+            let span = info_span!("admit");
+            span.in_scope(|| {
+                info!("hello {}", 42);
+                trace!("filtered out");
+            });
+        });
+        let log = capture.log.lock().unwrap();
+        assert_eq!(*log, vec!["new admit", "enter 0", "INFO hello 42", "exit 0"]);
+    }
+
+    #[test]
+    fn no_subscriber_means_disabled_spans() {
+        // No scoped default here and no global default installed by this
+        // test binary: the macros must be inert.
+        let span = debug_span!("quiet");
+        assert!(span.is_none());
+        span.in_scope(|| debug!("nobody listens"));
+    }
+
+    #[test]
+    fn with_default_nests_and_restores() {
+        let outer = Arc::new(Capture::default());
+        let inner = Arc::new(Capture::default());
+        let do_outer = Dispatch::from_arc(outer.clone() as Arc<dyn Subscriber>);
+        let do_inner = Dispatch::from_arc(inner.clone() as Arc<dyn Subscriber>);
+        dispatcher::with_default(&do_outer, || {
+            warn!("one");
+            dispatcher::with_default(&do_inner, || warn!("two"));
+            warn!("three");
+        });
+        assert_eq!(*outer.log.lock().unwrap(), vec!["WARN one", "WARN three"]);
+        assert_eq!(*inner.log.lock().unwrap(), vec!["WARN two"]);
+    }
+}

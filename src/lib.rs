@@ -37,7 +37,16 @@
 //! * [`sim`] — a deterministic discrete-event scenario engine driving the
 //!   service through long-running multi-application workloads with
 //!   arrivals (lone or in batched waves), departures and element faults,
-//!   with or without the admission queue.
+//!   with or without the admission queue;
+//! * [`telemetry`] — the unified observability layer (see
+//!   `docs/OBSERVABILITY.md`): structured tracing spans and events over a
+//!   minimal `tracing`-compatible shim, a registry of named counters,
+//!   gauges and fixed-bucket latency histograms with atomic hot-path
+//!   recording and deterministic snapshot/render (Prometheus-style text
+//!   exposition, byte-stable JSON embedding in sim reports), and bounded
+//!   per-shard flight recorders dumpable after failures. Disabled by
+//!   default everywhere; a disabled handle costs one pointer test per
+//!   instrumentation site and records nothing.
 //!
 //! ## Quickstart
 //!
@@ -68,3 +77,4 @@ pub use kairos_reloc as reloc;
 pub use kairos_sdf as sdf;
 pub use kairos_sim as sim;
 pub use kairos_svc as svc;
+pub use kairos_telemetry as telemetry;

@@ -1,0 +1,258 @@
+//! The observer-effect pin for `kairos-telemetry`: turning telemetry on
+//! must never perturb the simulation. A telemetry-enabled run produces a
+//! byte-identical `SimReport` (apart from the extra `telemetry` section)
+//! and an identical final platform state, across randomly generated
+//! scenarios spanning queued/unqueued, clustered/monolithic and
+//! preempting/plain regimes — and with telemetry forced on, the whole
+//! catalog stays byte-reproducible. The acceptance checks at the bottom
+//! pin that every instrumented layer (pipeline phases, txn lifecycle,
+//! queue transitions, migration two-phase, probe fan-out, sim totals)
+//! is visible in both the `telemetry-probe-latency` report snapshot and
+//! the Prometheus text exposition.
+
+use kairos::admitd::{AdmitPolicy, PreemptionPolicy};
+use kairos::appgen::{DatasetSpec, MixEntry, Orientation, SizeClass};
+use kairos::cluster::PlacementPolicyKind;
+use kairos::sim::{ClusterSpec, PhaseSpec, PlatformSpec, Scenario, Simulator};
+use kairos::telemetry::{MetricValue, Snapshot};
+use proptest::prelude::*;
+
+fn small_mix() -> Vec<MixEntry> {
+    vec![
+        MixEntry::new(
+            DatasetSpec { orientation: Orientation::Computation, size: SizeClass::Small },
+            2,
+        ),
+        MixEntry::new(
+            DatasetSpec { orientation: Orientation::Communication, size: SizeClass::Small },
+            1,
+        ),
+    ]
+}
+
+/// A small generated scenario covering the queued/clustered/preempting
+/// axes; `telemetry` is left off for the caller to flip.
+fn generated(
+    seed: u64,
+    interarrival: u64,
+    lifetime: u64,
+    queued: bool,
+    clustered: bool,
+    preempt: bool,
+) -> Scenario {
+    Scenario {
+        name: "observer-effect".to_owned(),
+        seed,
+        sample_period: 40,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("churn", 500, interarrival, lifetime, small_mix()),
+            PhaseSpec::new("drain", 1200, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+        admission: queued.then(|| AdmitPolicy {
+            class_capacity: [4, 4, 6, 8],
+            max_wait: Some(400),
+            max_attempts: 5,
+            backoff_base: 1,
+            backoff_cap: 4,
+            preemption: if preempt {
+                PreemptionPolicy::Migrate
+            } else {
+                PreemptionPolicy::Disabled
+            },
+            max_victims: 3,
+            ..AdmitPolicy::default()
+        }),
+        defrag: None,
+        cluster: clustered.then_some(ClusterSpec {
+            shards: 2,
+            policy: PlacementPolicyKind::LeastLoaded,
+            rebalance: None,
+        }),
+        telemetry: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Observer effect: the enabled run's report is byte-identical once
+    /// its extra `telemetry` section is removed, and both runs leave the
+    /// platform in exactly the same state.
+    #[test]
+    fn telemetry_never_perturbs_the_simulation(
+        seed in any::<u64>(),
+        interarrival in 5u64..40,
+        lifetime in 0u64..300,
+        queued in any::<bool>(),
+        clustered in any::<bool>(),
+        preempt in any::<bool>(),
+    ) {
+        let dark = generated(seed, interarrival, lifetime, queued, clustered, preempt);
+        let mut lit = dark.clone();
+        lit.telemetry = true;
+
+        let mut dark_sim = Simulator::new(dark).unwrap();
+        let dark_report = dark_sim.run();
+        let mut lit_sim = Simulator::new(lit).unwrap();
+        let mut lit_report = lit_sim.run();
+
+        prop_assert!(!dark_sim.telemetry().enabled());
+        prop_assert!(lit_sim.telemetry().enabled());
+        prop_assert!(dark_report.telemetry.is_none());
+        prop_assert!(lit_report.telemetry.take().is_some());
+
+        prop_assert_eq!(
+            dark_report.to_json_string(),
+            lit_report.to_json_string(),
+            "telemetry must not change a single observable byte"
+        );
+        prop_assert_eq!(
+            dark_sim.manager().platform(),
+            lit_sim.manager().platform(),
+            "telemetry must not change the final platform state"
+        );
+    }
+}
+
+/// Under the deterministic zero clock, telemetry-enabled runs of every
+/// catalog scenario — including their embedded metric snapshots — stay
+/// byte-reproducible.
+#[test]
+fn whole_catalog_is_byte_reproducible_with_telemetry_forced_on() {
+    for mut scenario in Scenario::catalog() {
+        scenario.telemetry = true;
+        let first = Simulator::new(scenario.clone()).unwrap().run();
+        assert!(first.telemetry.is_some(), "{}: snapshot must be embedded", scenario.name);
+        let second = Simulator::new(scenario.clone()).unwrap().run();
+        assert_eq!(
+            first.to_json_string(),
+            second.to_json_string(),
+            "{} must reproduce byte-for-byte with telemetry on",
+            scenario.name
+        );
+    }
+}
+
+fn counter(snapshot: &Snapshot, name: &str) -> u64 {
+    let metric = snapshot
+        .metrics
+        .iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("metric {name} missing from snapshot"));
+    match &metric.value {
+        MetricValue::Counter(v) => *v,
+        other => panic!("{name} is not a counter: {other:?}"),
+    }
+}
+
+fn histogram_count(snapshot: &Snapshot, name: &str) -> u64 {
+    let metric = snapshot
+        .metrics
+        .iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("metric {name} missing from snapshot"));
+    match &metric.value {
+        MetricValue::Histogram(h) => h.count,
+        other => panic!("{name} is not a histogram: {other:?}"),
+    }
+}
+
+/// Acceptance: the `telemetry-probe-latency` catalog scenario makes every
+/// instrumented layer visible in its report snapshot *and* in the text
+/// exposition — probe fan-out with per-shard latency histograms, pipeline
+/// phases, the transaction lifecycle, admission-queue transitions, the
+/// migration two-phase, and the engine's own totals.
+#[test]
+fn probe_latency_scenario_exposes_every_layer() {
+    let scenario = Scenario::by_name("telemetry-probe-latency").unwrap();
+    assert!(scenario.telemetry, "the catalog entry must enable telemetry");
+    let mut simulator = Simulator::new(scenario).unwrap();
+    let report = simulator.run();
+    let snapshot = report.telemetry.as_ref().expect("telemetry section");
+
+    // Probe fan-out: three shards, every probe wave timed per shard.
+    let probes = counter(snapshot, "kairos.cluster.probes");
+    assert!(probes > 0, "admissions must fan out as shard probes");
+    assert!(counter(snapshot, "kairos.cluster.probe.waves") > 0);
+    let per_shard: u64 = (0..3)
+        .map(|i| histogram_count(snapshot, &format!("kairos.cluster.shard{i}.probe.ns")))
+        .sum();
+    assert_eq!(per_shard, probes, "every probe lands in exactly one shard histogram");
+    assert!(histogram_count(snapshot, "kairos.cluster.placement.score.fragmentation_e6") > 0);
+
+    // Pipeline phases: each admitted app passes binding → mapping →
+    // routing → validation, so the phase histograms record one sample
+    // per attempt reaching the phase.
+    let bindings = histogram_count(snapshot, "kairos.core.phase.binding.ns");
+    assert!(bindings > 0, "the binding phase must be timed");
+    assert!(bindings >= histogram_count(snapshot, "kairos.core.phase.validation.ns"));
+
+    // Transaction lifecycle: probes roll back, placements commit.
+    let begun = counter(snapshot, "kairos.core.txn.begin");
+    assert!(begun > 0);
+    assert_eq!(
+        begun,
+        counter(snapshot, "kairos.core.txn.commit") + counter(snapshot, "kairos.core.txn.rollback"),
+        "every transaction either commits or rolls back"
+    );
+
+    // Queue transitions: the surge overflows the per-class capacities.
+    assert!(counter(snapshot, "kairos.admitd.enqueued") > 0);
+    assert!(
+        counter(snapshot, "kairos.admitd.admitted")
+            >= counter(snapshot, "kairos.sim.total.admissions"),
+        "the queue admits every first-class admission, plus internal re-submissions"
+    );
+    assert!(histogram_count(snapshot, "kairos.admitd.wait.ticks") > 0);
+
+    // Migration two-phase: the critical surge preempts via migration.
+    assert!(counter(snapshot, "kairos.core.migrate.attempts") > 0);
+    assert_eq!(
+        counter(snapshot, "kairos.core.migrate.attempts"),
+        counter(snapshot, "kairos.core.migrate.commits")
+            + counter(snapshot, "kairos.core.migrate.rollbacks"),
+        "every migration attempt ends in exactly one commit or rollback"
+    );
+    assert!(
+        counter(snapshot, "kairos.core.migrate.commits")
+            <= counter(snapshot, "kairos.core.migrate.claims"),
+        "two-phase: an alternate placement is claimed before any commit"
+    );
+
+    // Engine totals ride the same registry.
+    assert_eq!(counter(snapshot, "kairos.sim.total.arrivals"), report.totals.arrivals);
+    assert_eq!(counter(snapshot, "kairos.sim.queue.queued"), report.queue.queued);
+
+    // The same metrics appear in the Prometheus text exposition under
+    // sanitised names, and in the report's JSON under raw names.
+    let text = simulator.telemetry().render_text();
+    for name in [
+        "kairos_cluster_probes",
+        "kairos_cluster_shard0_probe_ns_count",
+        "kairos_core_phase_binding_ns_count",
+        "kairos_core_txn_begin",
+        "kairos_admitd_enqueued",
+        "kairos_core_migrate_attempts",
+        "kairos_sim_total_arrivals",
+    ] {
+        assert!(text.contains(name), "text exposition must expose {name}");
+    }
+    let json = report.to_json_string();
+    for name in [
+        "\"kairos.cluster.shard0.probe.ns\"",
+        "\"kairos.core.txn.begin\"",
+        "\"kairos.admitd.enqueued\"",
+        "\"kairos.core.migrate.attempts\"",
+        "\"kairos.sim.total.arrivals\"",
+    ] {
+        assert!(json.contains(name), "report JSON must expose {name}");
+    }
+
+    // The flight recorder retained the trailing window of trace events.
+    let flight = simulator.telemetry().flight_dump();
+    assert!(!flight.is_empty(), "the flight recorder must retain events");
+    assert!(flight.iter().any(|e| e.target.starts_with("kairos_")));
+}
