@@ -9,8 +9,8 @@ use kairos_core::{
     Phase,
 };
 use kairos_platform::{AppId, ElementId};
-use kairos_reloc::{compact, select_victims, CompactReport, VictimPlan};
-use kairos_telemetry::{Counter, Gauge, Histogram, Level, Telemetry};
+use kairos_reloc::{compact_with, select_victims_with, CompactReport, RelocMetrics, VictimPlan};
+use kairos_telemetry::{Counter, Gauge, Histogram, Level, Telemetry, TraceContext};
 
 use crate::policy::{AdmitPolicy, PreemptionPolicy, VictimOrder};
 use crate::queue::{AdmissionQueue, PriorityClass, QueuedRequest, Ticket};
@@ -239,6 +239,10 @@ pub struct Admitd {
     /// enumeration is deterministic.
     admitted_meta: BTreeMap<AppId, AdmittedMeta>,
     metrics: Option<AdmitdMetrics>,
+    /// The relocation planner's instruments, resolved once alongside
+    /// [`AdmitdMetrics`] — the planners themselves never touch the
+    /// registry's name map on the hot path.
+    reloc_metrics: Option<RelocMetrics>,
 }
 
 impl Admitd {
@@ -257,6 +261,7 @@ impl Admitd {
             capacity_events: 0,
             admitted_meta: BTreeMap::new(),
             metrics: None,
+            reloc_metrics: None,
         }
     }
 
@@ -267,6 +272,7 @@ impl Admitd {
     /// both again.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.metrics = AdmitdMetrics::new(&telemetry);
+        self.reloc_metrics = RelocMetrics::new(&telemetry);
         self.kairos.set_telemetry(telemetry);
     }
 
@@ -396,9 +402,24 @@ impl Admitd {
         class: PriorityClass,
         now: u64,
     ) -> (Ticket, Vec<QueueEvent>) {
+        self.submit_traced(app, class, now, TraceContext::NONE)
+    }
+
+    /// [`Admitd::submit`] under an externally minted trace context. `ctx`
+    /// rides through queue residency and every retry; the terminal
+    /// outcome records the cumulative `queue` span and closes the root —
+    /// the front-end owns the queued request's end of its trace.
+    /// [`TraceContext::NONE`] traces nothing.
+    pub fn submit_traced(
+        &mut self,
+        app: Application,
+        class: PriorityClass,
+        now: u64,
+        ctx: TraceContext,
+    ) -> (Ticket, Vec<QueueEvent>) {
         let _span = self.kairos.telemetry().span("kairos_admitd", "submit");
         let mut events = Vec::new();
-        let (ticket, entered) = self.through_the_door(app, class, now, &mut events);
+        let (ticket, entered) = self.through_the_door(app, class, now, ctx, &mut events);
         if entered {
             events.extend(self.drain(now));
         }
@@ -428,12 +449,24 @@ impl Admitd {
         requests: Vec<(Application, PriorityClass)>,
         now: u64,
     ) -> (Vec<Ticket>, Vec<QueueEvent>) {
+        let requests =
+            requests.into_iter().map(|(app, class)| (app, class, TraceContext::NONE)).collect();
+        self.submit_batch_traced(requests, now)
+    }
+
+    /// [`Admitd::submit_batch`] with a trace context per request — the
+    /// batch analogue of [`Admitd::submit_traced`].
+    pub fn submit_batch_traced(
+        &mut self,
+        requests: Vec<(Application, PriorityClass, TraceContext)>,
+        now: u64,
+    ) -> (Vec<Ticket>, Vec<QueueEvent>) {
         let _span = self.kairos.telemetry().span("kairos_admitd", "submit_batch");
         self.kairos.begin_batch();
         let mut tickets = Vec::with_capacity(requests.len());
         let mut events = Vec::new();
-        for (app, class) in requests {
-            let (ticket, _) = self.through_the_door(app, class, now, &mut events);
+        for (app, class, ctx) in requests {
+            let (ticket, _) = self.through_the_door(app, class, now, ctx, &mut events);
             tickets.push(ticket);
         }
         events.extend(self.drain(now));
@@ -452,6 +485,7 @@ impl Admitd {
         app: Application,
         class: PriorityClass,
         now: u64,
+        ctx: TraceContext,
         events: &mut Vec<QueueEvent>,
     ) -> (Ticket, bool) {
         let ticket = Ticket(self.next_ticket);
@@ -460,11 +494,12 @@ impl Admitd {
             if class == PriorityClass::Critical
                 && self.policy.preemption != PreemptionPolicy::Disabled
             {
-                if let Some(door_events) = self.try_preempt_admit(&app, ticket, class, now) {
+                if let Some(door_events) = self.try_preempt_admit(&app, ticket, class, now, ctx) {
                     events.extend(door_events);
                     return (ticket, false);
                 }
             }
+            self.trace_terminal(ctx, now, 0, "rejected", Some("QueueFull"), 0);
             events.push(QueueEvent::Rejected {
                 ticket,
                 class,
@@ -483,6 +518,7 @@ impl Admitd {
             eligible_at_event: 0,
             prior_wait: 0,
             preempt_attempts: 0,
+            trace: ctx,
         });
         events.push(QueueEvent::Enqueued { ticket, class, depth: self.queue.len() });
         (ticket, true)
@@ -611,16 +647,42 @@ impl Admitd {
             .is_some_and(|d| now >= d)
     }
 
+    /// Records the terminal `queue` span (its width is the request's
+    /// cumulative wait) and closes the trace root — the single exit
+    /// point of a request's trace on the queued path. No-op on
+    /// [`TraceContext::NONE`].
+    fn trace_terminal(
+        &self,
+        ctx: TraceContext,
+        now: u64,
+        waited: u64,
+        outcome: &str,
+        cause: Option<&str>,
+        attempts: u32,
+    ) {
+        if ctx.is_none() {
+            return;
+        }
+        let telemetry = self.kairos.telemetry();
+        telemetry.trace_child(ctx, "queue", now.saturating_sub(waited), now, &[]);
+        let mut args = vec![("outcome", outcome.to_owned())];
+        if let Some(cause) = cause {
+            args.push(("cause", cause.to_owned()));
+        }
+        if attempts > 0 {
+            args.push(("attempts", attempts.to_string()));
+        }
+        telemetry.trace_close(ctx, now, &args);
+    }
+
     /// Removes the request at `(class, i)` and builds its rejection event,
     /// reporting the cumulative wait across requeues.
     fn reject_at(&mut self, class: usize, i: usize, reason: RejectReason, now: u64) -> QueueEvent {
         let req = self.queue.remove(class, i);
-        QueueEvent::Rejected {
-            ticket: req.ticket,
-            class: req.class,
-            reason,
-            waited: req.waited(now),
-        }
+        let waited = req.waited(now);
+        let cause = format!("{reason:?}");
+        self.trace_terminal(req.trace, now, waited, "rejected", Some(&cause), req.attempts);
+        QueueEvent::Rejected { ticket: req.ticket, class: req.class, reason, waited }
     }
 
     /// One batch drain pass at `now`: walks the queue in priority-then-
@@ -647,12 +709,20 @@ impl Admitd {
                 }
                 let attempt_result = {
                     let req = self.queue.get(class, i).expect("index bounded by class_len");
-                    self.kairos.admit(&req.app)
+                    self.kairos.admit_traced(&req.app, req.trace, now)
                 };
                 match attempt_result {
                     Ok(report) => {
                         let req = self.queue.remove(class, i);
                         let waited = req.waited(now);
+                        self.trace_terminal(
+                            req.trace,
+                            now,
+                            waited,
+                            "admitted",
+                            None,
+                            req.attempts + 1,
+                        );
                         self.admitted_meta
                             .insert(report.app_id, AdmittedMeta { class: req.class, waited });
                         events.push(QueueEvent::Admitted {
@@ -702,8 +772,20 @@ impl Admitd {
                                     .expect("index bounded by class_len");
                                 let b = self.policy.backoff(req.attempts);
                                 req.eligible_at_event = self.capacity_events.saturating_add(b);
-                                (req.ticket, req.class, req.attempts)
+                                (req.ticket, req.class, req.attempts, req.trace)
                             };
+                            if backoff.3.is_some() {
+                                self.kairos.telemetry().trace_child(
+                                    backoff.3,
+                                    "attempt",
+                                    now,
+                                    now,
+                                    &[
+                                        ("attempt", backoff.2.to_string()),
+                                        ("phase", format!("{:?}", failure.phase())),
+                                    ],
+                                );
+                            }
                             events.push(QueueEvent::AttemptFailed {
                                 ticket: backoff.0,
                                 class: backoff.1,
@@ -767,16 +849,21 @@ impl Admitd {
         app: &Application,
         class: PriorityClass,
         by: Ticket,
+        ctx: TraceContext,
         now: u64,
         events: &mut Vec<QueueEvent>,
     ) -> bool {
         let candidates = self.preemption_candidates(class);
-        let Some(plan) =
-            select_victims(&mut self.kairos, app, &candidates, self.policy.max_victims)
-        else {
+        let Some(plan) = select_victims_with(
+            &mut self.kairos,
+            app,
+            &candidates,
+            self.policy.max_victims,
+            self.reloc_metrics.as_ref(),
+        ) else {
             return false;
         };
-        self.apply_relocation(plan, by, now, events);
+        self.apply_relocation(plan, by, ctx, now, events);
         true
     }
 
@@ -790,11 +877,11 @@ impl Admitd {
         now: u64,
         events: &mut Vec<QueueEvent>,
     ) -> bool {
-        let (ticket, req_class, app) = {
+        let (ticket, req_class, app, ctx) = {
             let req = self.queue.get(class, i).expect("index bounded by class_len");
-            (req.ticket, req.class, req.app.clone())
+            (req.ticket, req.class, req.app.clone(), req.trace)
         };
-        self.relocate_to_unblock(&app, req_class, ticket, now, events)
+        self.relocate_to_unblock(&app, req_class, ticket, ctx, now, events)
     }
 
     /// Executes a validated relocation plan: under
@@ -807,6 +894,7 @@ impl Admitd {
         &mut self,
         plan: VictimPlan,
         by: Ticket,
+        ctx: TraceContext,
         now: u64,
         events: &mut Vec<QueueEvent>,
     ) {
@@ -820,6 +908,18 @@ impl Admitd {
             self.capacity_events += 1;
             match migrated {
                 Some(report) => {
+                    if ctx.is_some() {
+                        self.kairos.telemetry().trace_child(
+                            ctx,
+                            "preempt.migrate",
+                            now,
+                            now,
+                            &[
+                                ("victim", format!("{victim:?}")),
+                                ("moved_tasks", report.moved_tasks.to_string()),
+                            ],
+                        );
+                    }
                     events.push(QueueEvent::Migrated {
                         app: victim,
                         class: meta.class,
@@ -835,10 +935,39 @@ impl Admitd {
                         .clone();
                     assert!(self.kairos.release(victim), "a victim is never double-released");
                     self.admitted_meta.remove(&victim);
+                    if ctx.is_some() {
+                        self.kairos.telemetry().trace_child(
+                            ctx,
+                            "preempt.evict",
+                            now,
+                            now,
+                            &[("victim", format!("{victim:?}"))],
+                        );
+                    }
                     let ticket = Ticket(self.next_ticket);
                     self.next_ticket += 1;
                     events.push(QueueEvent::Preempted { victim, class: meta.class, ticket, by });
+                    // The evicted victim re-enters as a fresh request with
+                    // its own trace root (when tracing is on at all), so
+                    // its second life is analysable separately from the
+                    // request that displaced it.
+                    let victim_trace = self.kairos.telemetry().trace_root(
+                        "request",
+                        now,
+                        &[
+                            ("class", meta.class.to_string()),
+                            ("origin", "preempt-requeue".to_owned()),
+                        ],
+                    );
                     if self.queue.is_full(meta.class) {
+                        self.trace_terminal(
+                            victim_trace,
+                            now,
+                            meta.waited,
+                            "rejected",
+                            Some("QueueFull"),
+                            0,
+                        );
                         events.push(QueueEvent::Rejected {
                             ticket,
                             class: meta.class,
@@ -856,6 +985,7 @@ impl Admitd {
                             eligible_at_event: 0,
                             prior_wait: meta.waited,
                             preempt_attempts: 0,
+                            trace: victim_trace,
                         });
                         events.push(QueueEvent::Enqueued {
                             ticket,
@@ -878,10 +1008,12 @@ impl Admitd {
         ticket: Ticket,
         class: PriorityClass,
         now: u64,
+        ctx: TraceContext,
     ) -> Option<Vec<QueueEvent>> {
         let mut events = Vec::new();
         // Door admissions never queued: zero wait, one attempt.
         let door_admit = |this: &mut Self, report: AdmissionReport| {
+            this.trace_terminal(ctx, now, 0, "admitted", None, 1);
             this.admitted_meta.insert(report.app_id, AdmittedMeta { class, waited: 0 });
             QueueEvent::Admitted {
                 ticket,
@@ -894,19 +1026,20 @@ impl Admitd {
         };
         // A request that fits outright needs no victims — only plan a
         // relocation when the request is actually blocked by occupancy.
-        if let Ok(report) = self.kairos.admit(app) {
+        if let Ok(report) = self.kairos.admit_traced(app, ctx, now) {
             events.push(door_admit(self, report));
             return Some(events);
         }
-        if !self.relocate_to_unblock(app, class, ticket, now, &mut events) {
+        if !self.relocate_to_unblock(app, class, ticket, ctx, now, &mut events) {
             return None;
         }
-        match self.kairos.admit(app) {
+        match self.kairos.admit_traced(app, ctx, now) {
             Ok(report) => events.push(door_admit(self, report)),
             Err(_) => {
                 // Migration side effects can, in rare routing-contention
                 // cases, leave the probed layout unreachable; the request
                 // still cannot enter the full queue.
+                self.trace_terminal(ctx, now, 0, "rejected", Some("QueueFull"), 0);
                 events.push(QueueEvent::Rejected {
                     ticket,
                     class,
@@ -926,7 +1059,7 @@ impl Admitd {
     /// fragmentation. A sweep that moved anything counts as a capacity
     /// event (contiguous room appeared) and drains the queue.
     pub fn defrag(&mut self, now: u64, max_moves: usize) -> (CompactReport, Vec<QueueEvent>) {
-        let report = compact(&mut self.kairos, max_moves);
+        let report = compact_with(&mut self.kairos, max_moves, self.reloc_metrics.as_ref());
         if report.move_count() == 0 {
             return (report, Vec::new());
         }

@@ -13,6 +13,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use kairos_app::Application;
+use kairos_telemetry::TraceContext;
 
 /// Priority class of an admission request; lower classes drain first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -93,6 +94,11 @@ pub(crate) struct QueuedRequest {
     /// Relocations already performed on behalf of this request; bounds
     /// preemption to one applied relocation per request lifetime.
     pub preempt_attempts: u32,
+    /// The request trace this submission belongs to
+    /// ([`TraceContext::NONE`] when tracing is off). Rides through queue
+    /// residency so the terminal event can record the queue span and
+    /// close the trace root.
+    pub trace: TraceContext,
 }
 
 impl QueuedRequest {
@@ -199,6 +205,7 @@ mod tests {
             eligible_at_event: 0,
             prior_wait: 0,
             preempt_attempts: 0,
+            trace: TraceContext::NONE,
         }
     }
 

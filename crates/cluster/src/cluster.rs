@@ -11,7 +11,7 @@ use kairos_platform::{adjacent_pairs, AppId, ElementId, Platform, RegionMap};
 use kairos_svc::{
     CapacityEvent, Command, Event, KairosService, Request, ResourceService, ServiceBuilder, Ticket,
 };
-use kairos_telemetry::{Counter, Histogram, Level, Telemetry};
+use kairos_telemetry::{Counter, Histogram, Level, Telemetry, TraceContext};
 
 use crate::policy::{FirstFit, PlacementPolicy, ShardFit, ShardLoad, ShardProbe};
 
@@ -555,8 +555,9 @@ impl ClusterService {
     }
 
     /// Probes, asks the policy, falls back: the shard this admission is
-    /// routed to.
-    fn place(&mut self, app: &Application) -> usize {
+    /// routed to. A set `ctx` gets one coordinator-side `probe.shard{i}`
+    /// span per probed shard.
+    fn place(&mut self, app: &Application, ctx: TraceContext, at: u64) -> usize {
         if self.shards.len() == 1 {
             return 0;
         }
@@ -571,7 +572,26 @@ impl ClusterService {
                 m.fallbacks.inc();
             }
         }
+        self.trace_probes(ctx, at, &probes, shard);
         shard
+    }
+
+    /// Records the fan-out's probe spans under `ctx`, one per shard in
+    /// shard-id order. Always coordinator-side, after the probe threads
+    /// have joined — the threads themselves never touch the trace sink,
+    /// so trace ids stay allocation-ordered regardless of scheduling.
+    fn trace_probes(&self, ctx: TraceContext, at: u64, probes: &[ShardProbe], chosen: usize) {
+        if ctx.is_none() {
+            return;
+        }
+        for probe in probes {
+            let fit = if probe.fit.is_some() { "yes" } else { "no" };
+            let mut args = vec![("fit", fit.to_owned())];
+            if probe.shard == chosen {
+                args.push(("chosen", "yes".to_owned()));
+            }
+            self.telemetry.trace_child(ctx, &format!("probe.shard{}", probe.shard), at, at, &args);
+        }
     }
 
     /// Drains one shard's buffered events into the cluster's, translated.
@@ -592,11 +612,24 @@ impl ClusterService {
     }
 
     /// Performs one command under an already-allocated cluster ticket.
-    fn dispatch(&mut self, ticket: Ticket, at: u64, command: Command) {
+    /// For admissions the cluster is the outermost service: it mints the
+    /// request's trace root when `trace` is still unset and stamps the
+    /// context onto the request it forwards, so the shard continues the
+    /// same trace instead of minting its own.
+    fn dispatch(&mut self, ticket: Ticket, at: u64, command: Command, trace: TraceContext) {
         match command {
             Command::Admit { app, class } => {
-                let target = self.place(&app);
-                self.forward(target, ticket, Request::admit(at, app, class));
+                let ctx = if trace.is_some() {
+                    trace
+                } else {
+                    self.telemetry.trace_root(
+                        "request",
+                        at,
+                        &[("class", class.to_string()), ("origin", "request".to_owned())],
+                    )
+                };
+                let target = self.place(&app, ctx, at);
+                self.forward(target, ticket, Request::admit(at, app, class).with_trace(ctx));
             }
             Command::Release { app } => {
                 let target = self.shard_of_app(app);
@@ -780,9 +813,9 @@ fn fit_of(probe: Option<AdmissionProbe>) -> Option<ShardFit> {
 
 impl ResourceService for ClusterService {
     fn submit(&mut self, request: Request) -> Ticket {
-        let Request { at, command } = request;
+        let Request { at, command, trace } = request;
         let ticket = self.alloc_ticket();
-        self.dispatch(ticket, at, command);
+        self.dispatch(ticket, at, command, trace);
         ticket
     }
 
@@ -801,30 +834,46 @@ impl ResourceService for ClusterService {
         // batched submission (one platform transaction, one drain pass —
         // per shard). Non-admission commands run after the wave, in
         // submission order, exactly as the monolithic service does.
-        let mut admissions: Vec<(Ticket, u64, Application, PriorityClass)> = Vec::new();
-        let mut rest: Vec<(Ticket, u64, Command)> = Vec::new();
-        for (ticket, Request { at, command }) in requests {
+        let mut admissions: Vec<(Ticket, u64, Application, PriorityClass, TraceContext)> =
+            Vec::new();
+        let mut rest: Vec<(Ticket, u64, Command, TraceContext)> = Vec::new();
+        for (ticket, Request { at, command, trace }) in requests {
             match command {
-                Command::Admit { app, class } => admissions.push((ticket, at, app, class)),
-                other => rest.push((ticket, at, other)),
+                Command::Admit { app, class } => {
+                    // Roots are minted here, in submission order, so trace
+                    // id allocation never depends on where the wave's rows
+                    // end up being placed.
+                    let ctx = if trace.is_some() {
+                        trace
+                    } else {
+                        self.telemetry.trace_root(
+                            "request",
+                            at,
+                            &[("class", class.to_string()), ("origin", "request".to_owned())],
+                        )
+                    };
+                    admissions.push((ticket, at, app, class, ctx));
+                }
+                other => rest.push((ticket, at, other, trace)),
             }
         }
         let mut waves: Vec<Vec<(Ticket, Request)>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
         if self.shards.len() == 1 {
-            for (ticket, at, app, class) in admissions {
-                waves[0].push((ticket, Request::admit(at, app, class)));
+            for (ticket, at, app, class, ctx) in admissions {
+                waves[0].push((ticket, Request::admit(at, app, class).with_trace(ctx)));
             }
         } else {
-            let apps: Vec<&Application> = admissions.iter().map(|(_, _, app, _)| app).collect();
+            let apps: Vec<&Application> = admissions.iter().map(|(_, _, app, _, _)| app).collect();
             let probes = self.probe_wave(&apps);
             drop(apps);
-            for ((ticket, at, app, class), row) in admissions.into_iter().zip(probes) {
+            for ((ticket, at, app, class, ctx), row) in admissions.into_iter().zip(probes) {
                 let target = match self.policy.choose(&row) {
                     Some(shard) => shard,
                     None => self.policy.fallback(&self.loads()),
                 };
-                waves[target].push((ticket, Request::admit(at, app, class)));
+                self.trace_probes(ctx, at, &row, target);
+                waves[target].push((ticket, Request::admit(at, app, class).with_trace(ctx)));
             }
         }
         for (i, wave) in waves.into_iter().enumerate() {
@@ -840,8 +889,8 @@ impl ResourceService for ClusterService {
             }
             self.drain_shard(i);
         }
-        for (ticket, at, command) in rest {
-            self.dispatch(ticket, at, command);
+        for (ticket, at, command, trace) in rest {
+            self.dispatch(ticket, at, command, trace);
         }
         tickets
     }

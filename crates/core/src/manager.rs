@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use kairos_app::Application;
 use kairos_platform::{AppId, ElementId, Platform};
-use kairos_telemetry::{Counter, Histogram, Level, Telemetry};
+use kairos_telemetry::{Counter, Histogram, Level, Telemetry, TraceContext};
 
 use crate::binding::bind;
 use crate::error::{AllocationError, Phase};
@@ -410,6 +410,24 @@ impl Kairos {
     /// An [`AdmissionFailure`] carrying the rejecting phase, error detail
     /// and the per-phase timings collected up to the rejection.
     pub fn admit(&mut self, app: &Application) -> Result<AdmissionReport, AdmissionFailure> {
+        self.admit_traced(app, TraceContext::NONE, 0)
+    }
+
+    /// [`Kairos::admit`] under a request trace: each pipeline phase that
+    /// runs records a `phase.*` child span of `ctx` at virtual tick `now`
+    /// (zero-width — under the virtual clock the pipeline itself takes no
+    /// scenario time), annotated with its outcome. With
+    /// [`TraceContext::NONE`] this *is* `admit`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Kairos::admit`].
+    pub fn admit_traced(
+        &mut self,
+        app: &Application,
+        ctx: TraceContext,
+        now: u64,
+    ) -> Result<AdmissionReport, AdmissionFailure> {
         let _span = self.telemetry.span("kairos_core", "admit");
         // Claim-journal transaction instead of a full occupancy clone: the
         // rollback cost is proportional to the claims actually made by this
@@ -418,7 +436,7 @@ impl Kairos {
         let app_id = AppId(self.next_app);
         let mut timings = PhaseTimings::default();
 
-        let result = self.run_phases(app, app_id, &mut timings);
+        let result = self.run_phases(app, app_id, &mut timings, ctx, now);
         match result {
             Ok((layout, validation)) => {
                 self.txn_commit();
@@ -518,7 +536,10 @@ impl Kairos {
         }
         let scratch = AppId(self.next_app);
         let mut timings = PhaseTimings::default();
-        let result = self.run_phases(app, scratch, &mut timings);
+        // Probes never trace: they run on the cluster's parallel probe
+        // threads, and the trace sink is coordinator-only by design (the
+        // coordinator synthesizes probe spans after the join).
+        let result = self.run_phases(app, scratch, &mut timings, TraceContext::NONE, 0);
         let probe = match result {
             Ok((layout, _)) => Ok(AdmissionProbe { layout, after: self.occupancy() }),
             Err(error) => Err(AdmissionFailure { error, timings }),
@@ -557,7 +578,7 @@ impl Kairos {
         // collide with an admitted application, and a probe admits nothing.
         let scratch = AppId(self.next_app);
         let mut timings = PhaseTimings::default();
-        let result = self.run_phases(app, scratch, &mut timings);
+        let result = self.run_phases(app, scratch, &mut timings, TraceContext::NONE, 0);
         self.txn_rollback();
         match result {
             Ok((layout, _)) => Ok(layout),
@@ -637,7 +658,7 @@ impl Kairos {
 
         let scratch = AppId(self.next_app);
         let mut timings = PhaseTimings::default();
-        match self.run_phases(&app, scratch, &mut timings) {
+        match self.run_phases(&app, scratch, &mut timings, TraceContext::NONE, 0) {
             Err(error) => {
                 self.txn_rollback();
                 let failure = AdmissionFailure { error, timings };
@@ -708,11 +729,23 @@ impl Kairos {
         }
     }
 
+    /// Records one `phase.*` child span of `ctx` at tick `now` — zero
+    /// width (the pipeline takes no virtual time), annotated with the
+    /// phase's outcome. Free when tracing is off or `ctx` is absent.
+    fn trace_phase(&self, ctx: TraceContext, now: u64, name: &str, ok: bool) {
+        if ctx.is_some() {
+            let outcome = if ok { "ok" } else { "rejected" };
+            self.telemetry.trace_child(ctx, name, now, now, &[("outcome", outcome.to_owned())]);
+        }
+    }
+
     fn run_phases(
         &mut self,
         app: &Application,
         app_id: AppId,
         timings: &mut PhaseTimings,
+        ctx: TraceContext,
+        now: u64,
     ) -> Result<(ExecutionLayout, Option<ValidationReport>), AllocationError> {
         let clock = self.phase_clock();
 
@@ -727,6 +760,7 @@ impl Kairos {
         if let Some(m) = &self.metrics {
             m.phase_ns[0].record(duration_ns(elapsed));
         }
+        self.trace_phase(ctx, now, "phase.binding", binding.is_ok());
         let binding = binding?;
 
         // Phase 2: mapping (claims element resources).
@@ -740,6 +774,7 @@ impl Kairos {
         if let Some(m) = &self.metrics {
             m.phase_ns[1].record(duration_ns(elapsed));
         }
+        self.trace_phase(ctx, now, "phase.mapping", mapping.is_ok());
         let mapping = mapping?;
 
         // Phase 3: routing (claims link resources).
@@ -753,6 +788,7 @@ impl Kairos {
         if let Some(m) = &self.metrics {
             m.phase_ns[2].record(duration_ns(elapsed));
         }
+        self.trace_phase(ctx, now, "phase.routing", routes.is_ok());
         let routes = routes?;
 
         let layout = ExecutionLayout { binding, placement: mapping.placement, routes };
@@ -769,6 +805,7 @@ impl Kairos {
             if let Some(m) = &self.metrics {
                 m.phase_ns[3].record(duration_ns(elapsed));
             }
+            self.trace_phase(ctx, now, "phase.validation", report.is_ok());
             Some(report?)
         } else {
             None

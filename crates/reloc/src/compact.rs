@@ -4,6 +4,8 @@ use kairos_core::Kairos;
 use kairos_platform::{external_fragmentation, AppId};
 use kairos_telemetry::Level;
 
+use crate::metrics::RelocMetrics;
+
 /// One accepted move of a compaction sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompactMove {
@@ -47,11 +49,24 @@ impl CompactReport {
 /// reconfiguration work a single sweep may impose on running
 /// applications); `0` makes the sweep a no-op probe of current
 /// fragmentation.
+///
+/// Resolves a fresh [`RelocMetrics`] per call; repeated drivers should
+/// resolve once and call [`compact_with`].
 pub fn compact(kairos: &mut Kairos, max_moves: usize) -> CompactReport {
+    let metrics = RelocMetrics::new(kairos.telemetry());
+    compact_with(kairos, max_moves, metrics.as_ref())
+}
+
+/// [`compact`] against pre-resolved instruments (`None` records nothing).
+pub fn compact_with(
+    kairos: &mut Kairos,
+    max_moves: usize,
+    metrics: Option<&RelocMetrics>,
+) -> CompactReport {
     let telemetry = kairos.telemetry().clone();
     let _span = telemetry.span("kairos_reloc", "compact");
-    if let Some(c) = telemetry.counter("kairos.reloc.compact.sweeps") {
-        c.inc();
+    if let Some(m) = metrics {
+        m.compact_sweeps.inc();
     }
     let fragmentation_before = external_fragmentation(kairos.platform());
     let mut moves = Vec::new();
@@ -70,8 +85,8 @@ pub fn compact(kairos: &mut Kairos, max_moves: usize) -> CompactReport {
             });
         }
     }
-    if let Some(c) = telemetry.counter("kairos.reloc.compact.moves") {
-        c.add(moves.len() as u64);
+    if let Some(m) = metrics {
+        m.compact_moves.add(moves.len() as u64);
         telemetry.event(
             Level::INFO,
             "kairos_reloc",

@@ -62,10 +62,12 @@
 #![deny(missing_docs)]
 
 mod compact;
+mod metrics;
 mod victim;
 
-pub use compact::{compact, CompactMove, CompactReport};
-pub use victim::{select_victims, VictimPlan};
+pub use compact::{compact, compact_with, CompactMove, CompactReport};
+pub use metrics::RelocMetrics;
+pub use victim::{select_victims, select_victims_with, VictimPlan};
 
 // The migration primitive itself lives in `kairos-core` (it needs the
 // manager's internals); re-export it so relocation users have one import.

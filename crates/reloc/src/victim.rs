@@ -5,6 +5,8 @@ use kairos_core::{ExecutionLayout, Kairos};
 use kairos_platform::AppId;
 use kairos_telemetry::Level;
 
+use crate::metrics::RelocMetrics;
+
 /// A validated preemption plan: evicting `victims` (all of them) lets the
 /// blocked request through.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,16 +45,32 @@ impl VictimPlan {
 ///
 /// The platform is left exactly as found — every probe runs in a
 /// rolled-back transaction. Identical inputs produce identical plans.
+///
+/// Resolves a fresh [`RelocMetrics`] per call; repeated drivers should
+/// resolve once and call [`select_victims_with`].
 pub fn select_victims(
     kairos: &mut Kairos,
     request: &Application,
     candidates: &[AppId],
     max_victims: usize,
 ) -> Option<VictimPlan> {
+    let metrics = RelocMetrics::new(kairos.telemetry());
+    select_victims_with(kairos, request, candidates, max_victims, metrics.as_ref())
+}
+
+/// [`select_victims`] against pre-resolved instruments (`None` records
+/// nothing).
+pub fn select_victims_with(
+    kairos: &mut Kairos,
+    request: &Application,
+    candidates: &[AppId],
+    max_victims: usize,
+    metrics: Option<&RelocMetrics>,
+) -> Option<VictimPlan> {
     let telemetry = kairos.telemetry().clone();
     let _span = telemetry.span("kairos_reloc", "select_victims");
-    if let Some(c) = telemetry.counter("kairos.reloc.plans.requested") {
-        c.inc();
+    if let Some(m) = metrics {
+        m.plans_requested.inc();
     }
     if candidates.is_empty() || max_victims == 0 {
         return None;
@@ -71,8 +89,8 @@ pub fn select_victims(
         }
     }
     let Some(mut layout) = layout else {
-        if let Some(c) = telemetry.counter("kairos.reloc.plans.none") {
-            c.inc();
+        if let Some(m) = metrics {
+            m.plans_none.inc();
             telemetry.event(
                 Level::DEBUG,
                 "kairos_reloc",
@@ -97,11 +115,9 @@ pub fn select_victims(
         }
     }
 
-    if let Some(c) = telemetry.counter("kairos.reloc.plans.found") {
-        c.inc();
-        if let Some(victims) = telemetry.counter("kairos.reloc.plan.victims") {
-            victims.add(set.len() as u64);
-        }
+    if let Some(m) = metrics {
+        m.plans_found.inc();
+        m.plan_victims.add(set.len() as u64);
         telemetry.event(
             Level::INFO,
             "kairos_reloc",

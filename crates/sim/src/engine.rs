@@ -24,7 +24,7 @@
 //! `kairos_reloc` — the service owns that glue.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use kairos_admitd::PriorityClass;
@@ -36,9 +36,12 @@ use kairos_platform::{AppId, ElementId};
 use kairos_svc::{
     CapacityEvent, Command, Event, RejectCause, Request, ResourceService, ServiceBuilder,
 };
-use kairos_telemetry::{Counter, Gauge, Telemetry, TelemetryConfig};
+use kairos_telemetry::{Counter, Gauge, Histogram, Telemetry, TelemetryConfig};
 
-use crate::report::{ClassQueueStats, PhaseStats, QueueReport, SamplePoint, SimReport, Totals};
+use crate::report::{
+    ClassQueueStats, ClassTraceStats, PhaseStats, QueueReport, SamplePoint, SimReport, Totals,
+    TraceReport,
+};
 use crate::scenario::Scenario;
 
 /// What happens at a scheduled instant.
@@ -200,6 +203,11 @@ impl TotalsTally {
     }
 }
 
+/// Bucket bounds of the per-class wait histograms, in virtual ticks:
+/// powers of two spanning zero-wait door admissions up to the longest
+/// deadline any catalog scenario allows.
+const WAIT_HIST_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
 /// Running admission-queue statistics. The monotonic counters and the
 /// depth high-water mark live on registry instruments
 /// (`kairos.sim.queue.*`) exactly like [`TotalsTally`]; the wait sums
@@ -225,6 +233,12 @@ struct QueueAccum {
     class_dropped: [u64; 4],
     class_wait: [u64; 4],
     class_wait_samples: [u64; 4],
+    /// Per-class wait histograms backing the report's interpolated
+    /// percentiles. Standalone instruments, never registered: they must
+    /// exist — and record identically — whether or not the scenario
+    /// enables telemetry, so percentile fields cannot become an observer
+    /// effect.
+    class_wait_hist: [Histogram; 4],
 }
 
 impl QueueAccum {
@@ -256,6 +270,7 @@ impl QueueAccum {
             class_dropped: [0; 4],
             class_wait: [0; 4],
             class_wait_samples: [0; 4],
+            class_wait_hist: std::array::from_fn(|_| Histogram::new(WAIT_HIST_BOUNDS)),
         }
     }
 }
@@ -320,8 +335,11 @@ impl Simulator {
         // every instrument below the service boundary records pure
         // op-sequence functions, so enabling telemetry cannot perturb a
         // report beyond adding its snapshot section.
-        let telemetry = if scenario.telemetry {
-            Telemetry::new(TelemetryConfig::default())
+        let telemetry = if scenario.telemetry || scenario.trace {
+            Telemetry::new(TelemetryConfig {
+                tracing: scenario.trace,
+                ..TelemetryConfig::default()
+            })
         } else {
             Telemetry::disabled()
         };
@@ -855,6 +873,7 @@ impl Simulator {
         self.queue_accum.max_wait = self.queue_accum.max_wait.max(waited);
         self.queue_accum.class_wait[class.index()] += waited;
         self.queue_accum.class_wait_samples[class.index()] += 1;
+        self.queue_accum.class_wait_hist[class.index()].record(waited);
     }
 
     fn finalize(&mut self) -> SimReport {
@@ -914,6 +933,9 @@ impl Simulator {
                     dropped: qa.class_dropped[i],
                     total_wait: qa.class_wait[i],
                     mean_wait: mean_of(qa.class_wait[i], qa.class_wait_samples[i]),
+                    wait_p50: qa.class_wait_hist[i].snapshot().percentile(50),
+                    wait_p95: qa.class_wait_hist[i].snapshot().percentile(95),
+                    wait_p99: qa.class_wait_hist[i].snapshot().percentile(99),
                 }
             })
             .collect();
@@ -949,10 +971,66 @@ impl Simulator {
             samples: std::mem::take(&mut self.samples),
             final_state: self.service.occupancy(),
             // Snapshot last: the occupancy call above is read-only, so
-            // every instrument has its final value by now.
-            telemetry: self.telemetry.registry().map(kairos_telemetry::Registry::snapshot),
+            // every instrument has its final value by now. The registry
+            // also runs when only tracing is on (one hub serves both);
+            // the report section stays gated on the scenario flag.
+            telemetry: if self.scenario.telemetry {
+                self.telemetry.registry().map(kairos_telemetry::Registry::snapshot)
+            } else {
+                None
+            },
+            trace: self.scenario.trace.then(|| self.trace_report()),
         }
     }
+
+    /// The end-of-run [`TraceReport`]: dumps the trace sink, summarizes
+    /// every request trace ([`kairos_telemetry::summarize`]) and
+    /// aggregates per-class latency digests plus the critical-path tally.
+    fn trace_report(&self) -> TraceReport {
+        let spans = self.telemetry.trace_dump();
+        let summaries = kairos_telemetry::summarize(&spans);
+        let mut critical: BTreeMap<String, u64> = BTreeMap::new();
+        let mut latencies: [Vec<u64>; 4] = Default::default();
+        for summary in &summaries {
+            *critical.entry(summary.critical.clone()).or_insert(0) += 1;
+            if let Some(class) = PriorityClass::ALL.iter().find(|c| c.to_string() == summary.class)
+            {
+                latencies[class.index()].push(summary.latency);
+            }
+        }
+        let by_class = PriorityClass::ALL
+            .iter()
+            .filter(|class| !latencies[class.index()].is_empty())
+            .map(|class| {
+                let sorted = &mut latencies[class.index()].clone();
+                sorted.sort_unstable();
+                ClassTraceStats {
+                    class: class.to_string(),
+                    count: sorted.len() as u64,
+                    p50: nearest_rank(sorted, 50),
+                    p95: nearest_rank(sorted, 95),
+                    p99: nearest_rank(sorted, 99),
+                    max: *sorted.last().expect("non-empty by filter"),
+                }
+            })
+            .collect();
+        TraceReport {
+            traces: summaries.len() as u64,
+            spans: spans.len() as u64,
+            by_class,
+            critical_paths: critical.into_iter().collect(),
+        }
+    }
+}
+
+/// Exact nearest-rank percentile over an ascending-sorted population
+/// (`0` when empty): the value whose rank is `ceil(p × n / 100)`.
+fn nearest_rank(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u128 * u128::from(p)).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 /// Pipeline-order index of an admission phase.

@@ -111,6 +111,13 @@ pub struct ClassQueueStats {
     pub total_wait: u64,
     /// Mean queue wait of this class's terminal outcomes, in ticks.
     pub mean_wait: f64,
+    /// Median queue wait, bucket-interpolated from the engine's per-class
+    /// wait histogram (`0` for classes with no terminal outcomes).
+    pub wait_p50: u64,
+    /// 95th-percentile queue wait, bucket-interpolated.
+    pub wait_p95: u64,
+    /// 99th-percentile queue wait, bucket-interpolated.
+    pub wait_p99: u64,
 }
 
 /// Aggregated admission-queue behaviour over a whole run. All counters
@@ -148,6 +155,47 @@ pub struct QueueReport {
     pub by_class: Vec<ClassQueueStats>,
 }
 
+/// Per-priority-class end-to-end request-latency digest, computed from
+/// the run's trace roots (exact nearest-rank percentiles over the sorted
+/// root latencies — the population is complete, so no interpolation is
+/// needed).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassTraceStats {
+    /// Class name (`critical`, `high`, `normal`, `low`).
+    pub class: String,
+    /// Traced requests of this class.
+    pub count: u64,
+    /// Median end-to-end latency, in virtual ticks.
+    pub p50: u64,
+    /// 95th-percentile end-to-end latency.
+    pub p95: u64,
+    /// 99th-percentile end-to-end latency.
+    pub p99: u64,
+    /// Largest end-to-end latency observed.
+    pub max: u64,
+}
+
+/// Aggregated causal-trace analysis over a whole run: how many request
+/// traces and spans were recorded, the per-class latency digests, and
+/// the critical-path breakdown — for each trace, which segment (queue
+/// wait, losing probe, a pipeline phase, a preemption detour) dominated
+/// its latency, tallied by segment name. `None` in [`SimReport::trace`]
+/// unless the scenario enables
+/// [`Scenario::trace`](crate::Scenario::trace).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Request traces recorded.
+    pub traces: u64,
+    /// Spans recorded across all traces.
+    pub spans: u64,
+    /// Per-class end-to-end latency digests, in drain order; classes
+    /// with no traced requests are omitted.
+    pub by_class: Vec<ClassTraceStats>,
+    /// Dominant-segment tally: critical-path name → traces it dominated,
+    /// in name order.
+    pub critical_paths: Vec<(String, u64)>,
+}
+
 /// The complete result of one scenario run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -177,6 +225,11 @@ pub struct SimReport {
     /// rendering omits its `telemetry` key then, keeping legacy reports
     /// byte-identical.
     pub telemetry: Option<Snapshot>,
+    /// End-of-run causal-trace analysis. `None` unless the scenario
+    /// enables [`Scenario::trace`](crate::Scenario::trace); the JSON
+    /// rendering omits its `trace` key then. All fields are integers
+    /// derived from virtual-tick spans, so the section is byte-stable.
+    pub trace: Option<TraceReport>,
 }
 
 /// A metric snapshot as an ordered JSON object: one key per metric (the
@@ -201,6 +254,35 @@ fn telemetry_json(snapshot: &Snapshot) -> Json {
             }
         };
     }
+    doc
+}
+
+/// The trace analysis as an ordered JSON object; every value is an
+/// integer, so the rendering is byte-stable.
+fn trace_json(report: &TraceReport) -> Json {
+    let mut doc = Json::object();
+    doc.push("traces", report.traces);
+    doc.push("spans", report.spans);
+    let by_class = report
+        .by_class
+        .iter()
+        .map(|c| {
+            let mut class = Json::object();
+            class.push("class", c.class.as_str());
+            class.push("count", c.count);
+            class.push("p50", c.p50);
+            class.push("p95", c.p95);
+            class.push("p99", c.p99);
+            class.push("max", c.max);
+            class
+        })
+        .collect::<Vec<_>>();
+    doc.push("by_class", by_class);
+    let mut critical = Json::object();
+    for (name, count) in &report.critical_paths {
+        critical.push(name, *count);
+    }
+    doc.push("critical_paths", critical);
     doc
 }
 
@@ -293,6 +375,9 @@ impl SimReport {
                 class.push("dropped", c.dropped);
                 class.push("total_wait", c.total_wait);
                 class.push("mean_wait", c.mean_wait);
+                class.push("wait_p50", c.wait_p50);
+                class.push("wait_p95", c.wait_p95);
+                class.push("wait_p99", c.wait_p99);
                 class
             })
             .collect::<Vec<_>>();
@@ -315,6 +400,9 @@ impl SimReport {
         doc.push("final_state", occupancy_json(&self.final_state));
         if let Some(snapshot) = &self.telemetry {
             doc.push("telemetry", telemetry_json(snapshot));
+        }
+        if let Some(trace) = &self.trace {
+            doc.push("trace", trace_json(trace));
         }
         doc
     }

@@ -247,6 +247,15 @@ pub struct Scenario {
     /// `telemetry` section in the report (all duration histograms record
     /// zero-nanosecond observations and degenerate to attempt counters).
     pub telemetry: bool,
+    /// Whether the run records per-request causal traces: every admission
+    /// gets a trace root at the outermost service, queue residency and
+    /// pipeline phases become spans, and the report embeds a `trace`
+    /// section (per-class latency percentiles and the critical-path
+    /// breakdown). Spans carry virtual-tick timestamps only, so — like
+    /// [`Scenario::telemetry`] — an enabled run is byte-identical to a
+    /// disabled one apart from the extra report section, and the trace
+    /// itself is byte-reproducible run to run.
+    pub trace: bool,
 }
 
 impl Scenario {
@@ -453,6 +462,7 @@ impl Scenario {
             }
         };
         doc.push("telemetry", self.telemetry);
+        doc.push("trace", self.trace);
         doc
     }
 
@@ -474,6 +484,7 @@ impl Scenario {
             sharded_arrival_storm(),
             cross_shard_rebalance(),
             telemetry_probe_latency(),
+            traced_preemption_storm(),
         ]
     }
 
@@ -514,6 +525,7 @@ fn steady_churn() -> Scenario {
         defrag: None,
         cluster: None,
         telemetry: false,
+        trace: false,
     }
 }
 
@@ -542,6 +554,7 @@ fn bursty_arrivals() -> Scenario {
         defrag: None,
         cluster: None,
         telemetry: false,
+        trace: false,
     }
 }
 
@@ -569,6 +582,7 @@ fn saturation() -> Scenario {
         defrag: None,
         cluster: None,
         telemetry: false,
+        trace: false,
     }
 }
 
@@ -605,6 +619,7 @@ fn hotspot_failures() -> Scenario {
         defrag: None,
         cluster: None,
         telemetry: false,
+        trace: false,
     }
 }
 
@@ -627,6 +642,7 @@ fn mixed_datasets() -> Scenario {
         defrag: None,
         cluster: None,
         telemetry: false,
+        trace: false,
     }
 }
 
@@ -665,6 +681,7 @@ fn priority_inversion() -> Scenario {
         defrag: None,
         cluster: None,
         telemetry: false,
+        trace: false,
     }
 }
 
@@ -701,6 +718,7 @@ fn overload_backpressure() -> Scenario {
         defrag: None,
         cluster: None,
         telemetry: false,
+        trace: false,
     }
 }
 
@@ -738,6 +756,7 @@ fn retry_storm() -> Scenario {
         defrag: None,
         cluster: None,
         telemetry: false,
+        trace: false,
     }
 }
 
@@ -778,6 +797,7 @@ fn critical_preempt() -> Scenario {
         defrag: None,
         cluster: None,
         telemetry: false,
+        trace: false,
     }
 }
 
@@ -826,6 +846,7 @@ fn migrate_vs_evict() -> Scenario {
         defrag: None,
         cluster: None,
         telemetry: false,
+        trace: false,
     }
 }
 
@@ -856,6 +877,7 @@ fn defrag_sweep() -> Scenario {
         defrag: Some(DefragSpec { period: 150, max_moves: 4 }),
         cluster: None,
         telemetry: false,
+        trace: false,
     }
 }
 
@@ -903,6 +925,7 @@ fn batch_arrival_wave() -> Scenario {
         defrag: None,
         cluster: None,
         telemetry: false,
+        trace: false,
     }
 }
 
@@ -951,6 +974,7 @@ fn sharded_arrival_storm() -> Scenario {
             rebalance: None,
         }),
         telemetry: false,
+        trace: false,
     }
 }
 
@@ -988,6 +1012,7 @@ fn cross_shard_rebalance() -> Scenario {
             rebalance: Some(RebalanceSpec { period: 150, max_moves: 2 }),
         }),
         telemetry: false,
+        trace: false,
     }
 }
 
@@ -1043,6 +1068,60 @@ fn telemetry_probe_latency() -> Scenario {
             rebalance: None,
         }),
         telemetry: true,
+        trace: false,
+    }
+}
+
+/// Traced preemption storm: the causal-tracing showcase. A three-shard
+/// CRISP cluster under the least-loaded policy fills with low-priority
+/// residents, then takes a critical surge under an *evicting* preemption
+/// policy — so traces capture the full repertoire: queue residency,
+/// per-shard probe fan-outs, pipeline phases, retry attempts, and
+/// `preempt.evict` detours with freshly rooted victim requeues. Runs with
+/// [`Scenario::trace`] enabled (and the metric registry off), so the
+/// report embeds the `trace` section and
+/// `examples/scenario.rs --trace out.json` exports the Chrome-trace
+/// timeline, byte-identical across runs.
+fn traced_preemption_storm() -> Scenario {
+    let light_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Small), 3),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Small), 2),
+    ];
+    let crit_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Medium), 2),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Medium), 1),
+    ];
+    Scenario {
+        name: "traced-preemption-storm".to_owned(),
+        seed: 0x7ACE,
+        sample_period: 30,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("fill-low", 900, 10, 2800, light_mix).with_priority(PriorityClass::Low),
+            PhaseSpec::new("critical-storm", 700, 30, 600, crit_mix)
+                .with_priority(PriorityClass::Critical),
+            PhaseSpec::new("drain", 2400, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+        admission: Some(AdmitPolicy {
+            class_capacity: [10, 8, 8, 24],
+            max_wait: Some(1400),
+            max_attempts: 8,
+            backoff_base: 1,
+            backoff_cap: 4,
+            preemption: PreemptionPolicy::Evict,
+            max_victims: 4,
+            ..AdmitPolicy::default()
+        }),
+        defrag: None,
+        cluster: Some(ClusterSpec {
+            shards: 3,
+            policy: PlacementPolicyKind::LeastLoaded,
+            rebalance: None,
+        }),
+        telemetry: false,
+        trace: true,
     }
 }
 
@@ -1051,9 +1130,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalog_has_fifteen_valid_named_scenarios() {
+    fn catalog_has_sixteen_valid_named_scenarios() {
         let catalog = Scenario::catalog();
-        assert_eq!(catalog.len(), 15);
+        assert_eq!(catalog.len(), 16);
         let mut names: Vec<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
         for scenario in &catalog {
             scenario.validate().unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
@@ -1061,7 +1140,7 @@ mod tests {
         }
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 15, "catalog names must be unique");
+        assert_eq!(names.len(), 16, "catalog names must be unique");
         // The queueing, preemption and batching scenarios all carry an
         // admission policy; the five legacy scenarios and the defrag
         // sweep stay on the direct path.
@@ -1078,13 +1157,19 @@ mod tests {
                 "batch-arrival-wave",
                 "sharded-arrival-storm",
                 "telemetry-probe-latency",
+                "traced-preemption-storm",
             ]
         );
         let clustered: Vec<&str> =
             catalog.iter().filter(|s| s.cluster.is_some()).map(|s| s.name.as_str()).collect();
         assert_eq!(
             clustered,
-            vec!["sharded-arrival-storm", "cross-shard-rebalance", "telemetry-probe-latency"]
+            vec![
+                "sharded-arrival-storm",
+                "cross-shard-rebalance",
+                "telemetry-probe-latency",
+                "traced-preemption-storm",
+            ]
         );
         let rebalancing: Vec<&str> = catalog
             .iter()
@@ -1105,7 +1190,12 @@ mod tests {
             .collect();
         assert_eq!(
             preempting,
-            vec!["critical-preempt", "migrate-vs-evict", "telemetry-probe-latency"]
+            vec![
+                "critical-preempt",
+                "migrate-vs-evict",
+                "telemetry-probe-latency",
+                "traced-preemption-storm",
+            ]
         );
         let defragging: Vec<&str> =
             catalog.iter().filter(|s| s.defrag.is_some()).map(|s| s.name.as_str()).collect();
@@ -1115,6 +1205,10 @@ mod tests {
         let telemetric: Vec<&str> =
             catalog.iter().filter(|s| s.telemetry).map(|s| s.name.as_str()).collect();
         assert_eq!(telemetric, vec!["telemetry-probe-latency"]);
+        // Exactly one scenario runs with request tracing on.
+        let traced: Vec<&str> =
+            catalog.iter().filter(|s| s.trace).map(|s| s.name.as_str()).collect();
+        assert_eq!(traced, vec!["traced-preemption-storm"]);
     }
 
     #[test]

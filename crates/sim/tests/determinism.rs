@@ -28,6 +28,7 @@ fn churn_and_drain(seed: u64) -> Scenario {
         defrag: None,
         cluster: None,
         telemetry: false,
+        trace: false,
     }
 }
 

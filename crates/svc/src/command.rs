@@ -10,6 +10,7 @@
 use kairos_admitd::PriorityClass;
 use kairos_app::Application;
 use kairos_platform::{AppId, ElementId};
+use kairos_telemetry::TraceContext;
 
 /// One operation against the managed platform.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,12 +96,20 @@ pub struct Request {
     pub at: u64,
     /// The operation to perform.
     pub command: Command,
+    /// The request trace this command belongs to.
+    /// [`TraceContext::NONE`] (the constructors' default) means "not yet
+    /// traced": when the receiving service has tracing enabled, the
+    /// *outermost* service mints a root trace for admissions and
+    /// propagates the context down the stack by value. An already-set
+    /// context is honoured as-is (a sharded service forwards to its
+    /// shards this way).
+    pub trace: TraceContext,
 }
 
 impl Request {
     /// A request performing `command` at virtual time `at`.
     pub fn new(at: u64, command: Command) -> Self {
-        Request { at, command }
+        Request { at, command, trace: TraceContext::NONE }
     }
 
     /// Shorthand for an admission request.
@@ -111,6 +120,14 @@ impl Request {
     /// Shorthand for a release request.
     pub fn release(at: u64, app: AppId) -> Self {
         Request::new(at, Command::Release { app })
+    }
+
+    /// The same request carrying `trace` — how an outer service stamps
+    /// its minted context onto the request it forwards inward.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = trace;
+        self
     }
 }
 

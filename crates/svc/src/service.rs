@@ -8,7 +8,8 @@ use kairos_admitd::{Admitd, PriorityClass, QueueEvent, Ticket as QueueTicket};
 use kairos_app::Application;
 use kairos_core::{Kairos, OccupancySnapshot};
 use kairos_platform::AppId;
-use kairos_telemetry::{Counter, Telemetry};
+use kairos_reloc::RelocMetrics;
+use kairos_telemetry::{Counter, Telemetry, TraceContext};
 
 use crate::command::{CapacityEvent, Command, Request};
 use crate::event::{Event, RejectCause, Ticket};
@@ -177,6 +178,10 @@ pub struct KairosService {
     /// Events accumulated since the last [`ResourceService::take_events`].
     events: Vec<Event>,
     metrics: Option<SvcMetrics>,
+    /// Relocation instruments for the direct backend's defrag sweeps,
+    /// resolved once at [`KairosService::set_telemetry`] time (a queued
+    /// backend resolves its own inside `Admitd`).
+    reloc_metrics: Option<RelocMetrics>,
 }
 
 impl KairosService {
@@ -189,6 +194,7 @@ impl KairosService {
             tickets: BTreeMap::new(),
             events: Vec::new(),
             metrics: None,
+            reloc_metrics: None,
         }
     }
 
@@ -200,6 +206,7 @@ impl KairosService {
             tickets: BTreeMap::new(),
             events: Vec::new(),
             metrics: None,
+            reloc_metrics: None,
         }
     }
 
@@ -211,6 +218,7 @@ impl KairosService {
     /// calls this at construction time.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.metrics = SvcMetrics::new(&telemetry);
+        self.reloc_metrics = RelocMetrics::new(&telemetry);
         match &mut self.backend {
             Backend::Direct(kairos) => kairos.set_telemetry(telemetry),
             Backend::Queued(admitd) => admitd.set_telemetry(telemetry),
@@ -302,28 +310,54 @@ impl KairosService {
     }
 
     /// One direct-path admission: run the pipeline once, admit or reject.
+    /// The queue-less path has no residency, so the trace (when `ctx` is
+    /// set) is just the pipeline's phase spans under a root closed here —
+    /// no `queue` span is ever recorded for it.
     fn admit_direct(
         kairos: &mut Kairos,
         ticket: Ticket,
         app: Application,
         class: PriorityClass,
+        ctx: TraceContext,
+        at: u64,
         events: &mut Vec<Event>,
     ) {
-        match kairos.admit(&app) {
-            Ok(report) => events.push(Event::Admitted {
-                ticket,
-                class,
-                app: Box::new(app),
-                report: Box::new(report),
-                waited: 0,
-                attempts: 1,
-            }),
-            Err(failure) => events.push(Event::Rejected {
-                ticket,
-                class,
-                cause: RejectCause::Refused { phase: failure.phase() },
-                waited: 0,
-            }),
+        match kairos.admit_traced(&app, ctx, at) {
+            Ok(report) => {
+                if ctx.is_some() {
+                    kairos.telemetry().trace_close(
+                        ctx,
+                        at,
+                        &[("outcome", "admitted".to_owned()), ("attempts", "1".to_owned())],
+                    );
+                }
+                events.push(Event::Admitted {
+                    ticket,
+                    class,
+                    app: Box::new(app),
+                    report: Box::new(report),
+                    waited: 0,
+                    attempts: 1,
+                });
+            }
+            Err(failure) => {
+                if ctx.is_some() {
+                    kairos.telemetry().trace_close(
+                        ctx,
+                        at,
+                        &[
+                            ("outcome", "rejected".to_owned()),
+                            ("cause", format!("{:?}", failure.phase())),
+                        ],
+                    );
+                }
+                events.push(Event::Rejected {
+                    ticket,
+                    class,
+                    cause: RejectCause::Refused { phase: failure.phase() },
+                    waited: 0,
+                });
+            }
         }
     }
 
@@ -362,9 +396,11 @@ impl KairosService {
             }
             Command::Defrag { max_moves } => {
                 let (moves, queued) = match &mut self.backend {
-                    Backend::Direct(kairos) => {
-                        (kairos_reloc::compact(kairos, max_moves).move_count(), Vec::new())
-                    }
+                    Backend::Direct(kairos) => (
+                        kairos_reloc::compact_with(kairos, max_moves, self.reloc_metrics.as_ref())
+                            .move_count(),
+                        Vec::new(),
+                    ),
                     Backend::Queued(admitd) => {
                         let (report, queued) = admitd.defrag(at, max_moves);
                         (report.move_count(), queued)
@@ -460,18 +496,30 @@ impl KairosService {
 impl ResourceService for KairosService {
     fn submit(&mut self, request: Request) -> Ticket {
         let _span = self.telemetry().span("kairos_svc", "submit");
-        let Request { at, command } = request;
+        let Request { at, command, trace } = request;
         if let Some(m) = &self.metrics {
             m.note_command(&command);
         }
         let ticket = self.alloc_ticket();
         if let Command::Admit { app, class } = command {
+            // The outermost service mints the request's trace root; a
+            // context already stamped on the request (a sharded service
+            // forwarding to its shard) is honoured as-is.
+            let ctx = if trace.is_some() {
+                trace
+            } else {
+                self.telemetry().trace_root(
+                    "request",
+                    at,
+                    &[("class", class.to_string()), ("origin", "request".to_owned())],
+                )
+            };
             match &mut self.backend {
                 Backend::Direct(kairos) => {
-                    Self::admit_direct(kairos, ticket, app, class, &mut self.events);
+                    Self::admit_direct(kairos, ticket, app, class, ctx, at, &mut self.events);
                 }
                 Backend::Queued(admitd) => {
-                    let (queue_ticket, queued) = admitd.submit(app, class, at);
+                    let (queue_ticket, queued) = admitd.submit_traced(app, class, at, ctx);
                     self.tickets.insert(queue_ticket.0, ticket);
                     self.ingest(queued);
                 }
@@ -496,11 +544,25 @@ impl ResourceService for KairosService {
             requests.into_iter().map(|r| (self.alloc_ticket(), r)).collect();
         let tickets: Vec<Ticket> = requests.iter().map(|(t, _)| *t).collect();
 
-        let mut admissions: Vec<(Ticket, u64, Application, PriorityClass)> = Vec::new();
+        let mut admissions: Vec<(Ticket, u64, Application, PriorityClass, TraceContext)> =
+            Vec::new();
         let mut rest: Vec<(Ticket, u64, Command)> = Vec::new();
-        for (ticket, Request { at, command }) in requests {
+        for (ticket, Request { at, command, trace }) in requests {
             match command {
-                Command::Admit { app, class } => admissions.push((ticket, at, app, class)),
+                Command::Admit { app, class } => {
+                    // Roots are minted here, in submission order, so trace
+                    // id allocation never depends on the class sort below.
+                    let ctx = if trace.is_some() {
+                        trace
+                    } else {
+                        self.telemetry().trace_root(
+                            "request",
+                            at,
+                            &[("class", class.to_string()), ("origin", "request".to_owned())],
+                        )
+                    };
+                    admissions.push((ticket, at, app, class, ctx));
+                }
                 other => rest.push((ticket, at, other)),
             }
         }
@@ -508,17 +570,25 @@ impl ResourceService for KairosService {
         if !admissions.is_empty() {
             // The wave's timestamp: batches model synchronized arrivals,
             // so the earliest request time stamps the whole wave.
-            let wave_at = admissions.iter().map(|(_, at, _, _)| *at).min().expect("non-empty");
+            let wave_at = admissions.iter().map(|(_, at, _, _, _)| *at).min().expect("non-empty");
             match &mut self.backend {
                 Backend::Direct(kairos) => {
                     // Class-sort (stable: FIFO within a class), mirroring
                     // the drain order a queued service would use, then
                     // admit the whole wave inside one platform
                     // transaction.
-                    admissions.sort_by_key(|(_, _, _, class)| class.index());
+                    admissions.sort_by_key(|(_, _, _, class, _)| class.index());
                     kairos.begin_batch();
-                    for (ticket, _, app, class) in admissions {
-                        Self::admit_direct(kairos, ticket, app, class, &mut self.events);
+                    for (ticket, _, app, class, ctx) in admissions {
+                        Self::admit_direct(
+                            kairos,
+                            ticket,
+                            app,
+                            class,
+                            ctx,
+                            wave_at,
+                            &mut self.events,
+                        );
                     }
                     kairos.commit_batch();
                 }
@@ -528,9 +598,11 @@ impl ResourceService for KairosService {
                     // priority-then-FIFO ordered) in one batch scope.
                     let service_tickets: Vec<Ticket> =
                         admissions.iter().map(|(ticket, ..)| *ticket).collect();
-                    let wave: Vec<(Application, PriorityClass)> =
-                        admissions.into_iter().map(|(_, _, app, class)| (app, class)).collect();
-                    let (queue_tickets, queued) = admitd.submit_batch(wave, wave_at);
+                    let wave: Vec<(Application, PriorityClass, TraceContext)> = admissions
+                        .into_iter()
+                        .map(|(_, _, app, class, ctx)| (app, class, ctx))
+                        .collect();
+                    let (queue_tickets, queued) = admitd.submit_batch_traced(wave, wave_at);
                     for (ticket, queue_ticket) in service_tickets.into_iter().zip(queue_tickets) {
                         self.tickets.insert(queue_ticket.0, ticket);
                     }

@@ -10,6 +10,7 @@ use tracing::Level;
 use crate::flight::{FlightRecorder, TraceEvent};
 use crate::metric::{Counter, Gauge, Histogram};
 use crate::registry::{Registry, Snapshot};
+use crate::trace::{SpanRecord, TraceContext, TraceSink};
 
 /// Construction knobs for a [`Telemetry`] hub.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,11 +22,17 @@ pub struct TelemetryConfig {
     pub wall_clock: bool,
     /// Events each flight recorder retains before overwriting the oldest.
     pub flight_capacity: usize,
+    /// Whether request-scoped causal tracing is on: roots are minted per
+    /// service request and every layer records spans into the hub's
+    /// shared trace sink. Off by default; tracing is strictly additive
+    /// and never perturbs the simulation (the observer-effect tests pin
+    /// this).
+    pub tracing: bool,
 }
 
 impl Default for TelemetryConfig {
     fn default() -> Self {
-        TelemetryConfig { wall_clock: false, flight_capacity: 256 }
+        TelemetryConfig { wall_clock: false, flight_capacity: 256, tracing: false }
     }
 }
 
@@ -34,6 +41,7 @@ pub(crate) struct Inner {
     config: TelemetryConfig,
     registry: Arc<Registry>,
     recorder: FlightRecorder,
+    tracer: Option<Arc<TraceSink>>,
 }
 
 /// The one observability handle the whole stack shares: a metrics
@@ -68,13 +76,14 @@ impl Telemetry {
                 config,
                 registry: Arc::new(Registry::new()),
                 recorder: FlightRecorder::new("main", config.flight_capacity),
+                tracer: config.tracing.then(|| Arc::new(TraceSink::default())),
             })),
         }
     }
 
-    /// A handle sharing this hub's registry and configuration but owning
-    /// its own flight recorder labelled `label`. Disabled handles derive
-    /// disabled children.
+    /// A handle sharing this hub's registry, trace sink and configuration
+    /// but owning its own flight recorder labelled `label`. Disabled
+    /// handles derive disabled children.
     pub fn child(&self, label: &str) -> Telemetry {
         match &self.inner {
             None => Telemetry::disabled(),
@@ -83,6 +92,7 @@ impl Telemetry {
                     config: inner.config,
                     registry: inner.registry.clone(),
                     recorder: FlightRecorder::new(label, inner.config.flight_capacity),
+                    tracer: inner.tracer.clone(),
                 })),
             },
         }
@@ -180,6 +190,64 @@ impl Telemetry {
         self.snapshot().render_text()
     }
 
+    fn tracer(&self) -> Option<&TraceSink> {
+        self.inner.as_ref().and_then(|inner| inner.tracer.as_deref())
+    }
+
+    /// Whether request-scoped causal tracing is on for this hub.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.inner.as_ref().is_some_and(|inner| inner.tracer.is_some())
+    }
+
+    /// Mints a new trace: opens a root span `name` at virtual tick `at`
+    /// and returns the context children record under. Returns
+    /// [`TraceContext::NONE`] when tracing is off, so downstream layers
+    /// can propagate the result unconditionally.
+    pub fn trace_root(&self, name: &str, at: u64, args: &[(&str, String)]) -> TraceContext {
+        match self.tracer() {
+            Some(sink) => sink.open_root(name, at, args),
+            None => TraceContext::NONE,
+        }
+    }
+
+    /// Records one complete child span under `ctx` spanning virtual ticks
+    /// `[start, end]`. A no-op when tracing is off or `ctx` is the absent
+    /// context.
+    pub fn trace_child(
+        &self,
+        ctx: TraceContext,
+        name: &str,
+        start: u64,
+        end: u64,
+        args: &[(&str, String)],
+    ) {
+        if let Some(sink) = self.tracer() {
+            sink.record_child(ctx, name, start, end, args);
+        }
+    }
+
+    /// Closes the root span of `ctx` at virtual tick `at`, appending
+    /// `args` (conventionally the terminal `outcome`). A no-op when
+    /// tracing is off or `ctx` is absent.
+    pub fn trace_close(&self, ctx: TraceContext, at: u64, args: &[(&str, String)]) {
+        if let Some(sink) = self.tracer() {
+            sink.close_root(ctx, at, args);
+        }
+    }
+
+    /// Every recorded span, ordered by `(trace, id)` (empty when tracing
+    /// is off).
+    pub fn trace_dump(&self) -> Vec<SpanRecord> {
+        self.tracer().map(TraceSink::dump).unwrap_or_default()
+    }
+
+    /// The recorded traces rendered in the Chrome trace event format
+    /// (an empty array when tracing is off).
+    pub fn chrome_trace(&self) -> String {
+        crate::trace::chrome_trace(&self.trace_dump())
+    }
+
     /// A [`tracing::Dispatch`] feeding this hub: spans and events emitted
     /// through the `tracing` macros land in this handle's flight recorder
     /// and count under the `kairos.tracing.events` / `.spans` metrics.
@@ -193,6 +261,7 @@ impl Telemetry {
                 inner: inner.clone(),
                 events: inner.registry.counter("kairos.tracing.events"),
                 spans: inner.registry.counter("kairos.tracing.spans"),
+                open_spans: inner.registry.gauge("kairos.tracing.open_spans"),
                 next_id: AtomicU64::new(0),
                 names: Mutex::new(BTreeMap::new()),
             }),
@@ -217,12 +286,19 @@ impl Drop for SpanGuard {
 }
 
 /// The bridge from the `tracing` macro surface into a [`Telemetry`] hub.
+///
+/// The `names` map holds one refcounted entry per *live* span handle:
+/// `new_span` inserts at refcount one, `clone_span` increments, and
+/// `try_close` decrements and evicts the entry when the last handle
+/// drops — so long runs never grow the map without bound. The
+/// `kairos.tracing.open_spans` gauge tracks the live entry count.
 struct TelemetrySubscriber {
     inner: Arc<Inner>,
     events: Arc<Counter>,
     spans: Arc<Counter>,
+    open_spans: Arc<Gauge>,
     next_id: AtomicU64,
-    names: Mutex<BTreeMap<u64, String>>,
+    names: Mutex<BTreeMap<u64, (String, u64)>>,
 }
 
 impl tracing::Subscriber for TelemetrySubscriber {
@@ -232,8 +308,9 @@ impl tracing::Subscriber for TelemetrySubscriber {
 
     fn new_span(&self, metadata: &tracing::Metadata<'_>) -> tracing::span::Id {
         self.spans.inc();
+        self.open_spans.add(1);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.names.lock().expect("span names lock").insert(id, metadata.name().to_owned());
+        self.names.lock().expect("span names lock").insert(id, (metadata.name().to_owned(), 1));
         tracing::span::Id::from_u64(id)
     }
 
@@ -249,16 +326,37 @@ impl tracing::Subscriber for TelemetrySubscriber {
 
     fn enter(&self, span: &tracing::span::Id) {
         let names = self.names.lock().expect("span names lock");
-        if let Some(name) = names.get(&span.into_u64()) {
+        if let Some((name, _)) = names.get(&span.into_u64()) {
             self.inner.recorder.record(Level::DEBUG, "tracing", format!("enter {name}"));
         }
     }
 
     fn exit(&self, span: &tracing::span::Id) {
         let names = self.names.lock().expect("span names lock");
-        if let Some(name) = names.get(&span.into_u64()) {
+        if let Some((name, _)) = names.get(&span.into_u64()) {
             self.inner.recorder.record(Level::DEBUG, "tracing", format!("exit {name}"));
         }
+    }
+
+    fn clone_span(&self, span: &tracing::span::Id) -> tracing::span::Id {
+        let mut names = self.names.lock().expect("span names lock");
+        if let Some((_, refs)) = names.get_mut(&span.into_u64()) {
+            *refs += 1;
+        }
+        span.clone()
+    }
+
+    fn try_close(&self, span: tracing::span::Id) -> bool {
+        let mut names = self.names.lock().expect("span names lock");
+        let id = span.into_u64();
+        let Some((_, refs)) = names.get_mut(&id) else { return false };
+        *refs -= 1;
+        if *refs > 0 {
+            return false;
+        }
+        names.remove(&id);
+        self.open_spans.add(-1);
+        true
     }
 }
 
@@ -310,8 +408,58 @@ mod tests {
         let t = Telemetry::new(TelemetryConfig::default());
         assert!(t.clock().is_none());
         assert_eq!(Telemetry::elapsed_ns(t.clock()), 0);
-        let wall = Telemetry::new(TelemetryConfig { wall_clock: true, flight_capacity: 16 });
+        let wall =
+            Telemetry::new(TelemetryConfig { wall_clock: true, ..TelemetryConfig::default() });
         assert!(wall.clock().is_some());
+    }
+
+    #[test]
+    fn tracing_is_off_by_default_and_contexts_degrade_to_none() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        assert!(!t.tracing());
+        let ctx = t.trace_root("request", 0, &[]);
+        assert!(ctx.is_none());
+        t.trace_child(ctx, "queue", 0, 5, &[]);
+        t.trace_close(ctx, 5, &[]);
+        assert!(t.trace_dump().is_empty());
+        assert_eq!(t.chrome_trace(), "[\n\n]\n");
+        assert!(!Telemetry::disabled().tracing());
+    }
+
+    #[test]
+    fn children_share_the_trace_sink() {
+        let t = Telemetry::new(TelemetryConfig { tracing: true, ..TelemetryConfig::default() });
+        assert!(t.tracing());
+        let shard = t.child("shard0");
+        let ctx = t.trace_root("request", 3, &[("class", "batch".into())]);
+        assert!(ctx.is_some());
+        shard.trace_child(ctx, "probe.shard0", 3, 3, &[("fit", "yes".into())]);
+        t.trace_close(ctx, 7, &[("outcome", "admitted".into())]);
+        let spans = t.trace_dump();
+        assert_eq!(spans.len(), 2, "the child's span lands in the parent's sink");
+        assert_eq!(spans[1].name, "probe.shard0");
+        assert_eq!(spans[0].end, 7);
+    }
+
+    #[test]
+    fn subscriber_evicts_span_names_when_the_last_handle_closes() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let dispatch = t.dispatch();
+        tracing::dispatcher::with_default(&dispatch, || {
+            for _ in 0..100 {
+                let span = tracing::info_span!("wave");
+                let clone = span.clone();
+                drop(span);
+                assert_eq!(
+                    t.gauge("kairos.tracing.open_spans").unwrap().get(),
+                    1,
+                    "a live clone keeps the name entry alive"
+                );
+                drop(clone);
+                assert_eq!(t.gauge("kairos.tracing.open_spans").unwrap().get(), 0);
+            }
+        });
+        assert_eq!(t.counter("kairos.tracing.spans").unwrap().get(), 100);
     }
 
     #[test]

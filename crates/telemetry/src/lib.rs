@@ -26,6 +26,14 @@
 //!   shard ([`FlightRecorder`]), cheap enough to leave always-on and
 //!   dumped post-mortem on admission failures, rollbacks or aborted
 //!   rebalance sweeps.
+//! * **Request traces** — with [`TelemetryConfig::tracing`] on, a
+//!   [`TraceContext`] minted per service request
+//!   ([`Telemetry::trace_root`]) propagates by value through queue
+//!   residency, probe fan-out, pipeline phases and preemption detours;
+//!   the hub assembles the recorded [`SpanRecord`]s into deterministic
+//!   virtual-time span trees, digests them with the critical-path
+//!   analyzer ([`summarize`]) and exports Chrome-trace-event timelines
+//!   ([`chrome_trace`], [`Telemetry::chrome_trace`]).
 //!
 //! ## Determinism rules
 //!
@@ -45,6 +53,12 @@
 //!    integers; rendering is byte-stable for identical runs even under
 //!    the cluster's probe parallelism, because shared counters only ever
 //!    receive commutative atomic increments.
+//! 4. Request traces carry only virtual ticks handed in by the caller,
+//!    ids come from one sequence behind the sink's mutex, and every sink
+//!    access happens on the coordinating thread — the cluster's probe
+//!    threads never record spans (the coordinator synthesizes per-shard
+//!    probe spans after the join, in shard-id order). Dumps sort by
+//!    `(trace, id)`, so trace exports are byte-stable too.
 //!
 //! See `docs/OBSERVABILITY.md` for the span taxonomy and the metric-name
 //! catalogue.
@@ -76,11 +90,13 @@ mod flight;
 mod hub;
 mod metric;
 mod registry;
+mod trace;
 
 pub use flight::{FlightRecorder, TraceEvent};
 pub use hub::{SpanGuard, Telemetry, TelemetryConfig};
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{MetricSnapshot, MetricValue, Registry, Snapshot};
+pub use trace::{chrome_trace, summarize, SpanRecord, TraceContext, TraceSummary, ROOT_PARENT};
 
 // Re-export the facade level type so instrumented crates can emit events
 // without a direct `tracing` dependency.

@@ -191,6 +191,40 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
+
+    /// The bucket-interpolated `p`-th percentile (`p` in `0..=100`;
+    /// `0` when empty).
+    ///
+    /// Uses the nearest-rank definition to pick the bucket, then
+    /// interpolates linearly inside it between the previous bound
+    /// (exclusive lower edge) and the bucket's own bound — the overflow
+    /// bucket interpolates up to the observed `max`. The estimate is
+    /// clamped to `[min, max]`, so exact-at-the-edges percentiles (p0,
+    /// p100) always land on real observations. Pure integer math on the
+    /// frozen buckets: byte-stable across identical runs.
+    pub fn percentile(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.min(100);
+        // Nearest rank: ceil(count * p / 100), clamped to [1, count].
+        let rank = (u128::from(self.count) * u128::from(p)).div_ceil(100).max(1);
+        let mut cumulative: u128 = 0;
+        for (slot, &bucket) in self.buckets.iter().enumerate() {
+            let next = cumulative + u128::from(bucket);
+            if bucket > 0 && rank <= next {
+                let lower = if slot == 0 { 0 } else { self.bounds[slot - 1] };
+                let upper = self.bounds.get(slot).copied().unwrap_or(self.max).max(lower);
+                let position = rank - cumulative; // in 1..=bucket
+                let width = u128::from(upper - lower);
+                let estimate = u128::from(lower) + width * position / u128::from(bucket);
+                let estimate = u64::try_from(estimate).unwrap_or(u64::MAX);
+                return estimate.clamp(self.min, self.max);
+            }
+            cumulative = next;
+        }
+        self.max
+    }
 }
 
 #[cfg(test)]
@@ -269,5 +303,51 @@ mod tests {
     #[should_panic(expected = "strictly ascend")]
     fn unsorted_bounds_are_rejected() {
         Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        // 90 observations in (10, 100], 10 in (100, 1000].
+        for _ in 0..90 {
+            h.record(50);
+        }
+        for _ in 0..10 {
+            h.record(500);
+        }
+        let snap = h.snapshot();
+        // p50 → rank 50, bucket (10, 100], position 50/90.
+        assert_eq!(snap.percentile(50), 10 + 90 * 50 / 90);
+        // p95 → rank 95 lands in the (100, 1000] bucket; the raw
+        // interpolation (550) clamps to the observed max.
+        assert_eq!(snap.percentile(95), 500);
+        assert_eq!(snap.percentile(100), snap.max);
+        assert_eq!(snap.percentile(0), snap.min, "p0 clamps to the smallest observation");
+    }
+
+    #[test]
+    fn percentiles_clamp_to_observed_extrema() {
+        let h = Histogram::new(&[1024]);
+        h.record(3);
+        h.record(5);
+        let snap = h.snapshot();
+        // Both land in the huge first bucket; clamping keeps estimates
+        // inside [3, 5] instead of interpolating over [0, 1024].
+        for p in [1, 50, 99] {
+            let estimate = snap.percentile(p);
+            assert!((3..=5).contains(&estimate), "p{p} = {estimate} escaped [min, max]");
+        }
+        assert_eq!(Histogram::new(&[1]).snapshot().percentile(50), 0, "empty → 0");
+    }
+
+    #[test]
+    fn percentile_of_overflow_bucket_interpolates_to_max() {
+        let h = Histogram::new(&[10]);
+        h.record(1_000);
+        h.record(2_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.percentile(100), 2_000);
+        assert!(snap.percentile(50) >= 10);
+        assert!(snap.percentile(50) <= 2_000);
     }
 }

@@ -166,6 +166,21 @@ pub trait Subscriber: Send + Sync + 'static {
 
     /// Records that the span with `span` was exited.
     fn exit(&self, span: &span::Id);
+
+    /// Records that a new handle to the span with `span` now exists,
+    /// returning the id the clone should carry. The default just copies
+    /// the id; subscribers tracking per-span state refcount here.
+    fn clone_span(&self, span: &span::Id) -> span::Id {
+        span.clone()
+    }
+
+    /// Records that a handle to the span with `span` dropped, returning
+    /// `true` when it was the last handle and the subscriber released the
+    /// span's state. The default retains nothing and returns `false`.
+    fn try_close(&self, span: span::Id) -> bool {
+        let _ = span;
+        false
+    }
 }
 
 /// A cheap-clone handle to a [`Subscriber`], the unit the [`dispatcher`]
@@ -227,6 +242,22 @@ impl Dispatch {
     pub fn exit(&self, span: &span::Id) {
         if let Some(subscriber) = &self.subscriber {
             subscriber.exit(span);
+        }
+    }
+
+    /// Forwards [`Subscriber::clone_span`].
+    pub fn clone_span(&self, span: &span::Id) -> span::Id {
+        match &self.subscriber {
+            Some(subscriber) => subscriber.clone_span(span),
+            None => span.clone(),
+        }
+    }
+
+    /// Forwards [`Subscriber::try_close`].
+    pub fn try_close(&self, span: span::Id) -> bool {
+        match &self.subscriber {
+            Some(subscriber) => subscriber.try_close(span),
+            None => false,
         }
     }
 }
@@ -316,9 +347,33 @@ pub mod dispatcher {
 /// Entering the span ([`Span::enter`], [`Span::in_scope`]) notifies the
 /// subscriber it was created against; a disabled span ([`Span::none`], or
 /// one created while no subscriber was installed) does nothing.
-#[derive(Debug, Clone, Default)]
+///
+/// As upstream, handles participate in the span's lifecycle: cloning one
+/// notifies [`Subscriber::clone_span`] and dropping one notifies
+/// [`Subscriber::try_close`], so a subscriber can release per-span state
+/// when the last handle goes away.
+#[derive(Debug, Default)]
 pub struct Span {
     inner: Option<(span::Id, Dispatch)>,
+}
+
+impl Clone for Span {
+    fn clone(&self) -> Self {
+        Span {
+            inner: self
+                .inner
+                .as_ref()
+                .map(|(id, dispatch)| (dispatch.clone_span(id), dispatch.clone())),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((id, dispatch)) = self.inner.take() {
+            dispatch.try_close(id);
+        }
+    }
 }
 
 impl Span {
@@ -531,6 +586,59 @@ mod tests {
         let span = debug_span!("quiet");
         assert!(span.is_none());
         span.in_scope(|| debug!("nobody listens"));
+    }
+
+    #[derive(Debug, Default)]
+    struct Lifecycle {
+        next_id: AtomicU64,
+        refs: Mutex<std::collections::BTreeMap<u64, u64>>,
+    }
+
+    impl Subscriber for Lifecycle {
+        fn enabled(&self, _metadata: &Metadata<'_>) -> bool {
+            true
+        }
+        fn new_span(&self, _metadata: &Metadata<'_>) -> span::Id {
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            self.refs.lock().unwrap().insert(id, 1);
+            span::Id::from_u64(id)
+        }
+        fn event(&self, _event: &Event<'_>) {}
+        fn enter(&self, _span: &span::Id) {}
+        fn exit(&self, _span: &span::Id) {}
+        fn clone_span(&self, span: &span::Id) -> span::Id {
+            *self.refs.lock().unwrap().get_mut(&span.into_u64()).unwrap() += 1;
+            span.clone()
+        }
+        fn try_close(&self, span: span::Id) -> bool {
+            let mut refs = self.refs.lock().unwrap();
+            let id = span.into_u64();
+            let Some(count) = refs.get_mut(&id) else { return false };
+            *count -= 1;
+            if *count > 0 {
+                return false;
+            }
+            refs.remove(&id);
+            true
+        }
+    }
+
+    #[test]
+    fn clones_and_drops_drive_the_span_lifecycle() {
+        let lifecycle = Arc::new(Lifecycle::default());
+        let dispatch = Dispatch::from_arc(lifecycle.clone() as Arc<dyn Subscriber>);
+        dispatcher::with_default(&dispatch, || {
+            let span = info_span!("admit");
+            let clone = span.clone();
+            assert_eq!(lifecycle.refs.lock().unwrap().get(&0), Some(&2));
+            drop(span);
+            assert_eq!(lifecycle.refs.lock().unwrap().get(&0), Some(&1));
+            drop(clone);
+            assert!(lifecycle.refs.lock().unwrap().is_empty(), "last drop releases the span");
+        });
+        // Disabled spans clone and drop without touching any subscriber.
+        let none = Span::none();
+        drop(none.clone());
     }
 
     #[test]

@@ -67,9 +67,10 @@ fn cross_shard_rebalance_moves_work_and_keeps_the_population_consistent() {
 }
 
 #[test]
-fn catalog_grew_to_fifteen() {
-    assert_eq!(Scenario::catalog().len(), 15);
+fn catalog_grew_to_sixteen() {
+    assert_eq!(Scenario::catalog().len(), 16);
     assert!(Scenario::by_name("sharded-arrival-storm").is_some());
     assert!(Scenario::by_name("cross-shard-rebalance").is_some());
     assert!(Scenario::by_name("telemetry-probe-latency").is_some());
+    assert!(Scenario::by_name("traced-preemption-storm").is_some());
 }

@@ -72,6 +72,7 @@ fn generated(
             rebalance: None,
         }),
         telemetry: false,
+        trace: false,
     }
 }
 
@@ -113,6 +114,45 @@ proptest! {
             dark_sim.manager().platform(),
             lit_sim.manager().platform(),
             "telemetry must not change the final platform state"
+        );
+    }
+
+    /// Observer effect for causal tracing: flipping `trace` on mints
+    /// roots, propagates contexts and records spans everywhere, yet the
+    /// report is byte-identical once its extra `trace` section is
+    /// removed, and the final platform state matches exactly.
+    #[test]
+    fn tracing_never_perturbs_the_simulation(
+        seed in any::<u64>(),
+        interarrival in 5u64..40,
+        lifetime in 0u64..300,
+        queued in any::<bool>(),
+        clustered in any::<bool>(),
+        preempt in any::<bool>(),
+    ) {
+        let dark = generated(seed, interarrival, lifetime, queued, clustered, preempt);
+        let mut lit = dark.clone();
+        lit.trace = true;
+
+        let mut dark_sim = Simulator::new(dark).unwrap();
+        let dark_report = dark_sim.run();
+        let mut lit_sim = Simulator::new(lit).unwrap();
+        let mut lit_report = lit_sim.run();
+
+        prop_assert!(!dark_sim.telemetry().tracing());
+        prop_assert!(lit_sim.telemetry().tracing());
+        prop_assert!(dark_report.trace.is_none());
+        prop_assert!(lit_report.trace.take().is_some());
+
+        prop_assert_eq!(
+            dark_report.to_json_string(),
+            lit_report.to_json_string(),
+            "tracing must not change a single observable byte"
+        );
+        prop_assert_eq!(
+            dark_sim.manager().platform(),
+            lit_sim.manager().platform(),
+            "tracing must not change the final platform state"
         );
     }
 }
