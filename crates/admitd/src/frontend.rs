@@ -359,6 +359,15 @@ impl Admitd {
         &self.kairos
     }
 
+    /// Mutable access to the managed resource manager, for maintenance
+    /// that bypasses the queue (the cross-shard rebalancer's
+    /// operating-point-cache invalidation). Callers must not admit or
+    /// release through this handle — that would desynchronize the
+    /// queue's admission bookkeeping.
+    pub fn kairos_mut(&mut self) -> &mut Kairos {
+        &mut self.kairos
+    }
+
     /// The front-end's policy.
     pub fn policy(&self) -> &AdmitPolicy {
         &self.policy

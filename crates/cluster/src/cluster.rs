@@ -6,7 +6,9 @@ use std::sync::Arc;
 
 use kairos_admitd::{AdmitPolicy, PriorityClass};
 use kairos_app::Application;
-use kairos_core::{AdmissionProbe, Kairos, KairosConfig, OccupancySnapshot, DURATION_NS_BOUNDS};
+use kairos_core::{
+    AdmissionProbe, CacheStats, Kairos, KairosConfig, OccupancySnapshot, DURATION_NS_BOUNDS,
+};
 use kairos_platform::{adjacent_pairs, AppId, ElementId, Platform, RegionMap};
 use kairos_svc::{
     CapacityEvent, Command, Event, KairosService, Request, ResourceService, ServiceBuilder, Ticket,
@@ -757,6 +759,20 @@ impl ClusterService {
                     .admitd()
                     .and_then(|a| a.admitted_class(id))
                     .unwrap_or(PriorityClass::Normal);
+                // Captured before the release erases the layout: the
+                // source-side elements the move frees, for cache
+                // invalidation once the move is final.
+                let src_elements: Vec<ElementId> = self.shards[src]
+                    .service
+                    .kairos()
+                    .layout(id)
+                    .map(|l| {
+                        let mut es: Vec<ElementId> = l.placement.iter().map(|(_, e)| e).collect();
+                        es.sort_unstable();
+                        es.dedup();
+                        es
+                    })
+                    .unwrap_or_default();
                 // Phase 1 (make): claim the new home across the boundary.
                 let Ok(report) = self.shards[dst].service.admit_now(&app, class) else {
                     continue;
@@ -779,6 +795,16 @@ impl ClusterService {
                     }
                     continue;
                 }
+                // Cache hygiene on both sides of the boundary: the move
+                // changed occupancy on the source's freed elements and
+                // the destination's fresh ones, so cached points touching
+                // either are superseded.
+                self.shards[src].service.invalidate_cached_points(&src_elements);
+                let mut dst_elements: Vec<ElementId> =
+                    report.layout.placement.iter().map(|(_, e)| e).collect();
+                dst_elements.sort_unstable();
+                dst_elements.dedup();
+                self.shards[dst].service.invalidate_cached_points(&dst_elements);
                 let s = &mut self.shards[src];
                 tail.extend(translate_events(&mut self.next_ticket, s, drained));
                 moves.push((id, report.app_id));
@@ -915,6 +941,14 @@ impl ResourceService for ClusterService {
 
     fn queue_depth(&self) -> usize {
         self.shards.iter().map(|s| s.service.queue_depth()).sum()
+    }
+
+    /// Whole-cluster cache counters: the field-wise sum over every shard
+    /// manager's operating-point cache ([`CacheStats::merge`]); `None`
+    /// when no shard has a cache (all shards share one configuration, so
+    /// it is all or none).
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.shards.iter().filter_map(|s| s.service.cache_stats()).reduce(CacheStats::merge)
     }
 
     /// Whole-cluster occupancy, aggregated exactly: utilisations from the

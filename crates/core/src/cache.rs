@@ -1,0 +1,59 @@
+//! The run-time side of the operating-point cache (`kairos-opcache`).
+//!
+//! `kairos-opcache` stores decisions keyed by `(ShapeKey, StateStamp)`;
+//! this module defines *what* is stored for the admission pipeline: the
+//! complete, replayable outcome of one `run_phases` call. A cache hit is
+//! only sound because the key pins the exact platform byte-state the
+//! decision was computed against — replaying the recorded claims from
+//! that state reproduces the cold run's platform bytes exactly, so a
+//! warm cache changes *which work runs*, never *what is decided*.
+
+use kairos_opcache::OperatingPoint;
+use kairos_platform::{ElementId, ResourceVector};
+
+use crate::error::AllocationError;
+use crate::layout::ExecutionLayout;
+use crate::validation::ValidationReport;
+
+/// One cached pipeline decision: either a replayable admission or the
+/// exact refusal the pipeline produced. Refusals are cached too —
+/// re-asking a saturated platform the same question is the common case
+/// in arrival storms, and the answer is a pure function of the key.
+#[derive(Debug, Clone)]
+pub(crate) enum CachedDecision {
+    /// The pipeline admitted the shape; the point replays its claims.
+    Admit(CachedPoint),
+    /// The pipeline refused the shape with this phase-tagged error.
+    Refuse(AllocationError),
+}
+
+/// A replayable operating point: the execution layout plus everything
+/// needed to reproduce the cold run's platform mutations byte-for-byte.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedPoint {
+    /// The layout the pipeline computed.
+    pub layout: ExecutionLayout,
+    /// The admitted application's final per-element claims, captured in
+    /// resident order after the cold run: `(element, task, claimed)`.
+    /// Replaying claims in this order lands every occupant at the same
+    /// resident index the cold pipeline left it at. The app id is *not*
+    /// stored — seats relabel to whatever id the warm admission uses.
+    pub seats: Vec<(ElementId, u32, ResourceVector)>,
+    /// Channel bandwidths aligned with `layout.routes`, for link claims.
+    pub bandwidths: Vec<u64>,
+    /// The validation report of the cold run, when validation ran.
+    pub validation: Option<ValidationReport>,
+}
+
+impl OperatingPoint for CachedDecision {
+    fn uses_element(&self, element: ElementId) -> bool {
+        match self {
+            CachedDecision::Admit(point) => {
+                point.layout.placement.iter().any(|(_, e)| e == element)
+            }
+            // A refusal claims nothing; element-targeted invalidation
+            // never needs to drop it (the state stamp already keys it).
+            CachedDecision::Refuse(_) => false,
+        }
+    }
+}

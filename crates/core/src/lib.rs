@@ -50,6 +50,7 @@
 
 pub mod baseline;
 mod binding;
+mod cache;
 mod error;
 mod layout;
 mod manager;
@@ -65,9 +66,13 @@ pub use error::{
 };
 pub use layout::{Binding, ExecutionLayout, Placement, Route};
 pub use manager::{
-    AdmissionFailure, AdmissionProbe, AdmissionReport, Kairos, KairosConfig, MigrationError,
-    MigrationReport, DURATION_NS_BOUNDS,
+    AdmissionFailure, AdmissionProbe, AdmissionReport, Kairos, KairosCheckpoint, KairosConfig,
+    MigrationError, MigrationReport, DURATION_NS_BOUNDS,
 };
+// The opcache vocabulary types ride along so downstream layers (svc
+// builder knob, cluster stats merge, sim report) need no direct
+// `kairos-opcache` dependency.
+pub use kairos_opcache::{CacheConfig, CacheStats};
 pub use mapping::{
     map_application, CostContext, CostPolicy, CostWeights, ElementSearch, GapState, KnapsackItem,
     KnapsackSolver, MapperConfig, MappingReport, DEFAULT_MISS_PENALTY,

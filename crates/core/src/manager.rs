@@ -13,10 +13,12 @@ use std::fmt;
 use std::sync::Arc;
 
 use kairos_app::Application;
-use kairos_platform::{AppId, ElementId, Platform};
-use kairos_telemetry::{Counter, Histogram, Level, Telemetry, TraceContext};
+use kairos_opcache::{shape_of, CacheConfig, CacheStats, MappingCache, ShapeKey, StateStamp};
+use kairos_platform::{AppId, ElementId, Occupant, Platform, PlatformCheckpoint, ResourceVector};
+use kairos_telemetry::{Counter, Gauge, Histogram, Level, Telemetry, TraceContext};
 
 use crate::binding::bind;
+use crate::cache::{CachedDecision, CachedPoint};
 use crate::error::{AllocationError, Phase};
 use crate::layout::ExecutionLayout;
 use crate::mapping::{map_application, CostWeights, KnapsackSolver, MapperConfig};
@@ -59,6 +61,14 @@ pub struct KairosConfig {
     /// id alone identifies its home shard. The default of `0` is the
     /// single-manager behaviour.
     pub app_id_base: u32,
+    /// The design-time operating-point cache (`kairos-opcache`): when
+    /// set, every pipeline entry point first looks up the request's
+    /// `(shape, platform-state)` key and replays the stored decision on a
+    /// hit — O(claims) instead of a full pipeline run. Keys pin the exact
+    /// platform byte-state a decision was computed against, so a warm
+    /// cache changes *which work runs*, never *what is decided*. `None`
+    /// (the default) bypasses the cache code path entirely.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for KairosConfig {
@@ -74,6 +84,7 @@ impl Default for KairosConfig {
             validation: ValidationConfig::default(),
             deterministic: false,
             app_id_base: 0,
+            cache: None,
         }
     }
 }
@@ -210,6 +221,17 @@ pub struct AdmissionProbe {
     pub after: OccupancySnapshot,
 }
 
+/// A point-in-time image of a manager's complete admission state
+/// ([`Kairos::checkpoint`]): the platform ledger plus the admission
+/// registry and the id counter. Opaque — it exists only to be handed
+/// back to [`Kairos::restore`].
+#[derive(Debug, Clone)]
+pub struct KairosCheckpoint {
+    platform: PlatformCheckpoint,
+    admitted: HashMap<AppId, AdmittedApp>,
+    next_app: u32,
+}
+
 /// The run-time spatial resource manager.
 ///
 /// # Examples
@@ -241,6 +263,8 @@ pub struct Kairos {
     next_app: u32,
     telemetry: Telemetry,
     metrics: Option<CoreMetrics>,
+    /// The operating-point cache, present iff [`KairosConfig::cache`] is.
+    cache: Option<MappingCache<CachedDecision>>,
 }
 
 /// Duration bucket bounds shared by all pipeline latency histograms:
@@ -267,6 +291,10 @@ struct CoreMetrics {
     migrate_transfers: Arc<Counter>,
     migrate_commits: Arc<Counter>,
     migrate_rollbacks: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_invalidations: Arc<Counter>,
+    cache_points: Arc<Gauge>,
 }
 
 impl CoreMetrics {
@@ -293,6 +321,10 @@ impl CoreMetrics {
             migrate_transfers: registry.counter("kairos.core.migrate.transfers"),
             migrate_commits: registry.counter("kairos.core.migrate.commits"),
             migrate_rollbacks: registry.counter("kairos.core.migrate.rollbacks"),
+            cache_hits: registry.counter("kairos.opcache.hits"),
+            cache_misses: registry.counter("kairos.opcache.misses"),
+            cache_invalidations: registry.counter("kairos.opcache.invalidations"),
+            cache_points: registry.gauge("kairos.opcache.points"),
         })
     }
 }
@@ -301,6 +333,30 @@ impl CoreMetrics {
 /// (over five centuries — only reachable through clock misbehaviour).
 fn duration_ns(elapsed: std::time::Duration) -> u64 {
     u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The freshly admitted application's per-element claims in final
+/// resident order — the replay recipe of a cached operating point.
+/// Replaying claims in this order lands every occupant at the same
+/// resident index the cold pipeline left it at, so the warm platform is
+/// byte-identical to the cold one.
+fn capture_seats(
+    platform: &Platform,
+    app_id: AppId,
+    layout: &ExecutionLayout,
+) -> Vec<(ElementId, u32, ResourceVector)> {
+    let mut elements: Vec<ElementId> = layout.placement.iter().map(|(_, e)| e).collect();
+    elements.sort_unstable();
+    elements.dedup();
+    let mut seats = Vec::new();
+    for element in elements {
+        for occupant in platform.residents(element) {
+            if occupant.app == app_id {
+                seats.push((element, occupant.task, occupant.claimed));
+            }
+        }
+    }
+    seats
 }
 
 impl Kairos {
@@ -315,6 +371,7 @@ impl Kairos {
             next_app,
             telemetry: Telemetry::disabled(),
             metrics: None,
+            cache: config.cache.map(MappingCache::new),
         }
     }
 
@@ -436,7 +493,7 @@ impl Kairos {
         let app_id = AppId(self.next_app);
         let mut timings = PhaseTimings::default();
 
-        let result = self.run_phases(app, app_id, &mut timings, ctx, now);
+        let result = self.place(app, app_id, &mut timings, ctx, now);
         match result {
             Ok((layout, validation)) => {
                 self.txn_commit();
@@ -539,7 +596,7 @@ impl Kairos {
         // Probes never trace: they run on the cluster's parallel probe
         // threads, and the trace sink is coordinator-only by design (the
         // coordinator synthesizes probe spans after the join).
-        let result = self.run_phases(app, scratch, &mut timings, TraceContext::NONE, 0);
+        let result = self.place(app, scratch, &mut timings, TraceContext::NONE, 0);
         let probe = match result {
             Ok((layout, _)) => Ok(AdmissionProbe { layout, after: self.occupancy() }),
             Err(error) => Err(AdmissionFailure { error, timings }),
@@ -578,7 +635,7 @@ impl Kairos {
         // collide with an admitted application, and a probe admits nothing.
         let scratch = AppId(self.next_app);
         let mut timings = PhaseTimings::default();
-        let result = self.run_phases(app, scratch, &mut timings, TraceContext::NONE, 0);
+        let result = self.place(app, scratch, &mut timings, TraceContext::NONE, 0);
         self.txn_rollback();
         match result {
             Ok((layout, _)) => Ok(layout),
@@ -658,7 +715,7 @@ impl Kairos {
 
         let scratch = AppId(self.next_app);
         let mut timings = PhaseTimings::default();
-        match self.run_phases(&app, scratch, &mut timings, TraceContext::NONE, 0) {
+        match self.place(&app, scratch, &mut timings, TraceContext::NONE, 0) {
             Err(error) => {
                 self.txn_rollback();
                 let failure = AdmissionFailure { error, timings };
@@ -706,6 +763,17 @@ impl Kairos {
                 if let Some(m) = &self.metrics {
                     m.migrate_commits.inc();
                 }
+                // The move changed occupancy on both footprints; cached
+                // points touching either set of elements are superseded.
+                let mut touched: Vec<ElementId> = old_layout
+                    .placement
+                    .iter()
+                    .map(|(_, e)| e)
+                    .chain(new_layout.placement.iter().map(|(_, e)| e))
+                    .collect();
+                touched.sort_unstable();
+                touched.dedup();
+                self.invalidate_cached_points(&touched);
                 let moved_tasks = old_layout
                     .placement
                     .iter()
@@ -814,6 +882,187 @@ impl Kairos {
         Ok((layout, validation))
     }
 
+    /// The pipeline entry point behind every admission, probe and
+    /// migration attempt: consults the operating-point cache when one is
+    /// configured, replaying a stored decision on a hit and falling back
+    /// to (and populating from) the cold four-phase pipeline on a miss.
+    ///
+    /// A hit requires the exact `(shape, platform-state)` key, so the
+    /// replayed claims reproduce the cold run's platform bytes precisely;
+    /// `timings` stays zero on the warm path (there are no phases to
+    /// time — deterministic drivers zero the cold path's clock too, so
+    /// the cache never changes report bytes).
+    fn place(
+        &mut self,
+        app: &Application,
+        app_id: AppId,
+        timings: &mut PhaseTimings,
+        ctx: TraceContext,
+        now: u64,
+    ) -> Result<(ExecutionLayout, Option<ValidationReport>), AllocationError> {
+        if self.cache.is_none() {
+            return self.run_phases(app, app_id, timings, ctx, now);
+        }
+        let shape = shape_of(app);
+        let (stamp, cached) = {
+            let cache = self.cache.as_mut().expect("checked above");
+            let stamp = cache.stamp(&self.platform);
+            (stamp, cache.lookup(shape, stamp))
+        };
+        if ctx.is_some() {
+            let outcome = if cached.is_some() { "hit" } else { "miss" };
+            self.telemetry.trace_child(
+                ctx,
+                "cache.lookup",
+                now,
+                now,
+                &[("outcome", outcome.to_owned())],
+            );
+        }
+        match cached {
+            Some(CachedDecision::Refuse(error)) => {
+                if let Some(m) = &self.metrics {
+                    m.cache_hits.inc();
+                }
+                Err(error)
+            }
+            Some(CachedDecision::Admit(point)) => {
+                if self.replay_point(&point, app_id) {
+                    if let Some(m) = &self.metrics {
+                        m.cache_hits.inc();
+                    }
+                    Ok((point.layout, point.validation))
+                } else {
+                    // Unreachable short of a 128-bit stamp collision: the
+                    // key pins the exact byte-state the claims succeeded
+                    // against. Degrade to the cold pipeline regardless —
+                    // a collision must never change an admission outcome.
+                    self.place_cold(app, app_id, shape, stamp, timings, ctx, now)
+                }
+            }
+            None => self.place_cold(app, app_id, shape, stamp, timings, ctx, now),
+        }
+    }
+
+    /// Runs the cold pipeline and stores its decision — admission or
+    /// refusal — under the pre-run `(shape, stamp)` key, so the identical
+    /// question asked from the identical platform state replays instead.
+    #[allow(clippy::too_many_arguments)]
+    fn place_cold(
+        &mut self,
+        app: &Application,
+        app_id: AppId,
+        shape: ShapeKey,
+        stamp: StateStamp,
+        timings: &mut PhaseTimings,
+        ctx: TraceContext,
+        now: u64,
+    ) -> Result<(ExecutionLayout, Option<ValidationReport>), AllocationError> {
+        if let Some(m) = &self.metrics {
+            m.cache_misses.inc();
+        }
+        let result = self.run_phases(app, app_id, timings, ctx, now);
+        let decision = match &result {
+            Ok((layout, validation)) => CachedDecision::Admit(CachedPoint {
+                layout: layout.clone(),
+                seats: capture_seats(&self.platform, app_id, layout),
+                bandwidths: app.channels().map(|c| c.bandwidth()).collect(),
+                validation: validation.clone(),
+            }),
+            Err(error) => CachedDecision::Refuse(error.clone()),
+        };
+        let cache = self.cache.as_mut().expect("place_cold runs only with a cache");
+        cache.insert(shape, stamp, decision);
+        if let Some(m) = &self.metrics {
+            m.cache_points.set(cache.len() as i64);
+        }
+        result
+    }
+
+    /// Replays a cached point's claims under `app_id` inside a nested raw
+    /// platform transaction (not metric-counted: `kairos.core.txn.*`
+    /// tracks pipeline attempts, and the enclosing entry point already
+    /// opened one). Seats are claimed in recorded resident order and
+    /// route links in layout order, so a successful replay leaves the
+    /// platform byte-identical to the cold run the point was captured
+    /// from. Any claim failure rolls the nested transaction back
+    /// completely and reports `false`.
+    fn replay_point(&mut self, point: &CachedPoint, app_id: AppId) -> bool {
+        self.platform.begin_txn();
+        for &(element, task, claimed) in &point.seats {
+            let occupant = Occupant { app: app_id, task, claimed };
+            if self.platform.claim(element, occupant).is_err() {
+                self.platform.rollback_txn();
+                return false;
+            }
+        }
+        for (route, &bandwidth) in point.layout.routes.iter().zip(&point.bandwidths) {
+            for &link in route.links() {
+                if self.platform.claim_link(link, bandwidth).is_err() {
+                    self.platform.rollback_txn();
+                    return false;
+                }
+            }
+        }
+        self.platform.commit_txn();
+        true
+    }
+
+    /// Drops every cached operating point that places work on any of
+    /// `elements`, returning how many were dropped. This is the
+    /// invalidation hook behind fault injection, repair, migration and
+    /// cross-shard rebalancing. The state stamp already guarantees a
+    /// stale point can never be *replayed* — invalidation is bounded
+    /// staleness (keys for superseded states stop occupying capacity)
+    /// plus defence in depth (even a stamp collision cannot admit onto a
+    /// dead element). A no-op without a configured cache.
+    pub fn invalidate_cached_points(&mut self, elements: &[ElementId]) -> u64 {
+        let Some(cache) = self.cache.as_mut() else { return 0 };
+        let dropped = cache.invalidate_elements(elements);
+        if let Some(m) = &self.metrics {
+            m.cache_invalidations.add(dropped);
+            m.cache_points.set(cache.len() as i64);
+        }
+        dropped
+    }
+
+    /// Lifetime counters of the operating-point cache, `None` when no
+    /// cache is configured.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Captures the manager's complete admission state — platform ledger,
+    /// admission registry and id counter — for a later
+    /// [`Kairos::restore`]. The operating-point cache is *not* part of
+    /// the image: cached decisions are keyed by platform state, so they
+    /// stay valid across a rewind. What makes that safe is the state
+    /// epoch bump inside `Platform::restore`, which forces the next
+    /// cache lookup to re-stamp the platform instead of trusting a memo
+    /// from before the rewind.
+    ///
+    /// A checkpoint may be taken while a transaction is open; see
+    /// `Platform::checkpoint`.
+    pub fn checkpoint(&self) -> KairosCheckpoint {
+        KairosCheckpoint {
+            platform: self.platform.checkpoint(),
+            admitted: self.admitted.clone(),
+            next_app: self.next_app,
+        }
+    }
+
+    /// Rewinds the manager to a previously captured checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is open or the checkpoint belongs to a
+    /// structurally different platform (see `Platform::restore`).
+    pub fn restore(&mut self, checkpoint: KairosCheckpoint) {
+        self.platform.restore(checkpoint.platform);
+        self.admitted = checkpoint.admitted;
+        self.next_app = checkpoint.next_app;
+    }
+
     /// Opens a batch scope: one platform transaction that every operation
     /// until the matching [`Kairos::commit_batch`] nests inside.
     ///
@@ -866,6 +1115,7 @@ impl Kairos {
     /// on the remaining healthy elements).
     pub fn fail_element(&mut self, element: ElementId) -> Vec<AppId> {
         self.platform.fail_element(element);
+        self.invalidate_cached_points(&[element]);
         let victims: Vec<AppId> = self
             .admitted
             .iter()
@@ -880,9 +1130,12 @@ impl Kairos {
         sorted
     }
 
-    /// Clears the failure mark on `element`.
+    /// Clears the failure mark on `element`, dropping any cached
+    /// operating points that placed work on it (their keyed states date
+    /// from before the fault epoch and will not recur).
     pub fn repair_element(&mut self, element: ElementId) {
         self.platform.repair_element(element);
+        self.invalidate_cached_points(&[element]);
     }
 }
 

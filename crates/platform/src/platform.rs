@@ -162,6 +162,29 @@ pub struct Platform {
     /// one counter implementation); its `Clone` copies the value, so
     /// checkpoints freeze the tally exactly like the former plain field.
     txns_begun: Counter,
+    /// Monotone mutation epoch: bumped by every mutation of the ledger
+    /// state, including transaction rollbacks and checkpoint restores.
+    /// Occupancy-dependent observers (the `kairos-opcache` state-stamp
+    /// memo) key their caches on this instead of re-hashing `O(|E|+|L|)`
+    /// state per query. The epoch over-approximates change — a bump does
+    /// not guarantee the state differs, but an unchanged epoch guarantees
+    /// it is byte-identical.
+    epoch: MutationEpoch,
+}
+
+/// The [`Platform::state_epoch`] counter. A newtype so it can opt out of
+/// equality: the epoch describes *history*, not state — two platforms
+/// with identical ledgers are interchangeable no matter how many
+/// mutations produced them, and the checkpoint/restore-exactness and
+/// probe-state-neutrality pins compare whole platforms on exactly that
+/// basis.
+#[derive(Debug, Clone, Copy, Default)]
+struct MutationEpoch(u64);
+
+impl PartialEq for MutationEpoch {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
 }
 
 impl Platform {
@@ -189,7 +212,22 @@ impl Platform {
             journal: Vec::new(),
             txn_marks: Vec::new(),
             txns_begun: Counter::new(),
+            epoch: MutationEpoch::default(),
         }
+    }
+
+    /// The current mutation epoch (see the field documentation): strictly
+    /// monotone over the platform's lifetime, bumped by every state
+    /// mutation — claims, releases, failure-mark flips, transfers,
+    /// transaction rollbacks *and* [`Self::restore`].
+    pub fn state_epoch(&self) -> u64 {
+        self.epoch.0
+    }
+
+    /// Bumps the mutation epoch; called by every state mutator.
+    #[inline]
+    fn touch(&mut self) {
+        self.epoch.0 += 1;
     }
 
     /// The platform's name.
@@ -331,6 +369,7 @@ impl Platform {
                     task: occupant.task,
                 });
                 self.state.residents[e.index()].push(occupant);
+                self.touch();
                 Ok(())
             }
             None => Err(ClaimError::InsufficientResources {
@@ -350,6 +389,7 @@ impl Platform {
         let occupant = self.state.residents[e.index()].swap_remove(pos);
         self.state.free[e.index()] = self.state.free[e.index()].saturating_add(&occupant.claimed);
         self.record(|| JournalOp::Release { element: e, occupant, pos });
+        self.touch();
         Some(occupant.claimed)
     }
 
@@ -374,6 +414,9 @@ impl Platform {
                     i += 1;
                 }
             }
+        }
+        if count > 0 {
+            self.touch();
         }
         count
     }
@@ -419,6 +462,9 @@ impl Platform {
                 }
             }
         }
+        if count > 0 {
+            self.touch();
+        }
         count
     }
 
@@ -454,6 +500,7 @@ impl Platform {
         s.free_virtual_channels -= 1;
         s.free_bandwidth -= bandwidth;
         self.record(|| JournalOp::ClaimLink { link: l, bandwidth });
+        self.touch();
         Ok(())
     }
 
@@ -474,6 +521,7 @@ impl Platform {
             "unbalanced link release on {l}"
         );
         self.record(|| JournalOp::ReleaseLink { link: l, bandwidth });
+        self.touch();
     }
 
     // ---- faults -----------------------------------------------------------------
@@ -485,6 +533,7 @@ impl Platform {
         let was = self.state.failed[e.index()];
         self.state.failed[e.index()] = true;
         self.record(|| JournalOp::SetFailed { element: e, was });
+        self.touch();
     }
 
     /// Clears the failure mark on `e`.
@@ -492,6 +541,7 @@ impl Platform {
         let was = self.state.failed[e.index()];
         self.state.failed[e.index()] = false;
         self.record(|| JournalOp::SetFailed { element: e, was });
+        self.touch();
     }
 
     /// Ids of all currently failed elements.
@@ -557,6 +607,9 @@ impl Platform {
     /// Panics when no transaction is open.
     pub fn rollback_txn(&mut self) {
         let mark = self.txn_marks.pop().expect("rollback_txn without an open transaction");
+        if self.journal.len() > mark {
+            self.touch();
+        }
         while self.journal.len() > mark {
             let op = self.journal.pop().expect("journal length checked");
             self.undo(op);
@@ -653,6 +706,11 @@ impl Platform {
             "checkpoint does not belong to this platform"
         );
         self.state = checkpoint.state;
+        // A restore is a state mutation like any other: without this bump,
+        // epoch-keyed observers (the opcache state-stamp memo) would keep
+        // serving the pre-restore state and, for example, admit a cached
+        // layout computed against occupancy that no longer exists.
+        self.touch();
     }
 
     /// `true` when no resources are claimed anywhere (all elements idle,
@@ -973,6 +1031,38 @@ mod tests {
         p.claim_link(l, 150).unwrap();
         p.rollback_txn();
         assert_eq!(p.checkpoint(), mid_txn, "post-restore transactions roll back cleanly");
+    }
+
+    #[test]
+    fn state_epoch_tracks_every_mutation_including_restore() {
+        let (mut p, a, c) = two_dsp();
+        let e0 = p.state_epoch();
+        // Failed claims change nothing and leave the epoch alone.
+        assert!(p.claim(a, occ(0, 0, ResourceVector::new(101, 0, 0, 0))).is_err());
+        assert_eq!(p.state_epoch(), e0);
+        p.claim(a, occ(0, 0, ResourceVector::new(10, 0, 0, 0))).unwrap();
+        assert!(p.state_epoch() > e0);
+
+        // Rollback restores the state bytes but advances the epoch.
+        let cp = p.checkpoint();
+        let before_txn = p.state_epoch();
+        p.begin_txn();
+        p.claim(c, occ(1, 0, ResourceVector::new(5, 0, 0, 0))).unwrap();
+        p.rollback_txn();
+        assert_eq!(p.checkpoint(), cp, "rollback restored the state");
+        assert!(p.state_epoch() > before_txn, "rollback still bumps the epoch");
+
+        // The PR 8 regression: restore() is a mutation too. An unchanged
+        // epoch across restore would let a memoized state observer keep
+        // answering for the pre-restore occupancy.
+        let fuller = {
+            p.claim(c, occ(2, 0, ResourceVector::new(7, 0, 0, 0))).unwrap();
+            p.checkpoint()
+        };
+        p.restore(cp.clone());
+        let restored_epoch = p.state_epoch();
+        p.restore(fuller);
+        assert!(p.state_epoch() > restored_epoch, "restore must bump the epoch");
     }
 
     #[test]

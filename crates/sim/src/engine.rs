@@ -31,7 +31,7 @@ use kairos_admitd::PriorityClass;
 use kairos_app::Application;
 use kairos_appgen::{WorkloadMix, WorkloadSampler};
 use kairos_cluster::ClusterBuilder;
-use kairos_core::{Kairos, KairosConfig, Phase};
+use kairos_core::{CacheConfig, Kairos, KairosConfig, Phase};
 use kairos_platform::{AppId, ElementId};
 use kairos_svc::{
     CapacityEvent, Command, Event, RejectCause, Request, ResourceService, ServiceBuilder,
@@ -39,8 +39,8 @@ use kairos_svc::{
 use kairos_telemetry::{Counter, Gauge, Histogram, Telemetry, TelemetryConfig};
 
 use crate::report::{
-    ClassQueueStats, ClassTraceStats, PhaseStats, QueueReport, SamplePoint, SimReport, Totals,
-    TraceReport,
+    CacheReport, ClassQueueStats, ClassTraceStats, PhaseStats, QueueReport, SamplePoint, SimReport,
+    Totals, TraceReport,
 };
 use crate::scenario::Scenario;
 
@@ -328,8 +328,12 @@ impl Simulator {
     /// # Errors
     ///
     /// The scenario's [`Scenario::validate`] error, if any.
-    pub fn with_config(scenario: Scenario, config: KairosConfig) -> Result<Self, String> {
+    pub fn with_config(scenario: Scenario, mut config: KairosConfig) -> Result<Self, String> {
         scenario.validate()?;
+        // The scenario's cache flag overrides the explicit configuration
+        // in both directions: reports must be pure functions of the
+        // scenario, and `Scenario::cache` is part of the scenario.
+        config.cache = scenario.cache.then(CacheConfig::default);
         // One telemetry hub for the whole stack. The engine's forced
         // deterministic clock keeps the hub's default zero-duration mode:
         // every instrument below the service boundary records pure
@@ -980,6 +984,17 @@ impl Simulator {
                 None
             },
             trace: self.scenario.trace.then(|| self.trace_report()),
+            cache: self.scenario.cache.then(|| {
+                let stats = self.service.cache_stats().unwrap_or_default();
+                CacheReport {
+                    hits: stats.hits,
+                    misses: stats.misses,
+                    invalidations: stats.invalidations,
+                    insertions: stats.insertions,
+                    evictions: stats.evictions,
+                    points: stats.points,
+                }
+            }),
         }
     }
 

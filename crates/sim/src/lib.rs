@@ -10,7 +10,7 @@
 //! and periodic occupancy sampling.
 //!
 //! * [`Scenario`] — a seeded, fully declarative experiment description,
-//!   with a built-in catalog of fifteen named scenarios
+//!   with a built-in catalog of eighteen named scenarios
 //!   ([`Scenario::catalog`], documented in `docs/SCENARIOS.md`):
 //!   `steady-churn`, `bursty-arrivals`, `saturation`, `hotspot-failures`,
 //!   `mixed-datasets`, three that exercise the `kairos-admitd` admission
@@ -22,10 +22,16 @@
 //!   `kairos-cluster` sharded deployment ([`ClusterSpec`]) —
 //!   `sharded-arrival-storm` (parallel admission probes over four region
 //!   shards) and `cross-shard-rebalance` (periodic evict-and-readmit
-//!   sweeps against a skewed first-fit fill, [`RebalanceSpec`]) — and
+//!   sweeps against a skewed first-fit fill, [`RebalanceSpec`]) —
 //!   `telemetry-probe-latency`, which runs a sharded preempting workload
 //!   with [`Scenario::telemetry`] recording enabled (see
-//!   `docs/OBSERVABILITY.md`);
+//!   `docs/OBSERVABILITY.md`), `traced-preemption-storm`, which runs
+//!   with [`Scenario::trace`] causal tracing enabled, and two that
+//!   exercise the `kairos-opcache` operating-point cache with
+//!   [`Scenario::cache`] enabled — `cache-warm-storm` (a repeating
+//!   same-shape admission storm replayed from the cache) and
+//!   `cache-invalidation-churn` (element faults and repairs sweeping
+//!   cached points out from under continuing admissions);
 //! * [`Simulator`] — the event queue + virtual clock driving all
 //!   scenario traffic through the unified
 //!   [`kairos_svc::ResourceService`] API: arrivals are `Admit` commands
@@ -65,9 +71,13 @@ mod engine;
 pub mod json;
 mod report;
 mod scenario;
+#[cfg(feature = "testkit")]
+pub mod testkit;
 
 pub use engine::Simulator;
-pub use report::{ClassQueueStats, PhaseStats, QueueReport, SamplePoint, SimReport, Totals};
+pub use report::{
+    CacheReport, ClassQueueStats, PhaseStats, QueueReport, SamplePoint, SimReport, Totals,
+};
 pub use scenario::{
     ClusterSpec, DefragSpec, FaultSpec, PhaseSpec, PlatformSpec, RebalanceSpec, Scenario,
 };

@@ -196,6 +196,31 @@ pub struct TraceReport {
     pub critical_paths: Vec<(String, u64)>,
 }
 
+/// End-of-run operating-point cache statistics, summed over every shard
+/// manager's `kairos-opcache` [`MappingCache`](kairos_core::CacheConfig).
+/// The cache changes which work runs, never what is decided, so this
+/// section is the *only* difference between a cache-enabled report and
+/// its cache-off twin (the `opcache_equivalence` suite pins exactly
+/// that). `None` in [`SimReport::cache`] unless the scenario enables
+/// [`Scenario::cache`](crate::Scenario::cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheReport {
+    /// Admissions served by replaying a cached operating point (or a
+    /// cached refusal) instead of the four-phase pipeline.
+    pub hits: u64,
+    /// Admissions that missed and ran the cold pipeline.
+    pub misses: u64,
+    /// Cached points dropped by element-level invalidation (faults,
+    /// repairs, migrations, rebalance moves).
+    pub invalidations: u64,
+    /// Points stored after cold pipeline runs.
+    pub insertions: u64,
+    /// Points dropped by FIFO capacity eviction.
+    pub evictions: u64,
+    /// Points still resident when the run ended.
+    pub points: u64,
+}
+
 /// The complete result of one scenario run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -230,6 +255,13 @@ pub struct SimReport {
     /// rendering omits its `trace` key then. All fields are integers
     /// derived from virtual-tick spans, so the section is byte-stable.
     pub trace: Option<TraceReport>,
+    /// End-of-run operating-point cache statistics, summed over every
+    /// shard manager. `None` unless the scenario enables
+    /// [`Scenario::cache`](crate::Scenario::cache); the JSON rendering
+    /// omits its `cache` key then, keeping legacy reports
+    /// byte-identical. All fields are lifetime counters, so the section
+    /// is byte-stable.
+    pub cache: Option<CacheReport>,
 }
 
 /// A metric snapshot as an ordered JSON object: one key per metric (the
@@ -403,6 +435,16 @@ impl SimReport {
         }
         if let Some(trace) = &self.trace {
             doc.push("trace", trace_json(trace));
+        }
+        if let Some(cache) = &self.cache {
+            let mut section = Json::object();
+            section.push("hits", cache.hits);
+            section.push("misses", cache.misses);
+            section.push("invalidations", cache.invalidations);
+            section.push("insertions", cache.insertions);
+            section.push("evictions", cache.evictions);
+            section.push("points", cache.points);
+            doc.push("cache", section);
         }
         doc
     }

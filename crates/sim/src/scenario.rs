@@ -7,7 +7,7 @@
 //! simulations — the engine draws every random choice from the scenario
 //! seed.
 //!
-//! [`Scenario::catalog`] ships fifteen named scenarios: five spanning the
+//! [`Scenario::catalog`] ships eighteen named scenarios: five spanning the
 //! regimes the paper motivates (steady churn, bursty arrivals, saturation,
 //! hotspot element failures, a mixed-dataset workload), three exercising
 //! the `kairos-admitd` admission front-end (priority inversion, overload
@@ -18,11 +18,18 @@
 //! API (synchronized arrival waves), two exercising the
 //! `kairos-cluster` sharded deployment (a parallel-probe arrival storm
 //! over four region shards, and cross-shard rebalancing of a skewed
-//! first-fit fill), and one exercising the `kairos-telemetry`
+//! first-fit fill), one exercising the `kairos-telemetry`
 //! observability layer (`telemetry-probe-latency`, which runs a sharded
 //! preempting workload with [`Scenario::telemetry`] enabled and embeds
-//! the metric snapshot in its report). `docs/SCENARIOS.md` documents
-//! every entry; CI checks the two stay in sync.
+//! the metric snapshot in its report), one exercising per-request causal
+//! tracing (`traced-preemption-storm`, with [`Scenario::trace`] enabled),
+//! and two exercising the `kairos-opcache` operating-point cache
+//! (`cache-warm-storm`, a repeating same-shape admission storm that keeps
+//! the cache hot, and `cache-invalidation-churn`, which interleaves
+//! element faults and repairs with cached admissions to exercise the
+//! invalidation hooks; both run with [`Scenario::cache`] enabled).
+//! `docs/SCENARIOS.md` documents every entry; CI checks the two stay in
+//! sync.
 
 use serde::{Deserialize, Serialize};
 
@@ -256,6 +263,15 @@ pub struct Scenario {
     /// disabled one apart from the extra report section, and the trace
     /// itself is byte-reproducible run to run.
     pub trace: bool,
+    /// Whether every manager runs with the design-time operating-point
+    /// cache (`kairos-opcache`, [`kairos_core::KairosConfig::cache`])
+    /// enabled: pipeline decisions are stored per
+    /// `(application shape, platform state)` key and replayed on exact
+    /// recurrence. The cache changes which work runs, never what is
+    /// decided, so an enabled run is byte-identical to a disabled one
+    /// apart from the extra `cache` section in the report (the
+    /// `opcache_equivalence` suite pins exactly this).
+    pub cache: bool,
 }
 
 impl Scenario {
@@ -463,6 +479,7 @@ impl Scenario {
         };
         doc.push("telemetry", self.telemetry);
         doc.push("trace", self.trace);
+        doc.push("cache", self.cache);
         doc
     }
 
@@ -485,6 +502,8 @@ impl Scenario {
             cross_shard_rebalance(),
             telemetry_probe_latency(),
             traced_preemption_storm(),
+            cache_warm_storm(),
+            cache_invalidation_churn(),
         ]
     }
 
@@ -526,6 +545,7 @@ fn steady_churn() -> Scenario {
         cluster: None,
         telemetry: false,
         trace: false,
+        cache: false,
     }
 }
 
@@ -555,6 +575,7 @@ fn bursty_arrivals() -> Scenario {
         cluster: None,
         telemetry: false,
         trace: false,
+        cache: false,
     }
 }
 
@@ -583,6 +604,7 @@ fn saturation() -> Scenario {
         cluster: None,
         telemetry: false,
         trace: false,
+        cache: false,
     }
 }
 
@@ -620,6 +642,7 @@ fn hotspot_failures() -> Scenario {
         cluster: None,
         telemetry: false,
         trace: false,
+        cache: false,
     }
 }
 
@@ -643,6 +666,7 @@ fn mixed_datasets() -> Scenario {
         cluster: None,
         telemetry: false,
         trace: false,
+        cache: false,
     }
 }
 
@@ -682,6 +706,7 @@ fn priority_inversion() -> Scenario {
         cluster: None,
         telemetry: false,
         trace: false,
+        cache: false,
     }
 }
 
@@ -719,6 +744,7 @@ fn overload_backpressure() -> Scenario {
         cluster: None,
         telemetry: false,
         trace: false,
+        cache: false,
     }
 }
 
@@ -757,6 +783,7 @@ fn retry_storm() -> Scenario {
         cluster: None,
         telemetry: false,
         trace: false,
+        cache: false,
     }
 }
 
@@ -798,6 +825,7 @@ fn critical_preempt() -> Scenario {
         cluster: None,
         telemetry: false,
         trace: false,
+        cache: false,
     }
 }
 
@@ -847,6 +875,7 @@ fn migrate_vs_evict() -> Scenario {
         cluster: None,
         telemetry: false,
         trace: false,
+        cache: false,
     }
 }
 
@@ -878,6 +907,7 @@ fn defrag_sweep() -> Scenario {
         cluster: None,
         telemetry: false,
         trace: false,
+        cache: false,
     }
 }
 
@@ -926,6 +956,7 @@ fn batch_arrival_wave() -> Scenario {
         cluster: None,
         telemetry: false,
         trace: false,
+        cache: false,
     }
 }
 
@@ -975,6 +1006,7 @@ fn sharded_arrival_storm() -> Scenario {
         }),
         telemetry: false,
         trace: false,
+        cache: false,
     }
 }
 
@@ -1013,6 +1045,7 @@ fn cross_shard_rebalance() -> Scenario {
         }),
         telemetry: false,
         trace: false,
+        cache: false,
     }
 }
 
@@ -1069,6 +1102,7 @@ fn telemetry_probe_latency() -> Scenario {
         }),
         telemetry: true,
         trace: false,
+        cache: false,
     }
 }
 
@@ -1122,6 +1156,103 @@ fn traced_preemption_storm() -> Scenario {
         }),
         telemetry: false,
         trace: true,
+        cache: false,
+    }
+}
+
+/// Cache warm storm: the operating-point cache showcase. A three-shard
+/// CRISP cluster under the least-loaded policy takes a long deterministic
+/// storm of short-lived applications drawn from a deliberately tiny
+/// dataset mixture, so the same application *shapes* recur hundreds of
+/// times. With [`Scenario::cache`] enabled every shard manager runs a
+/// `kairos-opcache` [`MappingCache`](kairos_core::CacheConfig): each
+/// admit/release cycle returns the shard to a previously stamped platform
+/// state, so repeat admissions replay the cached operating point in
+/// O(claims) instead of re-running the four-phase pipeline. The report's
+/// `cache` section pins the hit/miss split; the `opcache` bench runs the
+/// same recipe warm versus cold.
+fn cache_warm_storm() -> Scenario {
+    // Two shapes only: recurrence, not variety, is the point — the storm
+    // is a worst case for pipeline latency and a best case for the cache.
+    let storm_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Small), 3),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Small), 1),
+    ];
+    Scenario {
+        name: "cache-warm-storm".to_owned(),
+        seed: 0xCA4E5,
+        sample_period: 30,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("storm", 1800, 8, 200, storm_mix)
+                .with_arrival(ArrivalDistribution::Deterministic),
+            PhaseSpec::new("drain", 1000, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+        admission: None,
+        defrag: None,
+        cluster: Some(ClusterSpec {
+            shards: 3,
+            policy: PlacementPolicyKind::LeastLoaded,
+            rebalance: None,
+        }),
+        telemetry: false,
+        trace: false,
+        cache: true,
+    }
+}
+
+/// Cache invalidation churn: the cache's fault-tolerance counterpart. A
+/// three-shard CRISP cluster fills with small cached applications, then a
+/// rolling script of element faults and repairs sweeps the fabric while
+/// admissions continue. Every fault and repair bumps the platform's
+/// mutation epoch and fires the invalidation hooks, dropping every cached
+/// operating point that touches the element, so admissions after each
+/// fault miss, fall back to the cold pipeline, and repopulate the cache
+/// against the new platform state — stale points never admit onto dead
+/// elements. The report's `cache` section pins the invalidation count;
+/// the `opcache_invalidation` suite covers the same matrix fault kind by
+/// fault kind.
+fn cache_invalidation_churn() -> Scenario {
+    let churn_mix = small_mix();
+    // One outage per element, strictly separated in time: 600-tick
+    // outages starting 300 ticks apart on distinct elements never
+    // overlap, so the script passes outage validation. The targets are
+    // DSPs spread across packages (and so across shard regions) — the
+    // elements the sampled applications actually occupy, so each fault
+    // evicts work and sweeps cached points.
+    let faults = [5u32, 17, 29, 41]
+        .iter()
+        .enumerate()
+        .map(|(i, &element)| FaultSpec {
+            at: 500 + 300 * i as u64,
+            element,
+            repair_after: Some(600),
+        })
+        .collect();
+    Scenario {
+        name: "cache-invalidation-churn".to_owned(),
+        seed: 0x1CACE,
+        sample_period: 40,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("warmup", 500, 14, 600, churn_mix.clone()),
+            PhaseSpec::new("faulting", 1700, 14, 500, churn_mix),
+            PhaseSpec::new("drain", 1200, 0, 0, Vec::new()),
+        ],
+        faults,
+        readmit_evicted: true,
+        admission: None,
+        defrag: None,
+        cluster: Some(ClusterSpec {
+            shards: 3,
+            policy: PlacementPolicyKind::LeastLoaded,
+            rebalance: None,
+        }),
+        telemetry: false,
+        trace: false,
+        cache: true,
     }
 }
 
@@ -1130,9 +1261,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalog_has_sixteen_valid_named_scenarios() {
+    fn catalog_has_eighteen_valid_named_scenarios() {
         let catalog = Scenario::catalog();
-        assert_eq!(catalog.len(), 16);
+        assert_eq!(catalog.len(), 18);
         let mut names: Vec<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
         for scenario in &catalog {
             scenario.validate().unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
@@ -1140,7 +1271,7 @@ mod tests {
         }
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 16, "catalog names must be unique");
+        assert_eq!(names.len(), 18, "catalog names must be unique");
         // The queueing, preemption and batching scenarios all carry an
         // admission policy; the five legacy scenarios and the defrag
         // sweep stay on the direct path.
@@ -1169,6 +1300,8 @@ mod tests {
                 "cross-shard-rebalance",
                 "telemetry-probe-latency",
                 "traced-preemption-storm",
+                "cache-warm-storm",
+                "cache-invalidation-churn",
             ]
         );
         let rebalancing: Vec<&str> = catalog
@@ -1209,6 +1342,12 @@ mod tests {
         let traced: Vec<&str> =
             catalog.iter().filter(|s| s.trace).map(|s| s.name.as_str()).collect();
         assert_eq!(traced, vec!["traced-preemption-storm"]);
+        // Exactly the two opcache scenarios run with the operating-point
+        // cache enabled; every legacy entry keeps cache-off byte
+        // identity with its pre-opcache report.
+        let cached: Vec<&str> =
+            catalog.iter().filter(|s| s.cache).map(|s| s.name.as_str()).collect();
+        assert_eq!(cached, vec!["cache-warm-storm", "cache-invalidation-churn"]);
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn churn_and_drain(seed: u64) -> Scenario {
         cluster: None,
         telemetry: false,
         trace: false,
+        cache: false,
     }
 }
 

@@ -1,7 +1,7 @@
 //! Service construction with injectable policies.
 
 use kairos_admitd::{AdmitPolicy, Admitd, PreemptionPolicy, VictimOrder};
-use kairos_core::{CostPolicy, CostWeights, Kairos, KairosConfig};
+use kairos_core::{CacheConfig, CostPolicy, CostWeights, Kairos, KairosConfig};
 use kairos_platform::Platform;
 use kairos_telemetry::Telemetry;
 
@@ -79,6 +79,18 @@ impl ServiceBuilder {
     /// so service output is a pure function of its inputs.
     pub fn deterministic(mut self, deterministic: bool) -> Self {
         self.config.deterministic = deterministic;
+        self
+    }
+
+    /// Enables the design-time operating-point cache
+    /// ([`KairosConfig::cache`], `kairos-opcache`): pipeline decisions
+    /// are stored per `(application shape, platform state)` key and
+    /// replayed in O(claims) when the identical question recurs. The
+    /// cache changes which work runs, never what is decided; its
+    /// lifetime counters surface through
+    /// [`crate::ResourceService::cache_stats`].
+    pub fn mapping_cache(mut self, config: CacheConfig) -> Self {
+        self.config.cache = Some(config);
         self
     }
 

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use kairos_admitd::{Admitd, PriorityClass, QueueEvent, Ticket as QueueTicket};
 use kairos_app::Application;
-use kairos_core::{Kairos, OccupancySnapshot};
+use kairos_core::{CacheStats, Kairos, OccupancySnapshot};
 use kairos_platform::AppId;
 use kairos_reloc::RelocMetrics;
 use kairos_telemetry::{Counter, Telemetry, TraceContext};
@@ -72,6 +72,13 @@ pub trait ResourceService: std::fmt::Debug {
     /// every shard, for multi-manager services).
     fn occupancy(&self) -> OccupancySnapshot {
         self.kairos().occupancy()
+    }
+
+    /// Lifetime counters of the operating-point cache (`kairos-opcache`),
+    /// summed over every shard for multi-manager services; `None` when no
+    /// cache is configured.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.kairos().cache_stats()
     }
 }
 
@@ -473,6 +480,18 @@ impl KairosService {
         match &mut self.backend {
             Backend::Direct(kairos) => kairos.admit(app),
             Backend::Queued(admitd) => admitd.admit_direct(app, class),
+        }
+    }
+
+    /// Drops every cached operating point touching `elements` from the
+    /// manager's operating-point cache
+    /// ([`Kairos::invalidate_cached_points`]). The cross-shard
+    /// rebalancer calls this on both sides of a completed move; a no-op
+    /// without a configured cache.
+    pub fn invalidate_cached_points(&mut self, elements: &[kairos_platform::ElementId]) -> u64 {
+        match &mut self.backend {
+            Backend::Direct(kairos) => kairos.invalidate_cached_points(elements),
+            Backend::Queued(admitd) => admitd.kairos_mut().invalidate_cached_points(elements),
         }
     }
 

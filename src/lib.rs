@@ -17,6 +17,11 @@
 //!   (the paper's contribution), routing, validation, plus baselines;
 //! * [`reloc`] — the relocation planner: preemption victim selection,
 //!   journal-backed live migration and defragmenting compaction;
+//! * [`opcache`] — the design-time operating-point mapping cache:
+//!   shape-keyed, state-stamped storage of pipeline decisions replayed
+//!   in O(claims) on re-admission of a known application shape, with
+//!   fault/repair/migration invalidation (a warm cache changes which
+//!   work runs, never what is decided);
 //! * [`admitd`] — the priority admission-control front-end: bounded
 //!   per-class queues with backpressure, deterministic capacity-event
 //!   retry with exponential backoff, timeouts, batch drains and the
@@ -72,6 +77,7 @@ pub use kairos_app as app;
 pub use kairos_appgen as appgen;
 pub use kairos_cluster as cluster;
 pub use kairos_core as core;
+pub use kairos_opcache as opcache;
 pub use kairos_platform as platform;
 pub use kairos_reloc as reloc;
 pub use kairos_sdf as sdf;

@@ -4,16 +4,8 @@
 //! when re-run through `ClusterService` with shard count 1 — and the two
 //! clustered catalog scenarios are themselves byte-reproducible.
 
-use kairos::cluster::PlacementPolicyKind;
-use kairos::sim::{ClusterSpec, Scenario, Simulator};
-
-/// The scenario rewritten to run through a one-shard cluster.
-fn clustered_once(mut scenario: Scenario) -> Scenario {
-    assert!(scenario.cluster.is_none(), "only unclustered scenarios are rewritten");
-    scenario.cluster =
-        Some(ClusterSpec { shards: 1, policy: PlacementPolicyKind::FirstFit, rebalance: None });
-    scenario
-}
+use kairos::sim::testkit::clustered_once;
+use kairos::sim::{Scenario, Simulator};
 
 #[test]
 fn every_unclustered_scenario_is_byte_identical_through_a_one_shard_cluster() {
@@ -67,10 +59,12 @@ fn cross_shard_rebalance_moves_work_and_keeps_the_population_consistent() {
 }
 
 #[test]
-fn catalog_grew_to_sixteen() {
-    assert_eq!(Scenario::catalog().len(), 16);
+fn catalog_grew_to_eighteen() {
+    assert_eq!(Scenario::catalog().len(), 18);
     assert!(Scenario::by_name("sharded-arrival-storm").is_some());
     assert!(Scenario::by_name("cross-shard-rebalance").is_some());
     assert!(Scenario::by_name("telemetry-probe-latency").is_some());
     assert!(Scenario::by_name("traced-preemption-storm").is_some());
+    assert!(Scenario::by_name("cache-warm-storm").is_some());
+    assert!(Scenario::by_name("cache-invalidation-churn").is_some());
 }

@@ -10,71 +10,9 @@
 //! is visible in both the `telemetry-probe-latency` report snapshot and
 //! the Prometheus text exposition.
 
-use kairos::admitd::{AdmitPolicy, PreemptionPolicy};
-use kairos::appgen::{DatasetSpec, MixEntry, Orientation, SizeClass};
-use kairos::cluster::PlacementPolicyKind;
-use kairos::sim::{ClusterSpec, PhaseSpec, PlatformSpec, Scenario, Simulator};
-use kairos::telemetry::{MetricValue, Snapshot};
+use kairos::sim::testkit::{counter, generated, histogram_count};
+use kairos::sim::{Scenario, Simulator};
 use proptest::prelude::*;
-
-fn small_mix() -> Vec<MixEntry> {
-    vec![
-        MixEntry::new(
-            DatasetSpec { orientation: Orientation::Computation, size: SizeClass::Small },
-            2,
-        ),
-        MixEntry::new(
-            DatasetSpec { orientation: Orientation::Communication, size: SizeClass::Small },
-            1,
-        ),
-    ]
-}
-
-/// A small generated scenario covering the queued/clustered/preempting
-/// axes; `telemetry` is left off for the caller to flip.
-fn generated(
-    seed: u64,
-    interarrival: u64,
-    lifetime: u64,
-    queued: bool,
-    clustered: bool,
-    preempt: bool,
-) -> Scenario {
-    Scenario {
-        name: "observer-effect".to_owned(),
-        seed,
-        sample_period: 40,
-        platform: PlatformSpec::Crisp,
-        phases: vec![
-            PhaseSpec::new("churn", 500, interarrival, lifetime, small_mix()),
-            PhaseSpec::new("drain", 1200, 0, 0, Vec::new()),
-        ],
-        faults: Vec::new(),
-        readmit_evicted: false,
-        admission: queued.then(|| AdmitPolicy {
-            class_capacity: [4, 4, 6, 8],
-            max_wait: Some(400),
-            max_attempts: 5,
-            backoff_base: 1,
-            backoff_cap: 4,
-            preemption: if preempt {
-                PreemptionPolicy::Migrate
-            } else {
-                PreemptionPolicy::Disabled
-            },
-            max_victims: 3,
-            ..AdmitPolicy::default()
-        }),
-        defrag: None,
-        cluster: clustered.then_some(ClusterSpec {
-            shards: 2,
-            policy: PlacementPolicyKind::LeastLoaded,
-            rebalance: None,
-        }),
-        telemetry: false,
-        trace: false,
-    }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -173,30 +111,6 @@ fn whole_catalog_is_byte_reproducible_with_telemetry_forced_on() {
             "{} must reproduce byte-for-byte with telemetry on",
             scenario.name
         );
-    }
-}
-
-fn counter(snapshot: &Snapshot, name: &str) -> u64 {
-    let metric = snapshot
-        .metrics
-        .iter()
-        .find(|m| m.name == name)
-        .unwrap_or_else(|| panic!("metric {name} missing from snapshot"));
-    match &metric.value {
-        MetricValue::Counter(v) => *v,
-        other => panic!("{name} is not a counter: {other:?}"),
-    }
-}
-
-fn histogram_count(snapshot: &Snapshot, name: &str) -> u64 {
-    let metric = snapshot
-        .metrics
-        .iter()
-        .find(|m| m.name == name)
-        .unwrap_or_else(|| panic!("metric {name} missing from snapshot"));
-    match &metric.value {
-        MetricValue::Histogram(h) => h.count,
-        other => panic!("{name} is not a histogram: {other:?}"),
     }
 }
 

@@ -6,16 +6,9 @@
 //! queue residency, per-shard probe fan-out, pipeline phases, and a
 //! computed critical path on the root.
 
+use kairos::sim::testkit::traced_run;
 use kairos::sim::{Scenario, Simulator};
 use kairos::telemetry::{summarize, SpanRecord, ROOT_PARENT};
-
-/// One traced run: the report JSON plus the exported timeline.
-fn traced_run(mut scenario: Scenario) -> (String, String) {
-    scenario.trace = true;
-    let mut simulator = Simulator::new(scenario).unwrap();
-    let report = simulator.run();
-    (report.to_json_string(), simulator.telemetry().chrome_trace())
-}
 
 #[test]
 fn traced_runs_export_byte_identical_timelines_across_regimes() {
