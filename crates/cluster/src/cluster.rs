@@ -16,6 +16,7 @@ use kairos_svc::{
 use kairos_telemetry::{Counter, Histogram, Level, Telemetry, TraceContext};
 
 use crate::policy::{FirstFit, PlacementPolicy, ShardFit, ShardLoad, ShardProbe};
+use crate::pool::{ProbeExecutor, ProbePool};
 
 /// Size of each shard's [`AppId`] namespace: shard `i` mints ids from
 /// `i * APP_ID_STRIDE`, so an id alone identifies its home shard and ids
@@ -31,13 +32,27 @@ const REBALANCE_GAP: f64 = 0.05;
 /// space, and the translation of its service tickets into the cluster's.
 #[derive(Debug)]
 struct Shard {
-    service: KairosService,
+    /// The shard's manager. `None` only *during* a pooled probe wave,
+    /// while the manager is lent to the shard's worker thread
+    /// ([`ProbePool`]); every fan-out checks it back in before
+    /// returning, so the accessors below never observe the gap.
+    service: Option<KairosService>,
     /// Local element index → global element id.
     globals: Vec<ElementId>,
     /// Shard-service ticket → cluster ticket. Entries are never removed:
     /// a ticket may be referenced by later events (a requeued victim's
     /// admission).
     tickets: BTreeMap<u64, Ticket>,
+}
+
+impl Shard {
+    fn svc(&self) -> &KairosService {
+        self.service.as_ref().expect("shard manager is checked in")
+    }
+
+    fn svc_mut(&mut self) -> &mut KairosService {
+        self.service.as_mut().expect("shard manager is checked in")
+    }
 }
 
 /// Translates one shard's event batch into the cluster's id spaces:
@@ -129,6 +144,7 @@ pub struct ClusterBuilder {
     admission: Option<AdmitPolicy>,
     policy: Box<dyn PlacementPolicy>,
     telemetry: Telemetry,
+    executor: ProbeExecutor,
 }
 
 impl ClusterBuilder {
@@ -143,7 +159,19 @@ impl ClusterBuilder {
             admission: None,
             policy: Box::new(FirstFit),
             telemetry: Telemetry::disabled(),
+            executor: ProbeExecutor::default(),
         }
+    }
+
+    /// Selects the probe fan-out executor (default:
+    /// [`ProbeExecutor::Pooled`] — one persistent worker thread per
+    /// shard). [`ProbeExecutor::Scoped`] restores the legacy per-wave
+    /// `std::thread::scope` spawns; both produce byte-identical probe
+    /// rows, event streams and metric snapshots (the
+    /// `pooled_and_scoped_probe_executors_are_byte_identical` pin).
+    pub fn probe_executor(mut self, executor: ProbeExecutor) -> Self {
+        self.executor = executor;
+        self
     }
 
     /// Replaces the per-shard manager configuration (each shard's
@@ -212,12 +240,22 @@ impl ClusterBuilder {
                 builder = builder.admission(policy);
             }
             shards.push(Shard {
-                service: builder.build()?,
+                service: Some(builder.build()?),
                 globals: region.elements(r).to_vec(),
                 tickets: BTreeMap::new(),
             });
         }
         let metrics = ClusterMetrics::new(&self.telemetry, region.region_count());
+        // One-shard clusters probe inline (monolithic byte-identity), so
+        // the pool only exists where a fan-out actually happens.
+        let pool =
+            (self.executor == ProbeExecutor::Pooled && region.region_count() > 1).then(|| {
+                ProbePool::new(
+                    region.region_count(),
+                    &self.telemetry,
+                    metrics.as_ref().map(|m| m.probe_ns.as_slice()),
+                )
+            });
         Ok(ClusterService {
             shards,
             region,
@@ -226,6 +264,7 @@ impl ClusterBuilder {
             events: Vec::new(),
             telemetry: self.telemetry,
             metrics,
+            pool,
         })
     }
 }
@@ -237,9 +276,11 @@ impl ClusterBuilder {
 /// queued, exactly as a monolithic service would be). Traffic flows:
 ///
 /// * **Admissions** fan out as parallel what-if probes across all shards
-///   (`std::thread::scope`; each probe runs in a claim-journal
-///   transaction that is always rolled back, so losing probes cost
-///   nothing). Probe results are merged in shard-id order and the
+///   (a persistent worker-pool probe executor — one long-lived thread
+///   per shard fed through job channels, see [`ProbeExecutor`]; each
+///   probe runs in a claim-journal transaction that is always rolled
+///   back, so losing probes cost nothing). Probe results are merged in
+///   shard-id order and the
 ///   injected [`PlacementPolicy`] picks the winning shard — making the
 ///   outcome independent of thread scheduling. The admission is then
 ///   submitted to that shard's service, queueing semantics and all. When
@@ -288,6 +329,9 @@ pub struct ClusterService {
     events: Vec<Event>,
     telemetry: Telemetry,
     metrics: Option<ClusterMetrics>,
+    /// The persistent probe workers; `None` on one-shard clusters and
+    /// under [`ProbeExecutor::Scoped`].
+    pool: Option<ProbePool>,
 }
 
 /// Bucket bounds for the placement-score histograms: scores are fractions
@@ -297,9 +341,13 @@ pub const SCORE_E6_BOUNDS: &[u64] = &[100_000, 250_000, 500_000, 750_000, 900_00
 
 /// Pre-resolved registry handles for the cluster layer, built once at
 /// construction. The per-shard probe histograms are recorded from inside
-/// the fan-out's probe threads; that stays deterministic under the zero
-/// clock because every recorded duration is `0` and atomic increments
-/// commute, so the snapshot is a pure function of the probe count.
+/// the fan-out's probe threads (pool workers or scoped spawns alike);
+/// that stays deterministic under the zero clock because every recorded
+/// duration is `0` and atomic increments commute, so the snapshot is a
+/// pure function of the probe count — independent of thread scheduling,
+/// of whether telemetry is lit, and of which [`ProbeExecutor`] ran the
+/// wave (the `pooled_and_scoped_probe_executors_are_byte_identical` pin
+/// holds all of this in place).
 #[derive(Debug, Clone)]
 struct ClusterMetrics {
     probe_waves: Arc<Counter>,
@@ -377,7 +425,7 @@ impl ClusterService {
     ///
     /// Panics when `shard` is out of range.
     pub fn shard(&self, shard: usize) -> &KairosService {
-        &self.shards[shard].service
+        self.shards[shard].svc()
     }
 
     /// The injected placement policy's name.
@@ -412,45 +460,20 @@ impl ClusterService {
         }
         let row = if self.shards.len() == 1 {
             let start = telemetry.clock();
-            let fit = fit_of(self.shards[0].service.probe_admit(app).ok());
-            if let Some(m) = metrics {
+            let fit = fit_of(self.shards[0].svc_mut().probe_admit(app).ok());
+            if let Some(m) = &self.metrics {
                 m.probe_ns[0].record(Telemetry::elapsed_ns(start));
             }
             vec![ShardProbe { shard: 0, fit }]
         } else {
-            // One scoped thread per shard: each exclusively owns its shard's
-            // manager (`iter_mut` hands out disjoint borrows), reads the
-            // shared application, and reports back through its join handle.
-            // Joining in spawn order re-imposes shard-id order on the
-            // results, so scheduling cannot leak into any decision.
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(i, shard)| {
-                        let hist = metrics.as_ref().map(|m| m.probe_ns[i].clone());
-                        scope.spawn(move || {
-                            let start = telemetry.clock();
-                            let probe = shard.service.probe_admit(app).ok();
-                            if let Some(hist) = hist {
-                                hist.record(Telemetry::elapsed_ns(start));
-                            }
-                            probe
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .enumerate()
-                    .map(|(shard, handle)| ShardProbe {
-                        shard,
-                        fit: fit_of(handle.join().expect("probe thread panicked")),
-                    })
-                    .collect()
-            })
+            let per_shard = self.fan_out(&[app]);
+            per_shard
+                .into_iter()
+                .enumerate()
+                .map(|(shard, mut fits)| ShardProbe { shard, fit: fits.pop().flatten() })
+                .collect()
         };
-        if let Some(m) = metrics {
+        if let Some(m) = &self.metrics {
             m.note_fits(&row);
         }
         row
@@ -485,15 +508,69 @@ impl ClusterService {
             apps.iter()
                 .map(|app| {
                     let start = telemetry.clock();
-                    let fit = fit_of(self.shards[0].service.probe_admit(app).ok());
-                    if let Some(m) = metrics {
+                    let fit = fit_of(self.shards[0].svc_mut().probe_admit(app).ok());
+                    if let Some(m) = &self.metrics {
                         m.probe_ns[0].record(Telemetry::elapsed_ns(start));
                     }
                     vec![ShardProbe { shard: 0, fit }]
                 })
                 .collect()
         } else {
-            let per_shard: Vec<Vec<Option<ShardFit>>> = std::thread::scope(|scope| {
+            let per_shard = self.fan_out(apps);
+            (0..apps.len())
+                .map(|a| {
+                    per_shard
+                        .iter()
+                        .enumerate()
+                        .map(|(shard, fits)| ShardProbe { shard, fit: fits[a] })
+                        .collect()
+                })
+                .collect()
+        };
+        if let Some(m) = &self.metrics {
+            for row in &rows {
+                m.note_fits(row);
+            }
+        }
+        rows
+    }
+
+    /// The multi-shard fan-out behind [`Self::probe_admit`] and
+    /// [`Self::probe_wave`]: every shard probes the whole wave, timings
+    /// recorded inside the executor's threads, fit rows merged in
+    /// shard-id order (outer index = shard). Runs on the persistent
+    /// [`ProbePool`] when one exists, or falls back to per-wave scoped
+    /// spawns ([`ProbeExecutor::Scoped`]) — the two are byte-identical
+    /// in results, events and metric values.
+    fn fan_out(&mut self, apps: &[&Application]) -> Vec<Vec<Option<ShardFit>>> {
+        if let Some(pool) = &self.pool {
+            // Ownership transfer: lend each shard's manager to its
+            // persistent worker together with one shared copy of the
+            // wave, then take managers and fit rows back in shard-id
+            // order.
+            let wave: Arc<Vec<Application>> =
+                Arc::new(apps.iter().map(|&app| app.clone()).collect());
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                let service = shard.service.take().expect("shard manager is checked in");
+                pool.submit(i, service, wave.clone());
+            }
+            self.shards
+                .iter_mut()
+                .enumerate()
+                .map(|(i, shard)| {
+                    let (service, fits) = pool.collect(i);
+                    shard.service = Some(service);
+                    fits
+                })
+                .collect()
+        } else {
+            // Legacy executor: one scoped thread per shard per wave. Each
+            // thread exclusively owns its shard's manager (`iter_mut`
+            // hands out disjoint borrows) and joining in spawn order
+            // re-imposes shard-id order on the results.
+            let metrics = &self.metrics;
+            let telemetry = &self.telemetry;
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards
                     .iter_mut()
@@ -501,10 +578,11 @@ impl ClusterService {
                     .map(|(i, shard)| {
                         let hist = metrics.as_ref().map(|m| m.probe_ns[i].clone());
                         scope.spawn(move || {
+                            let service = shard.svc_mut();
                             apps.iter()
                                 .map(|app| {
                                     let start = telemetry.clock();
-                                    let fit = fit_of(shard.service.probe_admit(app).ok());
+                                    let fit = fit_of(service.probe_admit(app).ok());
                                     if let Some(hist) = &hist {
                                         hist.record(Telemetry::elapsed_ns(start));
                                     }
@@ -518,23 +596,8 @@ impl ClusterService {
                     .into_iter()
                     .map(|handle| handle.join().expect("probe thread panicked"))
                     .collect()
-            });
-            (0..apps.len())
-                .map(|a| {
-                    per_shard
-                        .iter()
-                        .enumerate()
-                        .map(|(shard, fits)| ShardProbe { shard, fit: fits[a] })
-                        .collect()
-                })
-                .collect()
-        };
-        if let Some(m) = metrics {
-            for row in &rows {
-                m.note_fits(row);
-            }
+            })
         }
-        rows
     }
 
     /// Current per-shard loads, in shard-id order.
@@ -544,8 +607,8 @@ impl ClusterService {
             .enumerate()
             .map(|(shard, s)| ShardLoad {
                 shard,
-                resource_utilisation: s.service.occupancy().resource_utilisation,
-                queue_depth: s.service.queue_depth(),
+                resource_utilisation: s.svc().occupancy().resource_utilisation,
+                queue_depth: s.svc().queue_depth(),
             })
             .collect()
     }
@@ -599,7 +662,7 @@ impl ClusterService {
     /// Drains one shard's buffered events into the cluster's, translated.
     fn drain_shard(&mut self, shard: usize) {
         let s = &mut self.shards[shard];
-        let events = s.service.take_events();
+        let events = s.svc_mut().take_events();
         let translated = translate_events(&mut self.next_ticket, s, events);
         self.events.extend(translated);
     }
@@ -608,7 +671,7 @@ impl ClusterService {
     /// drains the fallout.
     fn forward(&mut self, shard: usize, ticket: Ticket, request: Request) {
         let s = &mut self.shards[shard];
-        let shard_ticket = s.service.submit(request);
+        let shard_ticket = s.svc_mut().submit(request);
         s.tickets.insert(shard_ticket.0, ticket);
         self.drain_shard(shard);
     }
@@ -672,9 +735,9 @@ impl ClusterService {
         let mut tail = Vec::new();
         for i in 0..self.shards.len() {
             let s = &mut self.shards[i];
-            let shard_ticket = s.service.submit(Request::new(at, Command::Defrag { max_moves }));
+            let shard_ticket = s.svc_mut().submit(Request::new(at, Command::Defrag { max_moves }));
             s.tickets.insert(shard_ticket.0, ticket);
-            let events = s.service.take_events();
+            let events = s.svc_mut().take_events();
             for event in translate_events(&mut self.next_ticket, s, events) {
                 match event {
                     Event::Defragged { moves: m, .. } => moves += m,
@@ -736,14 +799,14 @@ impl ClusterService {
             {
                 break;
             }
-            for id in self.shards[src].service.kairos().admitted_ids() {
+            for id in self.shards[src].svc().kairos().admitted_ids() {
                 let app = self.shards[src]
-                    .service
+                    .svc()
                     .kairos()
                     .application(id)
                     .expect("admitted ids resolve")
                     .clone();
-                let Ok(probe) = self.shards[dst].service.probe_admit(&app) else {
+                let Ok(probe) = self.shards[dst].svc_mut().probe_admit(&app) else {
                     continue;
                 };
                 // Convergence guard: the move must leave the destination
@@ -755,7 +818,7 @@ impl ClusterService {
                     continue;
                 }
                 let class = self.shards[src]
-                    .service
+                    .svc()
                     .admitd()
                     .and_then(|a| a.admitted_class(id))
                     .unwrap_or(PriorityClass::Normal);
@@ -763,7 +826,7 @@ impl ClusterService {
                 // source-side elements the move frees, for cache
                 // invalidation once the move is final.
                 let src_elements: Vec<ElementId> = self.shards[src]
-                    .service
+                    .svc()
                     .kairos()
                     .layout(id)
                     .map(|l| {
@@ -774,13 +837,13 @@ impl ClusterService {
                     })
                     .unwrap_or_default();
                 // Phase 1 (make): claim the new home across the boundary.
-                let Ok(report) = self.shards[dst].service.admit_now(&app, class) else {
+                let Ok(report) = self.shards[dst].svc_mut().admit_now(&app, class) else {
                     continue;
                 };
                 // Phase 2 (break): free the old home, draining waiters.
-                let (found, drained) = self.shards[src].service.release_now(id, at);
+                let (found, drained) = self.shards[src].svc_mut().release_now(id, at);
                 if !found {
-                    self.shards[dst].service.release_now(report.app_id, at);
+                    self.shards[dst].svc_mut().release_now(report.app_id, at);
                     if let Some(m) = &self.metrics {
                         m.rebalance_aborts.inc();
                         self.telemetry.event(
@@ -799,12 +862,12 @@ impl ClusterService {
                 // changed occupancy on the source's freed elements and
                 // the destination's fresh ones, so cached points touching
                 // either are superseded.
-                self.shards[src].service.invalidate_cached_points(&src_elements);
+                self.shards[src].svc_mut().invalidate_cached_points(&src_elements);
                 let mut dst_elements: Vec<ElementId> =
                     report.layout.placement.iter().map(|(_, e)| e).collect();
                 dst_elements.sort_unstable();
                 dst_elements.dedup();
-                self.shards[dst].service.invalidate_cached_points(&dst_elements);
+                self.shards[dst].svc_mut().invalidate_cached_points(&dst_elements);
                 let s = &mut self.shards[src];
                 tail.extend(translate_events(&mut self.next_ticket, s, drained));
                 moves.push((id, report.app_id));
@@ -829,7 +892,7 @@ impl ClusterService {
     }
 }
 
-fn fit_of(probe: Option<AdmissionProbe>) -> Option<ShardFit> {
+pub(crate) fn fit_of(probe: Option<AdmissionProbe>) -> Option<ShardFit> {
     probe.map(|p| ShardFit {
         fragmentation: p.after.external_fragmentation,
         resource_utilisation: p.after.resource_utilisation,
@@ -909,7 +972,7 @@ impl ResourceService for ClusterService {
             let (cluster_tickets, shard_requests): (Vec<Ticket>, Vec<Request>) =
                 wave.into_iter().unzip();
             let s = &mut self.shards[i];
-            let shard_tickets = s.service.submit_batch(shard_requests);
+            let shard_tickets = s.svc_mut().submit_batch(shard_requests);
             for (cluster_ticket, shard_ticket) in cluster_tickets.into_iter().zip(shard_tickets) {
                 s.tickets.insert(shard_ticket.0, cluster_ticket);
             }
@@ -925,7 +988,7 @@ impl ResourceService for ClusterService {
         let mut out = Vec::new();
         for i in 0..self.shards.len() {
             let s = &mut self.shards[i];
-            let events = s.service.pump(event);
+            let events = s.svc_mut().pump(event);
             out.extend(translate_events(&mut self.next_ticket, s, events));
         }
         out
@@ -936,11 +999,15 @@ impl ResourceService for ClusterService {
     }
 
     fn kairos(&self) -> &Kairos {
-        self.shards[0].service.kairos()
+        self.shards[0].svc().kairos()
     }
 
     fn queue_depth(&self) -> usize {
-        self.shards.iter().map(|s| s.service.queue_depth()).sum()
+        self.shards.iter().map(|s| s.svc().queue_depth()).sum()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Whole-cluster cache counters: the field-wise sum over every shard
@@ -948,7 +1015,7 @@ impl ResourceService for ClusterService {
     /// when no shard has a cache (all shards share one configuration, so
     /// it is all or none).
     fn cache_stats(&self) -> Option<CacheStats> {
-        self.shards.iter().filter_map(|s| s.service.cache_stats()).reduce(CacheStats::merge)
+        self.shards.iter().filter_map(|s| s.svc().cache_stats()).reduce(CacheStats::merge)
     }
 
     /// Whole-cluster occupancy, aggregated exactly: utilisations from the
@@ -965,7 +1032,7 @@ impl ResourceService for ClusterService {
         let mut free_islands = 0;
         let mut failed_elements = 0;
         for s in &self.shards {
-            let kairos = s.service.kairos();
+            let kairos = s.svc().kairos();
             let p = kairos.platform();
             admitted_apps += kairos.admitted_count();
             used += p.element_ids().filter(|&e| p.is_used(e)).count();
@@ -1066,6 +1133,59 @@ mod tests {
             one.shard(0).kairos().platform().txn_count(),
             "one batch transaction either way"
         );
+    }
+
+    /// Satellite pin: the persistent worker-pool probe executor and the
+    /// legacy per-wave scoped fan-out are byte-identical — tickets,
+    /// event streams, occupancy, and (lit) the rendered metric snapshot,
+    /// including the per-shard probe-timing histograms, whose recording
+    /// is commutative and therefore independent of executor scheduling.
+    #[test]
+    fn pooled_and_scoped_probe_executors_are_byte_identical() {
+        let traffic = || -> Vec<Request> {
+            let mut t: Vec<Request> = (0..8)
+                .map(|i| Request::admit(i, chain(&format!("p{i}"), 2, 600), PriorityClass::Normal))
+                .collect();
+            t.push(Request::new(8, Command::Rebalance { max_moves: 2 }));
+            t
+        };
+        let batch: Vec<Request> = (0..4)
+            .map(|i| Request::admit(9, chain(&format!("b{i}"), 1, 400), PriorityClass::Low))
+            .collect();
+        for lit in [false, true] {
+            let build = |executor: ProbeExecutor| {
+                let telemetry = if lit {
+                    Telemetry::new(kairos_telemetry::TelemetryConfig::default())
+                } else {
+                    Telemetry::disabled()
+                };
+                ClusterBuilder::new(topology::crisp(), 3)
+                    .deterministic(true)
+                    .telemetry(telemetry)
+                    .probe_executor(executor)
+                    .build()
+                    .unwrap()
+            };
+            let mut pooled = build(ProbeExecutor::Pooled);
+            let mut scoped = build(ProbeExecutor::Scoped);
+            let pooled_tickets: Vec<Ticket> =
+                traffic().into_iter().map(|r| pooled.submit(r)).collect();
+            let scoped_tickets: Vec<Ticket> =
+                traffic().into_iter().map(|r| scoped.submit(r)).collect();
+            assert_eq!(pooled_tickets, scoped_tickets);
+            assert_eq!(pooled.submit_batch(batch.clone()), scoped.submit_batch(batch.clone()));
+            let (a, b) = (pooled.take_events(), scoped.take_events());
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "lit={lit}: event streams diverged");
+            assert_eq!(pooled.occupancy(), scoped.occupancy());
+            assert_eq!(pooled.queue_depth(), scoped.queue_depth());
+            if lit {
+                assert_eq!(
+                    pooled.telemetry().render_text(),
+                    scoped.telemetry().render_text(),
+                    "metric snapshots (probe histograms included) must match byte-for-byte"
+                );
+            }
+        }
     }
 
     #[test]

@@ -16,9 +16,12 @@
 //!   `kairos-admitd` when an admission policy is set — identical knobs to
 //!   the monolithic [`ServiceBuilder`](kairos_svc::ServiceBuilder)).
 //! * **Parallel admission probes** — every admission fans out as
-//!   state-neutral what-if probes across all shards using
-//!   `std::thread::scope` (no executor, no extra dependencies; each
-//!   probe is a claim-journal transaction its shard always rolls back).
+//!   state-neutral what-if probes across all shards on a persistent
+//!   worker-pool probe executor: one long-lived thread per shard, fed
+//!   whole waves through job channels (no executor crate, no extra
+//!   dependencies; each probe is a claim-journal transaction its shard
+//!   always rolls back, and [`ProbeExecutor::Scoped`] keeps the legacy
+//!   per-wave `std::thread::scope` fan-out selectable for comparison).
 //!   Results are merged **in shard-id order**, so thread scheduling can
 //!   never leak into a decision: cluster output is byte-deterministic.
 //! * **Pluggable placement** — a [`PlacementPolicy`] trait object picks
@@ -69,12 +72,14 @@
 
 mod cluster;
 mod policy;
+mod pool;
 
 pub use cluster::{ClusterBuilder, ClusterService, APP_ID_STRIDE, SCORE_E6_BOUNDS};
 pub use policy::{
     BestFitFragmentation, FirstFit, LeastLoaded, PlacementPolicy, PlacementPolicyKind, ShardFit,
     ShardLoad, ShardProbe,
 };
+pub use pool::ProbeExecutor;
 
 impl ClusterService {
     /// Sum of admitted applications over all shards (convenience for the
@@ -85,11 +90,11 @@ impl ClusterService {
     }
 }
 
-// Compile-time thread-safety pins. Sharding moves whole manager stacks
-// into scoped probe threads and shares the probed application between
-// them; if any layer (platform, manager, service, injected policy
-// objects) silently stopped being `Send`/`Sync`, parallel probing would
-// regress. Fail the build here instead.
+// Compile-time thread-safety pins. Sharding lends whole manager stacks
+// to the persistent probe workers (or scoped probe threads) and shares
+// the probed wave between them; if any layer (platform, manager,
+// service, injected policy objects) silently stopped being `Send`/
+// `Sync`, parallel probing would regress. Fail the build here instead.
 const fn _assert_send<T: Send>() {}
 const fn _assert_send_sync<T: Send + Sync>() {}
 const _: () = _assert_send_sync::<kairos_platform::Platform>();

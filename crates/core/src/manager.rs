@@ -972,9 +972,15 @@ impl Kairos {
             Err(error) => CachedDecision::Refuse(error.clone()),
         };
         let cache = self.cache.as_mut().expect("place_cold runs only with a cache");
+        let before = cache.len() as i64;
         cache.insert(shape, stamp, decision);
         if let Some(m) = &self.metrics {
-            m.cache_points.set(cache.len() as i64);
+            // Delta update, not `set`: cluster shards share this gauge by
+            // name and probe on parallel worker threads, so only
+            // commutative writes keep the snapshot deterministic. The
+            // gauge therefore reads as the resident-point total across
+            // every manager on the hub.
+            m.cache_points.add(cache.len() as i64 - before);
         }
         result
     }
@@ -1021,7 +1027,9 @@ impl Kairos {
         let dropped = cache.invalidate_elements(elements);
         if let Some(m) = &self.metrics {
             m.cache_invalidations.add(dropped);
-            m.cache_points.set(cache.len() as i64);
+            // Delta, not `set` — see `place_cold`: the gauge is shared
+            // across cluster shards and must only see commutative writes.
+            m.cache_points.add(-(dropped as i64));
         }
         dropped
     }

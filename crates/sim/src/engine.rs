@@ -32,6 +32,7 @@ use kairos_app::Application;
 use kairos_appgen::{WorkloadMix, WorkloadSampler};
 use kairos_cluster::ClusterBuilder;
 use kairos_core::{CacheConfig, Kairos, KairosConfig, Phase};
+use kairos_gateway::{Gateway, GatewayConfig, GatewayStats};
 use kairos_platform::{AppId, ElementId};
 use kairos_svc::{
     CapacityEvent, Command, Event, RejectCause, Request, ResourceService, ServiceBuilder,
@@ -39,8 +40,8 @@ use kairos_svc::{
 use kairos_telemetry::{Counter, Gauge, Histogram, Telemetry, TelemetryConfig};
 
 use crate::report::{
-    CacheReport, ClassQueueStats, ClassTraceStats, PhaseStats, QueueReport, SamplePoint, SimReport,
-    Totals, TraceReport,
+    CacheReport, ClassQueueStats, ClassTraceStats, GatewayReport, PhaseStats, QueueReport,
+    SamplePoint, SimReport, Totals, TraceReport,
 };
 use crate::scenario::Scenario;
 
@@ -301,6 +302,10 @@ pub struct Simulator {
     /// Cross-shard rebalancing re-admits an application under a fresh id;
     /// departures scheduled under the old id resolve through this chain.
     renames: HashMap<AppId, AppId>,
+    /// Live handle onto the gateway's serving counters when the scenario
+    /// runs behind one; the boxed service hides the concrete type.
+    gateway_stats: Option<GatewayStats>,
+    gateway_lanes: usize,
     telemetry: Telemetry,
     totals: TotalsTally,
     rejections_by_phase: [u64; 4],
@@ -347,7 +352,7 @@ impl Simulator {
         } else {
             Telemetry::disabled()
         };
-        let service: Box<dyn ResourceService> = match &scenario.cluster {
+        let inner: Box<dyn ResourceService + Send> = match &scenario.cluster {
             None => {
                 let mut builder = ServiceBuilder::new(scenario.platform.build())
                     .config(config)
@@ -368,6 +373,28 @@ impl Simulator {
                     builder = builder.admission(*policy);
                 }
                 Box::new(builder.build().map_err(|e| format!("cluster: {e}"))?)
+            }
+        };
+        // The gateway wraps the (possibly clustered) service behind the
+        // same `ResourceService` surface; the engine keeps a stats handle
+        // so `finalize` can embed the serving counters after the service
+        // is consumed by the run.
+        let mut gateway_stats = None;
+        let mut gateway_lanes = 0;
+        let service: Box<dyn ResourceService> = match &scenario.gateway {
+            None => inner,
+            Some(spec) => {
+                let gateway = Gateway::with_telemetry(
+                    inner,
+                    GatewayConfig {
+                        channel_capacity: spec.channel_capacity,
+                        coalesce: spec.coalesce,
+                    },
+                    telemetry.clone(),
+                );
+                gateway_stats = Some(gateway.stats_handle());
+                gateway_lanes = gateway.lane_count();
+                Box::new(gateway)
             }
         };
         // One independent sampler per phase, seeded off the scenario seed so
@@ -404,6 +431,8 @@ impl Simulator {
             live: HashMap::new(),
             pending: HashMap::new(),
             renames: HashMap::new(),
+            gateway_stats,
+            gateway_lanes,
             totals: TotalsTally::new(&telemetry),
             rejections_by_phase: [0; 4],
             phase_accum,
@@ -993,6 +1022,20 @@ impl Simulator {
                     insertions: stats.insertions,
                     evictions: stats.evictions,
                     points: stats.points,
+                }
+            }),
+            gateway: self.gateway_stats.as_ref().map(|stats| {
+                let counters = stats.snapshot();
+                GatewayReport {
+                    submitted: counters.submitted,
+                    forwarded: counters.forwarded,
+                    singles: counters.singles,
+                    batches: counters.batches,
+                    coalesced: counters.coalesced,
+                    completions: counters.completions,
+                    peak_inflight: counters.peak_inflight,
+                    parked: counters.parked,
+                    lanes: self.gateway_lanes as u64,
                 }
             }),
         }

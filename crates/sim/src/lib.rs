@@ -10,7 +10,7 @@
 //! and periodic occupancy sampling.
 //!
 //! * [`Scenario`] — a seeded, fully declarative experiment description,
-//!   with a built-in catalog of eighteen named scenarios
+//!   with a built-in catalog of twenty named scenarios
 //!   ([`Scenario::catalog`], documented in `docs/SCENARIOS.md`):
 //!   `steady-churn`, `bursty-arrivals`, `saturation`, `hotspot-failures`,
 //!   `mixed-datasets`, three that exercise the `kairos-admitd` admission
@@ -31,7 +31,12 @@
 //!   [`Scenario::cache`] enabled — `cache-warm-storm` (a repeating
 //!   same-shape admission storm replayed from the cache) and
 //!   `cache-invalidation-churn` (element faults and repairs sweeping
-//!   cached points out from under continuing admissions);
+//!   cached points out from under continuing admissions), and two that
+//!   run behind the `kairos-gateway` async serving front-end
+//!   ([`GatewaySpec`]) — `gateway-arrival-storm` (a sharded storm
+//!   streamed through per-shard bounded lanes, byte-identical to its
+//!   unwrapped twin) and `gateway-backpressure` (a queued overload
+//!   behind a four-slot lane that parks requests in the gateway);
 //! * [`Simulator`] — the event queue + virtual clock driving all
 //!   scenario traffic through the unified
 //!   [`kairos_svc::ResourceService`] API: arrivals are `Admit` commands
@@ -76,8 +81,10 @@ pub mod testkit;
 
 pub use engine::Simulator;
 pub use report::{
-    CacheReport, ClassQueueStats, PhaseStats, QueueReport, SamplePoint, SimReport, Totals,
+    CacheReport, ClassQueueStats, GatewayReport, PhaseStats, QueueReport, SamplePoint, SimReport,
+    Totals,
 };
 pub use scenario::{
-    ClusterSpec, DefragSpec, FaultSpec, PhaseSpec, PlatformSpec, RebalanceSpec, Scenario,
+    ClusterSpec, DefragSpec, FaultSpec, GatewaySpec, PhaseSpec, PlatformSpec, RebalanceSpec,
+    Scenario,
 };

@@ -221,6 +221,38 @@ pub struct CacheReport {
     pub points: u64,
 }
 
+/// End-of-run serving counters from the `kairos-gateway`
+/// [`Gateway`](kairos_gateway::Gateway) the scenario's service ran
+/// behind. The gateway changes how requests reach the service, never
+/// what the service decides, so with default knobs this section is the
+/// *only* difference between a gatewayed report and its direct twin
+/// (the `gateway_equivalence` suite pins exactly that). `None` in
+/// [`SimReport::gateway`] unless the scenario sets
+/// [`Scenario::gateway`](crate::Scenario::gateway).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GatewayReport {
+    /// Requests accepted into gateway lanes.
+    pub submitted: u64,
+    /// Requests forwarded to the inner service.
+    pub forwarded: u64,
+    /// Requests forwarded as single submissions.
+    pub singles: u64,
+    /// Batched submissions forwarded (caller batches plus coalesced
+    /// waves).
+    pub batches: u64,
+    /// Single admissions merged into coalesced waves (zero unless the
+    /// scenario enables [`GatewaySpec::coalesce`](crate::GatewaySpec)).
+    pub coalesced: u64,
+    /// Requests that reached their terminal completion event.
+    pub completions: u64,
+    /// Most gateway futures ever simultaneously in flight.
+    pub peak_inflight: u64,
+    /// Requests that found their lane full and parked for a free slot.
+    pub parked: u64,
+    /// Per-shard request lanes the gateway striped traffic over.
+    pub lanes: u64,
+}
+
 /// The complete result of one scenario run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -262,6 +294,12 @@ pub struct SimReport {
     /// byte-identical. All fields are lifetime counters, so the section
     /// is byte-stable.
     pub cache: Option<CacheReport>,
+    /// End-of-run gateway serving counters. `None` unless the scenario
+    /// sets [`Scenario::gateway`](crate::Scenario::gateway); the JSON
+    /// rendering omits its `gateway` key then, keeping legacy reports
+    /// byte-identical. All fields are lifetime counters, so the section
+    /// is byte-stable.
+    pub gateway: Option<GatewayReport>,
 }
 
 /// A metric snapshot as an ordered JSON object: one key per metric (the
@@ -445,6 +483,19 @@ impl SimReport {
             section.push("evictions", cache.evictions);
             section.push("points", cache.points);
             doc.push("cache", section);
+        }
+        if let Some(gateway) = &self.gateway {
+            let mut section = Json::object();
+            section.push("submitted", gateway.submitted);
+            section.push("forwarded", gateway.forwarded);
+            section.push("singles", gateway.singles);
+            section.push("batches", gateway.batches);
+            section.push("coalesced", gateway.coalesced);
+            section.push("completions", gateway.completions);
+            section.push("peak_inflight", gateway.peak_inflight);
+            section.push("parked", gateway.parked);
+            section.push("lanes", gateway.lanes);
+            doc.push("gateway", section);
         }
         doc
     }

@@ -7,7 +7,7 @@
 //! simulations — the engine draws every random choice from the scenario
 //! seed.
 //!
-//! [`Scenario::catalog`] ships eighteen named scenarios: five spanning the
+//! [`Scenario::catalog`] ships twenty named scenarios: five spanning the
 //! regimes the paper motivates (steady churn, bursty arrivals, saturation,
 //! hotspot element failures, a mixed-dataset workload), three exercising
 //! the `kairos-admitd` admission front-end (priority inversion, overload
@@ -27,9 +27,14 @@
 //! (`cache-warm-storm`, a repeating same-shape admission storm that keeps
 //! the cache hot, and `cache-invalidation-churn`, which interleaves
 //! element faults and repairs with cached admissions to exercise the
-//! invalidation hooks; both run with [`Scenario::cache`] enabled).
-//! `docs/SCENARIOS.md` documents every entry; CI checks the two stay in
-//! sync.
+//! invalidation hooks; both run with [`Scenario::cache`] enabled), and
+//! two exercising the `kairos-gateway` async serving front-end
+//! (`gateway-arrival-storm`, a sharded storm streamed through the
+//! gateway's default lanes and pinned byte-identical to the unwrapped
+//! run, and `gateway-backpressure`, a queued overload behind a
+//! four-slot lane that parks requests in the gateway; both run with
+//! [`Scenario::gateway`] set). `docs/SCENARIOS.md` documents every
+//! entry; CI checks the two stay in sync.
 
 use serde::{Deserialize, Serialize};
 
@@ -203,6 +208,32 @@ pub struct ClusterSpec {
     pub rebalance: Option<RebalanceSpec>,
 }
 
+/// Async serving front-end over the scenario's service: the engine wraps
+/// the (possibly clustered) service in a `kairos-gateway`
+/// [`Gateway`](kairos_gateway::Gateway) — requests stream through
+/// per-shard bounded lanes on the gateway's deterministic single-threaded
+/// executor, and the report grows a `gateway` section with the serving
+/// counters. Under the default knobs the gateway is byte-identical to
+/// driving the service directly (the `gateway_equivalence` suite pins
+/// that); a small [`GatewaySpec::channel_capacity`] makes full lanes park
+/// requests until completions free slots (bounded backpressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatewaySpec {
+    /// Bound of each per-shard request lane (must be at least 1).
+    pub channel_capacity: usize,
+    /// Merge contiguous single admissions flushed in one executor pass
+    /// into one batched wave (changes how the service is driven, so
+    /// excluded from the sync-equivalence guarantee).
+    pub coalesce: bool,
+}
+
+impl Default for GatewaySpec {
+    fn default() -> Self {
+        let config = kairos_gateway::GatewayConfig::default();
+        GatewaySpec { channel_capacity: config.channel_capacity, coalesce: config.coalesce }
+    }
+}
+
 /// A scripted element fault (and optional repair).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultSpec {
@@ -246,6 +277,13 @@ pub struct Scenario {
     /// with parallel admission probes and optional cross-shard
     /// rebalancing.
     pub cluster: Option<ClusterSpec>,
+    /// Async serving front-end. `None` drives the service directly;
+    /// `Some` wraps it in a `kairos-gateway` [`Gateway`](kairos_gateway::Gateway)
+    /// (per-shard bounded request lanes on a deterministic
+    /// single-threaded executor) and embeds the serving counters as the
+    /// report's `gateway` section. With default knobs the wrapped run is
+    /// byte-identical to the unwrapped one apart from that section.
+    pub gateway: Option<GatewaySpec>,
     /// Whether the run records `kairos-telemetry` observability: spans,
     /// the full metric registry (every layer's counters, gauges and
     /// latency histograms) and per-shard flight recorders. The engine
@@ -343,6 +381,11 @@ impl Scenario {
                 if rebalance.max_moves == 0 {
                     return Err("rebalance with max_moves of 0 can never move anything".into());
                 }
+            }
+        }
+        if let Some(gateway) = &self.gateway {
+            if gateway.channel_capacity == 0 {
+                return Err("gateway channel_capacity must be at least 1".into());
             }
         }
         let horizon = self.horizon();
@@ -477,6 +520,15 @@ impl Scenario {
                 doc.push("cluster", cluster)
             }
         };
+        match &self.gateway {
+            None => doc.push("gateway", Json::Null),
+            Some(spec) => {
+                let mut gateway = Json::object();
+                gateway.push("channel_capacity", spec.channel_capacity as u64);
+                gateway.push("coalesce", spec.coalesce);
+                doc.push("gateway", gateway)
+            }
+        };
         doc.push("telemetry", self.telemetry);
         doc.push("trace", self.trace);
         doc.push("cache", self.cache);
@@ -504,6 +556,8 @@ impl Scenario {
             traced_preemption_storm(),
             cache_warm_storm(),
             cache_invalidation_churn(),
+            gateway_arrival_storm(),
+            gateway_backpressure(),
         ]
     }
 
@@ -543,6 +597,7 @@ fn steady_churn() -> Scenario {
         admission: None,
         defrag: None,
         cluster: None,
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: false,
@@ -573,6 +628,7 @@ fn bursty_arrivals() -> Scenario {
         admission: None,
         defrag: None,
         cluster: None,
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: false,
@@ -602,6 +658,7 @@ fn saturation() -> Scenario {
         admission: None,
         defrag: None,
         cluster: None,
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: false,
@@ -640,6 +697,7 @@ fn hotspot_failures() -> Scenario {
         admission: None,
         defrag: None,
         cluster: None,
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: false,
@@ -664,6 +722,7 @@ fn mixed_datasets() -> Scenario {
         admission: None,
         defrag: None,
         cluster: None,
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: false,
@@ -704,6 +763,7 @@ fn priority_inversion() -> Scenario {
         }),
         defrag: None,
         cluster: None,
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: false,
@@ -742,6 +802,7 @@ fn overload_backpressure() -> Scenario {
         }),
         defrag: None,
         cluster: None,
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: false,
@@ -781,6 +842,7 @@ fn retry_storm() -> Scenario {
         }),
         defrag: None,
         cluster: None,
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: false,
@@ -823,6 +885,7 @@ fn critical_preempt() -> Scenario {
         }),
         defrag: None,
         cluster: None,
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: false,
@@ -873,6 +936,7 @@ fn migrate_vs_evict() -> Scenario {
         }),
         defrag: None,
         cluster: None,
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: false,
@@ -905,6 +969,7 @@ fn defrag_sweep() -> Scenario {
         admission: None,
         defrag: Some(DefragSpec { period: 150, max_moves: 4 }),
         cluster: None,
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: false,
@@ -954,6 +1019,7 @@ fn batch_arrival_wave() -> Scenario {
         }),
         defrag: None,
         cluster: None,
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: false,
@@ -1004,6 +1070,7 @@ fn sharded_arrival_storm() -> Scenario {
             policy: PlacementPolicyKind::LeastLoaded,
             rebalance: None,
         }),
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: false,
@@ -1043,6 +1110,7 @@ fn cross_shard_rebalance() -> Scenario {
             policy: PlacementPolicyKind::FirstFit,
             rebalance: Some(RebalanceSpec { period: 150, max_moves: 2 }),
         }),
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: false,
@@ -1100,6 +1168,7 @@ fn telemetry_probe_latency() -> Scenario {
             policy: PlacementPolicyKind::LeastLoaded,
             rebalance: None,
         }),
+        gateway: None,
         telemetry: true,
         trace: false,
         cache: false,
@@ -1154,6 +1223,7 @@ fn traced_preemption_storm() -> Scenario {
             policy: PlacementPolicyKind::LeastLoaded,
             rebalance: None,
         }),
+        gateway: None,
         telemetry: false,
         trace: true,
         cache: false,
@@ -1197,6 +1267,7 @@ fn cache_warm_storm() -> Scenario {
             policy: PlacementPolicyKind::LeastLoaded,
             rebalance: None,
         }),
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: true,
@@ -1250,9 +1321,97 @@ fn cache_invalidation_churn() -> Scenario {
             policy: PlacementPolicyKind::LeastLoaded,
             rebalance: None,
         }),
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: true,
+    }
+}
+
+/// Gateway arrival storm: the async serving-front-end showcase. The
+/// sharded-arrival recipe — a heavy storm of small applications over a
+/// three-shard least-loaded CRISP cluster — runs behind a
+/// `kairos-gateway` [`Gateway`](kairos_gateway::Gateway) with the default
+/// knobs: every admission streams through a per-shard bounded request
+/// lane on the gateway's deterministic single-threaded executor before
+/// reaching the cluster. The run is byte-identical to the unwrapped
+/// scenario apart from the report's `gateway` section (the
+/// `gateway_equivalence` suite pins exactly this), which tallies the
+/// forwarded singles and per-lane traffic.
+fn gateway_arrival_storm() -> Scenario {
+    let storm_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Small), 3),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Small), 2),
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Medium), 1),
+    ];
+    Scenario {
+        name: "gateway-arrival-storm".to_owned(),
+        seed: 0x6A7E,
+        sample_period: 30,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("storm", 1600, 8, 300, storm_mix.clone()),
+            PhaseSpec::new("tail", 600, 40, 300, storm_mix),
+            PhaseSpec::new("drain", 1000, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+        admission: None,
+        defrag: None,
+        cluster: Some(ClusterSpec {
+            shards: 3,
+            policy: PlacementPolicyKind::LeastLoaded,
+            rebalance: None,
+        }),
+        gateway: Some(GatewaySpec::default()),
+        telemetry: false,
+        trace: false,
+        cache: false,
+    }
+}
+
+/// Gateway backpressure: bounded request lanes under saturation. A
+/// monolithic CRISP service takes a queued overload — admissions park in
+/// the `kairos-admitd` front-end as non-terminal residents — behind a
+/// gateway whose single lane holds only four requests, so once four
+/// admissions are queued-but-unresolved the lane is full and later
+/// requests park *in the gateway* until completions free slots (the
+/// report's `parked` counter pins that the bound actually bit). The
+/// shutdown drain then flushes every parked request, so the run still
+/// retires its whole workload; double runs are byte-identical, but the
+/// tiny lane changes when requests reach the service, so this scenario
+/// is deliberately outside the sync-equivalence guarantee.
+fn gateway_backpressure() -> Scenario {
+    let surge_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Medium), 2),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Medium), 1),
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Large), 1),
+    ];
+    Scenario {
+        name: "gateway-backpressure".to_owned(),
+        seed: 0x6A7E8,
+        sample_period: 25,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("surge", 1200, 6, 900, surge_mix),
+            PhaseSpec::new("drain", 1400, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+        admission: Some(AdmitPolicy {
+            class_capacity: [16, 16, 16, 48],
+            max_wait: Some(900),
+            max_attempts: 6,
+            backoff_base: 1,
+            backoff_cap: 4,
+            ..AdmitPolicy::default()
+        }),
+        defrag: None,
+        cluster: None,
+        gateway: Some(GatewaySpec { channel_capacity: 4, coalesce: false }),
+        telemetry: false,
+        trace: false,
+        cache: false,
     }
 }
 
@@ -1261,9 +1420,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalog_has_eighteen_valid_named_scenarios() {
+    fn catalog_has_twenty_valid_named_scenarios() {
         let catalog = Scenario::catalog();
-        assert_eq!(catalog.len(), 18);
+        assert_eq!(catalog.len(), 20);
         let mut names: Vec<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
         for scenario in &catalog {
             scenario.validate().unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
@@ -1271,7 +1430,7 @@ mod tests {
         }
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 18, "catalog names must be unique");
+        assert_eq!(names.len(), 20, "catalog names must be unique");
         // The queueing, preemption and batching scenarios all carry an
         // admission policy; the five legacy scenarios and the defrag
         // sweep stay on the direct path.
@@ -1289,6 +1448,7 @@ mod tests {
                 "sharded-arrival-storm",
                 "telemetry-probe-latency",
                 "traced-preemption-storm",
+                "gateway-backpressure",
             ]
         );
         let clustered: Vec<&str> =
@@ -1302,8 +1462,20 @@ mod tests {
                 "traced-preemption-storm",
                 "cache-warm-storm",
                 "cache-invalidation-churn",
+                "gateway-arrival-storm",
             ]
         );
+        // Exactly the two gateway scenarios run behind the async serving
+        // front-end; only the backpressure one narrows the lane bound.
+        let gatewayed: Vec<&str> =
+            catalog.iter().filter(|s| s.gateway.is_some()).map(|s| s.name.as_str()).collect();
+        assert_eq!(gatewayed, vec!["gateway-arrival-storm", "gateway-backpressure"]);
+        let narrow: Vec<&str> = catalog
+            .iter()
+            .filter(|s| s.gateway.is_some_and(|g| g.channel_capacity < 64))
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(narrow, vec!["gateway-backpressure"]);
         let rebalancing: Vec<&str> = catalog
             .iter()
             .filter(|s| s.cluster.is_some_and(|c| c.rebalance.is_some()))
@@ -1397,6 +1569,10 @@ mod tests {
         let mut s = Scenario::by_name("cross-shard-rebalance").unwrap();
         s.cluster.as_mut().unwrap().rebalance.as_mut().unwrap().max_moves = 0;
         assert!(s.validate().unwrap_err().contains("rebalance"));
+
+        let mut s = Scenario::by_name("gateway-backpressure").unwrap();
+        s.gateway.as_mut().unwrap().channel_capacity = 0;
+        assert!(s.validate().unwrap_err().contains("channel_capacity"));
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Shared test support for the workspace's integration suites.
 //!
-//! The cluster-transparency, telemetry-observer, trace-determinism and
-//! opcache-equivalence suites all need the same ingredients: a small
-//! deterministic workload mix, a parameterised scenario generator
-//! covering the queued/clustered/preempting axes, the one-shard cluster
-//! rewrite, and snapshot readers for pinned metric names. They used to
+//! The cluster-transparency, telemetry-observer, trace-determinism,
+//! opcache-equivalence and gateway-equivalence suites all need the same
+//! ingredients: a small deterministic workload mix, a parameterised
+//! scenario generator covering the queued/clustered/preempting axes,
+//! the one-shard cluster and gateway rewrites, and snapshot readers for
+//! pinned metric names. They used to
 //! carry private copies; this module (behind the `testkit` feature) is
 //! the single shared implementation.
 
@@ -13,7 +14,7 @@ use kairos_appgen::{DatasetSpec, MixEntry, Orientation, SizeClass};
 use kairos_cluster::PlacementPolicyKind;
 use kairos_telemetry::{MetricValue, Snapshot};
 
-use crate::{ClusterSpec, PhaseSpec, PlatformSpec, Scenario, Simulator};
+use crate::{ClusterSpec, GatewaySpec, PhaseSpec, PlatformSpec, Scenario, Simulator};
 
 /// A small two-entry workload mix: two computation-oriented and one
 /// communication-oriented small dataset.
@@ -72,10 +73,23 @@ pub fn generated(
             policy: PlacementPolicyKind::LeastLoaded,
             rebalance: None,
         }),
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: false,
     }
+}
+
+/// The scenario rewritten to run behind a default-knob gateway (the
+/// gateway-transparency pin's rewrite).
+///
+/// # Panics
+///
+/// Panics when the scenario is already gatewayed.
+pub fn gatewayed(mut scenario: Scenario) -> Scenario {
+    assert!(scenario.gateway.is_none(), "only ungatewayed scenarios are rewritten");
+    scenario.gateway = Some(GatewaySpec::default());
+    scenario
 }
 
 /// The scenario rewritten to run through a one-shard cluster (the

@@ -27,6 +27,7 @@ fn churn_and_drain(seed: u64) -> Scenario {
         admission: None,
         defrag: None,
         cluster: None,
+        gateway: None,
         telemetry: false,
         trace: false,
         cache: false,

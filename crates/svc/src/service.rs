@@ -80,6 +80,14 @@ pub trait ResourceService: std::fmt::Debug {
     fn cache_stats(&self) -> Option<CacheStats> {
         self.kairos().cache_stats()
     }
+
+    /// Number of independent shards behind this service — `1` for a
+    /// monolithic manager; a `kairos-cluster` reports its region count.
+    /// Serving front-ends (the `kairos-gateway`) use it to stripe their
+    /// bounded request lanes one-per-shard.
+    fn shard_count(&self) -> usize {
+        1
+    }
 }
 
 /// The admission path behind a [`KairosService`]: the bare manager (the

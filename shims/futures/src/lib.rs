@@ -1,0 +1,480 @@
+//! Offline shim of `futures` 0.3.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships minimal local stand-ins for its external dependencies (see
+//! `shims/README.md`). This crate reimplements the subset of the
+//! `futures` crate that the `kairos-gateway` deterministic executor
+//! builds on: the [`future`] module ([`future::BoxFuture`],
+//! [`future::poll_fn`], [`future::FutureExt::boxed`]), the [`task`]
+//! module ([`task::ArcWake`] with [`task::waker`] and
+//! [`task::noop_waker`]), the [`stream`] module ([`stream::Stream`],
+//! [`stream::StreamExt::next`] and a deterministic
+//! [`stream::FuturesUnordered`]), and [`executor::block_on`].
+//!
+//! Differences from the real crate (documented in `shims/README.md`):
+//!
+//! * [`stream::FuturesUnordered::push`] takes `&mut self` (upstream uses
+//!   interior mutability), and ready entries are polled in **insertion
+//!   order** instead of upstream's wake order — the whole point of this
+//!   shim: a drive over the same set of woken futures visits them in the
+//!   same order on every run, so executors built on it are
+//!   byte-deterministic.
+//! * Wakers are assembled through safe [`std::task::Wake`] adapters
+//!   rather than a hand-rolled `RawWakerVTable` — the workspace forbids
+//!   `unsafe` — so [`task::ArcWake`] implementations must be
+//!   `Send + Sync + 'static` (they all are upstream, too).
+//!
+//! Call sites use the upstream surface unchanged.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub use future::{Future, FutureExt};
+pub use stream::{Stream, StreamExt};
+
+pub mod future {
+    //! Asynchronous values: re-exports of the std [`Future`] machinery
+    //! plus the boxing and `poll_fn` helpers of upstream
+    //! `futures::future`.
+
+    pub use core::future::{pending, ready, Future, Pending, Ready};
+    use core::pin::Pin;
+    use core::task::{Context, Poll};
+
+    /// An owned dynamically typed [`Future`] for use where the concrete
+    /// type cannot be named, `Send` as upstream's.
+    pub type BoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + Send + 'a>>;
+
+    /// [`BoxFuture`] without the `Send` requirement.
+    pub type LocalBoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + 'a>>;
+
+    /// Future for the [`poll_fn`] function.
+    pub struct PollFn<F> {
+        f: F,
+    }
+
+    impl<F> Unpin for PollFn<F> {}
+
+    impl<F> core::fmt::Debug for PollFn<F> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.debug_struct("PollFn").finish()
+        }
+    }
+
+    /// A future backed by a function returning [`Poll`], polled by
+    /// calling the function.
+    pub fn poll_fn<T, F>(f: F) -> PollFn<F>
+    where
+        F: FnMut(&mut Context<'_>) -> Poll<T>,
+    {
+        PollFn { f }
+    }
+
+    impl<T, F> Future for PollFn<F>
+    where
+        F: FnMut(&mut Context<'_>) -> Poll<T>,
+    {
+        type Output = T;
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+            (self.get_mut().f)(cx)
+        }
+    }
+
+    /// The adapters of upstream `FutureExt` this workspace uses.
+    pub trait FutureExt: Future {
+        /// Wraps the future into a type-erased [`BoxFuture`].
+        fn boxed<'a>(self) -> BoxFuture<'a, Self::Output>
+        where
+            Self: Sized + Send + 'a,
+        {
+            Box::pin(self)
+        }
+
+        /// Wraps the future into a type-erased [`LocalBoxFuture`].
+        fn boxed_local<'a>(self) -> LocalBoxFuture<'a, Self::Output>
+        where
+            Self: Sized + 'a,
+        {
+            Box::pin(self)
+        }
+    }
+
+    impl<F: Future> FutureExt for F {}
+}
+
+pub mod task {
+    //! Waker machinery: re-exports of the std task types plus the
+    //! [`ArcWake`] trait of upstream `futures::task`, implemented here on
+    //! safe [`std::task::Wake`] adapters instead of a raw vtable.
+
+    pub use core::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+    use std::sync::Arc;
+
+    /// A way of waking up a specific task, held behind an [`Arc`].
+    pub trait ArcWake: Send + Sync {
+        /// Indicates that the associated task is ready to make progress,
+        /// without consuming the handle.
+        fn wake_by_ref(arc_self: &Arc<Self>);
+
+        /// Indicates that the associated task is ready to make progress,
+        /// consuming the handle.
+        fn wake(self: Arc<Self>) {
+            Self::wake_by_ref(&self);
+        }
+    }
+
+    struct Adapter<W: ?Sized>(Arc<W>);
+
+    impl<W: ArcWake + ?Sized> std::task::Wake for Adapter<W> {
+        fn wake(self: Arc<Self>) {
+            ArcWake::wake_by_ref(&self.0);
+        }
+        fn wake_by_ref(self: &Arc<Self>) {
+            ArcWake::wake_by_ref(&self.0);
+        }
+    }
+
+    /// A [`Waker`] from an [`ArcWake`] implementation (upstream
+    /// `futures::task::waker`).
+    pub fn waker<W: ArcWake + 'static>(wake: Arc<W>) -> Waker {
+        Waker::from(Arc::new(Adapter(wake)))
+    }
+
+    /// A [`Waker`] that does nothing when woken (upstream
+    /// `futures::task::noop_waker`) — the parent context of a top-level
+    /// executor drive.
+    pub fn noop_waker() -> Waker {
+        struct Noop;
+        impl ArcWake for Noop {
+            fn wake_by_ref(_: &Arc<Self>) {}
+        }
+        waker(Arc::new(Noop))
+    }
+}
+
+pub mod stream {
+    //! Asynchronous sequences: the [`Stream`] trait, the
+    //! [`StreamExt::next`] adapter, and a deterministic
+    //! [`FuturesUnordered`].
+
+    use core::future::Future;
+    use core::pin::Pin;
+    use core::task::{Context, Poll, Waker};
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::sync::{Arc, Mutex};
+
+    use crate::task::{waker, ArcWake};
+
+    /// An asynchronous sequence of values (the `poll_next` subset of
+    /// upstream `Stream`).
+    pub trait Stream {
+        /// Values yielded by the stream.
+        type Item;
+
+        /// Attempts to pull out the next value of this stream.
+        fn poll_next(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<Self::Item>>;
+    }
+
+    /// The adapters of upstream `StreamExt` this workspace uses.
+    pub trait StreamExt: Stream {
+        /// A future resolving to the next value of the stream, or `None`
+        /// when it is exhausted.
+        fn next(&mut self) -> Next<'_, Self>
+        where
+            Self: Unpin,
+        {
+            Next { stream: self }
+        }
+    }
+
+    impl<S: Stream + ?Sized> StreamExt for S {}
+
+    /// Future for the [`StreamExt::next`] method.
+    #[derive(Debug)]
+    pub struct Next<'a, S: ?Sized> {
+        stream: &'a mut S,
+    }
+
+    impl<S: ?Sized> Unpin for Next<'_, S> {}
+
+    impl<S: Stream + Unpin + ?Sized> Future for Next<'_, S> {
+        type Output = Option<S::Item>;
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            Pin::new(&mut *self.get_mut().stream).poll_next(cx)
+        }
+    }
+
+    /// The keys of entries woken since they were last polled, plus the
+    /// parent task to notify. Child wakers only ever touch this shared
+    /// set — never the futures themselves — so they stay `Send + Sync`
+    /// while the owning [`FuturesUnordered`] (and its futures) need not
+    /// be.
+    #[derive(Default)]
+    struct ReadySet {
+        inner: Mutex<ReadyInner>,
+    }
+
+    #[derive(Default)]
+    struct ReadyInner {
+        keys: BTreeSet<u64>,
+        parent: Option<Waker>,
+    }
+
+    impl ReadySet {
+        fn insert(&self, key: u64) {
+            let parent = {
+                let mut inner = self.inner.lock().expect("ready set lock");
+                inner.keys.insert(key);
+                inner.parent.take()
+            };
+            if let Some(parent) = parent {
+                parent.wake();
+            }
+        }
+    }
+
+    struct EntryWake {
+        key: u64,
+        set: Arc<ReadySet>,
+    }
+
+    impl ArcWake for EntryWake {
+        fn wake_by_ref(this: &Arc<Self>) {
+            this.set.insert(this.key);
+        }
+    }
+
+    /// A set of futures polled as one stream of their outputs, as
+    /// upstream `futures::stream::FuturesUnordered` — with one deliberate
+    /// difference: entries are keyed by **insertion order** and a drive
+    /// polls the woken entries in ascending key order, so the same wake
+    /// pattern is serviced identically on every run. That determinism is
+    /// the primitive the `kairos-gateway` executor drains its admissions
+    /// with (tickets are spawned in ticket order, so the ready queue
+    /// drains in ticket order).
+    pub struct FuturesUnordered<F> {
+        entries: BTreeMap<u64, Pin<Box<F>>>,
+        next_key: u64,
+        set: Arc<ReadySet>,
+    }
+
+    impl<F> Default for FuturesUnordered<F> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<F> core::fmt::Debug for FuturesUnordered<F> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.debug_struct("FuturesUnordered").field("len", &self.entries.len()).finish()
+        }
+    }
+
+    impl<F> FuturesUnordered<F> {
+        /// An empty set.
+        pub fn new() -> Self {
+            FuturesUnordered {
+                entries: BTreeMap::new(),
+                next_key: 0,
+                set: Arc::new(ReadySet::default()),
+            }
+        }
+
+        /// Number of futures in the set (completed ones are removed).
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+
+        /// Whether the set is empty.
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+
+        /// Adds a future to the set; it is polled on the next drive.
+        /// Unlike upstream this takes `&mut self` — the workspace's
+        /// executors own their set exclusively.
+        pub fn push(&mut self, future: F) {
+            let key = self.next_key;
+            self.next_key += 1;
+            self.entries.insert(key, Box::pin(future));
+            self.set.insert(key);
+        }
+    }
+
+    impl<F: Future> Stream for FuturesUnordered<F> {
+        type Item = F::Output;
+
+        /// Polls woken entries in ascending insertion order until one
+        /// completes (`Ready(Some)`), every woken entry is pending again
+        /// (`Pending`), or the set is empty (`Ready(None)`).
+        fn poll_next(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<F::Output>> {
+            let this = self.get_mut();
+            if this.entries.is_empty() {
+                return Poll::Ready(None);
+            }
+            loop {
+                let key = {
+                    let mut inner = this.set.inner.lock().expect("ready set lock");
+                    match inner.keys.iter().next().copied() {
+                        Some(key) => {
+                            inner.keys.remove(&key);
+                            key
+                        }
+                        None => {
+                            inner.parent = Some(cx.waker().clone());
+                            return Poll::Pending;
+                        }
+                    }
+                };
+                // A wake may outlive its future (completed on an earlier
+                // drive); stale keys are skipped.
+                let Some(future) = this.entries.get_mut(&key) else { continue };
+                let entry_waker = waker(Arc::new(EntryWake { key, set: this.set.clone() }));
+                let mut entry_cx = Context::from_waker(&entry_waker);
+                if let Poll::Ready(output) = future.as_mut().poll(&mut entry_cx) {
+                    this.entries.remove(&key);
+                    return Poll::Ready(Some(output));
+                }
+            }
+        }
+    }
+}
+
+pub mod executor {
+    //! A minimal single-future executor (upstream
+    //! `futures::executor::block_on`).
+
+    use core::future::Future;
+    use core::task::{Context, Poll};
+    use std::sync::Arc;
+    use std::thread::Thread;
+
+    use crate::task::{waker, ArcWake};
+
+    struct ThreadWake(Thread);
+
+    impl ArcWake for ThreadWake {
+        fn wake_by_ref(this: &Arc<Self>) {
+            this.0.unpark();
+        }
+    }
+
+    /// Runs `future` to completion on the current thread, parking between
+    /// polls until a wake arrives.
+    pub fn block_on<F: Future>(future: F) -> F::Output {
+        let mut future = Box::pin(future);
+        let thread_waker = waker(Arc::new(ThreadWake(std::thread::current())));
+        let mut cx = Context::from_waker(&thread_waker);
+        loop {
+            match future.as_mut().poll(&mut cx) {
+                Poll::Ready(output) => return output,
+                Poll::Pending => std::thread::park(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::executor::block_on;
+    use super::future::{poll_fn, FutureExt};
+    use super::stream::{FuturesUnordered, Stream, StreamExt};
+    use super::task::{noop_waker, waker, ArcWake};
+    use core::pin::Pin;
+    use core::task::{Context, Poll, Waker};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn block_on_drives_a_future_to_completion() {
+        assert_eq!(block_on(core::future::ready(42)), 42);
+        let mut polls = 0;
+        let lazy = poll_fn(move |cx| {
+            polls += 1;
+            if polls < 3 {
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            } else {
+                Poll::Ready(polls)
+            }
+        });
+        assert_eq!(block_on(lazy), 3);
+    }
+
+    #[test]
+    fn arc_wake_handles_count_wakes() {
+        struct Counting(AtomicUsize);
+        impl ArcWake for Counting {
+            fn wake_by_ref(this: &Arc<Self>) {
+                this.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let handle = Arc::new(Counting(AtomicUsize::new(0)));
+        let w = waker(handle.clone());
+        w.wake_by_ref();
+        waker(handle.clone()).wake();
+        assert_eq!(handle.0.load(Ordering::SeqCst), 2);
+        noop_waker().wake(); // must not panic
+    }
+
+    /// Futures completing out of spawn order still drain deterministically:
+    /// a drive polls woken entries in insertion order, so the completion
+    /// sequence is a pure function of the wake pattern.
+    #[test]
+    fn futures_unordered_polls_ready_entries_in_insertion_order() {
+        let gates: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(vec![false; 4]));
+        let wakers: Arc<Mutex<Vec<Option<Waker>>>> = Arc::new(Mutex::new(vec![None; 4]));
+        let mut set = FuturesUnordered::new();
+        for i in 0..4usize {
+            let gates = gates.clone();
+            let wakers = wakers.clone();
+            set.push(
+                poll_fn(move |cx| {
+                    if gates.lock().unwrap()[i] {
+                        Poll::Ready(i)
+                    } else {
+                        wakers.lock().unwrap()[i] = Some(cx.waker().clone());
+                        Poll::Pending
+                    }
+                })
+                .boxed(),
+            );
+        }
+        let parent = noop_waker();
+        let mut cx = Context::from_waker(&parent);
+        assert!(Pin::new(&mut set).poll_next(&mut cx).is_pending());
+        assert_eq!(set.len(), 4);
+        // Wake 3 then 1: the next drive still yields 1 first (key order).
+        for i in [3usize, 1] {
+            gates.lock().unwrap()[i] = true;
+            wakers.lock().unwrap()[i].take().unwrap().wake();
+        }
+        assert_eq!(Pin::new(&mut set).poll_next(&mut cx), Poll::Ready(Some(1)));
+        assert_eq!(Pin::new(&mut set).poll_next(&mut cx), Poll::Ready(Some(3)));
+        assert!(Pin::new(&mut set).poll_next(&mut cx).is_pending());
+        for i in [0usize, 2] {
+            gates.lock().unwrap()[i] = true;
+            wakers.lock().unwrap()[i].take().unwrap().wake();
+        }
+        assert_eq!(Pin::new(&mut set).poll_next(&mut cx), Poll::Ready(Some(0)));
+        assert_eq!(Pin::new(&mut set).poll_next(&mut cx), Poll::Ready(Some(2)));
+        assert_eq!(Pin::new(&mut set).poll_next(&mut cx), Poll::Ready(None));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn streams_integrate_with_block_on_via_next() {
+        let mut set = FuturesUnordered::new();
+        for i in 0..3 {
+            set.push(core::future::ready(i));
+        }
+        let drained = block_on(async {
+            let mut out = Vec::new();
+            while let Some(v) = set.next().await {
+                out.push(v);
+            }
+            out
+        });
+        assert_eq!(drained, vec![0, 1, 2]);
+    }
+}

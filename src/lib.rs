@@ -39,6 +39,13 @@
 //!   shard-id order, pluggable placement policies (first-fit /
 //!   best-fit-by-fragmentation / least-loaded) and cross-shard
 //!   rebalancing sweeps;
+//! * [`gateway`] — the async serving front-end: a decorator over any
+//!   `ResourceService` that streams admissions through per-shard bounded
+//!   request lanes on a hand-rolled deterministic single-threaded
+//!   executor (the `futures` shim), keeps tens of thousands of requests
+//!   in flight, exposes per-ticket completion streams, and stays
+//!   byte-identical to driving the service directly under the default
+//!   knobs;
 //! * [`sim`] — a deterministic discrete-event scenario engine driving the
 //!   service through long-running multi-application workloads with
 //!   arrivals (lone or in batched waves), departures and element faults,
@@ -77,6 +84,7 @@ pub use kairos_app as app;
 pub use kairos_appgen as appgen;
 pub use kairos_cluster as cluster;
 pub use kairos_core as core;
+pub use kairos_gateway as gateway;
 pub use kairos_opcache as opcache;
 pub use kairos_platform as platform;
 pub use kairos_reloc as reloc;

@@ -12,6 +12,7 @@
 
 use kairos::sim::testkit::{counter, generated, histogram_count};
 use kairos::sim::{Scenario, Simulator};
+use kairos::telemetry::MetricValue;
 use proptest::prelude::*;
 
 proptest! {
@@ -209,4 +210,60 @@ fn probe_latency_scenario_exposes_every_layer() {
     let flight = simulator.telemetry().flight_dump();
     assert!(!flight.is_empty(), "the flight recorder must retain events");
     assert!(flight.iter().any(|e| e.target.starts_with("kairos_")));
+}
+
+/// The gateway's serving instruments ride the same hub: a lit run of
+/// `gateway-arrival-storm` exposes the `kairos.gateway.*` counters,
+/// per-lane depth gauges and the completion-latency histogram, their
+/// values agree with the report's `gateway` section — and turning the
+/// registry on does not change a single other byte of the report.
+#[test]
+fn gateway_instruments_are_visible_and_observer_safe() {
+    let dark = Scenario::by_name("gateway-arrival-storm").unwrap();
+    let mut lit = dark.clone();
+    lit.telemetry = true;
+
+    let dark_report = Simulator::new(dark).unwrap().run();
+    let mut lit_sim = Simulator::new(lit).unwrap();
+    let mut lit_report = lit_sim.run();
+
+    let snapshot = lit_report.telemetry.take().expect("telemetry section");
+    let counters = lit_report.gateway.expect("gateway section");
+    assert_eq!(counter(&snapshot, "kairos.gateway.submitted"), counters.submitted);
+    assert_eq!(counter(&snapshot, "kairos.gateway.forwarded"), counters.forwarded);
+    assert_eq!(counter(&snapshot, "kairos.gateway.batches"), counters.batches);
+    assert_eq!(
+        histogram_count(&snapshot, "kairos.gateway.completion.ticks"),
+        counters.completions,
+        "every completion must land in the latency histogram"
+    );
+    // One depth gauge per cluster shard lane, and the executor's
+    // in-flight gauge, all drained to zero by the shutdown flush.
+    for name in [
+        "kairos.gateway.inflight",
+        "kairos.gateway.lane0.depth",
+        "kairos.gateway.lane1.depth",
+        "kairos.gateway.lane2.depth",
+    ] {
+        let metric = snapshot
+            .metrics
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from snapshot"));
+        match &metric.value {
+            MetricValue::Gauge(v) => assert_eq!(*v, 0, "{name} must drain to zero"),
+            other => panic!("{name} is not a gauge: {other:?}"),
+        }
+    }
+
+    let text = lit_sim.telemetry().render_text();
+    for name in ["kairos_gateway_submitted", "kairos_gateway_completion_ticks_count"] {
+        assert!(text.contains(name), "text exposition must expose {name}");
+    }
+
+    assert_eq!(
+        dark_report.to_json_string(),
+        lit_report.to_json_string(),
+        "gateway telemetry must not change a single observable byte"
+    );
 }
