@@ -7,7 +7,8 @@ use std::sync::Arc;
 use kairos_admitd::{AdmitPolicy, PriorityClass};
 use kairos_app::Application;
 use kairos_core::{
-    AdmissionProbe, CacheStats, Kairos, KairosConfig, OccupancySnapshot, DURATION_NS_BOUNDS,
+    AdmissionProbe, CacheStats, ElementActivity, Kairos, KairosConfig, OccupancySnapshot,
+    DURATION_NS_BOUNDS,
 };
 use kairos_platform::{adjacent_pairs, AppId, ElementId, Platform, RegionMap};
 use kairos_svc::{
@@ -1057,6 +1058,23 @@ impl ResourceService for ClusterService {
             free_islands,
             failed_elements,
         }
+    }
+
+    /// Per-element activity over every shard, with shard-local element ids
+    /// translated back to the global platform through each shard's region
+    /// slice and each entry tagged with its owning shard — ordered by shard
+    /// then local id, which for contiguous region slices is global-id
+    /// order (matching the monolithic service on a one-shard cluster).
+    fn element_activity(&self) -> Vec<ElementActivity> {
+        let mut out = Vec::new();
+        for (shard_index, s) in self.shards.iter().enumerate() {
+            for mut activity in s.svc().kairos().element_activity() {
+                activity.element = s.globals[activity.element.index()];
+                activity.shard = shard_index;
+                out.push(activity);
+            }
+        }
+        out
     }
 }
 

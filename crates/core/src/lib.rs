@@ -77,7 +77,7 @@ pub use mapping::{
     map_application, CostContext, CostPolicy, CostWeights, ElementSearch, GapState, KnapsackItem,
     KnapsackSolver, MapperConfig, MappingReport, DEFAULT_MISS_PENALTY,
 };
-pub use metrics::{OccupancySnapshot, PhaseClock, PhaseStart, PhaseTimings};
+pub use metrics::{ElementActivity, OccupancySnapshot, PhaseClock, PhaseStart, PhaseTimings};
 pub use routing::{release_routes, route_channels, RouteAlgorithm};
 pub use validation::{layout_to_sdf, validate, ValidationConfig, ValidationReport};
 

@@ -22,7 +22,7 @@ use crate::cache::{CachedDecision, CachedPoint};
 use crate::error::{AllocationError, Phase};
 use crate::layout::ExecutionLayout;
 use crate::mapping::{map_application, CostWeights, KnapsackSolver, MapperConfig};
-use crate::metrics::{OccupancySnapshot, PhaseClock, PhaseTimings};
+use crate::metrics::{ElementActivity, OccupancySnapshot, PhaseClock, PhaseTimings};
 use crate::routing::{release_routes, route_channels, RouteAlgorithm};
 use crate::validation::{validate, ValidationConfig, ValidationReport};
 
@@ -454,6 +454,35 @@ impl Kairos {
             free_islands: kairos_platform::free_island_count(&self.platform),
             failed_elements: self.platform.failed_elements().len(),
         }
+    }
+
+    /// Per-element busy/failed/resident-apps activity, in element-id order.
+    ///
+    /// The raw signal behind energy accounting and health monitoring: a pure
+    /// function of platform state (like [`Kairos::occupancy`]), suitable for
+    /// periodic sampling. The monolithic manager reports every element as
+    /// shard 0; cluster layers translate shard-local ids to global ones and
+    /// tag the owning shard.
+    pub fn element_activity(&self) -> Vec<ElementActivity> {
+        self.platform
+            .element_ids()
+            .map(|id| {
+                let element = self.platform.element(id);
+                let mut apps: Vec<AppId> =
+                    self.platform.residents(id).iter().map(|o| o.app).collect();
+                apps.sort_unstable();
+                apps.dedup();
+                ElementActivity {
+                    element: id,
+                    kind: element.kind(),
+                    name: element.name().to_string(),
+                    shard: 0,
+                    busy: self.platform.is_used(id),
+                    failed: self.platform.is_failed(id),
+                    apps,
+                }
+            })
+            .collect()
     }
 
     /// Attempts to admit `app`, running all four phases.

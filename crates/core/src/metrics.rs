@@ -181,6 +181,32 @@ pub struct OccupancySnapshot {
     pub failed_elements: usize,
 }
 
+/// Instantaneous activity of one platform element, as seen by an energy
+/// meter or health monitor.
+///
+/// Produced by [`Kairos::element_activity`](crate::Kairos::element_activity)
+/// (and aggregated across shards by the service layers); a pure function of
+/// the platform state, so identical admission histories yield identical
+/// activity vectors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElementActivity {
+    /// Global element id (shard-local ids are translated by the cluster).
+    pub element: kairos_platform::ElementId,
+    /// Architectural class of the element.
+    pub kind: kairos_platform::ElementKind,
+    /// Human-readable name, e.g. `pkg2/dsp4` (the prefix before `/` is the
+    /// element's package; names without one form their own package).
+    pub name: String,
+    /// Index of the shard managing the element (0 for a monolithic service).
+    pub shard: usize,
+    /// `true` while at least one task resides on the element.
+    pub busy: bool,
+    /// `true` while the element is marked failed.
+    pub failed: bool,
+    /// Distinct applications with a resident task, sorted ascending.
+    pub apps: Vec<kairos_platform::AppId>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -86,7 +86,7 @@ use futures::stream::FuturesUnordered;
 use futures::task::noop_waker;
 use futures::{future::BoxFuture, FutureExt, Stream};
 
-use kairos_core::{CacheStats, Kairos, OccupancySnapshot};
+use kairos_core::{CacheStats, ElementActivity, Kairos, OccupancySnapshot};
 use kairos_svc::{CapacityEvent, Command, Event, Request, ResourceService, Ticket};
 use kairos_telemetry::{Counter, Gauge, Histogram, Telemetry};
 
@@ -827,6 +827,10 @@ impl ResourceService for Gateway {
 
     fn shard_count(&self) -> usize {
         self.inner.shard_count()
+    }
+
+    fn element_activity(&self) -> Vec<ElementActivity> {
+        self.inner.element_activity()
     }
 }
 

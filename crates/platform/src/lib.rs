@@ -50,6 +50,7 @@ mod element;
 mod frag;
 mod link;
 mod platform;
+mod power;
 mod region;
 mod render;
 mod resource;
@@ -61,6 +62,7 @@ pub use element::{Element, ElementId, ElementKind};
 pub use frag::{adjacent_pairs, element_utilisation, external_fragmentation, free_island_count};
 pub use link::{Link, LinkId};
 pub use platform::{AppId, ClaimError, Occupant, Platform, PlatformCheckpoint};
+pub use power::{PowerModel, PowerRate};
 pub use region::RegionMap;
 pub use render::{render_link_load, render_occupancy, render_strip};
 pub use resource::{ResourceKind, ResourceVector, RESOURCE_KIND_COUNT};

@@ -38,6 +38,7 @@ use kairos_svc::{
     CapacityEvent, Command, Event, RejectCause, Request, ResourceService, ServiceBuilder,
 };
 use kairos_telemetry::{Counter, Gauge, Histogram, Telemetry, TelemetryConfig};
+use kairos_watch::{EnergyMeter, Watcher};
 
 use crate::report::{
     CacheReport, ClassQueueStats, ClassTraceStats, GatewayReport, PhaseStats, QueueReport,
@@ -306,6 +307,12 @@ pub struct Simulator {
     /// runs behind one; the boxed service hides the concrete type.
     gateway_stats: Option<GatewayStats>,
     gateway_lanes: usize,
+    /// Energy meter over the sampled element activity; runs when the
+    /// scenario sets `power` or `watch`. A pure observer.
+    energy: Option<EnergyMeter>,
+    /// Monitor-rule evaluator over the event and sample streams; runs
+    /// when the scenario sets `watch`. A pure observer.
+    watch: Option<Watcher>,
     telemetry: Telemetry,
     totals: TotalsTally,
     rejections_by_phase: [u64; 4],
@@ -420,6 +427,15 @@ impl Simulator {
             t += phase.duration;
         }
         let phase_accum = vec![PhaseAccum::default(); scenario.phases.len()];
+        // The watch layer observes the same streams the report is built
+        // from and never feeds anything back: a watched run differs from
+        // an unwatched one only in its `energy`/`health` report sections
+        // (`tests/watch_observer.rs` pins that). A watched scenario
+        // meters implicitly; `power` alone meters without monitors.
+        let energy = (scenario.power.is_some() || scenario.watch.is_some()).then(|| {
+            EnergyMeter::new(scenario.power.clone().unwrap_or_default().model(), &telemetry)
+        });
+        let watch = scenario.watch.map(|spec| Watcher::new(spec.policy(), &telemetry));
         Ok(Simulator {
             scenario,
             service,
@@ -433,6 +449,8 @@ impl Simulator {
             renames: HashMap::new(),
             gateway_stats,
             gateway_lanes,
+            energy,
+            watch,
             totals: TotalsTally::new(&telemetry),
             rejections_by_phase: [0; 4],
             phase_accum,
@@ -571,6 +589,7 @@ impl Simulator {
                         occupancy: self.service.occupancy(),
                         queue_depth: self.service.queue_depth() as u64,
                     });
+                    self.on_watch_sample(at);
                 }
             }
         }
@@ -742,6 +761,11 @@ impl Simulator {
     /// `queued == admitted + dropped` style balances hold with or without
     /// faults in the scenario.
     fn apply_events(&mut self, at: u64, events: Vec<Event>) {
+        // The watcher reads the stream before the engine consumes it —
+        // strictly read-only, so watched accounting stays bit-identical.
+        if let Some(watch) = &mut self.watch {
+            watch.observe_events(at, &events);
+        }
         let max_wait = self.scenario.admission.as_ref().and_then(|p| p.max_wait);
         let queue_enabled = self.queue_enabled();
         for event in events {
@@ -900,6 +924,28 @@ impl Simulator {
         self.queue_accum.max_depth.set_max(self.service.queue_depth() as i64);
     }
 
+    /// One watch-layer observation at sample instant `at`: the energy
+    /// meter integrates the element-activity snapshot, then the watcher
+    /// evaluates every armed rule over the queue depth, the activity and
+    /// the meter's instantaneous per-package draw.
+    fn on_watch_sample(&mut self, at: u64) {
+        if self.energy.is_none() && self.watch.is_none() {
+            return;
+        }
+        let activity = self.service.element_activity();
+        if let Some(meter) = &mut self.energy {
+            meter.observe(at, &activity);
+        }
+        let depth = self.service.queue_depth();
+        let (packages, package_mw): (Vec<String>, Vec<u64>) = match &self.energy {
+            Some(meter) => (meter.packages().to_vec(), meter.last_package_mw().to_vec()),
+            None => (Vec::new(), Vec::new()),
+        };
+        if let Some(watch) = &mut self.watch {
+            watch.on_sample(at, depth, &activity, &packages, &package_mw);
+        }
+    }
+
     fn record_wait(&mut self, class: PriorityClass, waited: u64) {
         self.queue_accum.total_wait += waited;
         self.queue_accum.wait_samples += 1;
@@ -1038,6 +1084,8 @@ impl Simulator {
                     lanes: self.gateway_lanes as u64,
                 }
             }),
+            energy: self.energy.take().map(|meter| meter.finish(self.scenario.horizon())),
+            health: self.watch.take().map(Watcher::finish),
         }
     }
 

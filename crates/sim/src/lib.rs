@@ -10,7 +10,7 @@
 //! and periodic occupancy sampling.
 //!
 //! * [`Scenario`] — a seeded, fully declarative experiment description,
-//!   with a built-in catalog of twenty named scenarios
+//!   with a built-in catalog of twenty-two named scenarios
 //!   ([`Scenario::catalog`], documented in `docs/SCENARIOS.md`):
 //!   `steady-churn`, `bursty-arrivals`, `saturation`, `hotspot-failures`,
 //!   `mixed-datasets`, three that exercise the `kairos-admitd` admission
@@ -36,7 +36,12 @@
 //!   ([`GatewaySpec`]) — `gateway-arrival-storm` (a sharded storm
 //!   streamed through per-shard bounded lanes, byte-identical to its
 //!   unwrapped twin) and `gateway-backpressure` (a queued overload
-//!   behind a four-slot lane that parks requests in the gateway);
+//!   behind a four-slot lane that parks requests in the gateway), and
+//!   two that exercise the `kairos-watch` energy/health layer
+//!   ([`WatchSpec`], [`PowerSpec`]) — `slo-burn-storm` (a queued
+//!   overload that fires and then clears the burn-rate SLO alerts) and
+//!   `power-cap-skew` (a package-wide DSP outage that trips the
+//!   per-package power anomaly detector);
 //! * [`Simulator`] — the event queue + virtual clock driving all
 //!   scenario traffic through the unified
 //!   [`kairos_svc::ResourceService`] API: arrivals are `Admit` commands
@@ -52,8 +57,10 @@
 //!   migrations, defrag moves), queue behaviour ([`QueueReport`]: depth,
 //!   waits, retries, drops) and metric time-series — plus, for
 //!   telemetry-enabled runs, the end-of-run snapshot of the whole
-//!   stack's metric registry ([`SimReport::telemetry`]) — rendered as
-//!   byte-deterministic JSON.
+//!   stack's metric registry ([`SimReport::telemetry`]) — and, for
+//!   watched/metered runs, the `kairos-watch` energy account
+//!   ([`SimReport::energy`]) and health judgment ([`SimReport::health`])
+//!   — rendered as byte-deterministic JSON.
 //!
 //! Identical scenarios yield byte-identical reports: the engine draws every
 //! random choice from the scenario seed and never consults wall-clock time.
@@ -85,6 +92,6 @@ pub use report::{
     Totals,
 };
 pub use scenario::{
-    ClusterSpec, DefragSpec, FaultSpec, GatewaySpec, PhaseSpec, PlatformSpec, RebalanceSpec,
-    Scenario,
+    ClusterSpec, DefragSpec, FaultSpec, GatewaySpec, PhaseSpec, PlatformSpec, PowerOverride,
+    PowerSpec, RebalanceSpec, Scenario, WatchSpec,
 };

@@ -7,7 +7,7 @@
 //! simulations — the engine draws every random choice from the scenario
 //! seed.
 //!
-//! [`Scenario::catalog`] ships twenty named scenarios: five spanning the
+//! [`Scenario::catalog`] ships twenty-two named scenarios: five spanning the
 //! regimes the paper motivates (steady churn, bursty arrivals, saturation,
 //! hotspot element failures, a mixed-dataset workload), three exercising
 //! the `kairos-admitd` admission front-end (priority inversion, overload
@@ -33,8 +33,13 @@
 //! gateway's default lanes and pinned byte-identical to the unwrapped
 //! run, and `gateway-backpressure`, a queued overload behind a
 //! four-slot lane that parks requests in the gateway; both run with
-//! [`Scenario::gateway`] set). `docs/SCENARIOS.md` documents every
-//! entry; CI checks the two stay in sync.
+//! [`Scenario::gateway`] set), and two exercising the `kairos-watch`
+//! energy/health layer (`slo-burn-storm`, a queued overload that fires
+//! and then clears the burn-rate SLO alerts, and `power-cap-skew`, a
+//! sharded run whose package-wide DSP outage trips the per-package power
+//! anomaly detector; both run with [`Scenario::watch`] set).
+//! `docs/SCENARIOS.md` documents every entry; CI checks the two stay in
+//! sync.
 
 use serde::{Deserialize, Serialize};
 
@@ -234,6 +239,114 @@ impl Default for GatewaySpec {
     }
 }
 
+/// Energy/health watching over the run (`kairos-watch`): the spec is a
+/// compact knob set the engine expands into a full
+/// [`WatchPolicy`](kairos_watch::WatchPolicy) — one burn-rate SLO per
+/// priority class plus the queue-depth, rejection-rate and anomaly
+/// monitors. The watcher is a pure observer, so a watched run is
+/// byte-identical to an unwatched one apart from the report's extra
+/// `energy` and `health` sections (`tests/watch_observer.rs` pins that).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchSpec {
+    /// Admission wait (ticks) above which an admission burns SLO budget.
+    pub slo_target_wait: u64,
+    /// Allowed bad-admission fraction, in centi (`10` = 10%).
+    pub slo_budget_centi: u64,
+    /// Short burn-rate window, ticks.
+    pub slo_short_window: u64,
+    /// Long burn-rate window, ticks; must exceed the short window.
+    pub slo_long_window: u64,
+    /// Queue depth at which the queue monitor fires; `0` disables it.
+    pub queue_fire_depth: u64,
+    /// z-score (centi) firing the power/occupancy anomaly detectors;
+    /// `0` disables both detectors.
+    pub anomaly_z_centi: u64,
+    /// Samples the anomaly detectors consume to seed their baselines.
+    pub anomaly_warmup: u64,
+}
+
+impl Default for WatchSpec {
+    fn default() -> Self {
+        WatchSpec {
+            slo_target_wait: 120,
+            slo_budget_centi: 10,
+            slo_short_window: 200,
+            slo_long_window: 800,
+            queue_fire_depth: 32,
+            anomaly_z_centi: 300,
+            anomaly_warmup: 8,
+        }
+    }
+}
+
+impl WatchSpec {
+    /// The full rule set the engine arms the watcher with.
+    pub fn policy(&self) -> kairos_watch::WatchPolicy {
+        let slo = PriorityClass::ALL
+            .iter()
+            .map(|&class| kairos_watch::SloRule {
+                target_wait: self.slo_target_wait,
+                budget_centi: self.slo_budget_centi,
+                short_window: self.slo_short_window,
+                long_window: self.slo_long_window,
+                ..kairos_watch::SloRule::default_for(class)
+            })
+            .collect();
+        let anomaly = (self.anomaly_z_centi > 0).then(|| kairos_watch::AnomalyRule {
+            z_fire_centi: self.anomaly_z_centi,
+            warmup: self.anomaly_warmup,
+            ..kairos_watch::AnomalyRule::default()
+        });
+        kairos_watch::WatchPolicy {
+            slo,
+            queue: (self.queue_fire_depth > 0).then_some(kairos_watch::QueueDepthRule {
+                fire_depth: self.queue_fire_depth,
+                clear_depth: self.queue_fire_depth / 4,
+            }),
+            rejection: Some(kairos_watch::RejectionRateRule::default()),
+            power_anomaly: anomaly.clone(),
+            occupancy_anomaly: anomaly,
+        }
+    }
+}
+
+/// One per-class override of the platform power model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PowerOverride {
+    /// Element-class label (`arm`, `dsp`, `fpga`, `mem`, `tst`, `io`).
+    pub kind: String,
+    /// Draw of a busy element of the class, milliwatts.
+    pub busy_mw: u64,
+    /// Draw of an idle healthy element of the class, milliwatts.
+    pub idle_mw: u64,
+}
+
+/// Energy accounting over the run: the engine integrates sampled element
+/// activity against a [`PowerModel`](kairos_platform::PowerModel) (the
+/// paper-derived Table-I default rates, adjusted by `overrides`) and
+/// embeds the account as the report's `energy` section. Like
+/// [`WatchSpec`], a pure observer.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PowerSpec {
+    /// Per-class rate overrides; an empty list keeps every default rate.
+    pub overrides: Vec<PowerOverride>,
+}
+
+impl PowerSpec {
+    /// The power model the energy meter integrates against.
+    pub fn model(&self) -> kairos_platform::PowerModel {
+        let mut model = kairos_platform::PowerModel::table1_defaults();
+        for over in &self.overrides {
+            if let Some(kind) =
+                kairos_platform::ElementKind::ALL.iter().find(|k| k.label() == over.kind)
+            {
+                model.set_rate(*kind, kairos_platform::PowerRate::new(over.busy_mw, over.idle_mw));
+            }
+        }
+        model
+    }
+}
+
 /// A scripted element fault (and optional repair).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultSpec {
@@ -310,6 +423,18 @@ pub struct Scenario {
     /// apart from the extra `cache` section in the report (the
     /// `opcache_equivalence` suite pins exactly this).
     pub cache: bool,
+    /// Energy/health watching (`kairos-watch`). `None` runs unwatched;
+    /// `Some` arms the spec's monitor rule set over the run's event and
+    /// sample streams and embeds `energy` and `health` sections in the
+    /// report. The watcher is a pure observer — a watched run is
+    /// byte-identical to an unwatched one apart from those sections.
+    pub watch: Option<WatchSpec>,
+    /// Energy accounting without alerting. `None` (with [`Scenario::watch`]
+    /// also `None`) runs no meter; `Some` integrates sampled activity
+    /// against the (possibly overridden) platform power model and embeds
+    /// the `energy` section. A watched run meters implicitly — set this to
+    /// override rates or to meter without monitors.
+    pub power: Option<PowerSpec>,
 }
 
 impl Scenario {
@@ -386,6 +511,33 @@ impl Scenario {
         if let Some(gateway) = &self.gateway {
             if gateway.channel_capacity == 0 {
                 return Err("gateway channel_capacity must be at least 1".into());
+            }
+        }
+        if let Some(watch) = &self.watch {
+            if watch.slo_budget_centi == 0 || watch.slo_budget_centi > 100 {
+                return Err(format!(
+                    "watch slo_budget_centi {} must be within 1..=100",
+                    watch.slo_budget_centi
+                ));
+            }
+            if watch.slo_short_window == 0 || watch.slo_short_window >= watch.slo_long_window {
+                return Err(format!(
+                    "watch SLO windows must satisfy 0 < short ({}) < long ({})",
+                    watch.slo_short_window, watch.slo_long_window
+                ));
+            }
+        }
+        if let Some(power) = &self.power {
+            for over in &power.overrides {
+                if !kairos_platform::ElementKind::ALL.iter().any(|k| k.label() == over.kind) {
+                    return Err(format!("power override targets unknown kind '{}'", over.kind));
+                }
+                if over.idle_mw > over.busy_mw {
+                    return Err(format!(
+                        "power override for '{}' draws more idle ({}) than busy ({})",
+                        over.kind, over.idle_mw, over.busy_mw
+                    ));
+                }
             }
         }
         let horizon = self.horizon();
@@ -532,6 +684,39 @@ impl Scenario {
         doc.push("telemetry", self.telemetry);
         doc.push("trace", self.trace);
         doc.push("cache", self.cache);
+        match &self.watch {
+            None => doc.push("watch", Json::Null),
+            Some(spec) => {
+                let mut watch = Json::object();
+                watch.push("slo_target_wait", spec.slo_target_wait);
+                watch.push("slo_budget_centi", spec.slo_budget_centi);
+                watch.push("slo_short_window", spec.slo_short_window);
+                watch.push("slo_long_window", spec.slo_long_window);
+                watch.push("queue_fire_depth", spec.queue_fire_depth);
+                watch.push("anomaly_z_centi", spec.anomaly_z_centi);
+                watch.push("anomaly_warmup", spec.anomaly_warmup);
+                doc.push("watch", watch)
+            }
+        };
+        match &self.power {
+            None => doc.push("power", Json::Null),
+            Some(spec) => {
+                let overrides = spec
+                    .overrides
+                    .iter()
+                    .map(|o| {
+                        let mut over = Json::object();
+                        over.push("kind", o.kind.as_str());
+                        over.push("busy_mw", o.busy_mw);
+                        over.push("idle_mw", o.idle_mw);
+                        over
+                    })
+                    .collect::<Vec<_>>();
+                let mut power = Json::object();
+                power.push("overrides", overrides);
+                doc.push("power", power)
+            }
+        };
         doc
     }
 
@@ -558,6 +743,8 @@ impl Scenario {
             cache_invalidation_churn(),
             gateway_arrival_storm(),
             gateway_backpressure(),
+            slo_burn_storm(),
+            power_cap_skew(),
         ]
     }
 
@@ -601,6 +788,8 @@ fn steady_churn() -> Scenario {
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -632,6 +821,8 @@ fn bursty_arrivals() -> Scenario {
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -662,6 +853,8 @@ fn saturation() -> Scenario {
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -701,6 +894,8 @@ fn hotspot_failures() -> Scenario {
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -726,6 +921,8 @@ fn mixed_datasets() -> Scenario {
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -767,6 +964,8 @@ fn priority_inversion() -> Scenario {
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -806,6 +1005,8 @@ fn overload_backpressure() -> Scenario {
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -846,6 +1047,8 @@ fn retry_storm() -> Scenario {
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -889,6 +1092,8 @@ fn critical_preempt() -> Scenario {
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -940,6 +1145,8 @@ fn migrate_vs_evict() -> Scenario {
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -973,6 +1180,8 @@ fn defrag_sweep() -> Scenario {
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -1023,6 +1232,8 @@ fn batch_arrival_wave() -> Scenario {
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -1074,6 +1285,8 @@ fn sharded_arrival_storm() -> Scenario {
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -1114,6 +1327,8 @@ fn cross_shard_rebalance() -> Scenario {
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -1172,6 +1387,8 @@ fn telemetry_probe_latency() -> Scenario {
         telemetry: true,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -1227,6 +1444,8 @@ fn traced_preemption_storm() -> Scenario {
         telemetry: false,
         trace: true,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -1271,6 +1490,8 @@ fn cache_warm_storm() -> Scenario {
         telemetry: false,
         trace: false,
         cache: true,
+        watch: None,
+        power: None,
     }
 }
 
@@ -1325,6 +1546,8 @@ fn cache_invalidation_churn() -> Scenario {
         telemetry: false,
         trace: false,
         cache: true,
+        watch: None,
+        power: None,
     }
 }
 
@@ -1367,6 +1590,8 @@ fn gateway_arrival_storm() -> Scenario {
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -1412,6 +1637,108 @@ fn gateway_backpressure() -> Scenario {
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
+    }
+}
+
+/// SLO burn storm: a queued monolith rides through a calm warmup, a hard
+/// overload surge, and a long light-traffic recovery. During the surge
+/// almost every admission waits far past the 120-tick SLO target, so both
+/// burn-rate windows blow through the 2x-budget threshold and the
+/// per-class SLO alerts fire (the rejection-rate monitor typically trips
+/// too); the recovery's prompt admissions then drain the windows and the
+/// alerts clear before the horizon. The anomaly detectors are disabled —
+/// a churning workload's power series is legitimately jumpy, and this
+/// scenario is the SLO story (`power-cap-skew` is the anomaly one). The
+/// canonical fire-AND-clear demonstration for the `kairos-watch`
+/// monitors — CI smoke-diffs it and `tests/watch_observer.rs` asserts
+/// the full alert lifecycle.
+fn slo_burn_storm() -> Scenario {
+    let surge_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Medium), 2),
+        MixEntry::new(spec(Orientation::Communication, SizeClass::Medium), 1),
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Large), 1),
+    ];
+    Scenario {
+        name: "slo-burn-storm".to_owned(),
+        seed: 0x510B,
+        sample_period: 25,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("calm", 600, 30, 250, small_mix()),
+            PhaseSpec::new("surge", 1200, 6, 900, surge_mix),
+            PhaseSpec::new("recovery", 1600, 40, 150, small_mix()),
+            PhaseSpec::new("drain", 800, 0, 0, Vec::new()),
+        ],
+        faults: Vec::new(),
+        readmit_evicted: false,
+        admission: Some(AdmitPolicy {
+            class_capacity: [16, 16, 16, 48],
+            max_wait: Some(900),
+            max_attempts: 6,
+            backoff_base: 1,
+            backoff_cap: 4,
+            ..AdmitPolicy::default()
+        }),
+        defrag: None,
+        cluster: None,
+        gateway: None,
+        telemetry: false,
+        trace: false,
+        cache: false,
+        watch: Some(WatchSpec { anomaly_z_centi: 0, ..WatchSpec::default() }),
+        power: None,
+    }
+}
+
+/// Power-cap skew: long-lived residents fill a three-shard CRISP cluster,
+/// then six of package 2's nine DSPs black out for 600 ticks mid-run. The
+/// package's draw collapses, so the per-package EWMA/z-score power
+/// anomaly detector trips on `pkg2` (shard attribution included) — and
+/// because the outage evicts the residents for good (no re-admission, no
+/// later arrivals), the package never returns to its pre-fault draw and
+/// the alert rides to the horizon: a permanent-capability-loss signal,
+/// the complement of `slo-burn-storm`'s fire-and-clear lifecycle. The
+/// scenario also overrides the DSP power rates, exercising the
+/// [`PowerSpec`] override path; CI smoke-diffs the run and
+/// `tests/watch_observer.rs` asserts the anomaly window.
+fn power_cap_skew() -> Scenario {
+    let resident_mix = vec![
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Medium), 2),
+        MixEntry::new(spec(Orientation::Computation, SizeClass::Small), 1),
+    ];
+    // Package 2 spans elements 25..=36 on the CRISP platform; its nine
+    // DSPs are 25..=33. Six of them fail together and repair together.
+    let faults = (25u32..=30)
+        .map(|element| FaultSpec { at: 900, element, repair_after: Some(600) })
+        .collect();
+    Scenario {
+        name: "power-cap-skew".to_owned(),
+        seed: 0x50CA9,
+        sample_period: 30,
+        platform: PlatformSpec::Crisp,
+        phases: vec![
+            PhaseSpec::new("fill", 600, 20, 0, resident_mix),
+            PhaseSpec::new("steady", 1800, 0, 0, Vec::new()),
+        ],
+        faults,
+        readmit_evicted: false,
+        admission: None,
+        defrag: None,
+        cluster: Some(ClusterSpec {
+            shards: 3,
+            policy: PlacementPolicyKind::FirstFit,
+            rebalance: None,
+        }),
+        gateway: None,
+        telemetry: false,
+        trace: false,
+        cache: false,
+        watch: Some(WatchSpec { queue_fire_depth: 0, ..WatchSpec::default() }),
+        power: Some(PowerSpec {
+            overrides: vec![PowerOverride { kind: "dsp".to_owned(), busy_mw: 400, idle_mw: 100 }],
+        }),
     }
 }
 
@@ -1420,9 +1747,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalog_has_twenty_valid_named_scenarios() {
+    fn catalog_has_twenty_two_valid_named_scenarios() {
         let catalog = Scenario::catalog();
-        assert_eq!(catalog.len(), 20);
+        assert_eq!(catalog.len(), 22);
         let mut names: Vec<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
         for scenario in &catalog {
             scenario.validate().unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
@@ -1430,7 +1757,7 @@ mod tests {
         }
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 20, "catalog names must be unique");
+        assert_eq!(names.len(), 22, "catalog names must be unique");
         // The queueing, preemption and batching scenarios all carry an
         // admission policy; the five legacy scenarios and the defrag
         // sweep stay on the direct path.
@@ -1449,6 +1776,7 @@ mod tests {
                 "telemetry-probe-latency",
                 "traced-preemption-storm",
                 "gateway-backpressure",
+                "slo-burn-storm",
             ]
         );
         let clustered: Vec<&str> =
@@ -1463,6 +1791,7 @@ mod tests {
                 "cache-warm-storm",
                 "cache-invalidation-churn",
                 "gateway-arrival-storm",
+                "power-cap-skew",
             ]
         );
         // Exactly the two gateway scenarios run behind the async serving
@@ -1520,6 +1849,15 @@ mod tests {
         let cached: Vec<&str> =
             catalog.iter().filter(|s| s.cache).map(|s| s.name.as_str()).collect();
         assert_eq!(cached, vec!["cache-warm-storm", "cache-invalidation-churn"]);
+        // Exactly the two watch scenarios run monitored; only the power
+        // skew meters with overridden rates, and every legacy entry keeps
+        // watch-off byte identity with its pre-watch report.
+        let watched: Vec<&str> =
+            catalog.iter().filter(|s| s.watch.is_some()).map(|s| s.name.as_str()).collect();
+        assert_eq!(watched, vec!["slo-burn-storm", "power-cap-skew"]);
+        let powered: Vec<&str> =
+            catalog.iter().filter(|s| s.power.is_some()).map(|s| s.name.as_str()).collect();
+        assert_eq!(powered, vec!["power-cap-skew"]);
     }
 
     #[test]
@@ -1573,6 +1911,22 @@ mod tests {
         let mut s = Scenario::by_name("gateway-backpressure").unwrap();
         s.gateway.as_mut().unwrap().channel_capacity = 0;
         assert!(s.validate().unwrap_err().contains("channel_capacity"));
+
+        let mut s = Scenario::by_name("slo-burn-storm").unwrap();
+        s.watch.as_mut().unwrap().slo_budget_centi = 0;
+        assert!(s.validate().unwrap_err().contains("slo_budget_centi"));
+
+        let mut s = Scenario::by_name("slo-burn-storm").unwrap();
+        s.watch.as_mut().unwrap().slo_short_window = 800;
+        assert!(s.validate().unwrap_err().contains("short"));
+
+        let mut s = Scenario::by_name("power-cap-skew").unwrap();
+        s.power.as_mut().unwrap().overrides[0].kind = "gpu".to_owned();
+        assert!(s.validate().unwrap_err().contains("unknown kind"));
+
+        let mut s = Scenario::by_name("power-cap-skew").unwrap();
+        s.power.as_mut().unwrap().overrides[0].idle_mw = 10_000;
+        assert!(s.validate().unwrap_err().contains("idle"));
     }
 
     #[test]
@@ -1626,6 +1980,12 @@ mod tests {
             assert!(a.contains(key), "missing {key} in {a}");
         }
         assert!(a.contains("\"admission\": null"), "direct scenarios render a null admission");
+        assert!(a.contains("\"watch\": null"), "unwatched scenarios render a null watch");
+        assert!(a.contains("\"power\": null"), "unmetered scenarios render a null power");
+        let watched = Scenario::by_name("power-cap-skew").unwrap().to_json().render();
+        for key in ["\"slo_target_wait\"", "\"anomaly_z_centi\"", "\"overrides\"", "\"busy_mw\""] {
+            assert!(watched.contains(key), "missing {key} in {watched}");
+        }
         let queued = Scenario::by_name("retry-storm").unwrap().to_json().render();
         for key in [
             "\"class_capacity\"",

@@ -1,7 +1,8 @@
 //! Shared test support for the workspace's integration suites.
 //!
 //! The cluster-transparency, telemetry-observer, trace-determinism,
-//! opcache-equivalence and gateway-equivalence suites all need the same
+//! opcache-equivalence, gateway-equivalence and watch-observer suites
+//! all need the same
 //! ingredients: a small deterministic workload mix, a parameterised
 //! scenario generator covering the queued/clustered/preempting axes,
 //! the one-shard cluster and gateway rewrites, and snapshot readers for
@@ -14,7 +15,7 @@ use kairos_appgen::{DatasetSpec, MixEntry, Orientation, SizeClass};
 use kairos_cluster::PlacementPolicyKind;
 use kairos_telemetry::{MetricValue, Snapshot};
 
-use crate::{ClusterSpec, GatewaySpec, PhaseSpec, PlatformSpec, Scenario, Simulator};
+use crate::{ClusterSpec, GatewaySpec, PhaseSpec, PlatformSpec, Scenario, Simulator, WatchSpec};
 
 /// A small two-entry workload mix: two computation-oriented and one
 /// communication-oriented small dataset.
@@ -77,6 +78,8 @@ pub fn generated(
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 
@@ -102,6 +105,20 @@ pub fn clustered_once(mut scenario: Scenario) -> Scenario {
     assert!(scenario.cluster.is_none(), "only unclustered scenarios are rewritten");
     scenario.cluster =
         Some(ClusterSpec { shards: 1, policy: PlacementPolicyKind::FirstFit, rebalance: None });
+    scenario
+}
+
+/// The scenario rewritten to run under a default-knob watch policy (the
+/// watch observer pin's rewrite). Watching implies energy metering, so
+/// the rewritten run carries both the `energy` and `health` report
+/// sections.
+///
+/// # Panics
+///
+/// Panics when the scenario is already watched.
+pub fn watched(mut scenario: Scenario) -> Scenario {
+    assert!(scenario.watch.is_none(), "only unwatched scenarios are rewritten");
+    scenario.watch = Some(WatchSpec::default());
     scenario
 }
 

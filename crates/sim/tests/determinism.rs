@@ -31,6 +31,8 @@ fn churn_and_drain(seed: u64) -> Scenario {
         telemetry: false,
         trace: false,
         cache: false,
+        watch: None,
+        power: None,
     }
 }
 

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use kairos_admitd::{Admitd, PriorityClass, QueueEvent, Ticket as QueueTicket};
 use kairos_app::Application;
-use kairos_core::{CacheStats, Kairos, OccupancySnapshot};
+use kairos_core::{CacheStats, ElementActivity, Kairos, OccupancySnapshot};
 use kairos_platform::AppId;
 use kairos_reloc::RelocMetrics;
 use kairos_telemetry::{Counter, Telemetry, TraceContext};
@@ -87,6 +87,15 @@ pub trait ResourceService: std::fmt::Debug {
     /// bounded request lanes one-per-shard.
     fn shard_count(&self) -> usize {
         1
+    }
+
+    /// Per-element busy/failed/resident-apps activity over the whole
+    /// service, in global-element-id order — the raw signal behind energy
+    /// accounting and health monitoring (`kairos-watch`). Multi-manager
+    /// services translate shard-local element ids to global ones and tag
+    /// each entry with its owning shard.
+    fn element_activity(&self) -> Vec<ElementActivity> {
+        self.kairos().element_activity()
     }
 }
 

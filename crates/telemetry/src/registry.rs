@@ -152,8 +152,10 @@ impl Snapshot {
     /// Dots and dashes in registered names become underscores (the
     /// exposition grammar's identifier rule); histograms render the
     /// standard cumulative `_bucket{le=...}` / `_sum` / `_count` series
-    /// plus non-standard `_min` / `_max` gauges, which carry the
-    /// per-phase summaries the registry tracks natively.
+    /// plus non-standard `_min` / `_max` series, which carry the
+    /// per-phase summaries the registry tracks natively. Since `_min` /
+    /// `_max` are not members of the histogram series family, each is
+    /// announced with its own `# TYPE ... gauge` header.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         for metric in &self.metrics {
@@ -175,8 +177,12 @@ impl Snapshot {
                     out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
                     out.push_str(&format!("{name}_sum {}\n", h.sum));
                     out.push_str(&format!("{name}_count {}\n", h.count));
-                    out.push_str(&format!("{name}_min {}\n", h.min));
-                    out.push_str(&format!("{name}_max {}\n", h.max));
+                    // `_min` / `_max` are not part of the histogram type's
+                    // series family, so each needs its own TYPE header —
+                    // scrapers reject unannounced sample names under a
+                    // foreign declaration.
+                    out.push_str(&format!("# TYPE {name}_min gauge\n{name}_min {}\n", h.min));
+                    out.push_str(&format!("# TYPE {name}_max gauge\n{name}_max {}\n", h.max));
                 }
             }
         }
@@ -229,8 +235,57 @@ mod tests {
         assert!(text.contains("kairos_core_phase_binding_ns_bucket{le=\"1000000\"} 2\n"));
         assert!(text.contains("kairos_core_phase_binding_ns_bucket{le=\"+Inf\"} 3\n"));
         assert!(text.contains("kairos_core_phase_binding_ns_count 3\n"));
-        assert!(text.contains("kairos_core_phase_binding_ns_min 0\n"));
-        assert!(text.contains("kairos_core_phase_binding_ns_max 2000000\n"));
+        assert!(text.contains(
+            "# TYPE kairos_core_phase_binding_ns_min gauge\nkairos_core_phase_binding_ns_min 0\n"
+        ));
+        assert!(text.contains(
+            "# TYPE kairos_core_phase_binding_ns_max gauge\nkairos_core_phase_binding_ns_max 2000000\n"
+        ));
         assert_eq!(text, registry.snapshot().render_text(), "rendering is deterministic");
+    }
+
+    #[test]
+    fn every_exposition_series_sits_under_its_own_type_header() {
+        let registry = Registry::new();
+        registry.histogram("probe.ns", &[10]).record(3);
+        let text = registry.snapshot().render_text();
+        let mut announced = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                announced.push(rest.split(' ').next().unwrap().to_owned());
+            } else {
+                let sample = line.split([' ', '{']).next().unwrap();
+                let family = sample
+                    .strip_suffix("_bucket")
+                    .or_else(|| sample.strip_suffix("_sum"))
+                    .or_else(|| sample.strip_suffix("_count"))
+                    .unwrap_or(sample);
+                assert!(
+                    announced.iter().any(|name| name == family),
+                    "sample `{sample}` rendered before a TYPE header for `{family}`"
+                );
+            }
+        }
+        assert_eq!(announced, vec!["probe_ns", "probe_ns_min", "probe_ns_max"]);
+    }
+
+    #[test]
+    fn empty_registry_renders_an_empty_exposition() {
+        let registry = Registry::new();
+        let snapshot = registry.snapshot();
+        assert!(snapshot.is_empty());
+        assert_eq!(snapshot.render_text(), "");
+    }
+
+    #[test]
+    fn zero_sample_histogram_exposes_zeroed_series() {
+        let registry = Registry::new();
+        registry.histogram("idle.ns", &[10]);
+        let text = registry.snapshot().render_text();
+        assert!(text.contains("# TYPE idle_ns histogram\n"));
+        assert!(text.contains("idle_ns_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("idle_ns_count 0\n"));
+        assert!(text.contains("# TYPE idle_ns_min gauge\nidle_ns_min 0\n"));
+        assert!(text.contains("# TYPE idle_ns_max gauge\nidle_ns_max 0\n"));
     }
 }

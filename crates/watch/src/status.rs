@@ -1,0 +1,214 @@
+//! [`StatusSnapshot`] — a `kairos-top`-style human-readable dump of one
+//! run's final state: shards, queue, lanes, cache, energy and alerts.
+//!
+//! Plain data in, deterministic text out: [`StatusSnapshot::render`] is a
+//! pure function, so the `--status` output of the scenario runner is as
+//! byte-reproducible as the report it summarises.
+
+use std::fmt::Write as _;
+
+use kairos_core::CacheStats;
+
+use crate::energy::EnergyReport;
+use crate::watcher::HealthReport;
+
+/// Whole-run counters shown in the header block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatusTotals {
+    /// Applications that arrived.
+    pub arrivals: u64,
+    /// Applications admitted.
+    pub admissions: u64,
+    /// Applications rejected.
+    pub rejections: u64,
+    /// Applications that departed on schedule.
+    pub departures: u64,
+}
+
+/// The final-state summary behind the runner's `--status` flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusSnapshot {
+    /// Scenario name.
+    pub scenario: String,
+    /// Virtual-time horizon of the run.
+    pub horizon: u64,
+    /// Shards behind the service.
+    pub shards: usize,
+    /// Gateway request lanes, `None` without a gateway.
+    pub lanes: Option<usize>,
+    /// Whole-run traffic counters.
+    pub totals: StatusTotals,
+    /// Applications still admitted at the horizon.
+    pub admitted: usize,
+    /// Requests still queued at the horizon.
+    pub queue_depth: usize,
+    /// Elements failed at the horizon.
+    pub failed_elements: usize,
+    /// Operating-point cache counters, when a cache ran.
+    pub cache: Option<CacheStats>,
+    /// The energy account, when the meter ran.
+    pub energy: Option<EnergyReport>,
+    /// The health judgment, when the watcher ran.
+    pub health: Option<HealthReport>,
+}
+
+/// A crude fixed-width bar for the package power table.
+fn bar(value: u64, max: u64) -> String {
+    const WIDTH: u64 = 20;
+    let filled = if max == 0 { 0 } else { (value * WIDTH).div_ceil(max).min(WIDTH) };
+    let mut s = String::new();
+    for i in 0..WIDTH {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+impl StatusSnapshot {
+    /// Renders the snapshot as a deterministic multi-line dump.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ =
+            writeln!(out, "=== kairos status: {} (horizon {}) ===", self.scenario, self.horizon);
+        let _ = writeln!(
+            out,
+            "service   shards {}  lanes {}  queue {}  admitted {}  failed-elements {}",
+            self.shards,
+            self.lanes.map_or_else(|| "-".to_string(), |l| l.to_string()),
+            self.queue_depth,
+            self.admitted,
+            self.failed_elements,
+        );
+        let _ = writeln!(
+            out,
+            "traffic   arrivals {}  admissions {}  rejections {}  departures {}",
+            self.totals.arrivals,
+            self.totals.admissions,
+            self.totals.rejections,
+            self.totals.departures,
+        );
+        if let Some(cache) = &self.cache {
+            let _ = writeln!(
+                out,
+                "cache     hits {}  misses {}  invalidations {}  points {}",
+                cache.hits, cache.misses, cache.invalidations, cache.points,
+            );
+        }
+        if let Some(energy) = &self.energy {
+            let _ = writeln!(
+                out,
+                "energy    total {} mWt  busy {} mWt  idle {} mWt  ({} samples)",
+                energy.total_mw_ticks, energy.busy_mw_ticks, energy.idle_mw_ticks, energy.samples,
+            );
+            let peak = energy.packages.iter().map(|p| p.mw_ticks).max().unwrap_or(0);
+            for package in &energy.packages {
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {} {:>12} mWt  peak {:>6} mW",
+                    package.name,
+                    bar(package.mw_ticks, peak),
+                    package.mw_ticks,
+                    package.peak_mw,
+                );
+            }
+            for app in &energy.top_apps {
+                let _ = writeln!(out, "  app {:<6} {:>12} mWt", app.app, app.mw_ticks);
+            }
+        }
+        if let Some(health) = &self.health {
+            let _ = writeln!(
+                out,
+                "health    rules {}  evaluations {}  fired {}  cleared {}",
+                health.rules, health.evaluations, health.fired, health.cleared,
+            );
+            for shard in &health.shards {
+                let _ = writeln!(out, "  shard {:<3} score {:>3}/100", shard.shard, shard.score);
+            }
+            for alert in &health.alerts {
+                let window = match alert.cleared_at {
+                    Some(cleared) => format!("[{} .. {}]", alert.fired_at, cleared),
+                    None => format!("[{} .. active]", alert.fired_at),
+                };
+                let _ = writeln!(
+                    out,
+                    "  alert #{} {} {} {} {}  signal {}c/{}c",
+                    alert.seq,
+                    alert.severity,
+                    alert.kind,
+                    alert.subject,
+                    window,
+                    alert.signal,
+                    alert.threshold,
+                );
+                for cause in &alert.cause {
+                    let _ = writeln!(out, "      - {cause}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::{Alert, AlertKind, Severity};
+    use crate::watcher::ShardHealth;
+
+    fn snapshot() -> StatusSnapshot {
+        StatusSnapshot {
+            scenario: "demo".to_string(),
+            horizon: 1000,
+            shards: 2,
+            lanes: Some(2),
+            totals: StatusTotals { arrivals: 10, admissions: 8, rejections: 2, departures: 5 },
+            admitted: 3,
+            queue_depth: 0,
+            failed_elements: 1,
+            cache: None,
+            energy: None,
+            health: Some(HealthReport {
+                rules: 2,
+                evaluations: 40,
+                fired: 1,
+                cleared: 1,
+                alerts: vec![Alert {
+                    seq: 0,
+                    kind: AlertKind::QueueDepth,
+                    subject: "queue".to_string(),
+                    severity: Severity::Warning,
+                    shard: None,
+                    fired_at: 100,
+                    cleared_at: Some(200),
+                    signal: 12,
+                    threshold: 8,
+                    cause: vec!["queue depth 12 >= 8".to_string()],
+                }],
+                shards: vec![
+                    ShardHealth { shard: 0, score: 90 },
+                    ShardHealth { shard: 1, score: 90 },
+                ],
+            }),
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic_and_mentions_everything() {
+        let s = snapshot();
+        let a = s.render();
+        let b = s.render();
+        assert_eq!(a, b);
+        assert!(a.contains("demo"));
+        assert!(a.contains("shards 2"));
+        assert!(a.contains("alert #0 warning queue-depth queue [100 .. 200]"));
+        assert!(a.contains("queue depth 12 >= 8"));
+        assert!(a.contains("score  90/100"));
+    }
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(0, 100).matches('#').count(), 0);
+        assert_eq!(bar(100, 100).matches('#').count(), 20);
+        assert_eq!(bar(50, 100).matches('#').count(), 10);
+        assert_eq!(bar(5, 0).matches('#').count(), 0);
+    }
+}

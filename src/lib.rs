@@ -58,7 +58,16 @@
 //!   exposition, byte-stable JSON embedding in sim reports), and bounded
 //!   per-shard flight recorders dumpable after failures. Disabled by
 //!   default everywhere; a disabled handle costs one pointer test per
-//!   instrumentation site and records nothing.
+//!   instrumentation site and records nothing;
+//! * [`watch`] — energy/power accounting and deterministic health
+//!   alerting: an `EnergyMeter` integrating periodic element-activity
+//!   observations against per-class busy/idle power rates into
+//!   per-class/per-package/per-app energy totals and a virtual-time
+//!   power series, plus a declarative `WatchPolicy` of per-class SLO
+//!   burn-rate monitors, queue-depth/rejection-rate thresholds and
+//!   EWMA/z-score anomaly detectors whose `Watcher` emits deterministic
+//!   fire/clear `Alert` lifecycles with per-shard health scores — a pure
+//!   judge over the event stream, never a participant.
 //!
 //! ## Quickstart
 //!
@@ -92,3 +101,4 @@ pub use kairos_sdf as sdf;
 pub use kairos_sim as sim;
 pub use kairos_svc as svc;
 pub use kairos_telemetry as telemetry;
+pub use kairos_watch as watch;

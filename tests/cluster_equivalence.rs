@@ -11,7 +11,11 @@ use kairos::sim::{Scenario, Simulator};
 fn every_unclustered_scenario_is_byte_identical_through_a_one_shard_cluster() {
     let unclustered: Vec<Scenario> =
         Scenario::catalog().into_iter().filter(|s| s.cluster.is_none()).collect();
-    assert_eq!(unclustered.len(), 13, "the twelve pre-cluster scenarios plus gateway-backpressure");
+    assert_eq!(
+        unclustered.len(),
+        14,
+        "the twelve pre-cluster scenarios plus gateway-backpressure and slo-burn-storm"
+    );
     for scenario in unclustered {
         let name = scenario.name.clone();
         let monolithic = Simulator::new(scenario.clone()).unwrap().run().to_json_string();
@@ -59,8 +63,8 @@ fn cross_shard_rebalance_moves_work_and_keeps_the_population_consistent() {
 }
 
 #[test]
-fn catalog_grew_to_twenty() {
-    assert_eq!(Scenario::catalog().len(), 20);
+fn catalog_grew_to_twenty_two() {
+    assert_eq!(Scenario::catalog().len(), 22);
     assert!(Scenario::by_name("sharded-arrival-storm").is_some());
     assert!(Scenario::by_name("cross-shard-rebalance").is_some());
     assert!(Scenario::by_name("telemetry-probe-latency").is_some());
@@ -69,4 +73,6 @@ fn catalog_grew_to_twenty() {
     assert!(Scenario::by_name("cache-invalidation-churn").is_some());
     assert!(Scenario::by_name("gateway-arrival-storm").is_some());
     assert!(Scenario::by_name("gateway-backpressure").is_some());
+    assert!(Scenario::by_name("slo-burn-storm").is_some());
+    assert!(Scenario::by_name("power-cap-skew").is_some());
 }
